@@ -1,0 +1,39 @@
+# Common development targets for the ssflp repository.
+
+GO ?= go
+
+.PHONY: all build test race cover bench vet fmt experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every table and figure at a tractable scale (see EXPERIMENTS.md).
+experiments: build
+	$(GO) run ./cmd/ssf-experiments -table 1
+	$(GO) run ./cmd/ssf-experiments -table 2 -scale 1
+	$(GO) run ./cmd/ssf-experiments -table 3 -scale 4 -repeats 3
+	$(GO) run ./cmd/ssf-patterns -scale 4
+	$(GO) run ./cmd/ssf-ksweep -scale 4
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

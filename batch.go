@@ -1,0 +1,45 @@
+package ssflp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ScoredPair is one candidate link with its predicted score.
+type ScoredPair struct {
+	U, V  NodeID
+	Score float64
+}
+
+// ScoreBatch scores many candidate pairs concurrently with a bounded worker
+// pool (feature extraction dominates the cost for the SSF/WLF methods and
+// parallelizes embarrassingly). Results preserve the input order; the first
+// extraction error aborts the batch. workers <= 0 selects NumCPU.
+func (p *Predictor) ScoreBatch(pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	out := make([]ScoredPair, len(pairs))
+	errs := make([]error, len(pairs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pair := range pairs {
+		wg.Add(1)
+		go func(i int, u, v NodeID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := p.score(u, v)
+			out[i] = ScoredPair{U: u, V: v, Score: s}
+			errs[i] = err
+		}(i, pair[0], pair[1])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: score (%d, %d): %w", pairs[i][0], pairs[i][1], err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package ssflp
+
+import (
+	"testing"
+)
+
+func TestScoreBatchMatchesSequential(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][2]NodeID
+	for u := NodeID(0); u < 20; u++ {
+		pairs = append(pairs, [2]NodeID{u, u + 13})
+	}
+	batch, err := pred.ScoreBatch(pairs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(pairs) {
+		t.Fatalf("batch = %d results, want %d", len(batch), len(pairs))
+	}
+	for i, p := range pairs {
+		want, err := pred.Score(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Score != want {
+			t.Errorf("pair %v: batch %v vs sequential %v", p, batch[i].Score, want)
+		}
+		if batch[i].U != p[0] || batch[i].V != p[1] {
+			t.Errorf("pair %d reordered: %+v", i, batch[i])
+		}
+	}
+}
+
+func TestScoreBatchDefaultWorkersAndErrors(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.ScoreBatch([][2]NodeID{{0, 1}}, 0); err != nil {
+		t.Errorf("default workers: %v", err)
+	}
+	if _, err := pred.ScoreBatch([][2]NodeID{{0, 0}}, 2); err == nil {
+		t.Error("self pair should fail for feature methods")
+	}
+	empty, err := pred.ScoreBatch(nil, 2)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty batch = %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,397 @@
+package ssflp
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §2 for the experiment index):
+//
+//	BenchmarkFigure1Features      — Figure 1 / Table I feature comparison
+//	BenchmarkTable2DatasetGen     — Table II dataset generation + statistics
+//	BenchmarkTable3<Dataset>      — one Table III column per dataset
+//	BenchmarkFigure6Patterns      — Figure 6 pattern mining
+//	BenchmarkFigure7KSweep        — Figure 7 SSFNM-vs-K sweep
+//	BenchmarkAblation*            — design-choice ablations from DESIGN.md §4
+//	Benchmark<micro>              — hot-path microbenches (extraction, WL, NN)
+//
+// Benches default to scaled-down datasets so `go test -bench=.` finishes in
+// minutes; the cmd/ssf-* binaries run the same code at any scale. Absolute
+// AUC values are logged (b.Log) on the first iteration so bench output
+// doubles as a results record.
+
+import (
+	"testing"
+
+	"ssflp/internal/core"
+	"ssflp/internal/datagen"
+	"ssflp/internal/eval"
+	"ssflp/internal/experiments"
+	"ssflp/internal/nn"
+	"ssflp/internal/subgraph"
+)
+
+// benchScale shrinks the Table II datasets for benchmarking.
+const benchScale = 8
+
+func benchRunOptions() experiments.RunOptions {
+	return experiments.RunOptions{
+		K:            10,
+		Epochs:       100,
+		MaxPositives: 150,
+		Seed:         1,
+		Workers:      8,
+	}
+}
+
+// BenchmarkFigure1Features regenerates the Figure 1 / Table I comparison.
+func BenchmarkFigure1Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable1(rows))
+		}
+	}
+}
+
+// BenchmarkTable2DatasetGen regenerates all seven datasets and their
+// Table II statistics at paper scale.
+func BenchmarkTable2DatasetGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(experiments.SuiteOptions{
+			ScaleDivisor: 1, Run: experiments.RunOptions{Seed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable2(rows))
+		}
+	}
+}
+
+// benchTable3Dataset runs the full 15-method Table III column for one
+// dataset at bench scale.
+func benchTable3Dataset(b *testing.B, name string) {
+	b.Helper()
+	opts := experiments.SuiteOptions{
+		ScaleDivisor: benchScale,
+		Run:          benchRunOptions(),
+		Datasets:     []string{name},
+	}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Table3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable3(cells))
+		}
+	}
+}
+
+func BenchmarkTable3EuEmail(b *testing.B)  { benchTable3Dataset(b, datagen.EuEmail) }
+func BenchmarkTable3Contact(b *testing.B)  { benchTable3Dataset(b, datagen.Contact) }
+func BenchmarkTable3Facebook(b *testing.B) { benchTable3Dataset(b, datagen.Facebook) }
+func BenchmarkTable3Coauthor(b *testing.B) { benchTable3Dataset(b, datagen.Coauthor) }
+func BenchmarkTable3Prosper(b *testing.B)  { benchTable3Dataset(b, datagen.Prosper) }
+func BenchmarkTable3Slashdot(b *testing.B) { benchTable3Dataset(b, datagen.Slashdot) }
+func BenchmarkTable3Digg(b *testing.B)     { benchTable3Dataset(b, datagen.Digg) }
+
+// BenchmarkFigure6Patterns mines the most frequent K-structure subgraph
+// patterns on the two Figure 6 datasets.
+func BenchmarkFigure6Patterns(b *testing.B) {
+	graphs := make(map[string]*Graph, 2)
+	for _, name := range []string{datagen.Facebook, datagen.Coauthor} {
+		g, err := GenerateDataset(name, benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs[name] = g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for name, g := range graphs {
+			patterns, err := experiments.MinePatterns(g, experiments.PatternOptions{
+				K: 10, SampleLinks: 500, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("%s most frequent pattern:\n%s", name, experiments.FormatPattern(patterns[0]))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7KSweep sweeps SSFNM over K = 5, 10, 15, 20 on one dataset
+// per model family.
+func BenchmarkFigure7KSweep(b *testing.B) {
+	opts := experiments.SuiteOptions{
+		ScaleDivisor: benchScale,
+		Run:          benchRunOptions(),
+		Datasets:     []string{datagen.EuEmail, datagen.Coauthor, datagen.Slashdot},
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure7(opts, []int{5, 10, 15, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFigure7(points))
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// ablationGraph is the shared workload for the design-choice ablations.
+func ablationGraph(b *testing.B) *Graph {
+	b.Helper()
+	g, err := GenerateDataset(datagen.Slashdot, benchScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAblationEntryModes compares the three adjacency-entry modes of
+// internal/core on the same SSFLR task.
+func BenchmarkAblationEntryModes(b *testing.B) {
+	g := ablationGraph(b)
+	for _, mode := range []core.EntryMode{core.EntryInfluence, core.EntryInverseDistance, core.EntryCount} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := evaluateSSFLRWithOptions(g, core.Options{K: 10, Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("mode %s: AUC=%.3f F1=%.3f", mode, m.AUC, m.F1)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTheta sweeps the influence decay factor θ.
+func BenchmarkAblationTheta(b *testing.B) {
+	g := ablationGraph(b)
+	for _, theta := range []float64{0.1, 0.5, 0.9} {
+		b.Run(formatTheta(theta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := evaluateSSFLRWithOptions(g, core.Options{
+					K: 10, Theta: theta, Mode: core.EntryInfluence,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("theta %.1f: AUC=%.3f F1=%.3f", theta, m.AUC, m.F1)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTiePreference compares the default PreferConnected
+// Palette-WL tie preference against the paper-literal PreferSparse.
+func BenchmarkAblationTiePreference(b *testing.B) {
+	g := ablationGraph(b)
+	cases := map[string]subgraph.TiePreference{
+		"prefer-connected": subgraph.PreferConnected,
+		"prefer-sparse":    subgraph.PreferSparse,
+	}
+	for name, tie := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := evaluateSSFLRWithOptions(g, core.Options{K: 10, Tie: tie})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s: AUC=%.3f F1=%.3f", name, m.AUC, m.F1)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHardNegatives compares uniform fake-link sampling (the
+// paper's protocol) against the hard-negative extension (fake links within 3
+// hops) on the same SSFLR task.
+func BenchmarkAblationHardNegatives(b *testing.B) {
+	g := ablationGraph(b)
+	opts := benchRunOptions()
+	splitOpts := eval.SplitOptions{Seed: opts.Seed, MaxPositives: opts.MaxPositives}
+	cases := map[string]func() (*eval.Dataset, error){
+		"uniform": func() (*eval.Dataset, error) { return eval.BuildDataset(g, splitOpts) },
+		"hard-3hop": func() (*eval.Dataset, error) {
+			return eval.BuildDatasetHardNegatives(g, splitOpts, 3)
+		},
+	}
+	for name, build := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds, err := build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				run, err := experiments.NewRunWithDataset("hardneg", g, ds, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ex, err := core.NewExtractor(run.History, run.Present, core.Options{K: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := experiments.EvaluateCustomFeature(run, name, ex.Extract)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s negatives: AUC=%.3f F1=%.3f", name, res.AUC, res.F1)
+				}
+			}
+		})
+	}
+}
+
+// formatTheta renders a θ value as a bench sub-name.
+func formatTheta(t float64) string {
+	switch t {
+	case 0.1:
+		return "theta=0.1"
+	case 0.5:
+		return "theta=0.5"
+	default:
+		return "theta=0.9"
+	}
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+// BenchmarkSSFExtract measures one SSF feature extraction on a mid-size
+// history graph.
+func BenchmarkSSFExtract(b *testing.B) {
+	g := ablationGraph(b)
+	ex, err := NewSSFExtractor(g, g.MaxTimestamp()+1, SSFOptions{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID(i % g.NumNodes())
+		v := NodeID((i*7 + 1) % g.NumNodes())
+		if u == v {
+			v = (v + 1) % NodeID(g.NumNodes())
+		}
+		if _, err := ex.Extract(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWLFExtract measures the WLF baseline extraction for comparison.
+func BenchmarkWLFExtract(b *testing.B) {
+	g := ablationGraph(b)
+	ex, err := NewWLFExtractor(g, WLFOptions{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID(i % g.NumNodes())
+		v := NodeID((i*7 + 1) % g.NumNodes())
+		if u == v {
+			v = (v + 1) % NodeID(g.NumNodes())
+		}
+		if _, err := ex.Extract(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStructureCombine measures Algorithm 1 on a 2-hop subgraph.
+func BenchmarkStructureCombine(b *testing.B) {
+	g := ablationGraph(b)
+	sg, err := subgraph.Extract(g, subgraph.TargetLink{A: 0, B: 1}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subgraph.Combine(sg)
+	}
+}
+
+// BenchmarkPaletteWL measures Algorithm 2 on a combined structure graph.
+func BenchmarkPaletteWL(b *testing.B) {
+	g := ablationGraph(b)
+	sg, err := subgraph.Extract(g, subgraph.TargetLink{A: 0, B: 1}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := subgraph.Combine(sg)
+	nbrs := st.NeighborSets()
+	dists := make([]int32, len(st.Nodes))
+	for i, n := range st.Nodes {
+		dists[i] = n.Dist
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subgraph.PaletteWL(nbrs, dists); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNeuralMachineTrain measures one full 32-32-16 training run at the
+// paper's batch size on SSF-sized features.
+func BenchmarkNeuralMachineTrain(b *testing.B) {
+	const samples = 128
+	dim := FeatureLen(10)
+	x := make([][]float64, samples)
+	y := make([]int, samples)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = float64((i*31+j*17)%13) / 13
+		}
+		y[i] = i % 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := nn.New(nn.Config{Epochs: 20, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Train(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// evaluateSSFLRWithOptions evaluates SSF + linear regression with explicit
+// core options (used by the ablation benches; the public EvaluateMethod
+// fixes the entry mode per method).
+func evaluateSSFLRWithOptions(g *Graph, coreOpts core.Options) (Metrics, error) {
+	run, err := experiments.NewRun("ablation", g, benchRunOptions())
+	if err != nil {
+		return Metrics{}, err
+	}
+	ex, err := core.NewExtractor(run.History, run.Present, coreOpts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	res, err := experiments.EvaluateCustomFeature(run, "SSFLR-ablation", ex.Extract)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{AUC: res.AUC, F1: res.F1}, nil
+}

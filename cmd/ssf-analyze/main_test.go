@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssflp"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	var out strings.Builder
+	for {
+		n, _ := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		out.Write(buf[:n])
+	}
+	return out.String(), runErr
+}
+
+func TestRunAnalyze(t *testing.T) {
+	g, err := ssflp.GenerateDataset("Digg", 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-file", path, "-degrees", "-timeline"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nodes:", "transitivity:", "degree histogram", "links per timestamp", "components:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAnalyzeErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -file should fail")
+	}
+	if err := run([]string{"-file", "/does/not/exist"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	var out strings.Builder
+	for {
+		n, _ := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		out.Write(buf[:n])
+	}
+	return out.String(), runErr
+}
+
+func TestRunDatasets(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-out", dir, "-scale", "40", "-datasets", "Digg", "-histogram"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Digg") || !strings.Contains(out, "t=") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+	res, err := graph.LoadEdgeListFile(filepath.Join(dir, "digg.txt"))
+	if err != nil {
+		t.Fatalf("written file unreadable: %v", err)
+	}
+	if res.Graph.NumEdges() == 0 {
+		t.Error("written graph is empty")
+	}
+}
+
+func TestRunDatasetsErrors(t *testing.T) {
+	if err := run([]string{"-datasets", "nope", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("Co author X"); got != "co-author-x" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Command ssf-experiments regenerates the paper's Tables I, II and III.
+//
+//	ssf-experiments -table 1                 # Figure 1 / Table I feature comparison
+//	ssf-experiments -table 2                 # dataset statistics (paper scale)
+//	ssf-experiments -table 3 -scale 8 ...    # AUC/F1 of 15 methods x 7 datasets
+//
+// Table III at -scale 1 with -epochs 2000 matches the paper's protocol but
+// takes hours; the defaults trade scale for minutes while preserving the
+// comparison's shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ssflp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssf-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ssf-experiments", flag.ContinueOnError)
+	var (
+		table    = fs.Int("table", 3, "which table to regenerate: 1, 2, 3 or 4 (4 = ranking-metrics extension)")
+		scale    = fs.Int("scale", 8, "dataset scale divisor (1 = paper scale)")
+		k        = fs.Int("k", 10, "structure subgraph size K")
+		epochs   = fs.Int("epochs", 200, "neural machine epochs (paper: 2000)")
+		maxPos   = fs.Int("maxpos", 300, "cap on positive links per dataset (0 = all)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "feature extraction workers (0 = NumCPU)")
+		datasets = fs.String("datasets", "", "comma-separated dataset subset (default all)")
+		methods  = fs.String("methods", "", "comma-separated method subset (default all 15)")
+		csvPath  = fs.String("csv", "", "also write Table III cells as CSV to this path")
+		repeats  = fs.Int("repeats", 1, "repeat Table III with shifted split seeds and report mean±std")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.SuiteOptions{
+		ScaleDivisor: *scale,
+		Run: experiments.RunOptions{
+			K:            *k,
+			Epochs:       *epochs,
+			MaxPositives: *maxPos,
+			Seed:         *seed,
+			Workers:      *workers,
+		},
+	}
+	if *datasets != "" {
+		opts.Datasets = splitList(*datasets)
+	}
+	if *methods != "" {
+		opts.Methods = splitList(*methods)
+	}
+	switch *table {
+	case 1:
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table I / Figure 1: feature comparison on the celebrity example")
+		fmt.Print(experiments.FormatTable1(rows))
+	case 2:
+		rows, err := experiments.Table2(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table II: dataset statistics (scale divisor %d)\n", *scale)
+		fmt.Print(experiments.FormatTable2(rows))
+	case 3:
+		start := time.Now()
+		if *repeats > 1 {
+			cells, err := experiments.Table3Repeated(opts, *repeats)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Table III (mean±std over %d runs, scale %d, K=%d, epochs=%d, %s)\n",
+				*repeats, *scale, *k, *epochs, time.Since(start).Round(time.Second))
+			fmt.Print(experiments.FormatTable3Repeated(cells))
+			fmt.Println("\nMethods ranked by macro-average AUC:")
+			for i, m := range experiments.RankMethodsByMeanAUC(cells) {
+				fmt.Printf("  %2d. %s\n", i+1, m)
+			}
+			return nil
+		}
+		cells, err := experiments.Table3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table III: link prediction results (scale %d, K=%d, epochs=%d, %s)\n",
+			*scale, *k, *epochs, time.Since(start).Round(time.Second))
+		fmt.Print(experiments.FormatTable3(cells))
+		fmt.Println("\nBest method per dataset (by AUC):")
+		for d, m := range experiments.BestMethodsPerDataset(cells) {
+			fmt.Printf("  %-10s %s\n", d, m)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return fmt.Errorf("create csv: %w", err)
+			}
+			defer f.Close()
+			if err := experiments.WriteTable3CSV(f, cells); err != nil {
+				return err
+			}
+			fmt.Printf("\nwrote %s\n", *csvPath)
+		}
+	case 4:
+		cells, err := experiments.RankingTable(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Ranking metrics extension (scale %d, K=%d)\n", *scale, *k)
+		fmt.Print(experiments.FormatRankingTable(cells))
+	default:
+		return fmt.Errorf("unknown table %d (want 1, 2, 3 or 4)", *table)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	var out strings.Builder
+	for n > 0 {
+		out.Write(buf[:n])
+		n, _ = r.Read(buf)
+	}
+	return out.String(), runErr
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-table", "1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CN", "SSF", "separates?"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-table", "2", "-scale", "40", "-datasets", "Digg"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Digg") {
+		t.Errorf("output missing dataset:\n%s", out)
+	}
+}
+
+func TestRunTable3WithCSV(t *testing.T) {
+	csv := t.TempDir() + "/out.csv"
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-table", "3", "-scale", "40", "-datasets", "Slashdot",
+			"-methods", "CN,SSFLR", "-epochs", "10", "-maxpos", "20", "-csv", csv})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SSFLR") {
+		t.Errorf("output missing method:\n%s", out)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(string(data), "dataset,method,auc,f1") {
+		t.Errorf("csv header missing:\n%s", data)
+	}
+}
+
+func TestRunTable3Repeated(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-table", "3", "-scale", "40", "-datasets", "Slashdot",
+			"-methods", "CN", "-repeats", "2", "-maxpos", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "±") || !strings.Contains(out, "macro-average") {
+		t.Errorf("repeated output malformed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-table", "9"}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := run([]string{"-table", "3", "-datasets", "nope"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+}
+
+func TestRunTable4Ranking(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-table", "4", "-scale", "40", "-datasets", "Slashdot",
+			"-methods", "CN,SSFLR", "-epochs", "10", "-maxpos", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ranking metrics", "P@10", "NDCG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

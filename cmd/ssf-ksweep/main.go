@@ -1,0 +1,105 @@
+// Command ssf-ksweep regenerates Figure 7: AUC and F1 of SSFNM as the
+// structure-subgraph size K sweeps over {5, 10, 15, 20} on each dataset.
+//
+//	ssf-ksweep -scale 8 -epochs 200 -ks 5,10,15,20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssflp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssf-ksweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ssf-ksweep", flag.ContinueOnError)
+	var (
+		scale    = fs.Int("scale", 8, "dataset scale divisor (1 = paper scale)")
+		epochs   = fs.Int("epochs", 200, "neural machine epochs (paper: 2000)")
+		maxPos   = fs.Int("maxpos", 300, "cap on positive links per dataset (0 = all)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "feature extraction workers (0 = NumCPU)")
+		ksFlag   = fs.String("ks", "5,10,15,20", "comma-separated K values")
+		sweep    = fs.String("sweep", "k", "sweep variable: k (Figure 7) or theta (decay ablation)")
+		thetas   = fs.String("thetas", "0.1,0.3,0.5,0.7,0.9", "comma-separated theta values for -sweep theta")
+		datasets = fs.String("datasets", "", "comma-separated dataset subset (default all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ks []int
+	for _, tok := range strings.Split(*ksFlag, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		k, err := strconv.Atoi(tok)
+		if err != nil {
+			return fmt.Errorf("bad K value %q: %w", tok, err)
+		}
+		ks = append(ks, k)
+	}
+	opts := experiments.SuiteOptions{
+		ScaleDivisor: *scale,
+		Run: experiments.RunOptions{
+			Epochs:       *epochs,
+			MaxPositives: *maxPos,
+			Seed:         *seed,
+			Workers:      *workers,
+		},
+	}
+	if *datasets != "" {
+		var names []string
+		for _, d := range strings.Split(*datasets, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				names = append(names, d)
+			}
+		}
+		opts.Datasets = names
+	}
+	start := time.Now()
+	switch *sweep {
+	case "k":
+		points, err := experiments.Figure7(opts, ks)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 7: SSFNM vs K (scale %d, epochs %d, %s)\n",
+			*scale, *epochs, time.Since(start).Round(time.Second))
+		fmt.Print(experiments.FormatFigure7(points))
+	case "theta":
+		var ts []float64
+		for _, tok := range strings.Split(*thetas, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return fmt.Errorf("bad theta %q: %w", tok, err)
+			}
+			ts = append(ts, v)
+		}
+		points, err := experiments.ThetaSweep(opts, ts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Decay-factor sweep: SSFLR with influence entries (scale %d, %s)\n",
+			*scale, time.Since(start).Round(time.Second))
+		fmt.Print(experiments.FormatThetaSweep(points))
+	default:
+		return fmt.Errorf("unknown sweep %q (want k or theta)", *sweep)
+	}
+	return nil
+}

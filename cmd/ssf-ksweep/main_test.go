@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	var out strings.Builder
+	for {
+		n, _ := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		out.Write(buf[:n])
+	}
+	return out.String(), runErr
+}
+
+func TestRunKSweep(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "40", "-epochs", "10", "-maxpos", "20",
+			"-ks", "4,6", "-datasets", "Slashdot"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 7", "K=4", "K=6", "Slashdot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunKSweepErrors(t *testing.T) {
+	if err := run([]string{"-ks", "abc"}); err == nil {
+		t.Error("bad K list should fail")
+	}
+	if err := run([]string{"-datasets", "nope"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunThetaSweep(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "40", "-maxpos", "15", "-sweep", "theta",
+			"-thetas", "0.2,0.6", "-datasets", "Slashdot"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Decay-factor sweep", "theta=0.2", "theta=0.6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	if err := run([]string{"-sweep", "bogus"}); err == nil {
+		t.Error("unknown sweep should fail")
+	}
+	if err := run([]string{"-sweep", "theta", "-thetas", "abc"}); err == nil {
+		t.Error("bad theta list should fail")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	var out strings.Builder
+	for {
+		n, _ := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		out.Write(buf[:n])
+	}
+	return out.String(), runErr
+}
+
+func TestRunPatterns(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "40", "-samples", "40", "-k", "6", "-top", "1",
+			"-datasets", "Co-author"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Co-author", "pattern:", "T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPatternsErrors(t *testing.T) {
+	if err := run([]string{"-datasets", "nope"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunPatternsDOT(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-scale", "40", "-samples", "30", "-k", "6", "-top", "1",
+			"-datasets", "Slashdot", "-dot", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("missing dot confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(dir + "/slashdot.dot")
+	if err != nil {
+		t.Fatalf("dot file: %v", err)
+	}
+	if !strings.Contains(string(data), "graph \"Slashdot\"") {
+		t.Errorf("dot content:\n%s", data)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssflp"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	var out strings.Builder
+	for {
+		n, _ := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		out.Write(buf[:n])
+	}
+	return out.String(), runErr
+}
+
+// writeNetwork generates a small synthetic network file for CLI tests.
+func writeNetwork(t *testing.T) string {
+	t.Helper()
+	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPredictTop(t *testing.T) {
+	path := writeNetwork(t)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-file", path, "-method", "CN", "-top", "3", "-maxpos", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "top 3 candidate links") {
+		t.Errorf("output missing top list:\n%s", out)
+	}
+}
+
+func TestRunPredictPairs(t *testing.T) {
+	path := writeNetwork(t)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-file", path, "-method", "SSFLR", "-epochs", "10",
+			"-maxpos", "20", "-pairs", "0:1,2:3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "score=") {
+		t.Errorf("output missing scores:\n%s", out)
+	}
+}
+
+func TestRunPredictErrors(t *testing.T) {
+	path := writeNetwork(t)
+	cases := [][]string{
+		{},              // missing -file
+		{"-file", path}, // nothing to do
+		{"-file", path, "-method", "nope", "-top", "1"}, // unknown method
+		{"-file", "/does/not/exist", "-method", "CN", "-top", "1"},
+		{"-file", path, "-method", "CN", "-pairs", "badpair"},
+		{"-file", path, "-method", "CN", "-pairs", "0:nosuchnode"},
+	}
+	for i, args := range cases {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("case %d (%v) should fail", i, args)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	var out strings.Builder
+	for {
+		n, _ := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		out.Write(buf[:n])
+	}
+	return out.String(), runErr
+}
+
+func TestRunRolling(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-dataset", "Slashdot", "-scale", "40", "-cuts", "2",
+			"-methods", "CN", "-maxpos", "10", "-epochs", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rolling evaluation", "cut t<=", "means over cuts", "CN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRollingErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+	if err := run([]string{"-dataset", "Slashdot", "-scale", "40", "-methods", "nope"}); err == nil {
+		t.Error("unknown method should fail")
+	}
+}

@@ -1,0 +1,131 @@
+// Command ssf-serve exposes a trained link predictor over HTTP.
+//
+//	ssf-serve -file network.txt -method SSFLR -addr :8080
+//	ssf-serve -file network.txt -model predictor.json -addr :8080
+//
+// Endpoints:
+//
+//	GET /health               -> {"status":"ok", ...}
+//	GET /score?u=<l>&v=<l>    -> score + predicted flag for one pair (labels)
+//	GET /top?n=10             -> the n highest-scoring absent links
+//
+// With -model the predictor is loaded from a snapshot produced by
+// Predictor.Save; otherwise it is trained at startup.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssflp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssf-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ssf-serve", flag.ContinueOnError)
+	var (
+		file   = fs.String("file", "", "edge-list file (required)")
+		method = fs.String("method", "SSFLR", "prediction method (when training at startup)")
+		model  = fs.String("model", "", "predictor snapshot from Predictor.Save (skips training)")
+		addr   = fs.String("addr", ":8080", "listen address")
+		k      = fs.Int("k", 10, "structure subgraph size K")
+		epochs = fs.Int("epochs", 200, "neural machine epochs")
+		seed   = fs.Int64("seed", 1, "random seed")
+		maxPos = fs.Int("maxpos", 500, "cap on training positives (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return errors.New("-file is required")
+	}
+	srv, err := newServer(serverConfig{
+		File: *file, Method: *method, Model: *model,
+		K: *k, Epochs: *epochs, Seed: *seed, MaxPositives: *maxPos,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Graceful shutdown on SIGINT/SIGTERM.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("ssf-serve: %s predictor on %s (%d nodes, %d links)",
+		srv.predictor.Method(), *addr, srv.graph.NumNodes(), srv.graph.NumEdges())
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutdownCtx)
+	}
+}
+
+var methodsByName = map[string]ssflp.Method{
+	"SSFNM": ssflp.SSFNM, "SSFLR": ssflp.SSFLR,
+	"SSFNM-W": ssflp.SSFNMW, "SSFLR-W": ssflp.SSFLRW,
+	"WLNM": ssflp.WLNM, "WLLR": ssflp.WLLR,
+	"CN": ssflp.CN, "Jac.": ssflp.Jaccard, "PA": ssflp.PA, "AA": ssflp.AA,
+	"RA": ssflp.RA, "rWRA": ssflp.RWRA, "Katz": ssflp.Katz, "RW": ssflp.RandomWalk,
+	"NMF": ssflp.NMF,
+}
+
+type serverConfig struct {
+	File, Method, Model string
+	K, Epochs           int
+	Seed                int64
+	MaxPositives        int
+}
+
+// buildServer loads the network and obtains a predictor per the config.
+func newServer(cfg serverConfig) (*server, error) {
+	g, labels, err := ssflp.LoadEdgeListFile(cfg.File)
+	if err != nil {
+		return nil, err
+	}
+	var pred *ssflp.Predictor
+	if cfg.Model != "" {
+		f, err := os.Open(cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("open model: %w", err)
+		}
+		defer f.Close()
+		pred, err = ssflp.LoadPredictor(f, g)
+		if err != nil {
+			return nil, fmt.Errorf("load model: %w", err)
+		}
+	} else {
+		m, ok := methodsByName[cfg.Method]
+		if !ok {
+			return nil, fmt.Errorf("unknown method %q", cfg.Method)
+		}
+		pred, err = ssflp.Train(g, m, ssflp.TrainOptions{
+			K: cfg.K, Epochs: cfg.Epochs, Seed: cfg.Seed, MaxPositives: cfg.MaxPositives,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("train: %w", err)
+		}
+	}
+	return &server{graph: g, labels: labels, predictor: pred, started: time.Now()}, nil
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"ssflp"
+)
+
+// server holds the immutable serving state: the network snapshot, its label
+// dictionary and the trained predictor. All handlers are read-only, so no
+// locking is needed.
+type server struct {
+	graph     *ssflp.Graph
+	labels    []string
+	predictor *ssflp.Predictor
+	started   time.Time
+}
+
+// routes builds the HTTP mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /score", s.handleScore)
+	mux.HandleFunc("GET /top", s.handleTop)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	return mux
+}
+
+// writeJSON writes v with the proper content type and status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON reports a failure as {"error": ...}.
+func errorJSON(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	stats := s.graph.Statistics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"method":        s.predictor.Method().String(),
+		"threshold":     s.predictor.Threshold(),
+		"nodes":         stats.NumNodes,
+		"links":         stats.NumEdges,
+		"uptimeSeconds": int(time.Since(s.started).Seconds()),
+	})
+}
+
+// lookup resolves a node label (or numeric id) to its NodeID.
+func (s *server) lookup(tok string) (ssflp.NodeID, bool) {
+	for i, l := range s.labels {
+		if l == tok {
+			return ssflp.NodeID(i), true
+		}
+	}
+	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < s.graph.NumNodes() {
+		return ssflp.NodeID(id), true
+	}
+	return 0, false
+}
+
+func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
+	uTok, vTok := r.URL.Query().Get("u"), r.URL.Query().Get("v")
+	if uTok == "" || vTok == "" {
+		errorJSON(w, http.StatusBadRequest, "u and v query parameters are required")
+		return
+	}
+	u, ok := s.lookup(uTok)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "unknown node "+uTok)
+		return
+	}
+	v, ok := s.lookup(vTok)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "unknown node "+vTok)
+		return
+	}
+	score, err := s.predictor.Score(u, v)
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	predicted, err := s.predictor.Predict(u, v)
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": uTok, "v": vTok, "score": score, "predicted": predicted,
+	})
+}
+
+// topLimit bounds the candidate scan for /top so a request cannot pin the
+// CPU on paper-scale networks.
+const topCandidateLimit = 20000
+
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > 1000 {
+			errorJSON(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
+			return
+		}
+		n = parsed
+	}
+	type cand struct {
+		U     string  `json:"u"`
+		V     string  `json:"v"`
+		Score float64 `json:"score"`
+	}
+	view := s.graph.Static()
+	nodes := s.graph.NumNodes()
+	total := nodes * (nodes - 1) / 2
+	stride := 1
+	if total > topCandidateLimit {
+		stride = total/topCandidateLimit + 1
+	}
+	var pairs [][2]ssflp.NodeID
+	idx := 0
+	for u := 0; u < nodes; u++ {
+		for v := u + 1; v < nodes; v++ {
+			idx++
+			if idx%stride != 0 {
+				continue
+			}
+			if view.HasEdge(ssflp.NodeID(u), ssflp.NodeID(v)) {
+				continue
+			}
+			pairs = append(pairs, [2]ssflp.NodeID{ssflp.NodeID(u), ssflp.NodeID(v)})
+		}
+	}
+	scored, err := s.predictor.ScoreBatch(pairs, 0)
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	cands := make([]cand, len(scored))
+	for i, sp := range scored {
+		cands[i] = cand{U: s.labelOf(int(sp.U)), V: s.labelOf(int(sp.V)), Score: sp.Score}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"candidates": cands,
+		"sampled":    stride > 1,
+	})
+}
+
+// batchRequestLimit bounds one POST /batch payload.
+const batchRequestLimit = 5000
+
+// handleBatch scores a JSON array of pairs: [{"u":"a","v":"b"}, ...].
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req []struct {
+		U string `json:"u"`
+		V string `json:"v"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req) == 0 || len(req) > batchRequestLimit {
+		errorJSON(w, http.StatusBadRequest,
+			fmt.Sprintf("batch size must be in [1, %d]", batchRequestLimit))
+		return
+	}
+	pairs := make([][2]ssflp.NodeID, len(req))
+	for i, p := range req {
+		u, ok := s.lookup(p.U)
+		if !ok {
+			errorJSON(w, http.StatusNotFound, "unknown node "+p.U)
+			return
+		}
+		v, ok := s.lookup(p.V)
+		if !ok {
+			errorJSON(w, http.StatusNotFound, "unknown node "+p.V)
+			return
+		}
+		pairs[i] = [2]ssflp.NodeID{u, v}
+	}
+	scored, err := s.predictor.ScoreBatch(pairs, 0)
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	type result struct {
+		U     string  `json:"u"`
+		V     string  `json:"v"`
+		Score float64 `json:"score"`
+	}
+	out := make([]result, len(scored))
+	for i, sp := range scored {
+		out[i] = result{U: req[i].U, V: req[i].V, Score: sp.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+func (s *server) labelOf(id int) string {
+	if id < len(s.labels) {
+		return s.labels[id]
+	}
+	return strconv.Itoa(id)
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssflp"
+)
+
+// testServer trains a CN predictor on a small synthetic network.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(serverConfig{File: path, Method: "CN", MaxPositives: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func getJSON(t *testing.T, h http.Handler, url string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("non-JSON response %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	code, body := getJSON(t, h, "/health")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["status"] != "ok" || body["method"] != "CN" {
+		t.Errorf("body = %v", body)
+	}
+	if body["nodes"].(float64) <= 0 {
+		t.Error("nodes missing")
+	}
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	code, body := getJSON(t, h, "/score?u=0&v=1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, body)
+	}
+	if _, ok := body["score"].(float64); !ok {
+		t.Errorf("score missing: %v", body)
+	}
+	if _, ok := body["predicted"].(bool); !ok {
+		t.Errorf("predicted missing: %v", body)
+	}
+}
+
+func TestScoreEndpointErrors(t *testing.T) {
+	h := testServer(t).routes()
+	if code, _ := getJSON(t, h, "/score?u=0"); code != http.StatusBadRequest {
+		t.Errorf("missing v status = %d", code)
+	}
+	if code, _ := getJSON(t, h, "/score?u=0&v=notanode"); code != http.StatusNotFound {
+		t.Errorf("unknown node status = %d", code)
+	}
+}
+
+func TestTopEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	code, body := getJSON(t, h, "/top?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, body)
+	}
+	cands, ok := body["candidates"].([]any)
+	if !ok || len(cands) == 0 || len(cands) > 5 {
+		t.Errorf("candidates = %v", body["candidates"])
+	}
+	first := cands[0].(map[string]any)
+	if _, ok := first["score"].(float64); !ok {
+		t.Errorf("candidate malformed: %v", first)
+	}
+	if code, _ := getJSON(t, h, "/top?n=0"); code != http.StatusBadRequest {
+		t.Errorf("n=0 status = %d", code)
+	}
+	if code, _ := getJSON(t, h, "/top?n=9999"); code != http.StatusBadRequest {
+		t.Errorf("n too large status = %d", code)
+	}
+}
+
+func TestNewServerFromSnapshot(t *testing.T) {
+	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.txt")
+	f, err := os.Create(netPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	pred, err := ssflp.Train(g, ssflp.SSFLR, ssflp.TrainOptions{K: 6, MaxPositives: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	srv, err := newServer(serverConfig{File: netPath, Model: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := getJSON(t, srv.routes(), "/health")
+	if code != http.StatusOK || body["method"] != "SSFLR" {
+		t.Errorf("snapshot server health = %d %v", code, body)
+	}
+}
+
+func TestNewServerErrors(t *testing.T) {
+	if _, err := newServer(serverConfig{File: "/does/not/exist", Method: "CN"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := newServer(serverConfig{File: path, Method: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("unknown method error = %v", err)
+	}
+	if _, err := newServer(serverConfig{File: path, Model: "/missing/model.json"}); err == nil {
+		t.Error("missing model should fail")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("missing -file should fail")
+	}
+}
+
+func postJSON(t *testing.T, h http.Handler, url, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("non-JSON response %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, out
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	code, body := postJSON(t, h, "/batch", `[{"u":"0","v":"1"},{"u":"2","v":"3"}]`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, body)
+	}
+	results, ok := body["results"].([]any)
+	if !ok || len(results) != 2 {
+		t.Fatalf("results = %v", body["results"])
+	}
+	first := results[0].(map[string]any)
+	if first["u"] != "0" {
+		t.Errorf("result order not preserved: %v", first)
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	h := testServer(t).routes()
+	if code, _ := postJSON(t, h, "/batch", `{bad json`); code != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", code)
+	}
+	if code, _ := postJSON(t, h, "/batch", `[]`); code != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d", code)
+	}
+	if code, _ := postJSON(t, h, "/batch", `[{"u":"0","v":"zzz"}]`); code != http.StatusNotFound {
+		t.Errorf("unknown node status = %d", code)
+	}
+}

@@ -1,0 +1,70 @@
+package ssflp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDatasetNames(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 7 {
+		t.Fatalf("names = %v", names)
+	}
+	want := map[string]bool{"Eu-Email": true, "Contact": true, "Facebook": true,
+		"Co-author": true, "Prosper": true, "Slashdot": true, "Digg": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected dataset %q", n)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	g, err := GenerateDataset("Co-author", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 744/8 || g.NumEdges() != 7034/8 {
+		t.Errorf("scaled stats = %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	full, err := GenerateDataset("Co-author", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumNodes() != 744 || full.NumEdges() != 7034 {
+		t.Errorf("paper-scale stats = %d nodes, %d edges, want 744/7034",
+			full.NumNodes(), full.NumEdges())
+	}
+	if _, err := GenerateDataset("nope", 1, 2); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestHeuristicScoreFacade(t *testing.T) {
+	g := NewGraph(0)
+	for _, e := range [][2]NodeID{{0, 2}, {1, 2}, {0, 3}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := HeuristicScore(g, CN, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("CN(0,1) = %v, want 2", got)
+	}
+	if _, err := HeuristicScore(g, SSFNM, 0, 1); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("non-heuristic method error = %v", err)
+	}
+	scorer, err := HeuristicScorer(g, Jaccard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := scorer(0, 1); s != 1 {
+		t.Errorf("Jaccard(0,1) = %v, want 1", s)
+	}
+	if _, err := HeuristicScorer(g, NMF); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("non-heuristic scorer error = %v", err)
+	}
+}

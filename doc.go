@@ -1,0 +1,27 @@
+// Package ssflp is a from-scratch Go implementation of "A Universal Method
+// Based on Structure Subgraph Feature for Link Prediction over Dynamic
+// Networks" (Li, Liang, Zhang, Liu, Wu — ICDCS 2019).
+//
+// A dynamic network is an undirected multigraph whose links carry integer
+// timestamps. The library predicts which node pairs will link at the next
+// timestamp. Its core is the Structure Subgraph Feature (SSF): the
+// neighborhood of a candidate link is collapsed into "structure nodes"
+// (groups of nodes with identical neighbor sets), canonically ordered with
+// the Palette-WL algorithm, weighted by exponentially decayed link influence
+// and unfolded into a fixed-length vector that feeds a linear-regression or
+// neural-network classifier.
+//
+// # Quick start
+//
+//	g := ssflp.NewGraph(0)
+//	g.AddEdge(0, 1, 1) // u, v, timestamp
+//	...
+//	pred, err := ssflp.Train(g, ssflp.SSFNM, ssflp.TrainOptions{})
+//	score, err := pred.Score(2, 7) // probability-like closeness of a future link
+//
+// Fifteen methods are available: the SSF family (SSFNM, SSFLR and their
+// static -W ablations), the WLF baselines (WLNM, WLLR), eight classical
+// heuristics (CN, Jaccard, PA, AA, RA, rWRA, Katz, RW) and NMF. See
+// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction of
+// the paper's tables and figures.
+package ssflp

@@ -1,0 +1,118 @@
+// Celebrity: the paper's Figure 1 motivating example, built through the
+// public API. Celebrities A and B both interact with celebrity C; common
+// users X and Y are merely two of C's many fans. Which future link is more
+// likely — A-B or X-Y? Classical features that only count common neighbors
+// cannot tell the two apart; SSF can.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssflp"
+)
+
+// Node roles in the Figure 1 network.
+const (
+	a ssflp.NodeID = iota // celebrity A
+	b                     // celebrity B
+	c                     // celebrity C
+	x                     // common user X (fan of C)
+	y                     // common user Y (fan of C)
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildNetwork() (*ssflp.Graph, error) {
+	g := ssflp.NewGraph(16)
+	edges := []struct {
+		u, v ssflp.NodeID
+	}{
+		{a, c}, {b, c}, // celebrities interact with each other
+		{a, 5}, {a, 6}, {a, 7}, // A's fans
+		{b, 8}, {b, 9}, {b, 10}, // B's fans
+		{c, x}, {c, y}, {c, 11}, {c, 12}, {c, 13}, // C's fans incl. X, Y
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, 1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func run() error {
+	g, err := buildNetwork()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 1 celebrity network:", g)
+	fmt.Println()
+	fmt.Printf("%-12s %10s %10s %12s\n", "feature", "A-B", "X-Y", "separates?")
+
+	heuristics := []ssflp.Method{
+		ssflp.CN, ssflp.Jaccard, ssflp.PA, ssflp.AA, ssflp.RA, ssflp.RWRA,
+	}
+	for _, m := range heuristics {
+		sab, err := ssflp.HeuristicScore(g, m, a, b)
+		if err != nil {
+			return err
+		}
+		sxy, err := ssflp.HeuristicScore(g, m, x, y)
+		if err != nil {
+			return err
+		}
+		sep := "no"
+		if sab != sxy {
+			sep = "yes"
+		}
+		fmt.Printf("%-12s %10.4f %10.4f %12s\n", m, sab, sxy, sep)
+	}
+
+	// SSF (K = 6, as in the paper's illustration): the two links produce
+	// different feature vectors because the structure subgraph captures the
+	// roles of A, B and C, not just the shared neighbor count.
+	ex, err := ssflp.NewSSFExtractor(g, 2, ssflp.SSFOptions{K: 6, Mode: ssflp.EntryCount})
+	if err != nil {
+		return err
+	}
+	vab, err := ex.Extract(a, b)
+	if err != nil {
+		return err
+	}
+	vxy, err := ex.Extract(x, y)
+	if err != nil {
+		return err
+	}
+	diff := 0
+	for i := range vab {
+		if vab[i] != vxy[i] {
+			diff++
+		}
+	}
+	fmt.Printf("%-12s %10s %10s %12s\n", "SSF (K=6)", vec(vab), vec(vxy), sepFor(diff))
+	fmt.Printf("\nSSF vectors differ in %d of %d entries: the structure subgraph\n",
+		diff, len(vab))
+	fmt.Println("captures that A-B connects two hubs through celebrity C, while X-Y")
+	fmt.Println("merely connects two ordinary fans.")
+	return nil
+}
+
+func vec(v []float64) string {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return fmt.Sprintf("|v|=%.0f", sum)
+}
+
+func sepFor(diff int) string {
+	if diff > 0 {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,57 @@
+// Coauthor: a full evaluation pipeline on the synthetic Co-author network —
+// the paper's DBLP-style dataset where links form inside small research
+// groups. Compares the SSF family against classical heuristics with the
+// paper's protocol (70/30 split at the last timestamp, balanced negatives)
+// and reports AUC and F1 per method.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ssflp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Scale divisor 4 keeps this example under a minute; use 1 for the
+	// paper-scale network (744 authors, 7034 co-authorships over 20 years).
+	g, err := ssflp.GenerateDataset("Co-author", 4, 7)
+	if err != nil {
+		return err
+	}
+	stats := g.Statistics()
+	fmt.Printf("Co-author network: %d authors, %d co-authorships, %d years\n\n",
+		stats.NumNodes, stats.NumEdges, stats.TimeSpan)
+
+	methods := []ssflp.Method{
+		ssflp.CN, ssflp.AA, ssflp.RA, ssflp.RandomWalk,
+		ssflp.WLNM, ssflp.SSFNMW, ssflp.SSFLR, ssflp.SSFNM,
+	}
+	opts := ssflp.TrainOptions{K: 10, Epochs: 200, Seed: 3, MaxPositives: 250}
+
+	fmt.Printf("%-10s %8s %8s %10s\n", "method", "AUC", "F1", "elapsed")
+	var bestMethod ssflp.Method
+	bestAUC := -1.0
+	for _, m := range methods {
+		start := time.Now()
+		res, err := ssflp.EvaluateMethod(g, m, opts)
+		if err != nil {
+			return fmt.Errorf("evaluate %v: %w", m, err)
+		}
+		fmt.Printf("%-10s %8.3f %8.3f %10s\n",
+			m, res.AUC, res.F1, time.Since(start).Round(time.Millisecond))
+		if res.AUC > bestAUC {
+			bestAUC, bestMethod = res.AUC, m
+		}
+	}
+	fmt.Printf("\nbest method by AUC: %v (%.3f)\n", bestMethod, bestAUC)
+	fmt.Println("(the paper's Table III reports SSFNM winning Co-author at 0.933 AUC)")
+	return nil
+}

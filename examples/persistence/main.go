@@ -1,0 +1,89 @@
+// Persistence: train a predictor once, save it to disk, then reload it
+// against a newer snapshot of the network and keep predicting — the
+// deploy-retrain-later workflow a production link-prediction service needs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ssflp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "ssflp-example")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Day 1: train on the network as it exists now.
+	g, err := ssflp.GenerateDataset("Prosper", 8, 3)
+	if err != nil {
+		return err
+	}
+	pred, err := ssflp.Train(g, ssflp.SSFLR, ssflp.TrainOptions{
+		K: 10, Seed: 7, MaxPositives: 200,
+	})
+	if err != nil {
+		return err
+	}
+	modelPath := filepath.Join(dir, "predictor.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		return err
+	}
+	if err := pred.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(modelPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved trained %v predictor to %s (%d bytes)\n",
+		pred.Method(), modelPath, info.Size())
+
+	// Day 2: the network has grown — new links arrived after training.
+	grown := g.Clone()
+	next := grown.MaxTimestamp() + 1
+	for _, e := range [][2]ssflp.NodeID{{0, 9}, {3, 14}, {9, 22}} {
+		if err := grown.AddEdge(e[0], e[1], next); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("network grew from %d to %d links\n", g.NumEdges(), grown.NumEdges())
+
+	// Reload the saved model and rebind it to the grown network: feature
+	// extraction now sees the new links without retraining.
+	f, err = os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	loaded, err := ssflp.LoadPredictor(f, grown)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reloaded %v predictor (threshold %.4f)\n\n", loaded.Method(), loaded.Threshold())
+
+	for _, p := range [][2]ssflp.NodeID{{0, 3}, {9, 14}, {50, 80}} {
+		score, err := loaded.Score(p[0], p[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("candidate %3d - %-3d score %.4f\n", p[0], p[1], score)
+	}
+	return nil
+}

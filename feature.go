@@ -1,0 +1,62 @@
+package ssflp
+
+import (
+	"ssflp/internal/core"
+	"ssflp/internal/wlf"
+)
+
+// EntryMode selects how SSF adjacency entries are computed; see the paper's
+// Section V and the core package for details.
+type EntryMode = core.EntryMode
+
+// Re-exported SSF entry modes.
+const (
+	// EntryInfluence is the normalized influence of Definition 8.
+	EntryInfluence = core.EntryInfluence
+	// EntryInverseDistance is the Section V-B relaxation used in the paper's
+	// experiments (the default).
+	EntryInverseDistance = core.EntryInverseDistance
+	// EntryCount is the static SSF-W variant (plain link counts).
+	EntryCount = core.EntryCount
+)
+
+// SSFOptions configures SSF extraction (K, decay θ, entry mode).
+type SSFOptions = core.Options
+
+// SSFExtractor computes Structure Subgraph Feature vectors against a fixed
+// history graph and present time.
+type SSFExtractor = core.Extractor
+
+// NewSSFExtractor returns an extractor over history graph g whose target
+// links emerge at the present timestamp. Zero option fields take the paper's
+// defaults (K=10, θ=0.5, inverse-distance entries).
+func NewSSFExtractor(g *Graph, present Timestamp, opts SSFOptions) (*SSFExtractor, error) {
+	return core.NewExtractor(g, present, opts)
+}
+
+// FeatureLen returns the SSF/WLF vector length for a given K:
+// K(K−1)/2 − 1.
+func FeatureLen(k int) int { return core.FeatureLen(k) }
+
+// CachingSSFExtractor memoizes SSF vectors per node pair with LRU eviction —
+// useful for serving workloads that query the same pairs repeatedly against
+// an immutable history graph.
+type CachingSSFExtractor = core.CachingExtractor
+
+// NewCachingSSFExtractor wraps an SSF extractor with an LRU cache
+// (capacity 0 selects core.DefaultCacheSize).
+func NewCachingSSFExtractor(inner *SSFExtractor, capacity int) *CachingSSFExtractor {
+	return core.NewCachingExtractor(inner, capacity)
+}
+
+// WLFOptions configures the WLF baseline extractor.
+type WLFOptions = wlf.Options
+
+// WLFExtractor computes Weisfeiler-Lehman enclosing-subgraph features
+// (the WLNM baseline of Zhang & Chen).
+type WLFExtractor = wlf.Extractor
+
+// NewWLFExtractor returns a WLF extractor over history graph g.
+func NewWLFExtractor(g *Graph, opts WLFOptions) (*WLFExtractor, error) {
+	return wlf.NewExtractor(g, opts)
+}

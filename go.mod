@@ -1,0 +1,3 @@
+module ssflp
+
+go 1.24

@@ -1,0 +1,48 @@
+package ssflp
+
+import (
+	"io"
+
+	"ssflp/internal/graph"
+)
+
+// Re-exported graph types: the dynamic multigraph substrate lives in
+// internal/graph; these aliases are the supported public names.
+type (
+	// Graph is a dynamic undirected multigraph with timestamped links.
+	Graph = graph.Graph
+	// NodeID identifies a node (dense integers from 0).
+	NodeID = graph.NodeID
+	// Timestamp is a link's integer emerging time.
+	Timestamp = graph.Timestamp
+	// Edge is one timestamped link.
+	Edge = graph.Edge
+	// GraphStats summarizes a graph like the paper's Table II.
+	GraphStats = graph.Stats
+)
+
+// NewGraph returns an empty dynamic graph with a capacity hint of n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// LoadEdgeList parses a "<src> <dst> [timestamp]" edge list (the format the
+// paper's KONECT/SNAP datasets ship in). Tokens are interned to dense node
+// ids; the returned labels map id -> original token.
+func LoadEdgeList(r io.Reader) (*Graph, []string, error) {
+	res, err := graph.LoadEdgeList(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Graph, res.Labels, nil
+}
+
+// LoadEdgeListFile is LoadEdgeList over a file path.
+func LoadEdgeListFile(path string) (*Graph, []string, error) {
+	res, err := graph.LoadEdgeListFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Graph, res.Labels, nil
+}
+
+// WriteEdgeList writes g in the format accepted by LoadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }

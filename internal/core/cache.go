@@ -1,0 +1,94 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"ssflp/internal/graph"
+)
+
+// CachingExtractor memoizes SSF vectors per (unordered) node pair with an
+// LRU eviction policy. The underlying history graph is immutable for the
+// extractor's lifetime, so cached vectors never go stale; serving workloads
+// (the ssf-serve /top endpoint, repeated ScoreBatch calls) hit the same
+// pairs repeatedly and skip the O(K³ + K|V_h|²) extraction.
+// Safe for concurrent use.
+type CachingExtractor struct {
+	inner *Extractor
+
+	mu       sync.Mutex
+	capacity int
+	entries  map[pairKey]*list.Element
+	order    *list.List // front = most recently used
+	hits     int64
+	misses   int64
+}
+
+type pairKey struct{ u, v graph.NodeID }
+
+type cacheEntry struct {
+	key pairKey
+	vec []float64
+}
+
+// DefaultCacheSize bounds the memoized pair count when no capacity is given.
+const DefaultCacheSize = 4096
+
+// NewCachingExtractor wraps an extractor with an LRU cache of the given
+// capacity (0 selects DefaultCacheSize).
+func NewCachingExtractor(inner *Extractor, capacity int) *CachingExtractor {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &CachingExtractor{
+		inner:    inner,
+		capacity: capacity,
+		entries:  make(map[pairKey]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Extract returns the SSF vector of (a, b), from cache when available. The
+// returned slice is shared across callers and must not be mutated.
+func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
+	key := pairKey{u: min(a, b), v: max(a, b)}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		vec := el.Value.(*cacheEntry).vec
+		c.mu.Unlock()
+		return vec, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Extraction runs outside the lock; concurrent misses on the same pair
+	// compute twice and the second insert wins — harmless, results are
+	// deterministic.
+	vec, err := c.inner.Extract(a, b)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).vec, nil
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, vec: vec})
+	c.entries[key] = el
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	return vec, nil
+}
+
+// Stats reports cache hits, misses and the current entry count.
+func (c *CachingExtractor) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

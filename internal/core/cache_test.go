@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+func cachedFixture(t *testing.T, capacity int) (*Extractor, *CachingExtractor) {
+	t.Helper()
+	g := fig3Graph(t)
+	inner, err := NewExtractor(g, 5, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inner, NewCachingExtractor(inner, capacity)
+}
+
+func TestCachingExtractorMatchesInner(t *testing.T) {
+	inner, cached := cachedFixture(t, 16)
+	want, err := inner.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCachingExtractorHitsAndNormalization(t *testing.T) {
+	_, cached := cachedFixture(t, 16)
+	if _, err := cached.Extract(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed order must hit the same entry.
+	if _, err := cached.Extract(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, size := cached.Stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Errorf("stats = %d hits, %d misses, %d entries; want 1/1/1", hits, misses, size)
+	}
+}
+
+func TestCachingExtractorEvicts(t *testing.T) {
+	_, cached := cachedFixture(t, 2)
+	pairs := [][2]graph.NodeID{{0, 1}, {0, 2}, {0, 3}} // capacity 2 -> first evicted
+	for _, p := range pairs {
+		if _, err := cached.Extract(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, size := cached.Stats()
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	// (0,1) was evicted: extracting again misses.
+	if _, err := cached.Extract(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, misses, _ := cached.Stats()
+	if misses != 4 {
+		t.Errorf("misses = %d, want 4 (three fills + one re-fill)", misses)
+	}
+}
+
+func TestCachingExtractorErrorsPassThrough(t *testing.T) {
+	_, cached := cachedFixture(t, 4)
+	if _, err := cached.Extract(0, 0); err == nil {
+		t.Error("self pair should fail")
+	}
+	_, _, size := cached.Stats()
+	if size != 0 {
+		t.Errorf("errors must not be cached: size = %d", size)
+	}
+}
+
+func TestCachingExtractorConcurrent(t *testing.T) {
+	inner, cached := cachedFixture(t, 32)
+	want, err := inner.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, err := cached.Extract(0, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got[0] != want[0] {
+					t.Error("concurrent result mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

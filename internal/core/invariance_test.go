@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+// relabel builds an isomorphic copy of g under the given node permutation.
+func relabel(g *graph.Graph, perm []graph.NodeID) *graph.Graph {
+	out := graph.New(g.NumNodes())
+	out.EnsureNodes(g.NumNodes())
+	for e := range g.Edges() {
+		// Construction cannot fail: perm maps onto the same node range.
+		_ = out.AddEdge(perm[e.U], perm[e.V], e.Ts)
+	}
+	return out
+}
+
+// TestPropertyFeatureMultisetInvariantUnderRelabeling checks that relabeling
+// the graph's nodes leaves the multiset of SSF entries unchanged when K is
+// large enough to keep every structure node. Ties in the final Palette-WL
+// order are broken by node index, so a relabeling may permute tied slots —
+// which conjugates the adjacency matrix and preserves the entry multiset —
+// but when WL-equivalent yet non-automorphic structure nodes straddle the
+// top-K boundary, *which* of them is kept depends on the labeling and even
+// the multiset can change. That boundary effect is inherent to every
+// WL-ordered truncation (the paper's Algorithm 2 included); with K covering
+// the whole structure subgraph the invariance is exact, which is what this
+// property pins down.
+func TestPropertyFeatureMultisetInvariantUnderRelabeling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 16
+		g := graph.New(n)
+		g.EnsureNodes(n)
+		for i := 0; i < 40; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_ = g.AddEdge(u, v, graph.Timestamp(rng.Intn(20)))
+			}
+		}
+		perm := make([]graph.NodeID, n)
+		for i, p := range rng.Perm(n) {
+			perm[i] = graph.NodeID(p)
+		}
+		h := relabel(g, perm)
+		// K = 20 > n guarantees no structure node is dropped.
+		for _, mode := range []EntryMode{EntryInfluence, EntryCount, EntryInverseDistance} {
+			eg, err := NewExtractor(g, 25, Options{K: 20, Mode: mode})
+			if err != nil {
+				return false
+			}
+			eh, err := NewExtractor(h, 25, Options{K: 20, Mode: mode})
+			if err != nil {
+				return false
+			}
+			vg, err := eg.Extract(0, 1)
+			if err != nil {
+				return false
+			}
+			vh, err := eh.Extract(perm[0], perm[1])
+			if err != nil {
+				return false
+			}
+			sort.Float64s(vg)
+			sort.Float64s(vh)
+			for i := range vg {
+				if !almostEqual(vg[i], vh[i]) {
+					t.Logf("seed %d mode %v: entry %d differs: %v vs %v", seed, mode, i, vg[i], vh[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}
+
+// TestConcurrentExtractionDeterministic exercises the extractor under the
+// same parallelism the experiment harness uses and checks results match the
+// sequential ones exactly.
+func TestConcurrentExtractionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 30
+	g := graph.New(n)
+	g.EnsureNodes(n)
+	for i := 0; i < 120; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			_ = g.AddEdge(u, v, graph.Timestamp(rng.Intn(40)))
+		}
+	}
+	ex, err := NewExtractor(g, 41, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ u, v graph.NodeID }
+	var pairs []pair
+	for u := graph.NodeID(0); u < 12; u++ {
+		pairs = append(pairs, pair{u, u + 9})
+	}
+	sequential := make([][]float64, len(pairs))
+	for i, p := range pairs {
+		v, err := ex.Extract(p.u, p.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[i] = v
+	}
+	concurrent := make([][]float64, len(pairs))
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		wg.Add(1)
+		go func(i int, p pair) {
+			defer wg.Done()
+			v, err := ex.Extract(p.u, p.v)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			concurrent[i] = v
+		}(i, p)
+	}
+	wg.Wait()
+	for i := range pairs {
+		for j := range sequential[i] {
+			if sequential[i][j] != concurrent[i][j] {
+				t.Fatalf("pair %d entry %d: %v (seq) vs %v (conc)",
+					i, j, sequential[i][j], concurrent[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package core implements the paper's primary contribution: the Structure
+// Subgraph Feature (Section V). Given a history graph and a target link it
+// builds the K-structure subgraph (Definition 7), normalizes the influence
+// of every structure link with the exponential decay of Eq. 2/3, assembles
+// the K×K adjacency matrix of the normalized K-structure subgraph (Eq. 4,
+// plus the experimental inverse-distance relaxation of Section V-B and the
+// static-count SSF-W variant) and unfolds its upper triangle into the SSF
+// vector (Eq. 5, Algorithm 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ssflp/internal/graph"
+	"ssflp/internal/subgraph"
+)
+
+// EntryMode selects how the adjacency entries A(m, n) of the normalized
+// K-structure subgraph are computed.
+type EntryMode int
+
+const (
+	// EntryInfluence uses the normalized influence of Definition 8 directly:
+	// A(m, n) = Σ exp(-θ(l_t − l_k)) over the member links.
+	EntryInfluence EntryMode = iota + 1
+
+	// EntryInverseDistance is the experimental relaxation of Section V-B:
+	// A(m, n) = 1 / (1 + min(d(N_x, e_t), d(N_y, e_t))) where d is the
+	// weighted shortest-path distance to the closer endpoint of the target
+	// link, computed with edge lengths 1/l̃ (reciprocal influences). The
+	// paper's formula 1/min(d_x, d_y) is undefined for links incident to
+	// the endpoints (d = 0), so this implementation shifts the denominator
+	// by one — a monotone rescaling documented in DESIGN.md.
+	EntryInverseDistance
+
+	// EntryCount is the SSF-W static variant of Section VI-C-1: A(m, n) is
+	// the plain number of links between the two structure nodes, ignoring
+	// timestamps.
+	EntryCount
+)
+
+// String implements fmt.Stringer.
+func (m EntryMode) String() string {
+	switch m {
+	case EntryInfluence:
+		return "influence"
+	case EntryInverseDistance:
+		return "inverse-distance"
+	case EntryCount:
+		return "count"
+	default:
+		return fmt.Sprintf("EntryMode(%d)", int(m))
+	}
+}
+
+// Default hyper-parameters from the paper's experiments (Section VI).
+const (
+	DefaultK     = 10
+	DefaultTheta = 0.5
+)
+
+var (
+	// ErrBadTheta is returned for decay factors outside (0, 1].
+	ErrBadTheta = errors.New("core: theta must be in (0, 1]")
+
+	// ErrBadMode is returned for an unknown entry mode.
+	ErrBadMode = errors.New("core: unknown entry mode")
+
+	// ErrNilGraph is returned when the extractor is given no history graph.
+	ErrNilGraph = errors.New("core: nil history graph")
+)
+
+// Options configures SSF extraction.
+type Options struct {
+	// K is the number of structure nodes encoded (Definition 7). The
+	// resulting feature has FeatureLen(K) entries. Default 10.
+	K int
+	// Theta is the exponential decay factor θ of Eq. 2. Default 0.5.
+	Theta float64
+	// Mode selects the adjacency entry definition. Default
+	// EntryInverseDistance (what the paper's experiments use).
+	Mode EntryMode
+	// Tie selects the Palette-WL tie preference governing which structure
+	// nodes survive K-selection. Default subgraph.PreferConnected; the
+	// paper-literal subgraph.PreferSparse is available for ablation.
+	Tie subgraph.TiePreference
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = DefaultK
+	}
+	if o.Theta == 0 {
+		o.Theta = DefaultTheta
+	}
+	if o.Mode == 0 {
+		o.Mode = EntryInverseDistance
+	}
+	if o.Tie == 0 {
+		o.Tie = subgraph.PreferConnected
+	}
+	return o
+}
+
+// FeatureLen returns the SSF vector length for a given K: the upper
+// triangle of the K×K adjacency minus the target-link cell A(1, 2),
+// i.e. K(K−1)/2 − 1.
+func FeatureLen(k int) int { return k*(k-1)/2 - 1 }
+
+// Influence computes the normalized influence l̃ of Definition 8 for a set
+// of member-link timestamps observed from present time.
+func Influence(stamps []graph.Timestamp, present graph.Timestamp, theta float64) float64 {
+	var s float64
+	for _, ts := range stamps {
+		s += graph.DecayedWeight(present, ts, theta)
+	}
+	return s
+}
+
+// Extractor computes SSF vectors for target links against a fixed history
+// graph and present time l_t. It is safe for concurrent use once built.
+type Extractor struct {
+	g       *graph.Graph
+	present graph.Timestamp
+	opts    Options
+}
+
+// NewExtractor validates the options and returns an extractor over the
+// history graph g with present time (the timestamp l_t of the links being
+// predicted).
+func NewExtractor(g *graph.Graph, present graph.Timestamp, opts Options) (*Extractor, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	opts = opts.withDefaults()
+	if opts.K < 3 {
+		return nil, fmt.Errorf("%w: got %d", subgraph.ErrBadK, opts.K)
+	}
+	if opts.Theta <= 0 || opts.Theta > 1 {
+		return nil, fmt.Errorf("%w: got %g", ErrBadTheta, opts.Theta)
+	}
+	switch opts.Mode {
+	case EntryInfluence, EntryInverseDistance, EntryCount:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadMode, int(opts.Mode))
+	}
+	switch opts.Tie {
+	case subgraph.PreferConnected, subgraph.PreferSparse:
+	default:
+		return nil, fmt.Errorf("core: unknown tie preference %d", int(opts.Tie))
+	}
+	return &Extractor{g: g, present: present, opts: opts}, nil
+}
+
+// Options returns the effective (default-filled) options.
+func (e *Extractor) Options() Options { return e.opts }
+
+// Extract returns the SSF vector V(e_t) of the target link (a, b)
+// following Algorithm 3.
+func (e *Extractor) Extract(a, b graph.NodeID) ([]float64, error) {
+	adj, _, err := e.Matrix(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return Unfold(adj, e.opts.K), nil
+}
+
+// Matrix returns the K×K adjacency matrix A of the normalized K-structure
+// subgraph (Eq. 4 / Section V-B) along with the underlying K-structure
+// subgraph, mainly for inspection and tests. Row/column i corresponds to the
+// structure node with Palette-WL order i+1; A is symmetric with a zero
+// diagonal and A[0][1] = 0 (the unknown target link).
+func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, *subgraph.KStructure, error) {
+	ks, err := subgraph.BuildKTie(e.g, subgraph.TargetLink{A: a, B: b}, e.opts.K, e.opts.Tie)
+	if err != nil {
+		return nil, nil, err
+	}
+	adj := make([][]float64, e.opts.K)
+	for i := range adj {
+		adj[i] = make([]float64, e.opts.K)
+	}
+	switch e.opts.Mode {
+	case EntryInfluence:
+		for _, l := range ks.Links {
+			v := Influence(l.Stamps, e.present, e.opts.Theta)
+			adj[l.X][l.Y] = v
+			adj[l.Y][l.X] = v
+		}
+	case EntryCount:
+		for _, l := range ks.Links {
+			v := float64(l.Count())
+			adj[l.X][l.Y] = v
+			adj[l.Y][l.X] = v
+		}
+	case EntryInverseDistance:
+		e.fillInverseDistance(adj, ks)
+	}
+	adj[0][1], adj[1][0] = 0, 0
+	return adj, ks, nil
+}
+
+// fillInverseDistance implements the Section V-B relaxation: structure-link
+// entries become 1/(1 + min(d(N_x, e_t), d(N_y, e_t))) with d the weighted
+// shortest-path distance (edge length = reciprocal normalized influence) to
+// the closer target endpoint.
+func (e *Extractor) fillInverseDistance(adj [][]float64, ks *subgraph.KStructure) {
+	n := ks.N
+	if n == 0 {
+		return
+	}
+	// Edge lengths between slots: 1 / l̃, capped to avoid Inf when the
+	// influence underflowed to zero.
+	const maxLen = 1e18
+	nbrs := make([][]wedge, n)
+	for _, l := range ks.Links {
+		infl := Influence(l.Stamps, e.present, e.opts.Theta)
+		length := maxLen
+		if infl > 0 {
+			length = math.Min(1/infl, maxLen)
+		}
+		nbrs[l.X] = append(nbrs[l.X], wedge{to: l.Y, length: length})
+		nbrs[l.Y] = append(nbrs[l.Y], wedge{to: l.X, length: length})
+	}
+	dist := multiSourceDijkstra(nbrs, n)
+	for _, l := range ks.Links {
+		d := math.Min(dist[l.X], dist[l.Y])
+		v := 1 / (1 + d)
+		adj[l.X][l.Y] = v
+		adj[l.Y][l.X] = v
+	}
+}
+
+// wedge is one weighted adjacency entry among K-structure slots.
+type wedge struct {
+	to     int
+	length float64
+}
+
+// multiSourceDijkstra returns the weighted distance from {slot 0, slot 1}
+// (the target endpoints) to every slot. O(n²) — n is at most K.
+func multiSourceDijkstra(nbrs [][]wedge, n int) []float64 {
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	if n > 1 {
+		dist[1] = 0
+	}
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, e := range nbrs[u] {
+			if d := best + e.length; d < dist[e.to] {
+				dist[e.to] = d
+			}
+		}
+	}
+	return dist
+}
+
+// Unfold flattens the upper-right triangle of the K×K adjacency matrix by
+// column, skipping the target cell A(1, 2) — Eq. 5. Matrices narrower than
+// K are implicitly zero padded.
+func Unfold(adj [][]float64, k int) []float64 {
+	out := make([]float64, 0, FeatureLen(k))
+	for n := 2; n < k; n++ { // 0-based column index; columns 3..K in the paper
+		for m := 0; m < n; m++ {
+			out = append(out, at(adj, m, n))
+		}
+	}
+	return out
+}
+
+func at(adj [][]float64, i, j int) float64 {
+	if i < len(adj) && j < len(adj[i]) {
+		return adj[i][j]
+	}
+	return 0
+}

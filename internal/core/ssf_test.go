@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+	"ssflp/internal/subgraph"
+)
+
+func buildGraph(t *testing.T, edges [][3]int) *graph.Graph {
+	t.Helper()
+	g := graph.New(0)
+	for _, e := range edges {
+		if err := g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), graph.Timestamp(e[2])); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func fig3Graph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return buildGraph(t, [][3]int{
+		{0, 5, 1}, {0, 6, 1}, {0, 7, 1},
+		{0, 2, 2}, {0, 3, 2},
+		{1, 2, 3}, {1, 3, 3},
+		{1, 4, 4},
+	})
+}
+
+func TestFeatureLen(t *testing.T) {
+	cases := map[int]int{3: 2, 5: 9, 10: 44, 20: 189}
+	for k, want := range cases {
+		if got := FeatureLen(k); got != want {
+			t.Errorf("FeatureLen(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestInfluence(t *testing.T) {
+	stamps := []graph.Timestamp{10, 8, 10}
+	got := Influence(stamps, 10, 0.5)
+	want := 1 + math.Exp(-1) + 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Influence = %v, want %v", got, want)
+	}
+	if Influence(nil, 10, 0.5) != 0 {
+		t.Error("Influence of empty stamp set should be 0")
+	}
+}
+
+func TestNewExtractorValidation(t *testing.T) {
+	g := fig3Graph(t)
+	if _, err := NewExtractor(nil, 5, Options{}); !errors.Is(err, ErrNilGraph) {
+		t.Errorf("nil graph error = %v", err)
+	}
+	if _, err := NewExtractor(g, 5, Options{K: 2}); !errors.Is(err, subgraph.ErrBadK) {
+		t.Errorf("K=2 error = %v", err)
+	}
+	if _, err := NewExtractor(g, 5, Options{Theta: 1.5}); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("theta=1.5 error = %v", err)
+	}
+	if _, err := NewExtractor(g, 5, Options{Theta: -0.5}); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("theta=-0.5 error = %v", err)
+	}
+	if _, err := NewExtractor(g, 5, Options{Mode: EntryMode(99)}); !errors.Is(err, ErrBadMode) {
+		t.Errorf("bad mode error = %v", err)
+	}
+}
+
+func TestExtractorDefaults(t *testing.T) {
+	g := fig3Graph(t)
+	e, err := NewExtractor(g, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := e.Options()
+	if o.K != DefaultK || o.Theta != DefaultTheta || o.Mode != EntryInverseDistance {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestExtractLengthAndDeterminism(t *testing.T) {
+	g := fig3Graph(t)
+	for _, mode := range []EntryMode{EntryInfluence, EntryInverseDistance, EntryCount} {
+		e, err := NewExtractor(g, 5, Options{K: 5, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := e.Extract(0, 1)
+		if err != nil {
+			t.Fatalf("%v Extract: %v", mode, err)
+		}
+		if len(v1) != FeatureLen(5) {
+			t.Errorf("%v feature length = %d, want %d", mode, len(v1), FeatureLen(5))
+		}
+		v2, err := e.Extract(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Errorf("%v extraction not deterministic at %d: %v vs %v", mode, i, v1[i], v2[i])
+			}
+		}
+	}
+}
+
+func TestMatrixSymmetricZeroDiagonalAndTargetCell(t *testing.T) {
+	g := fig3Graph(t)
+	for _, mode := range []EntryMode{EntryInfluence, EntryInverseDistance, EntryCount} {
+		e, err := NewExtractor(g, 5, Options{K: 5, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj, ks, err := e.Matrix(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ks.N != 5 {
+			t.Fatalf("%v: K-structure N = %d, want 5", mode, ks.N)
+		}
+		if adj[0][1] != 0 || adj[1][0] != 0 {
+			t.Errorf("%v: target cell A(1,2) = %v, want 0", mode, adj[0][1])
+		}
+		for i := range adj {
+			if adj[i][i] != 0 {
+				t.Errorf("%v: diagonal A(%d,%d) = %v, want 0", mode, i, i, adj[i][i])
+			}
+			for j := range adj[i] {
+				if adj[i][j] != adj[j][i] {
+					t.Errorf("%v: asymmetric at (%d,%d)", mode, i, j)
+				}
+				if adj[i][j] < 0 {
+					t.Errorf("%v: negative entry at (%d,%d): %v", mode, i, j, adj[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestCountModeMatchesLinkCounts(t *testing.T) {
+	g := fig3Graph(t)
+	e, err := NewExtractor(g, 5, Options{K: 5, Mode: EntryCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, ks, err := e.Matrix(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ks.Links {
+		if l.X == 0 && l.Y == 1 {
+			continue // target cell forced to zero
+		}
+		if got := adj[l.X][l.Y]; got != float64(l.Count()) {
+			t.Errorf("A(%d,%d) = %v, want count %d", l.X, l.Y, got, l.Count())
+		}
+	}
+}
+
+func TestInfluenceModeDecaysWithTime(t *testing.T) {
+	// Same topology, different link ages: the older graph must produce
+	// entries no larger than the fresh one.
+	fresh := buildGraph(t, [][3]int{{0, 2, 10}, {1, 2, 10}, {2, 3, 10}})
+	stale := buildGraph(t, [][3]int{{0, 2, 1}, {1, 2, 1}, {2, 3, 1}})
+	ef, err := NewExtractor(fresh, 11, Options{K: 4, Mode: EntryInfluence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := NewExtractor(stale, 11, Options{K: 4, Mode: EntryInfluence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := ef.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := es.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyLess := false
+	for i := range vf {
+		if vs[i] > vf[i]+1e-12 {
+			t.Errorf("stale entry %d = %v exceeds fresh %v", i, vs[i], vf[i])
+		}
+		if vs[i] < vf[i] {
+			anyLess = true
+		}
+	}
+	if !anyLess {
+		t.Error("decay had no effect on any entry")
+	}
+}
+
+func TestSSFWInsensitiveToTimestamps(t *testing.T) {
+	// EntryCount must give identical features regardless of timestamps.
+	a := buildGraph(t, [][3]int{{0, 2, 1}, {1, 2, 5}, {2, 3, 9}})
+	b := buildGraph(t, [][3]int{{0, 2, 7}, {1, 2, 2}, {2, 3, 4}})
+	ea, err := NewExtractor(a, 10, Options{K: 4, Mode: EntryCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewExtractor(b, 10, Options{K: 4, Mode: EntryCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := ea.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := eb.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Errorf("SSF-W differs at %d: %v vs %v", i, va[i], vb[i])
+		}
+	}
+}
+
+func TestInverseDistanceEntriesBounded(t *testing.T) {
+	g := fig3Graph(t)
+	e, err := NewExtractor(g, 5, Options{K: 5, Mode: EntryInverseDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, _, err := e.Matrix(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] < 0 || adj[i][j] > 1 {
+				t.Errorf("inverse-distance entry (%d,%d) = %v outside [0,1]", i, j, adj[i][j])
+			}
+		}
+	}
+}
+
+func TestExtractSparseComponentPads(t *testing.T) {
+	g := buildGraph(t, [][3]int{{0, 1, 1}, {1, 2, 2}})
+	e, err := NewExtractor(g, 3, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != FeatureLen(10) {
+		t.Fatalf("padded feature length = %d, want %d", len(v), FeatureLen(10))
+	}
+	nonzero := 0
+	for _, x := range v {
+		if x != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("feature of a connected pair should have some nonzero entries")
+	}
+}
+
+func TestUnfoldSkipsTargetCell(t *testing.T) {
+	k := 4
+	adj := make([][]float64, k)
+	for i := range adj {
+		adj[i] = make([]float64, k)
+	}
+	// Mark every upper cell with a distinct value.
+	val := 1.0
+	for j := 1; j < k; j++ {
+		for i := 0; i < j; i++ {
+			adj[i][j] = val
+			val++
+		}
+	}
+	got := Unfold(adj, k)
+	// Columns 3..4 (1-based): cells (1,3),(2,3),(1,4),(2,4),(3,4) = values 2,3,4,5,6.
+	want := []float64{2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Unfold length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Unfold[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnfoldPadsShortMatrix(t *testing.T) {
+	got := Unfold([][]float64{{0, 1}, {1, 0}}, 5)
+	if len(got) != FeatureLen(5) {
+		t.Fatalf("len = %d, want %d", len(got), FeatureLen(5))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("padded entry %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestPropertyExtractWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(20)
+		g.EnsureNodes(20)
+		for i := 0; i < 50; i++ {
+			u, v := graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20))
+			if u != v {
+				_ = g.AddEdge(u, v, graph.Timestamp(rng.Intn(30)))
+			}
+		}
+		for _, mode := range []EntryMode{EntryInfluence, EntryInverseDistance, EntryCount} {
+			e, err := NewExtractor(g, 30, Options{K: 8, Mode: mode})
+			if err != nil {
+				return false
+			}
+			v, err := e.Extract(0, 1)
+			if err != nil {
+				return false
+			}
+			if len(v) != FeatureLen(8) {
+				return false
+			}
+			for _, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryModeString(t *testing.T) {
+	cases := map[EntryMode]string{
+		EntryInfluence:       "influence",
+		EntryInverseDistance: "inverse-distance",
+		EntryCount:           "count",
+		EntryMode(42):        "EntryMode(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

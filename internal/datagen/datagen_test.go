@@ -1,0 +1,321 @@
+package datagen
+
+import (
+	"errors"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+func TestValidation(t *testing.T) {
+	base := Config{Nodes: 20, Edges: 50, TimeSpan: 10, Model: ModelActivityRepeat}
+	cases := []func(Config) Config{
+		func(c Config) Config { c.Nodes = 2; return c },
+		func(c Config) Config { c.Edges = 0; return c },
+		func(c Config) Config { c.TimeSpan = 0; return c },
+		func(c Config) Config { c.Model = ModelKind(9); return c },
+		func(c Config) Config { c.RepeatProb = 1.5; return c },
+		func(c Config) Config { c.ClosureProb = -0.1; return c },
+		func(c Config) Config { c.Model = ModelCommunityTriadic; c.Communities = 0; return c },
+	}
+	for i, mut := range cases {
+		if _, err := Generate(mut(base)); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestGenerateMeetsConfiguredStatistics(t *testing.T) {
+	cfgs := []Config{
+		{Name: "ar", Nodes: 40, Edges: 400, TimeSpan: 20, Model: ModelActivityRepeat, RepeatProb: 0.7, Gamma: 0.8, Seed: 1},
+		{Name: "ct", Nodes: 60, Edges: 300, TimeSpan: 10, Model: ModelCommunityTriadic, ClosureProb: 0.5, Communities: 5, Gamma: 0.5, Seed: 2},
+		{Name: "rs", Nodes: 80, Edges: 250, TimeSpan: 30, Model: ModelReplyStar, RepeatProb: 0.3, Gamma: 0.7, Seed: 3},
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			g, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := g.Statistics()
+			if s.NumNodes != cfg.Nodes {
+				t.Errorf("nodes = %d, want %d", s.NumNodes, cfg.Nodes)
+			}
+			if s.NumEdges != cfg.Edges {
+				t.Errorf("edges = %d, want %d", s.NumEdges, cfg.Edges)
+			}
+			if g.MinTimestamp() < 1 || g.MaxTimestamp() > graph.Timestamp(cfg.TimeSpan) {
+				t.Errorf("timestamps [%d, %d] outside [1, %d]",
+					g.MinTimestamp(), g.MaxTimestamp(), cfg.TimeSpan)
+			}
+			if g.MaxTimestamp() != graph.Timestamp(cfg.TimeSpan) {
+				t.Errorf("max timestamp = %d, want span %d (needed for the split)",
+					g.MaxTimestamp(), cfg.TimeSpan)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 30, Edges: 200, TimeSpan: 15, Model: ModelReplyStar, RepeatProb: 0.3, Gamma: 0.5, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := collect(a), collect(b)
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ for identical seeds")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := Config{Nodes: 30, Edges: 200, TimeSpan: 15, Model: ModelActivityRepeat, RepeatProb: 0.5, Seed: 1}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := collect(a), collect(b)
+	same := len(ea) == len(eb)
+	if same {
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func collect(g *graph.Graph) []graph.Edge {
+	var out []graph.Edge
+	for e := range g.Edges() {
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestActivityRepeatProducesMultiEdges(t *testing.T) {
+	cfg := Config{Nodes: 20, Edges: 300, TimeSpan: 30, Model: ModelActivityRepeat, RepeatProb: 0.8, Gamma: 0.8, Seed: 5}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.Static()
+	if v.NumPairs() >= g.NumEdges() {
+		t.Errorf("expected heavy multi-edges: %d distinct pairs for %d edges",
+			v.NumPairs(), g.NumEdges())
+	}
+}
+
+func TestReplyStarIsHubDominated(t *testing.T) {
+	cfg := Config{Nodes: 200, Edges: 600, TimeSpan: 40, Model: ModelReplyStar, RepeatProb: 0.2, Gamma: 0.8, Seed: 7}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max degree should dwarf the average in a PA network.
+	maxDeg, sum := 0, 0
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.MultiDegree(graph.NodeID(u))
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(g.NumNodes())
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("max degree %d not hub-like vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestCommunityTriadicStaysLocal(t *testing.T) {
+	cfg := Config{Nodes: 90, Edges: 500, TimeSpan: 20, Model: ModelCommunityTriadic,
+		ClosureProb: 0.5, Communities: 3, Gamma: 0.3, Seed: 11}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover the community assignment by regenerating the generator's RNG
+	// stream is fragile; instead check clustering via triangle density:
+	// community+closure graphs should have many triangles.
+	v := g.Static()
+	triangles := 0
+	for u := 0; u < v.NumNodes(); u++ {
+		for _, w := range v.Neighbors(graph.NodeID(u)) {
+			if w <= graph.NodeID(u) {
+				continue
+			}
+			for c := range v.CommonNeighbors(graph.NodeID(u), w) {
+				if c > w {
+					triangles++
+				}
+			}
+		}
+	}
+	if triangles < 20 {
+		t.Errorf("triangles = %d, expected a clustered graph", triangles)
+	}
+}
+
+func TestTableIIConfigs(t *testing.T) {
+	cfgs := TableII(1)
+	if len(cfgs) != 7 {
+		t.Fatalf("TableII returned %d configs, want 7", len(cfgs))
+	}
+	want := map[string][3]int64{
+		EuEmail:  {309, 61046, 803},
+		Contact:  {274, 28245, 96},
+		Facebook: {4313, 42346, 366},
+		Coauthor: {744, 7034, 20},
+		Prosper:  {1264, 8874, 60},
+		Slashdot: {2680, 9904, 240},
+		Digg:     {3215, 9618, 240},
+	}
+	for _, c := range cfgs {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Errorf("unexpected dataset %q", c.Name)
+			continue
+		}
+		if int64(c.Nodes) != w[0] || int64(c.Edges) != w[1] || c.TimeSpan != w[2] {
+			t.Errorf("%s = (%d, %d, %d), want %v", c.Name, c.Nodes, c.Edges, c.TimeSpan, w)
+		}
+		if err := c.validate(); err != nil {
+			t.Errorf("%s config invalid: %v", c.Name, err)
+		}
+	}
+	if len(Names()) != 7 {
+		t.Error("Names() should list 7 datasets")
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName(Coauthor, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Model != ModelCommunityTriadic {
+		t.Errorf("Co-author model = %v", c.Model)
+	}
+	if _, err := ByName("nope", 3); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestScale(t *testing.T) {
+	c, err := ByName(EuEmail, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scale(c, 10)
+	if s.Nodes != 30 || s.Edges != 6104 || s.TimeSpan != 80 {
+		t.Errorf("Scale = (%d, %d, %d)", s.Nodes, s.Edges, s.TimeSpan)
+	}
+	if Scale(c, 1) != c {
+		t.Error("Scale by 1 should be identity")
+	}
+	tiny := Scale(Config{Nodes: 12, Edges: 40, TimeSpan: 6}, 100)
+	if tiny.Nodes < 10 || tiny.Edges < 30 || tiny.TimeSpan < 5 {
+		t.Errorf("Scale floors violated: %+v", tiny)
+	}
+}
+
+func TestScaledTableIIGeneratesEverywhere(t *testing.T) {
+	for _, cfg := range TableII(9) {
+		cfg := Scale(cfg, 50)
+		t.Run(cfg.Name, func(t *testing.T) {
+			g, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumEdges() != cfg.Edges {
+				t.Errorf("edges = %d, want %d", g.NumEdges(), cfg.Edges)
+			}
+		})
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if ModelActivityRepeat.String() != "activity-repeat" ||
+		ModelCommunityTriadic.String() != "community-triadic" ||
+		ModelReplyStar.String() != "reply-star" ||
+		ModelKind(9).String() != "ModelKind(9)" {
+		t.Error("ModelKind.String mismatch")
+	}
+}
+
+func TestFinalBurstConcentratesEdges(t *testing.T) {
+	cfg := Config{Nodes: 40, Edges: 1000, TimeSpan: 20, Model: ModelReplyStar,
+		RepeatProb: 0.3, FinalBurst: 0.2, Seed: 13}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atLast := 0
+	for e := range g.Edges() {
+		if e.Ts == graph.Timestamp(cfg.TimeSpan) {
+			atLast++
+		}
+	}
+	if atLast < 180 || atLast > 220 {
+		t.Errorf("edges at last timestamp = %d, want ~200 (20%% burst)", atLast)
+	}
+	if g.NumEdges() != cfg.Edges {
+		t.Errorf("total edges = %d, want %d", g.NumEdges(), cfg.Edges)
+	}
+}
+
+func TestBurstAndRecencyValidation(t *testing.T) {
+	base := Config{Nodes: 20, Edges: 50, TimeSpan: 10, Model: ModelActivityRepeat}
+	bad := base
+	bad.FinalBurst = 0.9
+	if _, err := Generate(bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("burst=0.9 error = %v", err)
+	}
+	bad = base
+	bad.Recency = -0.1
+	if _, err := Generate(bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("recency=-0.1 error = %v", err)
+	}
+}
+
+func TestRecencyBiasesRepeats(t *testing.T) {
+	// With full recency, repeat partners come from the recent window; the
+	// multigraph should still be valid and deterministic.
+	cfg := Config{Nodes: 30, Edges: 400, TimeSpan: 20, Model: ModelActivityRepeat,
+		RepeatProb: 0.8, Recency: 1.0, Seed: 17}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != cfg.Edges || b.NumEdges() != cfg.Edges {
+		t.Error("edge counts wrong under recency")
+	}
+	ea, eb := collect(a), collect(b)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("recency generation not deterministic")
+		}
+	}
+}

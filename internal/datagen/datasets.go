@@ -1,0 +1,80 @@
+package datagen
+
+import "fmt"
+
+// Named dataset identifiers matching Table II of the paper.
+const (
+	EuEmail  = "Eu-Email"
+	Contact  = "Contact"
+	Facebook = "Facebook"
+	Coauthor = "Co-author"
+	Prosper  = "Prosper"
+	Slashdot = "Slashdot"
+	Digg     = "Digg"
+)
+
+// TableII returns the seven dataset configurations with |V|, |E| and time
+// span matching Table II of the paper. The growth model and its mixing
+// parameters are chosen per dataset family (see the package comment); the
+// seed fixes the concrete synthetic instance.
+func TableII(seed int64) []Config {
+	return []Config{
+		{
+			Name: EuEmail, Nodes: 309, Edges: 61046, TimeSpan: 803,
+			Model: ModelActivityRepeat, RepeatProb: 0.75, Gamma: 0.8,
+			FinalBurst: 0.1, Recency: 0.6,
+			Seed: seed ^ 0x45754d61, // distinct per-dataset streams
+		},
+		{
+			Name: Contact, Nodes: 274, Edges: 28245, TimeSpan: 96,
+			Model: ModelActivityRepeat, RepeatProb: 0.65, Gamma: 0.6,
+			FinalBurst: 0.1, Recency: 0.6,
+			Seed: seed ^ 0x436f6e74,
+		},
+		{
+			Name: Facebook, Nodes: 4313, Edges: 42346, TimeSpan: 366,
+			Model: ModelReplyStar, RepeatProb: 0.35, Gamma: 0.7,
+			FinalBurst: 0.12, Recency: 0.6,
+			Seed: seed ^ 0x46616365,
+		},
+		{
+			Name: Coauthor, Nodes: 744, Edges: 7034, TimeSpan: 20,
+			Model: ModelCommunityTriadic, ClosureProb: 0.6, Communities: 60, Gamma: 0.5,
+			FinalBurst: 0.15, Recency: 0.5,
+			Seed: seed ^ 0x436f6175,
+		},
+		{
+			Name: Prosper, Nodes: 1264, Edges: 8874, TimeSpan: 60,
+			Model: ModelReplyStar, RepeatProb: 0.2, Gamma: 0.6,
+			FinalBurst: 0.15, Recency: 0.6,
+			Seed: seed ^ 0x50726f73,
+		},
+		{
+			Name: Slashdot, Nodes: 2680, Edges: 9904, TimeSpan: 240,
+			Model: ModelReplyStar, RepeatProb: 0.25, Gamma: 0.8,
+			FinalBurst: 0.15, Recency: 0.6,
+			Seed: seed ^ 0x536c6173,
+		},
+		{
+			Name: Digg, Nodes: 3215, Edges: 9618, TimeSpan: 240,
+			Model: ModelReplyStar, RepeatProb: 0.2, Gamma: 0.9,
+			FinalBurst: 0.15, Recency: 0.6,
+			Seed: seed ^ 0x44696767,
+		},
+	}
+}
+
+// ByName returns the Table II configuration with the given name.
+func ByName(name string, seed int64) (Config, error) {
+	for _, c := range TableII(seed) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// Names lists the Table II dataset names in paper order.
+func Names() []string {
+	return []string{EuEmail, Contact, Facebook, Coauthor, Prosper, Slashdot, Digg}
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Interval is a two-sided confidence interval with its point estimate.
+type Interval struct {
+	Point float64
+	Low   float64
+	High  float64
+}
+
+// BootstrapAUC estimates a percentile confidence interval for the AUC by
+// resampling (scores, labels) pairs with replacement. Resamples that collapse
+// to a single class are redrawn (bounded retries). The paper reports point
+// estimates only; intervals quantify how much of a method gap at
+// reproduction scale is sampling noise (used by EXPERIMENTS.md).
+func BootstrapAUC(scores []float64, labels []int, resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("eval: need at least 10 resamples, got %d", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, fmt.Errorf("eval: confidence %g outside (0, 1)", confidence)
+	}
+	point, err := AUC(scores, labels)
+	if err != nil {
+		return Interval{}, err
+	}
+	n := len(scores)
+	bootScores := make([]float64, n)
+	bootLabels := make([]int, n)
+	values := make([]float64, 0, resamples)
+	const maxRedraws = 50
+	for r := 0; r < resamples; r++ {
+		var auc float64
+		ok := false
+		for attempt := 0; attempt < maxRedraws; attempt++ {
+			for i := range bootScores {
+				j := rng.Intn(n)
+				bootScores[i] = scores[j]
+				bootLabels[i] = labels[j]
+			}
+			v, err := AUC(bootScores, bootLabels)
+			if err != nil {
+				continue // single-class resample; redraw
+			}
+			auc, ok = v, true
+			break
+		}
+		if !ok {
+			return Interval{}, fmt.Errorf("eval: bootstrap could not draw a two-class resample")
+		}
+		values = append(values, auc)
+	}
+	sort.Float64s(values)
+	alpha := (1 - confidence) / 2
+	lo := int(alpha * float64(len(values)))
+	hi := int((1 - alpha) * float64(len(values)))
+	if hi >= len(values) {
+		hi = len(values) - 1
+	}
+	return Interval{Point: point, Low: values[lo], High: values[hi]}, nil
+}

@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapAUCValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	scores := []float64{0.9, 0.1}
+	labels := []int{1, 0}
+	if _, err := BootstrapAUC(scores, labels, 5, 0.95, rng); err == nil {
+		t.Error("too few resamples should fail")
+	}
+	if _, err := BootstrapAUC(scores, labels, 100, 1.5, rng); err == nil {
+		t.Error("bad confidence should fail")
+	}
+	if _, err := BootstrapAUC(scores, []int{1, 1}, 100, 0.95, rng); err == nil {
+		t.Error("single-class input should fail")
+	}
+}
+
+func TestBootstrapAUCCoversPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// A noisy but informative scorer.
+	n := 200
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		labels[i] = i % 2
+		scores[i] = float64(labels[i]) + rng.NormFloat64()
+	}
+	iv, err := BootstrapAUC(scores, labels, 300, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Low > iv.Point || iv.Point > iv.High {
+		t.Errorf("interval [%v, %v] does not cover point %v", iv.Low, iv.High, iv.Point)
+	}
+	if iv.Low < 0 || iv.High > 1 {
+		t.Errorf("interval outside [0, 1]: %+v", iv)
+	}
+	if iv.High-iv.Low > 0.25 {
+		t.Errorf("interval suspiciously wide for n=200: %+v", iv)
+	}
+	if iv.Point < 0.6 {
+		t.Errorf("point AUC = %v, expected informative scorer", iv.Point)
+	}
+}
+
+func TestBootstrapAUCDeterministicForSeed(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1, 0.7, 0.2}
+	labels := []int{1, 1, 0, 0, 1, 0}
+	a, err := BootstrapAUC(scores, labels, 100, 0.9, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapAUC(scores, labels, 100, 0.9, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("bootstrap not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,333 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+func TestAUCPerfectAndInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	got, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("perfect AUC = %v, want 1", got)
+	}
+	inverted, err := AUC(scores, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inverted != 0 {
+		t.Errorf("inverted AUC = %v, want 0", inverted)
+	}
+}
+
+func TestAUCTiesCountHalf(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5.
+	got, err := AUC([]float64{1, 1, 1, 1}, []int{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("all-tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+	// Pairs: (0.8 vs 0.6) win, (0.8 vs 0.2) win, (0.4 vs 0.6) loss,
+	// (0.4 vs 0.2) win => 3/4.
+	got, err := AUC([]float64{0.8, 0.4, 0.6, 0.2}, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC(nil, nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := AUC([]float64{1}, []int{1, 0}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("shape error = %v", err)
+	}
+	if _, err := AUC([]float64{1, 2}, []int{1, 1}); !errors.Is(err, ErrOneClass) {
+		t.Errorf("one-class error = %v", err)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.6, 0.4, 0.3, 0.1}
+	labels := []int{1, 1, 0, 1, 0, 0}
+	c, err := Classify(scores, labels, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if p := c.Precision(); math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := c.F1(); math.Abs(f-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", f)
+	}
+	if a := c.Accuracy(); math.Abs(a-2.0/3) > 1e-12 {
+		t.Errorf("accuracy = %v", a)
+	}
+}
+
+func TestConfusionDegenerateZeros(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("zero confusion should yield zero metrics")
+	}
+}
+
+func TestF1ScoreAndClassifyErrors(t *testing.T) {
+	if _, err := F1Score(nil, nil, 0); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := Classify([]float64{1}, []int{1, 0}, 0); !errors.Is(err, ErrBadShape) {
+		t.Errorf("shape error = %v", err)
+	}
+}
+
+func TestBestThresholdSeparable(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	th, err := BestThreshold(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := F1Score(scores, labels, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != 1 {
+		t.Errorf("best threshold %v gives F1 = %v, want 1", th, f1)
+	}
+}
+
+func TestBestThresholdErrors(t *testing.T) {
+	if _, err := BestThreshold(nil, nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := BestThreshold([]float64{1}, []int{1, 0}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("shape error = %v", err)
+	}
+}
+
+func TestPropertyAUCInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Intn(2)
+		}
+		labels[0], labels[1] = 0, 1 // guarantee both classes
+		auc, err := AUC(scores, labels)
+		if err != nil {
+			return false
+		}
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAUCComplementSymmetry(t *testing.T) {
+	// AUC(scores, labels) + AUC(scores, 1-labels) == 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		flipped := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Intn(2)
+			flipped[i] = 1 - labels[i]
+		}
+		labels[0], labels[1] = 0, 1
+		flipped[0], flipped[1] = 1, 0
+		a, err := AUC(scores, labels)
+		if err != nil {
+			return false
+		}
+		b, err := AUC(scores, flipped)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a+b-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// splitTestGraph builds a dynamic graph with several links at the final
+// timestamp.
+func splitTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(0)
+	rng := rand.New(rand.NewSource(3))
+	g.EnsureNodes(30)
+	for i := 0; i < 120; i++ {
+		u, v := graph.NodeID(rng.Intn(30)), graph.NodeID(rng.Intn(30))
+		if u != v {
+			_ = g.AddEdge(u, v, graph.Timestamp(1+rng.Intn(9)))
+		}
+	}
+	// Final timestamp links.
+	for i := 0; i < 20; i++ {
+		u, v := graph.NodeID(rng.Intn(30)), graph.NodeID(rng.Intn(30))
+		if u != v {
+			_ = g.AddEdge(u, v, 10)
+		}
+	}
+	return g
+}
+
+func TestBuildDatasetBasics(t *testing.T) {
+	g := splitTestGraph(t)
+	ds, err := BuildDataset(g, SplitOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Present != 10 {
+		t.Errorf("present = %d, want 10", ds.Present)
+	}
+	countLabels := func(ss []Sample) (pos, neg int) {
+		for _, s := range ss {
+			if s.Label == 1 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		return
+	}
+	trP, trN := countLabels(ds.Train)
+	teP, teN := countLabels(ds.Test)
+	if trP == 0 || teP == 0 {
+		t.Fatal("both splits need positives")
+	}
+	if trP != trN || teP != teN {
+		t.Errorf("splits must be balanced: train %d/%d, test %d/%d", trP, trN, teP, teN)
+	}
+	ratio := float64(trP) / float64(trP+teP)
+	if ratio < 0.55 || ratio > 0.85 {
+		t.Errorf("train fraction = %v, want ~0.7", ratio)
+	}
+	// No negative may be a positive pair, and all pairs normalized.
+	posSet := map[Pair]struct{}{}
+	for e := range g.Edges() {
+		if e.Ts == 10 {
+			posSet[NormPair(e.U, e.V)] = struct{}{}
+		}
+	}
+	for _, s := range append(append([]Sample{}, ds.Train...), ds.Test...) {
+		if s.Pair.U >= s.Pair.V {
+			t.Errorf("pair %v not normalized", s.Pair)
+		}
+		if s.Label == 0 {
+			if _, bad := posSet[s.Pair]; bad {
+				t.Errorf("negative sample %v is a real link", s.Pair)
+			}
+		}
+	}
+}
+
+func TestBuildDatasetDeterministic(t *testing.T) {
+	g := splitTestGraph(t)
+	a, err := BuildDataset(g, SplitOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDataset(g, SplitOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Train) != len(b.Train) || len(a.Test) != len(b.Test) {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatalf("train sample %d differs: %v vs %v", i, a.Train[i], b.Train[i])
+		}
+	}
+}
+
+func TestBuildDatasetMaxPositives(t *testing.T) {
+	g := splitTestGraph(t)
+	ds, err := BuildDataset(g, SplitOptions{Seed: 2, MaxPositives: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, s := range append(append([]Sample{}, ds.Train...), ds.Test...) {
+		if s.Label == 1 {
+			pos++
+		}
+	}
+	if pos != 6 {
+		t.Errorf("positives = %d, want capped 6", pos)
+	}
+}
+
+func TestBuildDatasetErrors(t *testing.T) {
+	empty := graph.New(0)
+	if _, err := BuildDataset(empty, SplitOptions{}); err == nil {
+		t.Error("empty graph should fail")
+	}
+	g := splitTestGraph(t)
+	if _, err := BuildDataset(g, SplitOptions{TrainFraction: 1.5}); err == nil {
+		t.Error("bad fraction should fail")
+	}
+}
+
+func TestSampleNegativesExhaustion(t *testing.T) {
+	g := graph.New(0)
+	g.EnsureNodes(3) // 3 pairs total
+	rng := rand.New(rand.NewSource(1))
+	exclude := map[Pair]struct{}{NormPair(0, 1): {}}
+	if _, err := SampleNegatives(g, 3, exclude, rng); err == nil {
+		t.Error("oversampling should fail")
+	}
+	got, err := SampleNegatives(g, 2, exclude, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("negatives = %d, want 2", len(got))
+	}
+	tiny := graph.New(0)
+	tiny.EnsureNodes(1)
+	if _, err := SampleNegatives(tiny, 1, nil, rng); err == nil {
+		t.Error("single-node graph should fail")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	got := Labels([]Sample{{Label: 1}, {Label: 0}, {Label: 1}})
+	if len(got) != 3 || got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("Labels = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+func TestSampleHardNegativesWithinHops(t *testing.T) {
+	g := splitTestGraph(t)
+	rng := rand.New(rand.NewSource(2))
+	negs, err := SampleHardNegatives(g, 15, 2, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(negs) != 15 {
+		t.Fatalf("negatives = %d, want 15", len(negs))
+	}
+	view := g.Static()
+	for _, p := range negs {
+		if view.HasEdge(p.U, p.V) {
+			t.Errorf("hard negative %v is an existing link", p)
+		}
+		dist := g.BFSDistances(p.U)
+		if d := dist[p.V]; d < 2 || d > 2 {
+			t.Errorf("hard negative %v at distance %d, want exactly within [2, 2]", p, d)
+		}
+	}
+}
+
+func TestSampleHardNegativesValidation(t *testing.T) {
+	g := splitTestGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SampleHardNegatives(g, 5, 1, nil, rng); err == nil {
+		t.Error("maxHops=1 should fail")
+	}
+	tiny := graph.New(0)
+	tiny.EnsureNodes(1)
+	if _, err := SampleHardNegatives(tiny, 1, 2, nil, rng); err == nil {
+		t.Error("single node graph should fail")
+	}
+	// A single edge has no distance-2 pairs at all.
+	pair := graph.New(0)
+	if err := pair.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SampleHardNegatives(pair, 1, 2, nil, rng); err == nil {
+		t.Error("graph without distance-2 pairs should fail")
+	}
+}
+
+func TestBuildDatasetHardNegatives(t *testing.T) {
+	g := splitTestGraph(t)
+	ds, err := BuildDatasetHardNegatives(g, SplitOptions{Seed: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg int
+	for _, s := range append(append([]Sample{}, ds.Train...), ds.Test...) {
+		if s.Label == 1 {
+			pos++
+			continue
+		}
+		neg++
+		dist := g.BFSDistances(s.Pair.U)
+		if d := dist[s.Pair.V]; d < 2 || int(d) > 3 {
+			t.Errorf("negative %v at distance %d, want within [2, 3]", s.Pair, d)
+		}
+	}
+	if pos != neg || pos == 0 {
+		t.Errorf("pos = %d, neg = %d, want balanced and non-empty", pos, neg)
+	}
+}
+
+func TestBuildDatasetHardNegativesDeterministic(t *testing.T) {
+	g := splitTestGraph(t)
+	a, err := BuildDatasetHardNegatives(g, SplitOptions{Seed: 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDatasetHardNegatives(g, SplitOptions{Seed: 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatalf("train sample %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package eval implements the evaluation stack of Section VI: rank-based
+// AUC and threshold-based F1 (the paper's two metrics), the 70/30 positive
+// split at the present timestamp, uniform negative-link sampling, and the
+// training-set threshold selection the paper applies to unsupervised
+// ranking models.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+var (
+	// ErrNoSamples is returned when a metric receives no scores.
+	ErrNoSamples = errors.New("eval: no samples")
+
+	// ErrBadShape is returned when scores and labels disagree in length.
+	ErrBadShape = errors.New("eval: scores and labels length mismatch")
+
+	// ErrOneClass is returned when AUC is undefined (single-class input).
+	ErrOneClass = errors.New("eval: AUC requires both classes present")
+)
+
+// AUC computes the area under the ROC curve with the rank-sum
+// (Mann-Whitney) estimator, counting ties as one half.
+func AUC(scores []float64, labels []int) (float64, error) {
+	if len(scores) == 0 {
+		return 0, ErrNoSamples
+	}
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrBadShape, len(scores), len(labels))
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Average ranks across tied score groups.
+	ranks := make([]float64, len(scores))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	var posRankSum float64
+	var nPos, nNeg int
+	for i, l := range labels {
+		if l == 1 {
+			nPos++
+			posRankSum += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, ErrOneClass
+	}
+	u := posRankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg)), nil
+}
+
+// Confusion holds binary classification counts.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Classify thresholds scores (score > threshold ⇒ positive) against labels.
+func Classify(scores []float64, labels []int, threshold float64) (Confusion, error) {
+	var c Confusion
+	if len(scores) == 0 {
+		return c, ErrNoSamples
+	}
+	if len(scores) != len(labels) {
+		return c, fmt.Errorf("%w: %d vs %d", ErrBadShape, len(scores), len(labels))
+	}
+	for i, s := range scores {
+		pred := s > threshold
+		switch {
+		case pred && labels[i] == 1:
+			c.TP++
+		case pred && labels[i] != 1:
+			c.FP++
+		case !pred && labels[i] == 1:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// Precision returns TP / (TP + FP), 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, 0 when undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP + TN) / total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// F1Score is shorthand: classify at threshold, return F1.
+func F1Score(scores []float64, labels []int, threshold float64) (float64, error) {
+	c, err := Classify(scores, labels, threshold)
+	if err != nil {
+		return 0, err
+	}
+	return c.F1(), nil
+}
+
+// BestThreshold scans the candidate thresholds implied by the (training)
+// scores and returns the one maximizing F1 — the "training set as prior
+// knowledge to decide the threshold" procedure of Section VI-C-2. Candidates
+// are midpoints between adjacent distinct scores plus sentinels below and
+// above the observed range.
+func BestThreshold(scores []float64, labels []int) (float64, error) {
+	if len(scores) == 0 {
+		return 0, ErrNoSamples
+	}
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrBadShape, len(scores), len(labels))
+	}
+	distinct := append([]float64(nil), scores...)
+	sort.Float64s(distinct)
+	candidates := []float64{distinct[0] - 1}
+	for i := 1; i < len(distinct); i++ {
+		if distinct[i] != distinct[i-1] {
+			candidates = append(candidates, (distinct[i]+distinct[i-1])/2)
+		}
+	}
+	candidates = append(candidates, distinct[len(distinct)-1]+1)
+	best, bestF1 := candidates[0], math.Inf(-1)
+	for _, th := range candidates {
+		f1, err := F1Score(scores, labels, th)
+		if err != nil {
+			return 0, err
+		}
+		if f1 > bestF1 {
+			best, bestF1 = th, f1
+		}
+	}
+	return best, nil
+}

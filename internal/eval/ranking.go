@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// rankOrder returns sample indices sorted by score descending with a
+// deterministic tie-break on the original index.
+func rankOrder(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+func checkRanking(scores []float64, labels []int) error {
+	if len(scores) == 0 {
+		return ErrNoSamples
+	}
+	if len(scores) != len(labels) {
+		return fmt.Errorf("%w: %d vs %d", ErrBadShape, len(scores), len(labels))
+	}
+	return nil
+}
+
+// PrecisionAtK returns the fraction of true links among the K highest-scored
+// candidates — the ranking metric unsupervised link predictors are usually
+// reported with (complements the paper's AUC/F1).
+func PrecisionAtK(scores []float64, labels []int, k int) (float64, error) {
+	if err := checkRanking(scores, labels); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("eval: precision@k needs k >= 1, got %d", k)
+	}
+	idx := rankOrder(scores)
+	if k > len(idx) {
+		k = len(idx)
+	}
+	hits := 0
+	for _, i := range idx[:k] {
+		if labels[i] == 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k), nil
+}
+
+// RecallAtK returns the fraction of all true links captured in the top K.
+func RecallAtK(scores []float64, labels []int, k int) (float64, error) {
+	if err := checkRanking(scores, labels); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("eval: recall@k needs k >= 1, got %d", k)
+	}
+	total := 0
+	for _, l := range labels {
+		if l == 1 {
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, ErrOneClass
+	}
+	idx := rankOrder(scores)
+	if k > len(idx) {
+		k = len(idx)
+	}
+	hits := 0
+	for _, i := range idx[:k] {
+		if labels[i] == 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(total), nil
+}
+
+// AveragePrecision returns the mean of precision@rank over the ranks of the
+// true links (AP; averaging it over queries gives MAP).
+func AveragePrecision(scores []float64, labels []int) (float64, error) {
+	if err := checkRanking(scores, labels); err != nil {
+		return 0, err
+	}
+	idx := rankOrder(scores)
+	var sum float64
+	hits := 0
+	for rank, i := range idx {
+		if labels[i] == 1 {
+			hits++
+			sum += float64(hits) / float64(rank+1)
+		}
+	}
+	if hits == 0 {
+		return 0, ErrOneClass
+	}
+	return sum / float64(hits), nil
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain of the top K
+// with binary relevance.
+func NDCGAtK(scores []float64, labels []int, k int) (float64, error) {
+	if err := checkRanking(scores, labels); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("eval: ndcg@k needs k >= 1, got %d", k)
+	}
+	idx := rankOrder(scores)
+	if k > len(idx) {
+		k = len(idx)
+	}
+	var dcg float64
+	for rank, i := range idx[:k] {
+		if labels[i] == 1 {
+			dcg += 1 / math.Log2(float64(rank+2))
+		}
+	}
+	total := 0
+	for _, l := range labels {
+		if l == 1 {
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, ErrOneClass
+	}
+	ideal := 0.0
+	for rank := 0; rank < min(k, total); rank++ {
+		ideal += 1 / math.Log2(float64(rank+2))
+	}
+	return dcg / ideal, nil
+}
+
+// RankingReport bundles the ranking metrics for one scored sample set.
+type RankingReport struct {
+	PrecisionAt10 float64
+	RecallAt10    float64
+	AP            float64
+	NDCGAt10      float64
+}
+
+// Ranking computes the standard report at cutoff 10.
+func Ranking(scores []float64, labels []int) (RankingReport, error) {
+	var r RankingReport
+	var err error
+	if r.PrecisionAt10, err = PrecisionAtK(scores, labels, 10); err != nil {
+		return r, err
+	}
+	if r.RecallAt10, err = RecallAtK(scores, labels, 10); err != nil {
+		return r, err
+	}
+	if r.AP, err = AveragePrecision(scores, labels); err != nil {
+		return r, err
+	}
+	if r.NDCGAt10, err = NDCGAtK(scores, labels, 10); err != nil {
+		return r, err
+	}
+	return r, nil
+}

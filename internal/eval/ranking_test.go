@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []int{1, 0, 1, 0}
+	got, err := PrecisionAtK(scores, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("P@2 = %v, want 0.5", got)
+	}
+	// K beyond length clamps.
+	got, err = PrecisionAtK(scores, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("P@10 (clamped) = %v, want 0.5", got)
+	}
+	if _, err := PrecisionAtK(scores, labels, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := PrecisionAtK(nil, nil, 1); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []int{1, 0, 1, 0}
+	got, err := RecallAtK(scores, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("R@1 = %v, want 0.5 (1 of 2 positives)", got)
+	}
+	if _, err := RecallAtK(scores, []int{0, 0, 0, 0}, 2); !errors.Is(err, ErrOneClass) {
+		t.Errorf("no positives error = %v", err)
+	}
+}
+
+func TestAveragePrecisionPerfectAndKnown(t *testing.T) {
+	// Perfect ranking: AP = 1.
+	ap, err := AveragePrecision([]float64{0.9, 0.8, 0.2, 0.1}, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap != 1 {
+		t.Errorf("perfect AP = %v, want 1", ap)
+	}
+	// Positives at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6.
+	ap, err = AveragePrecision([]float64{0.9, 0.8, 0.7, 0.1}, []int{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap-5.0/6) > 1e-12 {
+		t.Errorf("AP = %v, want 5/6", ap)
+	}
+	if _, err := AveragePrecision([]float64{1, 2}, []int{0, 0}); !errors.Is(err, ErrOneClass) {
+		t.Errorf("no positives error = %v", err)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	// Perfect ranking gives NDCG 1.
+	got, err := NDCGAtK([]float64{0.9, 0.8, 0.2}, []int{1, 1, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect NDCG = %v, want 1", got)
+	}
+	// Worst ranking of one positive among three at K=3:
+	// DCG = 1/log2(4), ideal = 1/log2(2) = 1.
+	got, err = NDCGAtK([]float64{0.9, 0.8, 0.2}, []int{0, 0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Log2(4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NDCG = %v, want %v", got, want)
+	}
+	if _, err := NDCGAtK([]float64{1}, []int{0}, 1); !errors.Is(err, ErrOneClass) {
+		t.Errorf("no positives error = %v", err)
+	}
+	if _, err := NDCGAtK([]float64{1}, []int{1}, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestRankingReport(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	labels := []int{1, 1, 0, 1, 0}
+	r, err := Ranking(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PrecisionAt10 <= 0 || r.RecallAt10 != 1 || r.AP <= 0 || r.NDCGAt10 <= 0 {
+		t.Errorf("report = %+v", r)
+	}
+	if _, err := Ranking(nil, nil); err == nil {
+		t.Error("empty report should fail")
+	}
+}
+
+func TestPropertyRankingMetricsBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Intn(2)
+		}
+		labels[0], labels[1] = 1, 0
+		k := 1 + rng.Intn(n)
+		p, err := PrecisionAtK(scores, labels, k)
+		if err != nil || p < 0 || p > 1 {
+			return false
+		}
+		r, err := RecallAtK(scores, labels, k)
+		if err != nil || r < 0 || r > 1 {
+			return false
+		}
+		ap, err := AveragePrecision(scores, labels)
+		if err != nil || ap < 0 || ap > 1 {
+			return false
+		}
+		nd, err := NDCGAtK(scores, labels, k)
+		if err != nil || nd < 0 || nd > 1+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ssflp/internal/graph"
+)
+
+// Pair is an unordered candidate node pair (normalized U < V).
+type Pair struct {
+	U, V graph.NodeID
+}
+
+// NormPair normalizes a pair to U < V.
+func NormPair(u, v graph.NodeID) Pair {
+	if u > v {
+		u, v = v, u
+	}
+	return Pair{U: u, V: v}
+}
+
+// Sample is one labeled link-prediction example.
+type Sample struct {
+	Pair  Pair
+	Label int // 1 = the link emerges at l_t, 0 = fake link
+}
+
+// Dataset is the supervised split the paper constructs in Section VI-C-2:
+// positives are the real links at the present timestamp l_t (70% train,
+// 30% test) and negatives are uniformly sampled fake links, equal in number
+// to the positives within each split.
+type Dataset struct {
+	Present graph.Timestamp
+	Train   []Sample
+	Test    []Sample
+}
+
+// SplitOptions configures BuildDataset.
+type SplitOptions struct {
+	// TrainFraction of the positive links used for training. Default 0.7.
+	TrainFraction float64
+	// Seed drives the shuffle and negative sampling.
+	Seed int64
+	// MaxPositives optionally caps the number of positive links per split
+	// construction (0 = no cap) to keep large experiments tractable; the
+	// cap is applied after shuffling, preserving uniformity.
+	MaxPositives int
+}
+
+// BuildDataset takes the full dynamic network, treats its last timestamp as
+// the present time l_t, collects the distinct node pairs that link at l_t as
+// positives, splits them 70/30, and pairs each split with an equal number of
+// uniformly sampled negatives (pairs with no link at l_t; following the
+// paper's "fake links" they are sampled among pairs not linked at l_t,
+// excluding duplicates).
+func BuildDataset(g *graph.Graph, opts SplitOptions) (*Dataset, error) {
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("eval: cannot split an empty graph")
+	}
+	frac := opts.TrainFraction
+	if frac == 0 {
+		frac = 0.7
+	}
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("eval: train fraction %g outside (0, 1)", frac)
+	}
+	present := g.MaxTimestamp()
+	// Distinct positive pairs at l_t.
+	posSet := make(map[Pair]struct{})
+	for e := range g.Edges() {
+		if e.Ts == present {
+			posSet[NormPair(e.U, e.V)] = struct{}{}
+		}
+	}
+	if len(posSet) == 0 {
+		return nil, fmt.Errorf("eval: no links at present time %d", present)
+	}
+	positives := make([]Pair, 0, len(posSet))
+	for p := range posSet {
+		positives = append(positives, p)
+	}
+	// Deterministic base order before the seeded shuffle.
+	sort.Slice(positives, func(i, j int) bool {
+		if positives[i].U != positives[j].U {
+			return positives[i].U < positives[j].U
+		}
+		return positives[i].V < positives[j].V
+	})
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(positives), func(i, j int) {
+		positives[i], positives[j] = positives[j], positives[i]
+	})
+	if opts.MaxPositives > 0 && len(positives) > opts.MaxPositives {
+		positives = positives[:opts.MaxPositives]
+	}
+	nTrain := int(frac * float64(len(positives)))
+	if nTrain == 0 {
+		nTrain = 1
+	}
+	if nTrain == len(positives) && len(positives) > 1 {
+		nTrain--
+	}
+	trainPos, testPos := positives[:nTrain], positives[nTrain:]
+
+	negatives, err := SampleNegatives(g, len(positives), posSet, rng)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Present: present}
+	for _, p := range trainPos {
+		ds.Train = append(ds.Train, Sample{Pair: p, Label: 1})
+	}
+	for _, p := range testPos {
+		ds.Test = append(ds.Test, Sample{Pair: p, Label: 1})
+	}
+	for i, p := range negatives {
+		if i < len(trainPos) {
+			ds.Train = append(ds.Train, Sample{Pair: p, Label: 0})
+		} else {
+			ds.Test = append(ds.Test, Sample{Pair: p, Label: 0})
+		}
+	}
+	rng.Shuffle(len(ds.Train), func(i, j int) { ds.Train[i], ds.Train[j] = ds.Train[j], ds.Train[i] })
+	rng.Shuffle(len(ds.Test), func(i, j int) { ds.Test[i], ds.Test[j] = ds.Test[j], ds.Test[i] })
+	return ds, nil
+}
+
+// SampleNegatives draws n distinct uniform node pairs that are not in the
+// exclude set and are not self pairs. Sampling is rejection-based; it fails
+// when the graph is too small to supply n distinct non-excluded pairs.
+func SampleNegatives(g *graph.Graph, n int, exclude map[Pair]struct{}, rng *rand.Rand) ([]Pair, error) {
+	nodes := g.NumNodes()
+	if nodes < 2 {
+		return nil, fmt.Errorf("eval: need at least 2 nodes to sample negatives")
+	}
+	totalPairs := nodes * (nodes - 1) / 2
+	if totalPairs-len(exclude) < n {
+		return nil, fmt.Errorf("eval: cannot sample %d negatives from %d free pairs",
+			n, totalPairs-len(exclude))
+	}
+	seen := make(map[Pair]struct{}, n)
+	out := make([]Pair, 0, n)
+	for len(out) < n {
+		u := graph.NodeID(rng.Intn(nodes))
+		v := graph.NodeID(rng.Intn(nodes))
+		if u == v {
+			continue
+		}
+		p := NormPair(u, v)
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		if _, ex := exclude[p]; ex {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Labels extracts the label column of a sample slice.
+func Labels(samples []Sample) []int {
+	out := make([]int, len(samples))
+	for i, s := range samples {
+		out[i] = s.Label
+	}
+	return out
+}

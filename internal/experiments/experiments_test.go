@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ssflp/internal/datagen"
+	"ssflp/internal/graph"
+)
+
+// fastOpts keeps experiment tests quick: tiny datasets, small method set.
+func fastOpts() SuiteOptions {
+	return SuiteOptions{
+		ScaleDivisor: 60,
+		Run: RunOptions{
+			K:            6,
+			Epochs:       30,
+			MaxPositives: 20,
+			Seed:         7,
+			Workers:      4,
+		},
+	}
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	cfg := datagen.Config{
+		Name: "test", Nodes: 60, Edges: 500, TimeSpan: 25,
+		Model: ModelForTest(), RepeatProb: 0.4, Gamma: 0.6, Seed: 3,
+	}
+	g, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// ModelForTest picks a generator model for harness tests.
+func ModelForTest() datagen.ModelKind { return datagen.ModelReplyStar }
+
+func TestNewRunValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewRun("x", g, RunOptions{K: 1}); err == nil {
+		t.Error("K=1 should fail")
+	}
+	if _, err := NewRun("x", g, RunOptions{Epochs: -1}); err == nil {
+		t.Error("negative epochs should fail")
+	}
+	empty := graph.New(0)
+	if _, err := NewRun("x", empty, RunOptions{}); err == nil {
+		t.Error("empty graph should fail")
+	}
+}
+
+func TestNewRunHistoryExcludesPresent(t *testing.T) {
+	g := testGraph(t)
+	run, err := NewRun("test", g, RunOptions{Seed: 1, MaxPositives: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Present != g.MaxTimestamp() {
+		t.Errorf("present = %d, want %d", run.Present, g.MaxTimestamp())
+	}
+	if run.History.MaxTimestamp() >= run.Present {
+		t.Errorf("history contains present-time links (max ts %d)", run.History.MaxTimestamp())
+	}
+	if run.History.NumNodes() != g.NumNodes() {
+		t.Error("history must keep the full node set")
+	}
+}
+
+func TestAllMethodsComplete(t *testing.T) {
+	methods := AllMethods()
+	if len(methods) != 15 {
+		t.Fatalf("method count = %d, want 15", len(methods))
+	}
+	want := []string{"CN", "Jac.", "PA", "AA", "RA", "rWRA", "Katz", "RW", "NMF",
+		"WLLR", "SSFLR-W", "WLNM", "SSFNM-W", "SSFLR", "SSFNM"}
+	for i, m := range methods {
+		if m.Name() != want[i] {
+			t.Errorf("method %d = %q, want %q", i, m.Name(), want[i])
+		}
+	}
+	if _, err := MethodByName("SSFNM"); err != nil {
+		t.Errorf("MethodByName(SSFNM): %v", err)
+	}
+	if _, err := MethodByName("nope"); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestEveryMethodEvaluates(t *testing.T) {
+	g := testGraph(t)
+	run, err := NewRun("test", g, RunOptions{
+		K: 6, Epochs: 20, MaxPositives: 16, Seed: 5, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range AllMethods() {
+		t.Run(m.Name(), func(t *testing.T) {
+			res, err := m.Evaluate(run)
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			if res.AUC < 0 || res.AUC > 1 {
+				t.Errorf("AUC = %v outside [0, 1]", res.AUC)
+			}
+			if res.F1 < 0 || res.F1 > 1 {
+				t.Errorf("F1 = %v outside [0, 1]", res.F1)
+			}
+			if res.Method != m.Name() {
+				t.Errorf("result method = %q", res.Method)
+			}
+		})
+	}
+}
+
+func TestScorerMethodUnknownLabel(t *testing.T) {
+	g := testGraph(t)
+	run, err := NewRun("test", g, RunOptions{MaxPositives: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ScorerMethod{Label: "???"}).Evaluate(run); err == nil {
+		t.Error("unknown scorer should fail")
+	}
+}
+
+func TestTable2MatchesPaperStatistics(t *testing.T) {
+	rows, err := Table2(SuiteOptions{ScaleDivisor: 1, Run: RunOptions{Seed: 1},
+		Datasets: []string{datagen.Coauthor}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Stats.NumNodes != 744 || r.Stats.NumEdges != 7034 {
+		t.Errorf("Co-author stats = %+v, want 744 nodes / 7034 edges", r.Stats)
+	}
+	text := FormatTable2(rows)
+	if !strings.Contains(text, "Co-author") || !strings.Contains(text, "7034") {
+		t.Errorf("FormatTable2 output missing fields:\n%s", text)
+	}
+}
+
+func TestTable3SmallSweep(t *testing.T) {
+	opts := fastOpts()
+	opts.Datasets = []string{datagen.Slashdot}
+	opts.Methods = []string{"CN", "SSFLR", "SSFNM"}
+	cells, err := Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(cells))
+	}
+	text := FormatTable3(cells)
+	for _, want := range []string{"Method", "CN", "SSFLR", "SSFNM", "Slashdot"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatTable3 missing %q:\n%s", want, text)
+		}
+	}
+	best := BestMethodsPerDataset(cells)
+	if len(best) != 1 {
+		t.Errorf("best map = %v", best)
+	}
+	SortCells(cells)
+	for i := 1; i < len(cells); i++ {
+		if cells[i-1].Method > cells[i].Method {
+			t.Error("SortCells did not sort methods")
+		}
+	}
+}
+
+func TestTable3UnknownInputs(t *testing.T) {
+	opts := fastOpts()
+	opts.Datasets = []string{"nope"}
+	if _, err := Table3(opts); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	opts = fastOpts()
+	opts.Datasets = []string{datagen.Slashdot}
+	opts.Methods = []string{"nope"}
+	if _, err := Table3(opts); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestMinePatterns(t *testing.T) {
+	g := testGraph(t)
+	patterns, err := MinePatterns(g, PatternOptions{K: 6, SampleLinks: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) == 0 {
+		t.Fatal("no patterns mined")
+	}
+	total := 0
+	for i, p := range patterns {
+		total += p.Count
+		if p.Example == nil {
+			t.Fatalf("pattern %d has no example", i)
+		}
+		if i > 0 && patterns[i-1].Count < p.Count {
+			t.Error("patterns not sorted by frequency")
+		}
+	}
+	if total != 50 {
+		t.Errorf("pattern counts sum to %d, want 50 sampled links", total)
+	}
+	art := FormatPattern(patterns[0])
+	if !strings.Contains(art, "T") || !strings.Contains(art, "pattern:") {
+		t.Errorf("FormatPattern output malformed:\n%s", art)
+	}
+}
+
+func TestMinePatternsDeterministic(t *testing.T) {
+	g := testGraph(t)
+	a, err := MinePatterns(g, PatternOptions{K: 6, SampleLinks: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinePatterns(g, PatternOptions{K: 6, SampleLinks: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || a[0].Key != b[0].Key || a[0].Count != b[0].Count {
+		t.Error("pattern mining not deterministic")
+	}
+}
+
+func TestMinePatternsEmptyGraph(t *testing.T) {
+	if _, err := MinePatterns(graph.New(0), PatternOptions{}); err == nil {
+		t.Error("empty graph should fail")
+	}
+}
+
+func TestFigure7Sweep(t *testing.T) {
+	opts := fastOpts()
+	opts.Datasets = []string{datagen.Slashdot}
+	points, err := Figure7(opts, []int{5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if points[0].K != 5 || points[1].K != 8 {
+		t.Errorf("K order = %d, %d", points[0].K, points[1].K)
+	}
+	text := FormatFigure7(points)
+	if !strings.Contains(text, "K=5") || !strings.Contains(text, "Slashdot") {
+		t.Errorf("FormatFigure7 malformed:\n%s", text)
+	}
+}
+
+func TestFormatPatternDOT(t *testing.T) {
+	g := testGraph(t)
+	patterns, err := MinePatterns(g, PatternOptions{K: 6, SampleLinks: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := FormatPatternDOT(patterns[0], "facebook")
+	for _, want := range []string{"graph \"facebook\"", "n1 -- n2", "target", "penwidth"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRollingEvaluation(t *testing.T) {
+	g := testGraph(t)
+	points, err := RollingEvaluation(g, RollingOptions{
+		Cuts:    2,
+		Run:     RunOptions{K: 6, Epochs: 15, MaxPositives: 12, Seed: 2, Workers: 4},
+		Methods: []string{"CN", "SSFLR"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 2 cuts x 2 methods
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	means := RollingMeans(points)
+	if len(means) != 2 {
+		t.Fatalf("means = %v", means)
+	}
+	for _, m := range means {
+		if m.AUC < 0 || m.AUC > 1 {
+			t.Errorf("%s mean AUC = %v", m.Method, m.AUC)
+		}
+	}
+	text := FormatRolling(points)
+	for _, want := range []string{"cut t<=", "means over cuts", "SSFLR"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatRolling missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRollingEvaluationErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := RollingEvaluation(g, RollingOptions{Cuts: -1}); err == nil {
+		t.Error("negative cuts should fail")
+	}
+	if _, err := RollingEvaluation(g, RollingOptions{Methods: []string{"nope"}}); err == nil {
+		t.Error("unknown method should fail")
+	}
+	flat := graph.New(0)
+	if err := flat.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.AddEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RollingEvaluation(flat, RollingOptions{Methods: []string{"CN"}}); err == nil {
+		t.Error("single-timestamp graph should fail")
+	}
+}
+
+func TestThetaSweep(t *testing.T) {
+	opts := fastOpts()
+	opts.Datasets = []string{datagen.Slashdot}
+	points, err := ThetaSweep(opts, []float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.AUC < 0 || p.AUC > 1 {
+			t.Errorf("theta %g AUC = %v", p.Theta, p.AUC)
+		}
+	}
+	text := FormatThetaSweep(points)
+	if !strings.Contains(text, "theta=0.2") || !strings.Contains(text, "Slashdot") {
+		t.Errorf("FormatThetaSweep malformed:\n%s", text)
+	}
+}
+
+func TestRankingTable(t *testing.T) {
+	opts := fastOpts()
+	opts.Datasets = []string{datagen.Slashdot}
+	opts.Methods = []string{"CN", "NMF", "SSFLR", "SSFNM"}
+	cells, err := RankingTable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.AP < 0 || c.AP > 1 || c.NDCGAt10 < 0 || c.NDCGAt10 > 1.000001 {
+			t.Errorf("%s report out of range: %+v", c.Method, c.RankingReport)
+		}
+	}
+	text := FormatRankingTable(cells)
+	for _, want := range []string{"P@10", "NDCG", "SSFNM"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatRankingTable missing %q:\n%s", want, text)
+		}
+	}
+}

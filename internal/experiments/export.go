@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTable3CSV emits Table III cells as CSV (dataset, method, auc, f1),
+// the format downstream plotting scripts consume.
+func WriteTable3CSV(w io.Writer, cells []Table3Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "method", "auc", "f1"}); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Dataset,
+			c.Method,
+			strconv.FormatFloat(c.AUC, 'f', 6, 64),
+			strconv.FormatFloat(c.F1, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: csv flush: %w", err)
+	}
+	return nil
+}
+
+// WriteKSweepCSV emits Figure 7 points as CSV (dataset, k, auc, f1).
+func WriteKSweepCSV(w io.Writer, points []KSweepPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "k", "auc", "f1"}); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Dataset,
+			strconv.Itoa(p.K),
+			strconv.FormatFloat(p.AUC, 'f', 6, 64),
+			strconv.FormatFloat(p.F1, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: csv flush: %w", err)
+	}
+	return nil
+}
+
+// WriteTable3JSON emits Table III cells as a JSON array.
+func WriteTable3JSON(w io.Writer, cells []Table3Cell) error {
+	type record struct {
+		Dataset string  `json:"dataset"`
+		Method  string  `json:"method"`
+		AUC     float64 `json:"auc"`
+		F1      float64 `json:"f1"`
+	}
+	out := make([]record, len(cells))
+	for i, c := range cells {
+		out[i] = record{Dataset: c.Dataset, Method: c.Method, AUC: c.AUC, F1: c.F1}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("experiments: json encode: %w", err)
+	}
+	return nil
+}

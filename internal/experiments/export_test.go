@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"ssflp/internal/datagen"
+	"ssflp/internal/eval"
+)
+
+func sampleCells() []Table3Cell {
+	return []Table3Cell{
+		{Dataset: "A", Result: Result{Method: "CN", AUC: 0.75, F1: 0.7}},
+		{Dataset: "A", Result: Result{Method: "SSFNM", AUC: 0.9, F1: 0.88}},
+		{Dataset: "B", Result: Result{Method: "CN", AUC: 0.6, F1: 0.55}},
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("rows = %d, want 4 (header + 3)", len(recs))
+	}
+	if recs[0][0] != "dataset" || recs[2][1] != "SSFNM" {
+		t.Errorf("unexpected CSV content: %v", recs)
+	}
+	if !strings.HasPrefix(recs[2][2], "0.9") {
+		t.Errorf("AUC cell = %q", recs[2][2])
+	}
+}
+
+func TestWriteKSweepCSV(t *testing.T) {
+	points := []KSweepPoint{
+		{Dataset: "A", K: 5, Result: Result{AUC: 0.8, F1: 0.75}},
+		{Dataset: "A", K: 10, Result: Result{AUC: 0.85, F1: 0.8}},
+	}
+	var buf bytes.Buffer
+	if err := WriteKSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[1][1] != "5" {
+		t.Errorf("unexpected CSV: %v", recs)
+	}
+}
+
+func TestWriteTable3JSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable3JSON(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("records = %d, want 3", len(decoded))
+	}
+	if decoded[1]["method"] != "SSFNM" {
+		t.Errorf("record 1 = %v", decoded[1])
+	}
+}
+
+func TestTable3Repeated(t *testing.T) {
+	opts := fastOpts()
+	opts.Datasets = []string{datagen.Slashdot}
+	opts.Methods = []string{"CN", "SSFLR"}
+	cells, err := Table3Repeated(opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Runs != 3 {
+			t.Errorf("%s runs = %d, want 3", c.Method, c.Runs)
+		}
+		if len(c.AUCValues) != 3 {
+			t.Errorf("%s AUC values = %d", c.Method, len(c.AUCValues))
+		}
+		if c.MeanAUC < 0 || c.MeanAUC > 1 || c.StdAUC < 0 {
+			t.Errorf("%s stats out of range: %+v", c.Method, c)
+		}
+	}
+	text := FormatTable3Repeated(cells)
+	if !strings.Contains(text, "±") || !strings.Contains(text, "CN") {
+		t.Errorf("FormatTable3Repeated malformed:\n%s", text)
+	}
+	ranked := RankMethodsByMeanAUC(cells)
+	if len(ranked) != 2 {
+		t.Errorf("ranked = %v", ranked)
+	}
+}
+
+func TestTable3RepeatedValidation(t *testing.T) {
+	if _, err := Table3Repeated(fastOpts(), 0); err == nil {
+		t.Error("runs=0 should fail")
+	}
+}
+
+// failingWriter errors after n bytes, exercising the CSV/JSON error paths.
+type failingWriter struct{ budget int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > w.budget {
+		n = w.budget
+	}
+	w.budget -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = errors.New("write failed")
+
+func TestExportWriteErrors(t *testing.T) {
+	cells := sampleCells()
+	if err := WriteTable3CSV(&failingWriter{budget: 3}, cells); err == nil {
+		t.Error("CSV write to failing writer should fail")
+	}
+	if err := WriteTable3JSON(&failingWriter{budget: 3}, cells); err == nil {
+		t.Error("JSON write to failing writer should fail")
+	}
+	points := []KSweepPoint{{Dataset: "A", K: 5, Result: Result{AUC: 0.5}}}
+	if err := WriteKSweepCSV(&failingWriter{budget: 3}, points); err == nil {
+		t.Error("K-sweep CSV write to failing writer should fail")
+	}
+}
+
+func TestNewRunWithDatasetValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewRunWithDataset("x", g, nil, RunOptions{}); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	if _, err := NewRunWithDataset("x", g, &eval.Dataset{}, RunOptions{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}

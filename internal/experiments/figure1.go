@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ssflp/internal/core"
+	"ssflp/internal/graph"
+	"ssflp/internal/heuristics"
+)
+
+// Figure1Nodes names the labeled nodes of the paper's Figure 1(a) example.
+type Figure1Nodes struct {
+	A, B, C, X, Y graph.NodeID
+}
+
+// Figure1Graph reconstructs the motivating example of Figure 1(a): a Twitter
+// comment network where celebrities A, B and C interact with each other, A
+// and B each have private fans, and common users X and Y are just two of C's
+// many fans. The question is whether A-B or X-Y is the likelier future link;
+// semantically A-B should win, yet CN/AA/RA/rWRA cannot tell them apart.
+func Figure1Graph() (*graph.Graph, Figure1Nodes) {
+	g := graph.New(16)
+	nodes := Figure1Nodes{A: 0, B: 1, C: 2, X: 3, Y: 4}
+	ts := graph.Timestamp(1)
+	add := func(u, v graph.NodeID) {
+		// Construction is static by design; all edges share a timestamp.
+		// Endpoints are in range, so AddEdge cannot fail.
+		_ = g.AddEdge(u, v, ts)
+	}
+	// Celebrities A and B frequently interact with celebrity C.
+	add(nodes.A, nodes.C)
+	add(nodes.B, nodes.C)
+	// A's own fans.
+	for _, f := range []graph.NodeID{5, 6, 7} {
+		add(nodes.A, f)
+	}
+	// B's own fans.
+	for _, f := range []graph.NodeID{8, 9, 10} {
+		add(nodes.B, f)
+	}
+	// C's fans, including the common users X and Y.
+	for _, f := range []graph.NodeID{nodes.X, nodes.Y, 11, 12, 13} {
+		add(nodes.C, f)
+	}
+	return g, nodes
+}
+
+// Figure1Row is one feature's scores on the two candidate links.
+type Figure1Row struct {
+	Feature   string
+	AB, XY    float64
+	Separates bool // whether the feature distinguishes A-B from X-Y
+}
+
+// Table1 computes every implemented Table I feature on the Figure 1 example
+// links A-B and X-Y, reporting which features can tell them apart — the
+// paper's motivation for SSF.
+func Table1() ([]Figure1Row, error) {
+	g, nodes := Figure1Graph()
+	view := g.Static()
+	katz, err := heuristics.Katz(view, heuristics.KatzOptions{Beta: 0.001})
+	if err != nil {
+		return nil, err
+	}
+	rw, err := heuristics.LocalRandomWalk(view, heuristics.RandomWalkOptions{})
+	if err != nil {
+		return nil, err
+	}
+	scorers := []heuristics.Scorer{
+		heuristics.CommonNeighbors(view),
+		heuristics.Jaccard(view),
+		heuristics.PreferentialAttachment(view),
+		heuristics.AdamicAdar(view),
+		heuristics.ResourceAllocation(view),
+		heuristics.RWRA(view),
+		katz,
+		rw,
+	}
+	rows := make([]Figure1Row, 0, len(scorers)+1)
+	for _, s := range scorers {
+		ab := s.Score(nodes.A, nodes.B)
+		xy := s.Score(nodes.X, nodes.Y)
+		rows = append(rows, Figure1Row{
+			Feature: s.Name(), AB: ab, XY: xy, Separates: ab != xy,
+		})
+	}
+	// SSF: compare the feature vectors of the two links (K = 6 as in the
+	// paper's illustration); the row reports the L1 difference.
+	ex, err := core.NewExtractor(g, 2, core.Options{K: 6, Mode: core.EntryCount})
+	if err != nil {
+		return nil, err
+	}
+	ab, err := ex.Extract(nodes.A, nodes.B)
+	if err != nil {
+		return nil, err
+	}
+	xy, err := ex.Extract(nodes.X, nodes.Y)
+	if err != nil {
+		return nil, err
+	}
+	var l1ab, l1xy float64
+	diff := false
+	for i := range ab {
+		l1ab += ab[i]
+		l1xy += xy[i]
+		if ab[i] != xy[i] {
+			diff = true
+		}
+	}
+	rows = append(rows, Figure1Row{Feature: "SSF", AB: l1ab, XY: l1xy, Separates: diff})
+	return rows, nil
+}
+
+// FormatTable1 renders the Figure 1 feature comparison.
+func FormatTable1(rows []Figure1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s\n", "Feature", "A-B", "X-Y", "separates?")
+	for _, r := range rows {
+		sep := "no"
+		if r.Separates {
+			sep = "yes"
+		}
+		fmt.Fprintf(&b, "%-8s %10.4f %10.4f %12s\n", r.Feature, r.AB, r.XY, sep)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1GraphShape(t *testing.T) {
+	g, nodes := Figure1Graph()
+	v := g.Static()
+	if v.Degree(nodes.C) < v.Degree(nodes.X) {
+		t.Error("C must be the highest-degree celebrity")
+	}
+	if !v.HasEdge(nodes.A, nodes.C) || !v.HasEdge(nodes.B, nodes.C) {
+		t.Error("A and B must both link to C")
+	}
+	if v.HasEdge(nodes.A, nodes.B) || v.HasEdge(nodes.X, nodes.Y) {
+		t.Error("the candidate links must not exist yet")
+	}
+}
+
+func TestTable1ReproducesFigure1Claims(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Figure1Row{}
+	for _, r := range rows {
+		byName[r.Feature] = r
+	}
+	// Paper's Figure 1(b): CN, AA, RA and rWRA cannot differentiate the two
+	// links; PA and Jaccard can; SSF can.
+	for _, f := range []string{"CN", "AA", "RA", "rWRA"} {
+		if byName[f].Separates {
+			t.Errorf("%s should NOT separate A-B from X-Y", f)
+		}
+	}
+	for _, f := range []string{"PA", "Jac.", "SSF"} {
+		if !byName[f].Separates {
+			t.Errorf("%s should separate A-B from X-Y", f)
+		}
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "SSF") || !strings.Contains(text, "separates?") {
+		t.Errorf("FormatTable1 malformed:\n%s", text)
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ssflp/internal/datagen"
+	"ssflp/internal/eval"
+	"ssflp/internal/graph"
+	"ssflp/internal/subgraph"
+)
+
+// PatternOptions configures the Figure 6 pattern-frequency analysis.
+type PatternOptions struct {
+	// K is the structure-subgraph size. The paper uses 10.
+	K int
+	// SampleLinks is how many random links to analyze. The paper uses 2000.
+	SampleLinks int
+	// Seed drives the link sampling.
+	Seed int64
+}
+
+// Pattern is one K-structure subgraph connectivity pattern with its
+// frequency statistics (Figure 6).
+type Pattern struct {
+	Key          string  // canonical pattern key
+	Count        int     // how many sampled links follow this pattern
+	AvgLinkCount float64 // mean member links per structure link (thickness)
+	Example      *subgraph.KStructure
+}
+
+// MinePatterns samples links from the dynamic network, extracts each link's
+// K-structure subgraph, and returns patterns by descending frequency — the
+// Figure 6 analysis.
+func MinePatterns(g *graph.Graph, opts PatternOptions) ([]Pattern, error) {
+	if opts.K == 0 {
+		opts.K = 10
+	}
+	if opts.SampleLinks == 0 {
+		opts.SampleLinks = 2000
+	}
+	// Collect distinct linked pairs, then sample.
+	pairSet := make(map[eval.Pair]struct{})
+	for e := range g.Edges() {
+		pairSet[eval.NormPair(e.U, e.V)] = struct{}{}
+	}
+	if len(pairSet) == 0 {
+		return nil, fmt.Errorf("experiments: no links to mine patterns from")
+	}
+	pairs := make([]eval.Pair, 0, len(pairSet))
+	for p := range pairSet {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].U != pairs[j].U {
+			return pairs[i].U < pairs[j].U
+		}
+		return pairs[i].V < pairs[j].V
+	})
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	if len(pairs) > opts.SampleLinks {
+		pairs = pairs[:opts.SampleLinks]
+	}
+	type agg struct {
+		count   int
+		sumAvg  float64
+		example *subgraph.KStructure
+	}
+	byKey := make(map[string]*agg)
+	for _, p := range pairs {
+		ks, err := subgraph.BuildK(g, subgraph.TargetLink{A: p.U, B: p.V}, opts.K)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pattern for %v: %w", p, err)
+		}
+		key := ks.PatternKey()
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{example: ks}
+			byKey[key] = a
+		}
+		a.count++
+		a.sumAvg += ks.AverageLinkCount()
+	}
+	out := make([]Pattern, 0, len(byKey))
+	for key, a := range byKey {
+		out = append(out, Pattern{
+			Key:          key,
+			Count:        a.count,
+			AvgLinkCount: a.sumAvg / float64(a.count),
+			Example:      a.example,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out, nil
+}
+
+// FormatPattern renders a pattern's adjacency as ASCII art: rows/columns
+// are structure-node orders, '#' marks a structure link, 'T' the target.
+func FormatPattern(p Pattern) string {
+	k := p.Example.K
+	grid := make([][]byte, k)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", k))
+	}
+	for _, l := range p.Example.Links {
+		grid[l.X][l.Y] = '#'
+		grid[l.Y][l.X] = '#'
+	}
+	grid[0][1], grid[1][0] = 'T', 'T'
+	var b strings.Builder
+	fmt.Fprintf(&b, "pattern: %d links, avg member links per structure link %.2f\n",
+		p.Count, p.AvgLinkCount)
+	fmt.Fprintf(&b, "   %s\n", header(k))
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "%2d %s\n", i+1, string(grid[i]))
+	}
+	return b.String()
+}
+
+// FormatPatternDOT renders a pattern as a Graphviz DOT graph mirroring the
+// paper's Figure 6 styling: structure nodes sized by the number of member
+// nodes in the example, the target link dashed red, structure links with
+// pen width scaled by their member-link count.
+func FormatPatternDOT(p Pattern, name string) string {
+	ks := p.Example
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  layout=circo;\n  node [shape=circle, style=filled, fillcolor=\"#4878cf\", fontcolor=white];\n")
+	for i := 0; i < ks.N; i++ {
+		size := 0.35 + 0.1*float64(len(ks.Nodes[i].Members))
+		fmt.Fprintf(&b, "  n%d [label=\"%d\", width=%.2f];\n", i+1, i+1, size)
+	}
+	fmt.Fprintf(&b, "  n1 -- n2 [color=red, style=dashed, label=\"target\"];\n")
+	for _, l := range ks.Links {
+		width := 1 + math.Log1p(float64(l.Count()))
+		fmt.Fprintf(&b, "  n%d -- n%d [color=\"#52a373\", penwidth=%.1f];\n", l.X+1, l.Y+1, width)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func header(k int) string {
+	b := make([]byte, k)
+	for i := range b {
+		b[i] = byte('1' + i%9)
+	}
+	return string(b)
+}
+
+// KSweepPoint is one (dataset, K) measurement of Figure 7.
+type KSweepPoint struct {
+	Dataset string
+	K       int
+	Result
+}
+
+// Figure7 evaluates SSFNM at each K on every configured dataset — the
+// reproduction of Figure 7 (AUC and F1 of SSFNM with K = 5, 10, 15, 20).
+func Figure7(opts SuiteOptions, ks []int) ([]KSweepPoint, error) {
+	opts = opts.withDefaults()
+	if len(ks) == 0 {
+		ks = []int{5, 10, 15, 20}
+	}
+	cfgs, err := opts.datasetConfigs()
+	if err != nil {
+		return nil, err
+	}
+	method := FeatureModelMethod{Label: "SSFNM", Feature: FeatureSSF, Model: ModelNeural}
+	var out []KSweepPoint
+	for _, cfg := range cfgs {
+		g, err := datagen.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", cfg.Name, err)
+		}
+		for _, k := range ks {
+			runOpts := opts.Run
+			runOpts.K = k
+			run, err := NewRun(cfg.Name, g, runOpts)
+			if err != nil {
+				return nil, err
+			}
+			res, err := method.Evaluate(run)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: SSFNM K=%d on %s: %w", k, cfg.Name, err)
+			}
+			out = append(out, KSweepPoint{Dataset: cfg.Name, K: k, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure7 renders the K sweep as one AUC/F1 series per dataset.
+func FormatFigure7(points []KSweepPoint) string {
+	var datasets []string
+	seen := map[string]struct{}{}
+	for _, p := range points {
+		if _, ok := seen[p.Dataset]; !ok {
+			seen[p.Dataset] = struct{}{}
+			datasets = append(datasets, p.Dataset)
+		}
+	}
+	var b strings.Builder
+	for _, d := range datasets {
+		fmt.Fprintf(&b, "%s:\n", d)
+		for _, p := range points {
+			if p.Dataset == d {
+				fmt.Fprintf(&b, "  K=%-3d AUC=%.3f F1=%.3f\n", p.K, p.AUC, p.F1)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ssflp/internal/core"
+	"ssflp/internal/eval"
+	"ssflp/internal/graph"
+	"ssflp/internal/heuristics"
+	"ssflp/internal/linreg"
+	"ssflp/internal/nmf"
+	"ssflp/internal/nn"
+	"ssflp/internal/wlf"
+)
+
+// Method evaluates one link-prediction approach on a Run.
+type Method interface {
+	// Name is the Table III row label.
+	Name() string
+	// Evaluate trains (if applicable) on the run's training split and
+	// reports AUC and F1 on the test split.
+	Evaluate(run *Run) (Result, error)
+}
+
+// AllMethods returns the 15 methods of Table III in paper order.
+func AllMethods() []Method {
+	return []Method{
+		ScorerMethod{Label: "CN"},
+		ScorerMethod{Label: "Jac."},
+		ScorerMethod{Label: "PA"},
+		ScorerMethod{Label: "AA"},
+		ScorerMethod{Label: "RA"},
+		ScorerMethod{Label: "rWRA"},
+		ScorerMethod{Label: "Katz"},
+		ScorerMethod{Label: "RW"},
+		NMFMethod{},
+		FeatureModelMethod{Label: "WLLR", Feature: FeatureWLF, Model: ModelLinear},
+		FeatureModelMethod{Label: "SSFLR-W", Feature: FeatureSSFW, Model: ModelLinear},
+		FeatureModelMethod{Label: "WLNM", Feature: FeatureWLF, Model: ModelNeural},
+		FeatureModelMethod{Label: "SSFNM-W", Feature: FeatureSSFW, Model: ModelNeural},
+		FeatureModelMethod{Label: "SSFLR", Feature: FeatureSSF, Model: ModelLinear},
+		FeatureModelMethod{Label: "SSFNM", Feature: FeatureSSF, Model: ModelNeural},
+	}
+}
+
+// MethodByName returns the Table III method with the given label.
+func MethodByName(name string) (Method, error) {
+	for _, m := range AllMethods() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown method %q", name)
+}
+
+// ScorerMethod wraps an unsupervised Table I heuristic: the training split
+// only selects the classification threshold (Section VI-C-2).
+type ScorerMethod struct {
+	// Label is one of CN, Jac., PA, AA, RA, rWRA, Katz, RW.
+	Label string
+}
+
+// Name implements Method.
+func (m ScorerMethod) Name() string { return m.Label }
+
+// scorer builds the underlying heuristic on the run's history view.
+func (m ScorerMethod) scorer(run *Run) (heuristics.Scorer, error) {
+	switch m.Label {
+	case "CN":
+		return heuristics.CommonNeighbors(run.View), nil
+	case "Jac.":
+		return heuristics.Jaccard(run.View), nil
+	case "PA":
+		return heuristics.PreferentialAttachment(run.View), nil
+	case "AA":
+		return heuristics.AdamicAdar(run.View), nil
+	case "RA":
+		return heuristics.ResourceAllocation(run.View), nil
+	case "rWRA":
+		return heuristics.RWRA(run.View), nil
+	case "Katz":
+		return heuristics.Katz(run.View, heuristics.KatzOptions{Beta: 0.001})
+	case "RW":
+		return heuristics.LocalRandomWalk(run.View, heuristics.RandomWalkOptions{})
+	default:
+		return nil, fmt.Errorf("experiments: unknown scorer %q", m.Label)
+	}
+}
+
+// Evaluate implements Method.
+func (m ScorerMethod) Evaluate(run *Run) (Result, error) {
+	s, err := m.scorer(run)
+	if err != nil {
+		return Result{}, err
+	}
+	trainScores := scoreAll(run.DS.Train, s.Score)
+	testScores := scoreAll(run.DS.Test, s.Score)
+	th, err := eval.BestThreshold(trainScores, eval.Labels(run.DS.Train))
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s threshold: %w", m.Label, err)
+	}
+	return resultFromScores(m.Label, testScores, eval.Labels(run.DS.Test), th)
+}
+
+// NMFMethod is the non-negative matrix factorization baseline.
+type NMFMethod struct {
+	// Rank overrides the latent dimension (0 = nmf.DefaultRank).
+	Rank int
+	// Iterations overrides the update count (0 = nmf.DefaultIterations).
+	Iterations int
+}
+
+// Name implements Method.
+func (NMFMethod) Name() string { return "NMF" }
+
+// trainNMFModel trains the baseline's factorization on a run's history.
+func trainNMFModel(run *Run, m NMFMethod) (*nmf.Model, error) {
+	model, err := nmf.Train(run.View, nmf.Options{
+		Rank:       m.Rank,
+		Iterations: m.Iterations,
+		Seed:       run.Opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: nmf train: %w", err)
+	}
+	return model, nil
+}
+
+// Evaluate implements Method.
+func (m NMFMethod) Evaluate(run *Run) (Result, error) {
+	model, err := trainNMFModel(run, m)
+	if err != nil {
+		return Result{}, err
+	}
+	trainScores := scoreAll(run.DS.Train, model.Score)
+	testScores := scoreAll(run.DS.Test, model.Score)
+	th, err := eval.BestThreshold(trainScores, eval.Labels(run.DS.Train))
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: nmf threshold: %w", err)
+	}
+	return resultFromScores(m.Name(), testScores, eval.Labels(run.DS.Test), th)
+}
+
+// FeatureKind selects the link feature for supervised methods.
+type FeatureKind int
+
+const (
+	// FeatureSSF is the temporal SSF (inverse-distance entries, §V-B).
+	FeatureSSF FeatureKind = iota + 1
+	// FeatureSSFW is the static SSF-W variant (plain link counts).
+	FeatureSSFW
+	// FeatureWLF is the Weisfeiler-Lehman enclosing-subgraph baseline.
+	FeatureWLF
+)
+
+// ModelFamily selects the classifier for supervised methods.
+type ModelFamily int
+
+const (
+	// ModelLinear is ridge linear regression (the paper's "LR").
+	ModelLinear ModelFamily = iota + 1
+	// ModelNeural is the 32-32-16 neural machine (the paper's "NM").
+	ModelNeural
+)
+
+// EvaluateCustomFeature evaluates an arbitrary feature extractor with the
+// linear-regression model on a run — the hook the ablation benchmarks use to
+// compare entry modes, decay factors and tie preferences outside the fixed
+// Table III method set.
+func EvaluateCustomFeature(run *Run, label string, extract func(u, v graph.NodeID) ([]float64, error)) (Result, error) {
+	trainX, err := extractAll(run.DS.Train, run.Opts.Workers, extract)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	testX, err := extractAll(run.DS.Test, run.Opts.Workers, extract)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	trainY := eval.Labels(run.DS.Train)
+	model, err := linreg.Fit(trainX, trainY, linreg.Options{})
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s fit: %w", label, err)
+	}
+	score := func(xs [][]float64) ([]float64, error) {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			s, err := model.Score(x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	trainScores, err := score(trainX)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	testScores, err := score(testX)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	th, err := eval.BestThreshold(trainScores, trainY)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s threshold: %w", label, err)
+	}
+	return resultFromScores(label, testScores, eval.Labels(run.DS.Test), th)
+}
+
+// FeatureModelMethod combines a link feature with a classifier — the six
+// supervised rows of Table III (WLLR, WLNM, SSFLR-W, SSFNM-W, SSFLR, SSFNM).
+type FeatureModelMethod struct {
+	Label   string
+	Feature FeatureKind
+	Model   ModelFamily
+}
+
+// Name implements Method.
+func (m FeatureModelMethod) Name() string { return m.Label }
+
+// extractor builds the configured feature extractor on the run's history.
+func (m FeatureModelMethod) extractor(run *Run) (func(u, v graph.NodeID) ([]float64, error), error) {
+	switch m.Feature {
+	case FeatureSSF:
+		ex, err := core.NewExtractor(run.History, run.Present, core.Options{
+			K: run.Opts.K, Mode: core.EntryInverseDistance,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ex.Extract, nil
+	case FeatureSSFW:
+		ex, err := core.NewExtractor(run.History, run.Present, core.Options{
+			K: run.Opts.K, Mode: core.EntryCount,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ex.Extract, nil
+	case FeatureWLF:
+		ex, err := wlf.NewExtractor(run.History, wlf.Options{K: run.Opts.K})
+		if err != nil {
+			return nil, err
+		}
+		return ex.Extract, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown feature kind %d", int(m.Feature))
+	}
+}
+
+// fit trains the method's model and returns the (train, test) score
+// vectors along with the classification threshold.
+func (m FeatureModelMethod) fit(run *Run) (trainScores, testScores []float64, threshold float64, err error) {
+	extract, err := m.extractor(run)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("experiments: %s extractor: %w", m.Label, err)
+	}
+	trainX, err := extractAll(run.DS.Train, run.Opts.Workers, extract)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+	}
+	testX, err := extractAll(run.DS.Test, run.Opts.Workers, extract)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+	}
+	trainY := eval.Labels(run.DS.Train)
+
+	switch m.Model {
+	case ModelLinear:
+		model, err := linreg.Fit(trainX, trainY, linreg.Options{})
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("experiments: %s fit: %w", m.Label, err)
+		}
+		trainScores = make([]float64, len(trainX))
+		for i, x := range trainX {
+			if trainScores[i], err = model.Score(x); err != nil {
+				return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+			}
+		}
+		testScores = make([]float64, len(testX))
+		for i, x := range testX {
+			if testScores[i], err = model.Score(x); err != nil {
+				return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+			}
+		}
+		th, err := eval.BestThreshold(trainScores, trainY)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("experiments: %s threshold: %w", m.Label, err)
+		}
+		return trainScores, testScores, th, nil
+	case ModelNeural:
+		scaler, err := nn.FitStandardizer(trainX)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("experiments: %s scaler: %w", m.Label, err)
+		}
+		trainX, err = scaler.TransformAll(trainX)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+		}
+		testX, err = scaler.TransformAll(testX)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+		}
+		net, err := nn.New(nn.Config{Epochs: run.Opts.Epochs, Seed: run.Opts.Seed, EarlyStop: true})
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("experiments: %s config: %w", m.Label, err)
+		}
+		if err := net.Train(trainX, trainY); err != nil {
+			return nil, nil, 0, fmt.Errorf("experiments: %s train: %w", m.Label, err)
+		}
+		trainScores = make([]float64, len(trainX))
+		for i, x := range trainX {
+			if trainScores[i], err = net.Score(x); err != nil {
+				return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+			}
+		}
+		testScores = make([]float64, len(testX))
+		for i, x := range testX {
+			if testScores[i], err = net.Score(x); err != nil {
+				return nil, nil, 0, fmt.Errorf("experiments: %s: %w", m.Label, err)
+			}
+		}
+		// Softmax probability of the positive class thresholds at 0.5.
+		return trainScores, testScores, 0.5, nil
+	default:
+		return nil, nil, 0, fmt.Errorf("experiments: unknown model family %d", int(m.Model))
+	}
+}
+
+// testScores returns just the test-split scores (used by RankingTable).
+func (m FeatureModelMethod) testScores(run *Run) ([]float64, error) {
+	_, scores, _, err := m.fit(run)
+	return scores, err
+}
+
+// Evaluate implements Method.
+func (m FeatureModelMethod) Evaluate(run *Run) (Result, error) {
+	_, testScores, th, err := m.fit(run)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFromScores(m.Label, testScores, eval.Labels(run.DS.Test), th)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ssflp/internal/datagen"
+)
+
+// AggregateCell is one (dataset, method) measurement aggregated over
+// repeated runs with different split seeds — the variance-aware extension of
+// Table III (the paper reports single numbers; repeated runs expose how much
+// of a method gap is split noise, which matters at reproduction scale).
+type AggregateCell struct {
+	Dataset   string
+	Method    string
+	Runs      int
+	MeanAUC   float64
+	StdAUC    float64
+	MeanF1    float64
+	StdF1     float64
+	AUCValues []float64
+}
+
+// Table3Repeated runs Table III `runs` times with split seeds seed, seed+1,
+// ... and aggregates per-cell means and standard deviations. The dataset
+// instances themselves are held fixed (generated from opts.Run.Seed) so the
+// variance isolated is that of the split + model initialization.
+func Table3Repeated(opts SuiteOptions, runs int) ([]AggregateCell, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("experiments: runs must be >= 1, got %d", runs)
+	}
+	opts = opts.withDefaults()
+	cfgs, err := opts.datasetConfigs()
+	if err != nil {
+		return nil, err
+	}
+	methods, err := opts.methodList()
+	if err != nil {
+		return nil, err
+	}
+	type key struct{ d, m string }
+	acc := make(map[key]*AggregateCell)
+	var order []key
+	for _, cfg := range cfgs {
+		g, err := datagen.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", cfg.Name, err)
+		}
+		for r := 0; r < runs; r++ {
+			runOpts := opts.Run
+			runOpts.Seed = opts.Run.Seed + int64(r)
+			run, err := NewRun(cfg.Name, g, runOpts)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range methods {
+				res, err := m.Evaluate(run)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s on %s (run %d): %w", m.Name(), cfg.Name, r, err)
+				}
+				k := key{cfg.Name, m.Name()}
+				cell, ok := acc[k]
+				if !ok {
+					cell = &AggregateCell{Dataset: cfg.Name, Method: m.Name()}
+					acc[k] = cell
+					order = append(order, k)
+				}
+				cell.Runs++
+				cell.MeanAUC += res.AUC
+				cell.MeanF1 += res.F1
+				cell.AUCValues = append(cell.AUCValues, res.AUC)
+				cell.StdF1 += res.F1 * res.F1
+				cell.StdAUC += res.AUC * res.AUC
+			}
+		}
+	}
+	out := make([]AggregateCell, 0, len(order))
+	for _, k := range order {
+		c := acc[k]
+		n := float64(c.Runs)
+		meanA, meanF := c.MeanAUC/n, c.MeanF1/n
+		c.StdAUC = math.Sqrt(math.Max(0, c.StdAUC/n-meanA*meanA))
+		c.StdF1 = math.Sqrt(math.Max(0, c.StdF1/n-meanF*meanF))
+		c.MeanAUC, c.MeanF1 = meanA, meanF
+		out = append(out, *c)
+	}
+	return out, nil
+}
+
+// FormatTable3Repeated renders aggregated cells as "mean±std" per method
+// and dataset.
+func FormatTable3Repeated(cells []AggregateCell) string {
+	var datasets, methods []string
+	seenD, seenM := map[string]struct{}{}, map[string]struct{}{}
+	type key struct{ d, m string }
+	byKey := map[key]AggregateCell{}
+	for _, c := range cells {
+		if _, ok := seenD[c.Dataset]; !ok {
+			seenD[c.Dataset] = struct{}{}
+			datasets = append(datasets, c.Dataset)
+		}
+		if _, ok := seenM[c.Method]; !ok {
+			seenM[c.Method] = struct{}{}
+			methods = append(methods, c.Method)
+		}
+		byKey[key{c.Dataset, c.Method}] = c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, d := range datasets {
+		fmt.Fprintf(&b, " | %17s", truncate(d, 17))
+	}
+	b.WriteString("\n")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "%-9s", m)
+		for _, d := range datasets {
+			c, ok := byKey[key{d, m}]
+			if !ok {
+				fmt.Fprintf(&b, " | %17s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " | %6.3f±%-5.3f F1 %.2f", c.MeanAUC, c.StdAUC, c.MeanF1)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RankMethodsByMeanAUC orders method names by their mean AUC across all
+// aggregated cells (macro-average over datasets), best first.
+func RankMethodsByMeanAUC(cells []AggregateCell) []string {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, c := range cells {
+		sums[c.Method] += c.MeanAUC
+		counts[c.Method]++
+	}
+	names := make([]string, 0, len(sums))
+	for m := range sums {
+		names = append(names, m)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a := sums[names[i]] / float64(counts[names[i]])
+		b := sums[names[j]] / float64(counts[names[j]])
+		if a != b {
+			return a > b
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ssflp/internal/graph"
+)
+
+// RollingPoint is one (cut time, method) evaluation of a rolling-origin
+// sweep.
+type RollingPoint struct {
+	Cut graph.Timestamp
+	Result
+}
+
+// RollingOptions configures RollingEvaluation.
+type RollingOptions struct {
+	// Cuts is the number of evaluation origins, spaced evenly over the
+	// second half of the time span. Default 3.
+	Cuts int
+	// Run carries the per-cut evaluation settings.
+	Run RunOptions
+	// Methods restricts the evaluated methods (nil = all 15).
+	Methods []string
+}
+
+// RollingEvaluation extends the paper's single-origin protocol: instead of
+// evaluating only at the final timestamp, the network is truncated at
+// several cut times spread over the second half of its span and the full
+// protocol (split at the cut, features from the prior history) runs at each
+// cut. Averaging over origins separates method quality from the luck of one
+// particular evaluation timestamp.
+func RollingEvaluation(g *graph.Graph, opts RollingOptions) ([]RollingPoint, error) {
+	if opts.Cuts == 0 {
+		opts.Cuts = 3
+	}
+	if opts.Cuts < 1 {
+		return nil, fmt.Errorf("experiments: cuts must be >= 1, got %d", opts.Cuts)
+	}
+	var methods []Method
+	if opts.Methods == nil {
+		methods = AllMethods()
+	} else {
+		for _, name := range opts.Methods {
+			m, err := MethodByName(name)
+			if err != nil {
+				return nil, err
+			}
+			methods = append(methods, m)
+		}
+	}
+	lo, hi := g.MinTimestamp(), g.MaxTimestamp()
+	if hi <= lo {
+		return nil, fmt.Errorf("experiments: graph spans a single timestamp")
+	}
+	span := hi - lo
+	var out []RollingPoint
+	for c := 0; c < opts.Cuts; c++ {
+		// Cut times from mid-span to the end, inclusive of the final one.
+		frac := 0.5 + 0.5*float64(c+1)/float64(opts.Cuts)
+		cut := lo + graph.Timestamp(float64(span)*frac)
+		if cut > hi {
+			cut = hi
+		}
+		truncated := g.Period(lo, cut+1)
+		if truncated.NumEdges() == 0 {
+			continue
+		}
+		run, err := NewRun(fmt.Sprintf("cut=%d", cut), truncated, opts.Run)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rolling cut %d: %w", cut, err)
+		}
+		for _, m := range methods {
+			res, err := m.Evaluate(run)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: rolling %s at cut %d: %w", m.Name(), cut, err)
+			}
+			out = append(out, RollingPoint{Cut: cut, Result: res})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no usable rolling cuts")
+	}
+	return out, nil
+}
+
+// RollingMeans aggregates rolling points into per-method mean AUC/F1.
+func RollingMeans(points []RollingPoint) []Result {
+	sums := map[string]*Result{}
+	counts := map[string]int{}
+	var order []string
+	for _, p := range points {
+		r, ok := sums[p.Method]
+		if !ok {
+			r = &Result{Method: p.Method}
+			sums[p.Method] = r
+			order = append(order, p.Method)
+		}
+		r.AUC += p.AUC
+		r.F1 += p.F1
+		counts[p.Method]++
+	}
+	out := make([]Result, 0, len(order))
+	for _, m := range order {
+		r := sums[m]
+		n := float64(counts[m])
+		out = append(out, Result{Method: m, AUC: r.AUC / n, F1: r.F1 / n})
+	}
+	return out
+}
+
+// FormatRolling renders a rolling sweep grouped by cut time plus the
+// per-method means.
+func FormatRolling(points []RollingPoint) string {
+	var b strings.Builder
+	var cuts []graph.Timestamp
+	seen := map[graph.Timestamp]struct{}{}
+	for _, p := range points {
+		if _, ok := seen[p.Cut]; !ok {
+			seen[p.Cut] = struct{}{}
+			cuts = append(cuts, p.Cut)
+		}
+	}
+	for _, c := range cuts {
+		fmt.Fprintf(&b, "cut t<=%d:\n", c)
+		for _, p := range points {
+			if p.Cut == c {
+				fmt.Fprintf(&b, "  %-9s AUC=%.3f F1=%.3f\n", p.Method, p.AUC, p.F1)
+			}
+		}
+	}
+	b.WriteString("means over cuts:\n")
+	for _, r := range RollingMeans(points) {
+		fmt.Fprintf(&b, "  %-9s AUC=%.3f F1=%.3f\n", r.Method, r.AUC, r.F1)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// Package experiments reproduces the paper's evaluation section: it wires
+// datasets, feature extractors, models and metrics into runners for
+// Table II (dataset statistics), Table III (AUC/F1 of 15 methods on 7
+// datasets), Figure 6 (most frequent K-structure subgraph patterns) and
+// Figure 7 (SSFNM performance versus K), plus plain-text renderers for the
+// resulting tables and series.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ssflp/internal/eval"
+	"ssflp/internal/graph"
+)
+
+// ErrBadRun is returned for invalid run configurations.
+var ErrBadRun = errors.New("experiments: invalid run configuration")
+
+// RunOptions configures the shared evaluation context for one dataset.
+type RunOptions struct {
+	// K is the (K-)structure subgraph size for SSF/WLF methods. Default 10
+	// (the paper's Table III setting).
+	K int
+	// Epochs for the neural machine. Default 200; the paper uses 2000.
+	Epochs int
+	// MaxPositives caps the number of positive links per dataset (0 = all);
+	// large datasets stay tractable because features cost O(K³ + K|V_h|²)
+	// per link.
+	MaxPositives int
+	// Seed drives the split, negative sampling, and model initialization.
+	Seed int64
+	// Workers bounds the feature-extraction parallelism. Default NumCPU.
+	Workers int
+	// TrainFraction for the positive split. Default 0.7.
+	TrainFraction float64
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 200
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.TrainFraction == 0 {
+		o.TrainFraction = 0.7
+	}
+	return o
+}
+
+// Run is the evaluation context for one dataset: the full dynamic network,
+// the history period before the present timestamp, its static view, and the
+// supervised train/test split of Section VI-C-2.
+type Run struct {
+	Name    string
+	Full    *graph.Graph
+	History *graph.Graph
+	View    *graph.StaticView
+	Present graph.Timestamp
+	DS      *eval.Dataset
+	Opts    RunOptions
+}
+
+// NewRun builds the evaluation context for a named dynamic network.
+func NewRun(name string, g *graph.Graph, opts RunOptions) (*Run, error) {
+	opts = opts.withDefaults()
+	if err := validateRunOptions(opts); err != nil {
+		return nil, err
+	}
+	ds, err := eval.BuildDataset(g, eval.SplitOptions{
+		TrainFraction: opts.TrainFraction,
+		Seed:          opts.Seed,
+		MaxPositives:  opts.MaxPositives,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: split %s: %w", name, err)
+	}
+	return NewRunWithDataset(name, g, ds, opts)
+}
+
+// NewRunWithDataset builds the evaluation context around an externally
+// constructed split (e.g. eval.BuildDatasetHardNegatives).
+func NewRunWithDataset(name string, g *graph.Graph, ds *eval.Dataset, opts RunOptions) (*Run, error) {
+	opts = opts.withDefaults()
+	if err := validateRunOptions(opts); err != nil {
+		return nil, err
+	}
+	if ds == nil || len(ds.Train) == 0 || len(ds.Test) == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrBadRun)
+	}
+	history := g.Before(ds.Present)
+	return &Run{
+		Name:    name,
+		Full:    g,
+		History: history,
+		View:    history.Static(),
+		Present: ds.Present,
+		DS:      ds,
+		Opts:    opts,
+	}, nil
+}
+
+func validateRunOptions(opts RunOptions) error {
+	if opts.K < 3 {
+		return fmt.Errorf("%w: K = %d", ErrBadRun, opts.K)
+	}
+	if opts.Epochs < 1 || opts.Workers < 1 {
+		return fmt.Errorf("%w: epochs = %d, workers = %d", ErrBadRun, opts.Epochs, opts.Workers)
+	}
+	return nil
+}
+
+// Result is one (method, dataset) cell of Table III.
+type Result struct {
+	Method string
+	AUC    float64
+	F1     float64
+}
+
+// extractAll computes feature vectors for every sample in parallel with a
+// bounded worker pool, preserving sample order. The first extraction error
+// aborts the batch.
+func extractAll(samples []eval.Sample, workers int, extract func(u, v graph.NodeID) ([]float64, error)) ([][]float64, error) {
+	out := make([][]float64, len(samples))
+	errs := make([]error, len(samples))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(workers, 1))
+	for i, s := range samples {
+		wg.Add(1)
+		go func(i int, s eval.Sample) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = extract(s.Pair.U, s.Pair.V)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: extract features for %v: %w", samples[i].Pair, err)
+		}
+	}
+	return out, nil
+}
+
+// scoreAll evaluates a pair scorer over samples (sequentially — scorers are
+// cheap compared to subgraph extraction, and some share internal buffers).
+func scoreAll(samples []eval.Sample, score func(u, v graph.NodeID) float64) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = score(s.Pair.U, s.Pair.V)
+	}
+	return out
+}
+
+// resultFromScores derives AUC on test scores and F1 at the given threshold.
+func resultFromScores(method string, testScores []float64, testLabels []int, threshold float64) (Result, error) {
+	auc, err := eval.AUC(testScores, testLabels)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s auc: %w", method, err)
+	}
+	f1, err := eval.F1Score(testScores, testLabels, threshold)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s f1: %w", method, err)
+	}
+	return Result{Method: method, AUC: auc, F1: f1}, nil
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ssflp/internal/datagen"
+	"ssflp/internal/graph"
+)
+
+// SuiteOptions configures a full multi-dataset experiment sweep.
+type SuiteOptions struct {
+	// ScaleDivisor shrinks the Table II dataset sizes (1 = paper scale).
+	ScaleDivisor int
+	// Run carries the per-dataset evaluation settings.
+	Run RunOptions
+	// Datasets restricts the sweep (nil = all seven Table II datasets).
+	Datasets []string
+	// Methods restricts the method rows (nil = all 15 Table III methods).
+	Methods []string
+}
+
+func (o SuiteOptions) withDefaults() SuiteOptions {
+	if o.ScaleDivisor == 0 {
+		o.ScaleDivisor = 1
+	}
+	if o.Datasets == nil {
+		o.Datasets = datagen.Names()
+	}
+	return o
+}
+
+// datasetConfigs resolves the configured dataset list.
+func (o SuiteOptions) datasetConfigs() ([]datagen.Config, error) {
+	o = o.withDefaults()
+	out := make([]datagen.Config, 0, len(o.Datasets))
+	for _, name := range o.Datasets {
+		cfg, err := datagen.ByName(name, o.Run.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, datagen.Scale(cfg, o.ScaleDivisor))
+	}
+	return out, nil
+}
+
+// methodList resolves the configured method list.
+func (o SuiteOptions) methodList() ([]Method, error) {
+	if o.Methods == nil {
+		return AllMethods(), nil
+	}
+	out := make([]Method, 0, len(o.Methods))
+	for _, name := range o.Methods {
+		m, err := MethodByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// DatasetStats is one Table II row.
+type DatasetStats struct {
+	Name  string
+	Stats graph.Stats
+}
+
+// Table2 generates every configured dataset and reports its statistics —
+// the reproduction of Table II.
+func Table2(opts SuiteOptions) ([]DatasetStats, error) {
+	cfgs, err := opts.withDefaults().datasetConfigs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DatasetStats, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		g, err := datagen.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", cfg.Name, err)
+		}
+		out = append(out, DatasetStats{Name: cfg.Name, Stats: g.Statistics()})
+	}
+	return out, nil
+}
+
+// FormatTable2 renders Table II rows as aligned plain text.
+func FormatTable2(rows []DatasetStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %12s %10s\n", "Dataset", "|V|", "|E|", "Avg.Degree", "TimeSpan")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %8d %12.2f %10d\n",
+			r.Name, r.Stats.NumNodes, r.Stats.NumEdges, r.Stats.AvgDegree, r.Stats.TimeSpan)
+	}
+	return b.String()
+}
+
+// Table3Cell is one (dataset, method) measurement.
+type Table3Cell struct {
+	Dataset string
+	Result
+}
+
+// Table3 runs the configured methods on the configured datasets — the
+// reproduction of Table III. Results are in (dataset-major, method) order.
+func Table3(opts SuiteOptions) ([]Table3Cell, error) {
+	opts = opts.withDefaults()
+	cfgs, err := opts.datasetConfigs()
+	if err != nil {
+		return nil, err
+	}
+	methods, err := opts.methodList()
+	if err != nil {
+		return nil, err
+	}
+	var out []Table3Cell
+	for _, cfg := range cfgs {
+		g, err := datagen.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %s: %w", cfg.Name, err)
+		}
+		run, err := NewRun(cfg.Name, g, opts.Run)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			res, err := m.Evaluate(run)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", m.Name(), cfg.Name, err)
+			}
+			out = append(out, Table3Cell{Dataset: cfg.Name, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// FormatTable3 renders Table III cells in the paper's layout: one method
+// per row, AUC and F1 columns per dataset, best AUC per dataset marked *.
+func FormatTable3(cells []Table3Cell) string {
+	datasets := orderedKeys(cells, func(c Table3Cell) string { return c.Dataset })
+	methods := orderedKeys(cells, func(c Table3Cell) string { return c.Method })
+	type key struct{ d, m string }
+	byKey := make(map[key]Result, len(cells))
+	bestAUC := make(map[string]float64, len(datasets))
+	for _, c := range cells {
+		byKey[key{c.Dataset, c.Method}] = c.Result
+		if c.AUC > bestAUC[c.Dataset] {
+			bestAUC[c.Dataset] = c.AUC
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, d := range datasets {
+		fmt.Fprintf(&b, " | %13s", truncate(d, 13))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-9s", "")
+	for range datasets {
+		fmt.Fprintf(&b, " | %6s %6s", "AUC", "F1")
+	}
+	b.WriteString("\n")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "%-9s", m)
+		for _, d := range datasets {
+			r, ok := byKey[key{d, m}]
+			if !ok {
+				fmt.Fprintf(&b, " | %6s %6s", "-", "-")
+				continue
+			}
+			star := " "
+			if r.AUC == bestAUC[d] {
+				star = "*"
+			}
+			fmt.Fprintf(&b, " | %5.3f%s %6.3f", r.AUC, star, r.F1)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// orderedKeys returns unique keys in first-appearance order.
+func orderedKeys(cells []Table3Cell, keyOf func(Table3Cell) string) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, c := range cells {
+		k := keyOf(c)
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// BestMethodsPerDataset summarizes which method wins each dataset by AUC —
+// the "most best values fall on SSFLR and SSFNM" observation.
+func BestMethodsPerDataset(cells []Table3Cell) map[string]string {
+	best := make(map[string]Result)
+	for _, c := range cells {
+		if cur, ok := best[c.Dataset]; !ok || c.AUC > cur.AUC {
+			best[c.Dataset] = c.Result
+		}
+	}
+	out := make(map[string]string, len(best))
+	for d, r := range best {
+		out[d] = r.Method
+	}
+	return out
+}
+
+// SortCells orders cells deterministically (dataset, then method) for
+// stable test assertions.
+func SortCells(cells []Table3Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Dataset != cells[j].Dataset {
+			return cells[i].Dataset < cells[j].Dataset
+		}
+		return cells[i].Method < cells[j].Method
+	})
+}

@@ -1,0 +1,95 @@
+package graph
+
+// ConnectedComponents labels every node with a component id in [0, count)
+// and returns the labeling plus the number of components. Parallel edges are
+// irrelevant to connectivity; isolated nodes form singleton components.
+func (g *Graph) ConnectedComponents() ([]int32, int) {
+	comp := make([]int32, len(g.adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var count int32
+	queue := make([]NodeID, 0, 64)
+	for start := range g.adj {
+		if comp[start] != -1 {
+			continue
+		}
+		comp[start] = count
+		queue = append(queue[:0], NodeID(start))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, a := range g.adj[u] {
+				if comp[a.To] == -1 {
+					comp[a.To] = count
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		count++
+	}
+	return comp, int(count)
+}
+
+// LargestComponentSize returns the node count of the largest connected
+// component (0 for an empty graph).
+func (g *Graph) LargestComponentSize() int {
+	comp, count := g.ConnectedComponents()
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for _, s := range sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// GlobalClusteringCoefficient returns 3·triangles / open-triads on the
+// static view (transitivity). Zero when the graph has no length-2 paths.
+func (v *StaticView) GlobalClusteringCoefficient() float64 {
+	var triangles, triads int64
+	n := v.NumNodes()
+	for u := 0; u < n; u++ {
+		d := int64(v.Degree(NodeID(u)))
+		triads += d * (d - 1) / 2
+		for _, w := range v.Neighbors(NodeID(u)) {
+			if w <= NodeID(u) {
+				continue
+			}
+			for c := range v.CommonNeighbors(NodeID(u), w) {
+				if c > w {
+					triangles++
+				}
+			}
+		}
+	}
+	if triads == 0 {
+		return 0
+	}
+	return 3 * float64(triangles) / float64(triads)
+}
+
+// LocalClusteringCoefficient returns the fraction of u's neighbor pairs
+// that are themselves adjacent, or 0 for degree < 2.
+func (v *StaticView) LocalClusteringCoefficient(u NodeID) float64 {
+	nbrs := v.Neighbors(u)
+	d := len(nbrs)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if v.HasEdge(nbrs[i], nbrs[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / (float64(d) * float64(d-1))
+}

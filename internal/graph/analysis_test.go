@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 3, 4, 1)
+	g.EnsureNodes(6) // node 5 isolated
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("chain nodes split across components")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Error("pair component wrong")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Error("isolated node merged into a component")
+	}
+	if got := g.LargestComponentSize(); got != 3 {
+		t.Errorf("LargestComponentSize = %d, want 3", got)
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	g := New(0)
+	if _, count := g.ConnectedComponents(); count != 0 {
+		t.Errorf("empty graph components = %d", count)
+	}
+	if g.LargestComponentSize() != 0 {
+		t.Error("empty graph largest component should be 0")
+	}
+}
+
+func TestGlobalClusteringTriangle(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 0, 2, 1)
+	if got := g.Static().GlobalClusteringCoefficient(); got != 1 {
+		t.Errorf("triangle transitivity = %v, want 1", got)
+	}
+}
+
+func TestGlobalClusteringStar(t *testing.T) {
+	g := New(0)
+	for i := NodeID(1); i <= 4; i++ {
+		mustAdd(t, g, 0, i, 1)
+	}
+	if got := g.Static().GlobalClusteringCoefficient(); got != 0 {
+		t.Errorf("star transitivity = %v, want 0", got)
+	}
+}
+
+func TestLocalClusteringCoefficient(t *testing.T) {
+	// Node 0 has neighbors 1, 2, 3 with one closed pair (1-2).
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 2, 1)
+	mustAdd(t, g, 0, 3, 1)
+	mustAdd(t, g, 1, 2, 1)
+	v := g.Static()
+	want := 1.0 / 3.0
+	if got := v.LocalClusteringCoefficient(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("local clustering = %v, want %v", got, want)
+	}
+	if got := v.LocalClusteringCoefficient(3); got != 0 {
+		t.Errorf("degree-1 clustering = %v, want 0", got)
+	}
+}
+
+func TestPropertyComponentsPartitionAndClusteringBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 40)
+		comp, count := g.ConnectedComponents()
+		for _, c := range comp {
+			if c < 0 || int(c) >= count {
+				return false
+			}
+		}
+		// Every edge stays within one component.
+		for e := range g.Edges() {
+			if comp[e.U] != comp[e.V] {
+				return false
+			}
+		}
+		cc := g.Static().GlobalClusteringCoefficient()
+		return cc >= 0 && cc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

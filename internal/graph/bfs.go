@@ -1,0 +1,54 @@
+package graph
+
+// Unreachable is the distance value reported for nodes not connected to any
+// BFS source.
+const Unreachable int32 = -1
+
+// BFSDistances computes unweighted shortest-path hop counts from the given
+// source set to every node, treating parallel edges as a single hop. The
+// result has one entry per node; Unreachable marks disconnected nodes.
+func (g *Graph) BFSDistances(sources ...NodeID) []int32 {
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]NodeID, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || int(s) >= len(g.adj) || dist[s] != Unreachable {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, a := range g.adj[u] {
+			if dist[a.To] == Unreachable {
+				dist[a.To] = du + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// DistancesToLink computes d(n, e_t) = min(|P(n,a)|, |P(n,b)|) from Eq. 1 for
+// every node: the hop distance to the closer endpoint of the target link.
+func (g *Graph) DistancesToLink(a, b NodeID) []int32 {
+	return g.BFSDistances(a, b)
+}
+
+// NodesWithin returns all node ids whose Eq. 1 distance to the target link
+// (a, b) is at most h, together with the distance slice. This is the vertex
+// set V_h of the h-hop subgraph (Definition 3).
+func (g *Graph) NodesWithin(a, b NodeID, h int) ([]NodeID, []int32) {
+	dist := g.DistancesToLink(a, b)
+	var out []NodeID
+	for u, d := range dist {
+		if d != Unreachable && int(d) <= h {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out, dist
+}

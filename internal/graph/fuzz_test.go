@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList checks that arbitrary inputs never panic the parser and
+// that every successfully parsed graph satisfies the basic invariants and
+// survives a write/read round trip.
+func FuzzLoadEdgeList(f *testing.F) {
+	seeds := []string{
+		"a b 1\nb c 2\n",
+		"# comment\n% comment\n\n0 1\n",
+		"x y 9223372036854775807\n",
+		"u u 3\n",            // self loop (skipped)
+		"n1 n2 not-a-number", // error path
+		"lonely",             // too few fields
+		"a\tb\t5\r\n",        // tabs and CRLF
+		strings.Repeat("p q 1\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		res, err := LoadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // parse errors are fine; panics are not
+		}
+		g := res.Graph
+		if g.NumEdges() < 0 || g.NumNodes() < 0 {
+			t.Fatal("negative counts")
+		}
+		sum := 0
+		for u := 0; u < g.NumNodes(); u++ {
+			sum += g.MultiDegree(NodeID(u))
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2 * edges %d", sum, g.NumEdges())
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		res2, err := LoadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reload: %v", err)
+		}
+		if res2.Graph.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip edges %d != %d", res2.Graph.NumEdges(), g.NumEdges())
+		}
+	})
+}

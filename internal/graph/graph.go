@@ -1,0 +1,235 @@
+// Package graph implements the dynamic multigraph substrate from Definition 1
+// of the SSF paper: an undirected graph whose edges carry integer timestamps
+// and where multiple parallel edges between the same pair of nodes are
+// allowed. It is the foundation every other package in this repository builds
+// on: subgraph extraction, heuristics, dataset generation and evaluation all
+// operate on *Graph or on the derived *StaticView.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"math"
+)
+
+// NodeID identifies a node. Nodes are dense integers in [0, NumNodes).
+type NodeID int32
+
+// Timestamp is the integer emerging time of a link. The paper normalizes
+// timestamps to the dataset's time span (e.g. [1, 803] for Eu-Email).
+type Timestamp int64
+
+// Edge is a single timestamped link e = (U, V, Ts) per Definition 1.
+// Undirected: (U, V, Ts) and (V, U, Ts) denote the same link.
+type Edge struct {
+	U  NodeID
+	V  NodeID
+	Ts Timestamp
+}
+
+// Arc is one directed half of a stored edge: the far endpoint plus the
+// edge's timestamp.
+type Arc struct {
+	To NodeID
+	Ts Timestamp
+}
+
+var (
+	// ErrSelfLoop is returned when adding an edge whose endpoints coincide.
+	// Link prediction is defined over distinct node pairs, so self loops are
+	// rejected at the boundary rather than silently skewing degrees.
+	ErrSelfLoop = errors.New("graph: self loop not allowed")
+
+	// ErrNodeOutOfRange is returned when an operation references a node that
+	// has not been added to the graph.
+	ErrNodeOutOfRange = errors.New("graph: node out of range")
+)
+
+// Graph is a dynamic undirected multigraph. The zero value is an empty graph
+// ready to use. Graph is not safe for concurrent mutation; concurrent reads
+// are safe once construction is complete.
+type Graph struct {
+	adj      [][]Arc
+	numEdges int
+	minTs    Timestamp
+	maxTs    Timestamp
+}
+
+// New returns an empty dynamic graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]Arc, 0, n)}
+}
+
+// NumNodes returns the number of nodes added so far.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of multi-edges (parallel edges each count).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddNode appends a fresh isolated node and returns its id.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	return NodeID(len(g.adj) - 1)
+}
+
+// EnsureNodes grows the node set so that ids [0, n) are all valid.
+func (g *Graph) EnsureNodes(n int) {
+	for len(g.adj) < n {
+		g.adj = append(g.adj, nil)
+	}
+}
+
+// AddEdge inserts the timestamped link (u, v, ts), growing the node set as
+// needed so that both endpoints are valid. Parallel edges and repeated
+// timestamps are allowed per Definition 1; self loops are rejected.
+func (g *Graph) AddEdge(u, v NodeID, ts Timestamp) error {
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	if u < 0 || v < 0 {
+		return fmt.Errorf("%w: (%d, %d)", ErrNodeOutOfRange, u, v)
+	}
+	hi := max(int(u), int(v)) + 1
+	g.EnsureNodes(hi)
+	g.adj[u] = append(g.adj[u], Arc{To: v, Ts: ts})
+	g.adj[v] = append(g.adj[v], Arc{To: u, Ts: ts})
+	if g.numEdges == 0 {
+		g.minTs, g.maxTs = ts, ts
+	} else {
+		g.minTs = min(g.minTs, ts)
+		g.maxTs = max(g.maxTs, ts)
+	}
+	g.numEdges++
+	return nil
+}
+
+// MinTimestamp returns the earliest timestamp in the graph, or 0 when empty.
+func (g *Graph) MinTimestamp() Timestamp { return g.minTs }
+
+// MaxTimestamp returns the latest timestamp in the graph, or 0 when empty.
+func (g *Graph) MaxTimestamp() Timestamp { return g.maxTs }
+
+// MultiDegree returns the number of arc endpoints at u, counting parallel
+// edges with multiplicity.
+func (g *Graph) MultiDegree(u NodeID) int {
+	if int(u) >= len(g.adj) || u < 0 {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// Arcs iterates over every arc leaving u (one per parallel edge).
+func (g *Graph) Arcs(u NodeID) iter.Seq[Arc] {
+	return func(yield func(Arc) bool) {
+		if u < 0 || int(u) >= len(g.adj) {
+			return
+		}
+		for _, a := range g.adj[u] {
+			if !yield(a) {
+				return
+			}
+		}
+	}
+}
+
+// Edges iterates over every multi-edge exactly once (with U < V).
+func (g *Graph) Edges() iter.Seq[Edge] {
+	return func(yield func(Edge) bool) {
+		for u := range g.adj {
+			for _, a := range g.adj[u] {
+				if NodeID(u) < a.To {
+					if !yield(Edge{U: NodeID(u), V: a.To, Ts: a.Ts}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Period returns the period-of-dynamic-network G_(tp,tq): a new graph over
+// the same node set containing exactly the links with tp <= ts < tq.
+func (g *Graph) Period(tp, tq Timestamp) *Graph {
+	out := New(len(g.adj))
+	out.EnsureNodes(len(g.adj))
+	for u := range g.adj {
+		for _, a := range g.adj[u] {
+			if NodeID(u) < a.To && a.Ts >= tp && a.Ts < tq {
+				// Endpoints already exist, so AddEdge cannot fail here.
+				_ = out.AddEdge(NodeID(u), a.To, a.Ts)
+			}
+		}
+	}
+	return out
+}
+
+// Before is shorthand for Period(min timestamp, tq): the history graph used
+// to extract features for links emerging at time tq.
+func (g *Graph) Before(tq Timestamp) *Graph {
+	lo := g.minTs
+	if lo > tq {
+		lo = tq
+	}
+	return g.Period(lo, tq)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{
+		adj:      make([][]Arc, len(g.adj)),
+		numEdges: g.numEdges,
+		minTs:    g.minTs,
+		maxTs:    g.maxTs,
+	}
+	for u, arcs := range g.adj {
+		if len(arcs) == 0 {
+			continue
+		}
+		cp := make([]Arc, len(arcs))
+		copy(cp, arcs)
+		out.adj[u] = cp
+	}
+	return out
+}
+
+// Stats summarizes a dynamic graph the way Table II of the paper does.
+type Stats struct {
+	NumNodes  int
+	NumEdges  int
+	AvgDegree float64 // 2|E| / |V| counting multi-edges, as in Table II
+	TimeSpan  int64   // max - min timestamp
+}
+
+// Statistics computes Table II style statistics for the graph.
+func (g *Graph) Statistics() Stats {
+	s := Stats{NumNodes: len(g.adj), NumEdges: g.numEdges}
+	if s.NumNodes > 0 {
+		s.AvgDegree = 2 * float64(s.NumEdges) / float64(s.NumNodes)
+	}
+	if g.numEdges > 0 {
+		s.TimeSpan = int64(g.maxTs - g.minTs)
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{nodes: %d, edges: %d, ts: [%d, %d]}",
+		len(g.adj), g.numEdges, g.minTs, g.maxTs)
+}
+
+// DecayedWeight returns the remaining influence f(lt, ls) = exp(-theta*(lt-ls))
+// of Eq. 2 for a single link with timestamp ts observed from present time lt.
+// Links from the future of lt contribute full influence 1 (clamped), matching
+// the paper's premise that influence only decays backwards in time.
+func DecayedWeight(lt, ts Timestamp, theta float64) float64 {
+	dt := float64(lt - ts)
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp(-theta * dt)
+}

@@ -1,0 +1,369 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, g *Graph, u, v NodeID, ts Timestamp) {
+	t.Helper()
+	if err := g.AddEdge(u, v, ts); err != nil {
+		t.Fatalf("AddEdge(%d, %d, %d): %v", u, v, ts, err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(4)
+	if g.NumNodes() != 0 {
+		t.Errorf("NumNodes = %d, want 0", g.NumNodes())
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	s := g.Statistics()
+	if s.AvgDegree != 0 || s.TimeSpan != 0 {
+		t.Errorf("Statistics of empty graph = %+v, want zeros", s)
+	}
+}
+
+func TestAddEdgeGrowsNodes(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 3, 7, 1)
+	if got := g.NumNodes(); got != 8 {
+		t.Errorf("NumNodes = %d, want 8", got)
+	}
+	if got := g.NumEdges(); got != 1 {
+		t.Errorf("NumEdges = %d, want 1", got)
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New(0)
+	err := g.AddEdge(2, 2, 5)
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("AddEdge self loop error = %v, want ErrSelfLoop", err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges after rejected edge = %d, want 0", g.NumEdges())
+	}
+}
+
+func TestAddEdgeRejectsNegativeNode(t *testing.T) {
+	g := New(0)
+	if err := g.AddEdge(-1, 2, 0); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("AddEdge(-1, 2) error = %v, want ErrNodeOutOfRange", err)
+	}
+}
+
+func TestMultiEdgesAllowed(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 1, 0, 2) // same pair, same timestamp, opposite order
+	if got := g.NumEdges(); got != 3 {
+		t.Errorf("NumEdges = %d, want 3", got)
+	}
+	if got := g.MultiDegree(0); got != 3 {
+		t.Errorf("MultiDegree(0) = %d, want 3", got)
+	}
+	v := g.Static()
+	if got := v.Degree(0); got != 1 {
+		t.Errorf("static Degree(0) = %d, want 1", got)
+	}
+	if got := v.Multiplicity(0, 1); got != 3 {
+		t.Errorf("Multiplicity(0,1) = %d, want 3", got)
+	}
+}
+
+func TestTimestampTracking(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 10)
+	mustAdd(t, g, 1, 2, 3)
+	mustAdd(t, g, 2, 3, 25)
+	if g.MinTimestamp() != 3 || g.MaxTimestamp() != 25 {
+		t.Errorf("timestamps = [%d, %d], want [3, 25]", g.MinTimestamp(), g.MaxTimestamp())
+	}
+	if got := g.Statistics().TimeSpan; got != 22 {
+		t.Errorf("TimeSpan = %d, want 22", got)
+	}
+}
+
+func TestEdgesIteratesEachMultiEdgeOnce(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 1, 2, 3)
+	var edges []Edge
+	for e := range g.Edges() {
+		edges = append(edges, e)
+		if e.U >= e.V {
+			t.Errorf("edge %v not normalized to U < V", e)
+		}
+	}
+	if len(edges) != 3 {
+		t.Errorf("Edges yielded %d, want 3", len(edges))
+	}
+}
+
+func TestArcsIteration(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 2, 5)
+	seen := map[NodeID]Timestamp{}
+	for a := range g.Arcs(0) {
+		seen[a.To] = a.Ts
+	}
+	if len(seen) != 2 || seen[1] != 1 || seen[2] != 5 {
+		t.Errorf("Arcs(0) = %v, want {1:1, 2:5}", seen)
+	}
+	count := 0
+	for range g.Arcs(99) {
+		count++
+	}
+	if count != 0 {
+		t.Errorf("Arcs of missing node yielded %d arcs, want 0", count)
+	}
+}
+
+func TestPeriodFiltersHalfOpenInterval(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 1, 5)
+	mustAdd(t, g, 1, 2, 9)
+	p := g.Period(1, 9)
+	if got := p.NumEdges(); got != 2 {
+		t.Errorf("Period(1,9).NumEdges = %d, want 2 (9 excluded)", got)
+	}
+	if got := p.NumNodes(); got != g.NumNodes() {
+		t.Errorf("Period keeps node set: got %d nodes, want %d", got, g.NumNodes())
+	}
+	b := g.Before(9)
+	if got := b.NumEdges(); got != 2 {
+		t.Errorf("Before(9).NumEdges = %d, want 2", got)
+	}
+}
+
+func TestBeforeEarlierThanMin(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 10)
+	b := g.Before(5)
+	if b.NumEdges() != 0 {
+		t.Errorf("Before(5) edges = %d, want 0", b.NumEdges())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	c := g.Clone()
+	mustAdd(t, c, 1, 2, 2)
+	if g.NumEdges() != 1 {
+		t.Errorf("original mutated by clone edit: edges = %d, want 1", g.NumEdges())
+	}
+	if c.NumEdges() != 2 {
+		t.Errorf("clone edges = %d, want 2", c.NumEdges())
+	}
+}
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := New(0)
+	// 0 - 1 - 2 - 3, and isolated node 4.
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 2, 3, 1)
+	g.EnsureNodes(5)
+	dist := g.BFSDistances(0)
+	want := []int32{0, 1, 2, 3, Unreachable}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], w)
+		}
+	}
+}
+
+func TestDistancesToLinkIsMinOfEndpoints(t *testing.T) {
+	g := New(0)
+	// a=0, b=4 endpoints of the (future) target link; chain 0-1-2-3-4.
+	for i := NodeID(0); i < 4; i++ {
+		mustAdd(t, g, i, i+1, 1)
+	}
+	dist := g.DistancesToLink(0, 4)
+	want := []int32{0, 1, 2, 1, 0}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("d(node %d, link) = %d, want %d", i, dist[i], w)
+		}
+	}
+}
+
+func TestNodesWithin(t *testing.T) {
+	g := New(0)
+	for i := NodeID(0); i < 6; i++ {
+		mustAdd(t, g, i, i+1, 1)
+	}
+	nodes, _ := g.NodesWithin(0, 1, 1)
+	if len(nodes) != 3 { // 0, 1, 2 (node 2 is 1 hop from b=1)
+		t.Errorf("NodesWithin(h=1) = %v, want 3 nodes", nodes)
+	}
+	all, _ := g.NodesWithin(3, 4, 10)
+	if len(all) != 7 {
+		t.Errorf("NodesWithin(h=10) covers %d nodes, want 7", len(all))
+	}
+}
+
+func TestCommonNeighborsAndUnion(t *testing.T) {
+	g := New(0)
+	// Γ_0 = {2, 3, 4}; Γ_1 = {3, 4, 5}.
+	mustAdd(t, g, 0, 2, 1)
+	mustAdd(t, g, 0, 3, 1)
+	mustAdd(t, g, 0, 4, 1)
+	mustAdd(t, g, 1, 3, 1)
+	mustAdd(t, g, 1, 4, 1)
+	mustAdd(t, g, 1, 5, 1)
+	v := g.Static()
+	var common []NodeID
+	for c := range v.CommonNeighbors(0, 1) {
+		common = append(common, c)
+	}
+	if len(common) != 2 || common[0] != 3 || common[1] != 4 {
+		t.Errorf("CommonNeighbors(0,1) = %v, want [3 4]", common)
+	}
+	if got := v.UnionSize(0, 1); got != 4 {
+		t.Errorf("UnionSize(0,1) = %d, want 4", got)
+	}
+}
+
+func TestStrengthUsesMultiplicity(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 0, 2, 3)
+	v := g.Static()
+	if got := v.Strength(0); got != 3 {
+		t.Errorf("Strength(0) = %v, want 3", got)
+	}
+}
+
+func TestStaticViewOutOfRangeQueries(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	v := g.Static()
+	if v.Degree(-1) != 0 || v.Degree(99) != 0 {
+		t.Error("Degree of out-of-range node should be 0")
+	}
+	if v.HasEdge(0, 99) {
+		t.Error("HasEdge(0, 99) should be false")
+	}
+	if v.Neighbors(42) != nil {
+		t.Error("Neighbors of missing node should be nil")
+	}
+}
+
+func TestDecayedWeight(t *testing.T) {
+	if got := DecayedWeight(10, 10, 0.5); got != 1 {
+		t.Errorf("DecayedWeight(dt=0) = %v, want 1", got)
+	}
+	if got := DecayedWeight(10, 12, 0.5); got != 1 {
+		t.Errorf("DecayedWeight(future link) = %v, want clamped 1", got)
+	}
+	want := math.Exp(-0.5 * 4)
+	if got := DecayedWeight(10, 6, 0.5); math.Abs(got-want) > 1e-15 {
+		t.Errorf("DecayedWeight(dt=4) = %v, want %v", got, want)
+	}
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// randomGraph builds a seeded random multigraph for property tests.
+func randomGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	g.EnsureNodes(n)
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		_ = g.AddEdge(u, v, Timestamp(rng.Intn(100)))
+	}
+	return g
+}
+
+func TestPropertyDegreeSumEqualsTwiceEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 30, 80)
+		sum := 0
+		for u := 0; u < g.NumNodes(); u++ {
+			sum += g.MultiDegree(NodeID(u))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStaticViewSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 60)
+		v := g.Static()
+		for u := 0; u < v.NumNodes(); u++ {
+			for _, w := range v.Neighbors(NodeID(u)) {
+				if v.Multiplicity(NodeID(u), w) != v.Multiplicity(w, NodeID(u)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBFSTriangleInequality(t *testing.T) {
+	// d(s, v) <= d(s, u) + 1 for every edge (u, v).
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 50)
+		if g.NumNodes() == 0 {
+			return true
+		}
+		dist := g.BFSDistances(0)
+		for e := range g.Edges() {
+			du, dv := dist[e.U], dist[e.V]
+			if du == Unreachable != (dv == Unreachable) {
+				return false // adjacent nodes must share reachability
+			}
+			if du != Unreachable && abs32(du-dv) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPeriodPartition(t *testing.T) {
+	// Splitting at any cut time partitions the multi-edge count.
+	f := func(seed int64, cutRaw uint8) bool {
+		g := randomGraph(seed, 20, 60)
+		cut := Timestamp(cutRaw % 100)
+		lo := g.Period(-1000, cut)
+		hi := g.Period(cut, 1000)
+		return lo.NumEdges()+hi.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

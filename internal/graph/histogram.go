@@ -1,0 +1,57 @@
+package graph
+
+import "sort"
+
+// DegreeHistogram returns the distribution of distinct-neighbor degrees:
+// hist[d] = number of nodes with degree d (as a sorted slice of (degree,
+// count) pairs to keep sparse high-degree tails compact).
+type DegreeBucket struct {
+	Degree int
+	Count  int
+}
+
+// DegreeHistogram computes the distinct-degree histogram of a static view.
+func (v *StaticView) DegreeHistogram() []DegreeBucket {
+	counts := make(map[int]int)
+	for u := 0; u < v.NumNodes(); u++ {
+		counts[v.Degree(NodeID(u))]++
+	}
+	out := make([]DegreeBucket, 0, len(counts))
+	for d, c := range counts {
+		out = append(out, DegreeBucket{Degree: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
+}
+
+// MaxDegree returns the largest distinct-neighbor degree in the view.
+func (v *StaticView) MaxDegree() int {
+	best := 0
+	for u := 0; u < v.NumNodes(); u++ {
+		if d := v.Degree(NodeID(u)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TimestampHistogram returns the number of multi-edges per timestamp,
+// sorted by timestamp.
+type TimestampBucket struct {
+	Ts    Timestamp
+	Count int
+}
+
+// TimestampHistogram computes the per-timestamp link counts of the graph.
+func (g *Graph) TimestampHistogram() []TimestampBucket {
+	counts := make(map[Timestamp]int)
+	for e := range g.Edges() {
+		counts[e.Ts]++
+	}
+	out := make([]TimestampBucket, 0, len(counts))
+	for ts, c := range counts {
+		out = append(out, TimestampBucket{Ts: ts, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}

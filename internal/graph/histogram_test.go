@@ -1,0 +1,44 @@
+package graph
+
+import "testing"
+
+func TestDegreeHistogram(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 2, 1)
+	mustAdd(t, g, 0, 2, 5) // parallel: degree unaffected
+	g.EnsureNodes(4)       // node 3 isolated
+	v := g.Static()
+	hist := v.DegreeHistogram()
+	want := map[int]int{0: 1, 1: 2, 2: 1}
+	if len(hist) != len(want) {
+		t.Fatalf("buckets = %v", hist)
+	}
+	for _, b := range hist {
+		if want[b.Degree] != b.Count {
+			t.Errorf("degree %d count = %d, want %d", b.Degree, b.Count, want[b.Degree])
+		}
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i-1].Degree >= hist[i].Degree {
+			t.Error("histogram not sorted")
+		}
+	}
+	if got := v.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree = %d, want 2", got)
+	}
+}
+
+func TestTimestampHistogram(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 3)
+	mustAdd(t, g, 1, 2, 3)
+	mustAdd(t, g, 2, 3, 7)
+	hist := g.TimestampHistogram()
+	if len(hist) != 2 {
+		t.Fatalf("buckets = %v", hist)
+	}
+	if hist[0].Ts != 3 || hist[0].Count != 2 || hist[1].Ts != 7 || hist[1].Count != 1 {
+		t.Errorf("histogram = %v", hist)
+	}
+}

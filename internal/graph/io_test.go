@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListBasic(t *testing.T) {
+	in := `# comment line
+% konect-style comment
+alice bob 3
+bob carol 5
+
+alice carol 7
+alice alice 9
+`
+	res, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if res.Graph.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", res.Graph.NumNodes())
+	}
+	if res.Graph.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", res.Graph.NumEdges())
+	}
+	if res.SelfLoops != 1 {
+		t.Errorf("self loops = %d, want 1", res.SelfLoops)
+	}
+	if res.Comments != 3 {
+		t.Errorf("comments = %d, want 3 (two comments + one blank)", res.Comments)
+	}
+	if id := res.Lookup("bob"); id != 1 {
+		t.Errorf(`Lookup("bob") = %d, want 1 (first-seen order)`, id)
+	}
+	if id := res.Lookup("nobody"); id != -1 {
+		t.Errorf(`Lookup("nobody") = %d, want -1`, id)
+	}
+}
+
+func TestLoadEdgeListDefaultTimestamp(t *testing.T) {
+	res, err := LoadEdgeList(strings.NewReader("a b\n"))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if res.Graph.MaxTimestamp() != 0 {
+		t.Errorf("default timestamp = %d, want 0", res.Graph.MaxTimestamp())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"too few fields", "loner\n"},
+		{"bad timestamp", "a b notanint\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadEdgeList(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("LoadEdgeList(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(7, 12, 40)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	res, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("LoadEdgeList(round trip): %v", err)
+	}
+	if res.Graph.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip edges = %d, want %d", res.Graph.NumEdges(), g.NumEdges())
+	}
+	// Multiset of static multiplicities must survive the round trip modulo
+	// the id relabeling; compare total strengths.
+	var a, b float64
+	va, vb := g.Static(), res.Graph.Static()
+	for u := 0; u < va.NumNodes(); u++ {
+		a += va.Strength(NodeID(u))
+	}
+	for u := 0; u < vb.NumNodes(); u++ {
+		b += vb.Strength(NodeID(u))
+	}
+	if a != b {
+		t.Errorf("total strength changed: %v vs %v", a, b)
+	}
+}
+
+func TestLoadEdgeListFileMissing(t *testing.T) {
+	if _, err := LoadEdgeListFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("LoadEdgeListFile(missing) succeeded, want error")
+	}
+}

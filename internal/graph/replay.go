@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"iter"
+	"sort"
+)
+
+// Replay iterates the graph's multi-edges grouped by timestamp in ascending
+// order — the "links emerge as a stream" view of Section III. The yielded
+// slice is reused between iterations; copy it to retain.
+func (g *Graph) Replay() iter.Seq2[Timestamp, []Edge] {
+	return func(yield func(Timestamp, []Edge) bool) {
+		edges := make([]Edge, 0, g.NumEdges())
+		for e := range g.Edges() {
+			edges = append(edges, e)
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Ts != edges[j].Ts {
+				return edges[i].Ts < edges[j].Ts
+			}
+			if edges[i].U != edges[j].U {
+				return edges[i].U < edges[j].U
+			}
+			return edges[i].V < edges[j].V
+		})
+		var batch []Edge
+		for i := 0; i < len(edges); {
+			j := i
+			batch = batch[:0]
+			for j < len(edges) && edges[j].Ts == edges[i].Ts {
+				batch = append(batch, edges[j])
+				j++
+			}
+			if !yield(edges[i].Ts, batch) {
+				return
+			}
+			i = j
+		}
+	}
+}
+
+// Prefixes iterates growing prefixes of the dynamic network: after each
+// timestamp's links are applied, the accumulated graph is yielded. The
+// yielded graph is the same object each time (mutated in place); Clone it to
+// retain a snapshot. The node set is fixed up front so prefix graphs share
+// node ids with the full graph.
+func (g *Graph) Prefixes() iter.Seq2[Timestamp, *Graph] {
+	return func(yield func(Timestamp, *Graph) bool) {
+		acc := New(g.NumNodes())
+		acc.EnsureNodes(g.NumNodes())
+		for ts, batch := range g.Replay() {
+			for _, e := range batch {
+				// Endpoints exist by construction; AddEdge cannot fail.
+				_ = acc.AddEdge(e.U, e.V, e.Ts)
+			}
+			if !yield(ts, acc) {
+				return
+			}
+		}
+	}
+}

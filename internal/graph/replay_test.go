@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReplayOrdersByTimestamp(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 5)
+	mustAdd(t, g, 1, 2, 2)
+	mustAdd(t, g, 2, 3, 5)
+	mustAdd(t, g, 0, 3, 9)
+	var stamps []Timestamp
+	total := 0
+	for ts, batch := range g.Replay() {
+		stamps = append(stamps, ts)
+		total += len(batch)
+		for _, e := range batch {
+			if e.Ts != ts {
+				t.Errorf("edge %v in batch for ts %d", e, ts)
+			}
+		}
+	}
+	if total != 4 {
+		t.Errorf("replayed %d edges, want 4", total)
+	}
+	want := []Timestamp{2, 5, 9}
+	if len(stamps) != len(want) {
+		t.Fatalf("stamps = %v", stamps)
+	}
+	for i := range want {
+		if stamps[i] != want[i] {
+			t.Errorf("stamp %d = %d, want %d", i, stamps[i], want[i])
+		}
+	}
+}
+
+func TestReplayEarlyStop(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 2)
+	count := 0
+	for range g.Replay() {
+		count++
+		break
+	}
+	if count != 1 {
+		t.Errorf("early break yielded %d batches", count)
+	}
+}
+
+func TestPrefixesAccumulate(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 2)
+	mustAdd(t, g, 2, 3, 2)
+	mustAdd(t, g, 3, 4, 7)
+	var sizes []int
+	for _, prefix := range g.Prefixes() {
+		sizes = append(sizes, prefix.NumEdges())
+		if prefix.NumNodes() != g.NumNodes() {
+			t.Error("prefix node set must match the full graph")
+		}
+	}
+	want := []int{1, 3, 4}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("prefix %d edges = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestPropertyPrefixesMatchPeriod(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 15, 40)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		for ts, prefix := range g.Prefixes() {
+			want := g.Period(g.MinTimestamp(), ts+1)
+			if prefix.NumEdges() != want.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

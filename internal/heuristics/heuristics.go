@@ -1,0 +1,133 @@
+// Package heuristics implements the eight classical link-prediction features
+// of Table I that the paper uses as unsupervised ranking baselines: Common
+// Neighbors, Jaccard, Preferential Attachment, Adamic-Adar, Resource
+// Allocation, reliable Weighted Resource Allocation, truncated Katz and the
+// Local Random Walk index. Each scorer evaluates a closeness score for a
+// candidate node pair on the static view of the history graph.
+package heuristics
+
+import (
+	"math"
+
+	"ssflp/internal/graph"
+)
+
+// Scorer evaluates the closeness of a candidate link (u, v). Higher scores
+// mean the link is more likely to emerge.
+type Scorer interface {
+	// Name returns the Table I feature name.
+	Name() string
+	// Score returns the feature value for the pair (u, v).
+	Score(u, v graph.NodeID) float64
+}
+
+// commonNeighbors implements CN(x, y) = |Γ_x ∩ Γ_y|.
+type commonNeighbors struct{ v *graph.StaticView }
+
+// CommonNeighbors returns the CN scorer (Liben-Nowell & Kleinberg).
+func CommonNeighbors(v *graph.StaticView) Scorer { return &commonNeighbors{v: v} }
+
+func (s *commonNeighbors) Name() string { return "CN" }
+
+func (s *commonNeighbors) Score(u, v graph.NodeID) float64 {
+	n := 0
+	for range s.v.CommonNeighbors(u, v) {
+		n++
+	}
+	return float64(n)
+}
+
+// jaccard implements Jac(x, y) = |Γ_x ∩ Γ_y| / |Γ_x ∪ Γ_y|.
+type jaccard struct{ v *graph.StaticView }
+
+// Jaccard returns the Jaccard-index scorer.
+func Jaccard(v *graph.StaticView) Scorer { return &jaccard{v: v} }
+
+func (s *jaccard) Name() string { return "Jac." }
+
+func (s *jaccard) Score(u, v graph.NodeID) float64 {
+	common := 0
+	for range s.v.CommonNeighbors(u, v) {
+		common++
+	}
+	union := s.v.Degree(u) + s.v.Degree(v) - common
+	if union == 0 {
+		return 0
+	}
+	return float64(common) / float64(union)
+}
+
+// preferentialAttachment implements PA(x, y) = |Γ_x| · |Γ_y|.
+type preferentialAttachment struct{ v *graph.StaticView }
+
+// PreferentialAttachment returns the PA scorer (Barabási & Albert).
+func PreferentialAttachment(v *graph.StaticView) Scorer {
+	return &preferentialAttachment{v: v}
+}
+
+func (s *preferentialAttachment) Name() string { return "PA" }
+
+func (s *preferentialAttachment) Score(u, v graph.NodeID) float64 {
+	return float64(s.v.Degree(u)) * float64(s.v.Degree(v))
+}
+
+// adamicAdar implements AA(x, y) = Σ_{z∈Γ_x∩Γ_y} 1/log|Γ_z|.
+type adamicAdar struct{ v *graph.StaticView }
+
+// AdamicAdar returns the AA scorer. Common neighbors of degree 1 (log 0)
+// are skipped, the standard convention.
+func AdamicAdar(v *graph.StaticView) Scorer { return &adamicAdar{v: v} }
+
+func (s *adamicAdar) Name() string { return "AA" }
+
+func (s *adamicAdar) Score(u, v graph.NodeID) float64 {
+	var score float64
+	for z := range s.v.CommonNeighbors(u, v) {
+		if d := s.v.Degree(z); d > 1 {
+			score += 1 / math.Log(float64(d))
+		}
+	}
+	return score
+}
+
+// resourceAllocation implements RA(x, y) = Σ_{z∈Γ_x∩Γ_y} 1/|Γ_z|.
+type resourceAllocation struct{ v *graph.StaticView }
+
+// ResourceAllocation returns the RA scorer (Zhou, Lü & Zhang).
+func ResourceAllocation(v *graph.StaticView) Scorer { return &resourceAllocation{v: v} }
+
+func (s *resourceAllocation) Name() string { return "RA" }
+
+func (s *resourceAllocation) Score(u, v graph.NodeID) float64 {
+	var score float64
+	for z := range s.v.CommonNeighbors(u, v) {
+		if d := s.v.Degree(z); d > 0 {
+			score += 1 / float64(d)
+		}
+	}
+	return score
+}
+
+// rwra implements rWRA(x, y) = Σ_{z∈Γ_x∩Γ_y} (W_xz · W_yz) / S_z, where the
+// weight of a pair is its number of parallel history links and S_z is node
+// z's total strength (Section VI-C-2).
+type rwra struct{ v *graph.StaticView }
+
+// RWRA returns the reliable weighted resource-allocation scorer.
+func RWRA(v *graph.StaticView) Scorer { return &rwra{v: v} }
+
+func (s *rwra) Name() string { return "rWRA" }
+
+func (s *rwra) Score(u, v graph.NodeID) float64 {
+	var score float64
+	for z := range s.v.CommonNeighbors(u, v) {
+		sz := s.v.Strength(z)
+		if sz == 0 {
+			continue
+		}
+		wxz := float64(s.v.Multiplicity(u, z))
+		wyz := float64(s.v.Multiplicity(v, z))
+		score += wxz * wyz / sz
+	}
+	return score
+}

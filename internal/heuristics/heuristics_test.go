@@ -1,0 +1,271 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+// figure1Graph builds the celebrity example of the paper's Figure 1(a):
+// celebrities A(0), B(1), C(2) densely interconnected via fans, and common
+// users X(3), Y(4) who are just two of C's many fans.
+//
+//	A-C, B-C direct links; A and B each have 3 private fans; C has fans
+//	including X and Y.
+func figure1Graph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(0)
+	add := func(u, v int) {
+		t.Helper()
+		if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 2) // A-C
+	add(1, 2) // B-C
+	// A's fans: 5, 6, 7. B's fans: 8, 9, 10.
+	for _, f := range []int{5, 6, 7} {
+		add(0, f)
+	}
+	for _, f := range []int{8, 9, 10} {
+		add(1, f)
+	}
+	// C's fans: X(3), Y(4), 11, 12.
+	for _, f := range []int{3, 4, 11, 12} {
+		add(2, f)
+	}
+	return g
+}
+
+func TestCommonNeighborsCannotSeparateFigure1(t *testing.T) {
+	// The paper's motivating observation: CN, AA, RA, rWRA give A-B and X-Y
+	// identical scores (single common neighbor C).
+	g := figure1Graph(t)
+	v := g.Static()
+	for _, s := range []Scorer{CommonNeighbors(v), AdamicAdar(v), ResourceAllocation(v), RWRA(v)} {
+		ab := s.Score(0, 1)
+		xy := s.Score(3, 4)
+		if ab != xy {
+			t.Errorf("%s separates A-B (%v) from X-Y (%v); Figure 1 says it cannot", s.Name(), ab, xy)
+		}
+	}
+}
+
+func TestPASeparatesFigure1(t *testing.T) {
+	g := figure1Graph(t)
+	v := g.Static()
+	pa := PreferentialAttachment(v)
+	if ab, xy := pa.Score(0, 1), pa.Score(3, 4); ab <= xy {
+		t.Errorf("PA(A-B) = %v should exceed PA(X-Y) = %v", ab, xy)
+	}
+}
+
+func TestScorersKnownValues(t *testing.T) {
+	// Square with diagonal: 0-1, 1-2, 2-3, 3-0, 0-2.
+	g := graph.New(0)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}} {
+		if err := g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := g.Static()
+	// Γ_1 = {0, 2}; Γ_3 = {0, 2}; common = {0, 2}.
+	if got := CommonNeighbors(v).Score(1, 3); got != 2 {
+		t.Errorf("CN(1,3) = %v, want 2", got)
+	}
+	if got := Jaccard(v).Score(1, 3); got != 1 {
+		t.Errorf("Jac(1,3) = %v, want 1 (identical neighborhoods)", got)
+	}
+	if got := PreferentialAttachment(v).Score(1, 3); got != 4 {
+		t.Errorf("PA(1,3) = %v, want 4", got)
+	}
+	wantAA := 1/math.Log(3) + 1/math.Log(3) // deg(0)=3, deg(2)=3
+	if got := AdamicAdar(v).Score(1, 3); math.Abs(got-wantAA) > 1e-12 {
+		t.Errorf("AA(1,3) = %v, want %v", got, wantAA)
+	}
+	wantRA := 1.0/3 + 1.0/3
+	if got := ResourceAllocation(v).Score(1, 3); math.Abs(got-wantRA) > 1e-12 {
+		t.Errorf("RA(1,3) = %v, want %v", got, wantRA)
+	}
+}
+
+func TestJaccardDisconnectedPair(t *testing.T) {
+	g := graph.New(0)
+	g.EnsureNodes(2)
+	v := g.Static()
+	if got := Jaccard(v).Score(0, 1); got != 0 {
+		t.Errorf("Jaccard of isolated pair = %v, want 0", got)
+	}
+}
+
+func TestRWRAWeightsMultiEdges(t *testing.T) {
+	// z=2 is the common neighbor. Doubling the 0-2 multiplicity raises rWRA.
+	base := graph.New(0)
+	for _, e := range [][3]int{{0, 2, 1}, {1, 2, 1}} {
+		if err := base.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), graph.Timestamp(e[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heavy := base.Clone()
+	if err := heavy.AddEdge(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	sb := RWRA(base.Static()).Score(0, 1)
+	sh := RWRA(heavy.Static()).Score(0, 1)
+	if sh <= sb {
+		t.Errorf("rWRA with heavier weight = %v, want > %v", sh, sb)
+	}
+}
+
+func TestKatzValidationAndKnownValue(t *testing.T) {
+	g := graph.New(0)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v := g.Static()
+	if _, err := Katz(v, KatzOptions{Beta: 0}); err == nil {
+		t.Error("Katz beta=0 should fail")
+	}
+	if _, err := Katz(v, KatzOptions{Beta: 0.1, MaxLen: -1}); err == nil {
+		t.Error("Katz negative MaxLen should fail")
+	}
+	s, err := Katz(v, KatzOptions{Beta: 0.5, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths 0->1 of length 1 (one) and length 3 (one: 0-1-0-1).
+	want := 0.5 + 0.125
+	if got := s.Score(0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Katz(0,1) = %v, want %v", got, want)
+	}
+	if got := s.Score(0, 99); got != 0 {
+		t.Errorf("Katz out-of-range = %v, want 0", got)
+	}
+}
+
+func TestKatzPrefersCloserPairs(t *testing.T) {
+	// Path 0-1-2-3: Katz(0,1) > Katz(0,2) > Katz(0,3).
+	g := graph.New(0)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Katz(g.Static(), KatzOptions{Beta: 0.05, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := s.Score(0, 1), s.Score(0, 2), s.Score(0, 3)
+	if !(a > b && b > c) {
+		t.Errorf("Katz ordering violated: %v, %v, %v", a, b, c)
+	}
+}
+
+func TestLocalRandomWalkBasics(t *testing.T) {
+	g := figure1Graph(t)
+	v := g.Static()
+	if _, err := LocalRandomWalk(v, RandomWalkOptions{Steps: -2}); err == nil {
+		t.Error("negative steps should fail")
+	}
+	s, err := LocalRandomWalk(v, RandomWalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Score(0, 99); got != 0 {
+		t.Errorf("RW out-of-range = %v, want 0", got)
+	}
+	// Symmetric by construction.
+	if a, b := s.Score(0, 1), s.Score(1, 0); math.Abs(a-b) > 1e-12 {
+		t.Errorf("RW not symmetric: %v vs %v", a, b)
+	}
+	// A pair with a shared neighbor must outscore a pair beyond the walk
+	// horizon (5 and 8 are four hops apart, unreachable in 3 steps).
+	if near, far := s.Score(0, 3), s.Score(5, 8); !(near > 0 && far == 0) {
+		t.Errorf("RW(near) = %v, RW(far) = %v; want positive and zero", near, far)
+	}
+}
+
+func TestLocalRandomWalkEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	g.EnsureNodes(3)
+	s, err := LocalRandomWalk(g.Static(), RandomWalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Score(0, 1); got != 0 {
+		t.Errorf("RW on empty graph = %v, want 0", got)
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	g := figure1Graph(t)
+	v := g.Static()
+	katz, err := Katz(v, KatzOptions{Beta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := LocalRandomWalk(v, RandomWalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Scorer]string{
+		CommonNeighbors(v):        "CN",
+		Jaccard(v):                "Jac.",
+		PreferentialAttachment(v): "PA",
+		AdamicAdar(v):             "AA",
+		ResourceAllocation(v):     "RA",
+		RWRA(v):                   "rWRA",
+		katz:                      "Katz",
+		rw:                        "RW",
+	}
+	for s, name := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}
+
+func TestPropertyScoresSymmetricAndFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(15)
+		g.EnsureNodes(15)
+		for i := 0; i < 40; i++ {
+			u, v := graph.NodeID(rng.Intn(15)), graph.NodeID(rng.Intn(15))
+			if u != v {
+				_ = g.AddEdge(u, v, graph.Timestamp(rng.Intn(10)))
+			}
+		}
+		view := g.Static()
+		katz, err := Katz(view, KatzOptions{Beta: 0.01})
+		if err != nil {
+			return false
+		}
+		rw, err := LocalRandomWalk(view, RandomWalkOptions{})
+		if err != nil {
+			return false
+		}
+		scorers := []Scorer{
+			CommonNeighbors(view), Jaccard(view), PreferentialAttachment(view),
+			AdamicAdar(view), ResourceAllocation(view), RWRA(view), katz, rw,
+		}
+		u := graph.NodeID(rng.Intn(15))
+		v := graph.NodeID(rng.Intn(15))
+		for _, s := range scorers {
+			a, b := s.Score(u, v), s.Score(v, u)
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+				return false
+			}
+			if math.Abs(a-b) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+// propertyGraph builds a seeded random multigraph.
+func propertyGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(20)
+	g.EnsureNodes(20)
+	for i := 0; i < 60; i++ {
+		u, v := graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20))
+		if u != v {
+			_ = g.AddEdge(u, v, graph.Timestamp(rng.Intn(15)))
+		}
+	}
+	return g
+}
+
+// TestPropertyRAAtMostCN: each common neighbor contributes 1/deg <= 1, so
+// RA(x, y) <= CN(x, y) everywhere.
+func TestPropertyRAAtMostCN(t *testing.T) {
+	f := func(seed int64) bool {
+		g := propertyGraph(seed)
+		view := g.Static()
+		cn := CommonNeighbors(view)
+		ra := ResourceAllocation(view)
+		rng := rand.New(rand.NewSource(seed ^ 1))
+		for i := 0; i < 20; i++ {
+			u, v := graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20))
+			if ra.Score(u, v) > cn.Score(u, v)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyJaccardBoundedByOne: |A∩B| / |A∪B| ∈ [0, 1].
+func TestPropertyJaccardBoundedByOne(t *testing.T) {
+	f := func(seed int64) bool {
+		g := propertyGraph(seed)
+		jac := Jaccard(g.Static())
+		rng := rand.New(rand.NewSource(seed ^ 2))
+		for i := 0; i < 20; i++ {
+			u, v := graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20))
+			s := jac.Score(u, v)
+			if s < 0 || s > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAAAtLeastRA: for common neighbors of degree >= 2,
+// 1/log(d) >= 1/d, so AA >= RA on simple-degree graphs where every common
+// neighbor has degree >= 2. Degree-1 common neighbors are skipped by AA but
+// can't exist (a common neighbor of two nodes has degree >= 2).
+func TestPropertyAAAtLeastRA(t *testing.T) {
+	f := func(seed int64) bool {
+		g := propertyGraph(seed)
+		view := g.Static()
+		aa := AdamicAdar(view)
+		ra := ResourceAllocation(view)
+		rng := rand.New(rand.NewSource(seed ^ 3))
+		for i := 0; i < 20; i++ {
+			u, v := graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20))
+			if u == v {
+				continue
+			}
+			if aa.Score(u, v) < ra.Score(u, v)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyKatzMonotoneInBeta: a larger damping factor weights every
+// path more, so the truncated Katz score is non-decreasing in beta.
+func TestPropertyKatzMonotoneInBeta(t *testing.T) {
+	f := func(seed int64) bool {
+		g := propertyGraph(seed)
+		view := g.Static()
+		lo, err := Katz(view, KatzOptions{Beta: 0.01, MaxLen: 4})
+		if err != nil {
+			return false
+		}
+		hi, err := Katz(view, KatzOptions{Beta: 0.05, MaxLen: 4})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 4))
+		for i := 0; i < 15; i++ {
+			u, v := graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20))
+			if hi.Score(u, v) < lo.Score(u, v)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRWMassBounded: the superposed walk score is a sum of
+// probabilities scaled by q <= 1, so it stays within [0, steps].
+func TestPropertyRWMassBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		g := propertyGraph(seed)
+		view := g.Static()
+		rw, err := LocalRandomWalk(view, RandomWalkOptions{Steps: 3})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 5))
+		for i := 0; i < 15; i++ {
+			u, v := graph.NodeID(rng.Intn(20)), graph.NodeID(rng.Intn(20))
+			s := rw.Score(u, v)
+			if s < 0 || s > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

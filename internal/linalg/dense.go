@@ -1,0 +1,202 @@
+// Package linalg provides the small dense and sparse linear-algebra kernel
+// the rest of the repository builds on: the neural machine, the linear
+// regression solver, non-negative matrix factorization, and the Katz /
+// random-walk heuristics all reduce to the primitives here. Only the
+// operations actually needed are implemented; everything is row-major
+// float64 and allocation-conscious.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operand shapes are incompatible.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix is not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense allocates a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view of row i (not a copy).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulMat computes a @ b into a fresh matrix.
+func MulMat(a, b *Dense) (*Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: (%dx%d) @ (%dx%d)", ErrDimensionMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulMatT computes a @ bᵀ into a fresh matrix.
+func MulMatT(a, b *Dense) (*Dense, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: (%dx%d) @ (%dx%d)ᵀ", ErrDimensionMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewDense(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			out.Data[i*out.Cols+j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out, nil
+}
+
+// MulTMat computes aᵀ @ b into a fresh matrix.
+func MulTMat(a, b *Dense) (*Dense, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("%w: (%dx%d)ᵀ @ (%dx%d)", ErrDimensionMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewDense(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec computes m @ x into out (allocated when nil).
+func MulVec(m *Dense, x, out []float64) ([]float64, error) {
+	if m.Cols != len(x) {
+		return nil, fmt.Errorf("%w: (%dx%d) @ vec(%d)", ErrDimensionMismatch, m.Rows, m.Cols, len(x))
+	}
+	if out == nil {
+		out = make([]float64, m.Rows)
+	} else if len(out) != m.Rows {
+		return nil, fmt.Errorf("%w: out vec(%d), want %d", ErrDimensionMismatch, len(out), m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// AXPY computes y += alpha * x in place.
+func AXPY(alpha float64, x, y []float64) {
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// CholeskySolve solves A x = b for symmetric positive definite A using an
+// in-place Cholesky factorization of a copy of A. Used for the ridge normal
+// equations of the linear-regression model.
+func CholeskySolve(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("%w: cholesky of (%dx%d) with rhs %d", ErrDimensionMismatch, a.Rows, a.Cols, len(b))
+	}
+	l := a.Clone()
+	// Factorize: L lower triangular with A = L Lᵀ.
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

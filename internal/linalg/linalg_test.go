@@ -1,0 +1,295 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Errorf("At(0,1) = %v, want 7", m.At(0, 1))
+	}
+	r := m.Row(0)
+	if len(r) != 3 || r[1] != 7 {
+		t.Errorf("Row(0) = %v", r)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestMulMat(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &Dense{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	got, err := MulMat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if got.Data[i] != w {
+			t.Errorf("MulMat[%d] = %v, want %v", i, got.Data[i], w)
+		}
+	}
+	if _, err := MulMat(a, NewDense(3, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mismatch error = %v", err)
+	}
+}
+
+func TestMulMatTAndMulTMat(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Dense{Rows: 2, Cols: 3, Data: []float64{1, 0, 1, 0, 1, 0}}
+	abt, err := MulMatT(a, b) // 2x2
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 2, 10, 5}
+	for i, w := range want {
+		if abt.Data[i] != w {
+			t.Errorf("MulMatT[%d] = %v, want %v", i, abt.Data[i], w)
+		}
+	}
+	atb, err := MulTMat(a, b) // 3x3
+	if err != nil {
+		t.Fatal(err)
+	}
+	// aᵀb[0][0] = 1*1 + 4*0 = 1
+	if atb.At(0, 0) != 1 || atb.Rows != 3 || atb.Cols != 3 {
+		t.Errorf("MulTMat = %+v", atb)
+	}
+	if _, err := MulMatT(a, NewDense(2, 4)); err == nil {
+		t.Error("MulMatT shape mismatch should fail")
+	}
+	if _, err := MulTMat(a, NewDense(3, 3)); err == nil {
+		t.Error("MulTMat shape mismatch should fail")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := &Dense{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	got, err := MulVec(m, []float64{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", got)
+	}
+	if _, err := MulVec(m, []float64{1}, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("MulVec shape mismatch should fail")
+	}
+	if _, err := MulVec(m, []float64{1, 1, 1}, make([]float64, 5)); err == nil {
+		t.Error("MulVec bad out length should fail")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	if Norm2(x) != 5 {
+		t.Errorf("Norm2 = %v, want 5", Norm2(x))
+	}
+	y := []float64{1, 1}
+	AXPY(2, x, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v, want [7 9]", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Errorf("Scale = %v", y)
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot wrong")
+	}
+}
+
+func TestCholeskySolveKnownSystem(t *testing.T) {
+	// A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5].
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{4, 2, 2, 3}}
+	x, err := CholeskySolve(a, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1.75, 1e-12) || !almostEq(x[1], 1.5, 1e-12) {
+		t.Errorf("x = %v, want [1.75 1.5]", x)
+	}
+}
+
+func TestCholeskySolveRejectsIndefinite(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{0, 1, 1, 0}}
+	if _, err := CholeskySolve(a, []float64{1, 1}); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Errorf("error = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := CholeskySolve(NewDense(2, 3), []float64{1, 1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("non-square error = %v", err)
+	}
+}
+
+func TestPropertyCholeskySolvesRandomSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		// Random B, A = BᵀB + I is SPD.
+		b := NewDense(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a, err := MulTMat(b, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x, err := CholeskySolve(a, rhs)
+		if err != nil {
+			return false
+		}
+		ax, err := MulVec(a, x, nil)
+		if err != nil {
+			return false
+		}
+		for i := range rhs {
+			if !almostEq(ax[i], rhs[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRAssemblyAndMulVec(t *testing.T) {
+	m, err := NewCSR(3, []Triplet{
+		{0, 1, 2}, {1, 0, 2}, {1, 2, 1}, {2, 1, 1}, {0, 1, 3}, // duplicate (0,1) sums to 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4 (duplicate merged)", m.NNZ())
+	}
+	if m.RowSum(0) != 5 {
+		t.Errorf("RowSum(0) = %v, want 5", m.RowSum(0))
+	}
+	got, err := m.MulVec([]float64{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestCSRValidation(t *testing.T) {
+	if _, err := NewCSR(2, []Triplet{{0, 5, 1}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("out-of-range entry error = %v", err)
+	}
+	m, err := NewCSR(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MulVec([]float64{1}, nil); err == nil {
+		t.Error("MulVec wrong length should fail")
+	}
+	if _, err := m.MulVecTransition([]float64{1, 2, 3}, nil); err == nil {
+		t.Error("MulVecTransition wrong length should fail")
+	}
+}
+
+func TestCSRTransitionConservesProbability(t *testing.T) {
+	// On a graph with no dangling nodes, Mᵀ preserves total mass.
+	m, err := NewCSR(3, []Triplet{
+		{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{1, 0, 0}
+	for step := 0; step < 5; step++ {
+		next, err := m.MulVecTransition(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mass float64
+		for _, v := range next {
+			mass += v
+		}
+		if !almostEq(mass, 1, 1e-12) {
+			t.Fatalf("step %d mass = %v, want 1", step, mass)
+		}
+		p = next
+	}
+}
+
+func TestCSRTransitionDanglingNodeAbsorbs(t *testing.T) {
+	// Node 1 has no outgoing entries: mass entering it disappears.
+	m, err := NewCSR(2, []Triplet{{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.MulVecTransition([]float64{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 || p[1] != 0 {
+		t.Errorf("dangling transition = %v, want zeros", p)
+	}
+}
+
+func TestPropertyCSRMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		dense := NewDense(n, n)
+		var trips []Triplet
+		for k := 0; k < n*2; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			v := rng.Float64()
+			dense.Add(i, j, v)
+			trips = append(trips, Triplet{Row: int32(i), Col: int32(j), Val: v})
+		}
+		sp, err := NewCSR(n, trips)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a, err := sp.MulVec(x, nil)
+		if err != nil {
+			return false
+		}
+		b, err := MulVec(dense, x, nil)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if !almostEq(a[i], b[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix. It backs the Katz and local
+// random-walk heuristics (repeated sparse mat-vec over the adjacency or
+// transition matrix) so that per-pair scores stay O(L·nnz) instead of
+// requiring dense powers of A.
+type CSR struct {
+	N       int // square: N x N
+	RowPtr  []int
+	ColIdx  []int32
+	Values  []float64
+	rowSums []float64 // cached row sums for transition normalization
+}
+
+// Triplet is one (row, col, value) entry used to assemble a CSR matrix.
+type Triplet struct {
+	Row, Col int32
+	Val      float64
+}
+
+// NewCSR assembles an n×n CSR matrix from triplets, summing duplicates.
+func NewCSR(n int, entries []Triplet) (*CSR, error) {
+	for _, e := range entries {
+		if e.Row < 0 || e.Col < 0 || int(e.Row) >= n || int(e.Col) >= n {
+			return nil, fmt.Errorf("%w: entry (%d, %d) outside %dx%d", ErrDimensionMismatch, e.Row, e.Col, n, n)
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	lastRow, lastCol := int32(-1), int32(-1)
+	for _, e := range sorted {
+		if len(m.ColIdx) > 0 && lastRow == e.Row && lastCol == e.Col {
+			m.Values[len(m.Values)-1] += e.Val
+			continue
+		}
+		m.RowPtr[e.Row+1]++
+		m.ColIdx = append(m.ColIdx, e.Col)
+		m.Values = append(m.Values, e.Val)
+		lastRow, lastCol = e.Row, e.Col
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	m.rowSums = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Values[k]
+		}
+		m.rowSums[i] = s
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Values) }
+
+// RowSum returns the sum of stored values in row i.
+func (m *CSR) RowSum(i int) float64 { return m.rowSums[i] }
+
+// MulVec computes m @ x into out (allocated when nil).
+func (m *CSR) MulVec(x, out []float64) ([]float64, error) {
+	if len(x) != m.N {
+		return nil, fmt.Errorf("%w: csr(%d) @ vec(%d)", ErrDimensionMismatch, m.N, len(x))
+	}
+	if out == nil {
+		out = make([]float64, m.N)
+	} else if len(out) != m.N {
+		return nil, fmt.Errorf("%w: out vec(%d), want %d", ErrDimensionMismatch, len(out), m.N)
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Values[k] * x[m.ColIdx[k]]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// MulVecTransition computes Mᵀx where M is the row-normalized transition
+// matrix of this adjacency matrix (M_ij = A_ij / rowsum_i). Rows with zero
+// sum contribute nothing (dangling nodes absorb probability).
+func (m *CSR) MulVecTransition(x, out []float64) ([]float64, error) {
+	if len(x) != m.N {
+		return nil, fmt.Errorf("%w: csr(%d) @ vec(%d)", ErrDimensionMismatch, m.N, len(x))
+	}
+	if out == nil {
+		out = make([]float64, m.N)
+	} else if len(out) != m.N {
+		return nil, fmt.Errorf("%w: out vec(%d), want %d", ErrDimensionMismatch, len(out), m.N)
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < m.N; i++ {
+		if m.rowSums[i] == 0 || x[i] == 0 {
+			continue
+		}
+		w := x[i] / m.rowSums[i]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out[m.ColIdx[k]] += m.Values[k] * w
+		}
+	}
+	return out, nil
+}

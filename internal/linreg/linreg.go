@@ -1,0 +1,137 @@
+// Package linreg implements the linear-regression classifier the paper pairs
+// with SSF and WLF (SSFLR / WLLR, Section VI-C-1): ridge-regularized least
+// squares fit on {0, 1} labels via the normal equations, solved with the
+// Cholesky factorization from internal/linalg. The raw score wᵀx + b ranks
+// candidate links; a threshold turns it into a classifier.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+
+	"ssflp/internal/linalg"
+)
+
+// DefaultLambda is the default ridge regularization strength. A small
+// positive value keeps the normal equations positive definite even for
+// collinear features (frequent with sparse SSF vectors).
+const DefaultLambda = 1e-3
+
+var (
+	// ErrNoData is returned when Fit receives no samples.
+	ErrNoData = errors.New("linreg: no training samples")
+
+	// ErrBadShape is returned for inconsistent shapes.
+	ErrBadShape = errors.New("linreg: inconsistent sample shapes")
+
+	// ErrBadLambda is returned for negative regularization.
+	ErrBadLambda = errors.New("linreg: lambda must be non-negative")
+)
+
+// Model is a fitted linear regression. Safe for concurrent scoring.
+type Model struct {
+	weights []float64 // len = dim
+	bias    float64
+}
+
+// Options configures the fit.
+type Options struct {
+	// Lambda is the ridge strength; 0 selects DefaultLambda and negative
+	// values are rejected.
+	Lambda float64
+}
+
+// Fit solves min_w Σ (wᵀx_i + b − y_i)² + λ‖w‖² over samples x with
+// binary labels y (taken as 0/1 regression targets).
+func Fit(x [][]float64, y []int, opts Options) (*Model, error) {
+	if len(x) == 0 {
+		return nil, ErrNoData
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d samples, %d labels", ErrBadShape, len(x), len(y))
+	}
+	lambda := opts.Lambda
+	if lambda == 0 {
+		lambda = DefaultLambda
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("%w: got %g", ErrBadLambda, opts.Lambda)
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: empty feature vectors", ErrBadShape)
+	}
+	// Augmented design: [x, 1] so the bias is the last weight. Normal
+	// equations: (XᵀX + λI') w = Xᵀy with no penalty on the bias.
+	d := dim + 1
+	a := linalg.NewDense(d, d)
+	rhs := make([]float64, d)
+	row := make([]float64, d)
+	for s, xs := range x {
+		if len(xs) != dim {
+			return nil, fmt.Errorf("%w: sample %d has %d features, want %d", ErrBadShape, s, len(xs), dim)
+		}
+		copy(row, xs)
+		row[dim] = 1
+		for i := 0; i < d; i++ {
+			ri := row[i]
+			if ri == 0 {
+				continue
+			}
+			arow := a.Row(i)
+			for j := 0; j < d; j++ {
+				arow[j] += ri * row[j]
+			}
+			rhs[i] += ri * float64(y[s])
+		}
+	}
+	for i := 0; i < dim; i++ {
+		a.Add(i, i, lambda)
+	}
+	// Tiny jitter on the bias diagonal keeps degenerate designs solvable.
+	a.Add(dim, dim, 1e-12)
+	w, err := linalg.CholeskySolve(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("linreg: solve normal equations: %w", err)
+	}
+	return &Model{weights: w[:dim], bias: w[dim]}, nil
+}
+
+// Score returns the raw regression output wᵀx + b.
+func (m *Model) Score(x []float64) (float64, error) {
+	if len(x) != len(m.weights) {
+		return 0, fmt.Errorf("%w: got %d features, fitted on %d", ErrBadShape, len(x), len(m.weights))
+	}
+	return linalg.Dot(m.weights, x) + m.bias, nil
+}
+
+// Weights returns a copy of the fitted weight vector (without bias).
+func (m *Model) Weights() []float64 {
+	out := make([]float64, len(m.weights))
+	copy(out, m.weights)
+	return out
+}
+
+// Bias returns the fitted intercept.
+func (m *Model) Bias() float64 { return m.bias }
+
+// State is the serializable snapshot of a fitted model.
+type State struct {
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+}
+
+// State snapshots the fitted model.
+func (m *Model) State() State {
+	return State{Weights: m.Weights(), Bias: m.bias}
+}
+
+// FromState rebuilds a model from its snapshot.
+func FromState(st State) (*Model, error) {
+	if len(st.Weights) == 0 {
+		return nil, fmt.Errorf("%w: empty weight vector", ErrBadShape)
+	}
+	w := make([]float64, len(st.Weights))
+	copy(w, st.Weights)
+	return &Model{weights: w, bias: st.Bias}, nil
+}

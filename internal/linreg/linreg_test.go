@@ -1,0 +1,192 @@
+package linreg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := Fit([][]float64{{1}}, []int{0, 1}, Options{}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("mismatch error = %v", err)
+	}
+	if _, err := Fit([][]float64{{}}, []int{0}, Options{}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("empty features error = %v", err)
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []int{0, 1}, Options{}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("ragged error = %v", err)
+	}
+	if _, err := Fit([][]float64{{1}}, []int{1}, Options{Lambda: -1}); !errors.Is(err, ErrBadLambda) {
+		t.Errorf("negative lambda error = %v", err)
+	}
+}
+
+func TestFitRecoversLinearFunction(t *testing.T) {
+	// y = 1 when 2a - b + 0.5 > 0.5, targets are exactly the linear values.
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		if 2*a-b > 0.3 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m, err := Fit(x, y, Options{Lambda: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, xi := range x {
+		s, err := m.Score(xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (s > 0.5) == (y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.9 {
+		t.Errorf("training accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestFitExactInterpolation(t *testing.T) {
+	// Two points, one feature: regression line passes near both with tiny λ.
+	x := [][]float64{{0}, {1}}
+	y := []int{0, 1}
+	m, err := Fit(x, y, Options{Lambda: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := m.Score([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m.Score([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s0) > 1e-3 || math.Abs(s1-1) > 1e-3 {
+		t.Errorf("scores = %v, %v; want ~0 and ~1", s0, s1)
+	}
+}
+
+func TestConstantFeaturesSolvable(t *testing.T) {
+	// All-zero feature column: ridge keeps the system solvable and the model
+	// falls back to predicting the label mean through the bias.
+	x := [][]float64{{0, 0}, {0, 0}, {0, 0}, {0, 0}}
+	y := []int{1, 0, 1, 1}
+	m, err := Fit(x, y, Options{})
+	if err != nil {
+		t.Fatalf("Fit on degenerate design: %v", err)
+	}
+	s, err := m.Score([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.75) > 1e-6 {
+		t.Errorf("score = %v, want label mean 0.75", s)
+	}
+}
+
+func TestScoreShapeCheck(t *testing.T) {
+	m, err := Fit([][]float64{{1, 2}}, []int{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Score([]float64{1}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("shape error = %v", err)
+	}
+}
+
+func TestWeightsAccessorsCopy(t *testing.T) {
+	m, err := Fit([][]float64{{1, 0}, {0, 1}}, []int{1, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Weights()
+	w[0] = 999
+	w2 := m.Weights()
+	if w2[0] == 999 {
+		t.Error("Weights() exposed internal state")
+	}
+	_ = m.Bias()
+}
+
+func TestPropertyFitFiniteOnRandomData(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		dim := 1 + rng.Intn(8)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = make([]float64, dim)
+			for j := range x[i] {
+				x[i][j] = rng.NormFloat64()
+			}
+			y[i] = rng.Intn(2)
+		}
+		m, err := Fit(x, y, Options{})
+		if err != nil {
+			return false
+		}
+		for _, xi := range x {
+			s, err := m.Score(xi)
+			if err != nil || math.IsNaN(s) || math.IsInf(s, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	m, err := Fit([][]float64{{1, 0}, {0, 1}, {1, 1}}, []int{1, 0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.State()
+	m2, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Score([]float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m2.Score([]float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("round trip score %v vs %v", b, a)
+	}
+	// Snapshot is a copy.
+	st.Weights[0] = 99
+	c, err := m2.Score([]float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != b {
+		t.Error("mutating the snapshot changed the rebuilt model")
+	}
+}
+
+func TestFromStateValidation(t *testing.T) {
+	if _, err := FromState(State{}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("empty state error = %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package nmf implements non-negative matrix factorization link prediction
+// (the NMF baseline of Section VI-C-1): the static adjacency matrix of the
+// history network is factorized as W ≈ U Vᵀ with Lee-Seung multiplicative
+// updates, and the reconstructed entry (U Vᵀ)_{xy} scores candidate links.
+package nmf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ssflp/internal/graph"
+	"ssflp/internal/linalg"
+)
+
+// Default hyper-parameters.
+const (
+	DefaultRank       = 16
+	DefaultIterations = 100
+)
+
+var (
+	// ErrBadRank is returned for non-positive factorization ranks.
+	ErrBadRank = errors.New("nmf: rank must be positive")
+
+	// ErrBadIterations is returned for non-positive iteration counts.
+	ErrBadIterations = errors.New("nmf: iterations must be positive")
+)
+
+// Options configures the factorization.
+type Options struct {
+	// Rank is the latent dimension r. Default 16.
+	Rank int
+	// Iterations is the number of multiplicative update rounds. Default 100.
+	Iterations int
+	// Seed initializes the factor matrices.
+	Seed int64
+}
+
+// Model is a trained factorization. Safe for concurrent scoring.
+type Model struct {
+	u *linalg.Dense // n x r
+	v *linalg.Dense // n x r
+}
+
+// Train factorizes the static adjacency (entry = number of parallel links)
+// of the history view. The epsilon-guarded Lee-Seung updates
+//
+//	U ← U ∘ (W V) / (U Vᵀ V),   V ← V ∘ (Wᵀ U) / (V Uᵀ U)
+//
+// monotonically decrease the Frobenius reconstruction error.
+func Train(view *graph.StaticView, opts Options) (*Model, error) {
+	rank := opts.Rank
+	if rank == 0 {
+		rank = DefaultRank
+	}
+	if rank < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadRank, opts.Rank)
+	}
+	iters := opts.Iterations
+	if iters == 0 {
+		iters = DefaultIterations
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadIterations, opts.Iterations)
+	}
+	n := view.NumNodes()
+	if n == 0 {
+		return nil, errors.New("nmf: empty graph")
+	}
+	w := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		u := graph.NodeID(i)
+		for _, nb := range view.Neighbors(u) {
+			w.Set(i, int(nb), float64(view.Multiplicity(u, nb)))
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	u := randomFactor(rng, n, rank)
+	v := randomFactor(rng, n, rank)
+	const eps = 1e-12
+	for it := 0; it < iters; it++ {
+		// U update.
+		wv, err := linalg.MulMat(w, v)
+		if err != nil {
+			return nil, fmt.Errorf("nmf: WV: %w", err)
+		}
+		vtv, err := linalg.MulTMat(v, v)
+		if err != nil {
+			return nil, fmt.Errorf("nmf: VᵀV: %w", err)
+		}
+		uvtv, err := linalg.MulMat(u, vtv)
+		if err != nil {
+			return nil, fmt.Errorf("nmf: U(VᵀV): %w", err)
+		}
+		for i := range u.Data {
+			u.Data[i] *= wv.Data[i] / (uvtv.Data[i] + eps)
+		}
+		// V update (W is symmetric, so WᵀU = WU).
+		wu, err := linalg.MulMat(w, u)
+		if err != nil {
+			return nil, fmt.Errorf("nmf: WU: %w", err)
+		}
+		utu, err := linalg.MulTMat(u, u)
+		if err != nil {
+			return nil, fmt.Errorf("nmf: UᵀU: %w", err)
+		}
+		vutu, err := linalg.MulMat(v, utu)
+		if err != nil {
+			return nil, fmt.Errorf("nmf: V(UᵀU): %w", err)
+		}
+		for i := range v.Data {
+			v.Data[i] *= wu.Data[i] / (vutu.Data[i] + eps)
+		}
+	}
+	return &Model{u: u, v: v}, nil
+}
+
+// randomFactor samples a strictly positive n×r matrix.
+func randomFactor(rng *rand.Rand, n, r int) *linalg.Dense {
+	m := linalg.NewDense(n, r)
+	for i := range m.Data {
+		m.Data[i] = 0.1 + rng.Float64()
+	}
+	return m
+}
+
+// Score returns the symmetrized reconstruction ((UVᵀ)_{xy} + (UVᵀ)_{yx}) / 2
+// for a candidate link.
+func (m *Model) Score(x, y graph.NodeID) float64 {
+	n := m.u.Rows
+	if x < 0 || y < 0 || int(x) >= n || int(y) >= n {
+		return 0
+	}
+	a := linalg.Dot(m.u.Row(int(x)), m.v.Row(int(y)))
+	b := linalg.Dot(m.u.Row(int(y)), m.v.Row(int(x)))
+	return (a + b) / 2
+}
+
+// ReconstructionError returns the Frobenius norm ‖W − UVᵀ‖_F against the
+// given view (exposed for convergence tests).
+func (m *Model) ReconstructionError(view *graph.StaticView) float64 {
+	n := m.u.Rows
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := float64(view.Multiplicity(graph.NodeID(i), graph.NodeID(j)))
+			d := w - linalg.Dot(m.u.Row(i), m.v.Row(j))
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// State is the serializable snapshot of a trained factorization.
+type State struct {
+	Nodes int       `json:"nodes"`
+	Rank  int       `json:"rank"`
+	U     []float64 `json:"u"` // row-major nodes x rank
+	V     []float64 `json:"v"`
+}
+
+// State snapshots the model.
+func (m *Model) State() State {
+	u := make([]float64, len(m.u.Data))
+	copy(u, m.u.Data)
+	v := make([]float64, len(m.v.Data))
+	copy(v, m.v.Data)
+	return State{Nodes: m.u.Rows, Rank: m.u.Cols, U: u, V: v}
+}
+
+// FromState rebuilds a model from its snapshot.
+func FromState(st State) (*Model, error) {
+	if st.Nodes < 1 || st.Rank < 1 {
+		return nil, fmt.Errorf("nmf: invalid state %dx%d", st.Nodes, st.Rank)
+	}
+	if len(st.U) != st.Nodes*st.Rank || len(st.V) != st.Nodes*st.Rank {
+		return nil, fmt.Errorf("nmf: state factor sizes %d/%d do not match %dx%d",
+			len(st.U), len(st.V), st.Nodes, st.Rank)
+	}
+	u := linalg.NewDense(st.Nodes, st.Rank)
+	copy(u.Data, st.U)
+	v := linalg.NewDense(st.Nodes, st.Rank)
+	copy(v.Data, st.V)
+	return &Model{u: u, v: v}, nil
+}

@@ -1,0 +1,147 @@
+package nmf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+func twoCliques(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(0)
+	add := func(u, v int) {
+		t.Helper()
+		if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Clique {0..3} and clique {4..7}, bridged by 3-4.
+	for c := 0; c < 2; c++ {
+		base := c * 4
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				add(base+i, base+j)
+			}
+		}
+	}
+	add(3, 4)
+	return g
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := twoCliques(t)
+	v := g.Static()
+	if _, err := Train(v, Options{Rank: -1}); !errors.Is(err, ErrBadRank) {
+		t.Errorf("rank=-1 error = %v", err)
+	}
+	if _, err := Train(v, Options{Iterations: -5}); !errors.Is(err, ErrBadIterations) {
+		t.Errorf("iterations=-5 error = %v", err)
+	}
+	empty := graph.New(0)
+	if _, err := Train(empty.Static(), Options{}); err == nil {
+		t.Error("empty graph should fail")
+	}
+}
+
+func TestTrainReducesReconstructionError(t *testing.T) {
+	g := twoCliques(t)
+	v := g.Static()
+	short, err := Train(v, Options{Rank: 4, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Train(v, Options{Rank: 4, Iterations: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1, e2 := short.ReconstructionError(v), long.ReconstructionError(v); e2 >= e1 {
+		t.Errorf("error did not decrease: 1 iter = %v, 200 iters = %v", e1, e2)
+	}
+}
+
+func TestScoreSeparatesCommunities(t *testing.T) {
+	g := twoCliques(t)
+	v := g.Static()
+	m, err := Train(v, Options{Rank: 4, Iterations: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := m.Score(0, 2) // same clique (existing link reconstructed high)
+	inter := m.Score(0, 6) // across cliques
+	if intra <= inter {
+		t.Errorf("intra-community score %v should exceed inter-community %v", intra, inter)
+	}
+}
+
+func TestScoreSymmetricAndBounded(t *testing.T) {
+	g := twoCliques(t)
+	m, err := Train(g.Static(), Options{Rank: 3, Iterations: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		x := graph.NodeID(rng.Intn(8))
+		y := graph.NodeID(rng.Intn(8))
+		a, b := m.Score(x, y), m.Score(y, x)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("Score(%d,%d) = %v but Score(%d,%d) = %v", x, y, a, y, x, b)
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+			t.Errorf("Score(%d,%d) = %v not a finite non-negative value", x, y, a)
+		}
+	}
+	if m.Score(-1, 0) != 0 || m.Score(0, 99) != 0 {
+		t.Error("out-of-range scores should be 0")
+	}
+}
+
+func TestTrainDeterministicForSeed(t *testing.T) {
+	g := twoCliques(t)
+	v := g.Static()
+	a, err := Train(v, Options{Rank: 3, Iterations: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(v, Options{Rank: 3, Iterations: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score(0, 5) != b.Score(0, 5) {
+		t.Error("same seed should give identical models")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	g := twoCliques(t)
+	m, err := Train(g.Static(), Options{Rank: 3, Iterations: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.State()
+	m2, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]graph.NodeID{{0, 1}, {0, 6}, {3, 4}} {
+		if a, b := m.Score(p[0], p[1]), m2.Score(p[0], p[1]); a != b {
+			t.Errorf("round trip score(%v) = %v vs %v", p, b, a)
+		}
+	}
+	st.U[0] = 999
+	if m2.Score(0, 1) != m.Score(0, 1) {
+		t.Error("mutating snapshot changed rebuilt model")
+	}
+}
+
+func TestFromStateValidation(t *testing.T) {
+	if _, err := FromState(State{}); err == nil {
+		t.Error("empty state should fail")
+	}
+	if _, err := FromState(State{Nodes: 2, Rank: 2, U: make([]float64, 3), V: make([]float64, 4)}); err == nil {
+		t.Error("mismatched factor sizes should fail")
+	}
+}

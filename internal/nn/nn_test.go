@@ -1,0 +1,322 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Classes: 1},
+		{LearningRate: math.NaN()},
+		{Epochs: -1},
+		{BatchSize: -1},
+		{Hidden: []int{0}},
+		{Optimizer: OptimizerKind(9)},
+	}
+	for i, c := range cases {
+		if _, err := New(c); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+	n, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := n.Config()
+	if cfg.Classes != 2 || cfg.BatchSize != DefaultBatchSize ||
+		cfg.LearningRate != DefaultLearningRate || cfg.Optimizer != Adam {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	n, err := New(Config{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Train(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty train error = %v", err)
+	}
+	if err := n.Train([][]float64{{1}}, []int{0, 1}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("mismatched labels error = %v", err)
+	}
+	if err := n.Train([][]float64{{1}, {1, 2}}, []int{0, 1}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("ragged samples error = %v", err)
+	}
+	if err := n.Train([][]float64{{}}, []int{0}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("empty features error = %v", err)
+	}
+	if err := n.Train([][]float64{{1}}, []int{7}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("label out of range error = %v", err)
+	}
+}
+
+func TestPredictBeforeTrain(t *testing.T) {
+	n, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.PredictProba([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("untrained predict error = %v", err)
+	}
+	if _, err := n.Loss(nil, nil); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("untrained loss error = %v", err)
+	}
+}
+
+func xorData() ([][]float64, []int) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 1, 1, 0}
+	return x, y
+}
+
+func TestLearnsXORWithAdam(t *testing.T) {
+	x, y := xorData()
+	n, err := New(Config{Hidden: []int{8, 8}, Epochs: 1500, BatchSize: 4, LearningRate: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, xi := range x {
+		p, err := n.PredictProba(xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := 0
+		if p[1] > p[0] {
+			pred = 1
+		}
+		if pred != y[i] {
+			t.Errorf("XOR(%v) predicted %d (p=%v), want %d", xi, pred, p, y[i])
+		}
+	}
+}
+
+func TestLearnsLinearWithSGD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x = append(x, []float64{a, b})
+		label := 0
+		if a+b > 0 {
+			label = 1
+		}
+		y = append(y, label)
+	}
+	n, err := New(Config{Hidden: []int{8}, Epochs: 100, LearningRate: 0.05, Optimizer: SGD, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, xi := range x {
+		s, err := n.Score(xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (s > 0.5) == (y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Errorf("training accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	x, y := xorData()
+	short, err := New(Config{Hidden: []int{8}, Epochs: 1, BatchSize: 4, LearningRate: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := short.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	long, err := New(Config{Hidden: []int{8}, Epochs: 500, BatchSize: 4, LearningRate: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := short.Loss(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := long.Loss(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l1 {
+		t.Errorf("loss did not decrease: 1 epoch = %v, 500 epochs = %v", l1, l2)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	x, y := xorData()
+	n, err := New(Config{Hidden: []int{4}, Epochs: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := n.PredictProba([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestPredictShapeCheck(t *testing.T) {
+	x, y := xorData()
+	n, err := New(Config{Hidden: []int{4}, Epochs: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.PredictProba([]float64{1, 2, 3}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("wrong predict shape error = %v", err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	x, y := xorData()
+	train := func() float64 {
+		n, err := New(Config{Hidden: []int{6}, Epochs: 50, BatchSize: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Train(x, y); err != nil {
+			t.Fatal(err)
+		}
+		s, err := n.Score([]float64{1, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if a, b := train(), train(); a != b {
+		t.Errorf("same seed gave different scores: %v vs %v", a, b)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	p := softmax([]float64{1000, 1000, 999})
+	var sum float64
+	for _, v := range p {
+		if math.IsNaN(v) {
+			t.Fatal("softmax produced NaN on large logits")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+}
+
+func TestEarlyStoppingImprovesGeneralization(t *testing.T) {
+	// Noisy linear problem with scarce data: unconstrained training overfits,
+	// early stopping should not hurt and usually helps.
+	rng := rand.New(rand.NewSource(12))
+	gen := func(n int) ([][]float64, []int) {
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = make([]float64, 12)
+			for j := range x[i] {
+				x[i][j] = rng.NormFloat64()
+			}
+			// Only dim 0 matters; the rest are noise. 15% label noise.
+			if x[i][0] > 0 != (rng.Float64() < 0.15) {
+				y[i] = 1
+			}
+		}
+		return x, y
+	}
+	trX, trY := gen(60)
+	teX, teY := gen(300)
+	acc := func(n *Network) float64 {
+		correct := 0
+		for i, xi := range teX {
+			s, err := n.Score(xi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (s > 0.5) == (teY[i] == 1) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(teX))
+	}
+	plain, err := New(Config{Epochs: 600, Seed: 5, LearningRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Train(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	es, err := New(Config{Epochs: 600, Seed: 5, EarlyStop: true, LearningRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Train(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	// Early stopping must not generalize materially worse than training to
+	// the epoch limit, and must beat chance.
+	if ap, ae := acc(plain), acc(es); ae < ap-0.05 || ae < 0.55 {
+		t.Errorf("early-stopped accuracy = %v vs plain %v", ae, ap)
+	}
+}
+
+func TestEarlyStopSkippedOnTinyData(t *testing.T) {
+	// 4 samples cannot spare a holdout; training must still work.
+	x, y := xorData()
+	n, err := New(Config{Hidden: []int{8, 8}, Epochs: 1500, BatchSize: 4,
+		LearningRate: 0.01, Seed: 1, EarlyStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, xi := range x {
+		p, err := n.PredictProba(xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (p[1] > p[0]) != (y[i] == 1) {
+			t.Errorf("XOR(%v) wrong despite skipped holdout", xi)
+		}
+	}
+}
+
+func TestEarlyStopConfigValidation(t *testing.T) {
+	if _, err := New(Config{ValFraction: 1.5}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad val fraction error = %v", err)
+	}
+	if _, err := New(Config{Patience: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad patience error = %v", err)
+	}
+}

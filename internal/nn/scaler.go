@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Standardizer z-scores feature columns: x' = (x − mean) / std, fitted on
+// training data and applied to both splits. Neural training on raw SSF/WLF
+// features is brittle — count-valued columns span orders of magnitude and
+// saturate the ReLU stack — so the supervised pipelines standardize first.
+type Standardizer struct {
+	mean []float64
+	std  []float64
+}
+
+// FitStandardizer computes per-column statistics over the samples. Constant
+// columns get std 1 so they pass through as zeros.
+func FitStandardizer(x [][]float64) (*Standardizer, error) {
+	if len(x) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(x[0])
+	s := &Standardizer{mean: make([]float64, dim), std: make([]float64, dim)}
+	for _, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("%w: sample has %d features, want %d", ErrBadShape, len(xi), dim)
+		}
+		for j, v := range xi {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, xi := range x {
+		for j, v := range xi {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns a standardized copy of one feature vector.
+func (s *Standardizer) Transform(x []float64) ([]float64, error) {
+	if len(x) != len(s.mean) {
+		return nil, fmt.Errorf("%w: got %d features, fitted on %d", ErrBadShape, len(x), len(s.mean))
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out, nil
+}
+
+// TransformAll standardizes a batch.
+func (s *Standardizer) TransformAll(x [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(x))
+	for i, xi := range x {
+		t, err := s.Transform(xi)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFitStandardizerValidation(t *testing.T) {
+	if _, err := FitStandardizer(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := FitStandardizer([][]float64{{1}, {1, 2}}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("ragged error = %v", err)
+	}
+}
+
+func TestStandardizerZeroMeanUnitVariance(t *testing.T) {
+	x := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	s, err := FitStandardizer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.TransformAll(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		var mean, varsum float64
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= float64(len(out))
+		for i := range out {
+			d := out[i][j] - mean
+			varsum += d * d
+		}
+		varsum /= float64(len(out))
+		if math.Abs(mean) > 1e-12 {
+			t.Errorf("col %d mean = %v, want 0", j, mean)
+		}
+		if math.Abs(varsum-1) > 1e-12 {
+			t.Errorf("col %d variance = %v, want 1", j, varsum)
+		}
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	x := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	s, err := FitStandardizer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform([]float64{5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Errorf("constant column should map to 0, got %v", out[0])
+	}
+}
+
+func TestStandardizerShapeCheck(t *testing.T) {
+	s, err := FitStandardizer([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform([]float64{1}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("transform shape error = %v", err)
+	}
+	if _, err := s.TransformAll([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("transform-all shape error = %v", err)
+	}
+}
+
+func TestStandardizerDoesNotMutateInput(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	s, err := FitStandardizer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TransformAll(x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0][0] != 1 || x[1][1] != 4 {
+		t.Error("TransformAll mutated its input")
+	}
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is the serializable snapshot of a trained network (weights plus the
+// architecture needed to rebuild it). All fields are plain data so the
+// snapshot round-trips through encoding/json.
+type State struct {
+	InDim   int          `json:"inDim"`
+	Classes int          `json:"classes"`
+	Layers  []LayerState `json:"layers"`
+}
+
+// LayerState snapshots one dense layer.
+type LayerState struct {
+	In      int       `json:"in"`
+	Out     int       `json:"out"`
+	Weights []float64 `json:"weights"` // out x in, row-major
+	Biases  []float64 `json:"biases"`
+	ReLU    bool      `json:"relu"`
+}
+
+// ErrBadState is returned when loading an inconsistent snapshot.
+var ErrBadState = errors.New("nn: invalid network state")
+
+// State snapshots a trained network. Returns ErrNotTrained before Train.
+func (n *Network) State() (*State, error) {
+	if !n.trained {
+		return nil, ErrNotTrained
+	}
+	st := &State{InDim: n.inDim, Classes: n.cfg.Classes}
+	for _, l := range n.layers {
+		w := make([]float64, len(l.w))
+		copy(w, l.w)
+		b := make([]float64, len(l.b))
+		copy(b, l.b)
+		st.Layers = append(st.Layers, LayerState{
+			In: l.in, Out: l.out, Weights: w, Biases: b, ReLU: l.relu,
+		})
+	}
+	return st, nil
+}
+
+// FromState rebuilds a trained network from a snapshot. The result predicts
+// identically to the network the snapshot was taken from.
+func FromState(st *State) (*Network, error) {
+	if st == nil || len(st.Layers) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadState)
+	}
+	if st.InDim < 1 || st.Classes < 2 {
+		return nil, fmt.Errorf("%w: inDim %d, classes %d", ErrBadState, st.InDim, st.Classes)
+	}
+	prev := st.InDim
+	n := &Network{cfg: Config{Classes: st.Classes}.withDefaults(), inDim: st.InDim}
+	for i, ls := range st.Layers {
+		if ls.In != prev {
+			return nil, fmt.Errorf("%w: layer %d expects %d inputs, previous emits %d",
+				ErrBadState, i, ls.In, prev)
+		}
+		if len(ls.Weights) != ls.In*ls.Out || len(ls.Biases) != ls.Out {
+			return nil, fmt.Errorf("%w: layer %d has %d weights / %d biases for %dx%d",
+				ErrBadState, i, len(ls.Weights), len(ls.Biases), ls.Out, ls.In)
+		}
+		w := make([]float64, len(ls.Weights))
+		copy(w, ls.Weights)
+		b := make([]float64, len(ls.Biases))
+		copy(b, ls.Biases)
+		n.layers = append(n.layers, layer{in: ls.In, out: ls.Out, w: w, b: b, relu: ls.ReLU})
+		prev = ls.Out
+	}
+	last := st.Layers[len(st.Layers)-1]
+	if last.Out != st.Classes || last.ReLU {
+		return nil, fmt.Errorf("%w: output layer emits %d (relu=%v), want %d softmax classes",
+			ErrBadState, last.Out, last.ReLU, st.Classes)
+	}
+	n.trained = true
+	return n, nil
+}
+
+// ScalerState is the serializable snapshot of a Standardizer.
+type ScalerState struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// State snapshots the standardizer.
+func (s *Standardizer) State() ScalerState {
+	mean := make([]float64, len(s.mean))
+	copy(mean, s.mean)
+	std := make([]float64, len(s.std))
+	copy(std, s.std)
+	return ScalerState{Mean: mean, Std: std}
+}
+
+// ScalerFromState rebuilds a standardizer from its snapshot.
+func ScalerFromState(st ScalerState) (*Standardizer, error) {
+	if len(st.Mean) == 0 || len(st.Mean) != len(st.Std) {
+		return nil, fmt.Errorf("%w: scaler with %d means, %d stds", ErrBadState, len(st.Mean), len(st.Std))
+	}
+	for _, sd := range st.Std {
+		if sd <= 0 {
+			return nil, fmt.Errorf("%w: non-positive std %g", ErrBadState, sd)
+		}
+	}
+	mean := make([]float64, len(st.Mean))
+	copy(mean, st.Mean)
+	std := make([]float64, len(st.Std))
+	copy(std, st.Std)
+	return &Standardizer{mean: mean, std: std}, nil
+}

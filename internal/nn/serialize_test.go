@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func trainedNet(t *testing.T) *Network {
+	t.Helper()
+	x, y := xorData()
+	n, err := New(Config{Hidden: []int{6}, Epochs: 50, BatchSize: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestStateRequiresTraining(t *testing.T) {
+	n, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.State(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("State before train error = %v", err)
+	}
+}
+
+func TestStateRoundTripThroughJSON(t *testing.T) {
+	n := trainedNet(t)
+	st, err := n.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := FromState(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0.3, 0.7}} {
+		a, err := n.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := n2.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("proba differs at %v: %v vs %v", x, a, b)
+			}
+		}
+	}
+}
+
+func TestStateIsDeepCopy(t *testing.T) {
+	n := trainedNet(t)
+	st, err := n.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := n.Score([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Layers[0].Weights[0] = 999
+	after, err := n.Score([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Error("mutating the snapshot changed the live network")
+	}
+}
+
+func TestFromStateValidation(t *testing.T) {
+	cases := []*State{
+		nil,
+		{},
+		{InDim: 0, Classes: 2, Layers: []LayerState{{In: 1, Out: 2}}},
+		{InDim: 2, Classes: 2, Layers: []LayerState{
+			{In: 3, Out: 2, Weights: make([]float64, 6), Biases: make([]float64, 2)},
+		}}, // wrong fan-in
+		{InDim: 2, Classes: 2, Layers: []LayerState{
+			{In: 2, Out: 2, Weights: make([]float64, 3), Biases: make([]float64, 2)},
+		}}, // wrong weight count
+		{InDim: 2, Classes: 2, Layers: []LayerState{
+			{In: 2, Out: 3, Weights: make([]float64, 6), Biases: make([]float64, 3)},
+		}}, // output width != classes
+		{InDim: 2, Classes: 2, Layers: []LayerState{
+			{In: 2, Out: 2, Weights: make([]float64, 4), Biases: make([]float64, 2), ReLU: true},
+		}}, // relu on output layer
+	}
+	for i, st := range cases {
+		if _, err := FromState(st); !errors.Is(err, ErrBadState) {
+			t.Errorf("case %d: error = %v, want ErrBadState", i, err)
+		}
+	}
+}
+
+func TestScalerStateRoundTrip(t *testing.T) {
+	s, err := FitStandardizer([][]float64{{1, 5}, {3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.State()
+	s2, err := ScalerFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Transform([]float64{2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.Transform([]float64{2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Errorf("scaler round trip differs: %v vs %v", a, b)
+	}
+}
+
+func TestScalerFromStateValidation(t *testing.T) {
+	if _, err := ScalerFromState(ScalerState{}); !errors.Is(err, ErrBadState) {
+		t.Errorf("empty scaler error = %v", err)
+	}
+	if _, err := ScalerFromState(ScalerState{Mean: []float64{0}, Std: []float64{0}}); !errors.Is(err, ErrBadState) {
+		t.Errorf("zero std error = %v", err)
+	}
+	if _, err := ScalerFromState(ScalerState{Mean: []float64{0, 1}, Std: []float64{1}}); !errors.Is(err, ErrBadState) {
+		t.Errorf("mismatched scaler error = %v", err)
+	}
+}

@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// grads accumulates per-layer gradients for one mini-batch.
+type grads struct {
+	w [][]float64
+	b [][]float64
+}
+
+func newGrads(layers []layer) *grads {
+	g := &grads{w: make([][]float64, len(layers)), b: make([][]float64, len(layers))}
+	for i, l := range layers {
+		g.w[i] = make([]float64, len(l.w))
+		g.b[i] = make([]float64, len(l.b))
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	for i := range g.w {
+		clear(g.w[i])
+		clear(g.b[i])
+	}
+}
+
+// optimizerState carries momentum / Adam moment buffers.
+type optimizerState struct {
+	vw, vb [][]float64 // first moment / velocity
+	sw, sb [][]float64 // second moment (Adam)
+	step   int
+}
+
+func newOptimizerState(layers []layer, kind OptimizerKind) *optimizerState {
+	st := &optimizerState{
+		vw: make([][]float64, len(layers)),
+		vb: make([][]float64, len(layers)),
+	}
+	for i, l := range layers {
+		st.vw[i] = make([]float64, len(l.w))
+		st.vb[i] = make([]float64, len(l.b))
+	}
+	if kind == Adam {
+		st.sw = make([][]float64, len(layers))
+		st.sb = make([][]float64, len(layers))
+		for i, l := range layers {
+			st.sw[i] = make([]float64, len(l.w))
+			st.sb[i] = make([]float64, len(l.b))
+		}
+	}
+	return st
+}
+
+// Train fits the network on samples x (each a feature vector) with integer
+// class labels y. It may be called once per Network instance; the paper's
+// configuration is epochs=2000, batch=10, lr=0.001.
+func (n *Network) Train(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return ErrNoData
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("%w: %d samples but %d labels", ErrBadShape, len(x), len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return fmt.Errorf("%w: empty feature vectors", ErrBadShape)
+	}
+	for i, xi := range x {
+		if len(xi) != dim {
+			return fmt.Errorf("%w: sample %d has %d features, want %d", ErrBadShape, i, len(xi), dim)
+		}
+		if y[i] < 0 || y[i] >= n.cfg.Classes {
+			return fmt.Errorf("%w: label %d outside [0, %d)", ErrBadShape, y[i], n.cfg.Classes)
+		}
+	}
+	rng := rand.New(rand.NewSource(n.cfg.Seed))
+	n.initLayers(dim, rng)
+	st := newOptimizerState(n.layers, n.cfg.Optimizer)
+	g := newGrads(n.layers)
+
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Validation holdout for early stopping; skipped when the sample set is
+	// too small to spare one.
+	var valIdx []int
+	if n.cfg.EarlyStop {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nVal := int(n.cfg.ValFraction * float64(len(idx)))
+		if nVal >= 4 && len(idx)-nVal >= 4 {
+			valIdx = idx[:nVal]
+			idx = idx[nVal:]
+		}
+	}
+	bestLoss := math.Inf(1)
+	var bestWeights [][]float64
+	var bestBiases [][]float64
+	stale := 0
+	activations := make([][]float64, len(n.layers)+1)
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += n.cfg.BatchSize {
+			end := min(start+n.cfg.BatchSize, len(idx))
+			g.zero()
+			for _, s := range idx[start:end] {
+				n.backprop(x[s], y[s], g, activations)
+			}
+			n.apply(g, st, end-start)
+		}
+		if valIdx == nil {
+			continue
+		}
+		if vloss := n.lossOn(x, y, valIdx); vloss < bestLoss-1e-9 {
+			bestLoss = vloss
+			bestWeights, bestBiases = n.snapshot(bestWeights, bestBiases)
+			stale = 0
+		} else if stale++; stale > n.cfg.Patience {
+			break
+		}
+	}
+	if bestWeights != nil {
+		n.restore(bestWeights, bestBiases)
+	}
+	n.trained = true
+	return nil
+}
+
+// lossOn computes the mean cross-entropy on an index subset (usable before
+// the network is marked trained).
+func (n *Network) lossOn(x [][]float64, y []int, idx []int) float64 {
+	var total float64
+	for _, s := range idx {
+		_, probs := n.forward(x[s], nil)
+		total += -math.Log(math.Max(probs[y[s]], 1e-15))
+	}
+	return total / float64(len(idx))
+}
+
+// snapshot copies the current weights into the provided buffers
+// (allocating them on first use).
+func (n *Network) snapshot(w, b [][]float64) ([][]float64, [][]float64) {
+	if w == nil {
+		w = make([][]float64, len(n.layers))
+		b = make([][]float64, len(n.layers))
+		for i, l := range n.layers {
+			w[i] = make([]float64, len(l.w))
+			b[i] = make([]float64, len(l.b))
+		}
+	}
+	for i, l := range n.layers {
+		copy(w[i], l.w)
+		copy(b[i], l.b)
+	}
+	return w, b
+}
+
+// restore writes snapshotted weights back into the layers.
+func (n *Network) restore(w, b [][]float64) {
+	for i := range n.layers {
+		copy(n.layers[i].w, w[i])
+		copy(n.layers[i].b, b[i])
+	}
+}
+
+// backprop accumulates the gradient of the cross-entropy loss for one
+// sample into g.
+func (n *Network) backprop(x []float64, label int, g *grads, activations [][]float64) {
+	activations, probs := n.forward(x, activations)
+	// Softmax + cross-entropy gradient on logits: p - onehot.
+	last := len(n.layers) - 1
+	delta := make([]float64, n.layers[last].out)
+	copy(delta, probs)
+	delta[label]--
+	for li := last; li >= 0; li-- {
+		l := &n.layers[li]
+		in := activations[li]
+		gw := g.w[li]
+		gb := g.b[li]
+		for o := 0; o < l.out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			gb[o] += d
+			row := gw[o*l.in : (o+1)*l.in]
+			for i, xv := range in {
+				row[i] += d * xv
+			}
+		}
+		if li == 0 {
+			break
+		}
+		// Propagate: deltaPrev = Wᵀ delta, gated by the ReLU mask of the
+		// previous activation.
+		prev := make([]float64, l.in)
+		for o := 0; o < l.out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i := range prev {
+				prev[i] += d * row[i]
+			}
+		}
+		for i := range prev {
+			if activations[li][i] <= 0 { // ReLU derivative
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+}
+
+// apply performs one optimizer step with batch-averaged gradients.
+func (n *Network) apply(g *grads, st *optimizerState, batch int) {
+	lr := n.cfg.LearningRate
+	wd := n.cfg.WeightDecay
+	inv := 1 / float64(batch)
+	switch n.cfg.Optimizer {
+	case SGD:
+		mu := n.cfg.Momentum
+		for li := range n.layers {
+			l := &n.layers[li]
+			for i := range l.w {
+				st.vw[li][i] = mu*st.vw[li][i] - lr*(g.w[li][i]*inv+wd*l.w[i])
+				l.w[i] += st.vw[li][i]
+			}
+			for i := range l.b {
+				st.vb[li][i] = mu*st.vb[li][i] - lr*g.b[li][i]*inv
+				l.b[i] += st.vb[li][i]
+			}
+		}
+	case Adam:
+		const (
+			beta1 = 0.9
+			beta2 = 0.999
+			eps   = 1e-8
+		)
+		st.step++
+		c1 := 1 - math.Pow(beta1, float64(st.step))
+		c2 := 1 - math.Pow(beta2, float64(st.step))
+		for li := range n.layers {
+			l := &n.layers[li]
+			for i := range l.w {
+				grad := g.w[li][i] * inv
+				st.vw[li][i] = beta1*st.vw[li][i] + (1-beta1)*grad
+				st.sw[li][i] = beta2*st.sw[li][i] + (1-beta2)*grad*grad
+				// Decoupled weight decay (AdamW).
+				l.w[i] -= lr * ((st.vw[li][i]/c1)/(math.Sqrt(st.sw[li][i]/c2)+eps) + wd*l.w[i])
+			}
+			for i := range l.b {
+				grad := g.b[li][i] * inv
+				st.vb[li][i] = beta1*st.vb[li][i] + (1-beta1)*grad
+				st.sb[li][i] = beta2*st.sb[li][i] + (1-beta2)*grad*grad
+				l.b[i] -= lr * (st.vb[li][i] / c1) / (math.Sqrt(st.sb[li][i]/c2) + eps)
+			}
+		}
+	}
+}
+
+// PredictProba returns the class probability distribution for a feature
+// vector.
+func (n *Network) PredictProba(x []float64) ([]float64, error) {
+	if !n.trained {
+		return nil, ErrNotTrained
+	}
+	if len(x) != n.inDim {
+		return nil, fmt.Errorf("%w: got %d features, trained on %d", ErrBadShape, len(x), n.inDim)
+	}
+	_, probs := n.forward(x, nil)
+	return probs, nil
+}
+
+// Score returns the probability of the positive class (label 1), the score
+// the evaluation harness ranks candidate links by.
+func (n *Network) Score(x []float64) (float64, error) {
+	p, err := n.PredictProba(x)
+	if err != nil {
+		return 0, err
+	}
+	return p[1], nil
+}
+
+// Loss computes the mean cross-entropy of the network on a labeled set
+// (exposed for convergence tests).
+func (n *Network) Loss(x [][]float64, y []int) (float64, error) {
+	if !n.trained {
+		return 0, ErrNotTrained
+	}
+	if len(x) == 0 {
+		return 0, ErrNoData
+	}
+	var total float64
+	for i, xi := range x {
+		p, err := n.PredictProba(xi)
+		if err != nil {
+			return 0, err
+		}
+		total += -math.Log(math.Max(p[y[i]], 1e-15))
+	}
+	return total / float64(len(x)), nil
+}

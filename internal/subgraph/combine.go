@@ -1,0 +1,236 @@
+package subgraph
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"ssflp/internal/graph"
+)
+
+// StructureNode is a set of subgraph nodes that share the same distinct
+// neighbor set (Definition 4). Members are local indices into the originating
+// Subgraph. The endpoint structure nodes contain exactly the endpoint.
+type StructureNode struct {
+	Members []int
+	Dist    int32 // d(N, e_t): minimum Eq. 1 distance over members
+}
+
+// StructureLink aggregates every multi-edge between two structure nodes
+// (Definition 5). X < Y are indices into StructureGraph.Nodes and Stamps
+// holds the timestamps of all member links.
+type StructureLink struct {
+	X, Y   int
+	Stamps []graph.Timestamp
+}
+
+// Count returns the number of member links the structure link combines.
+func (l *StructureLink) Count() int { return len(l.Stamps) }
+
+// StructureGraph is the h-hop structure subgraph G_{S_{h->e_t}} of
+// Definition 6. Node 0 is the structure node of endpoint A and node 1 the
+// structure node of endpoint B.
+type StructureGraph struct {
+	Nodes []StructureNode
+	Links []StructureLink
+	adj   [][]int // node -> indices into Links
+}
+
+// NumNodes returns |V_S|.
+func (s *StructureGraph) NumNodes() int { return len(s.Nodes) }
+
+// NeighborSets returns, per structure node, the sorted distinct indices of
+// adjacent structure nodes.
+func (s *StructureGraph) NeighborSets() [][]int {
+	out := make([][]int, len(s.Nodes))
+	for i, linkIdx := range s.adj {
+		nb := make([]int, 0, len(linkIdx))
+		for _, li := range linkIdx {
+			l := s.Links[li]
+			other := l.X
+			if other == i {
+				other = l.Y
+			}
+			nb = append(nb, other)
+		}
+		sort.Ints(nb)
+		out[i] = nb
+	}
+	return out
+}
+
+// LinkBetween returns the structure link connecting nodes x and y, or nil.
+func (s *StructureGraph) LinkBetween(x, y int) *StructureLink {
+	if x > y {
+		x, y = y, x
+	}
+	if x < 0 || y >= len(s.Nodes) {
+		return nil
+	}
+	for _, li := range s.adj[x] {
+		l := &s.Links[li]
+		if l.X == x && l.Y == y {
+			return l
+		}
+	}
+	return nil
+}
+
+// Combine runs Algorithm 1: it partitions the subgraph's nodes into
+// structure nodes by repeatedly merging nodes whose distinct neighbor sets
+// (expressed over the current partition) are identical, until a fixed point.
+// The endpoint nodes (local indices 0 and 1) are special structure nodes that
+// are never merged (Definition 4).
+func Combine(s *Subgraph) *StructureGraph {
+	n := s.NumNodes()
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = i
+	}
+	numClasses := n
+	// Distinct neighbor lists of the original subgraph nodes, computed once.
+	baseNbrs := baseNeighborLists(s)
+
+	for {
+		merged, next, nextCount := mergeRound(baseNbrs, classOf, numClasses)
+		if !merged {
+			break
+		}
+		classOf, numClasses = next, nextCount
+	}
+	return assemble(s, classOf, numClasses)
+}
+
+// baseNeighborLists computes sorted distinct neighbor local ids per node.
+func baseNeighborLists(s *Subgraph) [][]int {
+	n := s.NumNodes()
+	out := make([][]int, n)
+	var buf []int
+	for u := 0; u < n; u++ {
+		buf = buf[:0]
+		for a := range s.G.Arcs(graph.NodeID(u)) {
+			buf = append(buf, int(a.To))
+		}
+		out[u] = sortDedup(buf, nil)
+	}
+	return out
+}
+
+// sortDedup sorts in and appends the distinct values to dst (allocating a
+// right-sized slice when dst is nil).
+func sortDedup(in []int, dst []int) []int {
+	sort.Ints(in)
+	if dst == nil {
+		dst = make([]int, 0, len(in))
+	}
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// mergeRound performs one iteration of the Algorithm 1 outer loop over the
+// current partition. It returns whether anything merged plus the refreshed
+// class assignment (compacted, with the endpoint classes first).
+func mergeRound(baseNbrs [][]int, classOf []int, numClasses int) (bool, []int, int) {
+	// Class-level distinct neighbor sets, derived from member adjacency:
+	// gather raw class ids per class, then sort-dedup in place.
+	classNbrs := make([][]int, numClasses)
+	for u, nbrs := range baseNbrs {
+		cu := classOf[u]
+		for _, v := range nbrs {
+			if cv := classOf[v]; cv != cu {
+				classNbrs[cu] = append(classNbrs[cu], cv)
+			}
+		}
+	}
+	for c := range classNbrs {
+		classNbrs[c] = sortDedup(classNbrs[c], classNbrs[c][:0])
+	}
+	endpointA, endpointB := classOf[0], classOf[1]
+
+	// Group non-endpoint classes by their neighbor-set signature.
+	groups := make(map[string]int, numClasses) // signature -> new class id
+	newID := make([]int, numClasses)
+	for i := range newID {
+		newID[i] = -1
+	}
+	// Endpoint classes keep dedicated new ids 0 and 1.
+	newID[endpointA] = 0
+	newID[endpointB] = 1
+	nextCount := 2
+	merged := false
+	var key []byte
+	for c := 0; c < numClasses; c++ {
+		if c == endpointA || c == endpointB {
+			continue
+		}
+		key = signature(key[:0], classNbrs[c])
+		if id, ok := groups[string(key)]; ok {
+			newID[c] = id
+			merged = true
+			continue
+		}
+		groups[string(key)] = nextCount
+		newID[c] = nextCount
+		nextCount++
+	}
+
+	next := make([]int, len(classOf))
+	for u, c := range classOf {
+		next[u] = newID[c]
+	}
+	return merged, next, nextCount
+}
+
+// signature encodes a sorted neighbor-class list as a byte key.
+func signature(buf []byte, sorted []int) []byte {
+	for _, v := range sorted {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+// assemble materializes the StructureGraph from a converged partition.
+func assemble(s *Subgraph, classOf []int, numClasses int) *StructureGraph {
+	sg := &StructureGraph{
+		Nodes: make([]StructureNode, numClasses),
+		adj:   make([][]int, numClasses),
+	}
+	for i := range sg.Nodes {
+		sg.Nodes[i].Dist = graph.Unreachable
+	}
+	for u, c := range classOf {
+		node := &sg.Nodes[c]
+		node.Members = append(node.Members, u)
+		if d := s.Dist[u]; node.Dist == graph.Unreachable || (d != graph.Unreachable && d < node.Dist) {
+			node.Dist = d
+		}
+	}
+	type pair struct{ x, y int }
+	linkIdx := make(map[pair]int)
+	for e := range s.G.Edges() {
+		cx, cy := classOf[e.U], classOf[e.V]
+		if cx == cy {
+			// Cannot happen for merges of identical open neighborhoods
+			// (members of a class are pairwise non-adjacent); skip
+			// defensively rather than emit a structure self loop.
+			continue
+		}
+		if cx > cy {
+			cx, cy = cy, cx
+		}
+		p := pair{cx, cy}
+		li, ok := linkIdx[p]
+		if !ok {
+			li = len(sg.Links)
+			linkIdx[p] = li
+			sg.Links = append(sg.Links, StructureLink{X: cx, Y: cy})
+			sg.adj[cx] = append(sg.adj[cx], li)
+			sg.adj[cy] = append(sg.adj[cy], li)
+		}
+		sg.Links[li].Stamps = append(sg.Links[li].Stamps, e.Ts)
+	}
+	return sg
+}

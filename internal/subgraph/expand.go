@@ -1,0 +1,80 @@
+package subgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"ssflp/internal/graph"
+)
+
+// Expand reconstructs an h-hop subgraph from a structure subgraph — the
+// inverse of Combine, witnessing the paper's claim (Section IV-A) that "the
+// h-hop structure subgraph is an equivalent representation of the h-hop
+// surrounding subgraph". Member links of each structure link are
+// redistributed across the member node pairs; because members of a structure
+// node share their entire neighbor set, every member of N_x connects to
+// every member of N_y in the original, so the reconstruction places each
+// recorded timestamp on a concrete pair in round-robin order.
+//
+// The reconstruction is exact at the level the paper claims equivalence:
+// the node partition, the pairwise structure connectivity and the full
+// multiset of link timestamps per structure link are recovered. The
+// assignment of individual timestamps to individual member pairs is not
+// recoverable (Combine aggregates it away) — ExpandLossless documents that
+// boundary in its tests.
+func Expand(st *StructureGraph, numNodes int) (*graph.Graph, error) {
+	g := graph.New(numNodes)
+	g.EnsureNodes(numNodes)
+	for _, l := range st.Links {
+		xs := st.Nodes[l.X].Members
+		ys := st.Nodes[l.Y].Members
+		if len(xs) == 0 || len(ys) == 0 {
+			return nil, fmt.Errorf("subgraph: expand: structure link (%d, %d) touches an empty node", l.X, l.Y)
+		}
+		for i, ts := range l.Stamps {
+			u := xs[i%len(xs)]
+			v := ys[(i/len(xs))%len(ys)]
+			if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), ts); err != nil {
+				return nil, fmt.Errorf("subgraph: expand: %w", err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// StampMultiset returns the sorted multiset of all link timestamps in a
+// graph — the invariant Expand preserves exactly.
+func StampMultiset(g *graph.Graph) []graph.Timestamp {
+	out := make([]graph.Timestamp, 0, g.NumEdges())
+	for e := range g.Edges() {
+		out = append(out, e.Ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PartitionOf returns, per local subgraph node, the index of its structure
+// node — the partition Combine computed.
+func (s *StructureGraph) PartitionOf(numNodes int) ([]int, error) {
+	out := make([]int, numNodes)
+	for i := range out {
+		out[i] = -1
+	}
+	for idx, n := range s.Nodes {
+		for _, m := range n.Members {
+			if m < 0 || m >= numNodes {
+				return nil, fmt.Errorf("subgraph: member %d outside %d nodes", m, numNodes)
+			}
+			if out[m] != -1 {
+				return nil, fmt.Errorf("subgraph: node %d in two structure nodes (%d, %d)", m, out[m], idx)
+			}
+			out[m] = idx
+		}
+	}
+	for i, c := range out {
+		if c == -1 {
+			return nil, fmt.Errorf("subgraph: node %d not covered by the partition", i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package subgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+func TestExpandPreservesEdgeAndStampMultiset(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 22, 50)
+		sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+		if err != nil {
+			return false
+		}
+		st := Combine(sg)
+		rec, err := Expand(st, sg.NumNodes())
+		if err != nil {
+			t.Logf("seed %d: expand: %v", seed, err)
+			return false
+		}
+		if rec.NumEdges() != sg.G.NumEdges() {
+			t.Logf("seed %d: edges %d vs %d", seed, rec.NumEdges(), sg.G.NumEdges())
+			return false
+		}
+		a, b := StampMultiset(rec), StampMultiset(sg.G)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandRecombinesToSamePartition(t *testing.T) {
+	// Combining the expanded graph must recover the identical partition —
+	// the fixed-point sense in which the representations are equivalent.
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 20, 45)
+		sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+		if err != nil {
+			return false
+		}
+		st := Combine(sg)
+		part, err := st.PartitionOf(sg.NumNodes())
+		if err != nil {
+			return false
+		}
+		rec, err := Expand(st, sg.NumNodes())
+		if err != nil {
+			return false
+		}
+		// Re-extract an "h-hop subgraph" view of the reconstruction: the
+		// reconstruction is already local, so wrap it directly.
+		sg2 := &Subgraph{
+			Orig: sg.Orig,
+			Dist: sg.Dist,
+			G:    rec,
+			H:    sg.H,
+		}
+		st2 := Combine(sg2)
+		part2, err := st2.PartitionOf(sg.NumNodes())
+		if err != nil {
+			return false
+		}
+		// Partitions must be identical up to renumbering: same blocks.
+		remap := map[int]int{}
+		for i := range part {
+			if want, ok := remap[part[i]]; ok {
+				if part2[i] != want {
+					return false
+				}
+				continue
+			}
+			remap[part[i]] = part2[i]
+		}
+		// Injectivity: distinct blocks must not merge.
+		seen := map[int]bool{}
+		for _, v := range remap {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOfValidation(t *testing.T) {
+	st := &StructureGraph{Nodes: []StructureNode{{Members: []int{0, 2}}, {Members: []int{1}}}}
+	part, err := st.PartitionOf(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part[0] != 0 || part[1] != 1 || part[2] != 0 {
+		t.Errorf("partition = %v", part)
+	}
+	if _, err := st.PartitionOf(2); err == nil {
+		t.Error("member out of range should fail")
+	}
+	dup := &StructureGraph{Nodes: []StructureNode{{Members: []int{0}}, {Members: []int{0}}}}
+	if _, err := dup.PartitionOf(1); err == nil {
+		t.Error("duplicate membership should fail")
+	}
+	gap := &StructureGraph{Nodes: []StructureNode{{Members: []int{0}}}}
+	if _, err := gap.PartitionOf(2); err == nil {
+		t.Error("uncovered node should fail")
+	}
+}
+
+func TestExpandEmptyStructureLinkMember(t *testing.T) {
+	st := &StructureGraph{
+		Nodes: []StructureNode{{Members: []int{0}}, {}},
+		Links: []StructureLink{{X: 0, Y: 1, Stamps: []graph.Timestamp{1}}},
+	}
+	if _, err := Expand(st, 2); err == nil {
+		t.Error("empty structure node should fail")
+	}
+}

@@ -1,0 +1,128 @@
+package subgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"ssflp/internal/graph"
+)
+
+// ErrBadK is returned when K < 3; the feature vector needs at least one
+// entry beyond the two endpoints.
+var ErrBadK = errors.New("subgraph: K must be at least 3")
+
+// KStructure is the K-structure subgraph G^K of Definition 7: the top-K
+// structure nodes by Palette-WL order and the structure links among them.
+// Node slot i holds the structure node with order i+1 (slots 0 and 1 are the
+// endpoint structure nodes). When the target link's connected component is
+// exhausted before K structure nodes exist, N < K and the remaining slots
+// are implicitly empty (the SSF adjacency is zero-padded) — a documented
+// deviation from the paper, which assumes |V_S| >= K.
+type KStructure struct {
+	K     int
+	N     int // number of filled slots, N <= K
+	Nodes []StructureNode
+	Links []StructureLink // X, Y are slot indices (order-1)
+	H     int             // hop radius that satisfied the K requirement
+}
+
+// BuildK grows the hop radius h starting from 1 until the h-hop structure
+// subgraph of the target link contains at least K structure nodes (or the
+// component is exhausted), orders it with Palette-WL and selects the top K
+// structure nodes (Section IV-B). Uses the default PreferConnected tie
+// preference.
+func BuildK(g *graph.Graph, t TargetLink, k int) (*KStructure, error) {
+	return BuildKTie(g, t, k, PreferConnected)
+}
+
+// BuildKTie is BuildK with an explicit Palette-WL tie preference.
+func BuildKTie(g *graph.Graph, t TargetLink, k int, tie TiePreference) (*KStructure, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	var (
+		sg        *Subgraph
+		st        *StructureGraph
+		prevNodes = -1
+	)
+	h := 1
+	for {
+		var err error
+		sg, err = Extract(g, t, h)
+		if err != nil {
+			return nil, err
+		}
+		st = Combine(sg)
+		if st.NumNodes() >= k {
+			break
+		}
+		if sg.NumNodes() == prevNodes {
+			break // component exhausted; proceed with what we have
+		}
+		prevNodes = sg.NumNodes()
+		h++
+	}
+	return SelectK(st, k, h, tie)
+}
+
+// SelectK orders a structure graph with Palette-WL under the given tie
+// preference and keeps the top-K structure nodes and the structure links
+// among them.
+func SelectK(st *StructureGraph, k, h int, tie TiePreference) (*KStructure, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	dists := make([]int32, len(st.Nodes))
+	for i, n := range st.Nodes {
+		dists[i] = n.Dist
+	}
+	order, err := PaletteWLTie(st.NeighborSets(), dists, tie)
+	if err != nil {
+		return nil, err
+	}
+	n := min(len(st.Nodes), k)
+	ks := &KStructure{K: k, N: n, Nodes: make([]StructureNode, n), H: h}
+	for i, node := range st.Nodes {
+		if o := order[i]; o <= n {
+			ks.Nodes[o-1] = node
+		}
+	}
+	for _, l := range st.Links {
+		ox, oy := order[l.X], order[l.Y]
+		if ox > n || oy > n {
+			continue
+		}
+		if ox > oy {
+			ox, oy = oy, ox
+		}
+		ks.Links = append(ks.Links, StructureLink{X: ox - 1, Y: oy - 1, Stamps: l.Stamps})
+	}
+	return ks, nil
+}
+
+// PatternKey canonically encodes the connectivity pattern of the K-structure
+// subgraph (which ordered slots are linked, ignoring multiplicities and
+// timestamps), as used by the Figure 6 pattern-frequency analysis. Two
+// K-structure subgraphs "follow the same pattern" iff their keys are equal.
+func (ks *KStructure) PatternKey() string {
+	bits := make([]byte, (ks.K*ks.K+7)/8)
+	for _, l := range ks.Links {
+		pos := l.X*ks.K + l.Y
+		bits[pos/8] |= 1 << (pos % 8)
+	}
+	return string(bits)
+}
+
+// AverageLinkCount returns the mean number of member links per structure
+// link (the quantity Figure 6 renders as link thickness). Zero when there
+// are no links.
+func (ks *KStructure) AverageLinkCount() float64 {
+	if len(ks.Links) == 0 {
+		return 0
+	}
+	total := 0
+	for _, l := range ks.Links {
+		total += l.Count()
+	}
+	return float64(total) / float64(len(ks.Links))
+}

@@ -1,0 +1,164 @@
+package subgraph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+func TestBuildKValidation(t *testing.T) {
+	g := fig3Graph(t)
+	if _, err := BuildK(g, TargetLink{A: 0, B: 1}, 2); !errors.Is(err, ErrBadK) {
+		t.Errorf("BuildK(K=2) error = %v, want ErrBadK", err)
+	}
+}
+
+func TestBuildKFig3(t *testing.T) {
+	g := fig3Graph(t)
+	ks, err := BuildK(g, TargetLink{A: 0, B: 1}, 5)
+	if err != nil {
+		t.Fatalf("BuildK: %v", err)
+	}
+	if ks.N != 5 || ks.H != 1 {
+		t.Errorf("N = %d, H = %d, want 5 structure nodes at h = 1", ks.N, ks.H)
+	}
+	if len(ks.Nodes[0].Members) != 1 || len(ks.Nodes[1].Members) != 1 {
+		t.Error("slots 0 and 1 must hold the singleton endpoint structure nodes")
+	}
+}
+
+func TestBuildKGrowsRadius(t *testing.T) {
+	// Path 0-1-2-3-4-5-6; target (0,1). 1-hop has 3 structure nodes, so
+	// asking for 5 must grow h.
+	g := buildGraph(t, [][3]int{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}, {5, 6, 1}})
+	ks, err := BuildK(g, TargetLink{A: 0, B: 1}, 5)
+	if err != nil {
+		t.Fatalf("BuildK: %v", err)
+	}
+	if ks.H < 2 {
+		t.Errorf("H = %d, want >= 2", ks.H)
+	}
+	if ks.N != 5 {
+		t.Errorf("N = %d, want 5", ks.N)
+	}
+}
+
+func TestBuildKExhaustedComponentPads(t *testing.T) {
+	// Tiny component: only 0-1-2 triangle. K=10 cannot be satisfied.
+	g := buildGraph(t, [][3]int{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}})
+	ks, err := BuildK(g, TargetLink{A: 0, B: 1}, 10)
+	if err != nil {
+		t.Fatalf("BuildK: %v", err)
+	}
+	if ks.N != 3 {
+		t.Errorf("N = %d, want 3 (component exhausted)", ks.N)
+	}
+	if ks.K != 10 {
+		t.Errorf("K = %d, want 10", ks.K)
+	}
+}
+
+func TestBuildKIsolatedEndpoints(t *testing.T) {
+	g := graph.New(0)
+	g.EnsureNodes(2)
+	ks, err := BuildK(g, TargetLink{A: 0, B: 1}, 10)
+	if err != nil {
+		t.Fatalf("BuildK on empty graph: %v", err)
+	}
+	if ks.N != 2 || len(ks.Links) != 0 {
+		t.Errorf("isolated endpoints: N = %d links = %d, want 2 and 0", ks.N, len(ks.Links))
+	}
+}
+
+func TestSelectKDropsFarLinks(t *testing.T) {
+	// Star with many leaves; K smaller than the structure count keeps only
+	// links among retained slots.
+	edges := [][3]int{{0, 1, 1}}
+	// Distinct-degree chain off B so structure nodes don't all merge.
+	edges = append(edges, [][3]int{{1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}, {2, 6, 1}, {6, 0, 1}}...)
+	g := buildGraph(t, edges)
+	ks, err := BuildK(g, TargetLink{A: 0, B: 1}, 3)
+	if err != nil {
+		t.Fatalf("BuildK: %v", err)
+	}
+	if ks.N != 3 {
+		t.Fatalf("N = %d, want 3", ks.N)
+	}
+	for _, l := range ks.Links {
+		if l.X >= 3 || l.Y >= 3 || l.X < 0 || l.Y < 0 || l.X >= l.Y {
+			t.Errorf("link (%d, %d) outside selected slot range", l.X, l.Y)
+		}
+	}
+}
+
+func TestPatternKeyDistinguishesPatterns(t *testing.T) {
+	g1 := fig3Graph(t)
+	ks1, err := BuildK(g1, TargetLink{A: 0, B: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally different graph: plain path.
+	g2 := buildGraph(t, [][3]int{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}, {5, 6, 1}, {6, 7, 1}})
+	ks2, err := BuildK(g2, TargetLink{A: 0, B: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks1.PatternKey() == ks2.PatternKey() {
+		t.Error("different structures produced identical pattern keys")
+	}
+	// Same graph twice: identical keys.
+	ks1b, err := BuildK(g1, TargetLink{A: 0, B: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks1.PatternKey() != ks1b.PatternKey() {
+		t.Error("pattern key not deterministic")
+	}
+}
+
+func TestAverageLinkCount(t *testing.T) {
+	g := fig3Graph(t)
+	ks, err := BuildK(g, TargetLink{A: 0, B: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(g.NumEdges()) / float64(len(ks.Links))
+	if got := ks.AverageLinkCount(); got != want {
+		t.Errorf("AverageLinkCount = %v, want %v", got, want)
+	}
+	empty := &KStructure{K: 5}
+	if empty.AverageLinkCount() != 0 {
+		t.Error("AverageLinkCount of empty structure should be 0")
+	}
+}
+
+func TestPropertyBuildKSlotInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 30, 60)
+		ks, err := BuildK(g, TargetLink{A: 0, B: 1}, 8)
+		if err != nil {
+			return false
+		}
+		if ks.N > ks.K || ks.N < 2 {
+			return false
+		}
+		// Slots 0 and 1 are the endpoints (singleton members 0 and 1).
+		if len(ks.Nodes[0].Members) != 1 || ks.Nodes[0].Members[0] != 0 {
+			return false
+		}
+		if len(ks.Nodes[1].Members) != 1 || ks.Nodes[1].Members[0] != 1 {
+			return false
+		}
+		for _, l := range ks.Links {
+			if l.X < 0 || l.Y >= ks.N || l.X >= l.Y || l.Count() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package subgraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrTooFewNodes is returned when Palette-WL is asked to order fewer than
+// two nodes (a target link always contributes its two endpoints).
+var ErrTooFewNodes = errors.New("subgraph: palette-wl needs at least the two endpoint nodes")
+
+// TiePreference selects how Palette-WL refines nodes that share a distance
+// class. It decides which structure nodes survive top-K selection, so it
+// matters on dense graphs where the h-hop structure subgraph is much larger
+// than K.
+type TiePreference int
+
+const (
+	// PreferConnected ranks nodes with larger neighbor prime-log mass first
+	// within a distance class (h = C − frac). Structure nodes connected to
+	// both endpoints — the common-neighbor signal — survive K-selection.
+	// This is the library default: the paper's literal formula silently
+	// discards common neighbors on dense networks (see DESIGN.md).
+	PreferConnected TiePreference = iota + 1
+	// PreferSparse is the paper-literal Algorithm 2 (h = C + frac, rank
+	// ascending): sparsely connected nodes get lower orders. Kept for
+	// ablation.
+	PreferSparse
+)
+
+// PaletteWL implements Algorithm 2 of the paper with the default
+// PreferConnected tie preference: it assigns a canonical order in [1, n] to
+// each of n nodes given their distinct-neighbor adjacency lists and their
+// Eq. 1 distances to the target link. Nodes 0 and 1 must be the endpoint
+// (structure) nodes; they always receive orders 1 and 2.
+func PaletteWL(nbrs [][]int, dist []int32) ([]int, error) {
+	return PaletteWLTie(nbrs, dist, PreferConnected)
+}
+
+// PaletteWLTie is PaletteWL with an explicit tie preference.
+//
+// Initial colors follow the paper's initialization — ascending with distance
+// to e_t, endpoints pinned to colors 1 and 2 — and each round computes
+//
+//	h(x) = C(x) ± Σ_{p∈Γ(x)} log(P(C(p))) / |Σ_{q∈V} log(P(C(q)))|
+//
+// with P(i) the i-th prime (+ for PreferSparse, the paper's literal form;
+// − for PreferConnected), then re-ranks nodes by h ascending, equal hashes
+// sharing a color. Because the fractional term lies strictly inside (0, 1)
+// the refinement is order preserving, so the endpoint colors never move.
+// Remaining ties after convergence (automorphic nodes) are broken by the
+// stable node index so the result is a deterministic permutation.
+func PaletteWLTie(nbrs [][]int, dist []int32, tie TiePreference) ([]int, error) {
+	n := len(nbrs)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrTooFewNodes, n)
+	}
+	if len(dist) != n {
+		return nil, fmt.Errorf("subgraph: palette-wl: %d nodes but %d distances", n, len(dist))
+	}
+	sign := -1.0
+	switch tie {
+	case PreferConnected:
+	case PreferSparse:
+		sign = 1
+	default:
+		return nil, fmt.Errorf("subgraph: palette-wl: unknown tie preference %d", int(tie))
+	}
+	colors := initialColors(dist)
+	logs := logPrimes(n) // colors are in [1, n], so n primes suffice
+	hash := make([]float64, n)
+	next := make([]int, n)
+	maxDeg := 0
+	for _, nb := range nbrs {
+		maxDeg = max(maxDeg, len(nb))
+	}
+	cs := make([]int, maxDeg)
+	for iter := 0; iter < n+2; iter++ {
+		var denom float64
+		for _, c := range colors {
+			denom += logs[c-1]
+		}
+		if denom == 0 {
+			denom = 1
+		}
+		for x := range nbrs {
+			// Sum neighbor contributions in sorted color order so that
+			// automorphic nodes produce bit-identical hashes.
+			cs = cs[:len(nbrs[x])]
+			for i, p := range nbrs[x] {
+				cs[i] = colors[p]
+			}
+			sort.Ints(cs)
+			var frac float64
+			for _, c := range cs {
+				frac += logs[c-1]
+			}
+			hash[x] = float64(colors[x]) + sign*frac/denom
+		}
+		denseRank(hash, next)
+		if equalInts(next, colors) {
+			break
+		}
+		copy(colors, next)
+	}
+	return totalOrder(colors), nil
+}
+
+// initialColors ranks nodes ascending by distance with endpoints pinned:
+// node 0 -> 1, node 1 -> 2, then one color per distinct distance value.
+func initialColors(dist []int32) []int {
+	n := len(dist)
+	colors := make([]int, n)
+	colors[0], colors[1] = 1, 2
+	// Collect distinct distances of the remaining nodes; Unreachable sorts
+	// last (it cannot occur for extracted subgraphs, handled defensively).
+	distinct := make(map[int64]struct{})
+	for i := 2; i < n; i++ {
+		distinct[distKey(dist[i])] = struct{}{}
+	}
+	keys := make([]int64, 0, len(distinct))
+	for k := range distinct {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	colorOf := make(map[int64]int, len(keys))
+	for i, k := range keys {
+		colorOf[k] = 3 + i
+	}
+	for i := 2; i < n; i++ {
+		colors[i] = colorOf[distKey(dist[i])]
+	}
+	return colors
+}
+
+func distKey(d int32) int64 {
+	if d < 0 {
+		return math.MaxInt64 // unreachable sorts after every real distance
+	}
+	return int64(d)
+}
+
+// denseRank writes into out the 1-based dense rank of each hash value
+// (equal values share a rank).
+func denseRank(hash []float64, out []int) {
+	n := len(hash)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return hash[idx[a]] < hash[idx[b]] })
+	rank := 0
+	for pos, i := range idx {
+		if pos == 0 || hash[i] != hash[idx[pos-1]] {
+			rank++
+		}
+		out[i] = rank
+	}
+}
+
+// totalOrder converts (possibly tied) colors into a permutation 1..n,
+// breaking ties by node index.
+func totalOrder(colors []int) []int {
+	n := len(colors)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if colors[idx[a]] != colors[idx[b]] {
+			return colors[idx[a]] < colors[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	order := make([]int, n)
+	for pos, i := range idx {
+		order[i] = pos + 1
+	}
+	return order
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package subgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+func TestFirstPrimes(t *testing.T) {
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	got := firstPrimes(10)
+	if len(got) != 10 {
+		t.Fatalf("firstPrimes(10) returned %d primes", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("P(%d) = %d, want %d", i+1, got[i], want[i])
+		}
+	}
+	if firstPrimes(0) != nil {
+		t.Error("firstPrimes(0) should be nil")
+	}
+	// Larger request exercises the bound-doubling path.
+	big := firstPrimes(1000)
+	if big[999] != 7919 {
+		t.Errorf("P(1000) = %d, want 7919", big[999])
+	}
+}
+
+func TestPaletteWLValidation(t *testing.T) {
+	if _, err := PaletteWL([][]int{{}}, []int32{0}); err == nil {
+		t.Error("PaletteWL with 1 node should fail")
+	}
+	if _, err := PaletteWL([][]int{{}, {}}, []int32{0}); err == nil {
+		t.Error("PaletteWL with mismatched dist length should fail")
+	}
+}
+
+func TestPaletteWLEndpointsPinned(t *testing.T) {
+	// Star around node 0 plus endpoint 1.
+	nbrs := [][]int{{2, 3, 4}, {4}, {0}, {0}, {0, 1}}
+	dist := []int32{0, 0, 1, 1, 1}
+	order, err := PaletteWL(nbrs, dist)
+	if err != nil {
+		t.Fatalf("PaletteWL: %v", err)
+	}
+	if order[0] != 1 || order[1] != 2 {
+		t.Errorf("endpoint orders = %d, %d, want 1, 2", order[0], order[1])
+	}
+}
+
+func TestPaletteWLIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		nbrs, dist := randomOrderInput(seed, 12)
+		order, err := PaletteWL(nbrs, dist)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(order)+1)
+		for _, o := range order {
+			if o < 1 || o > len(order) || seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		return order[0] == 1 && order[1] == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaletteWLRespectsDistance(t *testing.T) {
+	// The paper requires farther structure nodes to receive higher orders.
+	f := func(seed int64) bool {
+		nbrs, dist := randomOrderInput(seed, 14)
+		order, err := PaletteWL(nbrs, dist)
+		if err != nil {
+			return false
+		}
+		for i := 2; i < len(order); i++ {
+			for j := 2; j < len(order); j++ {
+				if dist[i] < dist[j] && order[i] > order[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaletteWLDifferentiatesByStructure(t *testing.T) {
+	// Two distance-1 nodes: one adjacent to both endpoints, one to a single
+	// endpoint. They start with the same color (same distance) but the
+	// prime-log hash must split them. With the default PreferConnected tie
+	// preference the doubly-connected node (the common neighbor) wins the
+	// lower order; with the paper-literal PreferSparse it loses it.
+	nbrs := [][]int{
+		{2, 3}, // endpoint A
+		{2},    // endpoint B
+		{0, 1}, // both endpoints
+		{0},    // only A
+	}
+	dist := []int32{0, 0, 1, 1}
+	order, err := PaletteWL(nbrs, dist)
+	if err != nil {
+		t.Fatalf("PaletteWL: %v", err)
+	}
+	if order[2] != 3 || order[3] != 4 {
+		t.Errorf("PreferConnected orders = %v, want common neighbor -> 3, leaf -> 4", order)
+	}
+	sparse, err := PaletteWLTie(nbrs, dist, PreferSparse)
+	if err != nil {
+		t.Fatalf("PaletteWLTie: %v", err)
+	}
+	if sparse[2] != 4 || sparse[3] != 3 {
+		t.Errorf("PreferSparse orders = %v, want leaf -> 3, common neighbor -> 4", sparse)
+	}
+	if _, err := PaletteWLTie(nbrs, dist, TiePreference(9)); err == nil {
+		t.Error("unknown tie preference should fail")
+	}
+}
+
+func TestPaletteWLDeterministic(t *testing.T) {
+	nbrs, dist := randomOrderInput(42, 20)
+	a, err := PaletteWL(nbrs, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaletteWL(nbrs, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(a, b) {
+		t.Errorf("PaletteWL not deterministic: %v vs %v", a, b)
+	}
+}
+
+// randomOrderInput builds a random connected-ish adjacency + distance input
+// with nodes 0 and 1 as endpoints.
+func randomOrderInput(seed int64, n int) ([][]int, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	g.EnsureNodes(n)
+	// Chain to guarantee connectivity, then random extras.
+	for i := 0; i < n-1; i++ {
+		_ = g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+		}
+	}
+	view := g.Static()
+	nbrs := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, w := range view.Neighbors(graph.NodeID(u)) {
+			nbrs[u] = append(nbrs[u], int(w))
+		}
+	}
+	dist := g.DistancesToLink(0, 1)
+	return nbrs, dist
+}

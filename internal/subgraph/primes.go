@@ -1,0 +1,53 @@
+package subgraph
+
+import "math"
+
+// firstPrimes returns the first n prime numbers (P(1)=2, P(2)=3, ...), as
+// needed by the Palette-WL hash of Algorithm 2.
+func firstPrimes(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	// Upper bound for the n-th prime: n(ln n + ln ln n) for n >= 6.
+	limit := 15
+	if n >= 6 {
+		f := float64(n)
+		limit = int(f*(math.Log(f)+math.Log(math.Log(f)))) + 10
+	}
+	for {
+		primes := sieve(limit)
+		if len(primes) >= n {
+			return primes[:n]
+		}
+		limit *= 2
+	}
+}
+
+// sieve returns all primes <= limit using Eratosthenes.
+func sieve(limit int) []int {
+	if limit < 2 {
+		return nil
+	}
+	composite := make([]bool, limit+1)
+	var primes []int
+	for p := 2; p <= limit; p++ {
+		if composite[p] {
+			continue
+		}
+		primes = append(primes, p)
+		for q := p * p; q <= limit; q += p {
+			composite[q] = true
+		}
+	}
+	return primes
+}
+
+// logPrimes returns ln(P(i+1)) for i in [0, n).
+func logPrimes(n int) []float64 {
+	primes := firstPrimes(n)
+	out := make([]float64, n)
+	for i, p := range primes {
+		out[i] = math.Log(float64(p))
+	}
+	return out
+}

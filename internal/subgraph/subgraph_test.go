@@ -1,0 +1,331 @@
+package subgraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/graph"
+)
+
+// buildGraph constructs a graph from (u, v, ts) triples.
+func buildGraph(t *testing.T, edges [][3]int) *graph.Graph {
+	t.Helper()
+	g := graph.New(0)
+	for _, e := range edges {
+		if err := g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), graph.Timestamp(e[2])); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+// fig3Graph reproduces the paper's Figure 3(a): the 1-hop subgraph of link
+// A-B where leaves G, H, I all attach to A (identical neighbor sets), C-D
+// attach to both A and B, and E attaches to B.
+//
+//	A(0), B(1), C(2), D(3), E(4), G(5), H(6), I(7)
+func fig3Graph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return buildGraph(t, [][3]int{
+		{0, 5, 1}, {0, 6, 1}, {0, 7, 1}, // A-G, A-H, A-I
+		{0, 2, 2}, {0, 3, 2}, // A-C, A-D
+		{1, 2, 3}, {1, 3, 3}, // B-C, B-D
+		{1, 4, 4}, // B-E
+	})
+}
+
+func TestExtractValidation(t *testing.T) {
+	g := fig3Graph(t)
+	if _, err := Extract(g, TargetLink{A: 2, B: 2}, 1); !errors.Is(err, ErrSameEndpoints) {
+		t.Errorf("same endpoints error = %v, want ErrSameEndpoints", err)
+	}
+	if _, err := Extract(g, TargetLink{A: 0, B: 99}, 1); !errors.Is(err, ErrEndpointMissing) {
+		t.Errorf("missing endpoint error = %v, want ErrEndpointMissing", err)
+	}
+}
+
+func TestExtractOneHop(t *testing.T) {
+	g := fig3Graph(t)
+	sg, err := Extract(g, TargetLink{A: 0, B: 1}, 1)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if sg.NumNodes() != 8 {
+		t.Errorf("1-hop nodes = %d, want 8 (whole Fig.3 graph)", sg.NumNodes())
+	}
+	if sg.Orig[0] != 0 || sg.Orig[1] != 1 {
+		t.Errorf("endpoints not first: Orig[:2] = %v", sg.Orig[:2])
+	}
+	if sg.Dist[0] != 0 || sg.Dist[1] != 0 {
+		t.Errorf("endpoint distances = %v %v, want 0 0", sg.Dist[0], sg.Dist[1])
+	}
+	if sg.G.NumEdges() != g.NumEdges() {
+		t.Errorf("induced edges = %d, want %d", sg.G.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestExtractRadiusLimits(t *testing.T) {
+	// Path 0-1-2-3-4-5; target link (0,1).
+	g := buildGraph(t, [][3]int{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}})
+	sg, err := Extract(g, TargetLink{A: 0, B: 1}, 1)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if sg.NumNodes() != 3 { // 0, 1, 2
+		t.Errorf("h=1 nodes = %d, want 3", sg.NumNodes())
+	}
+	sg2, err := Extract(g, TargetLink{A: 0, B: 1}, 3)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if sg2.NumNodes() != 5 { // 0..4
+		t.Errorf("h=3 nodes = %d, want 5", sg2.NumNodes())
+	}
+}
+
+func TestExtractKeepsIsolatedEndpoints(t *testing.T) {
+	g := graph.New(0)
+	g.EnsureNodes(4)
+	if err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if sg.NumNodes() != 2 {
+		t.Errorf("nodes = %d, want just the 2 isolated endpoints", sg.NumNodes())
+	}
+	if sg.G.NumEdges() != 0 {
+		t.Errorf("edges = %d, want 0", sg.G.NumEdges())
+	}
+}
+
+func TestCombineMergesFig3Leaves(t *testing.T) {
+	g := fig3Graph(t)
+	sg, err := Extract(g, TargetLink{A: 0, B: 1}, 1)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	st := Combine(sg)
+	// Expected structure nodes: {A}, {B}, {C, D}, {E}, {G, H, I} = 5.
+	if st.NumNodes() != 5 {
+		t.Fatalf("structure nodes = %d, want 5", st.NumNodes())
+	}
+	if len(st.Nodes[0].Members) != 1 || len(st.Nodes[1].Members) != 1 {
+		t.Errorf("endpoint structure nodes must be singletons: %v, %v",
+			st.Nodes[0].Members, st.Nodes[1].Members)
+	}
+	sizes := map[int]int{}
+	for _, n := range st.Nodes {
+		sizes[len(n.Members)]++
+	}
+	// Three singletons (A, B, E), one pair (C,D), one triple (G,H,I).
+	if sizes[1] != 3 || sizes[2] != 1 || sizes[3] != 1 {
+		t.Errorf("member size histogram = %v, want map[1:3 2:1 3:1]", sizes)
+	}
+}
+
+func TestCombineAggregatesStamps(t *testing.T) {
+	g := fig3Graph(t)
+	sg, err := Extract(g, TargetLink{A: 0, B: 1}, 1)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	st := Combine(sg)
+	// The G,H,I triple connects to A with 3 member links.
+	var triple int = -1
+	for i, n := range st.Nodes {
+		if len(n.Members) == 3 {
+			triple = i
+		}
+	}
+	if triple < 0 {
+		t.Fatal("triple structure node not found")
+	}
+	l := st.LinkBetween(0, triple)
+	if l == nil {
+		t.Fatal("no structure link between A and the G/H/I structure node")
+	}
+	if l.Count() != 3 {
+		t.Errorf("aggregated link count = %d, want 3", l.Count())
+	}
+}
+
+func TestCombineEndpointsNeverMerge(t *testing.T) {
+	// A and B have identical neighbor sets {2, 3} but must stay separate.
+	g := buildGraph(t, [][3]int{{0, 2, 1}, {0, 3, 1}, {1, 2, 1}, {1, 3, 1}})
+	sg, err := Extract(g, TargetLink{A: 0, B: 1}, 1)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	st := Combine(sg)
+	if st.NumNodes() != 3 { // {A}, {B}, {2,3}
+		t.Errorf("structure nodes = %d, want 3", st.NumNodes())
+	}
+	if len(st.Nodes[0].Members) != 1 || len(st.Nodes[1].Members) != 1 {
+		t.Error("endpoints merged despite Definition 4")
+	}
+}
+
+func TestCombinePreservesEdgeCount(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 20, 40)
+		sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+		if err != nil {
+			return false
+		}
+		st := Combine(sg)
+		total := 0
+		for _, l := range st.Links {
+			total += l.Count()
+		}
+		return total == sg.G.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineIsFixedPoint(t *testing.T) {
+	// Recombining a combined structure graph must not merge anything more:
+	// no two structure nodes may share a neighbor set (endpoints aside).
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 25, 50)
+		sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+		if err != nil {
+			return false
+		}
+		st := Combine(sg)
+		nbrs := st.NeighborSets()
+		seen := map[string]int{}
+		for i := 2; i < len(nbrs); i++ {
+			key := ""
+			for _, v := range nbrs[i] {
+				key += string(rune(v)) + ","
+			}
+			if j, dup := seen[key]; dup {
+				t.Logf("seed %d: structure nodes %d and %d share neighbors %v", seed, j, i, nbrs[i])
+				return false
+			}
+			seen[key] = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineStructureNodeMembersNonAdjacent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 20, 45)
+		sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+		if err != nil {
+			return false
+		}
+		st := Combine(sg)
+		view := sg.G.Static()
+		for _, n := range st.Nodes {
+			for i := 0; i < len(n.Members); i++ {
+				for j := i + 1; j < len(n.Members); j++ {
+					if view.HasEdge(graph.NodeID(n.Members[i]), graph.NodeID(n.Members[j])) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomTestGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	g.EnsureNodes(n)
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		_ = g.AddEdge(u, v, graph.Timestamp(rng.Intn(50)))
+	}
+	return g
+}
+
+func TestPropertyStructureCountMonotoneInH(t *testing.T) {
+	// Growing the hop radius can only add subgraph nodes, and the structure
+	// subgraph of a larger subgraph cannot have fewer structure nodes than
+	// subgraph nodes merge away — concretely, |V_h| is non-decreasing in h.
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 25, 50)
+		prevNodes := -1
+		for h := 1; h <= 4; h++ {
+			sg, err := Extract(g, TargetLink{A: 0, B: 1}, h)
+			if err != nil {
+				return false
+			}
+			if sg.NumNodes() < prevNodes {
+				return false
+			}
+			prevNodes = sg.NumNodes()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStructureNodesAtMostSubgraphNodes(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 25, 50)
+		sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+		if err != nil {
+			return false
+		}
+		st := Combine(sg)
+		if st.NumNodes() > sg.NumNodes() || st.NumNodes() < min(sg.NumNodes(), 2) {
+			return false
+		}
+		// Members partition the subgraph nodes.
+		total := 0
+		for _, n := range st.Nodes {
+			total += len(n.Members)
+		}
+		return total == sg.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStructureDistEqualsMemberDist(t *testing.T) {
+	// All members of a structure node share the same Eq. 1 distance: equal
+	// neighbor sets imply equal BFS distance to the target link.
+	f := func(seed int64) bool {
+		g := randomTestGraph(seed, 22, 45)
+		sg, err := Extract(g, TargetLink{A: 0, B: 1}, 2)
+		if err != nil {
+			return false
+		}
+		st := Combine(sg)
+		for _, n := range st.Nodes {
+			for _, m := range n.Members {
+				if sg.Dist[m] != n.Dist {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

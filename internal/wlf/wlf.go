@@ -1,0 +1,124 @@
+// Package wlf implements the WLF baseline feature of Zhang & Chen's
+// Weisfeiler-Lehman Neural Machine (KDD 2017), which the paper compares SSF
+// against (Table I and Section VI-C-1). WLF encodes the enclosing subgraph
+// of the K nearest *ordinary* nodes around a target link: the vertices are
+// ordered with the same Palette-WL algorithm, but no structure combination
+// is performed and timestamps are ignored (binary static adjacency).
+package wlf
+
+import (
+	"fmt"
+
+	"ssflp/internal/core"
+	"ssflp/internal/graph"
+	"ssflp/internal/subgraph"
+)
+
+// Options configures WLF extraction.
+type Options struct {
+	// K is the number of enclosing-subgraph vertices encoded. Default 10.
+	K int
+}
+
+// Extractor computes WLF vectors for target links against a fixed history
+// graph. Safe for concurrent use once built.
+type Extractor struct {
+	g *graph.Graph
+	k int
+}
+
+// NewExtractor validates options and returns a WLF extractor.
+func NewExtractor(g *graph.Graph, opts Options) (*Extractor, error) {
+	if g == nil {
+		return nil, core.ErrNilGraph
+	}
+	k := opts.K
+	if k == 0 {
+		k = core.DefaultK
+	}
+	if k < 3 {
+		return nil, fmt.Errorf("%w: got %d", subgraph.ErrBadK, k)
+	}
+	return &Extractor{g: g, k: k}, nil
+}
+
+// K returns the effective enclosing-subgraph size.
+func (e *Extractor) K() int { return e.k }
+
+// Extract returns the WLF vector of the target link (a, b): the unfolded
+// upper triangle of the binary adjacency matrix over the K highest-ordered
+// enclosing-subgraph vertices, with the target cell zeroed. Length is
+// core.FeatureLen(K).
+func (e *Extractor) Extract(a, b graph.NodeID) ([]float64, error) {
+	adj, err := e.Matrix(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return core.Unfold(adj, e.k), nil
+}
+
+// Matrix returns the K×K binary adjacency of the enclosing subgraph, with
+// row/column i holding the vertex of Palette-WL order i+1.
+func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, error) {
+	sg, err := e.enclosing(a, b)
+	if err != nil {
+		return nil, err
+	}
+	order, err := subgraph.PaletteWL(neighborLists(sg), sg.Dist)
+	if err != nil {
+		return nil, err
+	}
+	n := min(sg.NumNodes(), e.k)
+	adj := make([][]float64, e.k)
+	for i := range adj {
+		adj[i] = make([]float64, e.k)
+	}
+	slot := make([]int, sg.NumNodes()) // local node -> slot or -1
+	for i, o := range order {
+		if o <= n {
+			slot[i] = o - 1
+		} else {
+			slot[i] = -1
+		}
+	}
+	for edge := range sg.G.Edges() {
+		si, sj := slot[edge.U], slot[edge.V]
+		if si < 0 || sj < 0 {
+			continue
+		}
+		adj[si][sj] = 1
+		adj[sj][si] = 1
+	}
+	adj[0][1], adj[1][0] = 0, 0
+	return adj, nil
+}
+
+// enclosing grows the hop radius until the plain subgraph holds at least K
+// vertices or the component is exhausted (mirroring subgraph.BuildK but
+// without structure combination).
+func (e *Extractor) enclosing(a, b graph.NodeID) (*subgraph.Subgraph, error) {
+	prev := -1
+	for h := 1; ; h++ {
+		sg, err := subgraph.Extract(e.g, subgraph.TargetLink{A: a, B: b}, h)
+		if err != nil {
+			return nil, err
+		}
+		if sg.NumNodes() >= e.k || sg.NumNodes() == prev {
+			return sg, nil
+		}
+		prev = sg.NumNodes()
+	}
+}
+
+// neighborLists converts the subgraph's multigraph adjacency to distinct
+// neighbor index lists for Palette-WL.
+func neighborLists(sg *subgraph.Subgraph) [][]int {
+	view := sg.G.Static()
+	out := make([][]int, sg.NumNodes())
+	for u := 0; u < sg.NumNodes(); u++ {
+		for _, w := range view.Neighbors(graph.NodeID(u)) {
+			out[u] = append(out[u], int(w))
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package wlf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssflp/internal/core"
+	"ssflp/internal/graph"
+	"ssflp/internal/subgraph"
+)
+
+func buildGraph(t *testing.T, edges [][3]int) *graph.Graph {
+	t.Helper()
+	g := graph.New(0)
+	for _, e := range edges {
+		if err := g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), graph.Timestamp(e[2])); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func TestNewExtractorValidation(t *testing.T) {
+	if _, err := NewExtractor(nil, Options{}); !errors.Is(err, core.ErrNilGraph) {
+		t.Errorf("nil graph error = %v", err)
+	}
+	g := buildGraph(t, [][3]int{{0, 1, 1}})
+	if _, err := NewExtractor(g, Options{K: 1}); !errors.Is(err, subgraph.ErrBadK) {
+		t.Errorf("K=1 error = %v", err)
+	}
+	e, err := NewExtractor(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.K() != core.DefaultK {
+		t.Errorf("default K = %d, want %d", e.K(), core.DefaultK)
+	}
+}
+
+func TestExtractBinaryEntries(t *testing.T) {
+	g := buildGraph(t, [][3]int{
+		{0, 2, 1}, {0, 2, 5}, {1, 2, 2}, {2, 3, 3}, {3, 4, 4}, {0, 1, 1},
+	})
+	e, err := NewExtractor(g, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != core.FeatureLen(5) {
+		t.Fatalf("length = %d, want %d", len(v), core.FeatureLen(5))
+	}
+	for i, x := range v {
+		if x != 0 && x != 1 {
+			t.Errorf("entry %d = %v, want binary", i, x)
+		}
+	}
+}
+
+func TestMatrixTargetCellZeroEvenWithHistoryLink(t *testing.T) {
+	// 0-1 already has a history link; the target cell must still be 0.
+	g := buildGraph(t, [][3]int{{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {2, 3, 1}})
+	e, err := NewExtractor(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := e.Matrix(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj[0][1] != 0 || adj[1][0] != 0 {
+		t.Errorf("target cell = %v, want 0", adj[0][1])
+	}
+	// But 0-2 and 1-2 adjacency must be visible somewhere in the matrix.
+	ones := 0
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] == 1 {
+				ones++
+			}
+		}
+	}
+	if ones == 0 {
+		t.Error("no adjacency encoded at all")
+	}
+}
+
+func TestWLFIgnoresTimestampsAndMultiplicity(t *testing.T) {
+	a := buildGraph(t, [][3]int{{0, 2, 1}, {1, 2, 9}, {2, 3, 4}})
+	b := buildGraph(t, [][3]int{{0, 2, 7}, {0, 2, 8}, {1, 2, 1}, {1, 2, 1}, {2, 3, 2}})
+	ea, err := NewExtractor(a, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewExtractor(b, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := ea.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := eb.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Errorf("WLF differs at %d despite identical static topology", i)
+		}
+	}
+}
+
+func TestExtractPropagatesEndpointErrors(t *testing.T) {
+	g := buildGraph(t, [][3]int{{0, 1, 1}})
+	e, err := NewExtractor(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Extract(0, 0); !errors.Is(err, subgraph.ErrSameEndpoints) {
+		t.Errorf("self-target error = %v", err)
+	}
+	if _, err := e.Extract(0, 77); !errors.Is(err, subgraph.ErrEndpointMissing) {
+		t.Errorf("missing endpoint error = %v", err)
+	}
+}
+
+func TestPropertyWLFWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(18)
+		g.EnsureNodes(18)
+		for i := 0; i < 40; i++ {
+			u, v := graph.NodeID(rng.Intn(18)), graph.NodeID(rng.Intn(18))
+			if u != v {
+				_ = g.AddEdge(u, v, graph.Timestamp(rng.Intn(20)))
+			}
+		}
+		e, err := NewExtractor(g, Options{K: 7})
+		if err != nil {
+			return false
+		}
+		v, err := e.Extract(0, 1)
+		if err != nil {
+			return false
+		}
+		if len(v) != core.FeatureLen(7) {
+			return false
+		}
+		for _, x := range v {
+			if x != 0 && x != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

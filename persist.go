@@ -1,0 +1,127 @@
+package ssflp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ssflp/internal/linreg"
+	"ssflp/internal/nmf"
+	"ssflp/internal/nn"
+)
+
+// predictorStateVersion guards the on-disk format.
+const predictorStateVersion = 1
+
+// ErrBadSnapshot is returned when loading a malformed predictor snapshot.
+var ErrBadSnapshot = errors.New("ssflp: invalid predictor snapshot")
+
+// predictorState is the serializable part of a trained predictor: the
+// method, threshold, feature configuration and fitted model parameters.
+// The graph itself is NOT stored — LoadPredictor rebinds the snapshot to a
+// (possibly newer) dynamic network.
+type predictorState struct {
+	Version   int             `json:"version"`
+	Method    Method          `json:"method"`
+	Threshold float64         `json:"threshold"`
+	K         int             `json:"k,omitempty"`
+	Theta     float64         `json:"theta,omitempty"`
+	Network   *nn.State       `json:"network,omitempty"`
+	Scaler    *nn.ScalerState `json:"scaler,omitempty"`
+	Linear    *linreg.State   `json:"linear,omitempty"`
+	NMF       *nmf.State      `json:"nmf,omitempty"`
+}
+
+// Save serializes the predictor's trained parameters as JSON. The snapshot
+// excludes the network data; pair it with WriteEdgeList if you also need to
+// persist the graph.
+func (p *Predictor) Save(w io.Writer) error {
+	if p.state == nil {
+		return fmt.Errorf("%w: predictor has no serializable state", ErrBadSnapshot)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(p.state); err != nil {
+		return fmt.Errorf("ssflp: encode predictor: %w", err)
+	}
+	return nil
+}
+
+// LoadPredictor deserializes a predictor snapshot and rebinds it to the
+// dynamic network g: feature extraction and heuristic scoring run against g
+// with present time g.MaxTimestamp()+1, so a snapshot trained yesterday can
+// score links on today's grown graph.
+func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadSnapshot)
+	}
+	var st predictorState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("ssflp: decode predictor: %w", err)
+	}
+	if st.Version != predictorStateVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, st.Version)
+	}
+	pred := &Predictor{method: st.Method, threshold: st.Threshold, state: &st}
+	switch st.Method {
+	case SSFNM, SSFLR, SSFNMW, SSFLRW, WLNM, WLLR:
+		opts := TrainOptions{K: st.K, Theta: st.Theta}.withDefaults()
+		extract, err := featureExtractor(st.Method, g, g.MaxTimestamp()+1, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: rebind %v extractor: %w", st.Method, err)
+		}
+		switch {
+		case st.Linear != nil:
+			model, err := linreg.FromState(*st.Linear)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			pred.score = func(u, v NodeID) (float64, error) {
+				feat, err := extract(u, v)
+				if err != nil {
+					return 0, err
+				}
+				return model.Score(feat)
+			}
+		case st.Network != nil && st.Scaler != nil:
+			net, err := nn.FromState(st.Network)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			scaler, err := nn.ScalerFromState(*st.Scaler)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			pred.score = func(u, v NodeID) (float64, error) {
+				feat, err := extract(u, v)
+				if err != nil {
+					return 0, err
+				}
+				if feat, err = scaler.Transform(feat); err != nil {
+					return 0, err
+				}
+				return net.Score(feat)
+			}
+		default:
+			return nil, fmt.Errorf("%w: %v snapshot missing model parameters", ErrBadSnapshot, st.Method)
+		}
+	case CN, Jaccard, PA, AA, RA, RWRA, Katz, RandomWalk:
+		scorer, err := heuristicScorer(st.Method, g.Static())
+		if err != nil {
+			return nil, err
+		}
+		pred.score = func(u, v NodeID) (float64, error) { return scorer.Score(u, v), nil }
+	case NMF:
+		if st.NMF == nil {
+			return nil, fmt.Errorf("%w: NMF snapshot missing factors", ErrBadSnapshot)
+		}
+		model, err := nmf.FromState(*st.NMF)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		pred.score = func(u, v NodeID) (float64, error) { return model.Score(u, v), nil }
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, int(st.Method))
+	}
+	return pred, nil
+}

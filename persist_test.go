@@ -1,0 +1,102 @@
+package ssflp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTripAllMethods(t *testing.T) {
+	g := testNetwork(t)
+	methods := []Method{SSFNM, SSFLR, SSFNMW, SSFLRW, WLNM, WLLR,
+		CN, Jaccard, PA, AA, RA, RWRA, Katz, RandomWalk, NMF}
+	for _, m := range methods {
+		t.Run(m.String(), func(t *testing.T) {
+			pred, err := Train(g, m, fastTrainOpts())
+			if err != nil {
+				t.Fatalf("Train: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := pred.Save(&buf); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			loaded, err := LoadPredictor(bytes.NewReader(buf.Bytes()), g)
+			if err != nil {
+				t.Fatalf("LoadPredictor: %v", err)
+			}
+			if loaded.Method() != m {
+				t.Errorf("loaded method = %v, want %v", loaded.Method(), m)
+			}
+			if loaded.Threshold() != pred.Threshold() {
+				t.Errorf("threshold = %v, want %v", loaded.Threshold(), pred.Threshold())
+			}
+			// Scores must match exactly on the same graph.
+			for _, p := range [][2]NodeID{{0, 5}, {2, 9}, {10, 40}} {
+				a, err := pred.Score(p[0], p[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := loaded.Score(p[0], p[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Errorf("score(%d,%d) = %v loaded vs %v original", p[0], p[1], b, a)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadPredictorRebindsToGrownGraph(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	grown := g.Clone()
+	if err := grown.AddEdge(0, 5, grown.MaxTimestamp()+1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Score(0, 5); err != nil {
+		t.Fatalf("Score on grown graph: %v", err)
+	}
+}
+
+func TestLoadPredictorValidation(t *testing.T) {
+	g := testNetwork(t)
+	if _, err := LoadPredictor(strings.NewReader("{"), g); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":99,"method":1}`), g); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad version error = %v", err)
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"method":77}`), g); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method error = %v", err)
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"method":1,"k":10}`), g); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("missing model error = %v", err)
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"method":15}`), g); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("missing NMF factors error = %v", err)
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"method":1}`), nil); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("nil graph error = %v", err)
+	}
+}
+
+func TestSaveWithoutState(t *testing.T) {
+	p := &Predictor{}
+	if err := p.Save(&bytes.Buffer{}); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("save without state error = %v", err)
+	}
+}

@@ -1,0 +1,438 @@
+package ssflp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ssflp/internal/core"
+	"ssflp/internal/eval"
+	"ssflp/internal/experiments"
+	"ssflp/internal/graph"
+	"ssflp/internal/heuristics"
+	"ssflp/internal/linreg"
+	"ssflp/internal/nmf"
+	"ssflp/internal/nn"
+	"ssflp/internal/wlf"
+)
+
+// Method identifies one of the fifteen link-prediction methods evaluated in
+// the paper's Table III.
+type Method int
+
+// The supervised SSF/WLF methods and the unsupervised baselines.
+const (
+	// SSFNM is SSF + neural machine (the paper's strongest method).
+	SSFNM Method = iota + 1
+	// SSFLR is SSF + linear regression.
+	SSFLR
+	// SSFNMW is the static SSF-W + neural machine ablation.
+	SSFNMW
+	// SSFLRW is the static SSF-W + linear regression ablation.
+	SSFLRW
+	// WLNM is the Weisfeiler-Lehman neural machine baseline.
+	WLNM
+	// WLLR is WLF + linear regression.
+	WLLR
+	// CN is Common Neighbors.
+	CN
+	// Jaccard is the Jaccard index.
+	Jaccard
+	// PA is Preferential Attachment.
+	PA
+	// AA is Adamic-Adar.
+	AA
+	// RA is Resource Allocation.
+	RA
+	// RWRA is reliable Weighted Resource Allocation.
+	RWRA
+	// Katz is the truncated Katz index.
+	Katz
+	// RandomWalk is the superposed local random walk index.
+	RandomWalk
+	// NMF is non-negative matrix factorization.
+	NMF
+)
+
+// methodLabels maps Method constants to the paper's Table III row labels.
+var methodLabels = map[Method]string{
+	SSFNM: "SSFNM", SSFLR: "SSFLR", SSFNMW: "SSFNM-W", SSFLRW: "SSFLR-W",
+	WLNM: "WLNM", WLLR: "WLLR", CN: "CN", Jaccard: "Jac.", PA: "PA",
+	AA: "AA", RA: "RA", RWRA: "rWRA", Katz: "Katz", RandomWalk: "RW", NMF: "NMF",
+}
+
+// String implements fmt.Stringer with the paper's label.
+func (m Method) String() string {
+	if s, ok := methodLabels[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ErrUnknownMethod is returned for an unrecognized Method value.
+var ErrUnknownMethod = errors.New("ssflp: unknown method")
+
+// TrainOptions configures Train and EvaluateMethod.
+type TrainOptions struct {
+	// K is the (K-)structure subgraph size. Default 10.
+	K int
+	// Theta is the influence decay factor. Default 0.5.
+	Theta float64
+	// Epochs for neural methods. Default 200 (the paper uses 2000).
+	Epochs int
+	// Seed drives the split, sampling and model initialization.
+	Seed int64
+	// MaxPositives caps the training positives (0 = all).
+	MaxPositives int
+	// Workers bounds feature-extraction parallelism. Default NumCPU.
+	Workers int
+	// TrainFraction of positives used for fitting. Default 0.7.
+	TrainFraction float64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.K == 0 {
+		o.K = core.DefaultK
+	}
+	if o.Theta == 0 {
+		o.Theta = core.DefaultTheta
+	}
+	if o.Epochs == 0 {
+		o.Epochs = nn.DefaultEpochs
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.TrainFraction == 0 {
+		o.TrainFraction = 0.7
+	}
+	return o
+}
+
+// Predictor is a trained link predictor. Safe for concurrent scoring.
+type Predictor struct {
+	method    Method
+	score     func(u, v NodeID) (float64, error)
+	threshold float64
+	state     *predictorState // serializable parameters for Save
+}
+
+// Method returns the method this predictor was trained with.
+func (p *Predictor) Method() Method { return p.method }
+
+// Threshold returns the classification threshold selected on training data.
+func (p *Predictor) Threshold() float64 { return p.threshold }
+
+// Score returns the closeness score of a candidate future link. For
+// neural methods it is the softmax probability of the positive class.
+func (p *Predictor) Score(u, v NodeID) (float64, error) { return p.score(u, v) }
+
+// Predict classifies a candidate link: true means the link is predicted to
+// emerge (score above the training-selected threshold).
+func (p *Predictor) Predict(u, v NodeID) (bool, error) {
+	s, err := p.score(u, v)
+	if err != nil {
+		return false, err
+	}
+	return s > p.threshold, nil
+}
+
+// Train fits a predictor on the dynamic network g following the paper's
+// protocol: links at the last timestamp l_t become positive examples,
+// equally many fake links are sampled as negatives, features are extracted
+// from the history before l_t, and the model is fit on the training split.
+// The returned Predictor scores candidate links against the full network
+// (present time l_t + 1), ready for true future prediction.
+func Train(g *Graph, method Method, opts TrainOptions) (*Predictor, error) {
+	opts = opts.withDefaults()
+	ds, err := eval.BuildDataset(g, eval.SplitOptions{
+		TrainFraction: opts.TrainFraction,
+		Seed:          opts.Seed,
+		MaxPositives:  opts.MaxPositives,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: build training split: %w", err)
+	}
+	history := g.Before(ds.Present)
+	switch method {
+	case SSFNM, SSFLR, SSFNMW, SSFLRW, WLNM, WLLR:
+		return trainFeatureModel(g, history, ds, method, opts)
+	case CN, Jaccard, PA, AA, RA, RWRA, Katz, RandomWalk:
+		return trainScorer(g, history, ds, method)
+	case NMF:
+		return trainNMF(g, history, ds, opts)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, int(method))
+	}
+}
+
+// featureExtractor builds the method's extractor over the given graph with
+// the given present time.
+func featureExtractor(method Method, g *Graph, present Timestamp, opts TrainOptions) (func(u, v NodeID) ([]float64, error), error) {
+	switch method {
+	case SSFNM, SSFLR:
+		ex, err := core.NewExtractor(g, present, core.Options{
+			K: opts.K, Theta: opts.Theta, Mode: core.EntryInverseDistance,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ex.Extract, nil
+	case SSFNMW, SSFLRW:
+		ex, err := core.NewExtractor(g, present, core.Options{
+			K: opts.K, Theta: opts.Theta, Mode: core.EntryCount,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ex.Extract, nil
+	case WLNM, WLLR:
+		ex, err := wlf.NewExtractor(g, wlf.Options{K: opts.K})
+		if err != nil {
+			return nil, err
+		}
+		return ex.Extract, nil
+	default:
+		return nil, fmt.Errorf("%w: %d is not a feature method", ErrUnknownMethod, int(method))
+	}
+}
+
+// extractParallel maps the extractor over samples with a bounded pool.
+func extractParallel(samples []eval.Sample, workers int, extract func(u, v NodeID) ([]float64, error)) ([][]float64, error) {
+	out := make([][]float64, len(samples))
+	errs := make([]error, len(samples))
+	sem := make(chan struct{}, max(workers, 1))
+	var wg sync.WaitGroup
+	for i, s := range samples {
+		wg.Add(1)
+		go func(i int, s eval.Sample) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = extract(s.Pair.U, s.Pair.V)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: extract %v: %w", samples[i].Pair, err)
+		}
+	}
+	return out, nil
+}
+
+// trainFeatureModel handles the six supervised feature + model methods.
+func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts TrainOptions) (*Predictor, error) {
+	trainExtract, err := featureExtractor(method, history, ds.Present, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: %v extractor: %w", method, err)
+	}
+	x, err := extractParallel(ds.Train, opts.Workers, trainExtract)
+	if err != nil {
+		return nil, err
+	}
+	y := eval.Labels(ds.Train)
+
+	// The inference extractor sees the full network, with the present time
+	// one step past the last observed timestamp.
+	inferExtract, err := featureExtractor(method, g, g.MaxTimestamp()+1, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: %v inference extractor: %w", method, err)
+	}
+
+	switch method {
+	case SSFLR, SSFLRW, WLLR:
+		model, err := linreg.Fit(x, y, linreg.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: %v fit: %w", method, err)
+		}
+		trainScores := make([]float64, len(x))
+		for i, xi := range x {
+			if trainScores[i], err = model.Score(xi); err != nil {
+				return nil, fmt.Errorf("ssflp: %v: %w", method, err)
+			}
+		}
+		th, err := eval.BestThreshold(trainScores, y)
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: %v threshold: %w", method, err)
+		}
+		linState := model.State()
+		return &Predictor{
+			method:    method,
+			threshold: th,
+			state: &predictorState{
+				Version: predictorStateVersion, Method: method, Threshold: th,
+				K: opts.K, Theta: opts.Theta, Linear: &linState,
+			},
+			score: func(u, v NodeID) (float64, error) {
+				feat, err := inferExtract(u, v)
+				if err != nil {
+					return 0, err
+				}
+				return model.Score(feat)
+			},
+		}, nil
+	default: // SSFNM, SSFNMW, WLNM
+		scaler, err := nn.FitStandardizer(x)
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: %v scaler: %w", method, err)
+		}
+		if x, err = scaler.TransformAll(x); err != nil {
+			return nil, fmt.Errorf("ssflp: %v: %w", method, err)
+		}
+		net, err := nn.New(nn.Config{Epochs: opts.Epochs, Seed: opts.Seed, EarlyStop: true})
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: %v config: %w", method, err)
+		}
+		if err := net.Train(x, y); err != nil {
+			return nil, fmt.Errorf("ssflp: %v train: %w", method, err)
+		}
+		netState, err := net.State()
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: %v snapshot: %w", method, err)
+		}
+		scalerState := scaler.State()
+		return &Predictor{
+			method:    method,
+			threshold: 0.5,
+			state: &predictorState{
+				Version: predictorStateVersion, Method: method, Threshold: 0.5,
+				K: opts.K, Theta: opts.Theta, Network: netState, Scaler: &scalerState,
+			},
+			score: func(u, v NodeID) (float64, error) {
+				feat, err := inferExtract(u, v)
+				if err != nil {
+					return 0, err
+				}
+				if feat, err = scaler.Transform(feat); err != nil {
+					return 0, err
+				}
+				return net.Score(feat)
+			},
+		}, nil
+	}
+}
+
+// heuristicScorer builds the Table I heuristic over a static view.
+func heuristicScorer(method Method, view *graph.StaticView) (heuristics.Scorer, error) {
+	switch method {
+	case CN:
+		return heuristics.CommonNeighbors(view), nil
+	case Jaccard:
+		return heuristics.Jaccard(view), nil
+	case PA:
+		return heuristics.PreferentialAttachment(view), nil
+	case AA:
+		return heuristics.AdamicAdar(view), nil
+	case RA:
+		return heuristics.ResourceAllocation(view), nil
+	case RWRA:
+		return heuristics.RWRA(view), nil
+	case Katz:
+		return heuristics.Katz(view, heuristics.KatzOptions{Beta: 0.001})
+	case RandomWalk:
+		return heuristics.LocalRandomWalk(view, heuristics.RandomWalkOptions{})
+	default:
+		return nil, fmt.Errorf("%w: %d is not a heuristic", ErrUnknownMethod, int(method))
+	}
+}
+
+// trainScorer handles the eight unsupervised ranking methods: the training
+// split only selects a threshold; inference scores use the full network.
+func trainScorer(g, history *Graph, ds *eval.Dataset, method Method) (*Predictor, error) {
+	histScorer, err := heuristicScorer(method, history.Static())
+	if err != nil {
+		return nil, err
+	}
+	trainScores := make([]float64, len(ds.Train))
+	for i, s := range ds.Train {
+		trainScores[i] = histScorer.Score(s.Pair.U, s.Pair.V)
+	}
+	th, err := eval.BestThreshold(trainScores, eval.Labels(ds.Train))
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: %v threshold: %w", method, err)
+	}
+	fullScorer, err := heuristicScorer(method, g.Static())
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		method:    method,
+		threshold: th,
+		state: &predictorState{
+			Version: predictorStateVersion, Method: method, Threshold: th,
+		},
+		score: func(u, v NodeID) (float64, error) {
+			return fullScorer.Score(u, v), nil
+		},
+	}, nil
+}
+
+// trainNMF handles the matrix-factorization baseline.
+func trainNMF(g, history *Graph, ds *eval.Dataset, opts TrainOptions) (*Predictor, error) {
+	histModel, err := nmf.Train(history.Static(), nmf.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: nmf train: %w", err)
+	}
+	trainScores := make([]float64, len(ds.Train))
+	for i, s := range ds.Train {
+		trainScores[i] = histModel.Score(s.Pair.U, s.Pair.V)
+	}
+	th, err := eval.BestThreshold(trainScores, eval.Labels(ds.Train))
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: nmf threshold: %w", err)
+	}
+	fullModel, err := nmf.Train(g.Static(), nmf.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: nmf full train: %w", err)
+	}
+	nmfState := fullModel.State()
+	return &Predictor{
+		method:    NMF,
+		threshold: th,
+		state: &predictorState{
+			Version: predictorStateVersion, Method: NMF, Threshold: th, NMF: &nmfState,
+		},
+		score: func(u, v NodeID) (float64, error) {
+			return fullModel.Score(u, v), nil
+		},
+	}, nil
+}
+
+// Metrics is an AUC/F1 pair as reported in Table III.
+type Metrics struct {
+	AUC float64
+	F1  float64
+}
+
+// EvaluateMethod runs the paper's evaluation protocol (70/30 split at the
+// last timestamp, balanced negatives) for one method on the dynamic network
+// g and reports test AUC and F1.
+func EvaluateMethod(g *Graph, method Method, opts TrainOptions) (Metrics, error) {
+	label, ok := methodLabels[method]
+	if !ok {
+		return Metrics{}, fmt.Errorf("%w: %d", ErrUnknownMethod, int(method))
+	}
+	opts = opts.withDefaults()
+	run, err := experiments.NewRun(label, g, experiments.RunOptions{
+		K:             opts.K,
+		Epochs:        opts.Epochs,
+		MaxPositives:  opts.MaxPositives,
+		Seed:          opts.Seed,
+		Workers:       opts.Workers,
+		TrainFraction: opts.TrainFraction,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	m, err := experiments.MethodByName(label)
+	if err != nil {
+		return Metrics{}, err
+	}
+	res, err := m.Evaluate(run)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{AUC: res.AUC, F1: res.F1}, nil
+}

@@ -1,0 +1,60 @@
+package ssflp
+
+import (
+	"testing"
+
+	"ssflp/internal/datagen"
+	"ssflp/internal/experiments"
+)
+
+// TestPaperShapeSmoke pins the paper's central internal ordering at a fixed
+// seed and moderate scale: the structure-subgraph feature must not lose to
+// the plain enclosing-subgraph feature under the same model, and the
+// supervised SSF methods must beat random guessing comfortably. The margins
+// are deliberately loose — this is a tripwire against regressions in the
+// extraction pipeline, not a benchmark (see EXPERIMENTS.md for the real
+// numbers).
+func TestPaperShapeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape smoke test is slow; skipped with -short")
+	}
+	cfg, err := datagen.ByName(datagen.Slashdot, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := datagen.Generate(datagen.Scale(cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := experiments.NewRun("shape", g, experiments.RunOptions{
+		K: 10, Epochs: 200, MaxPositives: 250, Seed: 1, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := map[string]float64{}
+	for _, name := range []string{"WLLR", "SSFLR-W", "SSFLR", "SSFNM"} {
+		m, err := experiments.MethodByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Evaluate(run)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		auc[name] = res.AUC
+		t.Logf("%-8s AUC = %.3f", name, res.AUC)
+	}
+	// Structure subgraphs must not lose to plain enclosing subgraphs by more
+	// than noise under the same linear model.
+	if auc["SSFLR-W"] < auc["WLLR"]-0.05 {
+		t.Errorf("SSFLR-W (%.3f) fell behind WLLR (%.3f): structure combination regressed",
+			auc["SSFLR-W"], auc["WLLR"])
+	}
+	// The supervised SSF methods must clear random guessing by a wide margin.
+	for _, name := range []string{"SSFLR", "SSFNM"} {
+		if auc[name] < 0.65 {
+			t.Errorf("%s AUC = %.3f, want >= 0.65 on structured data", name, auc[name])
+		}
+	}
+}

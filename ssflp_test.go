@@ -1,0 +1,204 @@
+package ssflp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ssflp/internal/datagen"
+)
+
+// testNetwork builds a mid-size synthetic reply network for API tests.
+func testNetwork(t *testing.T) *Graph {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{
+		Name: "api-test", Nodes: 70, Edges: 600, TimeSpan: 30,
+		Model: datagen.ModelReplyStar, RepeatProb: 0.35, Gamma: 0.6, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fastTrainOpts() TrainOptions {
+	return TrainOptions{K: 6, Epochs: 30, Seed: 4, MaxPositives: 16, Workers: 4}
+}
+
+func TestMethodString(t *testing.T) {
+	if SSFNM.String() != "SSFNM" || Jaccard.String() != "Jac." || RWRA.String() != "rWRA" {
+		t.Error("Method labels wrong")
+	}
+	if !strings.HasPrefix(Method(99).String(), "Method(") {
+		t.Error("unknown method label wrong")
+	}
+}
+
+func TestTrainUnknownMethod(t *testing.T) {
+	g := testNetwork(t)
+	if _, err := Train(g, Method(99), fastTrainOpts()); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method error = %v", err)
+	}
+}
+
+func TestTrainEmptyGraph(t *testing.T) {
+	if _, err := Train(NewGraph(0), SSFNM, fastTrainOpts()); err == nil {
+		t.Error("training on an empty graph should fail")
+	}
+}
+
+func TestTrainAndScoreEveryMethod(t *testing.T) {
+	g := testNetwork(t)
+	methods := []Method{SSFNM, SSFLR, SSFNMW, SSFLRW, WLNM, WLLR,
+		CN, Jaccard, PA, AA, RA, RWRA, Katz, RandomWalk, NMF}
+	for _, m := range methods {
+		t.Run(m.String(), func(t *testing.T) {
+			pred, err := Train(g, m, fastTrainOpts())
+			if err != nil {
+				t.Fatalf("Train: %v", err)
+			}
+			if pred.Method() != m {
+				t.Errorf("Method() = %v", pred.Method())
+			}
+			s, err := pred.Score(0, 5)
+			if err != nil {
+				t.Fatalf("Score: %v", err)
+			}
+			s2, err := pred.Score(0, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s != s2 {
+				t.Errorf("Score not deterministic: %v vs %v", s, s2)
+			}
+			if _, err := pred.Predict(0, 5); err != nil {
+				t.Fatalf("Predict: %v", err)
+			}
+			_ = pred.Threshold()
+		})
+	}
+}
+
+func TestPredictConsistentWithThreshold(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, CN, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := NodeID(0); u < 10; u++ {
+		s, err := pred.Score(u, u+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pred.Predict(u, u+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (s > pred.Threshold()) {
+			t.Errorf("Predict(%d,%d) = %v inconsistent with score %v / threshold %v",
+				u, u+1, got, s, pred.Threshold())
+		}
+	}
+}
+
+func TestFeatureMethodScoreErrorsOnBadPair(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.Score(0, 0); err == nil {
+		t.Error("self-pair score should fail for feature methods")
+	}
+	if _, err := pred.Score(0, 9999); err == nil {
+		t.Error("out-of-range score should fail for feature methods")
+	}
+}
+
+func TestEvaluateMethod(t *testing.T) {
+	g := testNetwork(t)
+	m, err := EvaluateMethod(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AUC < 0 || m.AUC > 1 || m.F1 < 0 || m.F1 > 1 {
+		t.Errorf("metrics out of range: %+v", m)
+	}
+	if _, err := EvaluateMethod(g, Method(50), fastTrainOpts()); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method error = %v", err)
+	}
+}
+
+func TestGraphFacadeRoundTrip(t *testing.T) {
+	g := NewGraph(0)
+	if err := g.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, labels, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 || len(labels) != 3 {
+		t.Errorf("round trip: %d edges, %d labels", g2.NumEdges(), len(labels))
+	}
+	if _, _, err := LoadEdgeListFile("/nonexistent/path"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSSFExtractorFacade(t *testing.T) {
+	g := testNetwork(t)
+	ex, err := NewSSFExtractor(g, g.MaxTimestamp()+1, SSFOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ex.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != FeatureLen(5) {
+		t.Errorf("feature length = %d, want %d", len(v), FeatureLen(5))
+	}
+	wx, err := NewWLFExtractor(g, WLFOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv, err := wx.Extract(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wv) != FeatureLen(5) {
+		t.Errorf("WLF length = %d, want %d", len(wv), FeatureLen(5))
+	}
+}
+
+func TestSSFBeatsRandomOnStructuredData(t *testing.T) {
+	// Smoke-level shape check: on a structured synthetic network with enough
+	// training pairs, SSFNM should clear AUC 0.5 (random guessing) by a
+	// solid margin.
+	cfg, err := datagen.ByName(datagen.Slashdot, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := datagen.Generate(datagen.Scale(cfg, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := EvaluateMethod(g, SSFNM, TrainOptions{
+		K: 10, Epochs: 100, Seed: 3, MaxPositives: 120, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AUC < 0.7 {
+		t.Errorf("SSFNM AUC = %v, want >= 0.7 on structured data", m.AUC)
+	}
+}
