@@ -1,8 +1,11 @@
 package ssflp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -12,34 +15,125 @@ type ScoredPair struct {
 	Score float64
 }
 
+// ErrScorePanic marks a scoring computation that panicked. The panic is
+// recovered inside the worker goroutine so one corrupt computation cannot
+// kill the process; callers can map it to an internal-error response with
+// errors.Is(err, ErrScorePanic).
+var ErrScorePanic = errors.New("ssflp: panic during scoring")
+
 // ScoreBatch scores many candidate pairs concurrently with a bounded worker
 // pool (feature extraction dominates the cost for the SSF/WLF methods and
 // parallelizes embarrassingly). Results preserve the input order; the first
 // extraction error aborts the batch. workers <= 0 selects NumCPU.
+//
+// ScoreBatch cannot be cancelled; servers should prefer ScoreBatchCtx.
 func (p *Predictor) ScoreBatch(pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
+	return p.ScoreBatchCtx(context.Background(), pairs, workers)
+}
+
+// ScoreBatchCtx is ScoreBatch with cooperative cancellation: exactly
+// min(workers, len(pairs)) goroutines pull indices from a shared channel, no
+// new pair is dispatched after the first error, and every worker checks
+// ctx.Done() between pairs, so an abandoned request stops burning CPU within
+// one pair's extraction time. A cancelled or expired context is reported as
+// an error wrapping ctx.Err().
+func (p *Predictor) ScoreBatchCtx(ctx context.Context, pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
+	out := make([]ScoredPair, len(pairs))
+	err := runIndexed(ctx, len(pairs), workers, func(i int) error {
+		u, v := pairs[i][0], pairs[i][1]
+		s, err := p.scoreSafe(u, v)
+		if err != nil {
+			return fmt.Errorf("ssflp: score (%d, %d): %w", u, v, err)
+		}
+		out[i] = ScoredPair{U: u, V: v, Score: s}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scoreSafe runs the method's score function with panic isolation: a panic
+// in the scoring kernel is converted into an error wrapping ErrScorePanic
+// (with the stack attached) instead of unwinding a worker goroutine and
+// killing the whole process.
+func (p *Predictor) scoreSafe(u, v NodeID) (s float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrScorePanic, r, debug.Stack())
+		}
+	}()
+	return p.score(u, v)
+}
+
+// runIndexed runs fn(i) for every i in [0, n) on a fixed pool of worker
+// goroutines. It dispatches indices over a shared channel — the pool size is
+// exact, never one goroutine per item — and stops dispatching after the
+// first fn error or context cancellation. When several indices fail before
+// the pool drains, the error for the smallest index wins, so error reporting
+// is deterministic. The returned error is nil only if fn succeeded on all n
+// indices.
+func runIndexed(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("ssflp: batch: %w", err)
+	}
+	if n == 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	out := make([]ScoredPair, len(pairs))
-	errs := make([]error, len(pairs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, pair := range pairs {
-		wg.Add(1)
-		go func(i int, u, v NodeID) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s, err := p.score(u, v)
-			out[i] = ScoredPair{U: u, V: v, Score: s}
-			errs[i] = err
-		}(i, pair[0], pair[1])
+	if workers > n {
+		workers = n
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("ssflp: score (%d, %d): %w", pairs[i][0], pairs[i][1], err)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					fail(i, fmt.Errorf("ssflp: batch: %w", err))
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			fail(i, fmt.Errorf("ssflp: batch: %w", ctx.Err()))
+			break dispatch
+		case <-stop:
+			break dispatch
 		}
 	}
-	return out, nil
+	close(indices)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
 }

@@ -1,0 +1,174 @@
+package ssflp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ssflp/internal/resilience/faultinject"
+)
+
+// fakePredictor builds a predictor whose score function is under the test's
+// control — the seam for injecting latency, panics and errors below the
+// ScoreBatchCtx worker pool.
+func fakePredictor(score func(u, v NodeID) (float64, error)) *Predictor {
+	return &Predictor{method: CN, score: score}
+}
+
+func manyPairs(n int) [][2]NodeID {
+	pairs := make([][2]NodeID, n)
+	for i := range pairs {
+		pairs[i] = [2]NodeID{NodeID(i), NodeID(i + 1)}
+	}
+	return pairs
+}
+
+func TestScoreBatchCtxCancellationFreesWorkers(t *testing.T) {
+	var inj faultinject.Injector
+	inj.SetLatency(50 * time.Millisecond)
+	pred := fakePredictor(func(u, v NodeID) (float64, error) {
+		if err := inj.Fire(context.Background()); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := pred.ScoreBatchCtx(ctx, manyPairs(500), 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 500 pairs x 50ms on 4 workers is >6s of work; cancellation must cut
+	// that short by orders of magnitude.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled batch still ran %v", elapsed)
+	}
+	// All workers have returned: no further scoring happens after the call.
+	fired := inj.Fires()
+	time.Sleep(120 * time.Millisecond)
+	if now := inj.Fires(); now != fired {
+		t.Errorf("workers kept scoring after cancellation: %d -> %d fires", fired, now)
+	}
+}
+
+func TestScoreBatchCtxDeadlineObservedByWorkers(t *testing.T) {
+	var inj faultinject.Injector
+	inj.SetLatency(30 * time.Millisecond)
+	pred := fakePredictor(func(u, v NodeID) (float64, error) {
+		if err := inj.Fire(context.Background()); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	_, err := pred.ScoreBatchCtx(ctx, manyPairs(200), 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if fired := inj.Fires(); fired >= 200 {
+		t.Errorf("all %d pairs were scored despite the deadline", fired)
+	}
+}
+
+func TestScoreBatchCtxPreCancelled(t *testing.T) {
+	var inj faultinject.Injector
+	pred := fakePredictor(func(u, v NodeID) (float64, error) {
+		_ = inj.Fire(context.Background())
+		return 1, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pred.ScoreBatchCtx(ctx, manyPairs(10), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inj.Fires() != 0 {
+		t.Errorf("pre-cancelled batch still scored %d pairs", inj.Fires())
+	}
+}
+
+func TestScoreBatchCtxBoundedConcurrency(t *testing.T) {
+	var inj faultinject.Injector
+	inj.SetLatency(2 * time.Millisecond)
+	pred := fakePredictor(func(u, v NodeID) (float64, error) {
+		if err := inj.Fire(context.Background()); err != nil {
+			return 0, err
+		}
+		return float64(u) + float64(v), nil
+	})
+	const workers = 4
+	out, err := pred.ScoreBatchCtx(context.Background(), manyPairs(100), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if peak := inj.MaxConcurrent(); peak > workers {
+		t.Errorf("observed %d concurrent scorings, want <= %d", peak, workers)
+	}
+}
+
+func TestScoreBatchCtxStopsDispatchAfterFirstError(t *testing.T) {
+	var inj faultinject.Injector
+	inj.SetLatency(time.Millisecond)
+	boom := errors.New("boom")
+	pred := fakePredictor(func(u, v NodeID) (float64, error) {
+		_ = inj.Fire(context.Background())
+		if u == 0 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	_, err := pred.ScoreBatchCtx(context.Background(), manyPairs(1000), 2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failing pair is dispatched first; only the few pairs already in
+	// flight may still score before dispatch stops.
+	if fired := inj.Fires(); fired > 50 {
+		t.Errorf("%d pairs scored after the first error", fired)
+	}
+}
+
+func TestScoreBatchCtxPanicIsolation(t *testing.T) {
+	calls := 0
+	pred := fakePredictor(func(u, v NodeID) (float64, error) {
+		calls++
+		if u == 2 {
+			panic("scoring kernel corrupted")
+		}
+		return 1, nil
+	})
+	_, err := pred.ScoreBatchCtx(context.Background(), [][2]NodeID{{2, 3}}, 1)
+	if !errors.Is(err, ErrScorePanic) {
+		t.Fatalf("err = %v, want ErrScorePanic", err)
+	}
+	// The process survived and the predictor still works.
+	out, err := pred.ScoreBatchCtx(context.Background(), [][2]NodeID{{5, 6}}, 1)
+	if err != nil || len(out) != 1 || out[0].Score != 1 {
+		t.Fatalf("after panic: out = %v, err = %v", out, err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+func TestScoreBatchCtxErrorMentionsPair(t *testing.T) {
+	pred := fakePredictor(func(u, v NodeID) (float64, error) {
+		return 0, errors.New("no features")
+	})
+	_, err := pred.ScoreBatchCtx(context.Background(), [][2]NodeID{{7, 9}}, 1)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "(7, 9)") {
+		t.Errorf("err %q does not mention the failing pair", err)
+	}
+}

@@ -5,9 +5,17 @@
 //
 // Endpoints:
 //
-//	GET /health               -> {"status":"ok", ...}
+//	GET /health               -> {"status":"ok", ...} (legacy aggregate)
+//	GET /livez                -> liveness probe (process is up)
+//	GET /readyz               -> readiness probe (503 while draining)
 //	GET /score?u=<l>&v=<l>    -> score + predicted flag for one pair (labels)
 //	GET /top?n=10             -> the n highest-scoring absent links
+//	POST /batch               -> scores for a JSON array of pairs
+//
+// Scoring endpoints run behind a resilience chain: per-endpoint deadlines
+// (504 on expiry), bounded in-flight admission control (429 + Retry-After
+// when saturated) and panic recovery (500, process stays up). Probe
+// endpoints bypass admission control so health checks answer under load.
 //
 // With -model the predictor is loaded from a snapshot produced by
 // Predictor.Save; otherwise it is trained at startup.
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +55,14 @@ func run(args []string) error {
 		epochs = fs.Int("epochs", 200, "neural machine epochs")
 		seed   = fs.Int64("seed", 1, "random seed")
 		maxPos = fs.Int("maxpos", 500, "cap on training positives (0 = all)")
+
+		scoreTimeout = fs.Duration("score-timeout", 5*time.Second, "GET /score deadline (504 on expiry)")
+		topTimeout   = fs.Duration("top-timeout", 30*time.Second, "GET /top deadline (504 on expiry)")
+		batchTimeout = fs.Duration("batch-timeout", 30*time.Second, "POST /batch deadline (504 on expiry)")
+		maxInFlight  = fs.Int("max-inflight", 16, "concurrent scoring requests before queueing")
+		maxQueue     = fs.Int("max-queue", 32, "queued scoring requests before 429")
+		queueWait    = fs.Duration("queue-wait", time.Second, "max time a request queues for a slot before 429")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,27 +73,45 @@ func run(args []string) error {
 	srv, err := newServer(serverConfig{
 		File: *file, Method: *method, Model: *model,
 		K: *k, Epochs: *epochs, Seed: *seed, MaxPositives: *maxPos,
+		Limits: limitsConfig{
+			ScoreTimeout: *scoreTimeout, TopTimeout: *topTimeout,
+			BatchTimeout: *batchTimeout, MaxInFlight: *maxInFlight,
+			MaxQueue: *maxQueue, QueueWait: *queueWait,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// Graceful shutdown on SIGINT/SIGTERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("ssf-serve: %s predictor on %s (%d nodes, %d links)",
-		srv.predictor.Method(), *addr, srv.graph.NumNodes(), srv.graph.NumEdges())
+		srv.predictor.Method(), ln.Addr(), srv.graph.NumNodes(), srv.graph.NumEdges())
+	return serve(ctx, httpSrv, ln, *drainTimeout, func() { srv.setReady(false) })
+}
+
+// serve runs httpSrv on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production), then marks the server not-ready and drains in-flight requests
+// for up to drain before returning. A clean drain returns nil.
+func serve(ctx context.Context, httpSrv *http.Server, ln net.Listener, drain time.Duration, onShutdown func()) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if onShutdown != nil {
+			onShutdown()
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		return httpSrv.Shutdown(shutdownCtx)
 	}
@@ -96,9 +131,10 @@ type serverConfig struct {
 	K, Epochs           int
 	Seed                int64
 	MaxPositives        int
+	Limits              limitsConfig
 }
 
-// buildServer loads the network and obtains a predictor per the config.
+// newServer loads the network and obtains a predictor per the config.
 func newServer(cfg serverConfig) (*server, error) {
 	g, labels, err := ssflp.LoadEdgeListFile(cfg.File)
 	if err != nil {
@@ -106,12 +142,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	var pred *ssflp.Predictor
 	if cfg.Model != "" {
-		f, err := os.Open(cfg.Model)
-		if err != nil {
-			return nil, fmt.Errorf("open model: %w", err)
-		}
-		defer f.Close()
-		pred, err = ssflp.LoadPredictor(f, g)
+		pred, err = ssflp.LoadPredictorFile(cfg.Model, g)
 		if err != nil {
 			return nil, fmt.Errorf("load model: %w", err)
 		}
@@ -127,5 +158,21 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, fmt.Errorf("train: %w", err)
 		}
 	}
-	return &server{graph: g, labels: labels, predictor: pred, started: time.Now()}, nil
+	limits := cfg.Limits.withDefaults()
+	index := make(map[string]ssflp.NodeID, len(labels))
+	for i, l := range labels {
+		index[l] = ssflp.NodeID(i)
+	}
+	s := &server{
+		graph:      g,
+		labels:     labels,
+		index:      index,
+		predictor:  pred,
+		started:    time.Now(),
+		limits:     limits,
+		limiter:    newLimiter(limits),
+		scoreBatch: pred.ScoreBatchCtx,
+	}
+	s.setReady(true)
+	return s, nil
 }

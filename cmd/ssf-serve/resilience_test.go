@@ -1,0 +1,328 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ssflp"
+	"ssflp/internal/resilience/faultinject"
+)
+
+// injectFaults routes the server's scoring through an injector: every
+// scoring request first fires the injector (latency, panics), then — if the
+// injector let it pass — delegates to the real ScoreBatchCtx. The error each
+// batch call ends with is recorded so tests can assert what the workers
+// observed.
+func injectFaults(srv *server) (*faultinject.Injector, *errLog) {
+	inj := &faultinject.Injector{}
+	log := &errLog{}
+	base := srv.scoreBatch
+	srv.scoreBatch = func(ctx context.Context, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
+		if err := inj.Fire(ctx); err != nil {
+			log.add(err)
+			return nil, err
+		}
+		out, err := base(ctx, pairs, workers)
+		log.add(err)
+		return out, err
+	}
+	return inj, log
+}
+
+// errLog records scoring outcomes across goroutines.
+type errLog struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (l *errLog) add(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.errs = append(l.errs, err)
+}
+
+func (l *errLog) last() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.errs) == 0 {
+		return nil
+	}
+	return l.errs[len(l.errs)-1]
+}
+
+// waitLast polls for a recorded outcome: the middleware answers the client
+// at the deadline without waiting for the scoring goroutine, so the worker's
+// observation can land a moment later.
+func (l *errLog) waitLast(t *testing.T) error {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		l.mu.Lock()
+		n := len(l.errs)
+		l.mu.Unlock()
+		if n > 0 {
+			return l.last()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("scoring outcome never recorded")
+	return nil
+}
+
+func TestDeadlineExpiryReturns504AndWorkersObserveIt(t *testing.T) {
+	srv := testServerWith(t, limitsConfig{TopTimeout: 50 * time.Millisecond})
+	inj, errs := injectFaults(srv)
+	inj.SetLatency(300 * time.Millisecond)
+	h := srv.routes()
+
+	code, body := getJSON(t, h, "/top?n=3")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d, body %v, want 504", code, body)
+	}
+	if body["error"] == "" {
+		t.Errorf("504 without error body: %v", body)
+	}
+	if err := errs.waitLast(t); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("scoring observed %v, want context.DeadlineExceeded", err)
+	}
+
+	// The server still answers once the latency is gone.
+	inj.SetLatency(0)
+	if code, _ := getJSON(t, h, "/top?n=3"); code != http.StatusOK {
+		t.Errorf("after recovery: %d", code)
+	}
+}
+
+func TestCancelledClientFreesScoringWorkers(t *testing.T) {
+	srv := testServerWith(t, limitsConfig{})
+	inj, errs := injectFaults(srv)
+	inj.SetLatency(400 * time.Millisecond)
+	h := srv.routes()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/top?n=3", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	// Wait for scoring to start, then abandon the request.
+	deadline := time.Now().Add(2 * time.Second)
+	for inj.Fires() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler did not return after client cancellation")
+	}
+	if err := errs.waitLast(t); !errors.Is(err, context.Canceled) {
+		t.Errorf("scoring observed %v, want context.Canceled", err)
+	}
+	fired := inj.Fires()
+	time.Sleep(100 * time.Millisecond)
+	if now := inj.Fires(); now != fired {
+		t.Errorf("scoring continued after cancellation: %d -> %d", fired, now)
+	}
+}
+
+func TestSaturationReturns429WithRetryAfter(t *testing.T) {
+	srv := testServerWith(t, limitsConfig{
+		MaxInFlight: 1, MaxQueue: -1, QueueWait: 20 * time.Millisecond,
+	})
+	// MaxQueue -1 normalizes to 0: reject as soon as the slot is busy.
+	inj, _ := injectFaults(srv)
+	inj.SetLatency(500 * time.Millisecond)
+	h := srv.routes()
+
+	firstDone := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/top?n=3", nil))
+		firstDone <- rec.Code
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for inj.Fires() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/top?n=3", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated code = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	// Probes stay reachable while the scoring path is saturated.
+	if code, _ := getJSON(t, h, "/livez"); code != http.StatusOK {
+		t.Errorf("livez under saturation = %d", code)
+	}
+	if code, _ := getJSON(t, h, "/readyz"); code != http.StatusOK {
+		t.Errorf("readyz under saturation = %d", code)
+	}
+
+	if code := <-firstDone; code != http.StatusOK {
+		t.Errorf("in-flight request = %d, want 200", code)
+	}
+}
+
+func TestInjectedPanicYields500AndServerSurvives(t *testing.T) {
+	srv := testServerWith(t, limitsConfig{})
+	inj, _ := injectFaults(srv)
+	h := srv.routes()
+
+	inj.PanicNext(1)
+	code, body := getJSON(t, h, "/top?n=3")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicked request = %d %v, want 500", code, body)
+	}
+	// The process survived; the very next request succeeds.
+	if code, body := getJSON(t, h, "/top?n=3"); code != http.StatusOK {
+		t.Errorf("request after panic = %d %v", code, body)
+	}
+}
+
+func TestScoringPanicErrorMapsTo500(t *testing.T) {
+	srv := testServerWith(t, limitsConfig{})
+	srv.scoreBatch = func(ctx context.Context, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
+		// What ScoreBatchCtx returns when a scoring worker panicked.
+		return nil, ssflp.ErrScorePanic
+	}
+	h := srv.routes()
+	if code, _ := getJSON(t, h, "/score?u=0&v=1"); code != http.StatusInternalServerError {
+		t.Errorf("worker-panic error = %d, want 500", code)
+	}
+}
+
+func TestServeDrainsInFlightRequestsOnShutdown(t *testing.T) {
+	srv := testServerWith(t, limitsConfig{})
+	inj, _ := injectFaults(srv)
+	inj.SetLatency(300 * time.Millisecond)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.routes()}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(ctx, httpSrv, ln, 5*time.Second, func() { srv.setReady(false) })
+	}()
+
+	url := "http://" + ln.Addr().String() + "/top?n=3"
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for inj.Fires() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if inj.Fires() == 0 {
+		t.Fatal("request never reached scoring")
+	}
+	cancel() // the moral equivalent of SIGTERM
+
+	if code := <-reqDone; code != http.StatusOK {
+		t.Errorf("in-flight request during drain = %d, want 200", code)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("serve returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after shutdown")
+	}
+	if srv.ready.Load() {
+		t.Error("server still ready after shutdown began")
+	}
+	if code, _ := getJSON(t, srv.routes(), "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", code)
+	}
+}
+
+func TestTopNMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scored := make([]ssflp.ScoredPair, 500)
+	for i := range scored {
+		scored[i] = ssflp.ScoredPair{
+			U: ssflp.NodeID(rng.Intn(40)),
+			V: ssflp.NodeID(rng.Intn(40)),
+			// Few distinct scores so ties exercise the (U, V) tie-break.
+			Score: float64(rng.Intn(5)),
+		}
+	}
+	for _, n := range []int{1, 3, 10, 499, 500, 501} {
+		ref := append([]ssflp.ScoredPair(nil), scored...)
+		sort.Slice(ref, func(i, j int) bool { return worseCand(ref[j], ref[i]) })
+		if len(ref) > n {
+			ref = ref[:n]
+		}
+		got := topN(scored, n)
+		if len(got) != len(ref) {
+			t.Fatalf("n=%d: len = %d, want %d", n, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("n=%d rank %d: got %+v, want %+v", n, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestTopEndpointOrdering(t *testing.T) {
+	h := testServer(t).routes()
+	code, body := getJSON(t, h, "/top?n=8")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	cands := body["candidates"].([]any)
+	var prev float64 = 1e18
+	for i, c := range cands {
+		score := c.(map[string]any)["score"].(float64)
+		if score > prev {
+			t.Fatalf("candidate %d out of order: %v > %v", i, score, prev)
+		}
+		prev = score
+	}
+}
+
+func TestProbeEndpoints(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+	if code, body := getJSON(t, h, "/livez"); code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("livez = %d %v", code, body)
+	}
+	if code, body := getJSON(t, h, "/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Errorf("readyz = %d %v", code, body)
+	}
+	srv.setReady(false)
+	if code, _ := getJSON(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after setReady(false) = %d", code)
+	}
+	if code, _ := getJSON(t, h, "/livez"); code != http.StatusOK {
+		t.Error("livez must stay 200 while draining")
+	}
+}

@@ -1,14 +1,19 @@
 package main
 
 import (
+	"container/heap"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
-	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ssflp"
+	"ssflp/internal/resilience"
 )
 
 // server holds the immutable serving state: the network snapshot, its label
@@ -17,17 +22,79 @@ import (
 type server struct {
 	graph     *ssflp.Graph
 	labels    []string
+	index     map[string]ssflp.NodeID // label -> id, built once at construction
 	predictor *ssflp.Predictor
 	started   time.Time
+	ready     atomic.Bool // flipped off when shutdown begins (readiness)
+	limits    limitsConfig
+	limiter   *resilience.Limiter
+
+	// scoreBatch is the scoring entry point for /top and /batch. It defaults
+	// to predictor.ScoreBatchCtx and is the seam where tests inject latency
+	// and panics (see resilience_test.go).
+	scoreBatch func(ctx context.Context, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error)
 }
 
-// routes builds the HTTP mux.
+// limitsConfig carries the per-endpoint resilience knobs from the flags.
+type limitsConfig struct {
+	ScoreTimeout time.Duration // GET /score deadline
+	TopTimeout   time.Duration // GET /top deadline
+	BatchTimeout time.Duration // POST /batch deadline
+	MaxInFlight  int           // concurrent scoring requests
+	MaxQueue     int           // waiters beyond that before 429
+	QueueWait    time.Duration // how long a waiter queues before 429
+}
+
+// newLimiter builds the admission controller from the limits config.
+func newLimiter(c limitsConfig) *resilience.Limiter {
+	return resilience.NewLimiter(c.MaxInFlight, c.MaxQueue, c.QueueWait)
+}
+
+// withDefaults fills unset knobs so tests constructing serverConfig{} and
+// production both get a sane, bounded configuration.
+func (c limitsConfig) withDefaults() limitsConfig {
+	if c.ScoreTimeout == 0 {
+		c.ScoreTimeout = 5 * time.Second
+	}
+	if c.TopTimeout == 0 {
+		c.TopTimeout = 30 * time.Second
+	}
+	if c.BatchTimeout == 0 {
+		c.BatchTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 32
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = time.Second
+	}
+	return c
+}
+
+// routes builds the HTTP mux. Scoring endpoints are wrapped in the
+// resilience chain — panic recovery outermost, then admission control, then
+// the per-endpoint deadline. Liveness and readiness are exempt from
+// admission control so health checks keep answering under saturation; they
+// still get panic recovery.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.handleHealth)
-	mux.HandleFunc("GET /score", s.handleScore)
-	mux.HandleFunc("GET /top", s.handleTop)
-	mux.HandleFunc("POST /batch", s.handleBatch)
+	rec := resilience.Recover(log.Printf)
+	admit := s.limiter.Middleware()
+	guarded := func(h http.HandlerFunc, deadline time.Duration) http.Handler {
+		return resilience.Chain(h, rec, admit, resilience.Deadline(deadline))
+	}
+	unguarded := func(h http.HandlerFunc) http.Handler {
+		return resilience.Chain(h, rec)
+	}
+	mux.Handle("GET /health", unguarded(s.handleHealth))
+	mux.Handle("GET /livez", unguarded(s.handleLivez))
+	mux.Handle("GET /readyz", unguarded(s.handleReadyz))
+	mux.Handle("GET /score", guarded(s.handleScore, s.limits.ScoreTimeout))
+	mux.Handle("GET /top", guarded(s.handleTop, s.limits.TopTimeout))
+	mux.Handle("POST /batch", guarded(s.handleBatch, s.limits.BatchTimeout))
 	return mux
 }
 
@@ -44,10 +111,28 @@ func errorJSON(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// scoreError maps a scoring failure onto the error taxonomy: 504 when the
+// request deadline expired mid-batch, 500 for an isolated scoring panic,
+// 422 for a domain error (e.g. self-pair), and nothing at all when the
+// client already disconnected.
+func scoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client is gone; any response would be discarded.
+	case errors.Is(err, context.DeadlineExceeded):
+		errorJSON(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case errors.Is(err, ssflp.ErrScorePanic):
+		errorJSON(w, http.StatusInternalServerError, "internal scoring error")
+	default:
+		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	stats := s.graph.Statistics()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
+		"ready":         s.ready.Load(),
 		"method":        s.predictor.Method().String(),
 		"threshold":     s.predictor.Threshold(),
 		"nodes":         stats.NumNodes,
@@ -56,12 +141,29 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// lookup resolves a node label (or numeric id) to its NodeID.
+// handleLivez is the liveness probe: the process is up and serving.
+func (s *server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while accepting traffic, 503 once
+// shutdown has begun so load balancers stop routing here during the drain.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		errorJSON(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// setReady flips the readiness probe (used when shutdown begins).
+func (s *server) setReady(ok bool) { s.ready.Store(ok) }
+
+// lookup resolves a node label (or numeric id) to its NodeID via the index
+// built at construction — O(1) per token instead of a linear label scan.
 func (s *server) lookup(tok string) (ssflp.NodeID, bool) {
-	for i, l := range s.labels {
-		if l == tok {
-			return ssflp.NodeID(i), true
-		}
+	if id, ok := s.index[tok]; ok {
+		return id, true
 	}
 	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < s.graph.NumNodes() {
 		return ssflp.NodeID(id), true
@@ -85,24 +187,65 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusNotFound, "unknown node "+vTok)
 		return
 	}
-	score, err := s.predictor.Score(u, v)
+	scored, err := s.scoreBatch(r.Context(), [][2]ssflp.NodeID{{u, v}}, 1)
 	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+		scoreError(w, err)
 		return
 	}
-	predicted, err := s.predictor.Predict(u, v)
-	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
+	score := scored[0].Score
 	writeJSON(w, http.StatusOK, map[string]any{
-		"u": uTok, "v": vTok, "score": score, "predicted": predicted,
+		"u": uTok, "v": vTok, "score": score,
+		"predicted": score > s.predictor.Threshold(),
 	})
 }
 
 // topLimit bounds the candidate scan for /top so a request cannot pin the
 // CPU on paper-scale networks.
 const topCandidateLimit = 20000
+
+// candHeap is a min-heap of the best candidates seen so far: the root is the
+// worst of the current top-N, so a better candidate replaces it in O(log n)
+// and /top never sorts the full candidate slice.
+type candHeap []ssflp.ScoredPair
+
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return worseCand(h[i], h[j]) }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(ssflp.ScoredPair)) }
+func (h *candHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// worseCand orders candidates by ascending score with a deterministic
+// (U, V) tie-break so /top output is stable across runs.
+func worseCand(a, b ssflp.ScoredPair) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	if a.U != b.U {
+		return a.U > b.U
+	}
+	return a.V > b.V
+}
+
+// topN keeps the n best of scored using a bounded heap and returns them in
+// descending order.
+func topN(scored []ssflp.ScoredPair, n int) []ssflp.ScoredPair {
+	h := make(candHeap, 0, n+1)
+	for _, sp := range scored {
+		if len(h) < n {
+			heap.Push(&h, sp)
+			continue
+		}
+		if worseCand(h[0], sp) {
+			h[0] = sp
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]ssflp.ScoredPair, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(ssflp.ScoredPair)
+	}
+	return out
+}
 
 func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	n := 10
@@ -114,11 +257,7 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		n = parsed
 	}
-	type cand struct {
-		U     string  `json:"u"`
-		V     string  `json:"v"`
-		Score float64 `json:"score"`
-	}
+	ctx := r.Context()
 	view := s.graph.Static()
 	nodes := s.graph.NumNodes()
 	total := nodes * (nodes - 1) / 2
@@ -129,6 +268,10 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	var pairs [][2]ssflp.NodeID
 	idx := 0
 	for u := 0; u < nodes; u++ {
+		if err := ctx.Err(); err != nil {
+			scoreError(w, err)
+			return
+		}
 		for v := u + 1; v < nodes; v++ {
 			idx++
 			if idx%stride != 0 {
@@ -140,18 +283,20 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 			pairs = append(pairs, [2]ssflp.NodeID{ssflp.NodeID(u), ssflp.NodeID(v)})
 		}
 	}
-	scored, err := s.predictor.ScoreBatch(pairs, 0)
+	scored, err := s.scoreBatch(ctx, pairs, 0)
 	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+		scoreError(w, err)
 		return
 	}
-	cands := make([]cand, len(scored))
-	for i, sp := range scored {
-		cands[i] = cand{U: s.labelOf(int(sp.U)), V: s.labelOf(int(sp.V)), Score: sp.Score}
+	type cand struct {
+		U     string  `json:"u"`
+		V     string  `json:"v"`
+		Score float64 `json:"score"`
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
-	if len(cands) > n {
-		cands = cands[:n]
+	best := topN(scored, n)
+	cands := make([]cand, len(best))
+	for i, sp := range best {
+		cands[i] = cand{U: s.labelOf(int(sp.U)), V: s.labelOf(int(sp.V)), Score: sp.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"candidates": cands,
@@ -191,9 +336,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		pairs[i] = [2]ssflp.NodeID{u, v}
 	}
-	scored, err := s.predictor.ScoreBatch(pairs, 0)
+	scored, err := s.scoreBatch(r.Context(), pairs, 0)
 	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+		scoreError(w, err)
 		return
 	}
 	type result struct {

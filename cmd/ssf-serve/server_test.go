@@ -15,6 +15,13 @@ import (
 // testServer trains a CN predictor on a small synthetic network.
 func testServer(t *testing.T) *server {
 	t.Helper()
+	return testServerWith(t, limitsConfig{})
+}
+
+// testServerWith is testServer with explicit resilience limits (zero fields
+// take the production defaults).
+func testServerWith(t *testing.T, limits limitsConfig) *server {
+	t.Helper()
 	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +37,9 @@ func testServer(t *testing.T) *server {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(serverConfig{File: path, Method: "CN", MaxPositives: 20, Seed: 1})
+	srv, err := newServer(serverConfig{
+		File: path, Method: "CN", MaxPositives: 20, Seed: 1, Limits: limits,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

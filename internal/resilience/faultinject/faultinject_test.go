@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValueInjectsNothing(t *testing.T) {
+	var in Injector
+	start := time.Now()
+	if err := in.Fire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("zero-value injector slept")
+	}
+	if in.Fires() != 1 {
+		t.Errorf("fires = %d", in.Fires())
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	var in Injector
+	in.SetLatency(time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Fire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Fire ignored the context")
+	}
+}
+
+func TestLatencyElapses(t *testing.T) {
+	var in Injector
+	in.SetLatency(15 * time.Millisecond)
+	start := time.Now()
+	if err := in.Fire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("latency not applied")
+	}
+}
+
+func TestPanicNextPanicsExactlyN(t *testing.T) {
+	var in Injector
+	in.PanicNext(2)
+	fire := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		in.Fire(context.Background())
+		return false
+	}
+	if !fire() || !fire() {
+		t.Fatal("armed panics did not fire")
+	}
+	if fire() {
+		t.Error("third call panicked; only two were armed")
+	}
+}
+
+func TestMaxConcurrentHighWater(t *testing.T) {
+	var in Injector
+	in.SetLatency(30 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in.Fire(context.Background())
+		}()
+	}
+	wg.Wait()
+	if peak := in.MaxConcurrent(); peak < 2 || peak > 5 {
+		t.Errorf("peak = %d, want within [2, 5]", peak)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var in Injector
+	in.SetLatency(time.Hour)
+	in.PanicNext(3)
+	func() { // consumes one armed panic
+		defer func() { recover() }()
+		in.Fire(context.Background())
+	}()
+	in.Reset()
+	start := time.Now()
+	if err := in.Fire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("latency survived Reset")
+	}
+	if in.Fires() != 1 {
+		t.Errorf("fires after reset = %d", in.Fires())
+	}
+}

@@ -1,0 +1,241 @@
+// Package resilience provides composable http.Handler middleware for a
+// serving stack that must degrade gracefully under load: per-request
+// deadlines (504 on expiry), panic recovery (500, server stays up), and
+// bounded in-flight admission control with a small wait queue (429 +
+// Retry-After when saturated). All error responses are JSON objects of the
+// form {"error": "..."} to match the ssf-serve error taxonomy.
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Middleware wraps a handler with one resilience concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middleware around h; the first middleware is outermost, so
+// Chain(h, Recover(...), limiter, Deadline(d)) recovers panics raised
+// anywhere below it, admission-controls before starting the deadline clock,
+// and enforces the deadline around h itself.
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// errorJSON mirrors the server's error envelope.
+func errorJSON(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+// Recover converts a handler panic into a 500 response and a logged stack
+// trace so one poisoned request never takes down the process. The special
+// http.ErrAbortHandler sentinel is re-raised, preserving net/http's own
+// abort protocol. logf may be nil.
+func Recover(logf func(format string, args ...any)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				if logf != nil {
+					logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+				// Best effort: if the handler already wrote a header this
+				// produces a superfluous-WriteHeader log line, nothing worse.
+				errorJSON(w, http.StatusInternalServerError, "internal server error")
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Deadline bounds one request's wall-clock time. The wrapped handler runs
+// with a context that expires after d; its response is buffered and only
+// flushed if it finishes in time. On expiry the client gets 504 immediately
+// — even if the handler ignores its context — while context propagation
+// (e.g. Predictor.ScoreBatchCtx) makes the abandoned work stop soon after.
+// A non-positive d disables the deadline. Handler panics are re-raised on
+// the serving goroutine so an outer Recover middleware observes them.
+func Deadline(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			buf := newBufferedResponse()
+			done := make(chan struct{})
+			panicked := make(chan any, 1)
+			go func() {
+				defer func() {
+					if p := recover(); p != nil {
+						panicked <- p
+					}
+				}()
+				next.ServeHTTP(buf, r.WithContext(ctx))
+				close(done)
+			}()
+			select {
+			case p := <-panicked:
+				panic(p)
+			case <-done:
+				buf.flushTo(w)
+			case <-ctx.Done():
+				if errors.Is(ctx.Err(), context.Canceled) {
+					// Client went away; nobody is reading the response.
+					return
+				}
+				errorJSON(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("request exceeded the %s deadline", d))
+			}
+		})
+	}
+}
+
+// bufferedResponse captures a handler's response so Deadline can discard it
+// wholesale when the deadline fires first. It is only ever flushed after the
+// handler goroutine finished, so no locking is needed.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: make(http.Header)}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) {
+	if b.status == 0 {
+		b.status = status
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.WriteHeader(http.StatusOK)
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vv := range b.header {
+		h[k] = vv
+	}
+	if b.status != 0 {
+		w.WriteHeader(b.status)
+	}
+	_, _ = w.Write(b.body.Bytes())
+}
+
+// ErrSaturated is returned by Limiter.Acquire when both the in-flight slots
+// and the wait queue are full.
+var ErrSaturated = errors.New("resilience: server saturated")
+
+// Limiter is bounded admission control: at most MaxInFlight requests execute
+// concurrently, at most MaxQueue more wait up to MaxWait for a slot, and
+// everything beyond that is rejected immediately with 429 + Retry-After.
+// The zero value is unusable; construct with NewLimiter.
+type Limiter struct {
+	slots   chan struct{}
+	queue   chan struct{}
+	maxWait time.Duration
+}
+
+// NewLimiter builds a Limiter. maxInFlight must be >= 1; maxQueue may be 0
+// (no waiting — reject as soon as the slots are busy); maxWait bounds how
+// long a queued request waits before giving up with 429.
+func NewLimiter(maxInFlight, maxQueue int, maxWait time.Duration) *Limiter {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, maxQueue),
+		maxWait: maxWait,
+	}
+}
+
+// Acquire claims an execution slot, queueing for up to maxWait. It returns
+// ErrSaturated when the queue is full or the wait expires, and ctx.Err()
+// when the request is abandoned while queued. Callers must Release exactly
+// once per successful Acquire.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return ErrSaturated
+	}
+	defer func() { <-l.queue }()
+	timer := time.NewTimer(l.maxWait)
+	defer timer.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return ErrSaturated
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot claimed by a successful Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// RetryAfter is the advisory delay attached to 429 responses.
+func (l *Limiter) RetryAfter() time.Duration {
+	if l.maxWait < time.Second {
+		return time.Second
+	}
+	return l.maxWait
+}
+
+// Middleware gates a handler behind the limiter. Saturation yields 429 with
+// a Retry-After header; a request cancelled while queued gets no response
+// body (the client is gone).
+func (l *Limiter) Middleware() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch err := l.Acquire(r.Context()); {
+			case err == nil:
+				defer l.Release()
+				next.ServeHTTP(w, r)
+			case errors.Is(err, ErrSaturated):
+				w.Header().Set("Retry-After",
+					fmt.Sprintf("%d", int(l.RetryAfter().Seconds())))
+				errorJSON(w, http.StatusTooManyRequests,
+					"server saturated, retry later")
+			case errors.Is(err, context.DeadlineExceeded):
+				errorJSON(w, http.StatusGatewayTimeout,
+					"request deadline exceeded while queued")
+			default:
+				// context.Canceled: the client disconnected while queued.
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func get(h http.Handler) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	return rec
+}
+
+func TestDeadlinePassesFastHandlerThrough(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Custom", "yes")
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte("body"))
+	}), Deadline(time.Second))
+	rec := get(h)
+	if rec.Code != http.StatusCreated || rec.Body.String() != "body" {
+		t.Errorf("response = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Custom") != "yes" {
+		t.Error("header lost through the buffer")
+	}
+}
+
+func TestDeadlineExpiryReturns504(t *testing.T) {
+	released := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // a well-behaved slow handler
+		close(released)
+	}), Deadline(20*time.Millisecond))
+	rec := get(h)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d, want 504", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Error("handler never observed ctx.Done()")
+	}
+}
+
+func TestDeadlineDiscardsLateResponse(t *testing.T) {
+	done := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		w.WriteHeader(http.StatusOK) // too late; must not reach the client
+		w.Write([]byte("late"))
+		close(done)
+	}), Deadline(20*time.Millisecond))
+	rec := get(h)
+	<-done
+	if rec.Code != http.StatusGatewayTimeout || strings.Contains(rec.Body.String(), "late") {
+		t.Errorf("late write leaked: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDeadlineNonPositiveDisables(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			t.Error("deadline set despite d <= 0")
+		}
+		w.WriteHeader(http.StatusOK)
+	}), Deadline(0))
+	if rec := get(h); rec.Code != http.StatusOK {
+		t.Errorf("code = %d", rec.Code)
+	}
+}
+
+func TestRecoverConvertsPanicTo500(t *testing.T) {
+	var logged string
+	logf := func(format string, args ...any) { logged = format }
+	boom := true
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if boom {
+			panic("kaboom")
+		}
+		w.WriteHeader(http.StatusOK)
+	}), Recover(logf))
+	if rec := get(h); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if logged == "" {
+		t.Error("panic was not logged")
+	}
+	boom = false
+	if rec := get(h); rec.Code != http.StatusOK {
+		t.Errorf("server did not survive the panic: %d", rec.Code)
+	}
+}
+
+func TestRecoverCatchesPanicRaisedThroughDeadline(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("inside the deadline goroutine")
+	}), Recover(nil), Deadline(time.Second))
+	if rec := get(h); rec.Code != http.StatusInternalServerError {
+		t.Errorf("code = %d, want 500", rec.Code)
+	}
+}
+
+func TestRecoverReRaisesAbortHandler(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), Recover(nil))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Error("ErrAbortHandler was swallowed")
+		}
+	}()
+	get(h)
+}
+
+func TestLimiterRejectsWhenSaturated(t *testing.T) {
+	lim := NewLimiter(1, 0, 10*time.Millisecond)
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var enteredOnce sync.Once
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enteredOnce.Do(func() { close(entered) })
+		<-block
+		w.WriteHeader(http.StatusOK)
+	}), lim.Middleware())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	first := httptest.NewRecorder()
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(first, httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	<-entered
+	rec := get(h)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(block)
+	wg.Wait()
+	if first.Code != http.StatusOK {
+		t.Errorf("first request = %d", first.Code)
+	}
+	// Slot released: the limiter admits again.
+	if rec := get(h); rec.Code != http.StatusOK {
+		t.Errorf("after release: %d", rec.Code)
+	}
+}
+
+func TestLimiterQueueTimesOut(t *testing.T) {
+	lim := NewLimiter(1, 1, 30*time.Millisecond)
+	if err := lim.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := lim.Acquire(context.Background())
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("queued acquire = %v, want ErrSaturated", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("queued acquire gave up before maxWait")
+	}
+	lim.Release()
+	if err := lim.Acquire(context.Background()); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+	lim.Release()
+}
+
+func TestLimiterQueueHonorsContext(t *testing.T) {
+	lim := NewLimiter(1, 1, time.Minute)
+	if err := lim.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer lim.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := lim.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled queue wait = %v", err)
+	}
+}
+
+func TestLimiterQueueFullRejectsImmediately(t *testing.T) {
+	lim := NewLimiter(1, 0, time.Minute)
+	if err := lim.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer lim.Release()
+	start := time.Now()
+	if err := lim.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("zero-queue limiter waited instead of rejecting")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"ssflp/internal/linreg"
 	"ssflp/internal/nmf"
@@ -47,6 +49,50 @@ func (p *Predictor) Save(w io.Writer) error {
 	return nil
 }
 
+// SaveFile atomically persists the predictor snapshot to path: the bytes go
+// to a temp file in the same directory, are fsynced, and the temp file is
+// renamed over path. A crash mid-write therefore never leaves a truncated
+// snapshot where a loader could find it.
+func (p *Predictor) SaveFile(path string) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ssflp: save predictor: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = p.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ssflp: save predictor: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ssflp: save predictor: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ssflp: save predictor: %w", err)
+	}
+	return nil
+}
+
+// LoadPredictorFile opens path and loads the snapshot via LoadPredictor.
+func LoadPredictorFile(path string, g *Graph) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: load predictor: %w", err)
+	}
+	defer f.Close()
+	return LoadPredictor(f, g)
+}
+
 // LoadPredictor deserializes a predictor snapshot and rebinds it to the
 // dynamic network g: feature extraction and heuristic scoring run against g
 // with present time g.MaxTimestamp()+1, so a snapshot trained yesterday can
@@ -57,7 +103,10 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 	}
 	var st predictorState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("ssflp: decode predictor: %w", err)
+		// Corrupted or truncated bytes are a snapshot problem, not an I/O
+		// problem: surface them under ErrBadSnapshot so callers can
+		// distinguish "bad file" from "missing file".
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadSnapshot, err)
 	}
 	if st.Version != predictorStateVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, st.Version)

@@ -3,6 +3,8 @@ package ssflp
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -74,8 +76,8 @@ func TestLoadPredictorRebindsToGrownGraph(t *testing.T) {
 
 func TestLoadPredictorValidation(t *testing.T) {
 	g := testNetwork(t)
-	if _, err := LoadPredictor(strings.NewReader("{"), g); err == nil {
-		t.Error("truncated JSON should fail")
+	if _, err := LoadPredictor(strings.NewReader("{"), g); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated JSON error = %v, want ErrBadSnapshot", err)
 	}
 	if _, err := LoadPredictor(strings.NewReader(`{"version":99,"method":1}`), g); !errors.Is(err, ErrBadSnapshot) {
 		t.Errorf("bad version error = %v", err)
@@ -91,6 +93,109 @@ func TestLoadPredictorValidation(t *testing.T) {
 	}
 	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"method":1}`), nil); !errors.Is(err, ErrBadSnapshot) {
 		t.Errorf("nil graph error = %v", err)
+	}
+}
+
+func TestSaveFileRoundTrip(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := pred.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Saving twice exercises the rename-over-existing path.
+	if err := pred.SaveFile(path); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	// No temp files may be left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.json" {
+		t.Errorf("stray files after SaveFile: %v", entries)
+	}
+	loaded, err := LoadPredictorFile(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]NodeID{{0, 5}, {2, 9}} {
+		a, err := pred.Score(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Score(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("score(%d,%d) = %v loaded vs %v original", p[0], p[1], b, a)
+		}
+	}
+}
+
+func TestSaveFileBareFilename(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, CN, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	if err := pred.SaveFile("model.json"); err != nil {
+		t.Fatalf("bare filename: %v", err)
+	}
+	if _, err := LoadPredictorFile("model.json", g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadPredictorFileRejectsCorruptSnapshots(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := pred.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncated := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(truncated, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(truncated, g); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated snapshot error = %v, want ErrBadSnapshot", err)
+	}
+
+	corrupted := filepath.Join(dir, "corrupted.json")
+	garbled := append([]byte("}{x"), raw...)
+	if err := os.WriteFile(corrupted, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(corrupted, g); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("corrupted snapshot error = %v, want ErrBadSnapshot", err)
+	}
+
+	if _, err := LoadPredictorFile(filepath.Join(dir, "missing.json"), g); err == nil ||
+		errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("missing file error = %v, want a plain I/O error", err)
 	}
 }
 

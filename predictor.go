@@ -1,10 +1,10 @@
 package ssflp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"ssflp/internal/core"
 	"ssflp/internal/eval"
@@ -198,26 +198,21 @@ func featureExtractor(method Method, g *Graph, present Timestamp, opts TrainOpti
 	}
 }
 
-// extractParallel maps the extractor over samples with a bounded pool.
+// extractParallel maps the extractor over samples with a fixed worker pool
+// (exactly `workers` goroutines, not one per sample) and stops dispatching
+// after the first extraction error.
 func extractParallel(samples []eval.Sample, workers int, extract func(u, v NodeID) ([]float64, error)) ([][]float64, error) {
 	out := make([][]float64, len(samples))
-	errs := make([]error, len(samples))
-	sem := make(chan struct{}, max(workers, 1))
-	var wg sync.WaitGroup
-	for i, s := range samples {
-		wg.Add(1)
-		go func(i int, s eval.Sample) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = extract(s.Pair.U, s.Pair.V)
-		}(i, s)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	err := runIndexed(context.Background(), len(samples), workers, func(i int) error {
+		feat, err := extract(samples[i].Pair.U, samples[i].Pair.V)
 		if err != nil {
-			return nil, fmt.Errorf("ssflp: extract %v: %w", samples[i].Pair, err)
+			return fmt.Errorf("ssflp: extract %v: %w", samples[i].Pair, err)
 		}
+		out[i] = feat
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
