@@ -4,6 +4,13 @@
 // luck of a single evaluation timestamp.
 //
 //	ssf-rolling -dataset Slashdot -scale 4 -cuts 3 -methods CN,RW,SSFLR,SSFNM
+//
+// With -wal the evaluation stream is not synthetic: the edge events of an
+// ssf-serve write-ahead log directory (newest valid snapshot plus log tail)
+// become the dynamic network under evaluation, so the protocol runs over
+// exactly what production ingested.
+//
+//	ssf-rolling -wal /var/lib/ssf/wal -cuts 3 -methods CN,SSFLR
 package main
 
 import (
@@ -14,6 +21,8 @@ import (
 
 	"ssflp/internal/datagen"
 	"ssflp/internal/experiments"
+	"ssflp/internal/graph"
+	"ssflp/internal/wal"
 )
 
 func main() {
@@ -34,18 +43,36 @@ func run(args []string) error {
 		maxPos  = fs.Int("maxpos", 300, "cap on positive links per cut (0 = all)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		methods = fs.String("methods", "CN,RW,WLNM,SSFLR,SSFNM", "comma-separated methods")
+		walDir  = fs.String("wal", "", "ssf-serve WAL directory to evaluate instead of a synthetic dataset")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := datagen.ByName(*dataset, *seed)
-	if err != nil {
-		return err
-	}
-	cfg = datagen.Scale(cfg, *scale)
-	g, err := datagen.Generate(cfg)
-	if err != nil {
-		return err
+	var (
+		g      *graph.Graph
+		source string
+	)
+	if *walDir != "" {
+		st, err := wal.ReadState(*walDir, wal.Options{}, nil)
+		if err != nil {
+			return fmt.Errorf("read wal: %w", err)
+		}
+		g = st.Builder.Graph()
+		if g.NumEdges() == 0 {
+			return fmt.Errorf("wal %s holds no edges to evaluate", *walDir)
+		}
+		source = fmt.Sprintf("wal %s (snapshot lsn %d, %d replayed records)",
+			*walDir, st.SnapshotLSN, st.Replayed)
+	} else {
+		cfg, err := datagen.ByName(*dataset, *seed)
+		if err != nil {
+			return err
+		}
+		cfg = datagen.Scale(cfg, *scale)
+		if g, err = datagen.Generate(cfg); err != nil {
+			return err
+		}
+		source = fmt.Sprintf("%s (scale %d)", *dataset, *scale)
 	}
 	var names []string
 	for _, m := range strings.Split(*methods, ",") {
@@ -63,7 +90,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rolling evaluation of %s (scale %d, %d cuts)\n", *dataset, *scale, *cuts)
+	fmt.Printf("rolling evaluation of %s, %d cuts\n", source, *cuts)
 	fmt.Print(experiments.FormatRolling(points))
 	return nil
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
+
+	"ssflp/internal/wal"
 )
 
 func captureStdout(t *testing.T, f func() error) (string, error) {
@@ -55,5 +59,52 @@ func TestRunRollingErrors(t *testing.T) {
 	}
 	if err := run([]string{"-dataset", "Slashdot", "-scale", "40", "-methods", "nope"}); err == nil {
 		t.Error("unknown method should fail")
+	}
+}
+
+// TestRunRollingFromWAL evaluates a write-ahead log directory directly: the
+// logged edge stream (not a synthetic dataset) becomes the dynamic network.
+func TestRunRollingFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var evs []wal.Event
+	for i := 0; i < 400; i++ {
+		u := rng.Intn(30)
+		v := rng.Intn(30)
+		if u == v {
+			v = (v + 1) % 30
+		}
+		evs = append(evs, wal.Event{
+			U: "n" + strconv.Itoa(u), V: "n" + strconv.Itoa(v), Ts: int64(i / 20),
+		})
+	}
+	if _, err := l.AppendBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-wal", dir, "-cuts", "2", "-methods", "CN", "-maxpos", "10"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rolling evaluation", "wal " + dir, "cut t<=", "means over cuts", "CN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunRollingWALErrors: empty or missing WAL directories fail loudly.
+func TestRunRollingWALErrors(t *testing.T) {
+	if err := run([]string{"-wal", t.TempDir(), "-methods", "CN"}); err == nil {
+		t.Error("empty wal should fail")
 	}
 }

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ssflp"
+)
+
+// writeTestNet writes a small synthetic network to disk and returns its path.
+func writeTestNet(t *testing.T) string {
+	t.Helper()
+	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// walConfig is the durable test configuration: CN trains in milliseconds.
+func walConfig(file, walDir string) serverConfig {
+	return serverConfig{File: file, Method: "CN", MaxPositives: 20, Seed: 1, WALDir: walDir}
+}
+
+func TestIngestAppliesInMemory(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+	_, before := getJSON(t, h, "/health")
+
+	code, body := postJSON(t, h, "/ingest", `[{"u":"nova1","v":"nova2","ts":99},{"u":"nova1","v":"0"}]`)
+	if code != http.StatusOK {
+		t.Fatalf("ingest status = %d, body %v", code, body)
+	}
+	if body["applied"].(float64) != 2 {
+		t.Errorf("applied = %v", body["applied"])
+	}
+	if body["durable"] != false {
+		t.Errorf("memory-only ingest reported durable: %v", body)
+	}
+	if body["links"].(float64) != before["links"].(float64)+2 {
+		t.Errorf("links %v -> %v, want +2", before["links"], body["links"])
+	}
+	if body["nodes"].(float64) != before["nodes"].(float64)+2 {
+		t.Errorf("nodes %v -> %v, want +2", before["nodes"], body["nodes"])
+	}
+	// The new labels resolve immediately (404 would mean the index is stale);
+	// scoring itself may fail since the predictor trained before they existed.
+	if code, _ := getJSON(t, h, "/score?u=nova1&v=nova2"); code == http.StatusNotFound {
+		t.Error("ingested label not resolvable")
+	}
+	// A single object (not an array) is accepted too.
+	if code, _ := postJSON(t, h, "/ingest", `{"u":"solo1","v":"solo2"}`); code != http.StatusOK {
+		t.Errorf("single-object ingest status = %d", code)
+	}
+}
+
+func TestIngestErrorTaxonomy(t *testing.T) {
+	h := testServer(t).routes()
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", `{nope`, http.StatusBadRequest},
+		{"empty array", `[]`, http.StatusBadRequest},
+		{"empty label", `{"u":"","v":"b"}`, http.StatusUnprocessableEntity},
+		{"self loop", `{"u":"a","v":"a"}`, http.StatusUnprocessableEntity},
+		{"whitespace label", `{"u":"a b","v":"c"}`, http.StatusUnprocessableEntity},
+		{"control label", "{\"u\":\"a\\tb\",\"v\":\"c\"}", http.StatusUnprocessableEntity},
+		{"oversized label", `{"u":"` + strings.Repeat("x", 300) + `","v":"c"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, body := postJSON(t, h, "/ingest", tc.body); code != tc.want {
+				t.Errorf("status = %d, want %d (%v)", code, tc.want, body)
+			}
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i <= ingestRequestLimit; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"u":"a%d","v":"b%d"}`, i, i)
+	}
+	sb.WriteString("]")
+	if code, _ := postJSON(t, h, "/ingest", sb.String()); code != http.StatusBadRequest {
+		t.Errorf("oversized batch status = %d", code)
+	}
+}
+
+// TestIngestDurableAcrossRestart is the end-to-end durability loop: ingest
+// against a WAL-backed server, shut it down cleanly (final snapshot), boot a
+// second server on the same directory and find the edges again.
+func TestIngestDurableAcrossRestart(t *testing.T) {
+	file := writeTestNet(t)
+	walDir := t.TempDir()
+	cfg := walConfig(file, walDir)
+
+	srv1, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := srv1.routes()
+	code, body := postJSON(t, h1, "/ingest", `[{"u":"nova1","v":"nova2","ts":99},{"u":"nova2","v":"0"}]`)
+	if code != http.StatusOK {
+		t.Fatalf("ingest status = %d, body %v", code, body)
+	}
+	if body["durable"] != true || body["lsn"].(float64) != 2 {
+		t.Fatalf("durable ingest response = %v", body)
+	}
+	_, h1Health := getJSON(t, h1, "/health")
+	srv1.close() // writes the final snapshot and closes the log
+
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.close()
+	h2 := srv2.routes()
+	_, h2Health := getJSON(t, h2, "/health")
+	if h2Health["links"].(float64) != h1Health["links"].(float64) {
+		t.Errorf("links after restart = %v, want %v", h2Health["links"], h1Health["links"])
+	}
+	if code, _ := getJSON(t, h2, "/score?u=nova1&v=nova2"); code == http.StatusNotFound {
+		t.Error("ingested label lost across restart")
+	}
+	code, ready := getJSON(t, h2, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+	w, ok := ready["wal"].(map[string]any)
+	if !ok || w["enabled"] != true {
+		t.Fatalf("readyz wal = %v", ready["wal"])
+	}
+	// Clean shutdown snapshotted at LSN 2, so the boot replays no tail.
+	if w["appliedLSN"].(float64) != 2 || w["snapshotLSN"].(float64) != 2 {
+		t.Errorf("readyz wal positions = %v", w)
+	}
+}
+
+// TestIngestRecoveryFromTailOnly simulates a crash before any snapshot: the
+// log is closed directly (bypassing the final snapshot) and the next boot
+// must rebuild by replaying the tail on top of the -file base.
+func TestIngestRecoveryFromTailOnly(t *testing.T) {
+	file := writeTestNet(t)
+	walDir := t.TempDir()
+	cfg := walConfig(file, walDir)
+
+	srv1, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := srv1.routes()
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"u":"crash%d","v":"0","ts":%d}`, i, 50+i)
+		if code, out := postJSON(t, h1, "/ingest", body); code != http.StatusOK {
+			t.Fatalf("ingest %d = %d (%v)", i, code, out)
+		}
+	}
+	if err := srv1.wlog.Close(); err != nil { // crash: no snapshot written
+		t.Fatal(err)
+	}
+
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer srv2.close()
+	_, ready := getJSON(t, srv2.routes(), "/readyz")
+	w := ready["wal"].(map[string]any)
+	if w["snapshotLSN"].(float64) != 0 || w["replayedRecords"].(float64) != 5 || w["appliedLSN"].(float64) != 5 {
+		t.Errorf("tail-only recovery report = %v", w)
+	}
+	if code, _ := getJSON(t, srv2.routes(), "/score?u=crash4&v=0"); code == http.StatusNotFound {
+		t.Error("tail-replayed label not resolvable")
+	}
+}
+
+// TestWriteSnapshotTruncatesLog: an explicit snapshot lets the log drop the
+// sealed segments it covers, and a later boot recovers snapshot + tail.
+func TestWriteSnapshotTruncatesLog(t *testing.T) {
+	file := writeTestNet(t)
+	walDir := t.TempDir()
+	cfg := walConfig(file, walDir)
+	cfg.WALSegmentBytes = 256 // rotate often so truncation has segments to drop
+
+	srv1, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := srv1.routes()
+	for i := 0; i < 30; i++ {
+		body := fmt.Sprintf(`{"u":"seg%d","v":"0","ts":%d}`, i, 60+i)
+		if code, _ := postJSON(t, h1, "/ingest", body); code != http.StatusOK {
+			t.Fatalf("ingest %d failed", i)
+		}
+	}
+	if err := srv1.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot again with nothing new: must be a no-op, not an error.
+	if err := srv1.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// More ingest after the snapshot becomes the tail of the next boot.
+	if code, _ := postJSON(t, h1, "/ingest", `{"u":"tail1","v":"0","ts":99}`); code != http.StatusOK {
+		t.Fatal("post-snapshot ingest failed")
+	}
+	if err := srv1.wlog.Close(); err != nil { // crash without final snapshot
+		t.Fatal(err)
+	}
+
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer srv2.close()
+	_, ready := getJSON(t, srv2.routes(), "/readyz")
+	w := ready["wal"].(map[string]any)
+	if w["snapshotLSN"].(float64) != 30 || w["appliedLSN"].(float64) != 31 || w["replayedRecords"].(float64) != 1 {
+		t.Errorf("snapshot+tail recovery report = %v", w)
+	}
+	if code, _ := getJSON(t, srv2.routes(), "/score?u=tail1&v=seg0"); code == http.StatusNotFound {
+		t.Error("labels lost across snapshot+tail recovery")
+	}
+}
+
+// TestIngestConcurrentWithScoring exercises the read/write lock under -race:
+// ingest mutates the network while scoring requests read it.
+func TestIngestConcurrentWithScoring(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				body := fmt.Sprintf(`{"u":"w%dn%d","v":"0","ts":%d}`, w, i, i)
+				if code, out := postJSON(t, h, "/ingest", body); code != http.StatusOK {
+					t.Errorf("ingest = %d (%v)", code, out)
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				getJSON(t, h, "/score?u=0&v=1")
+				getJSON(t, h, "/health")
+			}
+		}()
+	}
+	wg.Wait()
+	_, body := getJSON(t, h, "/health")
+	if body["links"].(float64) < 80 {
+		t.Errorf("links = %v after 80 concurrent ingests", body["links"])
+	}
+}
+
+// TestLenientLoadServerBoot: a file with junk lines boots the server when
+// LenientLoad is set and fails it otherwise.
+func TestLenientLoadServerBoot(t *testing.T) {
+	clean := writeTestNet(t)
+	data, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := filepath.Join(t.TempDir(), "dirty.txt")
+	if err := os.WriteFile(dirty, append([]byte("a b notatimestamp\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(serverConfig{File: dirty, Method: "CN", MaxPositives: 20}); err == nil {
+		t.Error("strict load accepted a malformed line")
+	}
+	srv, err := newServer(serverConfig{File: dirty, Method: "CN", MaxPositives: 20, LenientLoad: true})
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if code, _ := getJSON(t, srv.routes(), "/health"); code != http.StatusOK {
+		t.Errorf("health = %d", code)
+	}
+}

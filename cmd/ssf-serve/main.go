@@ -2,20 +2,30 @@
 //
 //	ssf-serve -file network.txt -method SSFLR -addr :8080
 //	ssf-serve -file network.txt -model predictor.json -addr :8080
+//	ssf-serve -file network.txt -method CN -wal-dir /var/lib/ssf/wal
 //
 // Endpoints:
 //
 //	GET /health               -> {"status":"ok", ...} (legacy aggregate)
 //	GET /livez                -> liveness probe (process is up)
-//	GET /readyz               -> readiness probe (503 while draining)
+//	GET /readyz               -> readiness probe (503 while draining; WAL
+//	                             recovery report when durability is on)
 //	GET /score?u=<l>&v=<l>    -> score + predicted flag for one pair (labels)
 //	GET /top?n=10             -> the n highest-scoring absent links
 //	POST /batch               -> scores for a JSON array of pairs
+//	POST /ingest              -> append edge arrivals to the live network
 //
-// Scoring endpoints run behind a resilience chain: per-endpoint deadlines
-// (504 on expiry), bounded in-flight admission control (429 + Retry-After
-// when saturated) and panic recovery (500, process stays up). Probe
-// endpoints bypass admission control so health checks answer under load.
+// Scoring and ingest endpoints run behind a resilience chain: per-endpoint
+// deadlines (504 on expiry), bounded in-flight admission control (429 +
+// Retry-After when saturated) and panic recovery (500, process stays up).
+// Probe endpoints bypass admission control so health checks answer under
+// load.
+//
+// With -wal-dir, ingested edges are appended to a write-ahead log before
+// they touch the in-memory network, periodic checksummed snapshots bound
+// recovery time, and a restart rebuilds the served graph from the newest
+// valid snapshot plus the log tail. Without it, /ingest still works but the
+// edges die with the process.
 //
 // With -model the predictor is loaded from a snapshot produced by
 // Predictor.Save; otherwise it is trained at startup.
@@ -35,6 +45,8 @@ import (
 	"time"
 
 	"ssflp"
+	"ssflp/internal/graph"
+	"ssflp/internal/wal"
 )
 
 func main() {
@@ -47,22 +59,30 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ssf-serve", flag.ContinueOnError)
 	var (
-		file   = fs.String("file", "", "edge-list file (required)")
-		method = fs.String("method", "SSFLR", "prediction method (when training at startup)")
-		model  = fs.String("model", "", "predictor snapshot from Predictor.Save (skips training)")
-		addr   = fs.String("addr", ":8080", "listen address")
-		k      = fs.Int("k", 10, "structure subgraph size K")
-		epochs = fs.Int("epochs", 200, "neural machine epochs")
-		seed   = fs.Int64("seed", 1, "random seed")
-		maxPos = fs.Int("maxpos", 500, "cap on training positives (0 = all)")
+		file    = fs.String("file", "", "edge-list file (required)")
+		method  = fs.String("method", "SSFLR", "prediction method (when training at startup)")
+		model   = fs.String("model", "", "predictor snapshot from Predictor.Save (skips training)")
+		addr    = fs.String("addr", ":8080", "listen address")
+		k       = fs.Int("k", 10, "structure subgraph size K")
+		epochs  = fs.Int("epochs", 200, "neural machine epochs")
+		seed    = fs.Int64("seed", 1, "random seed")
+		maxPos  = fs.Int("maxpos", 500, "cap on training positives (0 = all)")
+		lenient = fs.Bool("lenient-load", false, "skip malformed edge-list lines instead of failing startup")
 
-		scoreTimeout = fs.Duration("score-timeout", 5*time.Second, "GET /score deadline (504 on expiry)")
-		topTimeout   = fs.Duration("top-timeout", 30*time.Second, "GET /top deadline (504 on expiry)")
-		batchTimeout = fs.Duration("batch-timeout", 30*time.Second, "POST /batch deadline (504 on expiry)")
-		maxInFlight  = fs.Int("max-inflight", 16, "concurrent scoring requests before queueing")
-		maxQueue     = fs.Int("max-queue", 32, "queued scoring requests before 429")
-		queueWait    = fs.Duration("queue-wait", time.Second, "max time a request queues for a slot before 429")
-		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
+		scoreTimeout  = fs.Duration("score-timeout", 5*time.Second, "GET /score deadline (504 on expiry)")
+		topTimeout    = fs.Duration("top-timeout", 30*time.Second, "GET /top deadline (504 on expiry)")
+		batchTimeout  = fs.Duration("batch-timeout", 30*time.Second, "POST /batch deadline (504 on expiry)")
+		ingestTimeout = fs.Duration("ingest-timeout", 5*time.Second, "POST /ingest deadline (504 on expiry)")
+		maxInFlight   = fs.Int("max-inflight", 16, "concurrent scoring requests before queueing")
+		maxQueue      = fs.Int("max-queue", 32, "queued scoring requests before 429")
+		queueWait     = fs.Duration("queue-wait", time.Second, "max time a request queues for a slot before 429")
+		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
+
+		walDir       = fs.String("wal-dir", "", "write-ahead log directory; enables durable /ingest (empty = memory-only)")
+		walSync      = fs.String("wal-fsync", "always", "WAL fsync policy: always | interval | off")
+		walSyncEvery = fs.Duration("wal-fsync-interval", 200*time.Millisecond, "background fsync period for -wal-fsync=interval")
+		walSegBytes  = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
+		snapEvery    = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (0 disables; needs -wal-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,15 +93,19 @@ func run(args []string) error {
 	srv, err := newServer(serverConfig{
 		File: *file, Method: *method, Model: *model,
 		K: *k, Epochs: *epochs, Seed: *seed, MaxPositives: *maxPos,
+		LenientLoad: *lenient,
+		WALDir:      *walDir, WALSync: *walSync, WALSyncEvery: *walSyncEvery,
+		WALSegmentBytes: *walSegBytes,
 		Limits: limitsConfig{
 			ScoreTimeout: *scoreTimeout, TopTimeout: *topTimeout,
-			BatchTimeout: *batchTimeout, MaxInFlight: *maxInFlight,
-			MaxQueue: *maxQueue, QueueWait: *queueWait,
+			BatchTimeout: *batchTimeout, IngestTimeout: *ingestTimeout,
+			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, QueueWait: *queueWait,
 		},
 	})
 	if err != nil {
 		return err
 	}
+	defer srv.close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -93,9 +117,30 @@ func run(args []string) error {
 	// Graceful shutdown on SIGINT/SIGTERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if srv.wlog != nil && *snapEvery > 0 {
+		go snapshotLoop(ctx, srv, *snapEvery)
+	}
+	stats := srv.b.Graph().Statistics()
 	log.Printf("ssf-serve: %s predictor on %s (%d nodes, %d links)",
-		srv.predictor.Method(), ln.Addr(), srv.graph.NumNodes(), srv.graph.NumEdges())
+		srv.predictor.Method(), ln.Addr(), stats.NumNodes, stats.NumEdges)
 	return serve(ctx, httpSrv, ln, *drainTimeout, func() { srv.setReady(false) })
+}
+
+// snapshotLoop periodically persists the served network so restart recovery
+// replays only the log tail written since the newest snapshot.
+func snapshotLoop(ctx context.Context, srv *server, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := srv.writeSnapshot(); err != nil {
+				log.Printf("ssf-serve: periodic snapshot: %v", err)
+			}
+		}
+	}
 }
 
 // serve runs httpSrv on ln until ctx is cancelled (SIGINT/SIGTERM in
@@ -131,47 +176,111 @@ type serverConfig struct {
 	K, Epochs           int
 	Seed                int64
 	MaxPositives        int
+	LenientLoad         bool
+	WALDir              string
+	WALSync             string // "always" | "interval" | "off" ("" = always)
+	WALSyncEvery        time.Duration
+	WALSegmentBytes     int64
 	Limits              limitsConfig
 }
 
-// newServer loads the network and obtains a predictor per the config.
-func newServer(cfg serverConfig) (*server, error) {
-	g, labels, err := ssflp.LoadEdgeListFile(cfg.File)
-	if err != nil {
-		return nil, err
+// walSyncPolicy parses the -wal-fsync flag value.
+func walSyncPolicy(name string) (wal.SyncPolicy, error) {
+	switch name {
+	case "", "always":
+		return wal.SyncAlways, nil
+	case "interval":
+		return wal.SyncInterval, nil
+	case "off":
+		return wal.SyncOff, nil
 	}
+	return 0, fmt.Errorf("unknown -wal-fsync policy %q (want always, interval or off)", name)
+}
+
+// newServer recovers (or loads) the network and obtains a predictor per the
+// config. With a WAL directory the served graph is the newest valid snapshot
+// plus the log tail; the -file network is only the base for a log that has
+// no snapshot yet.
+func newServer(cfg serverConfig) (*server, error) {
+	base := func() (*graph.Builder, error) {
+		res, err := graph.LoadEdgeListFileOpts(cfg.File, graph.LoadOptions{Lenient: cfg.LenientLoad})
+		if err != nil {
+			return nil, err
+		}
+		if res.Malformed > 0 {
+			log.Printf("ssf-serve: skipped %d malformed lines in %s", res.Malformed, cfg.File)
+		}
+		return res.Builder()
+	}
+	var (
+		b         *graph.Builder
+		wlog      *wal.Log
+		recovered *wal.RecoveredState
+	)
+	if cfg.WALDir != "" {
+		pol, err := walSyncPolicy(cfg.WALSync)
+		if err != nil {
+			return nil, err
+		}
+		wlog, recovered, err = wal.Recover(cfg.WALDir, wal.Options{
+			SegmentBytes: cfg.WALSegmentBytes,
+			Sync:         pol,
+			SyncEvery:    cfg.WALSyncEvery,
+			Logf:         log.Printf,
+		}, base)
+		if err != nil {
+			return nil, fmt.Errorf("wal recovery: %w", err)
+		}
+		b = recovered.Builder
+	} else {
+		var err error
+		if b, err = base(); err != nil {
+			return nil, err
+		}
+	}
+	closeOnErr := func() {
+		if wlog != nil {
+			wlog.Close()
+		}
+	}
+	g := b.Graph()
 	var pred *ssflp.Predictor
+	var err error
 	if cfg.Model != "" {
 		pred, err = ssflp.LoadPredictorFile(cfg.Model, g)
 		if err != nil {
+			closeOnErr()
 			return nil, fmt.Errorf("load model: %w", err)
 		}
 	} else {
 		m, ok := methodsByName[cfg.Method]
 		if !ok {
+			closeOnErr()
 			return nil, fmt.Errorf("unknown method %q", cfg.Method)
 		}
 		pred, err = ssflp.Train(g, m, ssflp.TrainOptions{
 			K: cfg.K, Epochs: cfg.Epochs, Seed: cfg.Seed, MaxPositives: cfg.MaxPositives,
 		})
 		if err != nil {
+			closeOnErr()
 			return nil, fmt.Errorf("train: %w", err)
 		}
 	}
 	limits := cfg.Limits.withDefaults()
-	index := make(map[string]ssflp.NodeID, len(labels))
-	for i, l := range labels {
-		index[l] = ssflp.NodeID(i)
-	}
 	s := &server{
-		graph:      g,
-		labels:     labels,
-		index:      index,
+		b:          b,
 		predictor:  pred,
 		started:    time.Now(),
 		limits:     limits,
 		limiter:    newLimiter(limits),
+		wlog:       wlog,
+		walDir:     cfg.WALDir,
+		recovered:  recovered,
 		scoreBatch: pred.ScoreBatchCtx,
+	}
+	if recovered != nil {
+		s.appliedLSN = recovered.AppliedLSN
+		s.lastSnapLSN = recovered.SnapshotLSN
 	}
 	s.setReady(true)
 	return s, nil

@@ -6,28 +6,43 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+	"unicode"
 
 	"ssflp"
+	"ssflp/internal/graph"
 	"ssflp/internal/resilience"
+	"ssflp/internal/wal"
 )
 
-// server holds the immutable serving state: the network snapshot, its label
-// dictionary and the trained predictor. All handlers are read-only, so no
-// locking is needed.
+// server holds the serving state. Since live ingestion landed, the network
+// is no longer immutable: s.mu guards the builder (graph + labels + label
+// index) and the WAL position it reflects — scoring handlers hold the read
+// lock, POST /ingest holds the write lock. The predictor itself is trained
+// once at boot and never swapped (its feature extractors read the live graph
+// through the same lock).
 type server struct {
-	graph     *ssflp.Graph
-	labels    []string
-	index     map[string]ssflp.NodeID // label -> id, built once at construction
+	mu          sync.RWMutex
+	b           *graph.Builder // graph + label dictionary, mutated by /ingest
+	appliedLSN  wal.LSN        // last WAL position reflected in the graph
+	snapMu      sync.Mutex     // serializes snapshot writers
+	lastSnapLSN wal.LSN        // newest snapshot position (guarded by snapMu)
+
 	predictor *ssflp.Predictor
 	started   time.Time
 	ready     atomic.Bool // flipped off when shutdown begins (readiness)
 	limits    limitsConfig
 	limiter   *resilience.Limiter
+	wlog      *wal.Log // nil = no -wal-dir: ingest is memory-only
+	walDir    string
+	recovered *wal.RecoveredState // boot recovery report; nil when WAL disabled
 
 	// scoreBatch is the scoring entry point for /top and /batch. It defaults
 	// to predictor.ScoreBatchCtx and is the seam where tests inject latency
@@ -37,12 +52,13 @@ type server struct {
 
 // limitsConfig carries the per-endpoint resilience knobs from the flags.
 type limitsConfig struct {
-	ScoreTimeout time.Duration // GET /score deadline
-	TopTimeout   time.Duration // GET /top deadline
-	BatchTimeout time.Duration // POST /batch deadline
-	MaxInFlight  int           // concurrent scoring requests
-	MaxQueue     int           // waiters beyond that before 429
-	QueueWait    time.Duration // how long a waiter queues before 429
+	ScoreTimeout  time.Duration // GET /score deadline
+	TopTimeout    time.Duration // GET /top deadline
+	BatchTimeout  time.Duration // POST /batch deadline
+	IngestTimeout time.Duration // POST /ingest deadline
+	MaxInFlight   int           // concurrent scoring requests
+	MaxQueue      int           // waiters beyond that before 429
+	QueueWait     time.Duration // how long a waiter queues before 429
 }
 
 // newLimiter builds the admission controller from the limits config.
@@ -62,6 +78,9 @@ func (c limitsConfig) withDefaults() limitsConfig {
 	if c.BatchTimeout == 0 {
 		c.BatchTimeout = 30 * time.Second
 	}
+	if c.IngestTimeout == 0 {
+		c.IngestTimeout = 5 * time.Second
+	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 16
 	}
@@ -74,9 +93,9 @@ func (c limitsConfig) withDefaults() limitsConfig {
 	return c
 }
 
-// routes builds the HTTP mux. Scoring endpoints are wrapped in the
-// resilience chain — panic recovery outermost, then admission control, then
-// the per-endpoint deadline. Liveness and readiness are exempt from
+// routes builds the HTTP mux. Scoring and ingest endpoints are wrapped in
+// the resilience chain — panic recovery outermost, then admission control,
+// then the per-endpoint deadline. Liveness and readiness are exempt from
 // admission control so health checks keep answering under saturation; they
 // still get panic recovery.
 func (s *server) routes() http.Handler {
@@ -95,6 +114,7 @@ func (s *server) routes() http.Handler {
 	mux.Handle("GET /score", guarded(s.handleScore, s.limits.ScoreTimeout))
 	mux.Handle("GET /top", guarded(s.handleTop, s.limits.TopTimeout))
 	mux.Handle("POST /batch", guarded(s.handleBatch, s.limits.BatchTimeout))
+	mux.Handle("POST /ingest", guarded(s.handleIngest, s.limits.IngestTimeout))
 	return mux
 }
 
@@ -129,7 +149,9 @@ func scoreError(w http.ResponseWriter, err error) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	stats := s.graph.Statistics()
+	s.mu.RLock()
+	stats := s.b.Graph().Statistics()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"ready":         s.ready.Load(),
@@ -148,24 +170,46 @@ func (s *server) handleLivez(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is the readiness probe: 200 while accepting traffic, 503 once
 // shutdown has begun so load balancers stop routing here during the drain.
+// When the durability layer is on, the payload also reports how the boot
+// recovered (snapshot position, tail replay, repaired damage) and the WAL
+// position the served graph reflects.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		errorJSON(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	out := map[string]any{"status": "ready"}
+	if s.wlog == nil {
+		out["wal"] = map[string]any{"enabled": false}
+	} else {
+		s.mu.RLock()
+		applied := s.appliedLSN
+		s.mu.RUnlock()
+		rec := s.recovered
+		out["wal"] = map[string]any{
+			"enabled":             true,
+			"appliedLSN":          applied,
+			"snapshotLSN":         rec.SnapshotLSN,
+			"replayedRecords":     rec.Replayed,
+			"recoveredRecords":    rec.Log.Records,
+			"truncatedTail":       rec.Log.TruncatedTail,
+			"droppedBytes":        rec.Log.DroppedBytes,
+			"quarantinedSegments": rec.Log.Quarantined,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // setReady flips the readiness probe (used when shutdown begins).
 func (s *server) setReady(ok bool) { s.ready.Store(ok) }
 
-// lookup resolves a node label (or numeric id) to its NodeID via the index
-// built at construction — O(1) per token instead of a linear label scan.
-func (s *server) lookup(tok string) (ssflp.NodeID, bool) {
-	if id, ok := s.index[tok]; ok {
+// lookupLocked resolves a node label (or numeric id) to its NodeID via the
+// builder's index — O(1) per token. Callers must hold s.mu (read or write).
+func (s *server) lookupLocked(tok string) (ssflp.NodeID, bool) {
+	if id, ok := s.b.Lookup(tok); ok {
 		return id, true
 	}
-	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < s.graph.NumNodes() {
+	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < s.b.Graph().NumNodes() {
 		return ssflp.NodeID(id), true
 	}
 	return 0, false
@@ -177,12 +221,14 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "u and v query parameters are required")
 		return
 	}
-	u, ok := s.lookup(uTok)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.lookupLocked(uTok)
 	if !ok {
 		errorJSON(w, http.StatusNotFound, "unknown node "+uTok)
 		return
 	}
-	v, ok := s.lookup(vTok)
+	v, ok := s.lookupLocked(vTok)
 	if !ok {
 		errorJSON(w, http.StatusNotFound, "unknown node "+vTok)
 		return
@@ -258,8 +304,11 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		n = parsed
 	}
 	ctx := r.Context()
-	view := s.graph.Static()
-	nodes := s.graph.NumNodes()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.b.Graph()
+	view := g.Static()
+	nodes := g.NumNodes()
 	total := nodes * (nodes - 1) / 2
 	stride := 1
 	if total > topCandidateLimit {
@@ -296,7 +345,7 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	best := topN(scored, n)
 	cands := make([]cand, len(best))
 	for i, sp := range best {
-		cands[i] = cand{U: s.labelOf(int(sp.U)), V: s.labelOf(int(sp.V)), Score: sp.Score}
+		cands[i] = cand{U: s.labelOfLocked(int(sp.U)), V: s.labelOfLocked(int(sp.V)), Score: sp.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"candidates": cands,
@@ -322,14 +371,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch size must be in [1, %d]", batchRequestLimit))
 		return
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	pairs := make([][2]ssflp.NodeID, len(req))
 	for i, p := range req {
-		u, ok := s.lookup(p.U)
+		u, ok := s.lookupLocked(p.U)
 		if !ok {
 			errorJSON(w, http.StatusNotFound, "unknown node "+p.U)
 			return
 		}
-		v, ok := s.lookup(p.V)
+		v, ok := s.lookupLocked(p.V)
 		if !ok {
 			errorJSON(w, http.StatusNotFound, "unknown node "+p.V)
 			return
@@ -353,9 +404,174 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
 }
 
-func (s *server) labelOf(id int) string {
-	if id < len(s.labels) {
-		return s.labels[id]
+// ingestRequestLimit bounds one POST /ingest payload, and maxLabelBytes one
+// node label. Labels are plain tokens (the edge-list alphabet): whitespace
+// and control characters are rejected so every label stays representable in
+// logs, query parameters and exports.
+const (
+	ingestRequestLimit = 1000
+	maxLabelBytes      = 256
+)
+
+// ingestEdge is one edge arrival in a POST /ingest payload. Ts is a pointer
+// so "omitted" is distinguishable from an explicit 0: omitted timestamps
+// default to the network's current maximum (the edge arrives "now").
+type ingestEdge struct {
+	U  string `json:"u"`
+	V  string `json:"v"`
+	Ts *int64 `json:"ts"`
+}
+
+// validateIngestEdge enforces the /ingest error taxonomy's 422 class: label
+// hygiene and the no-self-loop rule, checked before anything touches the WAL
+// so a rejected edge is never logged.
+func validateIngestEdge(e ingestEdge) error {
+	for _, lab := range []string{e.U, e.V} {
+		switch {
+		case lab == "":
+			return errors.New("node label must be non-empty")
+		case len(lab) > maxLabelBytes:
+			return fmt.Errorf("node label exceeds %d bytes", maxLabelBytes)
+		case strings.ContainsFunc(lab, func(r rune) bool { return unicode.IsSpace(r) || unicode.IsControl(r) }):
+			return fmt.Errorf("node label %q contains whitespace or control characters", lab)
+		}
+	}
+	if e.U == e.V {
+		return fmt.Errorf("self loop %q-%q not allowed", e.U, e.V)
+	}
+	return nil
+}
+
+// handleIngest appends edge arrivals to the write-ahead log and then applies
+// them to the in-memory network — WAL first, so an edge acknowledged as
+// durable is never lost to a crash. The body is either one edge object or an
+// array of them. Error taxonomy: 400 malformed request (bad JSON, empty or
+// oversized batch), 422 invalid edge (bad label, self loop), 500 WAL append
+// failure (nothing applied), 200 with {"applied", "durable", "lsn"} on
+// success. Without -wal-dir the edges still apply, flagged "durable": false.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var edges []ingestEdge
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "[") {
+		err = json.Unmarshal(body, &edges)
+	} else {
+		var one ingestEdge
+		if err = json.Unmarshal(body, &one); err == nil {
+			edges = []ingestEdge{one}
+		}
+	}
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(edges) == 0 || len(edges) > ingestRequestLimit {
+		errorJSON(w, http.StatusBadRequest,
+			fmt.Sprintf("ingest batch size must be in [1, %d]", ingestRequestLimit))
+		return
+	}
+	for _, e := range edges {
+		if err := validateIngestEdge(e); err != nil {
+			errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// An omitted timestamp means "now": the latest time the network knows.
+	nowTs := int64(s.b.Graph().MaxTimestamp())
+	events := make([]wal.Event, len(edges))
+	for i, e := range edges {
+		ts := nowTs
+		if e.Ts != nil {
+			ts = *e.Ts
+		}
+		events[i] = wal.Event{U: e.U, V: e.V, Ts: ts}
+	}
+	out := map[string]any{"applied": len(events), "durable": s.wlog != nil}
+	if s.wlog != nil {
+		lsn, err := s.wlog.AppendBatch(events)
+		if err != nil {
+			// Durability cannot be guaranteed, so nothing is applied: the
+			// graph never runs ahead of the log.
+			log.Printf("ssf-serve: wal append: %v", err)
+			errorJSON(w, http.StatusInternalServerError, "write-ahead log append failed")
+			return
+		}
+		s.appliedLSN = lsn
+		out["lsn"] = lsn
+	}
+	for _, ev := range events {
+		if err := s.b.AddEdge(ev.U, ev.V, ssflp.Timestamp(ev.Ts)); err != nil {
+			// Unreachable after validation; if it ever fires the durable log
+			// is still correct and a restart reconverges.
+			log.Printf("ssf-serve: apply ingested edge: %v", err)
+			errorJSON(w, http.StatusInternalServerError, "apply ingested edge failed")
+			return
+		}
+	}
+	stats := s.b.Graph().Statistics()
+	out["nodes"], out["links"] = stats.NumNodes, stats.NumEdges
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeSnapshot persists a consistent, checksummed snapshot of the served
+// network and reclaims the log segments it covers. It is a no-op without a
+// WAL or when no record has been applied since the last snapshot. Safe for
+// concurrent use; state is cloned under the read lock so ingest is only
+// briefly blocked.
+func (s *server) writeSnapshot() error {
+	if s.wlog == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.mu.RLock()
+	lsn := s.appliedLSN
+	if lsn == 0 || lsn == s.lastSnapLSN {
+		s.mu.RUnlock()
+		return nil
+	}
+	snap := &wal.Snapshot{
+		LSN:    lsn,
+		Labels: append([]string(nil), s.b.Labels()...),
+		Graph:  s.b.Graph().Clone(),
+	}
+	s.mu.RUnlock()
+	if _, err := s.wlog.TruncateBefore(0); err != nil { // cheap closed-log probe
+		return err
+	}
+	if _, err := wal.WriteSnapshot(s.walDir, snap); err != nil {
+		return err
+	}
+	s.lastSnapLSN = lsn
+	_, err := s.wlog.TruncateBefore(lsn + 1)
+	return err
+}
+
+// close flushes a final snapshot and closes the WAL; called once serving has
+// stopped.
+func (s *server) close() {
+	if s.wlog == nil {
+		return
+	}
+	if err := s.writeSnapshot(); err != nil {
+		log.Printf("ssf-serve: final snapshot: %v", err)
+	}
+	if err := s.wlog.Close(); err != nil {
+		log.Printf("ssf-serve: close wal: %v", err)
+	}
+}
+
+// labelOfLocked resolves a node id to its label; callers hold s.mu.
+func (s *server) labelOfLocked(id int) string {
+	labels := s.b.Labels()
+	if id < len(labels) {
+		return labels[id]
 	}
 	return strconv.Itoa(id)
 }

@@ -1,0 +1,77 @@
+package graph
+
+import "fmt"
+
+// Builder incrementally assembles a labeled dynamic graph from a stream of
+// (srcLabel, dstLabel, timestamp) events, interning label tokens to dense
+// NodeIDs in first-seen order. It is the shared substrate of the edge-list
+// parser, WAL recovery and live ingestion: because interning order is purely
+// a function of the event stream, a graph recovered from a snapshot plus an
+// event tail assigns exactly the same ids as one built from the full stream.
+// Builder is not safe for concurrent use; callers serialize access.
+type Builder struct {
+	g      *Graph
+	labels []string
+	index  map[string]NodeID
+}
+
+// NewBuilder returns a Builder over a fresh empty graph.
+func NewBuilder() *Builder {
+	return &Builder{g: New(0), index: make(map[string]NodeID)}
+}
+
+// ResumeBuilder wraps an existing graph and its label dictionary (e.g. a
+// recovered snapshot) so new events continue interning where the original
+// stream left off. The graph must have exactly one node per label, in label
+// order, and labels must be distinct.
+func ResumeBuilder(g *Graph, labels []string) (*Builder, error) {
+	if g == nil {
+		g = New(len(labels))
+	}
+	if g.NumNodes() != len(labels) {
+		return nil, fmt.Errorf("graph: resume builder: %d nodes but %d labels", g.NumNodes(), len(labels))
+	}
+	index := make(map[string]NodeID, len(labels))
+	for i, l := range labels {
+		if _, dup := index[l]; dup {
+			return nil, fmt.Errorf("graph: resume builder: duplicate label %q", l)
+		}
+		index[l] = NodeID(i)
+	}
+	return &Builder{g: g, labels: append([]string(nil), labels...), index: index}, nil
+}
+
+// Intern returns the node id for label, adding a fresh isolated node when the
+// label has not been seen before.
+func (b *Builder) Intern(label string) NodeID {
+	if id, ok := b.index[label]; ok {
+		return id
+	}
+	id := b.g.AddNode()
+	b.index[label] = id
+	b.labels = append(b.labels, label)
+	return id
+}
+
+// AddEdge interns both endpoint labels and inserts the timestamped link.
+// Both labels are interned even when the edge itself is rejected as a self
+// loop, mirroring how the edge-list parser treats tokens.
+func (b *Builder) AddEdge(uLabel, vLabel string, ts Timestamp) error {
+	u := b.Intern(uLabel)
+	v := b.Intern(vLabel)
+	return b.g.AddEdge(u, v, ts)
+}
+
+// Graph returns the graph under construction. The builder keeps mutating the
+// same object on later AddEdge calls.
+func (b *Builder) Graph() *Graph { return b.g }
+
+// Labels returns the id -> label dictionary. The slice is shared with the
+// builder; treat it as read-only.
+func (b *Builder) Labels() []string { return b.labels }
+
+// Lookup resolves a label to its node id in O(1).
+func (b *Builder) Lookup(label string) (NodeID, bool) {
+	id, ok := b.index[label]
+	return id, ok
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBuilderInternsFirstSeen(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddEdge("x", "y", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge("y", "z", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Labels(); len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Errorf("labels = %v", got)
+	}
+	if id, ok := b.Lookup("z"); !ok || id != 2 {
+		t.Errorf("Lookup(z) = %d, %v", id, ok)
+	}
+	if _, ok := b.Lookup("w"); ok {
+		t.Error("Lookup(w) found a missing label")
+	}
+	if b.Graph().NumEdges() != 2 {
+		t.Errorf("edges = %d", b.Graph().NumEdges())
+	}
+}
+
+func TestBuilderSelfLoopStillInterns(t *testing.T) {
+	b := NewBuilder()
+	err := b.AddEdge("solo", "solo", 1)
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+	if b.Graph().NumNodes() != 1 {
+		t.Errorf("nodes = %d, want 1 (label interned despite rejection)", b.Graph().NumNodes())
+	}
+	if b.Graph().NumEdges() != 0 {
+		t.Errorf("edges = %d, want 0", b.Graph().NumEdges())
+	}
+}
+
+func TestResumeBuilderContinuesInterning(t *testing.T) {
+	// Build a base stream, resume from its state, and check the continuation
+	// assigns the same ids as building the whole stream at once.
+	full := NewBuilder()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		if err := full.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base := NewBuilder()
+	if err := base.AddEdge("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeBuilder(base.Graph().Clone(), base.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]string{{"b", "c"}, {"c", "d"}} {
+		if err := resumed.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, label := range []string{"a", "b", "c", "d"} {
+		want, _ := full.Lookup(label)
+		got, ok := resumed.Lookup(label)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q) = %d, want %d", label, got, want)
+		}
+	}
+}
+
+func TestResumeBuilderRejectsInconsistentState(t *testing.T) {
+	g := New(0)
+	g.EnsureNodes(2)
+	if _, err := ResumeBuilder(g, []string{"only-one"}); err == nil {
+		t.Error("node/label count mismatch accepted")
+	}
+	g1 := New(0)
+	g1.EnsureNodes(2)
+	if _, err := ResumeBuilder(g1, []string{"dup", "dup"}); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	b, err := ResumeBuilder(nil, nil)
+	if err != nil {
+		t.Fatalf("nil graph: %v", err)
+	}
+	if err := b.AddEdge("p", "q", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadResultBuilderSharesState(t *testing.T) {
+	res, err := LoadEdgeList(strings.NewReader("a b 1\nb c 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge("c", "d", 3); err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() != 3 {
+		t.Errorf("edges after continued build = %d, want 3", res.Graph.NumEdges())
+	}
+	if id := res.Lookup("d"); id != 3 {
+		t.Errorf("Lookup(d) through result = %d, want 3", id)
+	}
+}
+
+func TestLoadResultLookupWithoutBuilder(t *testing.T) {
+	// Hand-assembled results (no parser index) fall back to the linear scan.
+	res := &LoadResult{Labels: []string{"u", "v"}}
+	if id := res.Lookup("v"); id != 1 {
+		t.Errorf("fallback Lookup = %d, want 1", id)
+	}
+	if id := res.Lookup("w"); id != -1 {
+		t.Errorf("fallback Lookup(miss) = %d, want -1", id)
+	}
+	if _, err := res.Builder(); err == nil {
+		t.Error("Builder() on label/graph mismatch should fail")
+	}
+}
+
+func TestLoadEdgeListLenient(t *testing.T) {
+	in := "a b 1\nloner\nb c notanint\nc d 4\n"
+	if _, err := LoadEdgeList(strings.NewReader(in)); err == nil {
+		t.Fatal("strict mode accepted malformed input")
+	}
+	res, err := LoadEdgeListOpts(strings.NewReader(in), LoadOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient parse: %v", err)
+	}
+	if res.Malformed != 2 {
+		t.Errorf("malformed = %d, want 2", res.Malformed)
+	}
+	if res.Graph.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", res.Graph.NumEdges())
+	}
+	// Tokens on skipped lines must not have been interned.
+	if id := res.Lookup("loner"); id != -1 {
+		t.Errorf("skipped token interned: id %d", id)
+	}
+}

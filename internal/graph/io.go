@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -16,16 +17,51 @@ type LoadResult struct {
 	Labels    []string
 	SelfLoops int // self loops encountered and skipped
 	Comments  int // comment/blank lines skipped
+	Malformed int // malformed lines skipped (lenient mode only)
+
+	builder *Builder // interner used during parsing; carries the label index
 }
 
-// Lookup returns the node id of an original label token, or -1.
+// LoadOptions configures edge-list parsing.
+type LoadOptions struct {
+	// Lenient makes malformed lines (fewer than two fields, unparseable
+	// timestamp) count into LoadResult.Malformed and be skipped, instead of
+	// aborting the whole parse. Real-world multi-million-line dumps routinely
+	// contain a handful of mangled lines; lenient mode trades all-or-nothing
+	// semantics for a tally the caller can inspect and alert on. Structural
+	// errors that leave the reader unusable (scanner failures, oversized
+	// lines) still abort.
+	Lenient bool
+}
+
+// Lookup returns the node id of an original label token, or -1. Results
+// produced by the parser carry the label -> id map built during interning,
+// so the common case is O(1); hand-assembled LoadResults fall back to a
+// linear scan of Labels.
 func (r *LoadResult) Lookup(label string) NodeID {
+	if r.builder != nil {
+		if id, ok := r.builder.Lookup(label); ok {
+			return id
+		}
+		return -1
+	}
 	for i, l := range r.Labels {
 		if l == label {
 			return NodeID(i)
 		}
 	}
 	return -1
+}
+
+// Builder returns an interner that continues where the parse left off,
+// sharing the result's graph and label dictionary — the hook live ingestion
+// uses to append post-boot edges with consistent ids. For hand-assembled
+// results a builder is reconstructed from Graph and Labels.
+func (r *LoadResult) Builder() (*Builder, error) {
+	if r.builder != nil {
+		return r.builder, nil
+	}
+	return ResumeBuilder(r.Graph, r.Labels)
 }
 
 // LoadEdgeList parses a whitespace-separated edge list of the form
@@ -36,19 +72,17 @@ func (r *LoadResult) Lookup(label string) NodeID {
 // order) and the optional timestamp is an integer (default 0). Lines starting
 // with '#' or '%' and blank lines are skipped; self loops are counted and
 // dropped. This is the format the paper's KONECT/SNAP datasets ship in, so
-// the real data can be substituted for the synthetic generators.
+// the real data can be substituted for the synthetic generators. Parsing is
+// strict: the first malformed line aborts. See LoadEdgeListOpts for the
+// lenient variant.
 func LoadEdgeList(r io.Reader) (*LoadResult, error) {
-	res := &LoadResult{Graph: New(0)}
-	ids := make(map[string]NodeID)
-	intern := func(tok string) NodeID {
-		if id, ok := ids[tok]; ok {
-			return id
-		}
-		id := res.Graph.AddNode()
-		ids[tok] = id
-		res.Labels = append(res.Labels, tok)
-		return id
-	}
+	return LoadEdgeListOpts(r, LoadOptions{})
+}
+
+// LoadEdgeListOpts is LoadEdgeList with explicit parse options.
+func LoadEdgeListOpts(r io.Reader, opts LoadOptions) (*LoadResult, error) {
+	b := NewBuilder()
+	res := &LoadResult{builder: b}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -61,40 +95,53 @@ func LoadEdgeList(r io.Reader) (*LoadResult, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
+			if opts.Lenient {
+				res.Malformed++
+				continue
+			}
 			return nil, fmt.Errorf("graph: line %d: expected at least 2 fields, got %d", lineNo, len(fields))
 		}
-		u := intern(fields[0])
-		v := intern(fields[1])
 		var ts Timestamp
 		if len(fields) >= 3 {
 			t, err := strconv.ParseInt(fields[2], 10, 64)
 			if err != nil {
+				if opts.Lenient {
+					res.Malformed++
+					continue
+				}
 				return nil, fmt.Errorf("graph: line %d: bad timestamp %q: %w", lineNo, fields[2], err)
 			}
 			ts = Timestamp(t)
 		}
-		if u == v {
-			res.SelfLoops++
-			continue
-		}
-		if err := res.Graph.AddEdge(u, v, ts); err != nil {
+		if err := b.AddEdge(fields[0], fields[1], ts); err != nil {
+			if errors.Is(err, ErrSelfLoop) {
+				res.SelfLoops++
+				continue
+			}
 			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: scan edge list: %w", err)
 	}
+	res.Graph = b.Graph()
+	res.Labels = b.Labels()
 	return res, nil
 }
 
 // LoadEdgeListFile opens path and parses it with LoadEdgeList.
 func LoadEdgeListFile(path string) (*LoadResult, error) {
+	return LoadEdgeListFileOpts(path, LoadOptions{})
+}
+
+// LoadEdgeListFileOpts opens path and parses it with LoadEdgeListOpts.
+func LoadEdgeListFileOpts(path string, opts LoadOptions) (*LoadResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: open %q: %w", path, err)
 	}
 	defer f.Close()
-	return LoadEdgeList(f)
+	return LoadEdgeListOpts(f, opts)
 }
 
 // WriteEdgeList writes the graph in the "<u> <v> <ts>" format accepted by

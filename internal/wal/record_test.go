@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	events := []Event{
+		{U: "a", V: "b", Ts: 1},
+		{U: "", V: "", Ts: 0},
+		{U: "alice", V: "bob", Ts: -42},
+		{U: "Ünïcödé", V: "ノード", Ts: 1 << 60},
+		{U: strings.Repeat("x", 1000), V: "y", Ts: -(1 << 60)},
+	}
+	var buf []byte
+	for _, ev := range events {
+		start := len(buf)
+		buf = AppendRecord(buf, ev)
+		if got, want := len(buf)-start, recordSize(ev); got != want {
+			t.Errorf("recordSize(%+v) = %d, encoded %d", ev, want, got)
+		}
+	}
+	off := 0
+	for i, want := range events {
+		ev, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("decode record %d: %v", i, err)
+		}
+		if ev != want {
+			t.Errorf("record %d = %+v, want %+v", i, ev, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeRecordShort(t *testing.T) {
+	rec := AppendRecord(nil, Event{U: "left", V: "right", Ts: 7})
+	for cut := 0; cut < len(rec); cut++ {
+		_, _, err := DecodeRecord(rec[:cut])
+		if !errors.Is(err, ErrShort) {
+			t.Fatalf("cut at %d: err = %v, want ErrShort", cut, err)
+		}
+	}
+}
+
+func TestDecodeRecordBitFlip(t *testing.T) {
+	rec := AppendRecord(nil, Event{U: "left", V: "right", Ts: 7})
+	// Flipping any payload bit must fail the checksum; flipping header bits
+	// must fail as short, corrupt, or (for the length prefix) either.
+	for i := range rec {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), rec...)
+			mut[i] ^= 1 << bit
+			if ev, _, err := DecodeRecord(mut); err == nil && ev == (Event{U: "left", V: "right", Ts: 7}) {
+				// A flip in the length prefix that still decodes the original
+				// event would be a framing hole; anything else decoding
+				// cleanly means the checksum failed to catch a corruption.
+				t.Fatalf("flip byte %d bit %d: decoded original event despite corruption", i, bit)
+			} else if err == nil {
+				t.Fatalf("flip byte %d bit %d: decoded %+v from corrupt bytes", i, bit, ev)
+			}
+		}
+	}
+}
+
+func TestDecodeRecordOversizedLength(t *testing.T) {
+	rec := AppendRecord(nil, Event{U: "a", V: "b", Ts: 1})
+	rec[0], rec[1], rec[2], rec[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeRecord(rec); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendBatchRejectsHugeLabels(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	huge := strings.Repeat("z", MaxPayload)
+	if _, err := l.Append(Event{U: huge, V: "v", Ts: 1}); err == nil {
+		t.Error("oversized event accepted")
+	}
+}

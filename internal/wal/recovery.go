@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"ssflp/internal/graph"
+)
+
+// RecoveredState couples a rebuilt network with how it was recovered, so
+// callers (and readiness probes) can report what the boot actually did.
+type RecoveredState struct {
+	Builder          *graph.Builder
+	SnapshotLSN      LSN            // 0 when recovery did not use a snapshot
+	Replayed         uint64         // events applied from the log tail
+	SkippedSelfLoops uint64         // logged self loops dropped during replay
+	AppliedLSN       LSN            // last log position reflected in the graph
+	Log              RecoveryStatus // what Open found (torn tails, quarantines)
+}
+
+// Recover opens the write-ahead log in dir (repairing any crash damage),
+// rebuilds the network state — newest valid snapshot when one exists,
+// otherwise the base state — and replays the log tail on top. base supplies
+// the pre-WAL network (e.g. the -file edge list); it is consulted only when
+// no usable snapshot exists, because a snapshot already contains the base
+// state. A nil base starts from an empty network. The returned log is
+// positioned for appending.
+func Recover(dir string, opts Options, base func() (*graph.Builder, error)) (*Log, *RecoveredState, error) {
+	l, err := Open(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := rebuild(dir, opts, l.Replay, base)
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	st.Log = l.Status()
+	return l, st, nil
+}
+
+// ReadState is the read-only counterpart of Recover for tools that consume a
+// WAL as a dataset (e.g. replaying it as an evaluation stream): it rebuilds
+// the state the same way but never repairs, truncates or locks the log —
+// replay simply stops at the first undecodable record.
+func ReadState(dir string, opts Options, base func() (*graph.Builder, error)) (*RecoveredState, error) {
+	opts = opts.withDefaults()
+	replay := func(from LSN, fn func(LSN, Event) error) error {
+		segs, err := listSegments(dir)
+		if err != nil {
+			return err
+		}
+		return replaySegments(segs, from, fn)
+	}
+	return rebuild(dir, opts, replay, base)
+}
+
+// rebuild assembles snapshot + tail into a builder using the given replay
+// source.
+func rebuild(dir string, opts Options, replay func(LSN, func(LSN, Event) error) error,
+	base func() (*graph.Builder, error)) (*RecoveredState, error) {
+	opts = opts.withDefaults()
+	st := &RecoveredState{}
+	snap, err := LoadLatestSnapshot(dir, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	from := LSN(1)
+	switch {
+	case snap != nil:
+		st.Builder, err = graph.ResumeBuilder(snap.Graph, snap.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("wal: snapshot state: %w", err)
+		}
+		st.SnapshotLSN = snap.LSN
+		st.AppliedLSN = snap.LSN
+		from = snap.LSN + 1
+	case base != nil:
+		st.Builder, err = base()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		st.Builder = graph.NewBuilder()
+	}
+	err = replay(from, func(lsn LSN, ev Event) error {
+		if err := st.Builder.AddEdge(ev.U, ev.V, graph.Timestamp(ev.Ts)); err != nil {
+			// A logged self loop (written by a foreign producer — the ingest
+			// path rejects them before appending) is dropped, not fatal: one
+			// bad event must not take down recovery.
+			if errors.Is(err, graph.ErrSelfLoop) {
+				st.SkippedSelfLoops++
+				st.AppliedLSN = lsn
+				return nil
+			}
+			return fmt.Errorf("wal: replay record %d: %w", lsn, err)
+		}
+		st.Replayed++
+		st.AppliedLSN = lsn
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}

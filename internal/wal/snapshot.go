@@ -1,0 +1,264 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ssflp/internal/graph"
+)
+
+// ErrBadSnapshot marks a snapshot file that is missing, truncated or fails
+// its checksum. Recovery treats it as absent and falls back to an older
+// snapshot or a full log replay.
+var ErrBadSnapshot = errors.New("wal: invalid snapshot")
+
+// snapMagic identifies and versions the snapshot format.
+const snapMagic = "ssfwalsnap1\n"
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+
+	// snapshotKeep is how many snapshot generations WriteSnapshot retains:
+	// the newest plus one fallback in case the newest is damaged on disk.
+	snapshotKeep = 2
+)
+
+// Snapshot is a checksummed point-in-time copy of the served network state:
+// the graph, its label dictionary, and the log position it reflects — every
+// record with lsn <= LSN has been applied. Recovery loads the newest valid
+// snapshot and replays only the log tail after it.
+type Snapshot struct {
+	LSN    LSN
+	Labels []string
+	Graph  *graph.Graph
+}
+
+// snapPath formats the snapshot file name for a log position.
+func snapPath(dir string, lsn LSN) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
+}
+
+// WriteSnapshot atomically persists s into dir: the encoding goes to a temp
+// file in the same directory, is fsynced, and renamed over the final name —
+// the same pattern Predictor.SaveFile uses, so a crash mid-write never
+// leaves a partial snapshot where recovery could find it. The body carries a
+// trailing CRC32C, so a bit flip after the write is also detectable. Older
+// snapshots beyond snapshotKeep generations are pruned.
+func WriteSnapshot(dir string, s *Snapshot) (string, error) {
+	if s == nil || s.Graph == nil {
+		return "", fmt.Errorf("%w: nil snapshot", ErrBadSnapshot)
+	}
+	if s.Graph.NumNodes() != len(s.Labels) {
+		return "", fmt.Errorf("%w: %d nodes but %d labels", ErrBadSnapshot, s.Graph.NumNodes(), len(s.Labels))
+	}
+	body := make([]byte, 0, 64+16*s.Graph.NumEdges())
+	body = append(body, snapMagic...)
+	body = binary.AppendUvarint(body, uint64(s.LSN))
+	body = binary.AppendUvarint(body, uint64(len(s.Labels)))
+	for _, l := range s.Labels {
+		body = binary.AppendUvarint(body, uint64(len(l)))
+		body = append(body, l...)
+	}
+	body = binary.AppendUvarint(body, uint64(s.Graph.NumEdges()))
+	for e := range s.Graph.Edges() {
+		body = binary.AppendUvarint(body, uint64(e.U))
+		body = binary.AppendUvarint(body, uint64(e.V))
+		body = binary.AppendVarint(body, int64(e.Ts))
+	}
+	body = binary.LittleEndian.AppendUint32(body, crc32.Checksum(body, castagnoli))
+
+	path := snapPath(dir, s.LSN)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(body); err != nil {
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	pruneSnapshots(dir)
+	return path, nil
+}
+
+// listSnapshots returns snapshot files in dir ordered newest (highest LSN)
+// first.
+func listSnapshots(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+		if _, err := strconv.ParseUint(num, 10, 64); err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // zero-padded: lexicographic == numeric
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths
+}
+
+// pruneSnapshots removes generations beyond snapshotKeep. Best-effort: a
+// prune failure never fails the snapshot that was just written.
+func pruneSnapshots(dir string) {
+	paths := listSnapshots(dir)
+	for _, p := range paths[min(len(paths), snapshotKeep):] {
+		os.Remove(p)
+	}
+}
+
+// ReadSnapshot reads and verifies one snapshot file. Any damage — short
+// file, checksum mismatch, malformed body — is reported as ErrBadSnapshot.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	r := snapReader{b: body[len(snapMagic):]}
+	lsn := r.uvarint()
+	numLabels := r.uvarint()
+	if numLabels > uint64(len(r.b)) { // each label costs >= 1 byte
+		return nil, fmt.Errorf("%w: label count %d exceeds body", ErrBadSnapshot, numLabels)
+	}
+	labels := make([]string, 0, numLabels)
+	for range numLabels {
+		labels = append(labels, r.str())
+	}
+	numEdges := r.uvarint()
+	if numEdges > uint64(len(r.b)) { // each edge costs >= 3 bytes
+		return nil, fmt.Errorf("%w: edge count %d exceeds body", ErrBadSnapshot, numEdges)
+	}
+	g := graph.New(len(labels))
+	g.EnsureNodes(len(labels))
+	for range numEdges {
+		u := r.uvarint()
+		v := r.uvarint()
+		ts := r.varint()
+		if r.err != nil {
+			break
+		}
+		if u >= uint64(len(labels)) || v >= uint64(len(labels)) {
+			return nil, fmt.Errorf("%w: edge endpoint out of range", ErrBadSnapshot)
+		}
+		if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), graph.Timestamp(ts)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, r.err)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(r.b))
+	}
+	return &Snapshot{LSN: LSN(lsn), Labels: labels, Graph: g}, nil
+}
+
+// LoadLatestSnapshot returns the newest snapshot in dir that verifies,
+// falling back to older generations when the newest is damaged, or
+// (nil, nil) when no usable snapshot exists. logf receives a note for every
+// snapshot that is skipped.
+func LoadLatestSnapshot(dir string, logf func(format string, args ...any)) (*Snapshot, error) {
+	for _, path := range listSnapshots(dir) {
+		s, err := ReadSnapshot(path)
+		if err != nil {
+			if logf != nil {
+				logf("wal: skipping snapshot %s: %v", filepath.Base(path), err)
+			}
+			continue
+		}
+		return s, nil
+	}
+	return nil, nil
+}
+
+// snapReader is a bounds-checked varint cursor; after any failure err is set
+// and every later read returns zero values.
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = errors.New("bad uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return x
+}
+
+func (r *snapReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.err = errors.New("bad varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return x
+}
+
+func (r *snapReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)) {
+		r.err = errors.New("string length exceeds body")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}

@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+// buildState applies events to a fresh builder.
+func buildState(t *testing.T, evs []Event) *graph.Builder {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, ev := range evs {
+		if err := b.AddEdge(ev.U, ev.V, graph.Timestamp(ev.Ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// replayString renders a graph's Replay sequence for byte-level comparison.
+func replayString(g *graph.Graph) string {
+	out := ""
+	for ts, batch := range g.Replay() {
+		out += "t" + itoa(int64(ts)) + ":"
+		for _, e := range batch {
+			out += " (" + itoa(int64(e.U)) + "," + itoa(int64(e.V)) + "," + itoa(int64(e.Ts)) + ")"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := buildState(t, testEvents(60))
+	snap := &Snapshot{LSN: 60, Labels: b.Labels(), Graph: b.Graph()}
+	path, err := WriteSnapshot(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != 60 {
+		t.Errorf("lsn = %d", got.LSN)
+	}
+	if len(got.Labels) != len(snap.Labels) {
+		t.Fatalf("labels %d vs %d", len(got.Labels), len(snap.Labels))
+	}
+	for i := range got.Labels {
+		if got.Labels[i] != snap.Labels[i] {
+			t.Fatalf("label %d = %q, want %q", i, got.Labels[i], snap.Labels[i])
+		}
+	}
+	if replayString(got.Graph) != replayString(snap.Graph) {
+		t.Error("graph replay sequences differ after snapshot round trip")
+	}
+}
+
+func TestSnapshotRejectsInconsistentState(t *testing.T) {
+	g := graph.New(0)
+	g.EnsureNodes(3)
+	if _, err := WriteSnapshot(t.TempDir(), &Snapshot{Graph: g, Labels: []string{"a"}}); err == nil {
+		t.Error("node/label mismatch accepted")
+	}
+	if _, err := WriteSnapshot(t.TempDir(), nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func TestReadSnapshotDamage(t *testing.T) {
+	dir := t.TempDir()
+	b := buildState(t, testEvents(20))
+	path, err := WriteSnapshot(dir, &Snapshot{LSN: 20, Labels: b.Labels(), Graph: b.Graph()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("not-a-snapshot"), data...),
+		"truncated": data[:len(data)/2],
+		"bit flip":  flipByte(data, len(data)/3),
+		"tail flip": flipByte(data, len(data)-1),
+	}
+	for name, mut := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "snap")
+			if err := os.WriteFile(p, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadSnapshot(p); !errors.Is(err, ErrBadSnapshot) {
+				t.Errorf("err = %v, want ErrBadSnapshot", err)
+			}
+		})
+	}
+	if _, err := ReadSnapshot(filepath.Join(dir, "missing")); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("missing file err = %v", err)
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x40
+	return out
+}
+
+func TestLoadLatestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	evs := testEvents(40)
+	older := buildState(t, evs[:30])
+	if _, err := WriteSnapshot(dir, &Snapshot{LSN: 30, Labels: older.Labels(), Graph: older.Graph()}); err != nil {
+		t.Fatal(err)
+	}
+	newer := buildState(t, evs)
+	newPath, err := WriteSnapshot(dir, &Snapshot{LSN: 40, Labels: newer.Labels(), Graph: newer.Graph()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := LoadLatestSnapshot(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.LSN != 40 {
+		t.Fatalf("latest = %+v, want lsn 40", s)
+	}
+
+	// Damage the newest: the older generation must be used instead.
+	data, _ := os.ReadFile(newPath)
+	if err := os.WriteFile(newPath, flipByte(data, len(data)/2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warned := 0
+	s, err = LoadLatestSnapshot(dir, func(string, ...any) { warned++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.LSN != 30 {
+		t.Fatalf("fallback = %+v, want lsn 30", s)
+	}
+	if warned == 0 {
+		t.Error("no warning for the damaged snapshot")
+	}
+
+	// No usable snapshot at all -> (nil, nil).
+	s, err = LoadLatestSnapshot(t.TempDir(), nil)
+	if err != nil || s != nil {
+		t.Errorf("empty dir = %+v, %v", s, err)
+	}
+}
+
+func TestSnapshotPruning(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 4; i++ {
+		b := buildState(t, testEvents(10*i))
+		if _, err := WriteSnapshot(dir, &Snapshot{LSN: LSN(10 * i), Labels: b.Labels(), Graph: b.Graph()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths := listSnapshots(dir)
+	if len(paths) != snapshotKeep {
+		t.Fatalf("kept %d snapshots, want %d: %v", len(paths), snapshotKeep, paths)
+	}
+	s, err := ReadSnapshot(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LSN != 40 {
+		t.Errorf("newest kept = %d, want 40", s.LSN)
+	}
+}

@@ -1,0 +1,546 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LSN is the 1-based sequence number of a record in the log. LSNs are dense:
+// record n+1 immediately follows record n, across segment boundaries.
+type LSN uint64
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append (batch). Slowest, but a record
+	// acknowledged to the caller survives an OS crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval flushes to the OS on every append and fsyncs from a
+	// background timer every Options.SyncEvery. A process crash loses
+	// nothing; an OS crash loses at most the last interval.
+	SyncInterval
+	// SyncOff flushes to the OS on every append but never fsyncs explicitly.
+	// A process crash loses nothing; an OS crash loses whatever the page
+	// cache held.
+	SyncOff
+)
+
+// Options configures a Log. The zero value is usable: 4 MiB segments,
+// per-append fsync, silent recovery.
+type Options struct {
+	// SegmentBytes rotates the active segment once appending another record
+	// would push it past this size. Default 4 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the background fsync period for SyncInterval. Default 200ms.
+	SyncEvery time.Duration
+	// Logf, when set, receives recovery warnings (torn tails repaired,
+	// segments quarantined). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 200 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// RecoveryStatus reports what Open found on disk — surfaced through
+// readiness probes so operators can see that a boot repaired damage.
+type RecoveryStatus struct {
+	Segments      int    // live segments after recovery
+	Records       uint64 // valid records found on open
+	TruncatedTail bool   // a torn or corrupt record was dropped
+	DroppedBytes  int64  // bytes discarded by the truncation
+	Quarantined   int    // segments set aside after a mid-log corruption
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+const (
+	segPrefix        = "wal-"
+	segSuffix        = ".seg"
+	quarantineSuffix = ".quarantined"
+)
+
+// Log is an append-only segmented write-ahead log of edge events. All
+// methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File      // active segment
+	w         *bufio.Writer // buffers record writes; flushed every append batch
+	size      int64         // bytes in the active segment
+	firstLSN  LSN           // LSN of the active segment's first record
+	nextLSN   LSN           // LSN the next appended record will get
+	buf       []byte        // scratch encoding buffer
+	status    RecoveryStatus
+	stickyErr error // first write/sync failure; log refuses appends after
+	closed    bool
+	stopSync  chan struct{} // closes the SyncInterval goroutine
+	syncDone  chan struct{}
+}
+
+// segName formats the file name of the segment whose first record is lsn.
+// Zero-padding keeps lexicographic and numeric order identical.
+func segName(lsn LSN) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, lsn, segSuffix)
+}
+
+type segmentInfo struct {
+	path  string
+	first LSN
+}
+
+// listSegments returns the live segments in dir ordered by first LSN.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		first, err := strconv.ParseUint(num, 10, 64)
+		if err != nil || first == 0 {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(dir, name), first: LSN(first)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// scanResult is one segment's pass over scanSegment.
+type scanResult struct {
+	records  uint64 // valid records decoded
+	validEnd int64  // offset just past the last valid record
+	clean    bool   // the segment ended exactly at a record boundary
+}
+
+// scanSegment reads one segment file, invoking fn (when non-nil) for every
+// valid record, and reports where the valid prefix ends. Decode failures are
+// not errors at this level — they mark the truncation point.
+func scanSegment(path string, first LSN, fn func(LSN, Event) error) (scanResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return scanResult{}, fmt.Errorf("wal: read segment: %w", err)
+	}
+	var res scanResult
+	off := 0
+	lsn := first
+	for off < len(data) {
+		ev, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			res.validEnd = int64(off)
+			return res, nil
+		}
+		if fn != nil {
+			if err := fn(lsn, ev); err != nil {
+				return res, err
+			}
+		}
+		off += n
+		lsn++
+		res.records++
+	}
+	res.validEnd = int64(off)
+	res.clean = true
+	return res, nil
+}
+
+// Open opens (creating if needed) the write-ahead log in dir, validates the
+// segment chain in order, repairs a torn tail by truncating at the first
+// invalid record, quarantines any segments after a mid-log corruption, and
+// returns the log positioned for appending. Open never fails because of
+// damaged records — damage is repaired and reported via Status.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	if len(segs) > 0 {
+		// TruncateBefore removes whole leading segments once a snapshot covers
+		// them, so a valid chain may legitimately start past LSN 1.
+		l.nextLSN = segs[0].first
+	}
+
+	live := segs[:0]
+	for i, seg := range segs {
+		if seg.first != l.nextLSN {
+			// A gap in the chain (e.g. manual deletion): nothing after it can
+			// be assigned a consistent LSN, so set the rest aside.
+			l.quarantineFrom(segs[i:])
+			break
+		}
+		res, err := scanSegment(seg.path, seg.first, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.status.Records += res.records
+		l.nextLSN += LSN(res.records)
+		live = append(live, seg)
+		if !res.clean {
+			info, err := os.Stat(seg.path)
+			if err != nil {
+				return nil, fmt.Errorf("wal: stat segment: %w", err)
+			}
+			l.status.TruncatedTail = true
+			l.status.DroppedBytes += info.Size() - res.validEnd
+			opts.Logf("wal: %s: dropping %d bytes after torn/corrupt record at offset %d",
+				filepath.Base(seg.path), info.Size()-res.validEnd, res.validEnd)
+			if err := os.Truncate(seg.path, res.validEnd); err != nil {
+				return nil, fmt.Errorf("wal: repair segment: %w", err)
+			}
+			if i+1 < len(segs) {
+				l.quarantineFrom(segs[i+1:])
+			}
+			break
+		}
+	}
+	l.status.Segments = len(live)
+
+	// Open (or create) the active segment: the last live one.
+	active := segmentInfo{path: filepath.Join(dir, segName(1)), first: 1}
+	if len(live) > 0 {
+		active = live[len(live)-1]
+	} else {
+		l.status.Segments = 1
+	}
+	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open active segment: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat active segment: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek active segment: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 64*1024)
+	l.size = info.Size()
+	l.firstLSN = active.first
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// quarantineFrom renames segments out of the live chain, preserving their
+// bytes for forensics under a .quarantined suffix.
+func (l *Log) quarantineFrom(segs []segmentInfo) {
+	for _, seg := range segs {
+		l.opts.Logf("wal: quarantining segment %s", filepath.Base(seg.path))
+		if err := os.Rename(seg.path, seg.path+quarantineSuffix); err != nil {
+			l.opts.Logf("wal: quarantine %s: %v", filepath.Base(seg.path), err)
+		}
+		l.status.Quarantined++
+	}
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Status reports what recovery found when the log was opened.
+func (l *Log) Status() RecoveryStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.status
+}
+
+// NextLSN returns the LSN the next appended record will receive; NextLSN()-1
+// is the last durable-intent record.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Append appends one event and returns its LSN. Durability on return is
+// governed by the sync policy.
+func (l *Log) Append(ev Event) (LSN, error) {
+	return l.AppendBatch([]Event{ev})
+}
+
+// AppendBatch appends events as one flush (and, under SyncAlways, one fsync),
+// returning the LSN of the last record. LSNs are consecutive, so the first
+// is lsn-len(evs)+1. An empty batch is an error.
+func (l *Log) AppendBatch(evs []Event) (LSN, error) {
+	if len(evs) == 0 {
+		return 0, errors.New("wal: empty batch")
+	}
+	for _, ev := range evs {
+		if recordSize(ev) > recordHeaderSize+MaxPayload {
+			return 0, fmt.Errorf("wal: event labels too large (%d + %d bytes)", len(ev.U), len(ev.V))
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.stickyErr != nil {
+		return 0, l.stickyErr
+	}
+	for _, ev := range evs {
+		l.buf = AppendRecord(l.buf[:0], ev)
+		if l.size > 0 && l.size+int64(len(l.buf)) > l.opts.SegmentBytes {
+			if err := l.rotateLocked(); err != nil {
+				l.stickyErr = err
+				return 0, err
+			}
+		}
+		if _, err := l.w.Write(l.buf); err != nil {
+			// The segment may now hold a torn record; recovery will truncate
+			// it. Refuse further appends so the damage cannot grow.
+			l.stickyErr = fmt.Errorf("wal: append: %w", err)
+			return 0, l.stickyErr
+		}
+		l.size += int64(len(l.buf))
+		l.nextLSN++
+	}
+	if err := l.w.Flush(); err != nil {
+		l.stickyErr = fmt.Errorf("wal: flush: %w", err)
+		return 0, l.stickyErr
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			l.stickyErr = fmt.Errorf("wal: fsync: %w", err)
+			return 0, l.stickyErr
+		}
+	}
+	return l.nextLSN - 1, nil
+}
+
+// rotateLocked seals the active segment (flush + fsync, regardless of
+// policy, so a sealed segment is always fully durable) and starts the next.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: rotate flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate fsync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	path := filepath.Join(l.dir, segName(l.nextLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate create: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 64*1024)
+	l.size = 0
+	l.firstLSN = l.nextLSN
+	l.status.Segments++
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.stickyErr != nil {
+		return l.stickyErr
+	}
+	if err := l.w.Flush(); err != nil {
+		l.stickyErr = fmt.Errorf("wal: flush: %w", err)
+		return l.stickyErr
+	}
+	if err := l.f.Sync(); err != nil {
+		l.stickyErr = fmt.Errorf("wal: fsync: %w", err)
+		return l.stickyErr
+	}
+	return nil
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.stickyErr == nil {
+				if err := l.syncLocked(); err != nil {
+					l.opts.Logf("wal: background sync: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Replay invokes fn, in LSN order, for every record with lsn >= from.
+// Buffered writes are flushed first so the walk sees every appended record.
+// fn runs with the log's lock held: appending from inside fn deadlocks.
+func (l *Log) Replay(from LSN, fn func(LSN, Event) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.stickyErr == nil {
+		if err := l.w.Flush(); err != nil {
+			l.stickyErr = fmt.Errorf("wal: flush: %w", err)
+			return l.stickyErr
+		}
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	return replaySegments(segs, from, fn)
+}
+
+// replaySegments walks a sorted live segment chain, stopping silently at the
+// first undecodable record (pre-repair callers) or chain gap.
+func replaySegments(segs []segmentInfo, from LSN, fn func(LSN, Event) error) error {
+	next := LSN(1)
+	if len(segs) > 0 {
+		next = segs[0].first
+	}
+	for _, seg := range segs {
+		if seg.first != next {
+			return nil
+		}
+		res, err := scanSegment(seg.path, seg.first, func(lsn LSN, ev Event) error {
+			if lsn < from {
+				return nil
+			}
+			return fn(lsn, ev)
+		})
+		if err != nil {
+			return err
+		}
+		next += LSN(res.records)
+		if !res.clean {
+			return nil
+		}
+	}
+	return nil
+}
+
+// TruncateBefore removes sealed segments whose every record has lsn < keep —
+// called after a snapshot at keep-1 has made them redundant. The active
+// segment is never removed. Returns how many segments were deleted.
+func (l *Log) TruncateBefore(keep LSN) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, seg := range segs {
+		// A segment's records all precede the next segment's first LSN; the
+		// last segment is active and always kept.
+		if i+1 >= len(segs) || segs[i+1].first > keep {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		removed++
+		l.status.Segments--
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close flushes, fsyncs and closes the log. Further operations return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.stopSync != nil {
+		close(l.stopSync)
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	l.closed = true
+	done := l.syncDone
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	return err
+}

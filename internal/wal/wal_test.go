@@ -1,0 +1,375 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collect replays the whole log into a slice.
+func collect(t *testing.T, l *Log, from LSN) []Event {
+	t.Helper()
+	var out []Event
+	if err := l.Replay(from, func(_ LSN, ev Event) error {
+		out = append(out, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// testEvents builds a deterministic stream of n events.
+func testEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			U:  fmt.Sprintf("n%d", i%17),
+			V:  fmt.Sprintf("n%d", (i+1+i%5)%17+17),
+			Ts: int64(i / 3),
+		}
+	}
+	return evs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := testEvents(50)
+	for i, ev := range evs {
+		lsn, err := l.Append(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != LSN(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	got := collect(t, l, 1)
+	if len(got) != len(evs) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything must still be there, appendable at the next LSN.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Status(); st.Records != 50 || st.TruncatedTail || st.Quarantined != 0 {
+		t.Errorf("status = %+v", st)
+	}
+	if next := l2.NextLSN(); next != 51 {
+		t.Errorf("NextLSN = %d, want 51", next)
+	}
+	lsn, err := l2.Append(Event{U: "late", V: "comer", Ts: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 51 {
+		t.Errorf("appended lsn = %d, want 51", lsn)
+	}
+	if got := collect(t, l2, 51); len(got) != 1 || got[0].U != "late" {
+		t.Errorf("tail replay = %+v", got)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := testEvents(100)
+	if _, err := l.AppendBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	if got := collect(t, l, 1); len(got) != 100 {
+		t.Fatalf("replayed %d events", len(got))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Status(); st.Records != 100 || st.Segments != len(segs) {
+		t.Errorf("status after reopen = %+v (segments on disk: %d)", st, len(segs))
+	}
+}
+
+func TestReplayFromMiddle(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	evs := testEvents(40)
+	if _, err := l.AppendBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 30)
+	if len(got) != 11 {
+		t.Fatalf("replay from 30 yielded %d events, want 11", len(got))
+	}
+	if got[0] != evs[29] {
+		t.Errorf("first replayed = %+v, want %+v", got[0], evs[29])
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendBatch(testEvents(100)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := listSegments(dir)
+	removed, err := l.TruncateBefore(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("no segments removed")
+	}
+	after, _ := listSegments(dir)
+	if len(after) != len(before)-removed {
+		t.Errorf("segments %d -> %d, removed %d", len(before), len(after), removed)
+	}
+	// Every record >= 60 must still replay; the tail must stay appendable.
+	var lsns []LSN
+	if err := l.Replay(60, func(lsn LSN, _ Event) error {
+		lsns = append(lsns, lsn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 41 || lsns[0] != 60 || lsns[len(lsns)-1] != 100 {
+		t.Errorf("post-truncate replay lsns [%d..%d] x%d", lsns[0], lsns[len(lsns)-1], len(lsns))
+	}
+	if _, err := l.Append(Event{U: "a", V: "b", Ts: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"always", Options{Sync: SyncAlways}},
+		{"interval", Options{Sync: SyncInterval, SyncEvery: 5 * time.Millisecond}},
+		{"off", Options{Sync: SyncOff}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.AppendBatch(testEvents(20)); err != nil {
+				t.Fatal(err)
+			}
+			if tc.opts.Sync == SyncInterval {
+				time.Sleep(25 * time.Millisecond) // let the background fsync run
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2, err := Open(dir, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if st := l2.Status(); st.Records != 20 {
+				t.Errorf("records after reopen = %d", st.Records)
+			}
+		})
+	}
+}
+
+func TestClosedLogRefusesOperations(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // double close is fine
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := l.Append(Event{U: "a", V: "b"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close: %v", err)
+	}
+	if err := l.Replay(1, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("replay after close: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("sync after close: %v", err)
+	}
+	if _, err := l.TruncateBefore(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("truncate after close: %v", err)
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal-bogus.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(Event{U: "a", V: "b", Ts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "notes.txt")); err != nil || string(data) != "hi" {
+		t.Errorf("foreign file touched: %q, %v", data, err)
+	}
+}
+
+func TestChainGapQuarantinesTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendBatch(testEvents(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Delete a middle segment: the chain now has a gap.
+	if err := os.Remove(segs[1].path); err != nil {
+		t.Fatal(err)
+	}
+	var warned strings.Builder
+	l2, err := Open(dir, Options{SegmentBytes: 256, Logf: func(f string, a ...any) {
+		fmt.Fprintf(&warned, f+"\n", a...)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.Status()
+	if st.Quarantined != len(segs)-2 {
+		t.Errorf("quarantined = %d, want %d", st.Quarantined, len(segs)-2)
+	}
+	if !strings.Contains(warned.String(), "quarantining") {
+		t.Errorf("no quarantine warning logged: %q", warned.String())
+	}
+	// The surviving prefix must replay and the log must accept appends.
+	got := collect(t, l2, 1)
+	if len(got) == 0 || uint64(len(got)) != st.Records {
+		t.Errorf("replayed %d, status records %d", len(got), st.Records)
+	}
+	if _, err := l2.Append(Event{U: "x", V: "y", Ts: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenAfterTruncateBefore: once a snapshot lets TruncateBefore drop the
+// leading segments, the chain legitimately starts past LSN 1 — a reopen must
+// accept it rather than quarantine everything (regression test).
+func TestReopenAfterTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := testEvents(100)
+	if _, err := l.AppendBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.TruncateBefore(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("no segments removed; rotation did not happen")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.Status()
+	if st.Quarantined != 0 || st.TruncatedTail {
+		t.Fatalf("reopen after truncation reported damage: %+v", st)
+	}
+	if got := l2.NextLSN(); got != 101 {
+		t.Fatalf("next lsn = %d, want 101", got)
+	}
+	var lsns []LSN
+	if err := l2.Replay(0, func(lsn LSN, ev Event) error {
+		lsns = append(lsns, lsn)
+		if ev != evs[lsn-1] {
+			t.Fatalf("lsn %d: event %+v, want %+v", lsn, ev, evs[lsn-1])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) == 0 || lsns[len(lsns)-1] != 100 || lsns[0] > 61 {
+		t.Fatalf("replayed lsns [%d, %d] x%d", lsns[0], lsns[len(lsns)-1], len(lsns))
+	}
+	if _, err := l2.Append(Event{U: "after", V: "truncate", Ts: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
