@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench vet fmt experiments clean
+.PHONY: all build test race cover bench bench-all bench-check vet fmt experiments clean
+
+# The four extraction hot-path microbenches tracked in BENCH_ssf.json.
+HOT_BENCHES = ^(BenchmarkSSFExtract|BenchmarkWLFExtract|BenchmarkStructureCombine|BenchmarkPaletteWL)$$
 
 all: build test
 
@@ -18,7 +21,18 @@ race:
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
+# Run the hot-path microbenches and refresh the committed regression record
+# (current section only; pass -rebase via BENCHDIFF_FLAGS to move the
+# baseline). `make bench-check` then gates on the recorded baseline.
 bench:
+	$(GO) test -run='^$$' -bench='$(HOT_BENCHES)' -benchmem . | tee bench_output.txt
+	$(GO) run ./cmd/ssf-benchdiff record -in bench_output.txt -out BENCH_ssf.json $(BENCHDIFF_FLAGS)
+
+bench-check: bench
+	$(GO) run ./cmd/ssf-benchdiff diff -file BENCH_ssf.json -max-regress 30
+
+# Full benchmark suite (tables, figures, ablations) — slow.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:

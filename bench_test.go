@@ -271,6 +271,17 @@ func formatTheta(t float64) string {
 
 // --- Microbenchmarks of the hot paths ---
 
+// benchPair deterministically picks the i-th target pair over an n-node
+// graph. The stride is derived from a Knuth multiplicative hash of i and is
+// always in [1, n-1], so u != v by construction (no collision branch that
+// would skew iteration costs) and successive pairs cover the whole graph
+// instead of clustering around the low node ids.
+func benchPair(i, n int) (NodeID, NodeID) {
+	u := i % n
+	stride := 1 + int((uint32(i)*2654435761)>>8)%(n-1)
+	return NodeID(u), NodeID((u + stride) % n)
+}
+
 // BenchmarkSSFExtract measures one SSF feature extraction on a mid-size
 // history graph.
 func BenchmarkSSFExtract(b *testing.B) {
@@ -282,11 +293,7 @@ func BenchmarkSSFExtract(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		u := NodeID(i % g.NumNodes())
-		v := NodeID((i*7 + 1) % g.NumNodes())
-		if u == v {
-			v = (v + 1) % NodeID(g.NumNodes())
-		}
+		u, v := benchPair(i, g.NumNodes())
 		if _, err := ex.Extract(u, v); err != nil {
 			b.Fatal(err)
 		}
@@ -303,35 +310,35 @@ func BenchmarkWLFExtract(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		u := NodeID(i % g.NumNodes())
-		v := NodeID((i*7 + 1) % g.NumNodes())
-		if u == v {
-			v = (v + 1) % NodeID(g.NumNodes())
-		}
+		u, v := benchPair(i, g.NumNodes())
 		if _, err := ex.Extract(u, v); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkStructureCombine measures Algorithm 1 on a 2-hop subgraph.
+// BenchmarkStructureCombine measures Algorithm 1 on a 2-hop subgraph via the
+// scratch-reusing path that the extractors run in production.
 func BenchmarkStructureCombine(b *testing.B) {
 	g := ablationGraph(b)
-	sg, err := subgraph.Extract(g, subgraph.TargetLink{A: 0, B: 1}, 2)
+	var sc subgraph.Scratch
+	sg, err := sc.ExtractInto(g, subgraph.TargetLink{A: 0, B: 1}, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		subgraph.Combine(sg)
+		sc.CombineInto(sg)
 	}
 }
 
-// BenchmarkPaletteWL measures Algorithm 2 on a combined structure graph.
+// BenchmarkPaletteWL measures Algorithm 2 on a combined structure graph via
+// the scratch-reusing path that the extractors run in production.
 func BenchmarkPaletteWL(b *testing.B) {
 	g := ablationGraph(b)
-	sg, err := subgraph.Extract(g, subgraph.TargetLink{A: 0, B: 1}, 2)
+	var sc subgraph.Scratch
+	sg, err := sc.ExtractInto(g, subgraph.TargetLink{A: 0, B: 1}, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -344,7 +351,7 @@ func BenchmarkPaletteWL(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := subgraph.PaletteWL(nbrs, dists); err != nil {
+		if _, err := sc.PaletteWLInto(nbrs, dists, subgraph.PreferConnected); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,260 @@
+// Command ssf-benchdiff maintains BENCH_ssf.json, the committed benchmark
+// regression record for the SSF extraction hot paths, and compares runs.
+//
+//	go test -bench='...' -benchmem . | tee bench.txt
+//	ssf-benchdiff record -in bench.txt -out BENCH_ssf.json   # refresh current
+//	ssf-benchdiff record -in bench.txt -out BENCH_ssf.json -rebase
+//	ssf-benchdiff diff -file BENCH_ssf.json -max-regress 30  # current vs baseline
+//	ssf-benchdiff diff -base old.json -head new.json         # two files
+//
+// record parses standard `go test -bench -benchmem` output and stores one
+// {ns/op, B/op, allocs/op} triple per benchmark under "current"; the
+// "baseline" section is written once on first record (or on -rebase) and
+// otherwise preserved, so the file carries the before/after pair. diff exits
+// 1 when any benchmark's ns/op or allocs/op regressed beyond -max-regress
+// percent, which is what the CI smoke job gates on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssf-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one benchmark's measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the BENCH_ssf.json schema.
+type File struct {
+	Schema   string            `json:"schema"`
+	Note     string            `json:"note,omitempty"`
+	Baseline map[string]Result `json:"baseline"`
+	Current  map[string]Result `json:"current"`
+}
+
+const schemaID = "ssf-bench/v1"
+
+var errUsage = errors.New("usage: ssf-benchdiff record|diff [flags]")
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errUsage
+	}
+	switch args[0] {
+	case "record":
+		return runRecord(args[1:])
+	case "diff":
+		return runDiff(args[1:])
+	default:
+		return fmt.Errorf("%w (got %q)", errUsage, args[0])
+	}
+}
+
+func runRecord(args []string) error {
+	fs := flag.NewFlagSet("ssf-benchdiff record", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "go test -bench output to parse (default stdin)")
+		out    = fs.String("out", "BENCH_ssf.json", "JSON record to write")
+		rebase = fs.Bool("rebase", false, "reset baseline to this run")
+		note   = fs.String("note", "", "free-form note stored in the record")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return errors.New("no benchmark lines found in input")
+	}
+	record := &File{Schema: schemaID}
+	if prev, err := readFile(*out); err == nil {
+		record = prev
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	record.Schema = schemaID
+	if *note != "" {
+		record.Note = *note
+	}
+	record.Current = results
+	if *rebase || len(record.Baseline) == 0 {
+		record.Baseline = results
+	}
+	return writeFile(*out, record)
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("ssf-benchdiff diff", flag.ContinueOnError)
+	var (
+		file       = fs.String("file", "", "single record: compare its current vs its baseline")
+		base       = fs.String("base", "", "baseline record (current section is compared)")
+		head       = fs.String("head", "", "head record (current section is compared)")
+		maxRegress = fs.Float64("max-regress", 25, "max allowed ns/op or allocs/op regression, percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var baseRes, headRes map[string]Result
+	switch {
+	case *file != "":
+		rec, err := readFile(*file)
+		if err != nil {
+			return err
+		}
+		baseRes, headRes = rec.Baseline, rec.Current
+	case *base != "" && *head != "":
+		b, err := readFile(*base)
+		if err != nil {
+			return err
+		}
+		h, err := readFile(*head)
+		if err != nil {
+			return err
+		}
+		baseRes, headRes = b.Current, h.Current
+	default:
+		return errors.New("diff needs either -file or both -base and -head")
+	}
+	report, regressed := Diff(baseRes, headRes, *maxRegress)
+	fmt.Print(report)
+	if regressed {
+		return fmt.Errorf("benchmark regression beyond %.0f%%", *maxRegress)
+	}
+	return nil
+}
+
+// benchLine matches `BenchmarkName-8  1234  5678 ns/op  90 B/op  1 allocs/op`;
+// the -benchmem columns are optional so plain -bench output still parses.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// parseBench extracts per-benchmark results from `go test -bench` output.
+// Sub-benchmark names keep their slash-separated suffix; the trailing
+// -GOMAXPROCS marker is stripped so records compare across machines.
+func parseBench(src interface{ Read([]byte) (int, error) }) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var r Result
+		var err error
+		if r.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		if m[3] != "" {
+			if r.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			if r.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+		}
+		out[m[1]] = r
+	}
+	return out, sc.Err()
+}
+
+// Diff renders a comparison table and reports whether any benchmark present
+// in both sets regressed beyond maxRegress percent in ns/op or allocs/op.
+// Benchmarks present on only one side are listed but never fail the diff.
+func Diff(base, head map[string]Result, maxRegress float64) (string, bool) {
+	names := make([]string, 0, len(head))
+	for n := range head {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	regressed := false
+	fmt.Fprintf(&sb, "%-40s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "head ns/op", "Δns", "Δallocs")
+	for _, n := range names {
+		h := head[n]
+		b, ok := base[n]
+		if !ok {
+			fmt.Fprintf(&sb, "%-40s %14s %14.0f %9s %9s\n", n, "(new)", h.NsPerOp, "-", "-")
+			continue
+		}
+		dNs := pctDelta(b.NsPerOp, h.NsPerOp)
+		dAllocs := pctDelta(b.AllocsPerOp, h.AllocsPerOp)
+		flag := ""
+		if dNs > maxRegress || dAllocs > maxRegress {
+			regressed = true
+			flag = "  << REGRESSED"
+		}
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %8.1f%% %8.1f%%%s\n",
+			n, b.NsPerOp, h.NsPerOp, dNs, dAllocs, flag)
+	}
+	for n := range base {
+		if _, ok := head[n]; !ok {
+			fmt.Fprintf(&sb, "%-40s (missing from head)\n", n)
+		}
+	}
+	return sb.String(), regressed
+}
+
+// pctDelta is the percent change from base to head; a zero base only counts
+// as a regression when head became nonzero (reported as +100%).
+func pctDelta(base, head float64) float64 {
+	if base == 0 {
+		if head == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (head - base) / base * 100
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schemaID {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+	return &f, nil
+}
+
+func writeFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: ssflp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSSFExtract-8       	    7207	    152702 ns/op	     542 B/op	       2 allocs/op
+BenchmarkWLFExtract-8       	   13225	     93809 ns/op	     409 B/op	       1 allocs/op
+BenchmarkPaletteWL          	   13498	     90286 ns/op	       1 B/op	       0 allocs/op
+BenchmarkNoMem-8            	    1000	      1234 ns/op
+PASS
+ok  	ssflp	7.320s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	ssf, ok := got["BenchmarkSSFExtract"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if ssf.NsPerOp != 152702 || ssf.BytesPerOp != 542 || ssf.AllocsPerOp != 2 {
+		t.Errorf("SSFExtract = %+v", ssf)
+	}
+	if pwl := got["BenchmarkPaletteWL"]; pwl.NsPerOp != 90286 || pwl.AllocsPerOp != 0 {
+		t.Errorf("PaletteWL = %+v", pwl)
+	}
+	if nm := got["BenchmarkNoMem"]; nm.NsPerOp != 1234 || nm.BytesPerOp != 0 {
+		t.Errorf("plain -bench line without -benchmem columns: %+v", nm)
+	}
+}
+
+func TestRecordKeepsBaselineUntilRebase(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH_ssf.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// First record: baseline == current.
+	if err := run([]string{"record", "-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := readFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Baseline["BenchmarkSSFExtract"].NsPerOp != 152702 {
+		t.Fatalf("first record did not seed baseline: %+v", rec.Baseline)
+	}
+	// Second record with different numbers: baseline preserved.
+	faster := strings.ReplaceAll(sampleBench, "152702 ns/op", "76000 ns/op")
+	if err := os.WriteFile(in, []byte(faster), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"record", "-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = readFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Baseline["BenchmarkSSFExtract"].NsPerOp != 152702 {
+		t.Error("baseline must survive a plain record")
+	}
+	if rec.Current["BenchmarkSSFExtract"].NsPerOp != 76000 {
+		t.Error("current must track the latest record")
+	}
+	// -rebase moves the baseline.
+	if err := run([]string{"record", "-in", in, "-out", out, "-rebase"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = readFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Baseline["BenchmarkSSFExtract"].NsPerOp != 76000 {
+		t.Error("-rebase must reset the baseline")
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 2},
+		"BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkGone": {NsPerOp: 5},
+	}
+	head := map[string]Result{
+		"BenchmarkA":   {NsPerOp: 110, AllocsPerOp: 2}, // +10%: fine at 25%
+		"BenchmarkB":   {NsPerOp: 100, AllocsPerOp: 3}, // 0 -> 3 allocs: regression
+		"BenchmarkNew": {NsPerOp: 7},
+	}
+	report, regressed := Diff(base, head, 25)
+	if !regressed {
+		t.Error("alloc growth from zero must regress")
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Errorf("report missing marker:\n%s", report)
+	}
+	if !strings.Contains(report, "(new)") || !strings.Contains(report, "missing from head") {
+		t.Errorf("report must list one-sided benchmarks:\n%s", report)
+	}
+	// Within threshold: clean.
+	if _, regressed := Diff(base, map[string]Result{"BenchmarkA": {NsPerOp: 110, AllocsPerOp: 2}}, 25); regressed {
+		t.Error("+10%% ns/op must pass a 25%% threshold")
+	}
+	// diff subcommand end-to-end via a single file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := writeFile(path, &File{Schema: schemaID, Baseline: base, Current: head}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"diff", "-file", path, "-max-regress", "25"}); err == nil {
+		t.Error("diff must exit nonzero on regression")
+	}
+	if err := run([]string{"diff", "-file", path, "-max-regress", "300"}); err != nil {
+		t.Errorf("lenient threshold must pass: %v", err)
+	}
+}

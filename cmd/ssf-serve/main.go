@@ -29,6 +29,9 @@
 //
 // With -model the predictor is loaded from a snapshot produced by
 // Predictor.Save; otherwise it is trained at startup.
+//
+// With -pprof-addr the standard net/http/pprof endpoints are served on a
+// separate listener (keep it on localhost); profiling is off by default.
 package main
 
 import (
@@ -78,6 +81,8 @@ func run(args []string) error {
 		queueWait     = fs.Duration("queue-wait", time.Second, "max time a request queues for a slot before 429")
 		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
 
+		pprofAddr = fs.String("pprof-addr", "", "net/http/pprof listen address (e.g. localhost:6060); empty disables profiling")
+
 		walDir       = fs.String("wal-dir", "", "write-ahead log directory; enables durable /ingest (empty = memory-only)")
 		walSync      = fs.String("wal-fsync", "always", "WAL fsync policy: always | interval | off")
 		walSyncEvery = fs.Duration("wal-fsync-interval", 200*time.Millisecond, "background fsync period for -wal-fsync=interval")
@@ -117,6 +122,13 @@ func run(args []string) error {
 	// Graceful shutdown on SIGINT/SIGTERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		pprofLn, err := servePprof(ctx, *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("ssf-serve: pprof on http://%s/debug/pprof/", pprofLn.Addr())
+	}
 	if srv.wlog != nil && *snapEvery > 0 {
 		go snapshotLoop(ctx, srv, *snapEvery)
 	}

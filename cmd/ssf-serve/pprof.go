@@ -1,0 +1,35 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// servePprof starts the net/http/pprof handlers on their own listener and
+// mux, fully separate from the scoring server: profiling traffic bypasses
+// the admission-control chain by construction, and the scoring mux never
+// grows debug endpoints that an operator would have to firewall. The server
+// stops when ctx is cancelled. Off by default; enabled via -pprof-addr,
+// which should stay bound to localhost in production.
+func servePprof(ctx context.Context, addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	go srv.Serve(ln)
+	return ln, nil
+}

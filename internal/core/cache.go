@@ -12,7 +12,10 @@ import (
 // extractor's lifetime, so cached vectors never go stale; serving workloads
 // (the ssf-serve /top endpoint, repeated ScoreBatch calls) hit the same
 // pairs repeatedly and skip the O(K³ + K|V_h|²) extraction.
-// Safe for concurrent use.
+//
+// Concurrent misses on the same pair are deduplicated singleflight-style:
+// the first caller computes, later callers block on the in-flight result
+// instead of burning an extraction each. Safe for concurrent use.
 type CachingExtractor struct {
 	inner *Extractor
 
@@ -20,8 +23,10 @@ type CachingExtractor struct {
 	capacity int
 	entries  map[pairKey]*list.Element
 	order    *list.List // front = most recently used
+	inflight map[pairKey]*inflightCall
 	hits     int64
 	misses   int64
+	shared   int64
 }
 
 type pairKey struct{ u, v graph.NodeID }
@@ -29,6 +34,14 @@ type pairKey struct{ u, v graph.NodeID }
 type cacheEntry struct {
 	key pairKey
 	vec []float64
+}
+
+// inflightCall is one in-progress extraction that concurrent requests for
+// the same pair wait on. vec/err are immutable once done is closed.
+type inflightCall struct {
+	done chan struct{}
+	vec  []float64
+	err  error
 }
 
 // DefaultCacheSize bounds the memoized pair count when no capacity is given.
@@ -45,6 +58,7 @@ func NewCachingExtractor(inner *Extractor, capacity int) *CachingExtractor {
 		capacity: capacity,
 		entries:  make(map[pairKey]*list.Element, capacity),
 		order:    list.New(),
+		inflight: make(map[pairKey]*inflightCall),
 	}
 }
 
@@ -61,29 +75,37 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 		return vec, nil
 	}
 	c.misses++
+	if call, ok := c.inflight[key]; ok {
+		// Another goroutine is already extracting this pair; share its
+		// result instead of computing again.
+		c.shared++
+		c.mu.Unlock()
+		<-call.done
+		return call.vec, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
 	c.mu.Unlock()
 
-	// Extraction runs outside the lock; concurrent misses on the same pair
-	// compute twice and the second insert wins — harmless, results are
-	// deterministic.
+	// Extraction runs outside the lock so unrelated pairs proceed in
+	// parallel; followers of this pair block on call.done above.
 	vec, err := c.inner.Extract(a, b)
-	if err != nil {
-		return nil, err
-	}
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).vec, nil
+	call.vec, call.err = vec, err
+	delete(c.inflight, key)
+	if err == nil {
+		el := c.order.PushFront(&cacheEntry{key: key, vec: vec})
+		c.entries[key] = el
+		if c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, vec: vec})
-	c.entries[key] = el
-	if c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
-	return vec, nil
+	c.mu.Unlock()
+	close(call.done)
+	return vec, err
 }
 
 // Stats reports cache hits, misses and the current entry count.
@@ -91,4 +113,12 @@ func (c *CachingExtractor) Stats() (hits, misses int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.order.Len()
+}
+
+// SharedInflight reports how many extractions were avoided by joining an
+// in-flight computation of the same pair.
+func (c *CachingExtractor) SharedInflight() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shared
 }

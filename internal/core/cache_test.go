@@ -82,6 +82,39 @@ func TestCachingExtractorErrorsPassThrough(t *testing.T) {
 	}
 }
 
+func TestCachingExtractorSingleflight(t *testing.T) {
+	_, cached := cachedFixture(t, 32)
+	const workers = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := cached.Extract(0, 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	hits, misses, size := cached.Stats()
+	if size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+	if hits+misses != workers {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, workers)
+	}
+	// Every miss either leads the computation or joins the in-flight one,
+	// and once the leader inserts the entry all later calls hit, so the
+	// number of actual extractions is exactly misses - shared == 1.
+	if got := misses - cached.SharedInflight(); got != 1 {
+		t.Errorf("inner extractions = %d (misses=%d, shared=%d), want exactly 1",
+			got, misses, cached.SharedInflight())
+	}
+}
+
 func TestCachingExtractorConcurrent(t *testing.T) {
 	inner, cached := cachedFixture(t, 32)
 	want, err := inner.Extract(0, 1)

@@ -1,0 +1,665 @@
+package core
+
+// This file carries a frozen copy of the pre-optimization SSF pipeline —
+// full-graph BFS extraction, map-based structure combination and Palette-WL
+// color tables, per-call allocation throughout — and proves that the pooled
+// scratch implementation produces byte-identical feature vectors across
+// hundreds of random target pairs on generated datasets. Floating-point
+// summation order is part of the contract (Influence adds member-link decay
+// terms in Stamps order), so the comparison is exact (==), not approximate.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"ssflp/internal/datagen"
+	"ssflp/internal/graph"
+	"ssflp/internal/subgraph"
+)
+
+// --- frozen legacy pipeline (reference implementation) ---
+
+type refSubgraph struct {
+	Orig []graph.NodeID
+	Dist []int32
+	G    *graph.Graph
+	H    int
+}
+
+type refStructureNode struct {
+	Members []int
+	Dist    int32
+}
+
+type refStructureLink struct {
+	X, Y   int
+	Stamps []graph.Timestamp
+}
+
+type refStructureGraph struct {
+	Nodes []refStructureNode
+	Links []refStructureLink
+	adj   [][]int
+}
+
+type refKStructure struct {
+	K, N  int
+	Nodes []refStructureNode
+	Links []refStructureLink
+	H     int
+}
+
+func refExtract(g *graph.Graph, a, b graph.NodeID, h int) (*refSubgraph, error) {
+	if a == b {
+		return nil, fmt.Errorf("ref: same endpoints %d", a)
+	}
+	n := g.NumNodes()
+	if a < 0 || b < 0 || int(a) >= n || int(b) >= n {
+		return nil, fmt.Errorf("ref: endpoint missing (%d, %d)", a, b)
+	}
+	dist := g.DistancesToLink(a, b)
+	sg := &refSubgraph{H: h, G: graph.New(16)}
+	local := make([]int32, n)
+	for i := range local {
+		local[i] = -1
+	}
+	add := func(u graph.NodeID) {
+		local[u] = int32(len(sg.Orig))
+		sg.Orig = append(sg.Orig, u)
+		sg.Dist = append(sg.Dist, dist[u])
+	}
+	add(a)
+	add(b)
+	for u := 0; u < n; u++ {
+		id := graph.NodeID(u)
+		if id == a || id == b {
+			continue
+		}
+		if d := dist[u]; d != graph.Unreachable && int(d) <= h {
+			add(id)
+		}
+	}
+	sg.G.EnsureNodes(len(sg.Orig))
+	for li, u := range sg.Orig {
+		for arc := range g.Arcs(u) {
+			lj := local[arc.To]
+			if lj <= int32(li) {
+				continue
+			}
+			if err := sg.G.AddEdge(graph.NodeID(li), graph.NodeID(lj), arc.Ts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sg, nil
+}
+
+func refCombine(s *refSubgraph) *refStructureGraph {
+	n := len(s.Orig)
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = i
+	}
+	numClasses := n
+	baseNbrs := make([][]int, n)
+	var buf []int
+	for u := 0; u < n; u++ {
+		buf = buf[:0]
+		for arc := range s.G.Arcs(graph.NodeID(u)) {
+			buf = append(buf, int(arc.To))
+		}
+		baseNbrs[u] = refSortDedup(buf, nil)
+	}
+	for {
+		merged, next, nextCount := refMergeRound(baseNbrs, classOf, numClasses)
+		if !merged {
+			break
+		}
+		classOf, numClasses = next, nextCount
+	}
+	return refAssemble(s, classOf, numClasses)
+}
+
+func refSortDedup(in []int, dst []int) []int {
+	sort.Ints(in)
+	if dst == nil {
+		dst = make([]int, 0, len(in))
+	}
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func refMergeRound(baseNbrs [][]int, classOf []int, numClasses int) (bool, []int, int) {
+	classNbrs := make([][]int, numClasses)
+	for u, nbrs := range baseNbrs {
+		cu := classOf[u]
+		for _, v := range nbrs {
+			if cv := classOf[v]; cv != cu {
+				classNbrs[cu] = append(classNbrs[cu], cv)
+			}
+		}
+	}
+	for c := range classNbrs {
+		classNbrs[c] = refSortDedup(classNbrs[c], classNbrs[c][:0])
+	}
+	endpointA, endpointB := classOf[0], classOf[1]
+	groups := make(map[string]int, numClasses)
+	newID := make([]int, numClasses)
+	for i := range newID {
+		newID[i] = -1
+	}
+	newID[endpointA] = 0
+	newID[endpointB] = 1
+	nextCount := 2
+	merged := false
+	var key []byte
+	for c := 0; c < numClasses; c++ {
+		if c == endpointA || c == endpointB {
+			continue
+		}
+		key = key[:0]
+		for _, v := range classNbrs[c] {
+			key = binary.AppendUvarint(key, uint64(v))
+		}
+		if id, ok := groups[string(key)]; ok {
+			newID[c] = id
+			merged = true
+			continue
+		}
+		groups[string(key)] = nextCount
+		newID[c] = nextCount
+		nextCount++
+	}
+	next := make([]int, len(classOf))
+	for u, c := range classOf {
+		next[u] = newID[c]
+	}
+	return merged, next, nextCount
+}
+
+func refAssemble(s *refSubgraph, classOf []int, numClasses int) *refStructureGraph {
+	sg := &refStructureGraph{
+		Nodes: make([]refStructureNode, numClasses),
+		adj:   make([][]int, numClasses),
+	}
+	for i := range sg.Nodes {
+		sg.Nodes[i].Dist = graph.Unreachable
+	}
+	for u, c := range classOf {
+		node := &sg.Nodes[c]
+		node.Members = append(node.Members, u)
+		if d := s.Dist[u]; node.Dist == graph.Unreachable || (d != graph.Unreachable && d < node.Dist) {
+			node.Dist = d
+		}
+	}
+	type pair struct{ x, y int }
+	linkIdx := make(map[pair]int)
+	for e := range s.G.Edges() {
+		cx, cy := classOf[e.U], classOf[e.V]
+		if cx == cy {
+			continue
+		}
+		if cx > cy {
+			cx, cy = cy, cx
+		}
+		p := pair{cx, cy}
+		li, ok := linkIdx[p]
+		if !ok {
+			li = len(sg.Links)
+			linkIdx[p] = li
+			sg.Links = append(sg.Links, refStructureLink{X: cx, Y: cy})
+			sg.adj[cx] = append(sg.adj[cx], li)
+			sg.adj[cy] = append(sg.adj[cy], li)
+		}
+		sg.Links[li].Stamps = append(sg.Links[li].Stamps, e.Ts)
+	}
+	return sg
+}
+
+func (s *refStructureGraph) neighborSets() [][]int {
+	out := make([][]int, len(s.Nodes))
+	for i, linkIdx := range s.adj {
+		nb := make([]int, 0, len(linkIdx))
+		for _, li := range linkIdx {
+			l := s.Links[li]
+			other := l.X
+			if other == i {
+				other = l.Y
+			}
+			nb = append(nb, other)
+		}
+		sort.Ints(nb)
+		out[i] = nb
+	}
+	return out
+}
+
+func refLogPrimes(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	limit := 15
+	if n >= 6 {
+		f := float64(n)
+		limit = int(f*(math.Log(f)+math.Log(math.Log(f)))) + 10
+	}
+	var primes []int
+	for {
+		primes = primes[:0]
+		composite := make([]bool, limit+1)
+		for p := 2; p <= limit; p++ {
+			if composite[p] {
+				continue
+			}
+			primes = append(primes, p)
+			for q := p * p; q <= limit; q += p {
+				composite[q] = true
+			}
+		}
+		if len(primes) >= n {
+			break
+		}
+		limit *= 2
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Log(float64(primes[i]))
+	}
+	return out
+}
+
+func refPaletteWL(nbrs [][]int, dist []int32, preferSparse bool) ([]int, error) {
+	n := len(nbrs)
+	if n < 2 {
+		return nil, fmt.Errorf("ref: too few nodes: %d", n)
+	}
+	sign := -1.0
+	if preferSparse {
+		sign = 1
+	}
+	colors := refInitialColors(dist)
+	logs := refLogPrimes(n)
+	hash := make([]float64, n)
+	next := make([]int, n)
+	maxDeg := 0
+	for _, nb := range nbrs {
+		maxDeg = max(maxDeg, len(nb))
+	}
+	cs := make([]int, maxDeg)
+	for iter := 0; iter < n+2; iter++ {
+		var denom float64
+		for _, c := range colors {
+			denom += logs[c-1]
+		}
+		if denom == 0 {
+			denom = 1
+		}
+		for x := range nbrs {
+			cs = cs[:len(nbrs[x])]
+			for i, p := range nbrs[x] {
+				cs[i] = colors[p]
+			}
+			sort.Ints(cs)
+			var frac float64
+			for _, c := range cs {
+				frac += logs[c-1]
+			}
+			hash[x] = float64(colors[x]) + sign*frac/denom
+		}
+		refDenseRank(hash, next)
+		if refEqualInts(next, colors) {
+			break
+		}
+		copy(colors, next)
+	}
+	return refTotalOrder(colors), nil
+}
+
+func refInitialColors(dist []int32) []int {
+	n := len(dist)
+	colors := make([]int, n)
+	colors[0], colors[1] = 1, 2
+	distinct := make(map[int64]struct{})
+	for i := 2; i < n; i++ {
+		distinct[refDistKey(dist[i])] = struct{}{}
+	}
+	keys := make([]int64, 0, len(distinct))
+	for k := range distinct {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	colorOf := make(map[int64]int, len(keys))
+	for i, k := range keys {
+		colorOf[k] = 3 + i
+	}
+	for i := 2; i < n; i++ {
+		colors[i] = colorOf[refDistKey(dist[i])]
+	}
+	return colors
+}
+
+func refDistKey(d int32) int64 {
+	if d < 0 {
+		return math.MaxInt64
+	}
+	return int64(d)
+}
+
+func refDenseRank(hash []float64, out []int) {
+	n := len(hash)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return hash[idx[a]] < hash[idx[b]] })
+	rank := 0
+	for pos, i := range idx {
+		if pos == 0 || hash[i] != hash[idx[pos-1]] {
+			rank++
+		}
+		out[i] = rank
+	}
+}
+
+func refTotalOrder(colors []int) []int {
+	n := len(colors)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if colors[idx[a]] != colors[idx[b]] {
+			return colors[idx[a]] < colors[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	order := make([]int, n)
+	for pos, i := range idx {
+		order[i] = pos + 1
+	}
+	return order
+}
+
+func refEqualInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func refBuildK(g *graph.Graph, a, b graph.NodeID, k int, preferSparse bool) (*refKStructure, error) {
+	var (
+		sg        *refSubgraph
+		st        *refStructureGraph
+		prevNodes = -1
+	)
+	h := 1
+	for {
+		var err error
+		sg, err = refExtract(g, a, b, h)
+		if err != nil {
+			return nil, err
+		}
+		st = refCombine(sg)
+		if len(st.Nodes) >= k {
+			break
+		}
+		if len(sg.Orig) == prevNodes {
+			break
+		}
+		prevNodes = len(sg.Orig)
+		h++
+	}
+	dists := make([]int32, len(st.Nodes))
+	for i, n := range st.Nodes {
+		dists[i] = n.Dist
+	}
+	order, err := refPaletteWL(st.neighborSets(), dists, preferSparse)
+	if err != nil {
+		return nil, err
+	}
+	n := min(len(st.Nodes), k)
+	ks := &refKStructure{K: k, N: n, Nodes: make([]refStructureNode, n), H: h}
+	for i, node := range st.Nodes {
+		if o := order[i]; o <= n {
+			ks.Nodes[o-1] = node
+		}
+	}
+	for _, l := range st.Links {
+		ox, oy := order[l.X], order[l.Y]
+		if ox > n || oy > n {
+			continue
+		}
+		if ox > oy {
+			ox, oy = oy, ox
+		}
+		ks.Links = append(ks.Links, refStructureLink{X: ox - 1, Y: oy - 1, Stamps: l.Stamps})
+	}
+	return ks, nil
+}
+
+// refExtractVec reruns the whole legacy Algorithm 3 for one target pair
+// under the extractor's (default-filled) options.
+func refExtractVec(e *Extractor, a, b graph.NodeID) ([]float64, error) {
+	opts := e.Options()
+	ks, err := refBuildK(e.g, a, b, opts.K, opts.Tie == subgraph.PreferSparse)
+	if err != nil {
+		return nil, err
+	}
+	adj := make([][]float64, opts.K)
+	for i := range adj {
+		adj[i] = make([]float64, opts.K)
+	}
+	switch opts.Mode {
+	case EntryInfluence:
+		for _, l := range ks.Links {
+			v := Influence(l.Stamps, e.present, opts.Theta)
+			adj[l.X][l.Y] = v
+			adj[l.Y][l.X] = v
+		}
+	case EntryCount:
+		for _, l := range ks.Links {
+			v := float64(len(l.Stamps))
+			adj[l.X][l.Y] = v
+			adj[l.Y][l.X] = v
+		}
+	case EntryInverseDistance:
+		refFillInverseDistance(e, adj, ks)
+	}
+	adj[0][1], adj[1][0] = 0, 0
+	return Unfold(adj, opts.K), nil
+}
+
+func refFillInverseDistance(e *Extractor, adj [][]float64, ks *refKStructure) {
+	n := ks.N
+	if n == 0 {
+		return
+	}
+	const maxLen = 1e18
+	type refWedge struct {
+		to     int
+		length float64
+	}
+	nbrs := make([][]refWedge, n)
+	for _, l := range ks.Links {
+		infl := Influence(l.Stamps, e.present, e.opts.Theta)
+		length := maxLen
+		if infl > 0 {
+			length = math.Min(1/infl, maxLen)
+		}
+		nbrs[l.X] = append(nbrs[l.X], refWedge{to: l.Y, length: length})
+		nbrs[l.Y] = append(nbrs[l.Y], refWedge{to: l.X, length: length})
+	}
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	if n > 1 {
+		dist[1] = 0
+	}
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, w := range nbrs[u] {
+			if d := best + w.length; d < dist[w.to] {
+				dist[w.to] = d
+			}
+		}
+	}
+	for _, l := range ks.Links {
+		d := math.Min(dist[l.X], dist[l.Y])
+		v := 1 / (1 + d)
+		adj[l.X][l.Y] = v
+		adj[l.Y][l.X] = v
+	}
+}
+
+// --- the property tests ---
+
+func legacyRefGraph(t testing.TB, name string, divisor int, seed int64) *graph.Graph {
+	t.Helper()
+	cfg, err := datagen.ByName(name, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := datagen.Generate(datagen.Scale(cfg, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestExtractMatchesLegacyReference proves the pooled-scratch pipeline is a
+// pure perf change: across >= 500 random target pairs on two generated
+// datasets, Extract returns vectors byte-identical to the frozen legacy
+// implementation, under every entry mode.
+func TestExtractMatchesLegacyReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	datasets := []struct {
+		name    string
+		divisor int
+	}{
+		{datagen.EuEmail, 16},
+		{datagen.Contact, 16},
+	}
+	modes := []EntryMode{EntryInverseDistance, EntryInfluence, EntryCount}
+	const pairsPerMode = 100 // 2 datasets x 3 modes x 100 = 600 pairs
+	for _, ds := range datasets {
+		t.Run(ds.name, func(t *testing.T) {
+			g := legacyRefGraph(t, ds.name, ds.divisor, 7)
+			present := g.MaxTimestamp() + 1
+			for _, mode := range modes {
+				t.Run(mode.String(), func(t *testing.T) {
+					ex, err := NewExtractor(g, present, Options{K: 10, Mode: mode})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rng := rand.New(rand.NewSource(int64(mode) * 1001))
+					n := g.NumNodes()
+					for p := 0; p < pairsPerMode; p++ {
+						a := graph.NodeID(rng.Intn(n))
+						b := graph.NodeID(rng.Intn(n - 1))
+						if b >= a {
+							b++
+						}
+						got, err := ex.Extract(a, b)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := refExtractVec(ex, a, b)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("pair (%d,%d): len %d vs %d", a, b, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("pair (%d,%d) mode %s entry %d: got %v, legacy %v",
+									a, b, mode, i, got[i], want[i])
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPooledExtractorConcurrentMatchesSequential hammers one pooled
+// extractor from 16 goroutines (run under -race in CI) and checks every
+// result against sequentially precomputed vectors.
+func TestPooledExtractorConcurrentMatchesSequential(t *testing.T) {
+	g := legacyRefGraph(t, datagen.EuEmail, 32, 3)
+	ex, err := NewExtractor(g, g.MaxTimestamp()+1, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	const pairs = 24
+	type target struct{ a, b graph.NodeID }
+	targets := make([]target, pairs)
+	want := make([][]float64, pairs)
+	rng := rand.New(rand.NewSource(11))
+	for i := range targets {
+		a := graph.NodeID(rng.Intn(n))
+		b := graph.NodeID(rng.Intn(n - 1))
+		if b >= a {
+			b++
+		}
+		targets[i] = target{a, b}
+		v, err := ex.Extract(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				i := (w + rep) % pairs
+				got, err := ex.Extract(targets[i].a, targets[i].b)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range want[i] {
+					if got[j] != want[i][j] {
+						t.Errorf("worker %d pair %d entry %d: %v vs %v", w, i, j, got[j], want[i][j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"ssflp/internal/graph"
 	"ssflp/internal/subgraph"
@@ -121,11 +122,39 @@ func Influence(stamps []graph.Timestamp, present graph.Timestamp, theta float64)
 }
 
 // Extractor computes SSF vectors for target links against a fixed history
-// graph and present time l_t. It is safe for concurrent use once built.
+// graph and present time l_t. It is safe for concurrent use once built:
+// every pipeline buffer lives in a per-goroutine scratch drawn from an
+// internal sync.Pool, so concurrent Extract calls never contend and a
+// steady-state extraction performs a single allocation (the returned
+// vector). Extractor must not be copied after first use.
 type Extractor struct {
 	g       *graph.Graph
 	present graph.Timestamp
 	opts    Options
+	pool    sync.Pool // *scratch
+}
+
+// scratch bundles the subgraph pipeline scratch with the K×K adjacency and
+// inverse-distance buffers of the core stage.
+type scratch struct {
+	sub        subgraph.Scratch
+	adjBacking []float64   // contiguous K×K storage
+	adj        [][]float64 // rows into adjBacking
+	nbrs       [][]wedge
+	dist       []float64
+	done       []bool
+}
+
+// newScratch builds a scratch for a fixed K.
+func newScratch(k int) *scratch {
+	sc := &scratch{
+		adjBacking: make([]float64, k*k),
+		adj:        make([][]float64, k),
+	}
+	for i := range sc.adj {
+		sc.adj[i] = sc.adjBacking[i*k : (i+1)*k]
+	}
+	return sc
 }
 
 // NewExtractor validates the options and returns an extractor over the
@@ -152,36 +181,51 @@ func NewExtractor(g *graph.Graph, present graph.Timestamp, opts Options) (*Extra
 	default:
 		return nil, fmt.Errorf("core: unknown tie preference %d", int(opts.Tie))
 	}
-	return &Extractor{g: g, present: present, opts: opts}, nil
+	e := &Extractor{g: g, present: present, opts: opts}
+	k := opts.K
+	e.pool.New = func() any { return newScratch(k) }
+	return e, nil
 }
 
 // Options returns the effective (default-filled) options.
 func (e *Extractor) Options() Options { return e.opts }
 
 // Extract returns the SSF vector V(e_t) of the target link (a, b)
-// following Algorithm 3.
+// following Algorithm 3. The whole pipeline runs inside a pooled scratch;
+// the returned vector is the only steady-state allocation.
 func (e *Extractor) Extract(a, b graph.NodeID) ([]float64, error) {
-	adj, _, err := e.Matrix(a, b)
+	sc := e.pool.Get().(*scratch)
+	adj, _, err := e.matrixInto(sc, a, b)
 	if err != nil {
+		e.pool.Put(sc)
 		return nil, err
 	}
-	return Unfold(adj, e.opts.K), nil
+	vec := Unfold(adj, e.opts.K)
+	e.pool.Put(sc)
+	return vec, nil
 }
 
 // Matrix returns the K×K adjacency matrix A of the normalized K-structure
 // subgraph (Eq. 4 / Section V-B) along with the underlying K-structure
 // subgraph, mainly for inspection and tests. Row/column i corresponds to the
 // structure node with Palette-WL order i+1; A is symmetric with a zero
-// diagonal and A[0][1] = 0 (the unknown target link).
+// diagonal and A[0][1] = 0 (the unknown target link). The result is backed
+// by a private scratch, so the caller owns it.
 func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, *subgraph.KStructure, error) {
-	ks, err := subgraph.BuildKTie(e.g, subgraph.TargetLink{A: a, B: b}, e.opts.K, e.opts.Tie)
+	return e.matrixInto(newScratch(e.opts.K), a, b)
+}
+
+// matrixInto computes the adjacency matrix into the scratch's buffers. The
+// returned matrix and K-structure alias sc.
+func (e *Extractor) matrixInto(sc *scratch, a, b graph.NodeID) ([][]float64, *subgraph.KStructure, error) {
+	ks, err := sc.sub.BuildKTieInto(e.g, subgraph.TargetLink{A: a, B: b}, e.opts.K, e.opts.Tie)
 	if err != nil {
 		return nil, nil, err
 	}
-	adj := make([][]float64, e.opts.K)
-	for i := range adj {
-		adj[i] = make([]float64, e.opts.K)
+	for i := range sc.adjBacking {
+		sc.adjBacking[i] = 0
 	}
+	adj := sc.adj
 	switch e.opts.Mode {
 	case EntryInfluence:
 		for _, l := range ks.Links {
@@ -196,7 +240,7 @@ func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, *subgraph.KStructure
 			adj[l.Y][l.X] = v
 		}
 	case EntryInverseDistance:
-		e.fillInverseDistance(adj, ks)
+		e.fillInverseDistance(sc, adj, ks)
 	}
 	adj[0][1], adj[1][0] = 0, 0
 	return adj, ks, nil
@@ -206,7 +250,7 @@ func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, *subgraph.KStructure
 // entries become 1/(1 + min(d(N_x, e_t), d(N_y, e_t))) with d the weighted
 // shortest-path distance (edge length = reciprocal normalized influence) to
 // the closer target endpoint.
-func (e *Extractor) fillInverseDistance(adj [][]float64, ks *subgraph.KStructure) {
+func (e *Extractor) fillInverseDistance(sc *scratch, adj [][]float64, ks *subgraph.KStructure) {
 	n := ks.N
 	if n == 0 {
 		return
@@ -214,7 +258,7 @@ func (e *Extractor) fillInverseDistance(adj [][]float64, ks *subgraph.KStructure
 	// Edge lengths between slots: 1 / l̃, capped to avoid Inf when the
 	// influence underflowed to zero.
 	const maxLen = 1e18
-	nbrs := make([][]wedge, n)
+	nbrs := resetWedges(sc.nbrs, n)
 	for _, l := range ks.Links {
 		infl := Influence(l.Stamps, e.present, e.opts.Theta)
 		length := maxLen
@@ -224,7 +268,13 @@ func (e *Extractor) fillInverseDistance(adj [][]float64, ks *subgraph.KStructure
 		nbrs[l.X] = append(nbrs[l.X], wedge{to: l.Y, length: length})
 		nbrs[l.Y] = append(nbrs[l.Y], wedge{to: l.X, length: length})
 	}
-	dist := multiSourceDijkstra(nbrs, n)
+	sc.nbrs = nbrs
+	if cap(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.done = make([]bool, n)
+	}
+	dist, done := sc.dist[:n], sc.done[:n]
+	multiSourceDijkstra(nbrs, n, dist, done)
 	for _, l := range ks.Links {
 		d := math.Min(dist[l.X], dist[l.Y])
 		v := 1 / (1 + d)
@@ -233,19 +283,33 @@ func (e *Extractor) fillInverseDistance(adj [][]float64, ks *subgraph.KStructure
 	}
 }
 
+// resetWedges resizes a ragged [][]wedge to n rows with every row truncated
+// to zero length, keeping row capacities for reuse.
+func resetWedges(s [][]wedge, n int) [][]wedge {
+	s = s[:cap(s)]
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
 // wedge is one weighted adjacency entry among K-structure slots.
 type wedge struct {
 	to     int
 	length float64
 }
 
-// multiSourceDijkstra returns the weighted distance from {slot 0, slot 1}
-// (the target endpoints) to every slot. O(n²) — n is at most K.
-func multiSourceDijkstra(nbrs [][]wedge, n int) []float64 {
-	dist := make([]float64, n)
-	done := make([]bool, n)
-	for i := range dist {
+// multiSourceDijkstra fills dist with the weighted distance from
+// {slot 0, slot 1} (the target endpoints) to every slot, using done as its
+// settled set. O(n²) — n is at most K.
+func multiSourceDijkstra(nbrs [][]wedge, n int, dist []float64, done []bool) {
+	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
+		done[i] = false
 	}
 	dist[0] = 0
 	if n > 1 {
@@ -268,7 +332,6 @@ func multiSourceDijkstra(nbrs [][]wedge, n int) []float64 {
 			}
 		}
 	}
-	return dist
 }
 
 // Unfold flattens the upper-right triangle of the K×K adjacency matrix by

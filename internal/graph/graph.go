@@ -122,6 +122,35 @@ func (g *Graph) MultiDegree(u NodeID) int {
 	return len(g.adj[u])
 }
 
+// ArcSlice returns the arcs leaving u as a slice aliasing the graph's
+// adjacency storage. Callers must treat it as read-only. The extraction hot
+// path uses it instead of Arcs to avoid per-node iterator overhead.
+func (g *Graph) ArcSlice(u NodeID) []Arc {
+	if u < 0 || int(u) >= len(g.adj) {
+		return nil
+	}
+	return g.adj[u]
+}
+
+// ResetNodes reinitializes g in place to n isolated nodes with no edges,
+// retaining the adjacency capacity of previous uses. Repeated induced-
+// subgraph builds against the same backing Graph stop allocating once the
+// per-node arc capacities have grown to their steady-state sizes.
+func (g *Graph) ResetNodes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.adj = g.adj[:cap(g.adj)]
+	for len(g.adj) < n {
+		g.adj = append(g.adj, nil)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.numEdges, g.minTs, g.maxTs = 0, 0, 0
+}
+
 // Arcs iterates over every arc leaving u (one per parallel edge).
 func (g *Graph) Arcs(u NodeID) iter.Seq[Arc] {
 	return func(yield func(Arc) bool) {

@@ -1,7 +1,6 @@
 package subgraph
 
 import (
-	"encoding/binary"
 	"sort"
 
 	"ssflp/internal/graph"
@@ -41,9 +40,14 @@ func (s *StructureGraph) NumNodes() int { return len(s.Nodes) }
 // NeighborSets returns, per structure node, the sorted distinct indices of
 // adjacent structure nodes.
 func (s *StructureGraph) NeighborSets() [][]int {
-	out := make([][]int, len(s.Nodes))
+	return s.neighborSetsInto(make([][]int, len(s.Nodes)))
+}
+
+// neighborSetsInto fills out (len == len(s.Nodes), rows truncated to zero
+// length) with the sorted distinct adjacent structure-node indices.
+func (s *StructureGraph) neighborSetsInto(out [][]int) [][]int {
 	for i, linkIdx := range s.adj {
-		nb := make([]int, 0, len(linkIdx))
+		nb := out[i][:0]
 		for _, li := range linkIdx {
 			l := s.Links[li]
 			other := l.X
@@ -80,39 +84,52 @@ func (s *StructureGraph) LinkBetween(x, y int) *StructureLink {
 // (expressed over the current partition) are identical, until a fixed point.
 // The endpoint nodes (local indices 0 and 1) are special structure nodes that
 // are never merged (Definition 4).
+//
+// Combine is a convenience wrapper over Scratch.CombineInto with a private
+// scratch, so the returned structure graph is owned by the caller. Hot loops
+// should reuse a Scratch instead.
 func Combine(s *Subgraph) *StructureGraph {
+	return new(Scratch).CombineInto(s)
+}
+
+// CombineInto is the allocation-free Combine: all intermediate partitions
+// and the resulting structure graph live in the scratch's reusable buffers.
+// The result aliases the scratch and is overwritten by the next CombineInto
+// call.
+func (sc *Scratch) CombineInto(s *Subgraph) *StructureGraph {
 	n := s.NumNodes()
-	classOf := make([]int, n)
-	for i := range classOf {
-		classOf[i] = i
+	sc.classOf = grownInts(sc.classOf, n)
+	for i := range sc.classOf {
+		sc.classOf[i] = i
 	}
 	numClasses := n
 	// Distinct neighbor lists of the original subgraph nodes, computed once.
-	baseNbrs := baseNeighborLists(s)
+	sc.fillBaseNeighborLists(s)
 
 	for {
-		merged, next, nextCount := mergeRound(baseNbrs, classOf, numClasses)
+		merged, nextCount := sc.mergeRound(numClasses)
 		if !merged {
 			break
 		}
-		classOf, numClasses = next, nextCount
+		numClasses = nextCount
 	}
-	return assemble(s, classOf, numClasses)
+	return sc.assemble(s, numClasses)
 }
 
-// baseNeighborLists computes sorted distinct neighbor local ids per node.
-func baseNeighborLists(s *Subgraph) [][]int {
+// fillBaseNeighborLists computes sorted distinct neighbor local ids per node
+// into sc.baseNbrs.
+func (sc *Scratch) fillBaseNeighborLists(s *Subgraph) {
 	n := s.NumNodes()
-	out := make([][]int, n)
-	var buf []int
+	sc.baseNbrs = resetRagged(sc.baseNbrs, n)
+	buf := sc.nbrBuf
 	for u := 0; u < n; u++ {
 		buf = buf[:0]
-		for a := range s.G.Arcs(graph.NodeID(u)) {
+		for _, a := range s.G.ArcSlice(graph.NodeID(u)) {
 			buf = append(buf, int(a.To))
 		}
-		out[u] = sortDedup(buf, nil)
+		sc.baseNbrs[u] = sortDedup(buf, sc.baseNbrs[u][:0])
 	}
-	return out
+	sc.nbrBuf = buf
 }
 
 // sortDedup sorts in and appends the distinct values to dst (allocating a
@@ -131,106 +148,163 @@ func sortDedup(in []int, dst []int) []int {
 }
 
 // mergeRound performs one iteration of the Algorithm 1 outer loop over the
-// current partition. It returns whether anything merged plus the refreshed
-// class assignment (compacted, with the endpoint classes first).
-func mergeRound(baseNbrs [][]int, classOf []int, numClasses int) (bool, []int, int) {
+// current partition sc.classOf. When any two classes share a neighbor-set
+// signature it rewrites sc.classOf with the refreshed compacted assignment
+// (endpoint classes first) and reports (true, newClassCount); otherwise it
+// leaves sc.classOf untouched and reports (false, numClasses).
+//
+// Classes with identical neighbor sets are grouped by sorting class ids by
+// (neighbor-list lexicographic, id) and scanning runs of equal lists —
+// replacing the legacy per-call map[string]int signature table. New ids are
+// assigned in ascending order of each group's minimal class id, which is
+// exactly the first-seen order the map-based grouping produced.
+func (sc *Scratch) mergeRound(numClasses int) (bool, int) {
 	// Class-level distinct neighbor sets, derived from member adjacency:
 	// gather raw class ids per class, then sort-dedup in place.
-	classNbrs := make([][]int, numClasses)
-	for u, nbrs := range baseNbrs {
-		cu := classOf[u]
+	sc.classNbrs = resetRagged(sc.classNbrs, numClasses)
+	for u, nbrs := range sc.baseNbrs {
+		cu := sc.classOf[u]
 		for _, v := range nbrs {
-			if cv := classOf[v]; cv != cu {
-				classNbrs[cu] = append(classNbrs[cu], cv)
+			if cv := sc.classOf[v]; cv != cu {
+				sc.classNbrs[cu] = append(sc.classNbrs[cu], cv)
 			}
 		}
 	}
-	for c := range classNbrs {
-		classNbrs[c] = sortDedup(classNbrs[c], classNbrs[c][:0])
+	for c := range sc.classNbrs {
+		sc.classNbrs[c] = sortDedup(sc.classNbrs[c], sc.classNbrs[c][:0])
 	}
-	endpointA, endpointB := classOf[0], classOf[1]
+	endpointA, endpointB := sc.classOf[0], sc.classOf[1]
 
-	// Group non-endpoint classes by their neighbor-set signature.
-	groups := make(map[string]int, numClasses) // signature -> new class id
-	newID := make([]int, numClasses)
-	for i := range newID {
-		newID[i] = -1
+	// Sort non-endpoint class ids so equal neighbor lists are adjacent with
+	// their minimal id first.
+	ids := sc.clsIDs[:0]
+	for c := 0; c < numClasses; c++ {
+		if c != endpointA && c != endpointB {
+			ids = append(ids, c)
+		}
 	}
-	// Endpoint classes keep dedicated new ids 0 and 1.
-	newID[endpointA] = 0
-	newID[endpointB] = 1
-	nextCount := 2
+	sc.clsIDs = ids
+	sc.clsSort.ids = ids
+	sc.clsSort.lists = sc.classNbrs
+	sort.Sort(&sc.clsSort)
+
+	// rep[c] = minimal class id of c's equal-signature group.
+	sc.rep = grownInts(sc.rep, numClasses)
 	merged := false
-	var key []byte
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && equalInts(sc.classNbrs[ids[i]], sc.classNbrs[ids[j]]) {
+			j++
+		}
+		if j-i > 1 {
+			merged = true
+		}
+		for k := i; k < j; k++ {
+			sc.rep[ids[k]] = ids[i]
+		}
+		i = j
+	}
+	if !merged {
+		return false, numClasses
+	}
+
+	// Endpoint classes keep dedicated new ids 0 and 1; the rest are numbered
+	// in first-seen order over ascending class id, matching the legacy map.
+	sc.newID = grownInts(sc.newID, numClasses)
+	for i := range sc.newID {
+		sc.newID[i] = -1
+	}
+	sc.newID[endpointA] = 0
+	sc.newID[endpointB] = 1
+	nextCount := 2
 	for c := 0; c < numClasses; c++ {
 		if c == endpointA || c == endpointB {
 			continue
 		}
-		key = signature(key[:0], classNbrs[c])
-		if id, ok := groups[string(key)]; ok {
-			newID[c] = id
-			merged = true
-			continue
+		r := sc.rep[c]
+		if sc.newID[r] == -1 {
+			sc.newID[r] = nextCount
+			nextCount++
 		}
-		groups[string(key)] = nextCount
-		newID[c] = nextCount
-		nextCount++
+		sc.newID[c] = sc.newID[r]
 	}
-
-	next := make([]int, len(classOf))
-	for u, c := range classOf {
-		next[u] = newID[c]
+	for u, c := range sc.classOf {
+		sc.classOf[u] = sc.newID[c]
 	}
-	return merged, next, nextCount
+	return true, nextCount
 }
 
-// signature encodes a sorted neighbor-class list as a byte key.
-func signature(buf []byte, sorted []int) []byte {
-	for _, v := range sorted {
-		buf = binary.AppendUvarint(buf, uint64(v))
+// assemble materializes the StructureGraph from a converged partition into
+// the scratch's structure-graph buffers, preserving Members and Stamps
+// capacities across calls.
+func (sc *Scratch) assemble(s *Subgraph, numClasses int) *StructureGraph {
+	stg := &sc.stg
+	// Resize Nodes without zeroing restored slots so Members capacity
+	// survives; rows restored from the old capacity keep their backing.
+	nodes := stg.Nodes[:cap(stg.Nodes)]
+	for len(nodes) < numClasses {
+		nodes = append(nodes, StructureNode{})
 	}
-	return buf
-}
+	nodes = nodes[:numClasses]
+	for i := range nodes {
+		nodes[i].Members = nodes[i].Members[:0]
+		nodes[i].Dist = graph.Unreachable
+	}
+	stg.Nodes = nodes
+	stg.adj = resetRagged(stg.adj, numClasses)
+	links := stg.Links[:0]
 
-// assemble materializes the StructureGraph from a converged partition.
-func assemble(s *Subgraph, classOf []int, numClasses int) *StructureGraph {
-	sg := &StructureGraph{
-		Nodes: make([]StructureNode, numClasses),
-		adj:   make([][]int, numClasses),
-	}
-	for i := range sg.Nodes {
-		sg.Nodes[i].Dist = graph.Unreachable
-	}
-	for u, c := range classOf {
-		node := &sg.Nodes[c]
+	for u, c := range sc.classOf[:s.NumNodes()] {
+		node := &stg.Nodes[c]
 		node.Members = append(node.Members, u)
 		if d := s.Dist[u]; node.Dist == graph.Unreachable || (d != graph.Unreachable && d < node.Dist) {
 			node.Dist = d
 		}
 	}
-	type pair struct{ x, y int }
-	linkIdx := make(map[pair]int)
-	for e := range s.G.Edges() {
-		cx, cy := classOf[e.U], classOf[e.V]
-		if cx == cy {
-			// Cannot happen for merges of identical open neighborhoods
-			// (members of a class are pairwise non-adjacent); skip
-			// defensively rather than emit a structure self loop.
-			continue
+	// Induced multi-edges in canonical order (ascending smaller local id,
+	// then adjacency order) — the same order Graph.Edges yields, so Stamps
+	// sequences and link discovery order match the legacy path bit for bit.
+	for u := 0; u < s.NumNodes(); u++ {
+		for _, a := range s.G.ArcSlice(graph.NodeID(u)) {
+			if graph.NodeID(u) >= a.To {
+				continue
+			}
+			cx, cy := sc.classOf[u], sc.classOf[a.To]
+			if cx == cy {
+				// Cannot happen for merges of identical open neighborhoods
+				// (members of a class are pairwise non-adjacent); skip
+				// defensively rather than emit a structure self loop.
+				continue
+			}
+			if cx > cy {
+				cx, cy = cy, cx
+			}
+			// Linear scan of the (small) per-class link list replaces the
+			// legacy map[pair]int; first-seen order is identical.
+			li := -1
+			for _, cand := range stg.adj[cx] {
+				if links[cand].X == cx && links[cand].Y == cy {
+					li = cand
+					break
+				}
+			}
+			if li == -1 {
+				li = len(links)
+				// Reuse the slot's Stamps buffer when the backing array
+				// already holds a retired link at this position.
+				if li < cap(links) {
+					links = links[:li+1]
+					links[li].X, links[li].Y = cx, cy
+					links[li].Stamps = links[li].Stamps[:0]
+				} else {
+					links = append(links, StructureLink{X: cx, Y: cy})
+				}
+				stg.adj[cx] = append(stg.adj[cx], li)
+				stg.adj[cy] = append(stg.adj[cy], li)
+			}
+			links[li].Stamps = append(links[li].Stamps, a.Ts)
 		}
-		if cx > cy {
-			cx, cy = cy, cx
-		}
-		p := pair{cx, cy}
-		li, ok := linkIdx[p]
-		if !ok {
-			li = len(sg.Links)
-			linkIdx[p] = li
-			sg.Links = append(sg.Links, StructureLink{X: cx, Y: cy})
-			sg.adj[cx] = append(sg.adj[cx], li)
-			sg.adj[cy] = append(sg.adj[cy], li)
-		}
-		sg.Links[li].Stamps = append(sg.Links[li].Stamps, e.Ts)
 	}
-	return sg
+	stg.Links = links
+	return stg
 }

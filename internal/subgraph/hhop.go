@@ -8,7 +8,6 @@ package subgraph
 
 import (
 	"errors"
-	"fmt"
 
 	"ssflp/internal/graph"
 )
@@ -47,56 +46,12 @@ type Subgraph struct {
 
 // Extract builds the h-hop subgraph of the target link t in g. Both
 // endpoints are always included even when isolated.
+//
+// Extract is a convenience wrapper over Scratch.ExtractInto with a private
+// scratch, so the returned subgraph is owned by the caller. Hot loops should
+// reuse a Scratch instead.
 func Extract(g *graph.Graph, t TargetLink, h int) (*Subgraph, error) {
-	if t.A == t.B {
-		return nil, fmt.Errorf("%w: %d", ErrSameEndpoints, t.A)
-	}
-	n := g.NumNodes()
-	if t.A < 0 || t.B < 0 || int(t.A) >= n || int(t.B) >= n {
-		return nil, fmt.Errorf("%w: (%d, %d) with %d nodes", ErrEndpointMissing, t.A, t.B, n)
-	}
-	if h < 0 {
-		h = 0
-	}
-	dist := g.DistancesToLink(t.A, t.B)
-	sg := &Subgraph{H: h, G: graph.New(16)}
-	// Dense original-id -> local-id table (-1 = excluded); avoids per-node
-	// map traffic on the extraction hot path.
-	local := make([]int32, n)
-	for i := range local {
-		local[i] = -1
-	}
-	add := func(u graph.NodeID) {
-		local[u] = int32(len(sg.Orig))
-		sg.Orig = append(sg.Orig, u)
-		sg.Dist = append(sg.Dist, dist[u])
-	}
-	add(t.A)
-	add(t.B)
-	for u := 0; u < n; u++ {
-		id := graph.NodeID(u)
-		if id == t.A || id == t.B {
-			continue
-		}
-		if d := dist[u]; d != graph.Unreachable && int(d) <= h {
-			add(id)
-		}
-	}
-	sg.G.EnsureNodes(len(sg.Orig))
-	for li, u := range sg.Orig {
-		for a := range g.Arcs(u) {
-			lj := local[a.To]
-			if lj <= int32(li) {
-				// Keep each undirected multi-edge once (smaller local id
-				// adds); excluded neighbors carry -1 and are skipped too.
-				continue
-			}
-			if err := sg.G.AddEdge(graph.NodeID(li), graph.NodeID(lj), a.Ts); err != nil {
-				return nil, fmt.Errorf("subgraph: induce edge: %w", err)
-			}
-		}
-	}
-	return sg, nil
+	return new(Scratch).ExtractInto(g, t, h)
 }
 
 // NumNodes returns the number of nodes in the subgraph.

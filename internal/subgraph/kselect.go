@@ -35,24 +35,33 @@ func BuildK(g *graph.Graph, t TargetLink, k int) (*KStructure, error) {
 	return BuildKTie(g, t, k, PreferConnected)
 }
 
-// BuildKTie is BuildK with an explicit Palette-WL tie preference.
+// BuildKTie is BuildK with an explicit Palette-WL tie preference. It is a
+// convenience wrapper over Scratch.BuildKTieInto with a private scratch, so
+// the returned K-structure subgraph is owned by the caller. Hot loops should
+// reuse a Scratch instead.
 func BuildKTie(g *graph.Graph, t TargetLink, k int, tie TiePreference) (*KStructure, error) {
+	return new(Scratch).BuildKTieInto(g, t, k, tie)
+}
+
+// BuildKTieInto is the allocation-free BuildKTie: the growing-radius
+// extraction loop, structure combination and K-selection all run inside the
+// scratch's reusable buffers. The result aliases the scratch and is
+// overwritten by the next BuildKTieInto call.
+func (sc *Scratch) BuildKTieInto(g *graph.Graph, t TargetLink, k int, tie TiePreference) (*KStructure, error) {
 	if k < 3 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
 	}
 	var (
-		sg        *Subgraph
 		st        *StructureGraph
 		prevNodes = -1
 	)
 	h := 1
 	for {
-		var err error
-		sg, err = Extract(g, t, h)
+		sg, err := sc.ExtractInto(g, t, h)
 		if err != nil {
 			return nil, err
 		}
-		st = Combine(sg)
+		st = sc.CombineInto(sg)
 		if st.NumNodes() >= k {
 			break
 		}
@@ -62,31 +71,51 @@ func BuildKTie(g *graph.Graph, t TargetLink, k int, tie TiePreference) (*KStruct
 		prevNodes = sg.NumNodes()
 		h++
 	}
-	return SelectK(st, k, h, tie)
+	return sc.SelectKInto(st, k, h, tie)
 }
 
 // SelectK orders a structure graph with Palette-WL under the given tie
 // preference and keeps the top-K structure nodes and the structure links
-// among them.
+// among them. It is a convenience wrapper over Scratch.SelectKInto with a
+// private scratch, so the result is owned by the caller (its Members and
+// Stamps still alias st, as they always have).
 func SelectK(st *StructureGraph, k, h int, tie TiePreference) (*KStructure, error) {
+	return new(Scratch).SelectKInto(st, k, h, tie)
+}
+
+// SelectKInto is the allocation-free SelectK. The returned KStructure
+// aliases both the scratch and st (Members/Stamps) and is overwritten by the
+// next SelectKInto call on the same scratch.
+func (sc *Scratch) SelectKInto(st *StructureGraph, k, h int, tie TiePreference) (*KStructure, error) {
 	if k < 3 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
 	}
-	dists := make([]int32, len(st.Nodes))
+	dists := grownInt32s(sc.selDists, len(st.Nodes))
+	sc.selDists = dists
 	for i, n := range st.Nodes {
 		dists[i] = n.Dist
 	}
-	order, err := PaletteWLTie(st.NeighborSets(), dists, tie)
+	sc.nbrSets = resetRagged(sc.nbrSets, len(st.Nodes))
+	sc.nbrSets = st.neighborSetsInto(sc.nbrSets)
+	order, err := sc.PaletteWLInto(sc.nbrSets, dists, tie)
 	if err != nil {
 		return nil, err
 	}
 	n := min(len(st.Nodes), k)
-	ks := &KStructure{K: k, N: n, Nodes: make([]StructureNode, n), H: h}
+	ks := &sc.ks
+	ks.K, ks.N, ks.H = k, n, h
+	if cap(ks.Nodes) < n {
+		ks.Nodes = make([]StructureNode, n)
+	}
+	ks.Nodes = ks.Nodes[:n]
 	for i, node := range st.Nodes {
 		if o := order[i]; o <= n {
+			// Palette-WL orders form a permutation, so every slot < n is
+			// assigned exactly once; stale contents never survive.
 			ks.Nodes[o-1] = node
 		}
 	}
+	ks.Links = ks.Links[:0]
 	for _, l := range st.Links {
 		ox, oy := order[l.X], order[l.Y]
 		if ox > n || oy > n {

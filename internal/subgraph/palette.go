@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -52,7 +53,19 @@ func PaletteWL(nbrs [][]int, dist []int32) ([]int, error) {
 // the refinement is order preserving, so the endpoint colors never move.
 // Remaining ties after convergence (automorphic nodes) are broken by the
 // stable node index so the result is a deterministic permutation.
+//
+// PaletteWLTie is a convenience wrapper over Scratch.PaletteWLInto with a
+// private scratch, so the returned order is owned by the caller. Hot loops
+// should reuse a Scratch instead.
 func PaletteWLTie(nbrs [][]int, dist []int32, tie TiePreference) ([]int, error) {
+	return new(Scratch).PaletteWLInto(nbrs, dist, tie)
+}
+
+// PaletteWLInto is the allocation-free PaletteWLTie: colors, hashes, rank
+// index and prime-log tables all live in the scratch's reusable buffers. The
+// returned order aliases the scratch and is overwritten by the next
+// PaletteWLInto call.
+func (sc *Scratch) PaletteWLInto(nbrs [][]int, dist []int32, tie TiePreference) ([]int, error) {
 	n := len(nbrs)
 	if n < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrTooFewNodes, n)
@@ -68,15 +81,19 @@ func PaletteWLTie(nbrs [][]int, dist []int32, tie TiePreference) ([]int, error) 
 	default:
 		return nil, fmt.Errorf("subgraph: palette-wl: unknown tie preference %d", int(tie))
 	}
-	colors := initialColors(dist)
-	logs := logPrimes(n) // colors are in [1, n], so n primes suffice
-	hash := make([]float64, n)
-	next := make([]int, n)
+	colors := sc.initialColorsInto(dist)
+	sc.ensureLogs(n) // colors are in [1, n], so n primes suffice
+	logs := sc.logs
+	hash := grownFloats(sc.hash, n)
+	sc.hash = hash
+	next := grownInts(sc.next, n)
+	sc.next = next
 	maxDeg := 0
 	for _, nb := range nbrs {
 		maxDeg = max(maxDeg, len(nb))
 	}
-	cs := make([]int, maxDeg)
+	cs := grownInts(sc.cs, maxDeg)
+	sc.cs = cs
 	for iter := 0; iter < n+2; iter++ {
 		var denom float64
 		for _, c := range colors {
@@ -99,38 +116,44 @@ func PaletteWLTie(nbrs [][]int, dist []int32, tie TiePreference) ([]int, error) 
 			}
 			hash[x] = float64(colors[x]) + sign*frac/denom
 		}
-		denseRank(hash, next)
+		sc.denseRankInto(hash, next)
 		if equalInts(next, colors) {
 			break
 		}
 		copy(colors, next)
 	}
-	return totalOrder(colors), nil
+	return sc.totalOrderInto(colors), nil
 }
 
-// initialColors ranks nodes ascending by distance with endpoints pinned:
+// ensureLogs grows the cached ln(P(i)) table to cover at least n colors.
+// The sieve only reruns when a larger subgraph than ever before appears, so
+// steady-state extractions never pay for it.
+func (sc *Scratch) ensureLogs(n int) {
+	if len(sc.logs) >= n {
+		return
+	}
+	sc.logs = logPrimes(max(n, 2*len(sc.logs)))
+}
+
+// initialColorsInto ranks nodes ascending by distance with endpoints pinned:
 // node 0 -> 1, node 1 -> 2, then one color per distinct distance value.
-func initialColors(dist []int32) []int {
+// The legacy map[int64]int color table is replaced by a sorted distinct-key
+// slice plus binary search, which orders keys identically.
+func (sc *Scratch) initialColorsInto(dist []int32) []int {
 	n := len(dist)
-	colors := make([]int, n)
+	colors := grownInts(sc.colors, n)
+	sc.colors = colors
 	colors[0], colors[1] = 1, 2
-	// Collect distinct distances of the remaining nodes; Unreachable sorts
-	// last (it cannot occur for extracted subgraphs, handled defensively).
-	distinct := make(map[int64]struct{})
+	keys := sc.distKeys[:0]
 	for i := 2; i < n; i++ {
-		distinct[distKey(dist[i])] = struct{}{}
+		keys = append(keys, distKey(dist[i]))
 	}
-	keys := make([]int64, 0, len(distinct))
-	for k := range distinct {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	colorOf := make(map[int64]int, len(keys))
-	for i, k := range keys {
-		colorOf[k] = 3 + i
-	}
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+	sc.distKeys = keys
 	for i := 2; i < n; i++ {
-		colors[i] = colorOf[distKey(dist[i])]
+		pos, _ := slices.BinarySearch(keys, distKey(dist[i]))
+		colors[i] = 3 + pos
 	}
 	return colors
 }
@@ -142,15 +165,18 @@ func distKey(d int32) int64 {
 	return int64(d)
 }
 
-// denseRank writes into out the 1-based dense rank of each hash value
-// (equal values share a rank).
-func denseRank(hash []float64, out []int) {
+// denseRankInto writes into out the 1-based dense rank of each hash value
+// (equal values share a rank), reusing the scratch's index buffer.
+func (sc *Scratch) denseRankInto(hash []float64, out []int) {
 	n := len(hash)
-	idx := make([]int, n)
+	idx := grownInts(sc.idx, n)
+	sc.idx = idx
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return hash[idx[a]] < hash[idx[b]] })
+	sc.rankSort.idx = idx
+	sc.rankSort.hash = hash
+	sort.Sort(&sc.rankSort)
 	rank := 0
 	for pos, i := range idx {
 		if pos == 0 || hash[i] != hash[idx[pos-1]] {
@@ -160,21 +186,20 @@ func denseRank(hash []float64, out []int) {
 	}
 }
 
-// totalOrder converts (possibly tied) colors into a permutation 1..n,
-// breaking ties by node index.
-func totalOrder(colors []int) []int {
+// totalOrderInto converts (possibly tied) colors into a permutation 1..n,
+// breaking ties by node index, reusing the scratch's buffers.
+func (sc *Scratch) totalOrderInto(colors []int) []int {
 	n := len(colors)
-	idx := make([]int, n)
+	idx := grownInts(sc.idx, n)
+	sc.idx = idx
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if colors[idx[a]] != colors[idx[b]] {
-			return colors[idx[a]] < colors[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
-	order := make([]int, n)
+	sc.ordSort.idx = idx
+	sc.ordSort.colors = colors
+	sort.Sort(&sc.ordSort)
+	order := grownInts(sc.order, n)
+	sc.order = order
 	for pos, i := range idx {
 		order[i] = pos + 1
 	}

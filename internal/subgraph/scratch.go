@@ -1,0 +1,283 @@
+package subgraph
+
+import (
+	"fmt"
+	"slices"
+
+	"ssflp/internal/graph"
+)
+
+// Scratch holds every reusable buffer of the SSF extraction pipeline:
+// h-hop extraction (bounded BFS over epoch-stamped graph-sized tables),
+// Algorithm 1 structure combination, Algorithm 2 Palette-WL and K-structure
+// selection. After a warm-up call per workload shape the pipeline performs
+// zero heap allocations in steady state (see DESIGN.md §7).
+//
+// A Scratch is NOT safe for concurrent use; pool one per goroutine
+// (core.Extractor does this via sync.Pool). Results returned by the ...Into
+// methods alias the scratch and are invalidated by the next call on the same
+// scratch — copy anything that must outlive it.
+type Scratch struct {
+	// Graph-sized epoch-stamped tables, lazily sized to the history graph.
+	// stamp[u] == epoch marks u as visited by the current extraction; dist
+	// and local are only meaningful for stamped nodes, so none of the three
+	// ever needs an O(|V|) clear between extractions.
+	epoch   uint32
+	stamp   []uint32
+	dist    []int32
+	local   []int32
+	queue   []graph.NodeID
+	visited []graph.NodeID
+
+	sub Subgraph // reused ExtractInto result; sub.G is reset in place
+
+	// Structure combination (Algorithm 1).
+	baseNbrs  [][]int
+	nbrBuf    []int
+	classOf   []int
+	classNbrs [][]int
+	clsIDs    []int
+	clsSort   classSorter
+	rep       []int
+	newID     []int
+	stg       StructureGraph
+
+	// Palette-WL (Algorithm 2).
+	nbrSets  [][]int
+	colors   []int
+	next     []int
+	order    []int
+	cs       []int
+	idx      []int
+	hash     []float64
+	logs     []float64
+	distKeys []int64
+	rankSort rankSorter
+	ordSort  orderSorter
+
+	// K-selection.
+	selDists []int32
+	ks       KStructure
+}
+
+// ensureGraphTables sizes the epoch-stamped tables for an n-node history
+// graph. Growth resets the epoch so stale stamps can never collide.
+func (sc *Scratch) ensureGraphTables(n int) {
+	if len(sc.stamp) >= n {
+		return
+	}
+	sc.stamp = make([]uint32, n)
+	sc.dist = make([]int32, n)
+	sc.local = make([]int32, n)
+	sc.epoch = 0
+}
+
+// bfsLink runs the bounded BFS of Eq. 1 from the two target endpoints,
+// stamping every node within h hops with its distance. Unlike
+// Graph.DistancesToLink it never touches nodes outside the h-hop ball, so
+// the cost is proportional to the subgraph, not the whole history graph.
+func (sc *Scratch) bfsLink(g *graph.Graph, a, b graph.NodeID, h int) {
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: invalidate all stamps once
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	q := sc.queue[:0]
+	sc.visited = sc.visited[:0]
+	for _, s := range [2]graph.NodeID{a, b} {
+		if sc.stamp[s] == sc.epoch {
+			continue
+		}
+		sc.stamp[s] = sc.epoch
+		sc.dist[s] = 0
+		q = append(q, s)
+		sc.visited = append(sc.visited, s)
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := sc.dist[u]
+		if int(du) >= h {
+			continue
+		}
+		for _, arc := range g.ArcSlice(u) {
+			if sc.stamp[arc.To] != sc.epoch {
+				sc.stamp[arc.To] = sc.epoch
+				sc.dist[arc.To] = du + 1
+				q = append(q, arc.To)
+				sc.visited = append(sc.visited, arc.To)
+			}
+		}
+	}
+	sc.queue = q
+}
+
+// ExtractInto is the allocation-free Extract: it builds the h-hop subgraph
+// of the target link into the scratch's reusable buffers. The result aliases
+// the scratch and is overwritten by the next ExtractInto call.
+func (sc *Scratch) ExtractInto(g *graph.Graph, t TargetLink, h int) (*Subgraph, error) {
+	if t.A == t.B {
+		return nil, fmt.Errorf("%w: %d", ErrSameEndpoints, t.A)
+	}
+	n := g.NumNodes()
+	if t.A < 0 || t.B < 0 || int(t.A) >= n || int(t.B) >= n {
+		return nil, fmt.Errorf("%w: (%d, %d) with %d nodes", ErrEndpointMissing, t.A, t.B, n)
+	}
+	if h < 0 {
+		h = 0
+	}
+	sc.ensureGraphTables(n)
+	sc.bfsLink(g, t.A, t.B, h)
+
+	// Local ids must match the legacy full-scan order exactly: A, B, then
+	// the remaining in-ball nodes ascending by original id.
+	slices.Sort(sc.visited)
+	sub := &sc.sub
+	sub.H = h
+	sub.Orig = sub.Orig[:0]
+	sub.Dist = sub.Dist[:0]
+	sc.local[t.A] = 0
+	sub.Orig = append(sub.Orig, t.A)
+	sub.Dist = append(sub.Dist, sc.dist[t.A])
+	sc.local[t.B] = 1
+	sub.Orig = append(sub.Orig, t.B)
+	sub.Dist = append(sub.Dist, sc.dist[t.B])
+	for _, u := range sc.visited {
+		if u == t.A || u == t.B {
+			continue
+		}
+		sc.local[u] = int32(len(sub.Orig))
+		sub.Orig = append(sub.Orig, u)
+		sub.Dist = append(sub.Dist, sc.dist[u])
+	}
+	if sub.G == nil {
+		sub.G = graph.New(16)
+	}
+	sub.G.ResetNodes(len(sub.Orig))
+	for li, u := range sub.Orig {
+		for _, a := range g.ArcSlice(u) {
+			if sc.stamp[a.To] != sc.epoch {
+				continue // neighbor outside the h-hop ball
+			}
+			lj := sc.local[a.To]
+			if lj <= int32(li) {
+				// Keep each undirected multi-edge once (smaller local id
+				// adds).
+				continue
+			}
+			if err := sub.G.AddEdge(graph.NodeID(li), graph.NodeID(lj), a.Ts); err != nil {
+				return nil, fmt.Errorf("subgraph: induce edge: %w", err)
+			}
+		}
+	}
+	return sub, nil
+}
+
+// NeighborListsInto fills the scratch's neighbor-set buffers with the sorted
+// distinct neighbor local ids of every subgraph node (what the WLF baseline
+// feeds to Palette-WL). The result aliases the scratch.
+func (sc *Scratch) NeighborListsInto(s *Subgraph) [][]int {
+	n := s.NumNodes()
+	sc.baseNbrs = resetRagged(sc.baseNbrs, n)
+	buf := sc.nbrBuf
+	for u := 0; u < n; u++ {
+		buf = buf[:0]
+		for _, a := range s.G.ArcSlice(graph.NodeID(u)) {
+			buf = append(buf, int(a.To))
+		}
+		sc.baseNbrs[u] = sortDedup(buf, sc.baseNbrs[u][:0])
+	}
+	sc.nbrBuf = buf
+	return sc.baseNbrs
+}
+
+// --- buffer helpers ---
+
+// grownInts returns s with length n (contents unspecified), reusing capacity.
+func grownInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// grownInt32s is grownInts for []int32.
+func grownInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// grownFloats is grownInts for []float64.
+func grownFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// resetRagged resizes a ragged [][]int to n rows, truncating every row to
+// length zero while keeping row capacities for reuse.
+func resetRagged(s [][]int, n int) [][]int {
+	s = s[:cap(s)]
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+// --- allocation-free sorters (sort.Sort on a pre-allocated sort.Interface
+// pointer does not allocate, unlike sort.Slice / slices.SortFunc whose
+// closures escape) ---
+
+// classSorter orders class ids by (neighbor-list lexicographic, id). Classes
+// with equal neighbor lists end up adjacent with their minimum id first.
+type classSorter struct {
+	ids   []int
+	lists [][]int
+}
+
+func (s *classSorter) Len() int      { return len(s.ids) }
+func (s *classSorter) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+func (s *classSorter) Less(i, j int) bool {
+	a, b := s.ids[i], s.ids[j]
+	if c := slices.Compare(s.lists[a], s.lists[b]); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// rankSorter orders node indices ascending by hash (denseRank).
+type rankSorter struct {
+	idx  []int
+	hash []float64
+}
+
+func (s *rankSorter) Len() int      { return len(s.idx) }
+func (s *rankSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *rankSorter) Less(i, j int) bool {
+	return s.hash[s.idx[i]] < s.hash[s.idx[j]]
+}
+
+// orderSorter orders node indices by (color, index) — the totalOrder
+// tie-break.
+type orderSorter struct {
+	idx    []int
+	colors []int
+}
+
+func (s *orderSorter) Len() int      { return len(s.idx) }
+func (s *orderSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *orderSorter) Less(i, j int) bool {
+	a, b := s.idx[i], s.idx[j]
+	if s.colors[a] != s.colors[b] {
+		return s.colors[a] < s.colors[b]
+	}
+	return a < b
+}

@@ -8,6 +8,7 @@ package wlf
 
 import (
 	"fmt"
+	"sync"
 
 	"ssflp/internal/core"
 	"ssflp/internal/graph"
@@ -21,10 +22,34 @@ type Options struct {
 }
 
 // Extractor computes WLF vectors for target links against a fixed history
-// graph. Safe for concurrent use once built.
+// graph. Safe for concurrent use once built: like the SSF extractor, it
+// draws a per-goroutine scratch from an internal sync.Pool so steady-state
+// extraction only allocates the returned vector. Must not be copied after
+// first use.
 type Extractor struct {
-	g *graph.Graph
-	k int
+	g    *graph.Graph
+	k    int
+	pool sync.Pool // *scratch
+}
+
+// scratch bundles the subgraph extraction scratch with the WLF-specific
+// slot table and adjacency buffers.
+type scratch struct {
+	sub        subgraph.Scratch
+	slot       []int
+	adjBacking []float64
+	adj        [][]float64
+}
+
+func newScratch(k int) *scratch {
+	sc := &scratch{
+		adjBacking: make([]float64, k*k),
+		adj:        make([][]float64, k),
+	}
+	for i := range sc.adj {
+		sc.adj[i] = sc.adjBacking[i*k : (i+1)*k]
+	}
+	return sc
 }
 
 // NewExtractor validates options and returns a WLF extractor.
@@ -39,7 +64,9 @@ func NewExtractor(g *graph.Graph, opts Options) (*Extractor, error) {
 	if k < 3 {
 		return nil, fmt.Errorf("%w: got %d", subgraph.ErrBadK, k)
 	}
-	return &Extractor{g: g, k: k}, nil
+	e := &Extractor{g: g, k: k}
+	e.pool.New = func() any { return newScratch(k) }
+	return e, nil
 }
 
 // K returns the effective enclosing-subgraph size.
@@ -50,30 +77,43 @@ func (e *Extractor) K() int { return e.k }
 // enclosing-subgraph vertices, with the target cell zeroed. Length is
 // core.FeatureLen(K).
 func (e *Extractor) Extract(a, b graph.NodeID) ([]float64, error) {
-	adj, err := e.Matrix(a, b)
+	sc := e.pool.Get().(*scratch)
+	adj, err := e.matrixInto(sc, a, b)
 	if err != nil {
+		e.pool.Put(sc)
 		return nil, err
 	}
-	return core.Unfold(adj, e.k), nil
+	vec := core.Unfold(adj, e.k)
+	e.pool.Put(sc)
+	return vec, nil
 }
 
 // Matrix returns the K×K binary adjacency of the enclosing subgraph, with
-// row/column i holding the vertex of Palette-WL order i+1.
+// row/column i holding the vertex of Palette-WL order i+1. The result is
+// backed by a private scratch, so the caller owns it.
 func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, error) {
-	sg, err := e.enclosing(a, b)
+	return e.matrixInto(newScratch(e.k), a, b)
+}
+
+// matrixInto computes the binary adjacency into the scratch's buffers.
+func (e *Extractor) matrixInto(sc *scratch, a, b graph.NodeID) ([][]float64, error) {
+	sg, err := e.enclosing(sc, a, b)
 	if err != nil {
 		return nil, err
 	}
-	order, err := subgraph.PaletteWL(neighborLists(sg), sg.Dist)
+	order, err := sc.sub.PaletteWLInto(sc.sub.NeighborListsInto(sg), sg.Dist, subgraph.PreferConnected)
 	if err != nil {
 		return nil, err
 	}
 	n := min(sg.NumNodes(), e.k)
-	adj := make([][]float64, e.k)
-	for i := range adj {
-		adj[i] = make([]float64, e.k)
+	for i := range sc.adjBacking {
+		sc.adjBacking[i] = 0
 	}
-	slot := make([]int, sg.NumNodes()) // local node -> slot or -1
+	adj := sc.adj
+	if cap(sc.slot) < sg.NumNodes() {
+		sc.slot = make([]int, sg.NumNodes())
+	}
+	slot := sc.slot[:sg.NumNodes()] // local node -> slot or -1
 	for i, o := range order {
 		if o <= n {
 			slot[i] = o - 1
@@ -81,13 +121,18 @@ func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, error) {
 			slot[i] = -1
 		}
 	}
-	for edge := range sg.G.Edges() {
-		si, sj := slot[edge.U], slot[edge.V]
-		if si < 0 || sj < 0 {
-			continue
+	for u := 0; u < sg.NumNodes(); u++ {
+		for _, arc := range sg.G.ArcSlice(graph.NodeID(u)) {
+			if graph.NodeID(u) >= arc.To {
+				continue
+			}
+			si, sj := slot[u], slot[arc.To]
+			if si < 0 || sj < 0 {
+				continue
+			}
+			adj[si][sj] = 1
+			adj[sj][si] = 1
 		}
-		adj[si][sj] = 1
-		adj[sj][si] = 1
 	}
 	adj[0][1], adj[1][0] = 0, 0
 	return adj, nil
@@ -96,10 +141,10 @@ func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, error) {
 // enclosing grows the hop radius until the plain subgraph holds at least K
 // vertices or the component is exhausted (mirroring subgraph.BuildK but
 // without structure combination).
-func (e *Extractor) enclosing(a, b graph.NodeID) (*subgraph.Subgraph, error) {
+func (e *Extractor) enclosing(sc *scratch, a, b graph.NodeID) (*subgraph.Subgraph, error) {
 	prev := -1
 	for h := 1; ; h++ {
-		sg, err := subgraph.Extract(e.g, subgraph.TargetLink{A: a, B: b}, h)
+		sg, err := sc.sub.ExtractInto(e.g, subgraph.TargetLink{A: a, B: b}, h)
 		if err != nil {
 			return nil, err
 		}
@@ -108,17 +153,4 @@ func (e *Extractor) enclosing(a, b graph.NodeID) (*subgraph.Subgraph, error) {
 		}
 		prev = sg.NumNodes()
 	}
-}
-
-// neighborLists converts the subgraph's multigraph adjacency to distinct
-// neighbor index lists for Palette-WL.
-func neighborLists(sg *subgraph.Subgraph) [][]int {
-	view := sg.G.Static()
-	out := make([][]int, sg.NumNodes())
-	for u := 0; u < sg.NumNodes(); u++ {
-		for _, w := range view.Neighbors(graph.NodeID(u)) {
-			out[u] = append(out[u], int(w))
-		}
-	}
-	return out
 }
