@@ -4,8 +4,10 @@ GO ?= go
 
 .PHONY: all build test race cover bench bench-all bench-check vet fmt experiments clean
 
-# The four extraction hot-path microbenches tracked in BENCH_ssf.json.
-HOT_BENCHES = ^(BenchmarkSSFExtract|BenchmarkWLFExtract|BenchmarkStructureCombine|BenchmarkPaletteWL)$$
+# The hot-path microbenches tracked in BENCH_ssf.json: the four extraction
+# kernels plus the telemetry primitives they observe through.
+HOT_BENCHES = ^(BenchmarkSSFExtract|BenchmarkWLFExtract|BenchmarkStructureCombine|BenchmarkPaletteWL|BenchmarkTelemetryCounter|BenchmarkTelemetryHistogram)$$
+HOT_BENCH_PKGS = . ./internal/telemetry
 
 all: build test
 
@@ -25,7 +27,7 @@ cover:
 # (current section only; pass -rebase via BENCHDIFF_FLAGS to move the
 # baseline). `make bench-check` then gates on the recorded baseline.
 bench:
-	$(GO) test -run='^$$' -bench='$(HOT_BENCHES)' -benchmem . | tee bench_output.txt
+	$(GO) test -run='^$$' -bench='$(HOT_BENCHES)' -benchmem $(HOT_BENCH_PKGS) | tee bench_output.txt
 	$(GO) run ./cmd/ssf-benchdiff record -in bench_output.txt -out BENCH_ssf.json $(BENCHDIFF_FLAGS)
 
 bench-check: bench

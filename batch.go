@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // ScoredPair is one candidate link with its predicted score.
@@ -38,17 +39,29 @@ func (p *Predictor) ScoreBatch(pairs [][2]NodeID, workers int) ([]ScoredPair, er
 // one pair's extraction time. A cancelled or expired context is reported as
 // an error wrapping ctx.Err().
 func (p *Predictor) ScoreBatchCtx(ctx context.Context, pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
+	// Resolve the nil-safe metric handles once per batch; when no metrics
+	// are attached every observation below no-ops.
+	m := p.metrics
+	m.batchesCounter().Inc()
+	m.batchSizeHist().Observe(float64(len(pairs)))
+	pairSeconds, workersBusy, pairsScored := m.pairSecondsHist(), m.workersBusyGauge(), m.pairsCounter()
 	out := make([]ScoredPair, len(pairs))
 	err := runIndexed(ctx, len(pairs), workers, func(i int) error {
 		u, v := pairs[i][0], pairs[i][1]
+		workersBusy.Inc()
+		start := time.Now()
 		s, err := p.scoreSafe(u, v)
+		pairSeconds.ObserveSince(start)
+		workersBusy.Dec()
 		if err != nil {
 			return fmt.Errorf("ssflp: score (%d, %d): %w", u, v, err)
 		}
+		pairsScored.Inc()
 		out[i] = ScoredPair{U: u, V: v, Score: s}
 		return nil
 	})
 	if err != nil {
+		m.errorsCounter().Inc()
 		return nil, err
 	}
 	return out, nil

@@ -25,6 +25,7 @@ import (
 	"ssflp/internal/experiments"
 	"ssflp/internal/nn"
 	"ssflp/internal/subgraph"
+	"ssflp/internal/telemetry"
 )
 
 // benchScale shrinks the Table II datasets for benchmarking.
@@ -283,13 +284,15 @@ func benchPair(i, n int) (NodeID, NodeID) {
 }
 
 // BenchmarkSSFExtract measures one SSF feature extraction on a mid-size
-// history graph.
+// history graph. Stage telemetry is attached so the recorded numbers include
+// the instrumentation overhead the serving path actually pays.
 func BenchmarkSSFExtract(b *testing.B) {
 	g := ablationGraph(b)
 	ex, err := NewSSFExtractor(g, g.MaxTimestamp()+1, SSFOptions{K: 10})
 	if err != nil {
 		b.Fatal(err)
 	}
+	ex.SetMetrics(core.NewMetrics(telemetry.NewRegistry()))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -6,10 +6,11 @@
 //
 // Endpoints:
 //
-//	GET /health               -> {"status":"ok", ...} (legacy aggregate)
+//	GET /health (/healthz)    -> {"status":"ok", ...} aggregate incl. cache stats
 //	GET /livez                -> liveness probe (process is up)
 //	GET /readyz               -> readiness probe (503 while draining; WAL
 //	                             recovery report when durability is on)
+//	GET /metrics              -> Prometheus text exposition (all layers)
 //	GET /score?u=<l>&v=<l>    -> score + predicted flag for one pair (labels)
 //	GET /top?n=10             -> the n highest-scoring absent links
 //	POST /batch               -> scores for a JSON array of pairs
@@ -18,8 +19,12 @@
 // Scoring and ingest endpoints run behind a resilience chain: per-endpoint
 // deadlines (504 on expiry), bounded in-flight admission control (429 +
 // Retry-After when saturated) and panic recovery (500, process stays up).
-// Probe endpoints bypass admission control so health checks answer under
-// load.
+// Probe endpoints and /metrics bypass admission control so health checks and
+// scrapes answer under load.
+//
+// Every request carries an X-Request-Id (honored from the caller when sane,
+// generated otherwise) and produces one structured log line via log/slog;
+// -log-format selects text or JSON, -log-level the verbosity.
 //
 // With -wal-dir, ingested edges are appended to a write-ahead log before
 // they touch the in-memory network, periodic checksummed snapshots bound
@@ -39,7 +44,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -49,6 +55,7 @@ import (
 
 	"ssflp"
 	"ssflp/internal/graph"
+	"ssflp/internal/telemetry"
 	"ssflp/internal/wal"
 )
 
@@ -88,6 +95,11 @@ func run(args []string) error {
 		walSyncEvery = fs.Duration("wal-fsync-interval", 200*time.Millisecond, "background fsync period for -wal-fsync=interval")
 		walSegBytes  = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 		snapEvery    = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (0 disables; needs -wal-dir)")
+
+		cacheSize = fs.Int("cache-size", 0, fmt.Sprintf(
+			"SSF extraction cache capacity (0 = default %d, negative disables)", ssflp.DefaultCacheSize))
+		logLevel  = fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat = fs.String("log-format", "text", "log output format: text | json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,12 +107,18 @@ func run(args []string) error {
 	if *file == "" {
 		return errors.New("-file is required")
 	}
+	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	srv, err := newServer(serverConfig{
 		File: *file, Method: *method, Model: *model,
 		K: *k, Epochs: *epochs, Seed: *seed, MaxPositives: *maxPos,
 		LenientLoad: *lenient,
 		WALDir:      *walDir, WALSync: *walSync, WALSyncEvery: *walSyncEvery,
 		WALSegmentBytes: *walSegBytes,
+		CacheSize:       *cacheSize,
+		Logger:          logger,
 		Limits: limitsConfig{
 			ScoreTimeout: *scoreTimeout, TopTimeout: *topTimeout,
 			BatchTimeout: *batchTimeout, IngestTimeout: *ingestTimeout,
@@ -127,15 +145,43 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("pprof listener: %w", err)
 		}
-		log.Printf("ssf-serve: pprof on http://%s/debug/pprof/", pprofLn.Addr())
+		logger.Info("pprof listening", slog.String("url", fmt.Sprintf("http://%s/debug/pprof/", pprofLn.Addr())))
 	}
 	if srv.wlog != nil && *snapEvery > 0 {
 		go snapshotLoop(ctx, srv, *snapEvery)
 	}
 	stats := srv.b.Graph().Statistics()
-	log.Printf("ssf-serve: %s predictor on %s (%d nodes, %d links)",
-		srv.predictor.Method(), ln.Addr(), stats.NumNodes, stats.NumEdges)
+	logger.Info("serving",
+		slog.String("method", srv.predictor.Method().String()),
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("nodes", stats.NumNodes),
+		slog.Int("links", stats.NumEdges))
 	return serve(ctx, httpSrv, ln, *drainTimeout, func() { srv.setReady(false) })
+}
+
+// newLogger builds the process logger from the -log-level/-log-format flags.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }
 
 // snapshotLoop periodically persists the served network so restart recovery
@@ -149,7 +195,7 @@ func snapshotLoop(ctx context.Context, srv *server, every time.Duration) {
 			return
 		case <-t.C:
 			if err := srv.writeSnapshot(); err != nil {
-				log.Printf("ssf-serve: periodic snapshot: %v", err)
+				srv.slogger().Error("periodic snapshot failed", slog.Any("error", err))
 			}
 		}
 	}
@@ -193,6 +239,8 @@ type serverConfig struct {
 	WALSync             string // "always" | "interval" | "off" ("" = always)
 	WALSyncEvery        time.Duration
 	WALSegmentBytes     int64
+	CacheSize           int          // 0 = DefaultCacheSize, negative disables
+	Logger              *slog.Logger // nil = discard (tests)
 	Limits              limitsConfig
 }
 
@@ -214,13 +262,20 @@ func walSyncPolicy(name string) (wal.SyncPolicy, error) {
 // plus the log tail; the -file network is only the base for a log that has
 // no snapshot yet.
 func newServer(cfg serverConfig) (*server, error) {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntime(reg)
 	base := func() (*graph.Builder, error) {
 		res, err := graph.LoadEdgeListFileOpts(cfg.File, graph.LoadOptions{Lenient: cfg.LenientLoad})
 		if err != nil {
 			return nil, err
 		}
 		if res.Malformed > 0 {
-			log.Printf("ssf-serve: skipped %d malformed lines in %s", res.Malformed, cfg.File)
+			logger.Warn("skipped malformed edge-list lines",
+				slog.Int("lines", res.Malformed), slog.String("file", cfg.File))
 		}
 		return res.Builder()
 	}
@@ -238,7 +293,10 @@ func newServer(cfg serverConfig) (*server, error) {
 			SegmentBytes: cfg.WALSegmentBytes,
 			Sync:         pol,
 			SyncEvery:    cfg.WALSyncEvery,
-			Logf:         log.Printf,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...), slog.String("component", "wal"))
+			},
+			Metrics: wal.NewMetrics(reg),
 		}, base)
 		if err != nil {
 			return nil, fmt.Errorf("wal recovery: %w", err)
@@ -278,6 +336,12 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, fmt.Errorf("train: %w", err)
 		}
 	}
+	pred.SetMetrics(ssflp.NewPredictorMetrics(reg))
+	if cfg.CacheSize >= 0 {
+		if pred.EnableCache(cfg.CacheSize) {
+			logger.Info("extraction cache enabled", slog.Int("capacity", cacheCapacity(cfg.CacheSize)))
+		}
+	}
 	limits := cfg.Limits.withDefaults()
 	s := &server{
 		b:          b,
@@ -290,10 +354,21 @@ func newServer(cfg serverConfig) (*server, error) {
 		recovered:  recovered,
 		scoreBatch: pred.ScoreBatchCtx,
 	}
+	s.initTelemetry(reg, logger)
 	if recovered != nil {
 		s.appliedLSN = recovered.AppliedLSN
 		s.lastSnapLSN = recovered.SnapshotLSN
+		s.appliedLSNG.Set(float64(recovered.AppliedLSN))
 	}
 	s.setReady(true)
 	return s, nil
+}
+
+// cacheCapacity resolves the -cache-size flag value to the effective
+// capacity (0 selects the library default).
+func cacheCapacity(configured int) int {
+	if configured == 0 {
+		return ssflp.DefaultCacheSize
+	}
+	return configured
 }

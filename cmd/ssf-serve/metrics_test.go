@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssflp"
+	"ssflp/internal/telemetry"
+)
+
+// metricsTestServer trains an SSFLR predictor (so the extraction stage
+// metrics and the cache are live) with durable ingest on, capturing the
+// structured log into buf.
+func metricsTestServer(t *testing.T, buf *bytes.Buffer) *server {
+	t.Helper()
+	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(serverConfig{
+		File: path, Method: "SSFLR", K: 6, MaxPositives: 20, Seed: 1,
+		WALDir: filepath.Join(dir, "wal"),
+		Logger: slog.New(slog.NewJSONHandler(buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.close)
+	return srv
+}
+
+func scrapeMetrics(t *testing.T, h http.Handler) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	out := rec.Body.String()
+	if err := telemetry.Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("/metrics failed lint: %v\n%s", err, out)
+	}
+	return out
+}
+
+// TestMetricsEndToEnd drives the server through scoring and ingest, then
+// asserts that the exposition covers every layer: HTTP, scoring, extraction,
+// WAL, and the Go runtime.
+func TestMetricsEndToEnd(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := metricsTestServer(t, &logBuf)
+	h := srv.routes()
+
+	if code, body := getJSON(t, h, "/score?u=0&v=1"); code != http.StatusOK {
+		t.Fatalf("/score status = %d body %v", code, body)
+	}
+	if code, body := postJSON(t, h, "/ingest", `{"u":"newA","v":"newB"}`); code != http.StatusOK {
+		t.Fatalf("/ingest status = %d body %v", code, body)
+	} else if body["durable"] != true {
+		t.Errorf("ingest not durable: %v", body)
+	}
+
+	out := scrapeMetrics(t, h)
+	// One family per layer, all necessarily nonzero after the two requests.
+	for _, want := range []string{
+		`ssf_http_requests_total{endpoint="/score",code="200"} 1`,
+		`ssf_http_requests_total{endpoint="/ingest",code="200"} 1`,
+		"ssf_score_pairs_total 1",
+		"ssf_score_batches_total 1",
+		`ssf_extract_stage_duration_seconds_count{stage="hhop"} 1`,
+		"ssf_extracts_total 1",
+		"ssf_wal_records_total 1",
+		"ssf_wal_applied_lsn 1",
+		"ssf_ingest_edges_total 1",
+		"ssf_ingest_batches_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics", want)
+		}
+	}
+	for _, family := range []string{
+		"ssf_http_request_duration_seconds_bucket",
+		"ssf_http_inflight_requests",
+		"ssf_score_pair_duration_seconds_bucket",
+		"go_goroutines",
+		"go_memstats_heap_alloc_bytes",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("family %q absent from /metrics", family)
+		}
+	}
+
+	// The ingest purged the extraction cache; scoring again after the graph
+	// mutation must still work and repopulate it.
+	if code, _ := getJSON(t, h, "/score?u=0&v=1"); code != http.StatusOK {
+		t.Fatalf("post-ingest /score failed")
+	}
+
+	// Structured request logs: one line per request with a request ID.
+	logs := logBuf.String()
+	for _, want := range []string{`"msg":"request"`, `"request_id":`, `"endpoint":"/ingest"`, `"status":200`} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("missing %q in structured log:\n%s", want, logs)
+		}
+	}
+}
+
+// TestHealthzReportsCacheStats checks the /healthz alias and the extraction
+// cache section added for SSF methods.
+func TestHealthzReportsCacheStats(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := metricsTestServer(t, &logBuf)
+	h := srv.routes()
+
+	if code, _ := getJSON(t, h, "/score?u=0&v=1"); code != http.StatusOK {
+		t.Fatal("score failed")
+	}
+	code, body := getJSON(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	cache, ok := body["extractionCache"].(map[string]any)
+	if !ok {
+		t.Fatalf("extractionCache missing from /healthz: %v", body)
+	}
+	if cache["misses"].(float64) < 1 {
+		t.Errorf("cache misses = %v, want >= 1", cache["misses"])
+	}
+	if cache["capacity"].(float64) != float64(ssflp.DefaultCacheSize) {
+		t.Errorf("cache capacity = %v, want %d", cache["capacity"], ssflp.DefaultCacheSize)
+	}
+}
+
+// TestRequestIDHeaderRoundTrip asserts the serving layer honors a sane
+// caller-supplied X-Request-Id end to end.
+func TestRequestIDHeaderRoundTrip(t *testing.T) {
+	h := testServer(t).routes()
+	req := httptest.NewRequest(http.MethodGet, "/score?u=0&v=1", nil)
+	req.Header.Set("X-Request-Id", "trace-me-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "trace-me-42" {
+		t.Errorf("X-Request-Id = %q, want trace-me-42", got)
+	}
+}
+
+// TestBareServerNoTelemetry: a server constructed without initTelemetry
+// (as the resilience tests do) must keep serving with no metrics attached.
+func TestBareServerNoTelemetry(t *testing.T) {
+	srv := testServer(t)
+	srv.logger, srv.reg, srv.instr = nil, nil, nil
+	srv.ingestedEdges, srv.ingestBatches = nil, nil
+	srv.appliedLSNG, srv.snapshotsOK, srv.snapshotErrors = nil, nil, nil
+	h := srv.routes()
+	if code, _ := getJSON(t, h, "/score?u=0&v=1"); code != http.StatusOK {
+		t.Error("bare server /score failed")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/metrics on bare server = %d, want 404", rec.Code)
+	}
+	if code, _ := postJSON(t, h, "/ingest", `{"u":"x","v":"y"}`); code != http.StatusOK {
+		t.Error("bare server /ingest failed")
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -19,6 +19,7 @@ import (
 	"ssflp"
 	"ssflp/internal/graph"
 	"ssflp/internal/resilience"
+	"ssflp/internal/telemetry"
 	"ssflp/internal/wal"
 )
 
@@ -48,6 +49,50 @@ type server struct {
 	// to predictor.ScoreBatchCtx and is the seam where tests inject latency
 	// and panics (see resilience_test.go).
 	scoreBatch func(ctx context.Context, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error)
+
+	// Telemetry. All fields are optional: a server built as a bare struct in
+	// tests works without any of them (nil metric handles no-op, routes falls
+	// back to a discard logger). newServer wires the full stack.
+	logger *slog.Logger        // structured request + lifecycle logging
+	reg    *telemetry.Registry // exposed on GET /metrics when non-nil
+	instr  *resilience.Instrumentation
+
+	ingestedEdges  *telemetry.Counter // edges applied by POST /ingest
+	ingestBatches  *telemetry.Counter // successful /ingest requests
+	appliedLSNG    *telemetry.Gauge   // WAL position reflected in the graph
+	snapshotsOK    *telemetry.Counter // snapshots written
+	snapshotErrors *telemetry.Counter // snapshot attempts that failed
+}
+
+// initTelemetry attaches the logger and registry and registers the serving
+// layer's own metric families. Called by newServer; tests that construct a
+// bare struct skip it and every observation site degrades to a no-op.
+func (s *server) initTelemetry(reg *telemetry.Registry, logger *slog.Logger) {
+	s.logger = logger
+	s.reg = reg
+	s.instr = resilience.NewInstrumentation(reg, logger)
+	if reg == nil {
+		return
+	}
+	s.ingestedEdges = reg.Counter("ssf_ingest_edges_total",
+		"Edge arrivals applied to the live network by POST /ingest.")
+	s.ingestBatches = reg.Counter("ssf_ingest_batches_total",
+		"Successful POST /ingest requests.")
+	s.appliedLSNG = reg.Gauge("ssf_wal_applied_lsn",
+		"Last write-ahead-log position reflected in the served graph.")
+	s.snapshotsOK = reg.Counter("ssf_snapshots_total",
+		"Network snapshots persisted (periodic and shutdown).")
+	s.snapshotErrors = reg.Counter("ssf_snapshot_errors_total",
+		"Snapshot attempts that failed.")
+}
+
+// slogger returns the structured logger, falling back to a discard logger so
+// bare-struct servers never nil-deref.
+func (s *server) slogger() *slog.Logger {
+	if s.logger == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return s.logger
 }
 
 // limitsConfig carries the per-endpoint resilience knobs from the flags.
@@ -93,28 +138,37 @@ func (c limitsConfig) withDefaults() limitsConfig {
 	return c
 }
 
-// routes builds the HTTP mux. Scoring and ingest endpoints are wrapped in
-// the resilience chain — panic recovery outermost, then admission control,
-// then the per-endpoint deadline. Liveness and readiness are exempt from
-// admission control so health checks keep answering under saturation; they
-// still get panic recovery.
+// routes builds the HTTP mux. Every endpoint gets instrumentation outermost
+// (request IDs, counters, latency, one structured log line — it must see the
+// final status code) and panic recovery just inside it. Scoring and ingest
+// endpoints additionally pass admission control and a per-endpoint deadline;
+// probes and /metrics are exempt so health checks and scrapes keep answering
+// under saturation.
 func (s *server) routes() http.Handler {
+	if s.instr == nil {
+		s.instr = resilience.NewInstrumentation(s.reg, s.logger)
+	}
 	mux := http.NewServeMux()
-	rec := resilience.Recover(log.Printf)
 	admit := s.limiter.Middleware()
-	guarded := func(h http.HandlerFunc, deadline time.Duration) http.Handler {
-		return resilience.Chain(h, rec, admit, resilience.Deadline(deadline))
+	unguarded := func(name string, h http.HandlerFunc) http.Handler {
+		rec := resilience.RecoverWith(s.logger, func() { s.instr.CountPanic(name) })
+		return resilience.Chain(h, s.instr.Middleware(name), rec)
 	}
-	unguarded := func(h http.HandlerFunc) http.Handler {
-		return resilience.Chain(h, rec)
+	guarded := func(name string, h http.HandlerFunc, deadline time.Duration) http.Handler {
+		rec := resilience.RecoverWith(s.logger, func() { s.instr.CountPanic(name) })
+		return resilience.Chain(h, s.instr.Middleware(name), rec, admit, resilience.Deadline(deadline))
 	}
-	mux.Handle("GET /health", unguarded(s.handleHealth))
-	mux.Handle("GET /livez", unguarded(s.handleLivez))
-	mux.Handle("GET /readyz", unguarded(s.handleReadyz))
-	mux.Handle("GET /score", guarded(s.handleScore, s.limits.ScoreTimeout))
-	mux.Handle("GET /top", guarded(s.handleTop, s.limits.TopTimeout))
-	mux.Handle("POST /batch", guarded(s.handleBatch, s.limits.BatchTimeout))
-	mux.Handle("POST /ingest", guarded(s.handleIngest, s.limits.IngestTimeout))
+	mux.Handle("GET /health", unguarded("/health", s.handleHealth))
+	mux.Handle("GET /healthz", unguarded("/health", s.handleHealth))
+	mux.Handle("GET /livez", unguarded("/livez", s.handleLivez))
+	mux.Handle("GET /readyz", unguarded("/readyz", s.handleReadyz))
+	if s.reg != nil {
+		mux.Handle("GET /metrics", unguarded("/metrics", s.reg.Handler().ServeHTTP))
+	}
+	mux.Handle("GET /score", guarded("/score", s.handleScore, s.limits.ScoreTimeout))
+	mux.Handle("GET /top", guarded("/top", s.handleTop, s.limits.TopTimeout))
+	mux.Handle("POST /batch", guarded("/batch", s.handleBatch, s.limits.BatchTimeout))
+	mux.Handle("POST /ingest", guarded("/ingest", s.handleIngest, s.limits.IngestTimeout))
 	return mux
 }
 
@@ -152,7 +206,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	stats := s.b.Graph().Statistics()
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":        "ok",
 		"ready":         s.ready.Load(),
 		"method":        s.predictor.Method().String(),
@@ -160,7 +214,11 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"nodes":         stats.NumNodes,
 		"links":         stats.NumEdges,
 		"uptimeSeconds": int(time.Since(s.started).Seconds()),
-	})
+	}
+	if cs, ok := s.predictor.CacheStats(); ok {
+		out["extractionCache"] = cs
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleLivez is the liveness probe: the process is up and serving.
@@ -498,22 +556,34 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Durability cannot be guaranteed, so nothing is applied: the
 			// graph never runs ahead of the log.
-			log.Printf("ssf-serve: wal append: %v", err)
+			s.slogger().LogAttrs(r.Context(), slog.LevelError, "wal append failed",
+				slog.String("request_id", resilience.RequestID(r.Context())),
+				slog.Int("edges", len(events)),
+				slog.Any("error", err))
 			errorJSON(w, http.StatusInternalServerError, "write-ahead log append failed")
 			return
 		}
 		s.appliedLSN = lsn
+		s.appliedLSNG.Set(float64(lsn))
 		out["lsn"] = lsn
 	}
 	for _, ev := range events {
 		if err := s.b.AddEdge(ev.U, ev.V, ssflp.Timestamp(ev.Ts)); err != nil {
 			// Unreachable after validation; if it ever fires the durable log
 			// is still correct and a restart reconverges.
-			log.Printf("ssf-serve: apply ingested edge: %v", err)
+			s.slogger().LogAttrs(r.Context(), slog.LevelError, "apply ingested edge failed",
+				slog.String("request_id", resilience.RequestID(r.Context())),
+				slog.String("u", ev.U), slog.String("v", ev.V),
+				slog.Any("error", err))
 			errorJSON(w, http.StatusInternalServerError, "apply ingested edge failed")
 			return
 		}
 	}
+	// The network changed shape: cached SSF feature vectors describe the
+	// pre-ingestion graph and must not serve another score.
+	s.predictor.PurgeCache()
+	s.ingestedEdges.Add(uint64(len(events)))
+	s.ingestBatches.Inc()
 	stats := s.b.Graph().Statistics()
 	out["nodes"], out["links"] = stats.NumNodes, stats.NumEdges
 	writeJSON(w, http.StatusOK, out)
@@ -542,14 +612,25 @@ func (s *server) writeSnapshot() error {
 		Graph:  s.b.Graph().Clone(),
 	}
 	s.mu.RUnlock()
+	if err := s.writeSnapshotLocked(snap); err != nil {
+		s.snapshotErrors.Inc()
+		return err
+	}
+	s.lastSnapLSN = lsn
+	s.snapshotsOK.Inc()
+	return nil
+}
+
+// writeSnapshotLocked performs the I/O half of writeSnapshot; callers hold
+// snapMu and have already cloned a consistent state.
+func (s *server) writeSnapshotLocked(snap *wal.Snapshot) error {
 	if _, err := s.wlog.TruncateBefore(0); err != nil { // cheap closed-log probe
 		return err
 	}
 	if _, err := wal.WriteSnapshot(s.walDir, snap); err != nil {
 		return err
 	}
-	s.lastSnapLSN = lsn
-	_, err := s.wlog.TruncateBefore(lsn + 1)
+	_, err := s.wlog.TruncateBefore(snap.LSN + 1)
 	return err
 }
 
@@ -560,10 +641,10 @@ func (s *server) close() {
 		return
 	}
 	if err := s.writeSnapshot(); err != nil {
-		log.Printf("ssf-serve: final snapshot: %v", err)
+		s.slogger().Error("final snapshot failed", slog.Any("error", err))
 	}
 	if err := s.wlog.Close(); err != nil {
-		log.Printf("ssf-serve: close wal: %v", err)
+		s.slogger().Error("wal close failed", slog.Any("error", err))
 	}
 }
 

@@ -8,10 +8,11 @@ import (
 )
 
 // CachingExtractor memoizes SSF vectors per (unordered) node pair with an
-// LRU eviction policy. The underlying history graph is immutable for the
-// extractor's lifetime, so cached vectors never go stale; serving workloads
-// (the ssf-serve /top endpoint, repeated ScoreBatch calls) hit the same
-// pairs repeatedly and skip the O(K³ + K|V_h|²) extraction.
+// LRU eviction policy. Cached vectors are valid as long as the underlying
+// history graph is unchanged; owners that mutate the graph (live ingestion)
+// must call Purge afterwards. Serving workloads (the ssf-serve /top
+// endpoint, repeated ScoreBatch calls) hit the same pairs repeatedly and
+// skip the O(K³ + K|V_h|²) extraction.
 //
 // Concurrent misses on the same pair are deduplicated singleflight-style:
 // the first caller computes, later callers block on the in-flight result
@@ -24,6 +25,7 @@ type CachingExtractor struct {
 	entries  map[pairKey]*list.Element
 	order    *list.List // front = most recently used
 	inflight map[pairKey]*inflightCall
+	gen      uint64 // bumped by Purge; guards stale in-flight inserts
 	hits     int64
 	misses   int64
 	shared   int64
@@ -85,6 +87,7 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call
+	gen := c.gen
 	c.mu.Unlock()
 
 	// Extraction runs outside the lock so unrelated pairs proceed in
@@ -93,8 +96,12 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 
 	c.mu.Lock()
 	call.vec, call.err = vec, err
-	delete(c.inflight, key)
-	if err == nil {
+	if c.inflight[key] == call {
+		delete(c.inflight, key)
+	}
+	// Only insert if no Purge ran while we were extracting: a vector
+	// computed against the pre-mutation graph must not outlive it.
+	if err == nil && gen == c.gen {
 		el := c.order.PushFront(&cacheEntry{key: key, vec: vec})
 		c.entries[key] = el
 		if c.order.Len() > c.capacity {
@@ -108,12 +115,32 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 	return vec, err
 }
 
+// Purge drops every cached vector and detaches in-flight extractions, for
+// use after the underlying graph is mutated (live ingestion). Extractions
+// already in progress still return to their waiters — the score they
+// produce reflects the pre-mutation graph, which is the same answer those
+// callers would have gotten moments earlier — but their results are not
+// inserted into the post-purge cache. Hit/miss statistics survive.
+func (c *CachingExtractor) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.entries = make(map[pairKey]*list.Element, c.capacity)
+	c.order.Init()
+	// Detach rather than wait: new requests for these pairs must recompute
+	// against the mutated graph instead of joining a stale in-flight call.
+	c.inflight = make(map[pairKey]*inflightCall)
+}
+
 // Stats reports cache hits, misses and the current entry count.
 func (c *CachingExtractor) Stats() (hits, misses int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.order.Len()
 }
+
+// Capacity reports the cache's maximum entry count.
+func (c *CachingExtractor) Capacity() int { return c.capacity }
 
 // SharedInflight reports how many extractions were avoided by joining an
 // in-flight computation of the same pair.

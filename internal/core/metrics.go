@@ -1,0 +1,62 @@
+package core
+
+import (
+	"time"
+
+	"ssflp/internal/subgraph"
+	"ssflp/internal/telemetry"
+)
+
+// Metrics holds the extraction pipeline's telemetry handles: one latency
+// histogram per stage (h-hop extraction, structure combination, Palette-WL
+// ordering + K-selection, adjacency assembly) and extraction outcome
+// counters. A nil *Metrics disables instrumentation at zero cost — the
+// extractor skips stage timing entirely, keeping the uninstrumented hot
+// path byte-identical to PR 3's.
+type Metrics struct {
+	hhop     *telemetry.Histogram
+	combine  *telemetry.Histogram
+	selectK  *telemetry.Histogram
+	assemble *telemetry.Histogram
+	extracts *telemetry.Counter
+	errors   *telemetry.Counter
+}
+
+// NewMetrics registers the extraction metric families on reg. Stage
+// latencies share one HistogramVec fanned out by a "stage" label
+// (hhop | combine | palette_wl | assemble); the children are resolved here,
+// once, so the per-extraction path never touches the vec's lock.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	stages := reg.HistogramVec("ssf_extract_stage_duration_seconds",
+		"Wall-clock time per SSF extraction stage. hhop/combine accumulate "+
+			"across the growing-radius iterations of one extraction.",
+		nil, "stage")
+	return &Metrics{
+		hhop:     stages.With("hhop"),
+		combine:  stages.With("combine"),
+		selectK:  stages.With("palette_wl"),
+		assemble: stages.With("assemble"),
+		extracts: reg.Counter("ssf_extracts_total", "SSF vector extractions completed."),
+		errors:   reg.Counter("ssf_extract_errors_total", "SSF extractions that returned an error."),
+	}
+}
+
+// observe records one extraction's accumulated stage times plus the
+// assembly duration measured by the caller.
+func (m *Metrics) observe(st *subgraph.StageTimes, assemble time.Duration) {
+	if m == nil {
+		return
+	}
+	m.hhop.Observe(st.HHop.Seconds())
+	m.combine.Observe(st.Combine.Seconds())
+	m.selectK.Observe(st.Select.Seconds())
+	m.assemble.Observe(assemble.Seconds())
+	m.extracts.Inc()
+}
+
+// countError records one failed extraction.
+func (m *Metrics) countError() {
+	if m != nil {
+		m.errors.Inc()
+	}
+}

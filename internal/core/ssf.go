@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"ssflp/internal/graph"
 	"ssflp/internal/subgraph"
@@ -132,10 +133,12 @@ type Extractor struct {
 	present graph.Timestamp
 	opts    Options
 	pool    sync.Pool // *scratch
+	metrics *Metrics  // nil disables stage timing; set before first Extract
 }
 
 // scratch bundles the subgraph pipeline scratch with the K×K adjacency and
-// inverse-distance buffers of the core stage.
+// inverse-distance buffers of the core stage. stages lives here so timed
+// extraction stays allocation-free.
 type scratch struct {
 	sub        subgraph.Scratch
 	adjBacking []float64   // contiguous K×K storage
@@ -143,6 +146,7 @@ type scratch struct {
 	nbrs       [][]wedge
 	dist       []float64
 	done       []bool
+	stages     subgraph.StageTimes
 }
 
 // newScratch builds a scratch for a fixed K.
@@ -190,6 +194,11 @@ func NewExtractor(g *graph.Graph, present graph.Timestamp, opts Options) (*Extra
 // Options returns the effective (default-filled) options.
 func (e *Extractor) Options() Options { return e.opts }
 
+// SetMetrics attaches telemetry to the extractor. Call it during wiring,
+// before the first Extract — the field is read without synchronization on
+// the hot path. A nil Metrics (the default) keeps extraction untimed.
+func (e *Extractor) SetMetrics(m *Metrics) { e.metrics = m }
+
 // Extract returns the SSF vector V(e_t) of the target link (a, b)
 // following Algorithm 3. The whole pipeline runs inside a pooled scratch;
 // the returned vector is the only steady-state allocation.
@@ -216,11 +225,23 @@ func (e *Extractor) Matrix(a, b graph.NodeID) ([][]float64, *subgraph.KStructure
 }
 
 // matrixInto computes the adjacency matrix into the scratch's buffers. The
-// returned matrix and K-structure alias sc.
+// returned matrix and K-structure alias sc. With metrics attached, the
+// subgraph stages accumulate into the scratch's StageTimes and the adjacency
+// assembly is timed here; without, the untimed PR 3 path runs unchanged.
 func (e *Extractor) matrixInto(sc *scratch, a, b graph.NodeID) ([][]float64, *subgraph.KStructure, error) {
-	ks, err := sc.sub.BuildKTieInto(e.g, subgraph.TargetLink{A: a, B: b}, e.opts.K, e.opts.Tie)
+	var tm *subgraph.StageTimes
+	if e.metrics != nil {
+		tm = &sc.stages
+		tm.Reset()
+	}
+	ks, err := sc.sub.BuildKTieTimedInto(e.g, subgraph.TargetLink{A: a, B: b}, e.opts.K, e.opts.Tie, tm)
 	if err != nil {
+		e.metrics.countError()
 		return nil, nil, err
+	}
+	var assembleStart time.Time
+	if e.metrics != nil {
+		assembleStart = time.Now()
 	}
 	for i := range sc.adjBacking {
 		sc.adjBacking[i] = 0
@@ -243,6 +264,9 @@ func (e *Extractor) matrixInto(sc *scratch, a, b graph.NodeID) ([][]float64, *su
 		e.fillInverseDistance(sc, adj, ks)
 	}
 	adj[0][1], adj[1][0] = 0, 0
+	if e.metrics != nil {
+		e.metrics.observe(tm, time.Since(assembleStart))
+	}
 	return adj, ks, nil
 }
 

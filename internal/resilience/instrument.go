@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"ssflp/internal/telemetry"
+)
+
+// requestIDKey is the context key for the per-request ID set by
+// Instrumentation.Middleware.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the given request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when the request
+// did not pass through Instrumentation.Middleware.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// requestIDHeader is honored on the way in (so callers and upstream proxies
+// can correlate) and always set on the way out.
+const requestIDHeader = "X-Request-Id"
+
+// newRequestID returns 8 random bytes, hex-encoded.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a caller-supplied ID only when it is short and
+// printable ASCII, so hostile header values cannot pollute logs.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}
+
+// Instrumentation bundles the HTTP-layer metrics shared by every endpoint:
+// request counts by endpoint and status code, latency histograms, in-flight
+// gauge, and dedicated counters for the three resilience outcomes (shed,
+// deadline, panic). One Instrumentation is created per server and its
+// Middleware is applied outermost in each endpoint's chain so it observes
+// the final status code after Recover, Limiter, and Deadline have run.
+type Instrumentation struct {
+	logger    *slog.Logger
+	requests  *telemetry.CounterVec
+	durations *telemetry.HistogramVec
+	inflight  *telemetry.Gauge
+	sheds     *telemetry.CounterVec
+	timeouts  *telemetry.CounterVec
+	panics    *telemetry.CounterVec
+}
+
+// NewInstrumentation registers the HTTP metric families on reg and returns
+// the bundle. logger receives one structured line per request; pass a
+// discard logger to disable request logging. Both arguments may be nil, in
+// which case the returned Instrumentation still works but records nothing.
+func NewInstrumentation(reg *telemetry.Registry, logger *slog.Logger) *Instrumentation {
+	in := &Instrumentation{logger: logger}
+	if logger == nil {
+		in.logger = slog.New(slog.DiscardHandler)
+	}
+	if reg != nil {
+		in.requests = reg.CounterVec("ssf_http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "code")
+		in.durations = reg.HistogramVec("ssf_http_request_duration_seconds",
+			"End-to-end request latency by endpoint, including queueing and shedding.",
+			nil, "endpoint")
+		in.inflight = reg.Gauge("ssf_http_inflight_requests",
+			"Requests currently being handled across all endpoints.")
+		in.sheds = reg.CounterVec("ssf_http_sheds_total",
+			"Requests rejected with 429 by the load-shedding limiter, by endpoint.", "endpoint")
+		in.timeouts = reg.CounterVec("ssf_http_timeouts_total",
+			"Requests that exceeded their deadline and returned 504, by endpoint.", "endpoint")
+		in.panics = reg.CounterVec("ssf_http_panics_total",
+			"Handler panics recovered into 500 responses, by endpoint.", "endpoint")
+	}
+	return in
+}
+
+// CountPanic records one recovered panic for the endpoint. It is called from
+// the RecoverWith hook, which runs inside the chain and therefore knows a
+// 500 came from a panic rather than a handler error.
+func (in *Instrumentation) CountPanic(endpoint string) {
+	if in != nil {
+		in.panics.With(endpoint).Inc()
+	}
+}
+
+// statusRecorder captures the final status code written by the inner chain.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Middleware returns the outermost middleware for one endpoint: it assigns
+// the request ID, counts and times the request, classifies resilience
+// outcomes from the final status code, and emits one structured log line.
+func (in *Instrumentation) Middleware(endpoint string) Middleware {
+	return func(next http.Handler) http.Handler {
+		if in == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := sanitizeRequestID(r.Header.Get(requestIDHeader))
+			if id == "" {
+				id = newRequestID()
+			}
+			w.Header().Set(requestIDHeader, id)
+			r = r.WithContext(WithRequestID(r.Context(), id))
+
+			start := time.Now()
+			in.inflight.Inc()
+			rec := &statusRecorder{ResponseWriter: w}
+			next.ServeHTTP(rec, r)
+			in.inflight.Dec()
+
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK // handler wrote nothing: implicit 200
+			}
+			elapsed := time.Since(start)
+			in.requests.With(endpoint, strconv.Itoa(status)).Inc()
+			in.durations.With(endpoint).Observe(elapsed.Seconds())
+			switch status {
+			case http.StatusTooManyRequests:
+				in.sheds.With(endpoint).Inc()
+			case http.StatusGatewayTimeout:
+				in.timeouts.With(endpoint).Inc()
+			}
+			level := slog.LevelInfo
+			if status >= 500 {
+				level = slog.LevelError
+			} else if status >= 400 {
+				level = slog.LevelWarn
+			}
+			in.logger.LogAttrs(r.Context(), level, "request",
+				slog.String("request_id", id),
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Duration("elapsed", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		})
+	}
+}
+
+// RecoverWith is Recover with a structured logger and a per-panic hook; the
+// hook (typically Instrumentation.CountPanic bound to an endpoint) runs
+// before the 500 is written. http.ErrAbortHandler is re-raised untouched,
+// matching Recover.
+func RecoverWith(logger *slog.Logger, onPanic func()) Middleware {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				if onPanic != nil {
+					onPanic()
+				}
+				logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+					slog.String("request_id", RequestID(r.Context())),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", rec),
+					slog.String("stack", string(debug.Stack())),
+				)
+				errorJSON(w, http.StatusInternalServerError, "internal error")
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ssflp/internal/telemetry"
+)
+
+func scrape(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := telemetry.Lint(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("exposition failed lint:\n%s\nerror: %v", sb.String(), err)
+	}
+	return sb.String()
+}
+
+func TestInstrumentationCountsAndTimes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	in := NewInstrumentation(reg, logger)
+
+	ok := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := Chain(ok, in.Middleware("/score"))
+	for i := 0; i < 3; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/score", nil))
+		if rr.Header().Get("X-Request-Id") == "" {
+			t.Fatal("response missing X-Request-Id header")
+		}
+	}
+	out := scrape(t, reg)
+	if !strings.Contains(out, `ssf_http_requests_total{endpoint="/score",code="200"} 3`) {
+		t.Errorf("request counter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `ssf_http_request_duration_seconds_count{endpoint="/score"} 3`) {
+		t.Errorf("duration histogram wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ssf_http_inflight_requests 0") {
+		t.Errorf("inflight gauge should return to zero:\n%s", out)
+	}
+	if !strings.Contains(logBuf.String(), `"endpoint":"/score"`) ||
+		!strings.Contains(logBuf.String(), `"request_id"`) {
+		t.Errorf("structured log line missing fields: %s", logBuf.String())
+	}
+}
+
+func TestInstrumentationClassifiesShedAndTimeout(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	in := NewInstrumentation(reg, nil)
+
+	shed := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		errorJSON(w, http.StatusTooManyRequests, "overloaded")
+	})
+	Chain(shed, in.Middleware("/score")).
+		ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/score", nil))
+
+	slow := http.HandlerFunc(func(_ http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	Chain(slow, in.Middleware("/top"), Deadline(5*time.Millisecond)).
+		ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/top", nil))
+
+	out := scrape(t, reg)
+	if !strings.Contains(out, `ssf_http_sheds_total{endpoint="/score"} 1`) {
+		t.Errorf("shed not counted:\n%s", out)
+	}
+	if !strings.Contains(out, `ssf_http_timeouts_total{endpoint="/top"} 1`) {
+		t.Errorf("timeout not counted:\n%s", out)
+	}
+	if !strings.Contains(out, `ssf_http_requests_total{endpoint="/top",code="504"} 1`) {
+		t.Errorf("504 not counted:\n%s", out)
+	}
+}
+
+func TestRecoverWithCountsPanics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	in := NewInstrumentation(reg, logger)
+
+	boom := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	h := Chain(boom, in.Middleware("/batch"),
+		RecoverWith(logger, func() { in.CountPanic("/batch") }))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/batch", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	out := scrape(t, reg)
+	if !strings.Contains(out, `ssf_http_panics_total{endpoint="/batch"} 1`) {
+		t.Errorf("panic not counted:\n%s", out)
+	}
+	if !strings.Contains(out, `ssf_http_requests_total{endpoint="/batch",code="500"} 1`) {
+		t.Errorf("500 not counted:\n%s", out)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "handler panic") || !strings.Contains(logs, "kaboom") {
+		t.Errorf("panic not logged: %s", logs)
+	}
+	// The request-scoped ID assigned by the middleware must appear in the
+	// panic log line via the context.
+	if !strings.Contains(logs, `"request_id":"`+rr.Header().Get("X-Request-Id")+`"`) {
+		t.Errorf("panic log missing request id %q: %s", rr.Header().Get("X-Request-Id"), logs)
+	}
+}
+
+func TestRecoverWithReRaisesAbortHandler(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), RecoverWith(nil, nil))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("http.ErrAbortHandler must be re-raised")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	in := NewInstrumentation(telemetry.NewRegistry(), nil)
+	var seen string
+	h := Chain(http.HandlerFunc(func(_ http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}), in.Middleware("/x"))
+
+	// A sane caller-supplied ID is honored.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set("X-Request-Id", "trace-abc-123")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if seen != "trace-abc-123" || rr.Header().Get("X-Request-Id") != "trace-abc-123" {
+		t.Fatalf("caller ID not honored: ctx=%q header=%q", seen, rr.Header().Get("X-Request-Id"))
+	}
+
+	// A hostile one is replaced.
+	req = httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set("X-Request-Id", "evil\"\nid")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if strings.ContainsAny(seen, "\"\n") || seen == "" {
+		t.Fatalf("hostile ID not sanitized: %q", seen)
+	}
+
+	// Absent header gets a generated 16-hex-char ID.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if len(seen) != 16 {
+		t.Fatalf("generated ID = %q, want 16 hex chars", seen)
+	}
+
+	// No middleware: empty ID, no panic.
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID on bare context = %q, want empty", got)
+	}
+}
+
+func TestNilInstrumentation(t *testing.T) {
+	var in *Instrumentation
+	in.CountPanic("/x")
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), in.Middleware("/x"))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("nil instrumentation must pass through, got %d", rr.Code)
+	}
+}

@@ -48,6 +48,18 @@ func BuildKTie(g *graph.Graph, t TargetLink, k int, tie TiePreference) (*KStruct
 // scratch's reusable buffers. The result aliases the scratch and is
 // overwritten by the next BuildKTieInto call.
 func (sc *Scratch) BuildKTieInto(g *graph.Graph, t TargetLink, k int, tie TiePreference) (*KStructure, error) {
+	return sc.buildKTie(g, t, k, tie, nil)
+}
+
+// BuildKTieTimedInto is BuildKTieInto with per-stage wall-clock accounting
+// accumulated into tm (which may be nil to disable timing, making it exactly
+// BuildKTieInto). Stage durations are additive: the growing-radius loop may
+// extract and combine several times, and all iterations count.
+func (sc *Scratch) BuildKTieTimedInto(g *graph.Graph, t TargetLink, k int, tie TiePreference, tm *StageTimes) (*KStructure, error) {
+	return sc.buildKTie(g, t, k, tie, tm)
+}
+
+func (sc *Scratch) buildKTie(g *graph.Graph, t TargetLink, k int, tie TiePreference, tm *StageTimes) (*KStructure, error) {
 	if k < 3 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
 	}
@@ -57,11 +69,15 @@ func (sc *Scratch) BuildKTieInto(g *graph.Graph, t TargetLink, k int, tie TiePre
 	)
 	h := 1
 	for {
+		start := stageStart(tm)
 		sg, err := sc.ExtractInto(g, t, h)
+		tm.addHHop(start)
 		if err != nil {
 			return nil, err
 		}
+		start = stageStart(tm)
 		st = sc.CombineInto(sg)
+		tm.addCombine(start)
 		if st.NumNodes() >= k {
 			break
 		}
@@ -71,7 +87,10 @@ func (sc *Scratch) BuildKTieInto(g *graph.Graph, t TargetLink, k int, tie TiePre
 		prevNodes = sg.NumNodes()
 		h++
 	}
-	return sc.SelectKInto(st, k, h, tie)
+	start := stageStart(tm)
+	ks, err := sc.SelectKInto(st, k, h, tie)
+	tm.addSelect(start)
+	return ks, err
 }
 
 // SelectK orders a structure graph with Palette-WL under the given tie

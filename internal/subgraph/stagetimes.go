@@ -1,0 +1,49 @@
+package subgraph
+
+import "time"
+
+// StageTimes accumulates wall-clock time spent in each stage of one
+// K-structure build: the growing-radius h-hop extraction, structure
+// combination (Algorithm 1), and Palette-WL ordering + K-selection. The
+// caller owns the value (typically embedded in a pooled scratch, so timing
+// adds no allocations) and resets it between extractions. A nil *StageTimes
+// disables timing entirely.
+type StageTimes struct {
+	HHop    time.Duration
+	Combine time.Duration
+	Select  time.Duration
+}
+
+// Reset zeroes all accumulated stage durations.
+func (t *StageTimes) Reset() {
+	if t != nil {
+		*t = StageTimes{}
+	}
+}
+
+// stageStart returns the current time when timing is enabled, or the zero
+// time when t is nil so the accumulators can cheaply no-op.
+func stageStart(t *StageTimes) time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (t *StageTimes) addHHop(start time.Time) {
+	if t != nil {
+		t.HHop += time.Since(start)
+	}
+}
+
+func (t *StageTimes) addCombine(start time.Time) {
+	if t != nil {
+		t.Combine += time.Since(start)
+	}
+}
+
+func (t *StageTimes) addSelect(start time.Time) {
+	if t != nil {
+		t.Select += time.Since(start)
+	}
+}

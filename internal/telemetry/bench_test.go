@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTelemetryCounter guards the cost of the hottest instrumentation
+// primitive: a single atomic add on the request and extraction paths.
+func BenchmarkTelemetryCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_events_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkTelemetryHistogram guards the latency-observation path: a binary
+// search over the bucket bounds plus two atomic updates, zero allocations.
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_latency_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-5)
+	}
+}
+
+func BenchmarkTelemetryCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_parallel_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkTelemetryVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_vec_total", "", "endpoint")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("/score").Inc()
+	}
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in text exposition format
+// v0.0.4: families sorted by name, one HELP and one TYPE line each,
+// histogram children expanded into cumulative _bucket/_sum/_count series.
+// Gather hooks run first so snapshot gauges are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, hook := range hooks {
+		hook()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry over HTTP (the GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// Encoding errors past this point mean the scraper went away.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// write renders one family. Children are sorted by label values so output is
+// deterministic across scrapes.
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.RLock()
+	kids := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		kids = append(kids, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(kids, func(i, j int) bool {
+		a, b := kids[i].labelValues, kids[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range kids {
+		if err := f.writeChild(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeChild(w *bufio.Writer, c *child) error {
+	switch f.kind {
+	case kindCounter:
+		v := float64(c.counter.Value())
+		if c.fn != nil {
+			v = c.fn()
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, c.labelValues, "", ""), formatFloat(v))
+	case kindGauge:
+		v := c.gauge.Value()
+		if c.fn != nil {
+			v = c.fn()
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, c.labelValues, "", ""), formatFloat(v))
+	case kindHistogram:
+		h := c.hist
+		// Snapshot the bucket counts once; the sum is read after, so a
+		// concurrent Observe can at worst make sum run slightly ahead of
+		// count — never a bucket that exceeds _count.
+		var cum uint64
+		for i, upper := range h.upper {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, c.labelValues, "le", formatFloat(upper)), cum)
+		}
+		cum += h.counts[len(h.upper)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(f.labels, c.labelValues, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+			labelString(f.labels, c.labelValues, "", ""), formatFloat(h.sum.load()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+			labelString(f.labels, c.labelValues, "", ""), cum)
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, appending the optional extra pair (the
+// histogram le label), or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(extraValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integers without an exponent, +/-Inf
+// and NaN in the exposition spelling, everything else in shortest form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

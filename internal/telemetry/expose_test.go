@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Total events.")
+	c.Add(7)
+	g := r.Gauge("test_temperature", "Current temperature.")
+	g.Set(-3.5)
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	v := r.CounterVec("test_requests_total", "Requests by endpoint and code.", "endpoint", "code")
+	v.With("/score", "200").Add(3)
+	v.With("/score", "429").Inc()
+	v.With("/top", "200").Add(2)
+	hv := r.HistogramVec("test_stage_seconds", "Stage latency.", nil, "stage")
+	hv.With("hhop").Observe(0.002)
+	hv.With("combine").Observe(0.004)
+	r.GaugeFunc("test_cache_entries", "Entries in cache.", func() float64 { return 12 })
+	r.CounterFunc("test_cache_hits_total", "Cache hits.", func() float64 { return 99 })
+	return r
+}
+
+func TestWritePrometheusLints(t *testing.T) {
+	r := buildTestRegistry()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition failed lint:\n%s\nerror: %v", out, err)
+	}
+	for _, want := range []string{
+		"# TYPE test_events_total counter",
+		"test_events_total 7",
+		"# TYPE test_temperature gauge",
+		"test_temperature -3.5",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		"test_latency_seconds_count 4",
+		`test_requests_total{endpoint="/score",code="200"} 3`,
+		`test_requests_total{endpoint="/score",code="429"} 1`,
+		`test_stage_seconds_bucket{stage="hhop",le="0.0025"} 1`,
+		"test_cache_entries 12",
+		"test_cache_hits_total 99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	r := buildTestRegistry()
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two scrapes of an idle registry must render identically")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_weird_total", "help with \\ backslash\nand newline", "path")
+	v.With(`C:\tmp\"quoted"` + "\nline2").Inc()
+	v.With("héllo wörld").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped exposition failed lint:\n%s\nerror: %v", out, err)
+	}
+	if !strings.Contains(out, `path="C:\\tmp\\\"quoted\"\nline2"`) {
+		t.Errorf("label value not escaped correctly:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP test_weird_total help with \\ backslash\nand newline`) {
+		t.Errorf("HELP text not escaped correctly:\n%s", out)
+	}
+	if !strings.Contains(out, `path="héllo wörld"`) {
+		t.Errorf("UTF-8 label value mangled:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := buildTestRegistry()
+	RegisterRuntime(r)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, ContentType)
+	}
+	if err := Lint(resp.Body); err != nil {
+		t.Fatalf("handler output failed lint: %v", err)
+	}
+}
+
+func TestRuntimeMetricsPresent(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("runtime metrics failed lint:\n%s\nerror: %v", out, err)
+	}
+	for _, fam := range []string{
+		"go_goroutines", "go_memstats_heap_alloc_bytes", "go_memstats_heap_objects",
+		"go_memstats_sys_bytes", "go_gc_cycles_total", "go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" gauge") {
+			t.Errorf("missing runtime family %q", fam)
+		}
+	}
+	// go_goroutines must be at least 1 (this test's goroutine).
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Error("go_goroutines reads zero")
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"duplicate HELP", "# HELP a x\n# HELP a y\n# TYPE a counter\na 1\n"},
+		{"TYPE after sample", "# TYPE a counter\na 1\n# TYPE b counter\nb 1\n# TYPE a gauge\n"},
+		{"duplicate sample", "# TYPE a counter\na 1\na 2\n"},
+		{"sample without TYPE", "a 1\n"},
+		{"bad escape", "# TYPE a counter\na{x=\"\\t\"} 1\n"},
+		{"unquoted label", "# TYPE a counter\na{x=1} 1\n"},
+		{"non-monotone buckets", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"inf bucket mismatch", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n"},
+		{"missing inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n"},
+		{"missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n"},
+		{"unknown type", "# TYPE a frobnicator\na 1\n"},
+		{"bad value", "# TYPE a counter\na abc\n"},
+	}
+	for _, c := range cases {
+		if err := Lint(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", c.name)
+		}
+	}
+}
+
+func TestLintAcceptsValid(t *testing.T) {
+	in := "# HELP a Something.\n# TYPE a counter\na 1\n" +
+		"# TYPE g gauge\ng{k=\"v with \\\"quotes\\\" and \\\\slash\"} -2.5\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 4\n" +
+		"h_sum 5.5\nh_count 4\n"
+	if err := Lint(strings.NewReader(in)); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v", err)
+	}
+}

@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint strictly validates a Prometheus text exposition (format v0.0.4)
+// stream. It enforces what a scraper relies on and what is easy to get
+// wrong when hand-rolling the format:
+//
+//   - at most one HELP and one TYPE line per family, TYPE before any sample
+//   - metric and label names are well-formed; label values are properly
+//     quoted and escaped
+//   - no duplicate sample (same name + label set)
+//   - histogram series are consistent: cumulative buckets are monotone
+//     non-decreasing, the +Inf bucket exists and equals _count, and _sum and
+//     _count are present for every bucketed label set
+//
+// It returns the first violation found, or nil for a valid exposition.
+// Tests and the CI metrics-smoke job use it as a scrape stand-in.
+func Lint(r io.Reader) error {
+	l := &linter{
+		typed:  make(map[string]string),
+		helped: make(map[string]bool),
+		seen:   make(map[string]bool),
+		hists:  make(map[string]*histSeries),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := l.line(sc.Text()); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return l.finish()
+}
+
+// histSeries accumulates one histogram label set's samples for the
+// end-of-stream consistency check.
+type histSeries struct {
+	buckets []bucketSample
+	infSeen bool
+	inf     float64
+	sum     *float64
+	count   *float64
+}
+
+type bucketSample struct {
+	le    float64
+	value float64
+}
+
+type linter struct {
+	typed   map[string]string // family -> TYPE
+	helped  map[string]bool
+	seen    map[string]bool // name + sorted labels -> duplicate detection
+	hists   map[string]*histSeries
+	sampled map[string]bool // families that already emitted a sample
+}
+
+var lintMetricLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(?:\s+-?\d+)?$`)
+
+func (l *linter) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "# HELP ") {
+		fields := strings.SplitN(strings.TrimPrefix(s, "# HELP "), " ", 2)
+		name := fields[0]
+		if l.helped[name] {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		l.helped[name] = true
+		return nil
+	}
+	if strings.HasPrefix(s, "# TYPE ") {
+		fields := strings.Fields(strings.TrimPrefix(s, "# TYPE "))
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", s)
+		}
+		name, typ := fields[0], fields[1]
+		if _, dup := l.typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %q", typ, name)
+		}
+		if l.sampled[name] {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		l.typed[name] = typ
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		return nil // other comments are legal and ignored
+	}
+	m := lintMetricLine.FindStringSubmatch(s)
+	if m == nil {
+		return fmt.Errorf("malformed sample line %q", s)
+	}
+	name, rawLabels, rawValue := m[1], m[2], m[3]
+	value, err := parseSampleValue(rawValue)
+	if err != nil {
+		return fmt.Errorf("sample %q: %w", name, err)
+	}
+	labels, err := parseLabels(rawLabels)
+	if err != nil {
+		return fmt.Errorf("sample %q: %w", name, err)
+	}
+	key := name + canonicalLabels(labels)
+	if l.seen[key] {
+		return fmt.Errorf("duplicate sample %s%s", name, rawLabels)
+	}
+	l.seen[key] = true
+
+	fam, sub := familyOf(name, l.typed)
+	if _, ok := l.typed[fam]; !ok {
+		return fmt.Errorf("sample %q before any TYPE for %q", name, fam)
+	}
+	if l.sampled == nil {
+		l.sampled = make(map[string]bool)
+	}
+	l.sampled[fam] = true
+	if l.typed[fam] == "histogram" {
+		return l.histSample(fam, sub, labels, value)
+	}
+	return nil
+}
+
+// familyOf strips a histogram suffix when the base name is a registered
+// histogram family.
+func familyOf(name string, typed map[string]string) (fam, sub string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typed[base] == "histogram" {
+			return base, suffix
+		}
+	}
+	return name, ""
+}
+
+func (l *linter) histSample(fam, sub string, labels map[string]string, value float64) error {
+	rest := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			rest[k] = v
+		}
+	}
+	key := fam + canonicalLabels(rest)
+	hs := l.hists[key]
+	if hs == nil {
+		hs = &histSeries{}
+		l.hists[key] = hs
+	}
+	switch sub {
+	case "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram %q bucket without le label", fam)
+		}
+		if le == "+Inf" {
+			hs.infSeen = true
+			hs.inf = value
+			return nil
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %q: bad le %q", fam, le)
+		}
+		hs.buckets = append(hs.buckets, bucketSample{le: f, value: value})
+	case "_sum":
+		if hs.sum != nil {
+			return fmt.Errorf("histogram %q: duplicate _sum", fam)
+		}
+		hs.sum = &value
+	case "_count":
+		if hs.count != nil {
+			return fmt.Errorf("histogram %q: duplicate _count", fam)
+		}
+		hs.count = &value
+	default:
+		return fmt.Errorf("histogram %q: stray base sample", fam)
+	}
+	return nil
+}
+
+// finish runs the cross-line histogram consistency checks.
+func (l *linter) finish() error {
+	for key, hs := range l.hists {
+		if !hs.infSeen {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		if hs.sum == nil || hs.count == nil {
+			return fmt.Errorf("histogram %s: missing _sum or _count", key)
+		}
+		sort.Slice(hs.buckets, func(i, j int) bool { return hs.buckets[i].le < hs.buckets[j].le })
+		prev := 0.0
+		for _, b := range hs.buckets {
+			if b.value < prev {
+				return fmt.Errorf("histogram %s: bucket le=%g count %g below previous %g",
+					key, b.le, b.value, prev)
+			}
+			prev = b.value
+		}
+		if hs.inf < prev {
+			return fmt.Errorf("histogram %s: +Inf bucket %g below last bucket %g", key, hs.inf, prev)
+		}
+		if hs.inf != *hs.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", key, hs.inf, *hs.count)
+		}
+	}
+	return nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels decodes a {k="v",...} block, validating names, quoting and
+// escape sequences.
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if s == "" {
+		return out, nil
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	i := 0
+	for i < len(body) {
+		j := strings.IndexByte(body[i:], '=')
+		if j < 0 {
+			return nil, fmt.Errorf("label pair without '=' in %q", body[i:])
+		}
+		name := body[i : i+j]
+		if !validLabel.MatchString(name) && name != "le" {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += j + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var sb strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("label %q: trailing backslash", name)
+				}
+				switch body[i+1] {
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %q: invalid escape \\%c", name, body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			if c == '\n' {
+				return nil, fmt.Errorf("label %q: raw newline in value", name)
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q: unterminated value", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = sb.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q, got %q", name, body[i])
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+// canonicalLabels renders labels in sorted order for duplicate detection.
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(labels[k]))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,28 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntime exposes Go runtime health gauges on reg: goroutine count,
+// heap usage, and cumulative GC pause time. Memstats are read once per
+// scrape via an OnGather hook rather than per metric — runtime.ReadMemStats
+// stops the world briefly, so one call feeds every gauge.
+func RegisterRuntime(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	heapAlloc := reg.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapObjects := reg.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.")
+	sysBytes := reg.Gauge("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.")
+	gcCycles := reg.Gauge("go_gc_cycles_total", "Completed GC cycles. Monotonic, exposed as a gauge snapshot.")
+	gcPause := reg.Gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.")
+
+	reg.OnGather(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		sysBytes.Set(float64(ms.Sys))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	})
+}

@@ -1,0 +1,411 @@
+// Package telemetry is a dependency-free metrics kernel for the serving
+// stack: atomic counters, gauges and fixed-bucket histograms, optionally
+// fanned out over label values, collected in a Registry that renders the
+// Prometheus text exposition format v0.0.4. The hot path — Counter.Inc,
+// Gauge.Add, Histogram.Observe — is lock-free and allocation-free, so
+// instrumentation can live inside the zero-allocation SSF extraction
+// pipeline and the WAL append path without showing up in the benchmarks it
+// exists to explain.
+//
+// All mutating methods are safe on a nil receiver (they no-op), so
+// instrumented packages can carry optional metric handles without guarding
+// every observation site.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value (events, bytes, errors).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Gauge is a value that can go up and down (in-flight requests, busy
+// workers, cache entries).
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v.store(v)
+	}
+}
+
+// Add shifts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	if g != nil {
+		g.v.add(delta)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// Histogram counts observations into fixed cumulative buckets. Observe is
+// two atomic operations and a binary search — no locks, no allocations, no
+// sync.Pool — so it is safe to call from the extraction hot path.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; +Inf is implicit as the last bucket
+	counts []atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	for i := 1; i < len(upper); i++ {
+		if upper[i] == upper[i-1] {
+			panic(fmt.Sprintf("telemetry: duplicate histogram bucket %g", upper[i]))
+		}
+	}
+	if math.IsInf(upper[len(upper)-1], +1) {
+		upper = upper[:len(upper)-1] // +Inf is always implicit
+	}
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; len(upper) selects +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// DefBuckets spans microseconds to ten seconds — wide enough for both the
+// ~100µs SSF extraction stages and multi-second HTTP deadlines. See
+// DESIGN.md §8 for the reasoning.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets suits count-valued histograms (batch sizes, queue depths).
+var SizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled sample set within a family: exactly one of the value
+// fields is set. fn, when non-nil, overrides counter/gauge at gather time
+// (CounterFunc / GaugeFunc).
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+var (
+	validName  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	validLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; construct with NewRegistry. Registration methods panic on invalid
+// or duplicate names — registration is boot-time wiring, and a bad metric
+// name is a programming error, not an operational condition.
+type Registry struct {
+	mu    sync.RWMutex
+	fams  map[string]*family
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// OnGather registers fn to run at the start of every WritePrometheus call —
+// the hook for gauges that snapshot external state (runtime memstats, cache
+// sizes). Hooks must not register new metrics.
+func (r *Registry) OnGather(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// register creates (and indexes) a new family, panicking on invalid input.
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labelNames []string) *family {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validLabel.MatchString(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l, name))
+		}
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   labelNames,
+		buckets:  buckets,
+		children: make(map[string]*child),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+	}
+	r.fams[name] = f
+	return f
+}
+
+// childKey joins label values into a map key. \xff cannot appear in valid
+// UTF-8 label values' separators ambiguity-free enough for our use: values
+// containing \xff would collide, which is acceptable for metric labels.
+const keySep = "\xff"
+
+func (f *family) child(lvs []string) *child {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %q wants %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	key := ""
+	for i, v := range lvs {
+		if i > 0 {
+			key += keySep
+		}
+		key += v
+	}
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	c = &child{labelValues: append([]string(nil), lvs...)}
+	switch f.kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
+	case kindHistogram:
+		c.hist = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	return c
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).child(nil).counter
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).child(nil).gauge
+}
+
+// Histogram registers and returns an unlabeled histogram. Nil or empty
+// buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, buckets, nil).child(nil).hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at gather
+// time — for monotonic counters owned by another subsystem (e.g. cache hit
+// totals kept under that subsystem's own lock).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounter, nil, nil).child(nil).fn = fn
+}
+
+// GaugeFunc registers a gauge read from fn at gather time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, nil, nil).child(nil).fn = fn
+}
+
+// CounterVec is a counter family fanned out over label values.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("telemetry: CounterVec %q needs at least one label", name))
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, nil, labelNames)}
+}
+
+// With returns the counter for the given label values, creating it on first
+// use. Hot paths should hold the returned *Counter instead of calling With
+// per event.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelValues).counter
+}
+
+// GaugeVec is a gauge family fanned out over label values.
+type GaugeVec struct {
+	f *family
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("telemetry: GaugeVec %q needs at least one label", name))
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, nil, labelNames)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelValues).gauge
+}
+
+// HistogramVec is a histogram family fanned out over label values; every
+// child shares the family's bucket layout.
+type HistogramVec struct {
+	f *family
+}
+
+// HistogramVec registers a labeled histogram family. Nil or empty buckets
+// select DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("telemetry: HistogramVec %q needs at least one label", name))
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, buckets, labelNames)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelValues).hist
+}

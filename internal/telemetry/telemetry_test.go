@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestNilReceiversNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	g.Inc()
+	g.Dec()
+	h.Observe(0.1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil receivers must read as zero")
+	}
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("Value = %g, want 7.5", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 5, 10, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	// Upper bounds are inclusive: 0.05,0.1 -> le=0.1; 0.5,1 -> le=1;
+	// 5,10 -> le=10; 50 -> +Inf.
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got, want := h.Sum(), 66.65; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramTrailingInfStripped(t *testing.T) {
+	h := newHistogram([]float64{1, 2, math.Inf(1)})
+	if len(h.upper) != 2 {
+		t.Fatalf("explicit +Inf should be stripped, got bounds %v", h.upper)
+	}
+	h.Observe(3)
+	if h.counts[2].Load() != 1 {
+		t.Fatal("overflow observation must land in the implicit +Inf bucket")
+	}
+}
+
+func TestHistogramDuplicateBucketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate bucket bounds")
+		}
+	}()
+	newHistogram([]float64{1, 1, 2})
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid metric name")
+		}
+	}()
+	r.Counter("bad-name", "")
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("reqs_total", "", "endpoint", "code")
+	a := v.With("/score", "200")
+	b := v.With("/score", "200")
+	if a != b {
+		t.Fatal("same label values must return the same child")
+	}
+	c := v.With("/score", "500")
+	if a == c {
+		t.Fatal("distinct label values must return distinct children")
+	}
+	a.Inc()
+	a.Inc()
+	c.Inc()
+	if a.Value() != 2 || c.Value() != 1 {
+		t.Fatalf("children not independent: %d, %d", a.Value(), c.Value())
+	}
+}
+
+func TestVecWrongArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("reqs_total", "", "endpoint")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label arity")
+		}
+	}()
+	v.With("a", "b")
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.5})
+	v := r.CounterVec("v_total", "", "k")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) * 0.9)
+				v.With("a").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if v.With("a").Value() != workers*per {
+		t.Fatalf("vec counter = %d, want %d", v.With("a").Value(), workers*per)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := Lint(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("Lint after concurrent writes: %v", err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{-3, "-3"},
+		{42000, "42000"},
+		{0.25, "0.25"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+		{1e-5, "1e-05"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

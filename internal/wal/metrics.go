@@ -1,0 +1,112 @@
+package wal
+
+import (
+	"time"
+
+	"ssflp/internal/telemetry"
+)
+
+// Metrics holds the WAL's telemetry handles. Pass one via Options.Metrics;
+// a nil *Metrics (the default) records nothing. All note/set methods are
+// nil-receiver-safe so the log never guards observation sites.
+type Metrics struct {
+	records      *telemetry.Counter
+	batches      *telemetry.Counter
+	bytes        *telemetry.Counter
+	appendErrors *telemetry.Counter
+	rotations    *telemetry.Counter
+	truncated    *telemetry.Counter
+	fsync        *telemetry.Histogram
+
+	liveSegments  *telemetry.Gauge
+	recRecords    *telemetry.Gauge
+	recDropped    *telemetry.Gauge
+	recQuarantine *telemetry.Gauge
+	recTruncated  *telemetry.Gauge
+}
+
+// NewMetrics registers the WAL metric families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		records: reg.Counter("ssf_wal_records_total",
+			"Records appended to the write-ahead log."),
+		batches: reg.Counter("ssf_wal_append_batches_total",
+			"Append batches (one flush, and under SyncAlways one fsync, each)."),
+		bytes: reg.Counter("ssf_wal_append_bytes_total",
+			"Encoded record bytes appended to the log."),
+		appendErrors: reg.Counter("ssf_wal_append_errors_total",
+			"Appends refused or failed (including sticky-error rejections)."),
+		rotations: reg.Counter("ssf_wal_segment_rotations_total",
+			"Active-segment rotations (seal + create)."),
+		truncated: reg.Counter("ssf_wal_segments_truncated_total",
+			"Sealed segments deleted by snapshot-driven truncation."),
+		fsync: reg.Histogram("ssf_wal_fsync_duration_seconds",
+			"fsync latency on the active segment (appends, background sync, rotation seals).",
+			nil),
+		liveSegments: reg.Gauge("ssf_wal_live_segments",
+			"Segments currently in the live chain."),
+		recRecords: reg.Gauge("ssf_wal_recovery_records",
+			"Valid records found by the last recovery (Open)."),
+		recDropped: reg.Gauge("ssf_wal_recovery_dropped_bytes",
+			"Bytes discarded repairing a torn tail during the last recovery."),
+		recQuarantine: reg.Gauge("ssf_wal_recovery_quarantined_segments",
+			"Segments quarantined during the last recovery."),
+		recTruncated: reg.Gauge("ssf_wal_recovery_truncated_tail",
+			"1 when the last recovery truncated a torn or corrupt tail, else 0."),
+	}
+}
+
+func (m *Metrics) noteAppend(records int, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.records.Add(uint64(records))
+	m.batches.Inc()
+	m.bytes.Add(uint64(bytes))
+}
+
+func (m *Metrics) noteAppendError() {
+	if m != nil {
+		m.appendErrors.Inc()
+	}
+}
+
+func (m *Metrics) noteFsync(start time.Time) {
+	if m != nil {
+		m.fsync.ObserveSince(start)
+	}
+}
+
+func (m *Metrics) noteRotation() {
+	if m != nil {
+		m.rotations.Inc()
+	}
+}
+
+func (m *Metrics) noteTruncated(n int) {
+	if m != nil {
+		m.truncated.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) setSegments(n int) {
+	if m != nil {
+		m.liveSegments.Set(float64(n))
+	}
+}
+
+// setRecovery publishes the outcome of Open's repair pass.
+func (m *Metrics) setRecovery(st RecoveryStatus) {
+	if m == nil {
+		return
+	}
+	m.recRecords.Set(float64(st.Records))
+	m.recDropped.Set(float64(st.DroppedBytes))
+	m.recQuarantine.Set(float64(st.Quarantined))
+	if st.TruncatedTail {
+		m.recTruncated.Set(1)
+	} else {
+		m.recTruncated.Set(0)
+	}
+	m.liveSegments.Set(float64(st.Segments))
+}

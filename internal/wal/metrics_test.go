@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ssflp/internal/telemetry"
+)
+
+func scrapeWAL(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := telemetry.Lint(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("exposition failed lint:\n%s\nerror: %v", sb.String(), err)
+	}
+	return sb.String()
+}
+
+func TestWALMetricsAppendAndRotate(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	// Tiny segments force rotations.
+	l, err := Open(dir, Options{SegmentBytes: 256, Sync: SyncAlways, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{U: "node-a", V: "node-b", Ts: 1}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendBatch([]Event{ev, ev, ev}); err != nil {
+		t.Fatal(err)
+	}
+	out := scrapeWAL(t, reg)
+	if !strings.Contains(out, "ssf_wal_records_total 23") {
+		t.Errorf("record counter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ssf_wal_append_batches_total 21") {
+		t.Errorf("batch counter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ssf_wal_append_errors_total 0") {
+		t.Errorf("error counter should be zero:\n%s", out)
+	}
+	if strings.Contains(out, "ssf_wal_segment_rotations_total 0\n") {
+		t.Errorf("rotations should be nonzero with 256-byte segments:\n%s", out)
+	}
+	// SyncAlways: at least one fsync per batch.
+	if !strings.Contains(out, "ssf_wal_fsync_duration_seconds_count") {
+		t.Errorf("fsync histogram missing:\n%s", out)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closed-log appends count as errors.
+	if _, err := l.Append(ev); err == nil {
+		t.Fatal("append on closed log must fail")
+	}
+	out = scrapeWAL(t, reg)
+	if !strings.Contains(out, "ssf_wal_append_errors_total 1") {
+		t.Errorf("closed append not counted as error:\n%s", out)
+	}
+}
+
+func TestWALMetricsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(Event{U: "a", V: "b", Ts: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append garbage to the active segment.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %d", err, len(segs))
+	}
+	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage-torn-tail")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg := telemetry.NewRegistry()
+	l2, err := Open(dir, Options{Metrics: NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	out := scrapeWAL(t, reg)
+	if !strings.Contains(out, "ssf_wal_recovery_records 5") {
+		t.Errorf("recovery record gauge wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ssf_wal_recovery_truncated_tail 1") {
+		t.Errorf("truncated-tail gauge should be 1:\n%s", out)
+	}
+	if !strings.Contains(out, "ssf_wal_recovery_dropped_bytes 17") {
+		t.Errorf("dropped-bytes gauge wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ssf_wal_live_segments 1") {
+		t.Errorf("live-segments gauge wrong:\n%s", out)
+	}
+}
+
+func TestWALMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.noteAppend(1, 10)
+	m.noteAppendError()
+	m.noteRotation()
+	m.noteTruncated(2)
+	m.setSegments(3)
+	m.setRecovery(RecoveryStatus{Records: 1})
+
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}) // no metrics: must work as before
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Event{U: "a", V: "b", Ts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -48,6 +48,9 @@ type Options struct {
 	// Logf, when set, receives recovery warnings (torn tails repaired,
 	// segments quarantined). Nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives append/fsync/rotation/recovery telemetry.
+	// Nil disables instrumentation.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -263,6 +266,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.syncDone = make(chan struct{})
 		go l.syncLoop()
 	}
+	opts.Metrics.setRecovery(l.status)
 	return l, nil
 }
 
@@ -326,17 +330,22 @@ func (l *Log) AppendBatch(evs []Event) (LSN, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	m := l.opts.Metrics
 	if l.closed {
+		m.noteAppendError()
 		return 0, ErrClosed
 	}
 	if l.stickyErr != nil {
+		m.noteAppendError()
 		return 0, l.stickyErr
 	}
+	var batchBytes int64
 	for _, ev := range evs {
 		l.buf = AppendRecord(l.buf[:0], ev)
 		if l.size > 0 && l.size+int64(len(l.buf)) > l.opts.SegmentBytes {
 			if err := l.rotateLocked(); err != nil {
 				l.stickyErr = err
+				m.noteAppendError()
 				return 0, err
 			}
 		}
@@ -344,21 +353,28 @@ func (l *Log) AppendBatch(evs []Event) (LSN, error) {
 			// The segment may now hold a torn record; recovery will truncate
 			// it. Refuse further appends so the damage cannot grow.
 			l.stickyErr = fmt.Errorf("wal: append: %w", err)
+			m.noteAppendError()
 			return 0, l.stickyErr
 		}
 		l.size += int64(len(l.buf))
+		batchBytes += int64(len(l.buf))
 		l.nextLSN++
 	}
 	if err := l.w.Flush(); err != nil {
 		l.stickyErr = fmt.Errorf("wal: flush: %w", err)
+		m.noteAppendError()
 		return 0, l.stickyErr
 	}
 	if l.opts.Sync == SyncAlways {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.stickyErr = fmt.Errorf("wal: fsync: %w", err)
+			m.noteAppendError()
 			return 0, l.stickyErr
 		}
+		m.noteFsync(start)
 	}
+	m.noteAppend(len(evs), batchBytes)
 	return l.nextLSN - 1, nil
 }
 
@@ -368,9 +384,11 @@ func (l *Log) rotateLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: rotate flush: %w", err)
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: rotate fsync: %w", err)
 	}
+	l.opts.Metrics.noteFsync(start)
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate close: %w", err)
 	}
@@ -388,6 +406,8 @@ func (l *Log) rotateLocked() error {
 	l.size = 0
 	l.firstLSN = l.nextLSN
 	l.status.Segments++
+	l.opts.Metrics.noteRotation()
+	l.opts.Metrics.setSegments(l.status.Segments)
 	return nil
 }
 
@@ -409,10 +429,12 @@ func (l *Log) syncLocked() error {
 		l.stickyErr = fmt.Errorf("wal: flush: %w", err)
 		return l.stickyErr
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.stickyErr = fmt.Errorf("wal: fsync: %w", err)
 		return l.stickyErr
 	}
+	l.opts.Metrics.noteFsync(start)
 	return nil
 }
 
@@ -517,6 +539,8 @@ func (l *Log) TruncateBefore(keep LSN) (int, error) {
 		if err := syncDir(l.dir); err != nil {
 			return removed, err
 		}
+		l.opts.Metrics.noteTruncated(removed)
+		l.opts.Metrics.setSegments(l.status.Segments)
 	}
 	return removed, nil
 }

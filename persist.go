@@ -115,10 +115,11 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 	switch st.Method {
 	case SSFNM, SSFLR, SSFNMW, SSFLRW, WLNM, WLLR:
 		opts := TrainOptions{K: st.K, Theta: st.Theta}.withDefaults()
-		extract, err := featureExtractor(st.Method, g, g.MaxTimestamp()+1, opts)
+		extract, raw, err := featureExtractor(st.Method, g, g.MaxTimestamp()+1, opts)
 		if err != nil {
 			return nil, fmt.Errorf("ssflp: rebind %v extractor: %w", st.Method, err)
 		}
+		pred.extract, pred.ssfExtractor = extract, raw
 		switch {
 		case st.Linear != nil:
 			model, err := linreg.FromState(*st.Linear)
@@ -126,7 +127,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
 			pred.score = func(u, v NodeID) (float64, error) {
-				feat, err := extract(u, v)
+				feat, err := pred.extract(u, v)
 				if err != nil {
 					return 0, err
 				}
@@ -142,7 +143,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
 			pred.score = func(u, v NodeID) (float64, error) {
-				feat, err := extract(u, v)
+				feat, err := pred.extract(u, v)
 				if err != nil {
 					return 0, err
 				}

@@ -110,12 +110,24 @@ func (o TrainOptions) withDefaults() TrainOptions {
 	return o
 }
 
-// Predictor is a trained link predictor. Safe for concurrent scoring.
+// Predictor is a trained link predictor. Safe for concurrent scoring once
+// wiring (SetMetrics, EnableCache) is done.
 type Predictor struct {
 	method    Method
 	score     func(u, v NodeID) (float64, error)
 	threshold float64
 	state     *predictorState // serializable parameters for Save
+
+	// extract is the feature extraction seam the score closures call for
+	// feature methods; EnableCache swaps it for a caching wrapper. Nil for
+	// heuristic and NMF methods.
+	extract func(u, v NodeID) ([]float64, error)
+	// ssfExtractor is the raw core extractor behind extract when the method
+	// uses SSF features (nil for WLF, heuristics, NMF); it is what the
+	// cache wraps and what stage metrics attach to.
+	ssfExtractor *core.Extractor
+	cache        *core.CachingExtractor
+	metrics      *PredictorMetrics
 }
 
 // Method returns the method this predictor was trained with.
@@ -168,33 +180,35 @@ func Train(g *Graph, method Method, opts TrainOptions) (*Predictor, error) {
 }
 
 // featureExtractor builds the method's extractor over the given graph with
-// the given present time.
-func featureExtractor(method Method, g *Graph, present Timestamp, opts TrainOptions) (func(u, v NodeID) ([]float64, error), error) {
+// the given present time. For SSF-based methods the raw *core.Extractor is
+// also returned so callers can attach caching and stage metrics; it is nil
+// for WLF (which has its own extractor type).
+func featureExtractor(method Method, g *Graph, present Timestamp, opts TrainOptions) (func(u, v NodeID) ([]float64, error), *core.Extractor, error) {
 	switch method {
 	case SSFNM, SSFLR:
 		ex, err := core.NewExtractor(g, present, core.Options{
 			K: opts.K, Theta: opts.Theta, Mode: core.EntryInverseDistance,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ex.Extract, nil
+		return ex.Extract, ex, nil
 	case SSFNMW, SSFLRW:
 		ex, err := core.NewExtractor(g, present, core.Options{
 			K: opts.K, Theta: opts.Theta, Mode: core.EntryCount,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ex.Extract, nil
+		return ex.Extract, ex, nil
 	case WLNM, WLLR:
 		ex, err := wlf.NewExtractor(g, wlf.Options{K: opts.K})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ex.Extract, nil
+		return ex.Extract, nil, nil
 	default:
-		return nil, fmt.Errorf("%w: %d is not a feature method", ErrUnknownMethod, int(method))
+		return nil, nil, fmt.Errorf("%w: %d is not a feature method", ErrUnknownMethod, int(method))
 	}
 }
 
@@ -219,7 +233,7 @@ func extractParallel(samples []eval.Sample, workers int, extract func(u, v NodeI
 
 // trainFeatureModel handles the six supervised feature + model methods.
 func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts TrainOptions) (*Predictor, error) {
-	trainExtract, err := featureExtractor(method, history, ds.Present, opts)
+	trainExtract, _, err := featureExtractor(method, history, ds.Present, opts)
 	if err != nil {
 		return nil, fmt.Errorf("ssflp: %v extractor: %w", method, err)
 	}
@@ -231,7 +245,7 @@ func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts 
 
 	// The inference extractor sees the full network, with the present time
 	// one step past the last observed timestamp.
-	inferExtract, err := featureExtractor(method, g, g.MaxTimestamp()+1, opts)
+	inferExtract, inferRaw, err := featureExtractor(method, g, g.MaxTimestamp()+1, opts)
 	if err != nil {
 		return nil, fmt.Errorf("ssflp: %v inference extractor: %w", method, err)
 	}
@@ -253,21 +267,26 @@ func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts 
 			return nil, fmt.Errorf("ssflp: %v threshold: %w", method, err)
 		}
 		linState := model.State()
-		return &Predictor{
+		p := &Predictor{
 			method:    method,
 			threshold: th,
 			state: &predictorState{
 				Version: predictorStateVersion, Method: method, Threshold: th,
 				K: opts.K, Theta: opts.Theta, Linear: &linState,
 			},
-			score: func(u, v NodeID) (float64, error) {
-				feat, err := inferExtract(u, v)
-				if err != nil {
-					return 0, err
-				}
-				return model.Score(feat)
-			},
-		}, nil
+			extract:      inferExtract,
+			ssfExtractor: inferRaw,
+		}
+		// Score goes through p.extract — the seam EnableCache swaps — not
+		// the captured inferExtract.
+		p.score = func(u, v NodeID) (float64, error) {
+			feat, err := p.extract(u, v)
+			if err != nil {
+				return 0, err
+			}
+			return model.Score(feat)
+		}
+		return p, nil
 	default: // SSFNM, SSFNMW, WLNM
 		scaler, err := nn.FitStandardizer(x)
 		if err != nil {
@@ -288,24 +307,27 @@ func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts 
 			return nil, fmt.Errorf("ssflp: %v snapshot: %w", method, err)
 		}
 		scalerState := scaler.State()
-		return &Predictor{
+		p := &Predictor{
 			method:    method,
 			threshold: 0.5,
 			state: &predictorState{
 				Version: predictorStateVersion, Method: method, Threshold: 0.5,
 				K: opts.K, Theta: opts.Theta, Network: netState, Scaler: &scalerState,
 			},
-			score: func(u, v NodeID) (float64, error) {
-				feat, err := inferExtract(u, v)
-				if err != nil {
-					return 0, err
-				}
-				if feat, err = scaler.Transform(feat); err != nil {
-					return 0, err
-				}
-				return net.Score(feat)
-			},
-		}, nil
+			extract:      inferExtract,
+			ssfExtractor: inferRaw,
+		}
+		p.score = func(u, v NodeID) (float64, error) {
+			feat, err := p.extract(u, v)
+			if err != nil {
+				return 0, err
+			}
+			if feat, err = scaler.Transform(feat); err != nil {
+				return 0, err
+			}
+			return net.Score(feat)
+		}
+		return p, nil
 	}
 }
 

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end telemetry smoke test: boot ssf-serve on a generated dataset,
+# drive scoring and durable ingest, scrape /metrics, and assert that every
+# instrumented layer (HTTP, scoring, extraction, WAL, runtime) reports
+# nonzero activity. Run from the repository root; needs only the Go
+# toolchain and curl.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18080}"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "==> building ssf-serve"
+go build -o "$WORKDIR/ssf-serve" ./cmd/ssf-serve
+
+echo "==> generating dataset"
+go run ./cmd/ssf-datasets -out "$WORKDIR" -datasets Slashdot -scale 40 -seed 3
+
+echo "==> booting server on $ADDR"
+"$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" \
+    -method SSFLR -k 6 -maxpos 20 \
+    -wal-dir "$WORKDIR/wal" \
+    -addr "$ADDR" -log-format json >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "==> waiting for readiness"
+for i in $(seq 1 120); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server died during startup:" >&2
+        cat "$WORKDIR/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+curl -fsS "http://$ADDR/readyz" >/dev/null
+
+echo "==> driving traffic"
+curl -fsS "http://$ADDR/score?u=0&v=1" >/dev/null
+curl -fsS -X POST -d '[{"u":"0","v":"1"},{"u":"2","v":"3"}]' "http://$ADDR/batch" >/dev/null
+curl -fsS -X POST -d '{"u":"smoke-a","v":"smoke-b"}' "http://$ADDR/ingest" >/dev/null
+
+echo "==> checking /healthz cache stats"
+healthz="$(curl -fsS "http://$ADDR/healthz")"
+case "$healthz" in
+*extractionCache*) ;;
+*)
+    echo "FAIL: /healthz missing extractionCache: $healthz" >&2
+    exit 1
+    ;;
+esac
+
+echo "==> scraping /metrics"
+metrics="$WORKDIR/metrics.txt"
+curl -fsS "http://$ADDR/metrics" >"$metrics"
+
+# assert_nonzero FAMILY: at least one sample of FAMILY has a value > 0.
+assert_nonzero() {
+    local family="$1"
+    if ! awk -v fam="$family" '
+        $1 == fam || index($1, fam "{") == 1 { if ($NF + 0 > 0) found = 1 }
+        END { exit !found }
+    ' "$metrics"; then
+        echo "FAIL: no nonzero sample for $family in /metrics" >&2
+        grep -m5 "$family" "$metrics" >&2 || echo "(family absent)" >&2
+        exit 1
+    fi
+    echo "    ok: $family"
+}
+
+assert_nonzero ssf_http_requests_total
+assert_nonzero ssf_http_request_duration_seconds_count
+assert_nonzero ssf_score_batches_total
+assert_nonzero ssf_score_pairs_total
+assert_nonzero ssf_extract_stage_duration_seconds_count
+assert_nonzero ssf_extracts_total
+assert_nonzero ssf_wal_records_total
+assert_nonzero ssf_wal_applied_lsn
+assert_nonzero ssf_ingest_edges_total
+assert_nonzero go_goroutines
+assert_nonzero go_memstats_heap_alloc_bytes
+
+echo "==> checking structured request logs"
+if ! grep -q '"msg":"request"' "$WORKDIR/server.log"; then
+    echo "FAIL: no structured request log lines" >&2
+    cat "$WORKDIR/server.log" >&2
+    exit 1
+fi
+if ! grep -q '"request_id":' "$WORKDIR/server.log"; then
+    echo "FAIL: request logs carry no request_id" >&2
+    exit 1
+fi
+
+echo "PASS: metrics smoke"

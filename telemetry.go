@@ -1,0 +1,150 @@
+package ssflp
+
+import (
+	"ssflp/internal/core"
+	"ssflp/internal/telemetry"
+)
+
+// PredictorMetrics bundles the scoring-layer telemetry handles: batch
+// throughput, per-pair score latency, worker saturation, and the extraction
+// stage metrics threaded down into the SSF pipeline. Construct with
+// NewPredictorMetrics and attach with Predictor.SetMetrics; a nil
+// *PredictorMetrics disables all of it.
+type PredictorMetrics struct {
+	batches     *telemetry.Counter
+	pairs       *telemetry.Counter
+	errors      *telemetry.Counter
+	batchSize   *telemetry.Histogram
+	pairSeconds *telemetry.Histogram
+	workersBusy *telemetry.Gauge
+	core        *core.Metrics
+}
+
+// NewPredictorMetrics registers the predictor metric families on reg,
+// including the ssf_extract_* families consumed by the core extractor.
+func NewPredictorMetrics(reg *telemetry.Registry) *PredictorMetrics {
+	return &PredictorMetrics{
+		batches: reg.Counter("ssf_score_batches_total",
+			"Score batches processed (single /score requests count as a batch of one)."),
+		pairs: reg.Counter("ssf_score_pairs_total",
+			"Candidate pairs scored across all batches."),
+		errors: reg.Counter("ssf_score_errors_total",
+			"Batches that returned an error (including cancellation and panics)."),
+		batchSize: reg.Histogram("ssf_score_batch_size",
+			"Pairs per score batch.", telemetry.SizeBuckets),
+		pairSeconds: reg.Histogram("ssf_score_pair_duration_seconds",
+			"Wall-clock time to score one pair, extraction included.", nil),
+		workersBusy: reg.Gauge("ssf_score_workers_busy",
+			"Batch-pool workers currently scoring a pair."),
+		core: core.NewMetrics(reg),
+	}
+}
+
+// Nil-safe accessors: a nil *PredictorMetrics hands out nil handles, whose
+// mutating methods no-op, so the batch path needs no conditionals.
+
+func (m *PredictorMetrics) batchesCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.batches
+}
+
+func (m *PredictorMetrics) pairsCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.pairs
+}
+
+func (m *PredictorMetrics) errorsCounter() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.errors
+}
+
+func (m *PredictorMetrics) batchSizeHist() *telemetry.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.batchSize
+}
+
+func (m *PredictorMetrics) pairSecondsHist() *telemetry.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.pairSeconds
+}
+
+func (m *PredictorMetrics) workersBusyGauge() *telemetry.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.workersBusy
+}
+
+// SetMetrics attaches telemetry to the predictor and, when the method is
+// SSF-based, threads the extraction stage metrics into the underlying
+// extractor. Call during wiring, before concurrent scoring starts. A nil m
+// detaches scoring metrics but leaves extractor metrics in place.
+func (p *Predictor) SetMetrics(m *PredictorMetrics) {
+	p.metrics = m
+	if m != nil && p.ssfExtractor != nil {
+		p.ssfExtractor.SetMetrics(m.core)
+	}
+}
+
+// CacheStats is a snapshot of the extraction cache's counters.
+type CacheStats struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	SharedInflight int64 `json:"shared_inflight"`
+	Size           int   `json:"size"`
+	Capacity       int   `json:"capacity"`
+}
+
+// DefaultCacheSize is the extraction cache capacity selected by
+// EnableCache(0). Re-exported from internal/core.
+const DefaultCacheSize = core.DefaultCacheSize
+
+// EnableCache interposes an LRU + singleflight cache between the score
+// closures and SSF feature extraction. capacity <= 0 selects
+// DefaultCacheSize. It reports whether caching applies: only SSF-based
+// feature methods have a cacheable extractor (WLF, heuristic and NMF
+// predictors return false). Call during wiring, before concurrent scoring;
+// after any graph mutation call PurgeCache.
+func (p *Predictor) EnableCache(capacity int) bool {
+	if p.ssfExtractor == nil {
+		return false
+	}
+	p.cache = core.NewCachingExtractor(p.ssfExtractor, capacity)
+	p.extract = p.cache.Extract
+	return true
+}
+
+// PurgeCache empties the extraction cache (no-op when caching is off). The
+// serving layer calls it after applying ingested edges, since cached SSF
+// vectors describe the pre-ingestion graph.
+func (p *Predictor) PurgeCache() {
+	if p.cache != nil {
+		p.cache.Purge()
+	}
+}
+
+// CacheStats snapshots the extraction cache counters; ok is false when
+// EnableCache was never (successfully) called.
+func (p *Predictor) CacheStats() (stats CacheStats, ok bool) {
+	if p.cache == nil {
+		return CacheStats{}, false
+	}
+	hits, misses, size := p.cache.Stats()
+	return CacheStats{
+		Hits:           hits,
+		Misses:         misses,
+		SharedInflight: p.cache.SharedInflight(),
+		Size:           size,
+		Capacity:       p.cache.Capacity(),
+	}, true
+}

@@ -1,0 +1,140 @@
+package ssflp
+
+import (
+	"strings"
+	"testing"
+
+	"ssflp/internal/telemetry"
+)
+
+func TestPredictorMetricsAndCache(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	pred.SetMetrics(NewPredictorMetrics(reg))
+	if !pred.EnableCache(8) {
+		t.Fatal("EnableCache must succeed for an SSF method")
+	}
+
+	pairs := [][2]NodeID{{0, 13}, {1, 14}, {2, 15}, {0, 13}}
+	if _, err := pred.ScoreBatch(pairs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.ScoreBatch(pairs[:1], 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := telemetry.Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition failed lint:\n%s\nerror: %v", out, err)
+	}
+	for _, want := range []string{
+		"ssf_score_batches_total 2",
+		"ssf_score_pairs_total 5",
+		"ssf_score_errors_total 0",
+		"ssf_score_batch_size_count 2",
+		"ssf_score_pair_duration_seconds_count 5",
+		"ssf_score_workers_busy 0",
+		// The stage metrics threaded through SetMetrics into the extractor:
+		// batch one extracts 3 unique pairs (one repeat is deduplicated by
+		// the cache), batch two is a pure cache hit.
+		`ssf_extract_stage_duration_seconds_count{stage="hhop"} 3`,
+		"ssf_extracts_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+
+	stats, ok := pred.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats must report ok after EnableCache")
+	}
+	// The repeated pair either hits the cache or joins the in-flight
+	// extraction (miss + shared) depending on worker timing; unique
+	// extractions are 3 either way.
+	if stats.Misses-stats.SharedInflight != 3 {
+		t.Errorf("misses-shared = %d-%d, want 3", stats.Misses, stats.SharedInflight)
+	}
+	if stats.Hits+stats.SharedInflight != 2 {
+		t.Errorf("hits+shared = %d+%d, want 2", stats.Hits, stats.SharedInflight)
+	}
+	if stats.Size != 3 || stats.Capacity != 8 {
+		t.Errorf("size/capacity = %d/%d, want 3/8", stats.Size, stats.Capacity)
+	}
+
+	pred.PurgeCache()
+	stats, _ = pred.CacheStats()
+	if stats.Size != 0 {
+		t.Errorf("post-purge size = %d, want 0", stats.Size)
+	}
+}
+
+func TestPredictorMetricsNilSafe(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No SetMetrics, no EnableCache: scoring must work untouched.
+	if _, err := pred.ScoreBatch([][2]NodeID{{0, 13}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pred.CacheStats(); ok {
+		t.Error("CacheStats must report !ok without EnableCache")
+	}
+	pred.PurgeCache() // no-op, must not panic
+	pred.SetMetrics(nil)
+	if _, err := pred.Score(0, 13); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableCacheRejectsNonSSF(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, CN, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.EnableCache(8) {
+		t.Error("EnableCache must return false for heuristic methods")
+	}
+	// Metrics still attach (batch counters apply to every method).
+	pred.SetMetrics(NewPredictorMetrics(telemetry.NewRegistry()))
+	if _, err := pred.ScoreBatch([][2]NodeID{{0, 13}}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedScoresMatchUncached(t *testing.T) {
+	g := testNetwork(t)
+	plain, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Train(g, SSFLR, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.EnableCache(0)
+	for _, p := range [][2]NodeID{{0, 13}, {1, 14}, {0, 13}} {
+		a, err := plain.Score(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cached.Score(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("pair %v: cached score %g != plain %g", p, b, a)
+		}
+	}
+}
