@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all bench-check vet fmt experiments clean
+.PHONY: all build test race cover cover-check soak bench bench-all bench-check vet fmt experiments clean
 
 # The hot-path microbenches tracked in BENCH_ssf.json: the four extraction
 # kernels plus the telemetry primitives they observe through.
@@ -22,6 +22,17 @@ race:
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# Coverage ratchet: fails when total statement coverage drops below the
+# committed floor (same gate CI runs).
+cover-check:
+	./scripts/coverage_gate.sh
+
+# Concurrency soak: race-built ssf-serve under concurrent /score + /ingest
+# load; gates on zero 5xx, zero race reports, monotonically increasing epoch.
+# Tune with DURATION=<seconds> READERS=<n>.
+soak:
+	./scripts/concurrency_soak.sh
 
 # Run the hot-path microbenches and refresh the committed regression record
 # (current section only; pass -rebase via BENCHDIFF_FLAGS to move the

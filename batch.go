@@ -39,9 +39,16 @@ func (p *Predictor) ScoreBatch(pairs [][2]NodeID, workers int) ([]ScoredPair, er
 // one pair's extraction time. A cancelled or expired context is reported as
 // an error wrapping ctx.Err().
 func (p *Predictor) ScoreBatchCtx(ctx context.Context, pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
+	return scoreBatchCtx(ctx, p.metrics, p.score, pairs, workers)
+}
+
+// scoreBatchCtx is the shared batch engine behind Predictor.ScoreBatchCtx
+// and Binding.ScoreBatchCtx: same worker pool, metrics, panic isolation and
+// cancellation semantics, parameterized on the score function so epoch
+// bindings reuse it without duplicating the machinery.
+func scoreBatchCtx(ctx context.Context, m *PredictorMetrics, score func(u, v NodeID) (float64, error), pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
 	// Resolve the nil-safe metric handles once per batch; when no metrics
 	// are attached every observation below no-ops.
-	m := p.metrics
 	m.batchesCounter().Inc()
 	m.batchSizeHist().Observe(float64(len(pairs)))
 	pairSeconds, workersBusy, pairsScored := m.pairSecondsHist(), m.workersBusyGauge(), m.pairsCounter()
@@ -50,7 +57,7 @@ func (p *Predictor) ScoreBatchCtx(ctx context.Context, pairs [][2]NodeID, worker
 		u, v := pairs[i][0], pairs[i][1]
 		workersBusy.Inc()
 		start := time.Now()
-		s, err := p.scoreSafe(u, v)
+		s, err := scoreSafe(score, u, v)
 		pairSeconds.ObserveSince(start)
 		workersBusy.Dec()
 		if err != nil {
@@ -67,17 +74,17 @@ func (p *Predictor) ScoreBatchCtx(ctx context.Context, pairs [][2]NodeID, worker
 	return out, nil
 }
 
-// scoreSafe runs the method's score function with panic isolation: a panic
-// in the scoring kernel is converted into an error wrapping ErrScorePanic
-// (with the stack attached) instead of unwinding a worker goroutine and
-// killing the whole process.
-func (p *Predictor) scoreSafe(u, v NodeID) (s float64, err error) {
+// scoreSafe runs a score function with panic isolation: a panic in the
+// scoring kernel is converted into an error wrapping ErrScorePanic (with the
+// stack attached) instead of unwinding a worker goroutine and killing the
+// whole process.
+func scoreSafe(score func(u, v NodeID) (float64, error), u, v NodeID) (s float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v\n%s", ErrScorePanic, r, debug.Stack())
 		}
 	}()
-	return p.score(u, v)
+	return score(u, v)
 }
 
 // runIndexed runs fn(i) for every i in [0, n) on a fixed pool of worker

@@ -1,0 +1,167 @@
+package ssflp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ssflp/internal/graph"
+	"ssflp/internal/linreg"
+	"ssflp/internal/nmf"
+	"ssflp/internal/nn"
+)
+
+// Binding is a predictor bound to one immutable graph epoch. The fitted
+// model parameters (regression weights, network weights, NMF factors,
+// thresholds) are graph-independent and shared with the parent Predictor;
+// only the epoch-specific layer — feature extractors over the frozen graph,
+// heuristic scorers over its static view — is rebuilt per Bind. A Binding
+// never observes graph mutations: every score it produces describes exactly
+// the epoch it was bound to, which is what lets a serving layer swap epochs
+// under live traffic without a lock. Safe for concurrent use.
+type Binding struct {
+	pred  *Predictor
+	snap  *GraphSnapshot
+	score func(u, v NodeID) (float64, error)
+}
+
+// Bind builds a Binding of p against the immutable epoch snap. For feature
+// methods a fresh extractor is constructed over the frozen graph (present
+// time one past its last timestamp, mirroring how training and LoadPredictor
+// rebind); when the predictor has an extraction cache the extractor is
+// wrapped with epoch-keyed caching, so vectors from different epochs never
+// answer for each other and in-flight requests on superseded epochs still
+// hit their own entries. Binding is cheap for feature and NMF methods; for
+// heuristic methods it rebuilds the scorer, and the snapshot's static view
+// is built on first use.
+func (p *Predictor) Bind(snap *GraphSnapshot) (*Binding, error) {
+	if snap == nil {
+		return nil, errors.New("ssflp: bind: nil snapshot")
+	}
+	if snap.Graph == nil {
+		return nil, errors.New("ssflp: bind: snapshot has no graph")
+	}
+	if p.bindScore == nil {
+		return nil, errors.New("ssflp: bind: predictor does not support rebinding")
+	}
+	var extract func(u, v NodeID) ([]float64, error)
+	switch p.method {
+	case SSFNM, SSFLR, SSFNMW, SSFLRW, WLNM, WLLR:
+		var k int
+		var theta float64
+		if p.state != nil {
+			k, theta = p.state.K, p.state.Theta
+		}
+		opts := TrainOptions{K: k, Theta: theta}.withDefaults()
+		ex, raw, err := featureExtractor(p.method, snap.Graph, snap.Graph.MaxTimestamp()+1, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ssflp: bind %v extractor: %w", p.method, err)
+		}
+		extract = ex
+		if raw != nil {
+			if p.metrics != nil {
+				raw.SetMetrics(p.metrics.core)
+			}
+			if p.cache != nil {
+				epoch, cache := snap.Epoch, p.cache
+				extract = func(u, v NodeID) ([]float64, error) {
+					return cache.ExtractAt(epoch, raw, u, v)
+				}
+			}
+		}
+	}
+	score, err := p.bindScore(snap, extract)
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: bind %v: %w", p.method, err)
+	}
+	return &Binding{pred: p, snap: snap, score: score}, nil
+}
+
+// Epoch returns the epoch number of the bound snapshot.
+func (b *Binding) Epoch() uint64 { return b.snap.Epoch }
+
+// Snapshot returns the bound graph epoch.
+func (b *Binding) Snapshot() *GraphSnapshot { return b.snap }
+
+// Threshold returns the parent predictor's classification threshold.
+func (b *Binding) Threshold() float64 { return b.pred.threshold }
+
+// Score returns the closeness score of (u, v) against the bound epoch.
+func (b *Binding) Score(u, v NodeID) (float64, error) { return b.score(u, v) }
+
+// Predict classifies a candidate link against the bound epoch.
+func (b *Binding) Predict(u, v NodeID) (bool, error) {
+	s, err := b.score(u, v)
+	if err != nil {
+		return false, err
+	}
+	return s > b.pred.threshold, nil
+}
+
+// ScoreBatchCtx scores pairs against the bound epoch with the same worker
+// pool, cancellation, panic-isolation and metrics semantics as
+// Predictor.ScoreBatchCtx.
+func (b *Binding) ScoreBatchCtx(ctx context.Context, pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
+	return scoreBatchCtx(ctx, b.pred.metrics, b.score, pairs, workers)
+}
+
+// The bind helpers close over the graph-independent fitted parameters and
+// return the predictor's bindScore hook. They are shared between Train and
+// LoadPredictor so both construction paths rebind identically.
+
+// linregBind scores epoch-extracted features through a fitted linear model.
+func linregBind(model *linreg.Model) func(*graph.Snapshot, func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+	return func(_ *graph.Snapshot, extract func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+		if extract == nil {
+			return nil, errors.New("ssflp: bind: feature method without extractor")
+		}
+		return func(u, v NodeID) (float64, error) {
+			feat, err := extract(u, v)
+			if err != nil {
+				return 0, err
+			}
+			return model.Score(feat)
+		}, nil
+	}
+}
+
+// networkBind scores epoch-extracted features through a standardizer and a
+// trained neural machine.
+func networkBind(net *nn.Network, scaler *nn.Standardizer) func(*graph.Snapshot, func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+	return func(_ *graph.Snapshot, extract func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+		if extract == nil {
+			return nil, errors.New("ssflp: bind: feature method without extractor")
+		}
+		return func(u, v NodeID) (float64, error) {
+			feat, err := extract(u, v)
+			if err != nil {
+				return 0, err
+			}
+			if feat, err = scaler.Transform(feat); err != nil {
+				return 0, err
+			}
+			return net.Score(feat)
+		}, nil
+	}
+}
+
+// heuristicBind rebuilds the Table I heuristic over each epoch's static
+// view, so unsupervised methods track the growing graph instead of scoring
+// against the topology they booted with.
+func heuristicBind(method Method) func(*graph.Snapshot, func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+	return func(snap *graph.Snapshot, _ func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+		scorer, err := heuristicScorer(method, snap.Static())
+		if err != nil {
+			return nil, err
+		}
+		return func(u, v NodeID) (float64, error) { return scorer.Score(u, v), nil }, nil
+	}
+}
+
+// nmfBind scores through the fixed factor matrices; nodes added after
+// training have no factor rows and score 0 (nmf.Model.Score bounds-checks).
+func nmfBind(model *nmf.Model) func(*graph.Snapshot, func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+	return func(_ *graph.Snapshot, _ func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error) {
+		return func(u, v NodeID) (float64, error) { return model.Score(u, v), nil }, nil
+	}
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+
+	"ssflp/internal/core"
+	"ssflp/internal/graph"
+	"ssflp/internal/wal"
+)
+
+// epochEdgeSet collects g's edges as a "u-v-ts" multiset for equality checks.
+func epochEdgeSet(g *graph.Graph) map[string]int {
+	out := map[string]int{}
+	for e := range g.Edges() {
+		out[fmt.Sprintf("%d-%d-%d", e.U, e.V, e.Ts)]++
+	}
+	return out
+}
+
+// sampleVectors extracts SSF feature vectors for a fixed pair sample from g,
+// recording errors as sentinel strings so both sides must fail identically.
+func sampleVectors(t *testing.T, g *graph.Graph, present graph.Timestamp) map[string][]float64 {
+	t.Helper()
+	ex, err := core.NewExtractor(g, present, core.Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]float64{}
+	n := g.NumNodes()
+	for u := 0; u < n && u < 12; u++ {
+		for v := u + 1; v < n && v < 12; v++ {
+			key := fmt.Sprintf("%d-%d", u, v)
+			vec, err := ex.Extract(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				out[key] = nil
+				continue
+			}
+			out[key] = vec
+		}
+	}
+	return out
+}
+
+// assertVectorsIdentical compares two feature-vector samples bit for bit.
+func assertVectorsIdentical(t *testing.T, got, want map[string][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("sampled %d pairs, want %d", len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok || len(g) != len(w) {
+			t.Fatalf("pair %s: vector shape mismatch (%d vs %d)", key, len(g), len(w))
+		}
+		for i := range w {
+			if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+				t.Fatalf("pair %s component %d: %v != %v (not byte-identical)", key, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestEpochEquivalenceProperty is the PR's acceptance property: after any
+// interleaving of concurrent ingest batches, (1) the published epoch's
+// feature vectors are byte-identical to a from-scratch rebuild of the same
+// edge list (base file + WAL events in LSN order), and (2) WAL recovery on a
+// fresh boot reproduces exactly that final epoch.
+func TestEpochEquivalenceProperty(t *testing.T) {
+	file := writeTestNet(t)
+	walDir := t.TempDir()
+	cfg := walConfig(file, walDir)
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.routes()
+
+	// Concurrent writers: deterministic edge content, nondeterministic
+	// interleaving — exactly the schedule space the property quantifies over.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				body := fmt.Sprintf(`[{"u":"w%dn%d","v":"%d","ts":%d},{"u":"w%dn%d","v":"w%dn%d"}]`,
+					w, i, (w*10+i)%40, 1000+i, w, i, w, i+1)
+				if code, resp := postJSON(t, h, "/ingest", body); code != http.StatusOK {
+					t.Errorf("writer %d ingest %d: status %d %v", w, i, code, resp)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := srv.cur.Load()
+	present := st.snap.Graph.MaxTimestamp() + 1
+	finalEdges := epochEdgeSet(st.snap.Graph)
+	finalVecs := sampleVectors(t, st.snap.Graph, present)
+	finalLSN := st.appliedLSN
+	if finalLSN != wal.LSN(80) {
+		t.Fatalf("appliedLSN = %d, want 80 (4 writers x 10 batches x 2 edges)", finalLSN)
+	}
+
+	// Close the log directly (no final snapshot) so the full event history
+	// stays replayable for the from-scratch rebuild.
+	if err := srv.wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// From-scratch rebuild: base file, then every WAL event in LSN order.
+	res, err := graph.LoadEdgeListFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := res.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastLSN wal.LSN
+	err = lg.Replay(1, func(lsn wal.LSN, ev wal.Event) error {
+		if lsn != lastLSN+1 {
+			t.Fatalf("replay out of order: %d after %d", lsn, lastLSN)
+		}
+		lastLSN = lsn
+		return rebuilt.AddEdge(ev.U, ev.V, graph.Timestamp(ev.Ts))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lastLSN != finalLSN {
+		t.Fatalf("replayed through LSN %d, server applied %d", lastLSN, finalLSN)
+	}
+	rebuiltEdges := epochEdgeSet(rebuilt.Graph())
+	if len(rebuiltEdges) != len(finalEdges) {
+		t.Fatalf("edge multiset sizes differ: rebuilt %d vs served %d", len(rebuiltEdges), len(finalEdges))
+	}
+	for k, n := range finalEdges {
+		if rebuiltEdges[k] != n {
+			t.Fatalf("edge %s: rebuilt count %d, served %d", k, rebuiltEdges[k], n)
+		}
+	}
+	assertVectorsIdentical(t, sampleVectors(t, rebuilt.Graph(), present), finalVecs)
+
+	// Recovery: a fresh boot on the same directory must serve that epoch.
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.close()
+	st2 := srv2.cur.Load()
+	if st2.appliedLSN != finalLSN {
+		t.Fatalf("recovered appliedLSN = %d, want %d", st2.appliedLSN, finalLSN)
+	}
+	recEdges := epochEdgeSet(st2.snap.Graph)
+	for k, n := range finalEdges {
+		if recEdges[k] != n {
+			t.Fatalf("recovered edge %s: count %d, want %d", k, recEdges[k], n)
+		}
+	}
+	if len(recEdges) != len(finalEdges) {
+		t.Fatalf("recovered %d distinct edges, want %d", len(recEdges), len(finalEdges))
+	}
+	assertVectorsIdentical(t, sampleVectors(t, st2.snap.Graph, present), finalVecs)
+}
+
+// TestEpochMonotonicUnderConcurrentIngest checks the reader-visible epoch
+// contract: epochs only move forward, each successful ingest lands in an
+// epoch, and one writer's successive commits see strictly increasing epochs.
+func TestEpochMonotonicUnderConcurrentIngest(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			last := float64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, body := getJSON(t, h, "/healthz")
+				if code != http.StatusOK {
+					t.Errorf("healthz during ingest: %d", code)
+					return
+				}
+				ep := body["epoch"].(float64)
+				if ep < last {
+					t.Errorf("epoch went backwards: %v after %v", ep, last)
+					return
+				}
+				last = ep
+				if code, _ := getJSON(t, h, "/score?u=0&v=1"); code != http.StatusOK {
+					t.Errorf("score during ingest: %d", code)
+					return
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			prev := float64(0)
+			for i := 0; i < 15; i++ {
+				body := fmt.Sprintf(`{"u":"mw%dn%d","v":"%d"}`, w, i, (w+i)%40)
+				code, resp := postJSON(t, h, "/ingest", body)
+				if code != http.StatusOK {
+					t.Errorf("writer %d ingest %d: status %d %v", w, i, code, resp)
+					return
+				}
+				ep := resp["epoch"].(float64)
+				if ep <= prev {
+					t.Errorf("writer %d: epoch %v after %v, want strictly increasing", w, ep, prev)
+					return
+				}
+				prev = ep
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := srv.cur.Load()
+	if st.snap.Epoch < 2 {
+		t.Fatalf("final epoch = %d, want > 1 after 60 ingests", st.snap.Epoch)
+	}
+	// 60 single-edge requests; coalescing may have merged some commits, so
+	// the epoch count is at most 1 + 60 and the edges all landed.
+	if st.snap.Epoch > 61 {
+		t.Fatalf("final epoch = %d, exceeds one swap per request", st.snap.Epoch)
+	}
+	_, health := getJSON(t, h, "/healthz")
+	if health["epoch"].(float64) != float64(st.snap.Epoch) {
+		t.Errorf("healthz epoch %v != published %d", health["epoch"], st.snap.Epoch)
+	}
+}

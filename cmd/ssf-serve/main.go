@@ -55,6 +55,7 @@ import (
 
 	"ssflp"
 	"ssflp/internal/graph"
+	"ssflp/internal/resilience"
 	"ssflp/internal/telemetry"
 	"ssflp/internal/wal"
 )
@@ -150,7 +151,7 @@ func run(args []string) error {
 	if srv.wlog != nil && *snapEvery > 0 {
 		go snapshotLoop(ctx, srv, *snapEvery)
 	}
-	stats := srv.b.Graph().Statistics()
+	stats := srv.cur.Load().snap.Stats
 	logger.Info("serving",
 		slog.String("method", srv.predictor.Method().String()),
 		slog.String("addr", ln.Addr().String()),
@@ -344,22 +345,34 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	limits := cfg.Limits.withDefaults()
 	s := &server{
-		b:          b,
-		predictor:  pred,
-		started:    time.Now(),
-		limits:     limits,
-		limiter:    newLimiter(limits),
-		wlog:       wlog,
-		walDir:     cfg.WALDir,
-		recovered:  recovered,
-		scoreBatch: pred.ScoreBatchCtx,
+		b:         b,
+		predictor: pred,
+		started:   time.Now(),
+		limits:    limits,
+		limiter:   newLimiter(limits),
+		wlog:      wlog,
+		walDir:    cfg.WALDir,
+		recovered: recovered,
+		scoreBatch: func(ctx context.Context, st *epochState, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
+			return st.binding.ScoreBatchCtx(ctx, pairs, workers)
+		},
 	}
+	s.ingest = resilience.NewCoalescer(s.commitIngest)
 	s.initTelemetry(reg, logger)
+	applied := wal.LSN(0)
 	if recovered != nil {
-		s.appliedLSN = recovered.AppliedLSN
+		applied = recovered.AppliedLSN
 		s.lastSnapLSN = recovered.SnapshotLSN
-		s.appliedLSNG.Set(float64(recovered.AppliedLSN))
 	}
+	// Publish epoch 1: the recovered (or freshly loaded) network frozen as an
+	// immutable snapshot, with the predictor bound against it.
+	snap := b.Snapshot(1)
+	binding, err := pred.Bind(snap)
+	if err != nil {
+		closeOnErr()
+		return nil, fmt.Errorf("bind predictor: %w", err)
+	}
+	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: applied})
 	s.setReady(true)
 	return s, nil
 }

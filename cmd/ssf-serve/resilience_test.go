@@ -26,12 +26,12 @@ func injectFaults(srv *server) (*faultinject.Injector, *errLog) {
 	inj := &faultinject.Injector{}
 	log := &errLog{}
 	base := srv.scoreBatch
-	srv.scoreBatch = func(ctx context.Context, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
+	srv.scoreBatch = func(ctx context.Context, st *epochState, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
 		if err := inj.Fire(ctx); err != nil {
 			log.add(err)
 			return nil, err
 		}
-		out, err := base(ctx, pairs, workers)
+		out, err := base(ctx, st, pairs, workers)
 		log.add(err)
 		return out, err
 	}
@@ -197,7 +197,7 @@ func TestInjectedPanicYields500AndServerSurvives(t *testing.T) {
 
 func TestScoringPanicErrorMapsTo500(t *testing.T) {
 	srv := testServerWith(t, limitsConfig{})
-	srv.scoreBatch = func(ctx context.Context, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
+	srv.scoreBatch = func(ctx context.Context, st *epochState, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
 		// What ScoreBatchCtx returns when a scoring worker panicked.
 		return nil, ssflp.ErrScorePanic
 	}

@@ -23,18 +23,34 @@ import (
 	"ssflp/internal/wal"
 )
 
+// epochState is everything a reader needs from one published epoch: the
+// immutable graph snapshot, the predictor binding built against it, and the
+// WAL position it reflects. Readers grab one pointer at request start and
+// use it throughout — the fields never change after publication.
+type epochState struct {
+	snap       *graph.Snapshot
+	binding    *ssflp.Binding
+	appliedLSN wal.LSN // last WAL position reflected in snap (0 without WAL)
+}
+
 // server holds the serving state. Since live ingestion landed, the network
-// is no longer immutable: s.mu guards the builder (graph + labels + label
-// index) and the WAL position it reflects — scoring handlers hold the read
-// lock, POST /ingest holds the write lock. The predictor itself is trained
-// once at boot and never swapped (its feature extractors read the live graph
-// through the same lock).
+// is no longer immutable — but readers never lock: the current epoch
+// (immutable snapshot + predictor binding) is published through an atomic
+// pointer, scoring handlers read whatever epoch they grabbed at request
+// start, and POST /ingest builds the next epoch off to the side. Concurrent
+// ingest requests coalesce into one group commit: a single WAL batch append
+// (one fsync), one pass of builder mutations, and one epoch swap.
 type server struct {
-	mu          sync.RWMutex
-	b           *graph.Builder // graph + label dictionary, mutated by /ingest
-	appliedLSN  wal.LSN        // last WAL position reflected in the graph
-	snapMu      sync.Mutex     // serializes snapshot writers
-	lastSnapLSN wal.LSN        // newest snapshot position (guarded by snapMu)
+	// cur is the published epoch; never nil once the server is built.
+	cur atomic.Pointer[epochState]
+
+	// Writer side. The builder and epoch counter are owned by the ingest
+	// group-commit leader — the coalescer guarantees a single writer.
+	b      *graph.Builder // private builder the next epoch grows in
+	ingest *resilience.Coalescer[*ingestOp]
+
+	snapMu      sync.Mutex // serializes snapshot writers
+	lastSnapLSN wal.LSN    // newest snapshot position (guarded by snapMu)
 
 	predictor *ssflp.Predictor
 	started   time.Time
@@ -45,10 +61,11 @@ type server struct {
 	walDir    string
 	recovered *wal.RecoveredState // boot recovery report; nil when WAL disabled
 
-	// scoreBatch is the scoring entry point for /top and /batch. It defaults
-	// to predictor.ScoreBatchCtx and is the seam where tests inject latency
-	// and panics (see resilience_test.go).
-	scoreBatch func(ctx context.Context, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error)
+	// scoreBatch is the scoring entry point for /score, /top and /batch: it
+	// receives the epoch the handler grabbed at request start and defaults
+	// to that epoch's binding.ScoreBatchCtx. It is the seam where tests
+	// inject latency and panics (see resilience_test.go).
+	scoreBatch func(ctx context.Context, st *epochState, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error)
 
 	// Telemetry. All fields are optional: a server built as a bare struct in
 	// tests works without any of them (nil metric handles no-op, routes falls
@@ -57,11 +74,16 @@ type server struct {
 	reg    *telemetry.Registry // exposed on GET /metrics when non-nil
 	instr  *resilience.Instrumentation
 
-	ingestedEdges  *telemetry.Counter // edges applied by POST /ingest
-	ingestBatches  *telemetry.Counter // successful /ingest requests
-	appliedLSNG    *telemetry.Gauge   // WAL position reflected in the graph
-	snapshotsOK    *telemetry.Counter // snapshots written
-	snapshotErrors *telemetry.Counter // snapshot attempts that failed
+	ingestedEdges  *telemetry.Counter   // edges applied by POST /ingest
+	ingestBatches  *telemetry.Counter   // successful /ingest requests
+	appliedLSNG    *telemetry.Gauge     // WAL position reflected in the graph
+	snapshotsOK    *telemetry.Counter   // snapshots written
+	snapshotErrors *telemetry.Counter   // snapshot attempts that failed
+	epochG         *telemetry.Gauge     // published epoch number
+	epochSwaps     *telemetry.Counter   // epoch publications since boot
+	epochReads     *telemetry.Counter   // requests that grabbed an epoch
+	swapSeconds    *telemetry.Histogram // group commit + swap latency
+	groupSize      *telemetry.Histogram // ingest requests per group commit
 }
 
 // initTelemetry attaches the logger and registry and registers the serving
@@ -84,6 +106,16 @@ func (s *server) initTelemetry(reg *telemetry.Registry, logger *slog.Logger) {
 		"Network snapshots persisted (periodic and shutdown).")
 	s.snapshotErrors = reg.Counter("ssf_snapshot_errors_total",
 		"Snapshot attempts that failed.")
+	s.epochG = reg.Gauge("ssf_epoch",
+		"Epoch number of the published graph snapshot.")
+	s.epochSwaps = reg.Counter("ssf_epoch_swaps_total",
+		"Epoch snapshots published since boot (one per ingest group commit).")
+	s.epochReads = reg.Counter("ssf_epoch_reads_total",
+		"Requests that pinned the published epoch at request start.")
+	s.swapSeconds = reg.Histogram("ssf_epoch_swap_duration_seconds",
+		"Wall-clock time of one ingest group commit: WAL append, builder apply, snapshot freeze, rebind, swap.", nil)
+	s.groupSize = reg.Histogram("ssf_ingest_group_size",
+		"Concurrent /ingest requests coalesced into one group commit.", telemetry.SizeBuckets)
 }
 
 // slogger returns the structured logger, falling back to a discard logger so
@@ -93,6 +125,43 @@ func (s *server) slogger() *slog.Logger {
 		return slog.New(slog.DiscardHandler)
 	}
 	return s.logger
+}
+
+// state returns the published epoch. Handlers call it exactly once at
+// request start and use the returned state throughout, so a concurrent
+// epoch swap never changes what a request observes.
+func (s *server) state() *epochState {
+	s.epochReads.Inc()
+	return s.cur.Load()
+}
+
+// publish makes st the served epoch. Only newServer (boot) and the ingest
+// group-commit leader call it.
+func (s *server) publish(st *epochState) {
+	s.cur.Store(st)
+	s.epochG.Set(float64(st.snap.Epoch))
+	if s.wlog != nil {
+		s.appliedLSNG.Set(float64(st.appliedLSN))
+	}
+}
+
+// lookup resolves a node label (or numeric id) to its NodeID in this epoch.
+func (st *epochState) lookup(tok string) (ssflp.NodeID, bool) {
+	if id, ok := st.snap.Lookup(tok); ok {
+		return id, true
+	}
+	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < st.snap.Stats.NumNodes {
+		return ssflp.NodeID(id), true
+	}
+	return 0, false
+}
+
+// labelOf resolves a node id to its label in this epoch.
+func (st *epochState) labelOf(id int) string {
+	if lab, ok := st.snap.LabelOf(ssflp.NodeID(id)); ok {
+		return lab
+	}
+	return strconv.Itoa(id)
 }
 
 // limitsConfig carries the per-endpoint resilience knobs from the flags.
@@ -147,6 +216,9 @@ func (c limitsConfig) withDefaults() limitsConfig {
 func (s *server) routes() http.Handler {
 	if s.instr == nil {
 		s.instr = resilience.NewInstrumentation(s.reg, s.logger)
+	}
+	if s.ingest == nil {
+		s.ingest = resilience.NewCoalescer(s.commitIngest)
 	}
 	mux := http.NewServeMux()
 	admit := s.limiter.Middleware()
@@ -203,17 +275,19 @@ func scoreError(w http.ResponseWriter, err error) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	stats := s.b.Graph().Statistics()
-	s.mu.RUnlock()
+	st := s.state()
 	out := map[string]any{
 		"status":        "ok",
 		"ready":         s.ready.Load(),
 		"method":        s.predictor.Method().String(),
 		"threshold":     s.predictor.Threshold(),
-		"nodes":         stats.NumNodes,
-		"links":         stats.NumEdges,
+		"epoch":         st.snap.Epoch,
+		"nodes":         st.snap.Stats.NumNodes,
+		"links":         st.snap.Stats.NumEdges,
 		"uptimeSeconds": int(time.Since(s.started).Seconds()),
+	}
+	if s.wlog != nil {
+		out["appliedLSN"] = st.appliedLSN
 	}
 	if cs, ok := s.predictor.CacheStats(); ok {
 		out["extractionCache"] = cs
@@ -228,25 +302,23 @@ func (s *server) handleLivez(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is the readiness probe: 200 while accepting traffic, 503 once
 // shutdown has begun so load balancers stop routing here during the drain.
-// When the durability layer is on, the payload also reports how the boot
-// recovered (snapshot position, tail replay, repaired damage) and the WAL
-// position the served graph reflects.
+// The payload reports the served epoch; when the durability layer is on, it
+// also reports how the boot recovered (snapshot position, tail replay,
+// repaired damage) and the WAL position the served graph reflects.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		errorJSON(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	out := map[string]any{"status": "ready"}
+	st := s.state()
+	out := map[string]any{"status": "ready", "epoch": st.snap.Epoch}
 	if s.wlog == nil {
 		out["wal"] = map[string]any{"enabled": false}
 	} else {
-		s.mu.RLock()
-		applied := s.appliedLSN
-		s.mu.RUnlock()
 		rec := s.recovered
 		out["wal"] = map[string]any{
 			"enabled":             true,
-			"appliedLSN":          applied,
+			"appliedLSN":          st.appliedLSN,
 			"snapshotLSN":         rec.SnapshotLSN,
 			"replayedRecords":     rec.Replayed,
 			"recoveredRecords":    rec.Log.Records,
@@ -261,37 +333,24 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // setReady flips the readiness probe (used when shutdown begins).
 func (s *server) setReady(ok bool) { s.ready.Store(ok) }
 
-// lookupLocked resolves a node label (or numeric id) to its NodeID via the
-// builder's index — O(1) per token. Callers must hold s.mu (read or write).
-func (s *server) lookupLocked(tok string) (ssflp.NodeID, bool) {
-	if id, ok := s.b.Lookup(tok); ok {
-		return id, true
-	}
-	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < s.b.Graph().NumNodes() {
-		return ssflp.NodeID(id), true
-	}
-	return 0, false
-}
-
 func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 	uTok, vTok := r.URL.Query().Get("u"), r.URL.Query().Get("v")
 	if uTok == "" || vTok == "" {
 		errorJSON(w, http.StatusBadRequest, "u and v query parameters are required")
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	u, ok := s.lookupLocked(uTok)
+	st := s.state()
+	u, ok := st.lookup(uTok)
 	if !ok {
 		errorJSON(w, http.StatusNotFound, "unknown node "+uTok)
 		return
 	}
-	v, ok := s.lookupLocked(vTok)
+	v, ok := st.lookup(vTok)
 	if !ok {
 		errorJSON(w, http.StatusNotFound, "unknown node "+vTok)
 		return
 	}
-	scored, err := s.scoreBatch(r.Context(), [][2]ssflp.NodeID{{u, v}}, 1)
+	scored, err := s.scoreBatch(r.Context(), st, [][2]ssflp.NodeID{{u, v}}, 1)
 	if err != nil {
 		scoreError(w, err)
 		return
@@ -362,11 +421,11 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		n = parsed
 	}
 	ctx := r.Context()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	g := s.b.Graph()
-	view := g.Static()
-	nodes := g.NumNodes()
+	st := s.state()
+	// The epoch's static view is built lazily once and shared across /top
+	// requests of the same epoch.
+	view := st.snap.Static()
+	nodes := st.snap.Stats.NumNodes
 	total := nodes * (nodes - 1) / 2
 	stride := 1
 	if total > topCandidateLimit {
@@ -390,7 +449,7 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 			pairs = append(pairs, [2]ssflp.NodeID{ssflp.NodeID(u), ssflp.NodeID(v)})
 		}
 	}
-	scored, err := s.scoreBatch(ctx, pairs, 0)
+	scored, err := s.scoreBatch(ctx, st, pairs, 0)
 	if err != nil {
 		scoreError(w, err)
 		return
@@ -403,7 +462,7 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	best := topN(scored, n)
 	cands := make([]cand, len(best))
 	for i, sp := range best {
-		cands[i] = cand{U: s.labelOfLocked(int(sp.U)), V: s.labelOfLocked(int(sp.V)), Score: sp.Score}
+		cands[i] = cand{U: st.labelOf(int(sp.U)), V: st.labelOf(int(sp.V)), Score: sp.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"candidates": cands,
@@ -429,23 +488,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch size must be in [1, %d]", batchRequestLimit))
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	st := s.state()
 	pairs := make([][2]ssflp.NodeID, len(req))
 	for i, p := range req {
-		u, ok := s.lookupLocked(p.U)
+		u, ok := st.lookup(p.U)
 		if !ok {
 			errorJSON(w, http.StatusNotFound, "unknown node "+p.U)
 			return
 		}
-		v, ok := s.lookupLocked(p.V)
+		v, ok := st.lookup(p.V)
 		if !ok {
 			errorJSON(w, http.StatusNotFound, "unknown node "+p.V)
 			return
 		}
 		pairs[i] = [2]ssflp.NodeID{u, v}
 	}
-	scored, err := s.scoreBatch(r.Context(), pairs, 0)
+	scored, err := s.scoreBatch(r.Context(), st, pairs, 0)
 	if err != nil {
 		scoreError(w, err)
 		return
@@ -480,6 +538,20 @@ type ingestEdge struct {
 	Ts *int64 `json:"ts"`
 }
 
+// ingestOp is one validated /ingest request travelling through the group
+// committer. The handler fills edges; the commit leader fills the results
+// before the coalescer releases the waiter, so no further synchronization
+// is needed to read them.
+type ingestOp struct {
+	edges []ingestEdge
+
+	err   error   // WAL append failure: nothing of the group was applied
+	lsn   wal.LSN // last WAL position of this op's events (durable mode)
+	epoch uint64  // first epoch containing this op's edges
+	nodes int     // node count of that epoch
+	links int     // link count of that epoch
+}
+
 // validateIngestEdge enforces the /ingest error taxonomy's 422 class: label
 // hygiene and the no-self-loop rule, checked before anything touches the WAL
 // so a rejected edge is never logged.
@@ -500,13 +572,14 @@ func validateIngestEdge(e ingestEdge) error {
 	return nil
 }
 
-// handleIngest appends edge arrivals to the write-ahead log and then applies
-// them to the in-memory network — WAL first, so an edge acknowledged as
-// durable is never lost to a crash. The body is either one edge object or an
-// array of them. Error taxonomy: 400 malformed request (bad JSON, empty or
-// oversized batch), 422 invalid edge (bad label, self loop), 500 WAL append
-// failure (nothing applied), 200 with {"applied", "durable", "lsn"} on
-// success. Without -wal-dir the edges still apply, flagged "durable": false.
+// handleIngest validates edge arrivals and submits them to the group
+// committer, which appends them to the write-ahead log and publishes the
+// next epoch — WAL first, so an edge acknowledged as durable is never lost
+// to a crash. The body is either one edge object or an array of them. Error
+// taxonomy: 400 malformed request (bad JSON, empty or oversized batch), 422
+// invalid edge (bad label, self loop), 500 WAL append failure (nothing
+// applied), 200 with {"applied", "durable", "lsn", "epoch"} on success.
+// Without -wal-dir the edges still apply, flagged "durable": false.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -538,80 +611,128 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.ingest == nil {
+		s.ingest = resilience.NewCoalescer(s.commitIngest)
+	}
+	op := &ingestOp{edges: edges}
+	s.ingest.Do(op)
+	if op.err != nil {
+		// Durability cannot be guaranteed, so nothing was applied: the
+		// graph never runs ahead of the log.
+		s.slogger().LogAttrs(r.Context(), slog.LevelError, "wal append failed",
+			slog.String("request_id", resilience.RequestID(r.Context())),
+			slog.Int("edges", len(edges)),
+			slog.Any("error", op.err))
+		errorJSON(w, http.StatusInternalServerError, "write-ahead log append failed")
+		return
+	}
+	out := map[string]any{
+		"applied": len(op.edges),
+		"durable": s.wlog != nil,
+		"epoch":   op.epoch,
+		"nodes":   op.nodes,
+		"links":   op.links,
+	}
+	if s.wlog != nil {
+		out["lsn"] = op.lsn
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// commitIngest is the group-commit body, run by the coalescer's leader with
+// exclusive ownership of the builder: one WAL batch append (one fsync) for
+// every coalesced request, one pass of builder mutations, one frozen
+// snapshot, one predictor rebind, one atomic epoch swap. Readers that
+// grabbed the previous epoch keep scoring against it undisturbed.
+func (s *server) commitIngest(ops []*ingestOp) {
+	start := time.Now()
+	total := 0
+	for _, op := range ops {
+		total += len(op.edges)
+	}
 	// An omitted timestamp means "now": the latest time the network knows.
 	nowTs := int64(s.b.Graph().MaxTimestamp())
-	events := make([]wal.Event, len(edges))
-	for i, e := range edges {
-		ts := nowTs
-		if e.Ts != nil {
-			ts = *e.Ts
+	events := make([]wal.Event, 0, total)
+	for _, op := range ops {
+		for _, e := range op.edges {
+			ts := nowTs
+			if e.Ts != nil {
+				ts = *e.Ts
+			}
+			events = append(events, wal.Event{U: e.U, V: e.V, Ts: ts})
 		}
-		events[i] = wal.Event{U: e.U, V: e.V, Ts: ts}
 	}
-	out := map[string]any{"applied": len(events), "durable": s.wlog != nil}
+	prev := s.cur.Load()
+	applied := prev.appliedLSN
 	if s.wlog != nil {
-		lsn, err := s.wlog.AppendBatch(events)
+		last, err := s.wlog.AppendBatch(events)
 		if err != nil {
-			// Durability cannot be guaranteed, so nothing is applied: the
-			// graph never runs ahead of the log.
-			s.slogger().LogAttrs(r.Context(), slog.LevelError, "wal append failed",
-				slog.String("request_id", resilience.RequestID(r.Context())),
-				slog.Int("edges", len(events)),
-				slog.Any("error", err))
-			errorJSON(w, http.StatusInternalServerError, "write-ahead log append failed")
+			for _, op := range ops {
+				op.err = err
+			}
 			return
 		}
-		s.appliedLSN = lsn
-		s.appliedLSNG.Set(float64(lsn))
-		out["lsn"] = lsn
+		cursor := last - wal.LSN(len(events))
+		for _, op := range ops {
+			cursor += wal.LSN(len(op.edges))
+			op.lsn = cursor
+		}
+		applied = last
 	}
 	for _, ev := range events {
 		if err := s.b.AddEdge(ev.U, ev.V, ssflp.Timestamp(ev.Ts)); err != nil {
-			// Unreachable after validation; if it ever fires the durable log
-			// is still correct and a restart reconverges.
-			s.slogger().LogAttrs(r.Context(), slog.LevelError, "apply ingested edge failed",
-				slog.String("request_id", resilience.RequestID(r.Context())),
+			// Unreachable after validation; if it ever fires the durable
+			// log is still correct — recovery skips the same record.
+			s.slogger().Error("apply ingested edge failed",
 				slog.String("u", ev.U), slog.String("v", ev.V),
 				slog.Any("error", err))
-			errorJSON(w, http.StatusInternalServerError, "apply ingested edge failed")
-			return
 		}
 	}
-	// The network changed shape: cached SSF feature vectors describe the
-	// pre-ingestion graph and must not serve another score.
-	s.predictor.PurgeCache()
-	s.ingestedEdges.Add(uint64(len(events)))
-	s.ingestBatches.Inc()
-	stats := s.b.Graph().Statistics()
-	out["nodes"], out["links"] = stats.NumNodes, stats.NumEdges
-	writeJSON(w, http.StatusOK, out)
+	snap := s.b.Snapshot(prev.snap.Epoch + 1)
+	binding, err := s.predictor.Bind(snap)
+	if err != nil {
+		// Serve the new graph with the previous epoch's binding rather
+		// than dropping reads; scores for new nodes degrade to errors
+		// until a later commit rebinds successfully.
+		s.slogger().Error("bind new epoch failed; keeping previous binding",
+			slog.Uint64("epoch", snap.Epoch), slog.Any("error", err))
+		binding = prev.binding
+	}
+	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: applied})
+	for _, op := range ops {
+		op.epoch = snap.Epoch
+		op.nodes = snap.Stats.NumNodes
+		op.links = snap.Stats.NumEdges
+	}
+	s.ingestedEdges.Add(uint64(total))
+	s.ingestBatches.Add(uint64(len(ops)))
+	s.groupSize.Observe(float64(len(ops)))
+	s.swapSeconds.ObserveSince(start)
+	s.epochSwaps.Inc()
 }
 
 // writeSnapshot persists a consistent, checksummed snapshot of the served
 // network and reclaims the log segments it covers. It is a no-op without a
 // WAL or when no record has been applied since the last snapshot. Safe for
-// concurrent use; state is cloned under the read lock so ingest is only
-// briefly blocked.
+// concurrent use — and, because the published epoch is immutable, it never
+// blocks ingest or scoring: the state is serialized directly, no clone, no
+// lock.
 func (s *server) writeSnapshot() error {
 	if s.wlog == nil {
 		return nil
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	s.mu.RLock()
-	lsn := s.appliedLSN
+	st := s.cur.Load()
+	lsn := st.appliedLSN
 	if lsn == 0 || lsn == s.lastSnapLSN {
-		s.mu.RUnlock()
 		return nil
 	}
 	snap := &wal.Snapshot{
 		LSN:    lsn,
-		Labels: append([]string(nil), s.b.Labels()...),
-		Graph:  s.b.Graph().Clone(),
+		Labels: st.snap.Labels,
+		Graph:  st.snap.Graph,
 	}
-	s.mu.RUnlock()
 	if err := s.writeSnapshotLocked(snap); err != nil {
 		s.snapshotErrors.Inc()
 		return err
@@ -622,7 +743,7 @@ func (s *server) writeSnapshot() error {
 }
 
 // writeSnapshotLocked performs the I/O half of writeSnapshot; callers hold
-// snapMu and have already cloned a consistent state.
+// snapMu and pass immutable (epoch-frozen) state.
 func (s *server) writeSnapshotLocked(snap *wal.Snapshot) error {
 	if _, err := s.wlog.TruncateBefore(0); err != nil { // cheap closed-log probe
 		return err
@@ -646,13 +767,4 @@ func (s *server) close() {
 	if err := s.wlog.Close(); err != nil {
 		s.slogger().Error("wal close failed", slog.Any("error", err))
 	}
-}
-
-// labelOfLocked resolves a node id to its label; callers hold s.mu.
-func (s *server) labelOfLocked(id int) string {
-	labels := s.b.Labels()
-	if id < len(labels) {
-		return labels[id]
-	}
-	return strconv.Itoa(id)
 }

@@ -19,6 +19,9 @@ type (
 	Edge = graph.Edge
 	// GraphStats summarizes a graph like the paper's Table II.
 	GraphStats = graph.Stats
+	// GraphSnapshot is one immutable epoch of a growing labeled graph,
+	// produced by a graph builder and consumed by Predictor.Bind.
+	GraphSnapshot = graph.Snapshot
 )
 
 // NewGraph returns an empty dynamic graph with a capacity hint of n nodes.

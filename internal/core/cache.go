@@ -3,35 +3,57 @@ package core
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"ssflp/internal/graph"
 )
 
-// CachingExtractor memoizes SSF vectors per (unordered) node pair with an
-// LRU eviction policy. Cached vectors are valid as long as the underlying
-// history graph is unchanged; owners that mutate the graph (live ingestion)
-// must call Purge afterwards. Serving workloads (the ssf-serve /top
-// endpoint, repeated ScoreBatch calls) hit the same pairs repeatedly and
-// skip the O(K³ + K|V_h|²) extraction.
+// CachingExtractor memoizes SSF vectors per (generation, unordered node
+// pair) with an LRU eviction policy, so entries computed against different
+// versions of a mutating graph can never answer for each other. It supports
+// two invalidation disciplines — owners pick one and stick with it:
 //
-// Concurrent misses on the same pair are deduplicated singleflight-style:
-// the first caller computes, later callers block on the in-flight result
-// instead of burning an extraction each. Safe for concurrent use.
+//   - Generation + Purge (Extract): vectors are keyed by an internal
+//     generation counter; after mutating the wrapped extractor's graph the
+//     owner calls Purge, which bumps the generation and drops everything.
+//   - Epoch keying (ExtractAt): the owner maintains immutable graph epochs
+//     and passes the epoch number plus that epoch's extractor explicitly.
+//     Nothing is ever purged — entries from superseded epochs stop being
+//     requested and age out of the LRU naturally, and requests still in
+//     flight on an old epoch keep hitting that epoch's entries.
+//
+// Serving workloads (the ssf-serve /top endpoint, repeated ScoreBatch
+// calls) hit the same pairs repeatedly and skip the O(K³ + K|V_h|²)
+// extraction.
+//
+// Concurrent misses on the same (generation, pair) are deduplicated
+// singleflight-style: the first caller computes, later callers block on the
+// in-flight result instead of burning an extraction each. Safe for
+// concurrent use.
 type CachingExtractor struct {
-	inner *Extractor
+	inner *Extractor // fixed extractor behind the generation-based Extract path
+
+	// gen is the Extract path's current generation, bumped by Purge. It is
+	// atomic so Extract reads it without taking mu.
+	gen atomic.Uint64
 
 	mu       sync.Mutex
 	capacity int
 	entries  map[pairKey]*list.Element
 	order    *list.List // front = most recently used
 	inflight map[pairKey]*inflightCall
-	gen      uint64 // bumped by Purge; guards stale in-flight inserts
+	floor    uint64 // generations below floor never insert (set by Purge)
 	hits     int64
 	misses   int64
 	shared   int64
 }
 
-type pairKey struct{ u, v graph.NodeID }
+// pairKey identifies one cached vector: the generation (or epoch) it was
+// extracted under plus the unordered node pair.
+type pairKey struct {
+	gen  uint64
+	u, v graph.NodeID
+}
 
 type cacheEntry struct {
 	key pairKey
@@ -64,10 +86,24 @@ func NewCachingExtractor(inner *Extractor, capacity int) *CachingExtractor {
 	}
 }
 
-// Extract returns the SSF vector of (a, b), from cache when available. The
-// returned slice is shared across callers and must not be mutated.
+// Extract returns the SSF vector of (a, b) under the current generation,
+// from cache when available. The returned slice is shared across callers and
+// must not be mutated.
 func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
-	key := pairKey{u: min(a, b), v: max(a, b)}
+	return c.extract(c.gen.Load(), c.inner, a, b)
+}
+
+// ExtractAt returns the SSF vector of (a, b) in the given epoch, computing
+// through that epoch's extractor on a miss. Epoch-keyed owners never call
+// Purge: superseded epochs simply stop being requested and their entries
+// age out of the LRU, while readers still finishing a request on an old
+// epoch keep getting that epoch's (still valid) vectors.
+func (c *CachingExtractor) ExtractAt(epoch uint64, inner *Extractor, a, b graph.NodeID) ([]float64, error) {
+	return c.extract(epoch, inner, a, b)
+}
+
+func (c *CachingExtractor) extract(gen uint64, inner *Extractor, a, b graph.NodeID) ([]float64, error) {
+	key := pairKey{gen: gen, u: min(a, b), v: max(a, b)}
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -78,8 +114,8 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 	}
 	c.misses++
 	if call, ok := c.inflight[key]; ok {
-		// Another goroutine is already extracting this pair; share its
-		// result instead of computing again.
+		// Another goroutine is already extracting this pair in this
+		// generation; share its result instead of computing again.
 		c.shared++
 		c.mu.Unlock()
 		<-call.done
@@ -87,21 +123,22 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call
-	gen := c.gen
 	c.mu.Unlock()
 
 	// Extraction runs outside the lock so unrelated pairs proceed in
 	// parallel; followers of this pair block on call.done above.
-	vec, err := c.inner.Extract(a, b)
+	vec, err := inner.Extract(a, b)
 
 	c.mu.Lock()
 	call.vec, call.err = vec, err
 	if c.inflight[key] == call {
 		delete(c.inflight, key)
 	}
-	// Only insert if no Purge ran while we were extracting: a vector
-	// computed against the pre-mutation graph must not outlive it.
-	if err == nil && gen == c.gen {
+	// Only insert if no Purge invalidated this generation while we were
+	// extracting: a vector computed against the pre-mutation graph must not
+	// outlive it. Epoch-keyed extractions are never invalidated this way —
+	// their graphs are immutable.
+	if err == nil && gen >= c.floor {
 		el := c.order.PushFront(&cacheEntry{key: key, vec: vec})
 		c.entries[key] = el
 		if c.order.Len() > c.capacity {
@@ -115,16 +152,17 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 	return vec, err
 }
 
-// Purge drops every cached vector and detaches in-flight extractions, for
-// use after the underlying graph is mutated (live ingestion). Extractions
-// already in progress still return to their waiters — the score they
-// produce reflects the pre-mutation graph, which is the same answer those
-// callers would have gotten moments earlier — but their results are not
-// inserted into the post-purge cache. Hit/miss statistics survive.
+// Purge advances the Extract path's generation and drops every cached
+// vector, for use after the graph behind the wrapped extractor is mutated
+// in place. Extractions already in progress still return to their waiters —
+// the score they produce reflects the pre-mutation graph, which is the same
+// answer those callers would have gotten moments earlier — but their
+// results are not inserted into the post-purge cache. Hit/miss statistics
+// survive. Epoch-keyed owners (ExtractAt) do not call Purge.
 func (c *CachingExtractor) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.gen++
+	c.floor = c.gen.Add(1)
 	c.entries = make(map[pairKey]*list.Element, c.capacity)
 	c.order.Init()
 	// Detach rather than wait: new requests for these pairs must recompute

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestExtractAtKeysByEpoch checks the epoch-keyed discipline: the same pair
+// under different epochs occupies distinct entries, and revisiting an old
+// epoch (a reader that pinned it before a swap) still hits.
+func TestExtractAtKeysByEpoch(t *testing.T) {
+	inner, cached := cachedFixture(t, 16)
+
+	if _, err := cached.ExtractAt(1, inner, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.ExtractAt(1, inner, 1, 0); err != nil { // unordered pair hits
+		t.Fatal(err)
+	}
+	hits, misses, size := cached.Stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("epoch 1 stats = %d/%d/%d, want 1/1/1", hits, misses, size)
+	}
+
+	// A new epoch must not see epoch 1's entry even for the same pair.
+	if _, err := cached.ExtractAt(2, inner, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, size = cached.Stats()
+	if hits != 1 || misses != 2 || size != 2 {
+		t.Fatalf("epoch 2 stats = %d/%d/%d, want 1/2/2", hits, misses, size)
+	}
+
+	// A straggler still scoring on epoch 1 keeps hitting its entry.
+	if _, err := cached.ExtractAt(1, inner, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ = cached.Stats()
+	if hits != 2 {
+		t.Fatalf("old-epoch hit count = %d, want 2", hits)
+	}
+}
+
+// TestExtractAtOldEpochsAgeOut checks that superseded epochs need no purge:
+// advancing epochs under a bounded cache evicts the old entries via LRU.
+func TestExtractAtOldEpochsAgeOut(t *testing.T) {
+	inner, cached := cachedFixture(t, 2)
+	for epoch := uint64(1); epoch <= 4; epoch++ {
+		if _, err := cached.ExtractAt(epoch, inner, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, size := cached.Stats()
+	if size != 2 {
+		t.Fatalf("size = %d, want capacity 2 after 4 epochs", size)
+	}
+	// The oldest epochs were evicted; re-requesting one is a miss, the
+	// newest is a hit.
+	_, missesBefore, _ := cached.Stats()
+	if _, err := cached.ExtractAt(4, inner, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter, _ := cached.Stats()
+	if missesAfter != missesBefore {
+		t.Fatal("newest epoch should still be cached")
+	}
+	if _, err := cached.ExtractAt(1, inner, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, missesFinal, _ := cached.Stats()
+	if missesFinal != missesAfter+1 {
+		t.Fatal("oldest epoch should have aged out")
+	}
+}
+
+// TestExtractAtMatchesInner checks epoch-keyed extraction returns the same
+// vector the wrapped extractor computes directly.
+func TestExtractAtMatchesInner(t *testing.T) {
+	inner, cached := cachedFixture(t, 16)
+	want, err := inner.Extract(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.ExtractAt(7, inner, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -136,16 +136,11 @@ func TestCachePurgeGenerationGuard(t *testing.T) {
 	// Deterministically reproduce an extraction that straddles a purge by
 	// replaying Extract's insert sequence with a stale generation snapshot:
 	// the guard must suppress the insert.
-	c.mu.Lock()
-	stale := c.gen
-	c.mu.Unlock()
+	stale := c.gen.Load()
 	c.Purge()
-	c.mu.Lock()
-	if stale == c.gen {
-		c.mu.Unlock()
+	if stale == c.gen.Load() {
 		t.Fatal("Purge must advance the generation")
 	}
-	c.mu.Unlock()
 
 	// The observable contract under concurrency: purging while extracting
 	// never corrupts state (run with -race) and never serves an error.

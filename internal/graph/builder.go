@@ -13,6 +13,12 @@ type Builder struct {
 	g      *Graph
 	labels []string
 	index  map[string]NodeID
+
+	// snapIndex is the label index shared with issued snapshots; it covers
+	// the first snapLabels labels and is never mutated once handed out —
+	// Snapshot rebuilds it when the label set has grown since.
+	snapIndex  map[string]NodeID
+	snapLabels int
 }
 
 // NewBuilder returns a Builder over a fresh empty graph.
@@ -74,4 +80,30 @@ func (b *Builder) Labels() []string { return b.labels }
 func (b *Builder) Lookup(label string) (NodeID, bool) {
 	id, ok := b.index[label]
 	return id, ok
+}
+
+// Snapshot freezes the builder's current state into an immutable epoch that
+// later Intern/AddEdge calls cannot disturb. The cost is O(V) for the frozen
+// adjacency headers plus, only when labels were added since the previous
+// snapshot, O(V) to rebuild the shared label index — consecutive snapshots
+// over a stable node set share one index map. The builder itself remains
+// single-writer: callers serialize Snapshot with AddEdge/Intern, but the
+// returned Snapshot may be read concurrently with further builder writes.
+func (b *Builder) Snapshot(epoch uint64) *Snapshot {
+	if b.snapIndex == nil || len(b.labels) != b.snapLabels {
+		idx := make(map[string]NodeID, len(b.labels))
+		for i, l := range b.labels {
+			idx[l] = NodeID(i)
+		}
+		b.snapIndex = idx
+		b.snapLabels = len(b.labels)
+	}
+	g := b.g.Freeze()
+	return &Snapshot{
+		Epoch:  epoch,
+		Graph:  g,
+		Labels: b.labels[:len(b.labels):len(b.labels)],
+		Stats:  g.Statistics(),
+		index:  b.snapIndex,
+	}
 }

@@ -225,6 +225,20 @@ func (g *Graph) Clone() *Graph {
 	return out
 }
 
+// Freeze returns a read-only copy of g that stays consistent while g keeps
+// growing through AddNode/AddEdge. Only the outer adjacency header array is
+// copied (O(V)); the per-node arc arrays are shared with g. Sharing is safe
+// because growth appends: a later AddEdge either writes into spare capacity
+// at indices the frozen headers cannot reach, or into a freshly allocated
+// array — the frozen copy and the growing graph never touch the same
+// address. The contract is append-only: calling ResetNodes on g after a
+// Freeze would rewind shared rows in place and corrupt every frozen copy.
+func (g *Graph) Freeze() *Graph {
+	adj := make([][]Arc, len(g.adj))
+	copy(adj, g.adj)
+	return &Graph{adj: adj, numEdges: g.numEdges, minTs: g.minTs, maxTs: g.maxTs}
+}
+
 // Stats summarizes a dynamic graph the way Table II of the paper does.
 type Stats struct {
 	NumNodes  int

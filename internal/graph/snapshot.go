@@ -1,0 +1,53 @@
+package graph
+
+import "sync"
+
+// Snapshot is one immutable epoch of a growing labeled graph: the frozen
+// graph, its label dictionary and lookup index, precomputed statistics, and
+// the epoch number that orders it among its siblings. Snapshots are what a
+// serving layer publishes through an atomic pointer — readers score against
+// whatever epoch they grabbed at request start while the builder assembles
+// the next one off to the side. All fields and methods are safe for
+// unsynchronized concurrent use.
+type Snapshot struct {
+	// Epoch numbers snapshots in publication order (first epoch is 1).
+	Epoch uint64
+	// Graph is the frozen graph. Reads only; see Graph.Freeze.
+	Graph *Graph
+	// Labels maps node id -> label. The backing array is shared with the
+	// builder (append-only), so treat it as read-only.
+	Labels []string
+	// Stats are the graph statistics at freeze time, precomputed so health
+	// endpoints never touch the graph.
+	Stats Stats
+
+	// index resolves labels to node ids. It is shared with the builder
+	// until the label set grows, at which point the builder rebuilds a
+	// fresh map and this one is never written again.
+	index map[string]NodeID
+
+	staticOnce sync.Once
+	static     *StaticView
+}
+
+// Lookup resolves a label to its node id in O(1).
+func (s *Snapshot) Lookup(label string) (NodeID, bool) {
+	id, ok := s.index[label]
+	return id, ok
+}
+
+// LabelOf returns the label of node id; ok is false when id is out of range.
+func (s *Snapshot) LabelOf(id NodeID) (string, bool) {
+	if id < 0 || int(id) >= len(s.Labels) {
+		return "", false
+	}
+	return s.Labels[id], true
+}
+
+// Static returns the snapshot's static multiplicity view, built lazily on
+// first use and shared by every caller: the O(E log E) build is paid at most
+// once per epoch, and never by epochs that don't need it.
+func (s *Snapshot) Static() *StaticView {
+	s.staticOnce.Do(func() { s.static = s.Graph.Static() })
+	return s.static
+}

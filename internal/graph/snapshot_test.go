@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// edgeSet returns g's edges as "u-v-ts" multiset keys for equality checks.
+func edgeSet(g *Graph) map[string]int {
+	out := map[string]int{}
+	for e := range g.Edges() {
+		out[fmt.Sprintf("%d-%d-%d", e.U, e.V, e.Ts)]++
+	}
+	return out
+}
+
+func TestSnapshotIsImmutableUnderAppends(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 10; i++ {
+		if err := b.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), Timestamp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := b.Snapshot(1)
+	before := edgeSet(snap.Graph)
+	wantNodes, wantEdges := snap.Stats.NumNodes, snap.Stats.NumEdges
+
+	// Grow the builder past the snapshot: new nodes AND new links between
+	// nodes the snapshot already has (appends to shared Arc rows).
+	for i := 0; i < 50; i++ {
+		if err := b.AddEdge(fmt.Sprintf("n%d", i%5), fmt.Sprintf("x%d", i), Timestamp(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := edgeSet(snap.Graph); len(got) != len(before) {
+		t.Fatalf("snapshot edge set changed after builder appends: %d vs %d", len(got), len(before))
+	}
+	if snap.Graph.NumNodes() != wantNodes || snap.Graph.NumEdges() != wantEdges {
+		t.Fatalf("snapshot stats drifted: %d/%d, want %d/%d",
+			snap.Graph.NumNodes(), snap.Graph.NumEdges(), wantNodes, wantEdges)
+	}
+	if len(snap.Labels) != wantNodes {
+		t.Fatalf("snapshot labels len = %d, want %d", len(snap.Labels), wantNodes)
+	}
+	// The snapshot's label index must not see post-snapshot nodes.
+	if _, ok := snap.Lookup("x0"); ok {
+		t.Error("snapshot resolves a label interned after the freeze")
+	}
+	if _, ok := snap.Lookup("n3"); !ok {
+		t.Error("snapshot lost a pre-freeze label")
+	}
+}
+
+func TestSnapshotConcurrentReadersDuringAppends(t *testing.T) {
+	// The epoch contract exercised under -race: frozen readers traverse their
+	// snapshot while the builder keeps appending. Any shared-memory violation
+	// in Freeze's copy-on-write scheme shows up as a race report.
+	b := NewBuilder()
+	if err := b.AddEdge("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := b.Snapshot(0) // epoch number irrelevant here
+				want := snap.Stats.NumEdges
+				sum := 0
+				for id := 0; id < snap.Graph.NumNodes(); id++ {
+					sum += snap.Graph.MultiDegree(NodeID(id))
+				}
+				if sum != 2*want {
+					t.Errorf("degree sum %d != 2 * %d edges", sum, want)
+					return
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		u := fmt.Sprintf("n%d", rng.Intn(50))
+		v := fmt.Sprintf("n%d", 50+rng.Intn(50))
+		if err := b.AddEdge(u, v, Timestamp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotPrefixEqualsFromScratchRebuild(t *testing.T) {
+	// Property: a snapshot taken mid-stream is byte-for-byte the graph a
+	// from-scratch build of the same prefix produces.
+	type ev struct {
+		u, v string
+		ts   Timestamp
+	}
+	rng := rand.New(rand.NewSource(11))
+	var stream []ev
+	for i := 0; i < 300; i++ {
+		stream = append(stream, ev{
+			u:  fmt.Sprintf("n%d", rng.Intn(40)),
+			v:  fmt.Sprintf("m%d", rng.Intn(40)),
+			ts: Timestamp(rng.Intn(1000)),
+		})
+	}
+	live := NewBuilder()
+	for cut, e := range stream {
+		if err := live.AddEdge(e.u, e.v, e.ts); err != nil {
+			t.Fatal(err)
+		}
+		if cut%97 != 0 {
+			continue
+		}
+		snap := live.Snapshot(uint64(cut))
+		fresh := NewBuilder()
+		for _, p := range stream[:cut+1] {
+			if err := fresh.AddEdge(p.u, p.v, p.ts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := edgeSet(snap.Graph), edgeSet(fresh.Graph()); len(got) != len(want) {
+			t.Fatalf("cut %d: edge multiset size %d, want %d", cut, len(got), len(want))
+		} else {
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("cut %d: edge %s count %d, want %d", cut, k, got[k], n)
+				}
+			}
+		}
+		for i, lab := range fresh.Labels() {
+			id, ok := snap.Lookup(lab)
+			if !ok || id != NodeID(i) {
+				t.Fatalf("cut %d: Lookup(%q) = %d,%v want %d", cut, lab, id, ok, i)
+			}
+		}
+	}
+}
+
+func TestSnapshotLabelHelpers(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddEdge("alpha", "beta", 5); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Snapshot(3)
+	if snap.Epoch != 3 {
+		t.Errorf("epoch = %d, want 3", snap.Epoch)
+	}
+	if lab, ok := snap.LabelOf(1); !ok || lab != "beta" {
+		t.Errorf("LabelOf(1) = %q,%v", lab, ok)
+	}
+	if _, ok := snap.LabelOf(2); ok {
+		t.Error("LabelOf past range succeeded")
+	}
+	if _, ok := snap.LabelOf(-1); ok {
+		t.Error("LabelOf(-1) succeeded")
+	}
+	v1 := snap.Static()
+	v2 := snap.Static()
+	if v1 != v2 {
+		t.Error("Static() must build once and share the view")
+	}
+	if !v1.HasEdge(0, 1) {
+		t.Error("static view lost the edge")
+	}
+}
+
+func TestSnapshotIndexReuseAcrossEpochs(t *testing.T) {
+	// When no label was interned between epochs, the builder reuses the
+	// snapshot index map instead of rebuilding it.
+	b := NewBuilder()
+	if err := b.AddEdge("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	s1 := b.Snapshot(1)
+	// New link between existing nodes: no new label.
+	if err := b.AddEdge("a", "b", 2); err != nil {
+		t.Fatal(err)
+	}
+	s2 := b.Snapshot(2)
+	if id, ok := s2.Lookup("b"); !ok || id != 1 {
+		t.Fatalf("epoch2 Lookup(b) = %d,%v", id, ok)
+	}
+	if s1.Graph.NumEdges() != 1 || s2.Graph.NumEdges() != 2 {
+		t.Fatalf("edges = %d/%d, want 1/2", s1.Graph.NumEdges(), s2.Graph.NumEdges())
+	}
+	// New label forces a fresh index that the old snapshot must not see.
+	if err := b.AddEdge("a", "c", 3); err != nil {
+		t.Fatal(err)
+	}
+	s3 := b.Snapshot(3)
+	if _, ok := s3.Lookup("c"); !ok {
+		t.Error("epoch3 lost new label")
+	}
+	if _, ok := s1.Lookup("c"); ok {
+		t.Error("epoch1 sees a label interned two epochs later")
+	}
+}

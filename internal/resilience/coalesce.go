@@ -1,0 +1,67 @@
+package resilience
+
+import "sync"
+
+// Coalescer serializes writers and batches concurrent submissions into group
+// commits. The first goroutine to arrive while no commit is running becomes
+// the leader: it drains everything queued so far, hands the whole group to
+// the commit callback in one call, signals the group's waiters, and keeps
+// draining until the queue is empty before stepping down. Goroutines that
+// arrive while a leader is active just enqueue and wait — N concurrent
+// submissions cost one commit (one WAL fsync, one epoch swap) instead of N.
+//
+// Commit outcomes travel through the items themselves: T is typically a
+// pointer whose result fields the callback fills in before Do returns. All
+// writes the callback makes happen-before the corresponding Do returns.
+//
+// The callback runs on one submitter's goroutine — no background committer
+// exists, so a Coalescer needs no lifecycle management and works in
+// bare-struct tests. It must not call Do on the same Coalescer (self-
+// deadlock) and should not panic: a leader panic would strand the waiters
+// of its group.
+type Coalescer[T any] struct {
+	commit func([]T)
+
+	mu      sync.Mutex
+	pending []waiter[T]
+	leading bool
+}
+
+type waiter[T any] struct {
+	item T
+	done chan struct{}
+}
+
+// NewCoalescer returns a Coalescer that commits groups through fn.
+func NewCoalescer[T any](fn func([]T)) *Coalescer[T] {
+	return &Coalescer[T]{commit: fn}
+}
+
+// Do submits item and blocks until the group commit containing it has run.
+func (c *Coalescer[T]) Do(item T) {
+	w := waiter[T]{item: item, done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending = append(c.pending, w)
+	if c.leading {
+		c.mu.Unlock()
+		<-w.done
+		return
+	}
+	c.leading = true
+	for len(c.pending) > 0 {
+		batch := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		items := make([]T, len(batch))
+		for i, b := range batch {
+			items[i] = b.item
+		}
+		c.commit(items)
+		for _, b := range batch {
+			close(b.done)
+		}
+		c.mu.Lock()
+	}
+	c.leading = false
+	c.mu.Unlock()
+}

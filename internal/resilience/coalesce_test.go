@@ -1,0 +1,97 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCoalescerCommitsEveryItemOnce(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	c := NewCoalescer(func(items []int) {
+		mu.Lock()
+		got = append(got, items...)
+		mu.Unlock()
+	})
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Do(i) }()
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("committed %d items, want %d", len(got), n)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("item %d committed twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCoalescerGroupsConcurrentSubmissions(t *testing.T) {
+	// Hold the first commit open while followers pile up; the leader's next
+	// drain round must then carry the whole backlog as one group.
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	var maxGroup atomic.Int64
+	c := NewCoalescer(func(items []int) {
+		once.Do(func() { close(first); <-release })
+		if n := int64(len(items)); n > maxGroup.Load() {
+			maxGroup.Store(n)
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); c.Do(0) }()
+	<-first // leader is inside its commit
+	const followers = 10
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Do(i) }()
+	}
+	time.Sleep(100 * time.Millisecond) // let the followers enqueue
+	close(release)
+	wg.Wait()
+	if n := maxGroup.Load(); n < 2 {
+		t.Fatalf("largest commit group = %d, want >= 2 (no coalescing happened)", n)
+	}
+}
+
+func TestCoalescerResultsVisibleAfterDo(t *testing.T) {
+	type op struct{ in, out int }
+	c := NewCoalescer(func(ops []*op) {
+		for _, o := range ops {
+			o.out = o.in * 2
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := &op{in: i}
+			c.Do(o)
+			if o.out != i*2 {
+				t.Errorf("op %d: out = %d, want %d", i, o.out, i*2)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCoalescerSequentialUse(t *testing.T) {
+	var groups [][]string
+	c := NewCoalescer(func(items []string) { groups = append(groups, items) })
+	c.Do("a")
+	c.Do("b")
+	if len(groups) != 2 || len(groups[0]) != 1 || len(groups[1]) != 1 {
+		t.Fatalf("sequential submissions must commit alone, got %v", groups)
+	}
+}

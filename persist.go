@@ -126,6 +126,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
+			pred.bindScore = linregBind(model)
 			pred.score = func(u, v NodeID) (float64, error) {
 				feat, err := pred.extract(u, v)
 				if err != nil {
@@ -142,6 +143,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
+			pred.bindScore = networkBind(net, scaler)
 			pred.score = func(u, v NodeID) (float64, error) {
 				feat, err := pred.extract(u, v)
 				if err != nil {
@@ -160,6 +162,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 		if err != nil {
 			return nil, err
 		}
+		pred.bindScore = heuristicBind(st.Method)
 		pred.score = func(u, v NodeID) (float64, error) { return scorer.Score(u, v), nil }
 	case NMF:
 		if st.NMF == nil {
@@ -169,6 +172,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
+		pred.bindScore = nmfBind(model)
 		pred.score = func(u, v NodeID) (float64, error) { return model.Score(u, v), nil }
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, int(st.Method))

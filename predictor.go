@@ -122,6 +122,13 @@ type Predictor struct {
 	// feature methods; EnableCache swaps it for a caching wrapper. Nil for
 	// heuristic and NMF methods.
 	extract func(u, v NodeID) ([]float64, error)
+	// bindScore rebuilds the score function against an immutable graph
+	// epoch (see Bind): the fitted model parameters are graph-independent,
+	// only the extraction / heuristic-view layer is epoch-specific. For
+	// feature methods extract is the epoch's (possibly cached) extractor;
+	// heuristic methods ignore it and rebuild from the snapshot's static
+	// view; NMF ignores both (the factor matrices are fixed at training).
+	bindScore func(snap *graph.Snapshot, extract func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error)
 	// ssfExtractor is the raw core extractor behind extract when the method
 	// uses SSF features (nil for WLF, heuristics, NMF); it is what the
 	// cache wraps and what stage metrics attach to.
@@ -277,6 +284,7 @@ func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts 
 			extract:      inferExtract,
 			ssfExtractor: inferRaw,
 		}
+		p.bindScore = linregBind(model)
 		// Score goes through p.extract — the seam EnableCache swaps — not
 		// the captured inferExtract.
 		p.score = func(u, v NodeID) (float64, error) {
@@ -317,6 +325,7 @@ func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts 
 			extract:      inferExtract,
 			ssfExtractor: inferRaw,
 		}
+		p.bindScore = networkBind(net, scaler)
 		p.score = func(u, v NodeID) (float64, error) {
 			feat, err := p.extract(u, v)
 			if err != nil {
@@ -383,6 +392,7 @@ func trainScorer(g, history *Graph, ds *eval.Dataset, method Method) (*Predictor
 		score: func(u, v NodeID) (float64, error) {
 			return fullScorer.Score(u, v), nil
 		},
+		bindScore: heuristicBind(method),
 	}, nil
 }
 
@@ -414,6 +424,7 @@ func trainNMF(g, history *Graph, ds *eval.Dataset, opts TrainOptions) (*Predicto
 		score: func(u, v NodeID) (float64, error) {
 			return fullModel.Score(u, v), nil
 		},
+		bindScore: nmfBind(fullModel),
 	}, nil
 }
 

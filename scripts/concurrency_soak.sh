@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Concurrency soak: boot ssf-serve built with -race, hammer /score from
+# several reader loops while a writer streams /ingest batches, then assert
+# the epoch-snapshot contract held: zero 5xx anywhere, zero race-detector
+# reports, and a monotonically increasing epoch on /healthz. Reader latency
+# quantiles are printed so before/after runs can be compared by hand.
+#
+# Tunables (environment): ADDR, DURATION (seconds, default 30), READERS
+# (default 8). Run from the repository root; needs the Go toolchain and curl.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18090}"
+DURATION="${DURATION:-30}"
+READERS="${READERS:-8}"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    touch "$WORKDIR/stop" 2>/dev/null || true
+    if [[ -n "$SERVER_PID" ]]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "==> building ssf-serve with the race detector"
+go build -race -o "$WORKDIR/ssf-serve" ./cmd/ssf-serve
+
+echo "==> generating dataset"
+go run ./cmd/ssf-datasets -out "$WORKDIR" -datasets Slashdot -scale 40 -seed 3
+
+echo "==> booting server on $ADDR"
+GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" \
+    -method SSFLR -k 6 -maxpos 20 \
+    -wal-dir "$WORKDIR/wal" \
+    -addr "$ADDR" -log-format json >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "==> waiting for readiness"
+for _ in $(seq 1 120); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server died during startup:" >&2
+        cat "$WORKDIR/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+curl -fsS "http://$ADDR/readyz" >/dev/null
+
+epoch_of() {
+    curl -fsS "http://$ADDR/healthz" |
+        sed -n 's/.*"epoch":\([0-9][0-9]*\).*/\1/p'
+}
+
+start_epoch="$(epoch_of)"
+echo "==> soaking for ${DURATION}s: $READERS readers on /score, 1 writer on /ingest (start epoch $start_epoch)"
+
+# Reader: score random known pairs in a tight loop, recording status and
+# latency per request.
+reader() {
+    local id="$1" out="$WORKDIR/reader$1.log"
+    while [[ ! -e "$WORKDIR/stop" ]]; do
+        local u=$((RANDOM % 40)) v=$((RANDOM % 40))
+        [[ "$u" == "$v" ]] && continue
+        curl -s -o /dev/null -w '%{http_code} %{time_total}\n' \
+            "http://$ADDR/score?u=$u&v=$v" >>"$out" || true
+    done
+}
+
+# Writer: stream small ingest batches with fresh labels so every commit
+# grows the graph and swaps an epoch.
+writer() {
+    local i=0 out="$WORKDIR/writer.log"
+    while [[ ! -e "$WORKDIR/stop" ]]; do
+        i=$((i + 1))
+        local body="[{\"u\":\"soak${i}a\",\"v\":\"$((i % 40))\"},{\"u\":\"soak${i}a\",\"v\":\"soak${i}b\"}]"
+        curl -s -o /dev/null -w '%{http_code}\n' -X POST -d "$body" \
+            "http://$ADDR/ingest" >>"$out" || true
+        sleep 0.02
+    done
+}
+
+# Epoch watcher: sample /healthz and record the epoch sequence.
+watcher() {
+    local out="$WORKDIR/epochs.log"
+    while [[ ! -e "$WORKDIR/stop" ]]; do
+        epoch_of >>"$out" || true
+        sleep 0.2
+    done
+}
+
+pids=()
+for r in $(seq 1 "$READERS"); do
+    reader "$r" &
+    pids+=($!)
+done
+writer &
+pids+=($!)
+watcher &
+pids+=($!)
+
+sleep "$DURATION"
+touch "$WORKDIR/stop"
+wait "${pids[@]}" 2>/dev/null || true
+
+end_epoch="$(epoch_of)"
+
+echo "==> checking: zero 5xx"
+fail=0
+for f in "$WORKDIR"/reader*.log "$WORKDIR/writer.log"; do
+    if awk '{ if ($1 >= 500) exit 1 }' "$f"; then :; else
+        echo "FAIL: 5xx responses in $f:" >&2
+        awk '$1 >= 500' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+
+echo "==> checking: all reads and writes succeeded (2xx)"
+for f in "$WORKDIR"/reader*.log "$WORKDIR/writer.log"; do
+    if awk '{ if ($1 < 200 || $1 >= 300) exit 1 }' "$f"; then :; else
+        echo "FAIL: non-2xx responses in $f:" >&2
+        awk '$1 < 200 || $1 >= 300' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+
+echo "==> checking: no race reports"
+if grep -q "DATA RACE" "$WORKDIR/server.log"; then
+    echo "FAIL: race detector fired:" >&2
+    grep -A 20 "DATA RACE" "$WORKDIR/server.log" >&2
+    fail=1
+fi
+if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server exited during soak:" >&2
+    tail -50 "$WORKDIR/server.log" >&2
+    fail=1
+fi
+
+echo "==> checking: epoch increased monotonically ($start_epoch -> $end_epoch)"
+if [[ -z "$end_epoch" || -z "$start_epoch" || "$end_epoch" -le "$start_epoch" ]]; then
+    echo "FAIL: epoch did not advance (start=$start_epoch end=$end_epoch)" >&2
+    fail=1
+fi
+if ! awk 'NR > 1 && $1 < prev { exit 1 } { prev = $1 }' "$WORKDIR/epochs.log"; then
+    echo "FAIL: observed epoch sequence went backwards:" >&2
+    cat "$WORKDIR/epochs.log" >&2
+    fail=1
+fi
+
+echo "==> /score latency under continuous ingest (informational)"
+cat "$WORKDIR"/reader*.log | awk '$1 == 200 { print $2 }' | sort -n >"$WORKDIR/lat.txt"
+n="$(wc -l <"$WORKDIR/lat.txt")"
+if [[ "$n" -lt 100 ]]; then
+    echo "FAIL: only $n successful reads in ${DURATION}s" >&2
+    fail=1
+else
+    p50="$(awk -v n="$n" 'NR == int(n * 0.50) + 1 { print; exit }' "$WORKDIR/lat.txt")"
+    p99="$(awk -v n="$n" 'NR == int(n * 0.99) + 1 { print; exit }' "$WORKDIR/lat.txt")"
+    writes="$(wc -l <"$WORKDIR/writer.log")"
+    echo "    reads=$n writes=$writes epochs=$start_epoch->$end_epoch p50=${p50}s p99=${p99}s"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "FAIL: concurrency soak" >&2
+    exit 1
+fi
+echo "PASS: concurrency soak"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Coverage gate: run the full test suite with a coverage profile and fail if
+# total statement coverage drops below the committed floor. The floor is a
+# ratchet — when coverage rises meaningfully, raise the floor in the same PR
+# that earned it (leave ~1 point of slack for run-to-run jitter from
+# concurrency-dependent paths).
+#
+# Usage: scripts/coverage_gate.sh [floor]   (floor in percent, default below)
+set -euo pipefail
+
+FLOOR="${1:-${COVERAGE_FLOOR:-83.0}}"
+PROFILE="${PROFILE:-cover.out}"
+
+go test -coverprofile="$PROFILE" ./... >/dev/null
+
+total="$(go tool cover -func="$PROFILE" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')"
+if [[ -z "$total" ]]; then
+    echo "FAIL: could not read total coverage from $PROFILE" >&2
+    exit 1
+fi
+
+echo "total statement coverage: ${total}% (floor ${FLOOR}%)"
+if awk -v t="$total" -v f="$FLOOR" 'BEGIN { exit !(t < f) }'; then
+    echo "FAIL: coverage ${total}% is below the floor ${FLOOR}%" >&2
+    echo "If the drop is intentional, lower the floor in scripts/coverage_gate.sh" >&2
+    echo "and .github/workflows/ci.yml in the same change, with a justification." >&2
+    exit 1
+fi
+echo "PASS: coverage gate"

@@ -124,9 +124,10 @@ func (p *Predictor) EnableCache(capacity int) bool {
 	return true
 }
 
-// PurgeCache empties the extraction cache (no-op when caching is off). The
-// serving layer calls it after applying ingested edges, since cached SSF
-// vectors describe the pre-ingestion graph.
+// PurgeCache empties the extraction cache (no-op when caching is off), for
+// owners that mutate the predictor's graph in place. Epoch-based servers
+// never call it: Bind keys cache entries by epoch instead, so superseded
+// vectors simply age out of the LRU.
 func (p *Predictor) PurgeCache() {
 	if p.cache != nil {
 		p.cache.Purge()
