@@ -97,6 +97,15 @@ func run(args []string) error {
 		walSegBytes  = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 		snapEvery    = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (0 disables; needs -wal-dir)")
 
+		shards       = fs.Int("shards", 0, "run N in-process shards behind the scatter-gather router (0 = unsharded)")
+		shardPeers   = fs.String("shard-peers", "", "comma-separated base URLs of remote shard instances; enables the HTTP router front")
+		shardTimeout = fs.Duration("shard-timeout", 2*time.Second, "per-shard attempt deadline inside the router")
+		shardRetries = fs.Int("shard-retries", 1, "retries for idempotent reads after a retryable shard failure (-1 disables)")
+		shardHedge   = fs.Duration("shard-hedge-after", 0, "hedged-read delay (0 = adaptive p95, negative disables)")
+		shardBrkWin  = fs.Int("shard-breaker-window", 20, "per-shard circuit breaker sliding outcome window")
+		shardBrkCool = fs.Duration("shard-breaker-cooldown", 5*time.Second, "circuit breaker open-state cooldown before a half-open probe")
+		shardFault   = fs.String("shard-fault", "", `per-shard fault injection for in-process shards, e.g. "1:down_after=10s,down_for=5s;2:err=0.1"`)
+
 		cacheSize = fs.Int("cache-size", 0, fmt.Sprintf(
 			"SSF extraction cache capacity (0 = default %d, negative disables)", ssflp.DefaultCacheSize))
 		logLevel  = fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
@@ -105,14 +114,11 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *file == "" {
-		return errors.New("-file is required")
-	}
 	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		return err
 	}
-	srv, err := newServer(serverConfig{
+	cfg := serverConfig{
 		File: *file, Method: *method, Model: *model,
 		K: *k, Epochs: *epochs, Seed: *seed, MaxPositives: *maxPos,
 		LenientLoad: *lenient,
@@ -125,7 +131,37 @@ func run(args []string) error {
 			BatchTimeout: *batchTimeout, IngestTimeout: *ingestTimeout,
 			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, QueueWait: *queueWait,
 		},
-	})
+	}
+	if *shardPeers != "" || *shards > 1 {
+		if *shardPeers != "" && *shards > 1 {
+			return errors.New("-shards and -shard-peers are mutually exclusive")
+		}
+		if *shardFault != "" && *shardPeers != "" {
+			return errors.New("-shard-fault only applies to in-process shards (-shards)")
+		}
+		return runSharded(shardedBoot{
+			Shards:    *shards,
+			Peers:     *shardPeers,
+			ServerCfg: cfg,
+			Opts: shardedOptions{
+				Timeout:         *shardTimeout,
+				Retries:         *shardRetries,
+				HedgeAfter:      *shardHedge,
+				BreakerWindow:   *shardBrkWin,
+				BreakerCooldown: *shardBrkCool,
+				FaultSpec:       *shardFault,
+				Seed:            *seed,
+			},
+			Addr:      *addr,
+			Drain:     *drainTimeout,
+			SnapEvery: *snapEvery,
+			Logger:    logger,
+		})
+	}
+	if *file == "" {
+		return errors.New("-file is required")
+	}
+	srv, err := newServer(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ssflp/internal/resilience"
+	"ssflp/internal/shard"
+	"ssflp/internal/telemetry"
+)
+
+// routerServer is the HTTP front door of a sharded topology: it exposes the
+// same endpoint surface as the single-node server, but every request is
+// scatter-gathered (or routed by ownership) through a shard.Router. The
+// degradation contract maps router outcomes onto HTTP:
+//
+//	/score  owner unreachable       -> 503 + Retry-After (one home, no partial)
+//	/top    some shards unreachable -> 206 + degraded:true + shards_missing
+//	/batch  some shards unreachable -> 206 + per-pair ok:false + shards_missing
+//	/ingest any owner write failed  -> 503 + Retry-After + shards_failed
+//
+// Requests still pass the full resilience chain — instrumentation, panic
+// recovery, admission control, per-endpoint deadlines — so the router front
+// behaves like any other ssf-serve under load.
+type routerServer struct {
+	router  *shard.Router
+	started time.Time
+	ready   atomic.Bool
+	limits  limitsConfig
+	limiter *resilience.Limiter
+	logger  *slog.Logger
+	reg     *telemetry.Registry
+	instr   *resilience.Instrumentation
+}
+
+// newRouterServer wires the front door over a built router. reg carries the
+// shard-layer metric families (breaker gauges, per-shard counters, fan-out
+// histograms) plus the request instrumentation.
+func newRouterServer(router *shard.Router, limits limitsConfig, reg *telemetry.Registry, logger *slog.Logger) *routerServer {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	limits = limits.withDefaults()
+	rs := &routerServer{
+		router:  router,
+		started: time.Now(),
+		limits:  limits,
+		limiter: newLimiter(limits),
+		logger:  logger,
+		reg:     reg,
+		instr:   resilience.NewInstrumentation(reg, logger),
+	}
+	rs.ready.Store(true)
+	return rs
+}
+
+func (rs *routerServer) setReady(ok bool) { rs.ready.Store(ok) }
+
+func (rs *routerServer) routes() http.Handler {
+	mux := http.NewServeMux()
+	admit := rs.limiter.Middleware()
+	unguarded := func(name string, h http.HandlerFunc) http.Handler {
+		rec := resilience.RecoverWith(rs.logger, func() { rs.instr.CountPanic(name) })
+		return resilience.Chain(h, rs.instr.Middleware(name), rec)
+	}
+	guarded := func(name string, h http.HandlerFunc, deadline time.Duration) http.Handler {
+		rec := resilience.RecoverWith(rs.logger, func() { rs.instr.CountPanic(name) })
+		return resilience.Chain(h, rs.instr.Middleware(name), rec, admit, resilience.Deadline(deadline))
+	}
+	mux.Handle("GET /health", unguarded("/health", rs.handleHealth))
+	mux.Handle("GET /healthz", unguarded("/health", rs.handleHealth))
+	mux.Handle("GET /livez", unguarded("/livez", rs.handleLivez))
+	mux.Handle("GET /readyz", unguarded("/readyz", rs.handleReadyz))
+	if rs.reg != nil {
+		mux.Handle("GET /metrics", unguarded("/metrics", rs.reg.Handler().ServeHTTP))
+	}
+	mux.Handle("GET /score", guarded("/score", rs.handleScore, rs.limits.ScoreTimeout))
+	mux.Handle("GET /top", guarded("/top", rs.handleTop, rs.limits.TopTimeout))
+	mux.Handle("POST /batch", guarded("/batch", rs.handleBatch, rs.limits.BatchTimeout))
+	mux.Handle("POST /ingest", guarded("/ingest", rs.handleIngest, rs.limits.IngestTimeout))
+	return mux
+}
+
+// unavailableJSON answers a fast-retryable infrastructure failure: the shard
+// (or its breaker) said no, the topology may recover in seconds.
+func unavailableJSON(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	errorJSON(w, http.StatusServiceUnavailable, msg)
+}
+
+// routedError maps a router error onto the front door's status codes.
+func routedError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client is gone; any response would be discarded.
+	case errors.Is(err, context.DeadlineExceeded):
+		errorJSON(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case errors.Is(err, shard.ErrNotFound):
+		errorJSON(w, http.StatusNotFound, err.Error())
+	case shard.IsUnavailable(err):
+		unavailableJSON(w, err.Error())
+	default:
+		errorJSON(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+func (rs *routerServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	shards := rs.router.Health(r.Context())
+	ready := rs.ready.Load()
+	healthy := 0
+	for _, sh := range shards {
+		if sh.Ready {
+			healthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"ready":         ready,
+		"mode":          "sharded",
+		"shards":        shards,
+		"shardsHealthy": healthy,
+		"shardsTotal":   len(shards),
+		"uptimeSeconds": int(time.Since(rs.started).Seconds()),
+	})
+}
+
+func (rs *routerServer) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz answers 200 while the front door accepts traffic — a degraded
+// topology (some shards down) is still ready, partial service being the whole
+// point. 503 only while draining.
+func (rs *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !rs.ready.Load() {
+		errorJSON(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready",
+		"shards": rs.router.Health(r.Context()),
+	})
+}
+
+func (rs *routerServer) handleScore(w http.ResponseWriter, r *http.Request) {
+	u, v := r.URL.Query().Get("u"), r.URL.Query().Get("v")
+	if u == "" || v == "" {
+		errorJSON(w, http.StatusBadRequest, "u and v query parameters are required")
+		return
+	}
+	res, err := rs.router.Score(r.Context(), u, v)
+	if err != nil {
+		routedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": res.U, "v": res.V, "score": res.Score, "predicted": res.Predicted,
+	})
+}
+
+func (rs *routerServer) handleTop(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > 1000 {
+			errorJSON(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
+			return
+		}
+		n = parsed
+	}
+	g, err := rs.router.Top(r.Context(), n)
+	if err != nil {
+		routedError(w, err)
+		return
+	}
+	status := http.StatusOK
+	out := map[string]any{
+		"candidates": g.Candidates,
+		"sampled":    g.Sampled,
+		"degraded":   len(g.Missing) > 0,
+	}
+	if len(g.Missing) > 0 {
+		// 206: an honest partial answer beats a timeout. shards_missing
+		// tells the caller exactly which partitions are absent.
+		status = http.StatusPartialContent
+		out["shards_missing"] = g.Missing
+	}
+	writeJSON(w, status, out)
+}
+
+func (rs *routerServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req []struct {
+		U string `json:"u"`
+		V string `json:"v"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req) == 0 || len(req) > batchRequestLimit {
+		errorJSON(w, http.StatusBadRequest,
+			fmt.Sprintf("batch size must be in [1, %d]", batchRequestLimit))
+		return
+	}
+	pairs := make([][2]string, len(req))
+	for i, p := range req {
+		pairs[i] = [2]string{p.U, p.V}
+	}
+	g, err := rs.router.Batch(r.Context(), pairs)
+	if err != nil {
+		routedError(w, err)
+		return
+	}
+	type result struct {
+		U     string  `json:"u"`
+		V     string  `json:"v"`
+		Score float64 `json:"score"`
+		OK    bool    `json:"ok"`
+		Err   string  `json:"error,omitempty"`
+	}
+	out := make([]result, len(g.Results))
+	for i, it := range g.Results {
+		out[i] = result{U: it.U, V: it.V, Score: it.Score, OK: it.OK, Err: it.Err}
+	}
+	status := http.StatusOK
+	body := map[string]any{"results": out, "degraded": len(g.Missing) > 0}
+	if len(g.Missing) > 0 {
+		status = http.StatusPartialContent
+		body["shards_missing"] = g.Missing
+	}
+	writeJSON(w, status, body)
+}
+
+// handleIngest routes edge arrivals by endpoint ownership (dual-writing
+// cross-shard edges) and acknowledges only when every owning shard applied
+// its sub-batch. Any failed owner turns the whole request into 503 +
+// Retry-After + shards_failed: writes are not retried inside the router, so
+// the client re-sends the request.
+func (rs *routerServer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	in, ok := decodeIngestEdges(w, r)
+	if !ok {
+		return
+	}
+	edges := make([]shard.Edge, len(in))
+	for i, e := range in {
+		edges[i] = shard.Edge{U: e.U, V: e.V, Ts: e.Ts}
+	}
+	g, err := rs.router.Ingest(r.Context(), edges)
+	if err != nil {
+		if shard.IsUnavailable(err) {
+			rs.logger.LogAttrs(r.Context(), slog.LevelError, "sharded ingest failed",
+				slog.String("request_id", resilience.RequestID(r.Context())),
+				slog.Int("edges", len(edges)),
+				slog.Any("shards_failed", g.Failed),
+				slog.Any("error", err))
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":         err.Error(),
+				"shards_failed": g.Failed,
+			})
+			return
+		}
+		routedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied":     g.Applied,
+		"dual_writes": g.DualWrites,
+		"durable":     g.Durable,
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"ssflp"
 	"ssflp/internal/graph"
 	"ssflp/internal/resilience"
+	"ssflp/internal/shard"
 	"ssflp/internal/telemetry"
 	"ssflp/internal/wal"
 )
@@ -51,6 +52,12 @@ type server struct {
 
 	snapMu      sync.Mutex // serializes snapshot writers
 	lastSnapLSN wal.LSN    // newest snapshot position (guarded by snapMu)
+
+	// walErrMu guards the last WAL append failure, surfaced by /readyz so
+	// an operator can see why ingest is answering 503.
+	walErrMu     sync.Mutex
+	lastWALErr   string
+	lastWALErrAt time.Time
 
 	predictor *ssflp.Predictor
 	started   time.Time
@@ -316,7 +323,7 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		out["wal"] = map[string]any{"enabled": false}
 	} else {
 		rec := s.recovered
-		out["wal"] = map[string]any{
+		walOut := map[string]any{
 			"enabled":             true,
 			"appliedLSN":          st.appliedLSN,
 			"snapshotLSN":         rec.SnapshotLSN,
@@ -326,12 +333,32 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			"droppedBytes":        rec.Log.DroppedBytes,
 			"quarantinedSegments": rec.Log.Quarantined,
 		}
+		if msg, at, ok := s.lastWALError(); ok {
+			walOut["lastAppendError"] = msg
+			walOut["lastAppendErrorAt"] = at.UTC().Format(time.RFC3339)
+		}
+		out["wal"] = walOut
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // setReady flips the readiness probe (used when shutdown begins).
 func (s *server) setReady(ok bool) { s.ready.Store(ok) }
+
+// noteWALError records a WAL append failure for /readyz.
+func (s *server) noteWALError(err error) {
+	s.walErrMu.Lock()
+	s.lastWALErr = err.Error()
+	s.lastWALErrAt = time.Now()
+	s.walErrMu.Unlock()
+}
+
+// lastWALError returns the most recent WAL append failure, if any.
+func (s *server) lastWALError() (string, time.Time, bool) {
+	s.walErrMu.Lock()
+	defer s.walErrMu.Unlock()
+	return s.lastWALErr, s.lastWALErrAt, s.lastWALErr != ""
+}
 
 func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 	uTok, vTok := r.URL.Query().Get("u"), r.URL.Query().Get("v")
@@ -410,18 +437,20 @@ func topN(scored []ssflp.ScoredPair, n int) []ssflp.ScoredPair {
 	return out
 }
 
-func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
-	n := 10
-	if raw := r.URL.Query().Get("n"); raw != "" {
-		parsed, err := strconv.Atoi(raw)
-		if err != nil || parsed < 1 || parsed > 1000 {
-			errorJSON(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
-			return
-		}
-		n = parsed
-	}
-	ctx := r.Context()
-	st := s.state()
+// topCand is one absent-link candidate in a /top answer.
+type topCand struct {
+	U     string  `json:"u"`
+	V     string  `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// computeTop scores this epoch's absent-pair candidates and returns the n
+// best with labels resolved. When shardCount > 1 only pairs owned by
+// shardIndex (per shard.PairOwner over labels) are scored: the stride
+// sampling still walks the full pair enumeration, so the union of every
+// shard's candidate set equals the unsharded scan and a scatter over all
+// shards partitions the work instead of repeating it.
+func (s *server) computeTop(ctx context.Context, st *epochState, n, shardIndex, shardCount int) ([]topCand, bool, error) {
 	// The epoch's static view is built lazily once and shared across /top
 	// requests of the same epoch.
 	view := st.snap.Static()
@@ -435,12 +464,15 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	idx := 0
 	for u := 0; u < nodes; u++ {
 		if err := ctx.Err(); err != nil {
-			scoreError(w, err)
-			return
+			return nil, false, err
 		}
+		uLab := st.labelOf(u)
 		for v := u + 1; v < nodes; v++ {
 			idx++
 			if idx%stride != 0 {
+				continue
+			}
+			if shardCount > 1 && shard.PairOwner(uLab, st.labelOf(v), shardCount) != shardIndex {
 				continue
 			}
 			if view.HasEdge(ssflp.NodeID(u), ssflp.NodeID(v)) {
@@ -451,22 +483,55 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	scored, err := s.scoreBatch(ctx, st, pairs, 0)
 	if err != nil {
+		return nil, false, err
+	}
+	best := topN(scored, n)
+	cands := make([]topCand, len(best))
+	for i, sp := range best {
+		cands[i] = topCand{U: st.labelOf(int(sp.U)), V: st.labelOf(int(sp.V)), Score: sp.Score}
+	}
+	return cands, stride > 1, nil
+}
+
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 10
+	if raw := q.Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > 1000 {
+			errorJSON(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
+			return
+		}
+		n = parsed
+	}
+	// shard_index/shard_count restrict the scan to pairs this shard owns;
+	// the scatter-gather router sets them so a sharded /top partitions the
+	// candidate enumeration instead of repeating it per shard.
+	shardIndex, shardCount := 0, 1
+	if raw := q.Get("shard_count"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > 4096 {
+			errorJSON(w, http.StatusBadRequest, "shard_count must be an integer in [1, 4096]")
+			return
+		}
+		shardCount = parsed
+		idxRaw := q.Get("shard_index")
+		idx, err := strconv.Atoi(idxRaw)
+		if idxRaw == "" || err != nil || idx < 0 || idx >= shardCount {
+			errorJSON(w, http.StatusBadRequest, "shard_index must be an integer in [0, shard_count)")
+			return
+		}
+		shardIndex = idx
+	}
+	st := s.state()
+	cands, sampled, err := s.computeTop(r.Context(), st, n, shardIndex, shardCount)
+	if err != nil {
 		scoreError(w, err)
 		return
 	}
-	type cand struct {
-		U     string  `json:"u"`
-		V     string  `json:"v"`
-		Score float64 `json:"score"`
-	}
-	best := topN(scored, n)
-	cands := make([]cand, len(best))
-	for i, sp := range best {
-		cands[i] = cand{U: st.labelOf(int(sp.U)), V: st.labelOf(int(sp.V)), Score: sp.Score}
-	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"candidates": cands,
-		"sampled":    stride > 1,
+		"sampled":    sampled,
 	})
 }
 
@@ -572,19 +637,15 @@ func validateIngestEdge(e ingestEdge) error {
 	return nil
 }
 
-// handleIngest validates edge arrivals and submits them to the group
-// committer, which appends them to the write-ahead log and publishes the
-// next epoch — WAL first, so an edge acknowledged as durable is never lost
-// to a crash. The body is either one edge object or an array of them. Error
-// taxonomy: 400 malformed request (bad JSON, empty or oversized batch), 422
-// invalid edge (bad label, self loop), 500 WAL append failure (nothing
-// applied), 200 with {"applied", "durable", "lsn", "epoch"} on success.
-// Without -wal-dir the edges still apply, flagged "durable": false.
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+// decodeIngestEdges parses a POST /ingest body — one edge object or an array
+// of them — and enforces the batch and label rules. On failure it writes the
+// error response and returns ok=false. Shared by the unsharded handler and
+// the shard router front-end so both speak the same error taxonomy.
+func decodeIngestEdges(w http.ResponseWriter, r *http.Request) ([]ingestEdge, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "read body: "+err.Error())
-		return
+		return nil, false
 	}
 	var edges []ingestEdge
 	trimmed := strings.TrimSpace(string(body))
@@ -598,18 +659,36 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
-		return
+		return nil, false
 	}
 	if len(edges) == 0 || len(edges) > ingestRequestLimit {
 		errorJSON(w, http.StatusBadRequest,
 			fmt.Sprintf("ingest batch size must be in [1, %d]", ingestRequestLimit))
-		return
+		return nil, false
 	}
 	for _, e := range edges {
 		if err := validateIngestEdge(e); err != nil {
 			errorJSON(w, http.StatusUnprocessableEntity, err.Error())
-			return
+			return nil, false
 		}
+	}
+	return edges, true
+}
+
+// handleIngest validates edge arrivals and submits them to the group
+// committer, which appends them to the write-ahead log and publishes the
+// next epoch — WAL first, so an edge acknowledged as durable is never lost
+// to a crash. The body is either one edge object or an array of them. Error
+// taxonomy: 400 malformed request (bad JSON, empty or oversized batch), 422
+// invalid edge (bad label, self loop), 503 + Retry-After on a WAL append
+// failure (nothing applied — the log may recover, so the client should retry
+// rather than treat it as a bug), 200 with {"applied", "durable", "lsn",
+// "epoch"} on success. Without -wal-dir the edges still apply, flagged
+// "durable": false.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	edges, ok := decodeIngestEdges(w, r)
+	if !ok {
+		return
 	}
 	if s.ingest == nil {
 		s.ingest = resilience.NewCoalescer(s.commitIngest)
@@ -618,12 +697,15 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingest.Do(op)
 	if op.err != nil {
 		// Durability cannot be guaranteed, so nothing was applied: the
-		// graph never runs ahead of the log.
+		// graph never runs ahead of the log. 503 not 500 — the failure is
+		// the storage layer's availability, and /readyz now carries the
+		// cause for the operator.
 		s.slogger().LogAttrs(r.Context(), slog.LevelError, "wal append failed",
 			slog.String("request_id", resilience.RequestID(r.Context())),
 			slog.Int("edges", len(edges)),
 			slog.Any("error", op.err))
-		errorJSON(w, http.StatusInternalServerError, "write-ahead log append failed")
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusServiceUnavailable, "write-ahead log append failed")
 		return
 	}
 	out := map[string]any{
@@ -667,6 +749,7 @@ func (s *server) commitIngest(ops []*ingestOp) {
 	if s.wlog != nil {
 		last, err := s.wlog.AppendBatch(events)
 		if err != nil {
+			s.noteWALError(err)
 			for _, op := range ops {
 				op.err = err
 			}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ssflp"
+	"ssflp/internal/resilience"
+	"ssflp/internal/shard"
+)
+
+// localShard adapts one in-process epoch server to the shard.Client contract,
+// so -shards N runs a whole fault-tolerant topology inside a single process —
+// the same router, breakers, retries and degradation paths as the HTTP peers
+// mode, without the network. index/count scope the /top candidate scan to the
+// pairs this shard owns.
+type localShard struct {
+	s     *server
+	index int
+	count int
+}
+
+// classifyScore maps a scoring failure onto the shard error taxonomy: the
+// caller's context ending is passed through (the router knows whose deadline
+// it was), a scoring panic is the shard's infrastructure failing, anything
+// else is a domain answer.
+func classifyScore(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return err
+	case errors.Is(err, ssflp.ErrScorePanic):
+		return shard.Unavailable(err)
+	default:
+		return err
+	}
+}
+
+func (l *localShard) Score(ctx context.Context, u, v string) (shard.ScoreResult, error) {
+	st := l.s.state()
+	uid, ok := st.lookup(u)
+	if !ok {
+		return shard.ScoreResult{}, fmt.Errorf("%w %q", shard.ErrNotFound, u)
+	}
+	vid, ok := st.lookup(v)
+	if !ok {
+		return shard.ScoreResult{}, fmt.Errorf("%w %q", shard.ErrNotFound, v)
+	}
+	scored, err := l.s.scoreBatch(ctx, st, [][2]ssflp.NodeID{{uid, vid}}, 1)
+	if err != nil {
+		return shard.ScoreResult{}, classifyScore(err)
+	}
+	score := scored[0].Score
+	return shard.ScoreResult{
+		U: u, V: v, Score: score,
+		Predicted: score > l.s.predictor.Threshold(),
+	}, nil
+}
+
+func (l *localShard) Top(ctx context.Context, n int) (shard.TopResult, error) {
+	st := l.s.state()
+	cands, sampled, err := l.s.computeTop(ctx, st, n, l.index, l.count)
+	if err != nil {
+		return shard.TopResult{}, classifyScore(err)
+	}
+	out := shard.TopResult{Sampled: sampled, Candidates: make([]shard.Candidate, len(cands))}
+	for i, c := range cands {
+		out.Candidates[i] = shard.Candidate{U: c.U, V: c.V, Score: c.Score}
+	}
+	return out, nil
+}
+
+func (l *localShard) Batch(ctx context.Context, pairs [][2]string) ([]shard.ScoreResult, error) {
+	st := l.s.state()
+	ids := make([][2]ssflp.NodeID, len(pairs))
+	for i, p := range pairs {
+		uid, ok := st.lookup(p[0])
+		if !ok {
+			return nil, fmt.Errorf("%w %q", shard.ErrNotFound, p[0])
+		}
+		vid, ok := st.lookup(p[1])
+		if !ok {
+			return nil, fmt.Errorf("%w %q", shard.ErrNotFound, p[1])
+		}
+		ids[i] = [2]ssflp.NodeID{uid, vid}
+	}
+	scored, err := l.s.scoreBatch(ctx, st, ids, 0)
+	if err != nil {
+		return nil, classifyScore(err)
+	}
+	out := make([]shard.ScoreResult, len(scored))
+	threshold := l.s.predictor.Threshold()
+	for i, sp := range scored {
+		out[i] = shard.ScoreResult{
+			U: pairs[i][0], V: pairs[i][1], Score: sp.Score,
+			Predicted: sp.Score > threshold,
+		}
+	}
+	return out, nil
+}
+
+func (l *localShard) Ingest(_ context.Context, edges []shard.Edge) (shard.IngestResult, error) {
+	in := make([]ingestEdge, len(edges))
+	for i, e := range edges {
+		if err := validateIngestEdge(ingestEdge{U: e.U, V: e.V}); err != nil {
+			return shard.IngestResult{}, err // domain error: reject, don't retry
+		}
+		in[i] = ingestEdge{U: e.U, V: e.V, Ts: e.Ts}
+	}
+	if l.s.ingest == nil {
+		l.s.ingest = resilience.NewCoalescer(l.s.commitIngest)
+	}
+	op := &ingestOp{edges: in}
+	l.s.ingest.Do(op)
+	if op.err != nil {
+		return shard.IngestResult{}, shard.Unavailable(op.err)
+	}
+	return shard.IngestResult{
+		Applied: len(edges),
+		Durable: l.s.wlog != nil,
+		Epoch:   op.epoch,
+		LSN:     uint64(op.lsn),
+	}, nil
+}
+
+func (l *localShard) Health(_ context.Context) (shard.HealthInfo, error) {
+	st := l.s.cur.Load()
+	return shard.HealthInfo{
+		Ready: l.s.ready.Load(),
+		Epoch: st.snap.Epoch,
+		Nodes: st.snap.Stats.NumNodes,
+		Links: st.snap.Stats.NumEdges,
+	}, nil
+}

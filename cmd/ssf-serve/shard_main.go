@@ -1,0 +1,243 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssflp/internal/shard"
+	"ssflp/internal/telemetry"
+)
+
+// shardedOptions carries the router robustness knobs from the flags.
+type shardedOptions struct {
+	Timeout         time.Duration
+	Retries         int
+	HedgeAfter      time.Duration
+	BreakerWindow   int
+	BreakerCooldown time.Duration
+	FaultSpec       string
+	Seed            int64
+}
+
+// routerConfig translates the flag values into the shard router's config.
+func (o shardedOptions) routerConfig(reg *telemetry.Registry, logger *slog.Logger) shard.Config {
+	return shard.Config{
+		Timeout:    o.Timeout,
+		Retries:    o.Retries,
+		HedgeAfter: o.HedgeAfter,
+		Breaker: shard.BreakerConfig{
+			Window:   o.BreakerWindow,
+			Cooldown: o.BreakerCooldown,
+		},
+		Seed:    o.Seed,
+		Logger:  logger,
+		Metrics: shard.NewMetrics(reg),
+	}
+}
+
+// parseFaultSpecs parses the -shard-fault flag: semicolon-separated per-shard
+// specs, each "idx:key=val,key=val". Keys: err and timeout (probabilities),
+// latency, jitter, down_after and down_for (durations), seed (int). Example:
+//
+//	-shard-fault "1:down_after=10s,down_for=5s;2:err=0.1,latency=5ms"
+func parseFaultSpecs(spec string, n int) (map[int]shard.FaultConfig, error) {
+	out := map[int]shard.FaultConfig{}
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, one := range strings.Split(spec, ";") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		idxStr, rest, ok := strings.Cut(one, ":")
+		if !ok {
+			return nil, fmt.Errorf("-shard-fault %q: want idx:key=val,...", one)
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+		if err != nil || idx < 0 || idx >= n {
+			return nil, fmt.Errorf("-shard-fault %q: shard index must be in [0, %d)", one, n)
+		}
+		var fc shard.FaultConfig
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("-shard-fault %q: bad pair %q", one, kv)
+			}
+			switch key {
+			case "err", "timeout":
+				rate, err := strconv.ParseFloat(val, 64)
+				if err != nil || rate < 0 || rate > 1 {
+					return nil, fmt.Errorf("-shard-fault %s=%q: want a probability in [0, 1]", key, val)
+				}
+				if key == "err" {
+					fc.ErrRate = rate
+				} else {
+					fc.TimeoutRate = rate
+				}
+			case "latency", "jitter", "down_after", "down_for":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("-shard-fault %s=%q: want a duration", key, val)
+				}
+				switch key {
+				case "latency":
+					fc.Latency = d
+				case "jitter":
+					fc.LatencyJitter = d
+				case "down_after":
+					fc.DownAfter = d
+				case "down_for":
+					fc.DownFor = d
+				}
+			case "seed":
+				seed, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("-shard-fault seed=%q: want an integer", val)
+				}
+				fc.Seed = seed
+			default:
+				return nil, fmt.Errorf("-shard-fault %q: unknown key %q", one, key)
+			}
+		}
+		out[idx] = fc
+	}
+	return out, nil
+}
+
+// buildLocalSharded boots n full epoch servers in-process — each with its own
+// builder, predictor binding and (under cfg.WALDir) its own WAL subdirectory
+// — and fronts them with the scatter-gather router. Every shard loads the
+// same base network; ingest growth is partitioned by the router's hash
+// ownership from then on.
+func buildLocalSharded(n int, cfg serverConfig, opts shardedOptions, logger *slog.Logger) (*routerServer, []*server, error) {
+	faults, err := parseFaultSpecs(opts.FaultSpec, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	servers := make([]*server, 0, n)
+	closeAll := func() {
+		for _, s := range servers {
+			s.close()
+		}
+	}
+	clients := make([]shard.Client, n)
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		if cfg.WALDir != "" {
+			scfg.WALDir = filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%d", i))
+		}
+		scfg.Logger = logger.With(slog.Int("shard", i))
+		srv, err := newServer(scfg)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("boot shard %d: %w", i, err)
+		}
+		servers = append(servers, srv)
+		var c shard.Client = &localShard{s: srv, index: i, count: n}
+		if fc, ok := faults[i]; ok {
+			logger.Info("fault injection armed", slog.Int("shard", i),
+				slog.Duration("down_after", fc.DownAfter), slog.Duration("down_for", fc.DownFor),
+				slog.Float64("err", fc.ErrRate), slog.Float64("timeout", fc.TimeoutRate))
+			c = shard.NewFaultClient(c, fc)
+		}
+		clients[i] = c
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntime(reg)
+	router := shard.NewRouter(clients, opts.routerConfig(reg, logger))
+	return newRouterServer(router, cfg.Limits, reg, logger), servers, nil
+}
+
+// buildHTTPSharded fronts remote ssf-serve instances (one per peer URL) with
+// the scatter-gather router. Peer order defines shard identity: every router
+// must list the same peers in the same order or placement disagrees.
+func buildHTTPSharded(peers []string, limits limitsConfig, opts shardedOptions, logger *slog.Logger) (*routerServer, error) {
+	clients := make([]shard.Client, len(peers))
+	for i, p := range peers {
+		hc, err := shard.NewHTTPClient(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		hc.TopIndex, hc.TopCount = i, len(peers)
+		clients[i] = hc
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntime(reg)
+	router := shard.NewRouter(clients, opts.routerConfig(reg, logger))
+	return newRouterServer(router, limits, reg, logger), nil
+}
+
+// shardedBoot is everything runSharded needs from the flags.
+type shardedBoot struct {
+	Shards    int
+	Peers     string
+	ServerCfg serverConfig
+	Opts      shardedOptions
+	Addr      string
+	Drain     time.Duration
+	SnapEvery time.Duration
+	Logger    *slog.Logger
+}
+
+// runSharded serves a sharded topology: in-process shards with -shards N, or
+// remote peers with -shard-peers. It owns the whole serve loop because the
+// front door is a routerServer, not the single-node server.
+func runSharded(b shardedBoot) error {
+	var (
+		rs      *routerServer
+		servers []*server
+		err     error
+	)
+	if b.Peers != "" {
+		peers := strings.Split(b.Peers, ",")
+		for i := range peers {
+			peers[i] = strings.TrimSpace(peers[i])
+		}
+		rs, err = buildHTTPSharded(peers, b.ServerCfg.Limits, b.Opts, b.Logger)
+	} else {
+		if b.ServerCfg.File == "" {
+			return errors.New("-file is required with -shards")
+		}
+		rs, servers, err = buildLocalSharded(b.Shards, b.ServerCfg, b.Opts, b.Logger)
+	}
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, s := range servers {
+			s.close()
+		}
+	}()
+	ln, err := net.Listen("tcp", b.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           rs.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for _, s := range servers {
+		if s.wlog != nil && b.SnapEvery > 0 {
+			go snapshotLoop(ctx, s, b.SnapEvery)
+		}
+	}
+	b.Logger.Info("serving sharded",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("shards", rs.router.NumShards()),
+		slog.Bool("in_process", b.Peers == ""))
+	return serve(ctx, httpSrv, ln, b.Drain, func() { rs.setReady(false) })
+}

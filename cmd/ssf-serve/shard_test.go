@@ -1,0 +1,338 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ssflp/internal/shard"
+	"ssflp/internal/telemetry"
+)
+
+// testSharded boots an n-shard in-process topology over the generated test
+// network, every shard wrapped in a FaultClient so tests can flap it. The
+// breaker is tight (window 4, min 2, 50ms cooldown) so open/recover cycles
+// fit in a unit test.
+func testSharded(t *testing.T, n int) (*routerServer, []*server, []*shard.FaultClient) {
+	t.Helper()
+	cfg := serverConfig{File: writeTestNet(t), Method: "CN", MaxPositives: 20, Seed: 1}
+	servers := make([]*server, n)
+	faults := make([]*shard.FaultClient, n)
+	clients := make([]shard.Client, n)
+	for i := range clients {
+		srv, err := newServer(cfg)
+		if err != nil {
+			t.Fatalf("boot shard %d: %v", i, err)
+		}
+		servers[i] = srv
+		faults[i] = shard.NewFaultClient(&localShard{s: srv, index: i, count: n}, shard.FaultConfig{})
+		clients[i] = faults[i]
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.close()
+		}
+	})
+	reg := telemetry.NewRegistry()
+	router := shard.NewRouter(clients, shard.Config{
+		Timeout: 2 * time.Second, Retries: -1, HedgeAfter: -1,
+		Breaker: shard.BreakerConfig{
+			Window: 4, MinRequests: 2, FailureRate: 0.5,
+			Cooldown: 50 * time.Millisecond,
+		},
+		Metrics: shard.NewMetrics(reg),
+	})
+	return newRouterServer(router, limitsConfig{}, reg, nil), servers, faults
+}
+
+func TestShardedScoreMatchesUnsharded(t *testing.T) {
+	rs, _, _ := testSharded(t, 3)
+	ref := testServer(t)
+	sh, uh := rs.routes(), ref.routes()
+	for _, pair := range [][2]string{{"0", "1"}, {"2", "7"}, {"5", "11"}} {
+		url := fmt.Sprintf("/score?u=%s&v=%s", pair[0], pair[1])
+		sCode, sBody := getJSON(t, sh, url)
+		uCode, uBody := getJSON(t, uh, url)
+		if sCode != http.StatusOK || uCode != http.StatusOK {
+			t.Fatalf("%s: sharded=%d unsharded=%d", url, sCode, uCode)
+		}
+		if sBody["score"] != uBody["score"] || sBody["predicted"] != uBody["predicted"] {
+			t.Errorf("%s: sharded=%v unsharded=%v", url, sBody, uBody)
+		}
+	}
+}
+
+func TestShardedScoreUnknownNode404(t *testing.T) {
+	rs, _, _ := testSharded(t, 2)
+	code, body := getJSON(t, rs.routes(), "/score?u=no-such-node&v=0")
+	if code != http.StatusNotFound {
+		t.Fatalf("status = %d (%v), want 404", code, body)
+	}
+}
+
+// pairOwnedBy finds a base-network pair served by the wanted shard.
+func pairOwnedBy(t *testing.T, owner, n int) (string, string) {
+	t.Helper()
+	for u := 0; u < 40; u++ {
+		for v := u + 1; v < 40; v++ {
+			us, vs := fmt.Sprintf("%d", u), fmt.Sprintf("%d", v)
+			if shard.PairOwner(us, vs, n) == owner {
+				return us, vs
+			}
+		}
+	}
+	t.Fatal("no pair for owner")
+	return "", ""
+}
+
+func TestShardedScoreDownedOwner503(t *testing.T) {
+	rs, _, faults := testSharded(t, 3)
+	h := rs.routes()
+	faults[1].SetDown(true)
+	u, v := pairOwnedBy(t, 1, 3)
+
+	req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/score?u=%s&v=%s", u, v), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	// Pairs owned by live shards still answer.
+	lu, lv := pairOwnedBy(t, 0, 3)
+	if code, body := getJSON(t, h, fmt.Sprintf("/score?u=%s&v=%s", lu, lv)); code != http.StatusOK {
+		t.Fatalf("live shard pair = %d (%v)", code, body)
+	}
+}
+
+func TestShardedTopDegradesAndRecovers(t *testing.T) {
+	rs, _, faults := testSharded(t, 3)
+	h := rs.routes()
+
+	code, body := getJSON(t, h, "/top?n=5")
+	if code != http.StatusOK || body["degraded"] != false {
+		t.Fatalf("healthy top = %d (%v)", code, body)
+	}
+	healthyCands := body["candidates"].([]any)
+	if len(healthyCands) == 0 {
+		t.Fatal("healthy top returned no candidates")
+	}
+
+	faults[2].SetDown(true)
+	code, body = getJSON(t, h, "/top?n=5")
+	if code != http.StatusPartialContent {
+		t.Fatalf("degraded top status = %d (%v), want 206", code, body)
+	}
+	if body["degraded"] != true {
+		t.Errorf("degraded flag = %v", body["degraded"])
+	}
+	missing, ok := body["shards_missing"].([]any)
+	if !ok || len(missing) != 1 || missing[0].(float64) != 2 {
+		t.Fatalf("shards_missing = %v, want [2]", body["shards_missing"])
+	}
+
+	// Trip the breaker fully, then recover: the breaker must walk back to
+	// closed and /top must return to 200.
+	getJSON(t, h, "/top?n=5")
+	faults[2].SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(60 * time.Millisecond) // let the cooldown elapse
+		code, body = getJSON(t, h, "/top?n=5")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("top never recovered: %d (%v)", code, body)
+		}
+	}
+	if st := rs.router.BreakerState(2); st != shard.StateClosed {
+		t.Errorf("breaker = %v after recovery, want closed", st)
+	}
+}
+
+// labelOwnedBy makes up a fresh label hashing to the wanted shard.
+func labelOwnedBy(t *testing.T, prefix string, owner, n int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		l := fmt.Sprintf("%s%d", prefix, i)
+		if shard.Owner(l, n) == owner {
+			return l
+		}
+	}
+	t.Fatal("no label for owner")
+	return ""
+}
+
+func TestShardedIngestDualWriteServesBothEndpoints(t *testing.T) {
+	rs, servers, _ := testSharded(t, 2)
+	h := rs.routes()
+	u := labelOwnedBy(t, "nova", 0, 2)
+	v := labelOwnedBy(t, "nova", 1, 2)
+	w := labelOwnedBy(t, "same", 0, 2) // same shard as u: no dual-write
+
+	code, body := postJSON(t, h, "/ingest",
+		fmt.Sprintf(`[{"u":%q,"v":%q,"ts":90},{"u":%q,"v":%q,"ts":91}]`, u, w, u, v))
+	if code != http.StatusOK {
+		t.Fatalf("ingest = %d (%v)", code, body)
+	}
+	if body["applied"].(float64) != 2 {
+		t.Errorf("applied = %v", body["applied"])
+	}
+	if body["dual_writes"].(float64) != 1 {
+		t.Errorf("dual_writes = %v, want 1 (u-v crosses shards)", body["dual_writes"])
+	}
+	// Both endpoints resolvable wherever their pairs route: the cross-shard
+	// edge must have landed on both owners.
+	for i, srv := range servers {
+		st := srv.cur.Load()
+		own := labelOwnedBy(t, "nova", i, 2)
+		if _, ok := st.snap.Lookup(own); !ok {
+			t.Errorf("shard %d does not know its own node %q", i, own)
+		}
+	}
+	if code, body := getJSON(t, h, fmt.Sprintf("/score?u=%s&v=%s", u, v)); code != http.StatusOK {
+		t.Errorf("scoring the ingested cross-shard pair = %d (%v)", code, body)
+	}
+}
+
+func TestShardedIngestDownedOwner503(t *testing.T) {
+	rs, _, faults := testSharded(t, 2)
+	h := rs.routes()
+	faults[1].SetDown(true)
+	u := labelOwnedBy(t, "x", 0, 2)
+	v := labelOwnedBy(t, "x", 1, 2)
+
+	req := httptest.NewRequest(http.MethodPost, "/ingest",
+		strings.NewReader(fmt.Sprintf(`{"u":%q,"v":%q,"ts":5}`, u, v)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "shards_failed") {
+		t.Errorf("body %s missing shards_failed", rec.Body.String())
+	}
+}
+
+func TestShardedHealthAndReadyz(t *testing.T) {
+	rs, _, faults := testSharded(t, 3)
+	h := rs.routes()
+	code, body := getJSON(t, h, "/healthz")
+	if code != http.StatusOK || body["shardsTotal"].(float64) != 3 || body["shardsHealthy"].(float64) != 3 {
+		t.Fatalf("healthz = %d (%v)", code, body)
+	}
+	faults[0].SetDown(true)
+	_, body = getJSON(t, h, "/healthz")
+	if body["shardsHealthy"].(float64) != 2 {
+		t.Errorf("shardsHealthy = %v with one shard down, want 2", body["shardsHealthy"])
+	}
+	// Degraded is still ready; only draining flips readyz.
+	if code, _ := getJSON(t, h, "/readyz"); code != http.StatusOK {
+		t.Errorf("degraded readyz = %d, want 200", code)
+	}
+	rs.setReady(false)
+	if code, _ := getJSON(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz = %d, want 503", code)
+	}
+}
+
+func TestShardedTopPartitionsWork(t *testing.T) {
+	// Each shard's /top scan must only score pairs it owns: ask each local
+	// shard directly and check the union covers the router's merged answer.
+	rs, servers, _ := testSharded(t, 3)
+	_ = servers
+	code, body := getJSON(t, rs.routes(), "/top?n=10")
+	if code != http.StatusOK {
+		t.Fatalf("top = %d (%v)", code, body)
+	}
+	for _, c := range body["candidates"].([]any) {
+		m := c.(map[string]any)
+		owner := shard.PairOwner(m["u"].(string), m["v"].(string), 3)
+		st := servers[owner].cur.Load()
+		cands, _, err := servers[owner].computeTop(t.Context(), st, 10, owner, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The router canonicalizes merged pairs lexicographically; compare
+		// unordered.
+		mu, mv := m["u"].(string), m["v"].(string)
+		found := false
+		for _, lc := range cands {
+			if (lc.U == mu && lc.V == mv) || (lc.U == mv && lc.V == mu) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("candidate %v not produced by its owning shard %d", m, owner)
+		}
+	}
+}
+
+// TestShardedRequestIDPropagatesToPeers drives the full hop: the front door
+// accepts (or mints) an X-Request-Id, the router carries it through the
+// context, and the HTTP shard client forwards it to the peer — one id across
+// the whole scatter.
+func TestShardedRequestIDPropagatesToPeers(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Header.Get("X-Request-Id")] = true
+		mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"candidates": []any{}, "sampled": false})
+	}))
+	defer peer.Close()
+	rs, err := buildHTTPSharded([]string{peer.URL, peer.URL}, limitsConfig{}, shardedOptions{
+		Timeout: time.Second, Retries: -1, HedgeAfter: -time.Second,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/top?n=3", nil)
+	req.Header.Set("X-Request-Id", "trace-me-7")
+	rec := httptest.NewRecorder()
+	rs.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("top = %d (%s)", rec.Code, rec.Body.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !seen["trace-me-7"] {
+		t.Fatalf("peer never saw the caller's request id; saw %v", seen)
+	}
+}
+
+func TestParseFaultSpecs(t *testing.T) {
+	specs, err := parseFaultSpecs("1:down_after=10s,down_for=5s,err=0.25;2:latency=3ms,seed=7", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs = %v", specs)
+	}
+	if fc := specs[1]; fc.DownAfter != 10*time.Second || fc.DownFor != 5*time.Second || fc.ErrRate != 0.25 {
+		t.Errorf("shard 1 spec = %+v", fc)
+	}
+	if fc := specs[2]; fc.Latency != 3*time.Millisecond || fc.Seed != 7 {
+		t.Errorf("shard 2 spec = %+v", fc)
+	}
+	for _, bad := range []string{"3:err=0.5", "1:err=2", "1:nope=1", "1:down_after=x", "junk"} {
+		if _, err := parseFaultSpecs(bad, 3); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if specs, err := parseFaultSpecs("", 3); err != nil || len(specs) != 0 {
+		t.Errorf("empty spec: %v, %v", specs, err)
+	}
+}

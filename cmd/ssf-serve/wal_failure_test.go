@@ -1,0 +1,73 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestIngestWALFailure503 drives a WAL append failure (closed log — the same
+// sticky-error shape a full disk produces) and checks the error taxonomy: the
+// client gets 503 + Retry-After, not a generic 500, and /readyz surfaces the
+// last append error so an operator can see why ingest is failing.
+func TestIngestWALFailure503(t *testing.T) {
+	cfg := walConfig(writeTestNet(t), t.TempDir())
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.routes()
+	if err := srv.wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/ingest",
+		strings.NewReader(`{"u":"a","v":"0","ts":9}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("WAL-failure 503 without Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "write-ahead log") {
+		t.Errorf("body %q does not name the WAL", rec.Body.String())
+	}
+
+	code, body := getJSON(t, h, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d (%v)", code, body)
+	}
+	wal, ok := body["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("readyz wal block missing: %v", body)
+	}
+	if msg, _ := wal["lastAppendError"].(string); msg == "" {
+		t.Errorf("readyz does not surface the WAL append error: %v", wal)
+	}
+	if at, _ := wal["lastAppendErrorAt"].(string); at == "" {
+		t.Errorf("readyz missing lastAppendErrorAt: %v", wal)
+	}
+}
+
+// TestReadyzOmitsWALErrorWhenHealthy pins the quiet path: no append failure,
+// no error fields.
+func TestReadyzOmitsWALErrorWhenHealthy(t *testing.T) {
+	cfg := walConfig(writeTestNet(t), t.TempDir())
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+	h := srv.routes()
+	if code, _ := postJSON(t, h, "/ingest", `{"u":"ok1","v":"0","ts":7}`); code != http.StatusOK {
+		t.Fatalf("ingest = %d", code)
+	}
+	_, body := getJSON(t, h, "/readyz")
+	wal := body["wal"].(map[string]any)
+	if _, present := wal["lastAppendError"]; present {
+		t.Errorf("healthy readyz carries lastAppendError: %v", wal)
+	}
+}

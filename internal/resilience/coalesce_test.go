@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -84,6 +85,60 @@ func TestCoalescerResultsVisibleAfterDo(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestCoalescerLeaderErrorVisibleToAllFollowers pins the error path the
+// ingest group commit depends on: when the leader's commit fails (a WAL
+// AppendBatch error), every follower coalesced into that group must observe
+// the same error through its own item after Do returns — not a zero value,
+// and not a result from some other group.
+func TestCoalescerLeaderErrorVisibleToAllFollowers(t *testing.T) {
+	type op struct {
+		id  int
+		err error
+	}
+	wantErr := errors.New("wal append failed")
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	var groups atomic.Int64
+	c := NewCoalescer(func(ops []*op) {
+		once.Do(func() { close(first); <-release })
+		groups.Add(1)
+		for _, o := range ops {
+			o.err = wantErr
+		}
+	})
+	var wg sync.WaitGroup
+	results := make([]*op, 12)
+	submit := func(i int) {
+		defer wg.Done()
+		o := &op{id: i}
+		c.Do(o)
+		results[i] = o
+	}
+	wg.Add(1)
+	go submit(0)
+	<-first // leader is inside its failing commit
+	for i := 1; i < len(results); i++ {
+		wg.Add(1)
+		go submit(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the followers enqueue behind the leader
+	close(release)
+	wg.Wait()
+	for i, o := range results {
+		if o == nil {
+			t.Errorf("submission %d never returned a result", i)
+			continue
+		}
+		if o.err != wantErr {
+			t.Errorf("submission %d: err = %v, want the leader's commit error", i, o.err)
+		}
+	}
+	if g := groups.Load(); g < 2 {
+		t.Fatalf("commit groups = %d, want >= 2 (followers never coalesced)", g)
+	}
 }
 
 func TestCoalescerSequentialUse(t *testing.T) {

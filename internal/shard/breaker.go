@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// StateClosed passes traffic and watches the error rate.
+	StateClosed BreakerState = iota
+	// StateHalfOpen lets a bounded number of probes through to test
+	// whether the shard recovered.
+	StateHalfOpen
+	// StateOpen fast-fails everything until the cooldown elapses.
+	StateOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// BreakerConfig tunes one shard's circuit breaker. The zero value takes the
+// defaults noted per field.
+type BreakerConfig struct {
+	// Window is the sliding outcome window size (default 20 outcomes).
+	Window int
+	// MinRequests gates tripping: the window must hold at least this many
+	// outcomes before the failure rate is consulted (default 5).
+	MinRequests int
+	// FailureRate opens the breaker when the windowed error rate reaches
+	// it (default 0.5).
+	FailureRate float64
+	// Cooldown is how long the breaker stays open before letting probes
+	// through (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrent probes while half-open (default 1).
+	HalfOpenProbes int
+
+	// Now overrides the clock for tests (default time.Now).
+	Now func() time.Time
+	// OnTransition, when set, observes every state change (metrics,
+	// logging). Called with the breaker's lock held: keep it fast and do
+	// not call back into the breaker.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 5
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-shard circuit breaker: closed while the shard behaves,
+// open (fast-fail, no timeout-length stalls) once the sliding error rate
+// trips, half-open after a cooldown to probe recovery with real traffic.
+// Callers pair every Allow() == true with exactly one Record. Safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	ring     []bool // outcome window; true = success
+	idx      int
+	filled   int
+	failures int
+	openedAt time.Time
+	probes   int // in-flight half-open probes
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// State returns the current position, promoting open to half-open if the
+// cooldown has elapsed (so telemetry never shows a stale "open").
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+// Allow reports whether one request may proceed. Closed always admits;
+// open admits nothing until the cooldown promotes it to half-open; half-open
+// admits up to HalfOpenProbes concurrent probes.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Record reports the outcome of a request admitted by Allow. In the closed
+// state it slides the outcome window and opens the breaker when the error
+// rate trips; in the half-open state a success closes the breaker (fresh
+// window) and a failure re-opens it for another cooldown.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			b.resetLocked()
+			b.transitionLocked(StateClosed)
+		} else {
+			b.openedAt = b.cfg.Now()
+			b.transitionLocked(StateOpen)
+		}
+	case StateClosed:
+		b.pushLocked(ok)
+		if b.filled >= b.cfg.MinRequests &&
+			float64(b.failures)/float64(b.filled) >= b.cfg.FailureRate {
+			b.openedAt = b.cfg.Now()
+			b.transitionLocked(StateOpen)
+		}
+	default:
+		// A late outcome from a request admitted before the trip; the
+		// window restarts on recovery, so drop it.
+	}
+}
+
+// maybeHalfOpenLocked promotes open to half-open once the cooldown elapsed.
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == StateOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.probes = 0
+		b.transitionLocked(StateHalfOpen)
+	}
+}
+
+func (b *Breaker) pushLocked(ok bool) {
+	if b.filled == len(b.ring) {
+		if !b.ring[b.idx] {
+			b.failures--
+		}
+	} else {
+		b.filled++
+	}
+	b.ring[b.idx] = ok
+	if !ok {
+		b.failures++
+	}
+	b.idx = (b.idx + 1) % len(b.ring)
+}
+
+func (b *Breaker) resetLocked() {
+	b.idx, b.filled, b.failures = 0, 0, 0
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}

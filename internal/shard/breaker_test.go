@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker and fault tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// record drives one admitted request to its outcome.
+func record(t *testing.T, b *Breaker, ok bool) {
+	t.Helper()
+	if !b.Allow() {
+		t.Fatalf("Allow() = false in state %v, want admission", b.State())
+	}
+	b.Record(ok)
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:      4,
+		MinRequests: 3,
+		FailureRate: 0.5,
+		Cooldown:    time.Second,
+		Now:         clk.Now,
+	})
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	// Each case drives a fresh breaker through a scripted sequence and
+	// checks the resulting state. step: +1 success, -1 failure, 0 advance
+	// the clock past the cooldown.
+	cases := []struct {
+		name  string
+		steps []int
+		want  BreakerState
+	}{
+		{"stays closed on successes", []int{1, 1, 1, 1, 1, 1}, StateClosed},
+		{"holds below min requests", []int{-1, -1}, StateClosed},
+		{"opens at failure rate", []int{1, -1, -1}, StateOpen},
+		{"opens on all failures", []int{-1, -1, -1}, StateOpen},
+		{"half-open after cooldown", []int{-1, -1, -1, 0}, StateHalfOpen},
+		{"probe success closes", []int{-1, -1, -1, 0, 1}, StateClosed},
+		{"probe failure re-opens", []int{-1, -1, -1, 0, -1}, StateOpen},
+		{"re-opened waits out a full cooldown", []int{-1, -1, -1, 0, -1, 0}, StateHalfOpen},
+		{"recovered window starts fresh", []int{-1, -1, -1, 0, 1, -1, -1}, StateClosed},
+		{"window slides failures out", []int{-1, 1, 1, 1, 1, -1}, StateClosed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			b := testBreaker(clk)
+			for i, s := range tc.steps {
+				switch s {
+				case 0:
+					clk.Advance(time.Second)
+				default:
+					if got := b.Allow(); !got {
+						t.Fatalf("step %d: Allow() = false in state %v", i, b.State())
+					}
+					b.Record(s > 0)
+				}
+			}
+			if got := b.State(); got != tc.want {
+				t.Fatalf("state = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBreakerOpenFastFails(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		record(t, b, false)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	for i := 0; i < 5; i++ {
+		if b.Allow() {
+			t.Fatal("open breaker admitted a request before cooldown")
+		}
+	}
+	clk.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request 1ms before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenBoundsProbes(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		record(t, b, false)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(true) // probe succeeds
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	b.Record(true)
+}
+
+func TestBreakerLateRecordInOpenDropped(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		record(t, b, false)
+	}
+	// An in-flight request admitted before the trip reports back late.
+	b.Record(true)
+	b.Record(false)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open (late outcomes dropped)", b.State())
+	}
+	clk.Advance(time.Second)
+	record(t, b, true)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed after recovery", b.State())
+	}
+}
+
+func TestBreakerTransitionHook(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		Window: 4, MinRequests: 2, FailureRate: 0.5, Cooldown: time.Second,
+		Now: clk.Now,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+	record(t, b, false)
+	record(t, b, false) // trips
+	clk.Advance(time.Second)
+	record(t, b, true) // half-open probe closes
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestOwnerStableAndInRange(t *testing.T) {
+	labels := []string{"a", "b", "node-42", "soak17x", ""}
+	for _, l := range labels {
+		o := Owner(l, 3)
+		if o < 0 || o >= 3 {
+			t.Fatalf("Owner(%q, 3) = %d out of range", l, o)
+		}
+		if o2 := Owner(l, 3); o2 != o {
+			t.Fatalf("Owner(%q) unstable: %d vs %d", l, o, o2)
+		}
+	}
+	if Owner("anything", 1) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+	if PairOwner("a", "b", 5) != PairOwner("b", "a", 5) {
+		t.Fatal("PairOwner must be symmetric")
+	}
+	if PairOwner("a", "b", 5) != Owner("a", 5) {
+		t.Fatal("PairOwner must anchor at the smaller label")
+	}
+}

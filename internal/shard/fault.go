@@ -1,0 +1,163 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultConfig describes the faults a FaultClient injects. Probabilities are
+// drawn from a seeded RNG so a given seed replays the same fault sequence;
+// the flap schedule is purely clock-driven and needs no randomness at all.
+type FaultConfig struct {
+	// ErrRate is the probability a call fails immediately with an
+	// ErrUnavailable-classified injected error.
+	ErrRate float64
+	// TimeoutRate is the probability a call hangs until its context ends —
+	// the shape of a dead-but-accepting shard, which exercises the
+	// per-attempt deadline and hedging paths.
+	TimeoutRate float64
+	// Latency (plus a uniform draw from [0, LatencyJitter)) is added to
+	// every call that is not failed or hung.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// DownAfter/DownFor flap the shard on a schedule: it serves normally
+	// for DownAfter, is fully down (every call fails fast) for DownFor,
+	// then serves normally again. Zero DownFor disables the schedule.
+	DownAfter time.Duration
+	DownFor   time.Duration
+	// Seed fixes the RNG (default 1). Now overrides the clock for tests.
+	Seed int64
+	Now  func() time.Time
+}
+
+// FaultClient decorates a Client with deterministic fault injection:
+// injected latency, random errors, hangs, and scheduled or forced downtime.
+// It drives the table-driven breaker and degradation tests and the CI
+// fault-injection soak. Safe for concurrent use.
+type FaultClient struct {
+	inner Client
+
+	mu     sync.Mutex
+	cfg    FaultConfig
+	rng    *rand.Rand
+	now    func() time.Time
+	start  time.Time
+	forced bool // SetDown(true) overrides the schedule
+}
+
+// NewFaultClient wraps inner. The flap schedule's clock starts now.
+func NewFaultClient(inner Client, cfg FaultConfig) *FaultClient {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &FaultClient{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		now:   now,
+		start: now(),
+	}
+}
+
+// SetDown forces the shard down (or back up) regardless of the schedule.
+func (f *FaultClient) SetDown(down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.forced = down
+}
+
+// Down reports whether the shard is currently failing everything.
+func (f *FaultClient) Down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.downLocked()
+}
+
+func (f *FaultClient) downLocked() bool {
+	if f.forced {
+		return true
+	}
+	if f.cfg.DownFor <= 0 {
+		return false
+	}
+	since := f.now().Sub(f.start)
+	return since >= f.cfg.DownAfter && since < f.cfg.DownAfter+f.cfg.DownFor
+}
+
+// gate applies the configured faults before a call reaches the inner client.
+// A nil return means the call proceeds (after any injected latency).
+func (f *FaultClient) gate(ctx context.Context) error {
+	f.mu.Lock()
+	if f.downLocked() {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: fault injected (down)", ErrUnavailable)
+	}
+	failRoll := f.rng.Float64()
+	hangRoll := f.rng.Float64()
+	var jitter time.Duration
+	if f.cfg.LatencyJitter > 0 {
+		jitter = time.Duration(f.rng.Int63n(int64(f.cfg.LatencyJitter)))
+	}
+	cfg := f.cfg
+	f.mu.Unlock()
+
+	if cfg.ErrRate > 0 && failRoll < cfg.ErrRate {
+		return fmt.Errorf("%w: fault injected (error)", ErrUnavailable)
+	}
+	if cfg.TimeoutRate > 0 && hangRoll < cfg.TimeoutRate {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if delay := cfg.Latency + jitter; delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (f *FaultClient) Score(ctx context.Context, u, v string) (ScoreResult, error) {
+	if err := f.gate(ctx); err != nil {
+		return ScoreResult{}, err
+	}
+	return f.inner.Score(ctx, u, v)
+}
+
+func (f *FaultClient) Top(ctx context.Context, n int) (TopResult, error) {
+	if err := f.gate(ctx); err != nil {
+		return TopResult{}, err
+	}
+	return f.inner.Top(ctx, n)
+}
+
+func (f *FaultClient) Batch(ctx context.Context, pairs [][2]string) ([]ScoreResult, error) {
+	if err := f.gate(ctx); err != nil {
+		return nil, err
+	}
+	return f.inner.Batch(ctx, pairs)
+}
+
+func (f *FaultClient) Ingest(ctx context.Context, edges []Edge) (IngestResult, error) {
+	if err := f.gate(ctx); err != nil {
+		return IngestResult{}, err
+	}
+	return f.inner.Ingest(ctx, edges)
+}
+
+func (f *FaultClient) Health(ctx context.Context) (HealthInfo, error) {
+	if err := f.gate(ctx); err != nil {
+		return HealthInfo{}, err
+	}
+	return f.inner.Health(ctx)
+}

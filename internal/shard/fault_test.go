@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFaultClientErrRate(t *testing.T) {
+	inner := newStub()
+	f := NewFaultClient(inner, FaultConfig{ErrRate: 1, Seed: 7})
+	_, err := f.Score(context.Background(), "a", "b")
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+	if inner.callCount("score") != 0 {
+		t.Fatal("failed call reached the inner client")
+	}
+}
+
+func TestFaultClientTimeoutHangsUntilContext(t *testing.T) {
+	inner := newStub()
+	f := NewFaultClient(inner, FaultConfig{TimeoutRate: 1, Seed: 7})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Score(ctx, "a", "b")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("hang returned before the context expired")
+	}
+	if inner.callCount("score") != 0 {
+		t.Fatal("hung call reached the inner client")
+	}
+}
+
+func TestFaultClientFlapSchedule(t *testing.T) {
+	clk := newFakeClock()
+	inner := newStub()
+	f := NewFaultClient(inner, FaultConfig{
+		DownAfter: 2 * time.Second,
+		DownFor:   3 * time.Second,
+		Now:       clk.Now,
+	})
+	ctx := context.Background()
+	probe := func() error { _, err := f.Top(ctx, 1); return err }
+
+	if err := probe(); err != nil {
+		t.Fatalf("healthy window: %v", err)
+	}
+	clk.Advance(2 * time.Second) // enters the down window
+	if !f.Down() {
+		t.Fatal("Down() = false inside the down window")
+	}
+	if err := probe(); !IsUnavailable(err) {
+		t.Fatalf("down window err = %v, want unavailable", err)
+	}
+	clk.Advance(3 * time.Second) // down window over
+	if f.Down() {
+		t.Fatal("Down() = true after the down window")
+	}
+	if err := probe(); err != nil {
+		t.Fatalf("recovered window: %v", err)
+	}
+	if got := inner.callCount("top"); got != 2 {
+		t.Fatalf("inner top calls = %d, want 2", got)
+	}
+}
+
+func TestFaultClientSetDownOverridesSchedule(t *testing.T) {
+	inner := newStub()
+	f := NewFaultClient(inner, FaultConfig{})
+	ctx := context.Background()
+	f.SetDown(true)
+	if _, err := f.Ingest(ctx, []Edge{{U: "a", V: "b"}}); !IsUnavailable(err) {
+		t.Fatalf("forced-down err = %v, want unavailable", err)
+	}
+	f.SetDown(false)
+	if _, err := f.Ingest(ctx, []Edge{{U: "a", V: "b"}}); err != nil {
+		t.Fatalf("restored err = %v", err)
+	}
+}
+
+func TestFaultClientSeedDeterminism(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		inner := newStub()
+		f := NewFaultClient(inner, FaultConfig{ErrRate: 0.5, Seed: seed})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, err := f.Score(context.Background(), "a", "b")
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := outcomes(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 32-call fault sequence")
+	}
+}
+
+func TestFaultClientLatencyRespectsContext(t *testing.T) {
+	inner := newStub()
+	f := NewFaultClient(inner, FaultConfig{Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := f.Score(ctx, "a", "b")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"ssflp/internal/resilience"
+)
+
+// HTTPClient speaks the ssf-serve HTTP API to one remote shard. Every
+// outbound request carries the caller's X-Request-Id (when the context holds
+// one), so a scatter-gathered query is traceable across processes. Status
+// mapping: 2xx decodes, 404 is ErrNotFound, other 4xx are domain errors
+// returned as-is, and 429/5xx/transport failures wrap ErrUnavailable so the
+// router retries and the breaker counts them.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+
+	// TopIndex/TopCount, when TopCount > 1, ask the shard to enumerate
+	// only the candidate pairs it owns (shard_index/shard_count query
+	// parameters on GET /top), making the top-N scatter a real partition
+	// of the work instead of N redundant full scans.
+	TopIndex, TopCount int
+}
+
+// NewHTTPClient builds a client for the shard at baseURL (e.g.
+// "http://10.0.0.7:8080"). The underlying http.Client carries no timeout of
+// its own: attempt deadlines come from the router via the context.
+func NewHTTPClient(baseURL string, hc *http.Client) (*HTTPClient, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("shard: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		// "host:port" parses as scheme "host"; retry as plain HTTP.
+		u, err = url.Parse("http://" + baseURL)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("shard: bad base URL %q", baseURL)
+		}
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &HTTPClient{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+}
+
+// errBody extracts the {"error": ...} envelope, falling back to the status.
+func errBody(status int, body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return http.StatusText(status)
+}
+
+// do issues one request and decodes a 2xx JSON answer into out.
+func (c *HTTPClient) do(ctx context.Context, method, path string, query url.Values, body any, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		enc, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(enc)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := resilience.RequestID(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err() // caller's deadline or cancellation, classified upstream
+		}
+		return Unavailable(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return Unavailable(err)
+	}
+	switch {
+	case resp.StatusCode < 300:
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return Unavailable(fmt.Errorf("malformed shard answer: %w", err))
+		}
+		return nil
+	case resp.StatusCode == http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, errBody(resp.StatusCode, raw))
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		return Unavailable(fmt.Errorf("shard answered %d: %s", resp.StatusCode, errBody(resp.StatusCode, raw)))
+	default:
+		return fmt.Errorf("shard rejected request (%d): %s", resp.StatusCode, errBody(resp.StatusCode, raw))
+	}
+}
+
+func (c *HTTPClient) Score(ctx context.Context, u, v string) (ScoreResult, error) {
+	var out ScoreResult
+	q := url.Values{"u": {u}, "v": {v}}
+	if err := c.do(ctx, http.MethodGet, "/score", q, nil, &out); err != nil {
+		return ScoreResult{}, err
+	}
+	return out, nil
+}
+
+func (c *HTTPClient) Top(ctx context.Context, n int) (TopResult, error) {
+	var out TopResult
+	q := url.Values{"n": {strconv.Itoa(n)}}
+	if c.TopCount > 1 {
+		q.Set("shard_index", strconv.Itoa(c.TopIndex))
+		q.Set("shard_count", strconv.Itoa(c.TopCount))
+	}
+	if err := c.do(ctx, http.MethodGet, "/top", q, nil, &out); err != nil {
+		return TopResult{}, err
+	}
+	return out, nil
+}
+
+func (c *HTTPClient) Batch(ctx context.Context, pairs [][2]string) ([]ScoreResult, error) {
+	req := make([]map[string]string, len(pairs))
+	for i, p := range pairs {
+		req[i] = map[string]string{"u": p[0], "v": p[1]}
+	}
+	var out struct {
+		Results []ScoreResult `json:"results"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/batch", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+func (c *HTTPClient) Ingest(ctx context.Context, edges []Edge) (IngestResult, error) {
+	var out IngestResult
+	if err := c.do(ctx, http.MethodPost, "/ingest", nil, edges, &out); err != nil {
+		return IngestResult{}, err
+	}
+	return out, nil
+}
+
+func (c *HTTPClient) Health(ctx context.Context) (HealthInfo, error) {
+	var out struct {
+		Ready bool   `json:"ready"`
+		Epoch uint64 `json:"epoch"`
+		Nodes int    `json:"nodes"`
+		Links int    `json:"links"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &out); err != nil {
+		return HealthInfo{}, err
+	}
+	return HealthInfo{Ready: out.Ready, Epoch: out.Epoch, Nodes: out.Nodes, Links: out.Links}, nil
+}

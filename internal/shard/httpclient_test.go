@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ssflp/internal/resilience"
+)
+
+func TestHTTPClientScoreAndRequestID(t *testing.T) {
+	var gotID, gotPath string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotID = r.Header.Get("X-Request-Id")
+		gotPath = r.URL.Path
+		if r.URL.Query().Get("u") != "a" || r.URL.Query().Get("v") != "b" {
+			t.Errorf("query = %v", r.URL.Query())
+		}
+		json.NewEncoder(w).Encode(ScoreResult{U: "a", V: "b", Score: 0.42, Predicted: true})
+	}))
+	defer srv.Close()
+	c, err := NewHTTPClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := resilience.WithRequestID(context.Background(), "req-123")
+	res, err := c.Score(ctx, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0.42 || !res.Predicted {
+		t.Fatalf("res = %+v", res)
+	}
+	if gotID != "req-123" {
+		t.Fatalf("X-Request-Id = %q, want req-123", gotID)
+	}
+	if gotPath != "/score" {
+		t.Fatalf("path = %q", gotPath)
+	}
+}
+
+func TestHTTPClientStatusMapping(t *testing.T) {
+	cases := []struct {
+		name        string
+		status      int
+		body        string
+		notFound    bool
+		unavailable bool
+	}{
+		{"404 is not-found", http.StatusNotFound, `{"error":"unknown node"}`, true, false},
+		{"500 is unavailable", http.StatusInternalServerError, `{"error":"boom"}`, false, true},
+		{"503 is unavailable", http.StatusServiceUnavailable, `{"error":"wal"}`, false, true},
+		{"429 is unavailable", http.StatusTooManyRequests, `{"error":"busy"}`, false, true},
+		{"400 is a plain domain error", http.StatusBadRequest, `{"error":"bad pair"}`, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(tc.status)
+				w.Write([]byte(tc.body))
+			}))
+			defer srv.Close()
+			c, err := NewHTTPClient(srv.URL, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = c.Score(context.Background(), "a", "b")
+			if err == nil {
+				t.Fatal("err = nil")
+			}
+			if got := errors.Is(err, ErrNotFound); got != tc.notFound {
+				t.Errorf("ErrNotFound = %v, want %v (err: %v)", got, tc.notFound, err)
+			}
+			if got := IsUnavailable(err); got != tc.unavailable {
+				t.Errorf("IsUnavailable = %v, want %v (err: %v)", got, tc.unavailable, err)
+			}
+		})
+	}
+}
+
+func TestHTTPClientTransportErrorUnavailable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	srv.Close() // nothing listening anymore
+	c, err := NewHTTPClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Score(context.Background(), "a", "b")
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+}
+
+func TestHTTPClientTopPartitionParams(t *testing.T) {
+	var q map[string][]string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q = r.URL.Query()
+		json.NewEncoder(w).Encode(TopResult{Candidates: []Candidate{{U: "a", V: "b", Score: 1}}})
+	}))
+	defer srv.Close()
+	c, err := NewHTTPClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.TopIndex, c.TopCount = 2, 3
+	res, err := c.Top(context.Background(), 7)
+	if err != nil || len(res.Candidates) != 1 {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+	if q["n"][0] != "7" || q["shard_index"][0] != "2" || q["shard_count"][0] != "3" {
+		t.Fatalf("query = %v", q)
+	}
+
+	// A single-shard client must not send partition params.
+	c.TopCount = 1
+	if _, err := c.Top(context.Background(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := q["shard_index"]; has {
+		t.Fatalf("single-shard top sent partition params: %v", q)
+	}
+}
+
+func TestHTTPClientIngestAndBatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ingest":
+			var edges []Edge
+			if err := json.NewDecoder(r.Body).Decode(&edges); err != nil {
+				t.Errorf("ingest body: %v", err)
+			}
+			json.NewEncoder(w).Encode(IngestResult{Applied: len(edges), Durable: true, Epoch: 9})
+		case "/batch":
+			var pairs []map[string]string
+			if err := json.NewDecoder(r.Body).Decode(&pairs); err != nil {
+				t.Errorf("batch body: %v", err)
+			}
+			out := map[string]any{"results": []ScoreResult{{U: pairs[0]["u"], V: pairs[0]["v"], Score: 0.3}}}
+			json.NewEncoder(w).Encode(out)
+		default:
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+	}))
+	defer srv.Close()
+	c, err := NewHTTPClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := int64(1700000000)
+	ing, err := c.Ingest(context.Background(), []Edge{{U: "a", V: "b", Ts: &ts}})
+	if err != nil || ing.Applied != 1 || !ing.Durable || ing.Epoch != 9 {
+		t.Fatalf("ingest = %+v, err = %v", ing, err)
+	}
+	res, err := c.Batch(context.Background(), [][2]string{{"x", "y"}})
+	if err != nil || len(res) != 1 || res[0].U != "x" || res[0].Score != 0.3 {
+		t.Fatalf("batch = %+v, err = %v", res, err)
+	}
+}
+
+func TestNewHTTPClientDefaultsScheme(t *testing.T) {
+	c, err := NewHTTPClient("localhost:8080", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://localhost:8080" {
+		t.Fatalf("base = %q", c.base)
+	}
+	if _, err := NewHTTPClient("http://bad host", nil); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"strconv"
+
+	"ssflp/internal/telemetry"
+)
+
+// Metrics bundles the router's shard-layer telemetry: per-shard request,
+// error, retry and hedge counters, a breaker-state gauge, fan-out latency
+// histograms, and degraded-response counters. All handles are nil-safe, so
+// a Router built without metrics records nothing.
+type Metrics struct {
+	requests     *telemetry.CounterVec   // shard, op
+	errors       *telemetry.CounterVec   // shard, op
+	retries      *telemetry.CounterVec   // shard, op
+	hedges       *telemetry.CounterVec   // shard, op
+	hedgeWins    *telemetry.CounterVec   // shard, op
+	breakerOpen  *telemetry.CounterVec   // shard, to (transition counter)
+	breakerGauge *telemetry.GaugeVec     // shard (0 closed, 1 half-open, 2 open)
+	fanout       *telemetry.HistogramVec // op: end-to-end scatter-gather latency
+	degraded     *telemetry.CounterVec   // op: partial-result responses served
+	dualWrites   *telemetry.Counter      // cross-shard edges written twice
+}
+
+// NewMetrics registers the shard metric families on reg. A nil registry
+// returns a Metrics whose observations all no-op.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{}
+	if reg == nil {
+		return m
+	}
+	m.requests = reg.CounterVec("ssf_shard_requests_total",
+		"Requests the router sent to a shard, by shard and operation.", "shard", "op")
+	m.errors = reg.CounterVec("ssf_shard_errors_total",
+		"Shard calls that failed as unavailable (transport, timeout, open breaker), by shard and operation.", "shard", "op")
+	m.retries = reg.CounterVec("ssf_shard_retries_total",
+		"Backoff retries of idempotent shard reads, by shard and operation.", "shard", "op")
+	m.hedges = reg.CounterVec("ssf_shard_hedges_total",
+		"Hedge attempts fired after the p95 latency mark, by shard and operation.", "shard", "op")
+	m.hedgeWins = reg.CounterVec("ssf_shard_hedge_wins_total",
+		"Shard reads answered by the hedge attempt before the primary, by shard and operation.", "shard", "op")
+	m.breakerOpen = reg.CounterVec("ssf_shard_breaker_transitions_total",
+		"Circuit breaker state transitions, by shard and destination state.", "shard", "to")
+	m.breakerGauge = reg.GaugeVec("ssf_shard_breaker_state",
+		"Circuit breaker position per shard: 0 closed, 1 half-open, 2 open.", "shard")
+	m.fanout = reg.HistogramVec("ssf_router_fanout_duration_seconds",
+		"End-to-end scatter-gather latency by operation, including retries and hedges.", nil, "op")
+	m.degraded = reg.CounterVec("ssf_router_degraded_total",
+		"Partial-result responses served because one or more shards were unavailable, by operation.", "op")
+	m.dualWrites = reg.Counter("ssf_router_dual_writes_total",
+		"Cross-shard edges written to both endpoint owners during ingest.")
+	return m
+}
+
+// shardLabel formats a shard id once for the label values.
+func shardLabel(id int) string { return strconv.Itoa(id) }
+
+func (m *Metrics) noteRequest(shard, op string) {
+	if m != nil {
+		m.requests.With(shard, op).Inc()
+	}
+}
+
+func (m *Metrics) noteError(shard, op string) {
+	if m != nil {
+		m.errors.With(shard, op).Inc()
+	}
+}
+
+func (m *Metrics) noteRetry(shard, op string) {
+	if m != nil {
+		m.retries.With(shard, op).Inc()
+	}
+}
+
+func (m *Metrics) noteHedge(shard, op string) {
+	if m != nil {
+		m.hedges.With(shard, op).Inc()
+	}
+}
+
+func (m *Metrics) noteHedgeWin(shard, op string) {
+	if m != nil {
+		m.hedgeWins.With(shard, op).Inc()
+	}
+}
+
+func (m *Metrics) noteBreaker(shard string, to BreakerState) {
+	if m != nil {
+		m.breakerOpen.With(shard, to.String()).Inc()
+		m.breakerGauge.With(shard).Set(float64(to))
+	}
+}
+
+func (m *Metrics) noteDegraded(op string) {
+	if m != nil {
+		m.degraded.With(op).Inc()
+	}
+}

@@ -1,0 +1,678 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ssflp/internal/resilience"
+)
+
+// Config tunes the Router's robustness layer. The zero value takes the
+// defaults noted per field.
+type Config struct {
+	// Timeout bounds one attempt against one shard (default 2s). The
+	// caller's context still bounds the whole fan-out.
+	Timeout time.Duration
+	// Retries is how many extra attempts an idempotent read gets after a
+	// retryable failure (default 1; negative disables). Writes are never
+	// retried.
+	Retries int
+	// RetryBase seeds the exponential backoff between retries; the actual
+	// sleep is drawn uniformly from [0, base<<attempt) — "full jitter" —
+	// capped at RetryMax (defaults 25ms base, 250ms cap).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HedgeAfter fixes the hedged-read delay. Zero selects the adaptive
+	// default: the shard's observed p95 attempt latency, floored at
+	// HedgeMin and capped at Timeout/2. Negative disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMin floors the adaptive hedge delay (default 1ms).
+	HedgeMin time.Duration
+	// Breaker configures each shard's circuit breaker.
+	Breaker BreakerConfig
+	// Seed fixes the jitter RNG for deterministic tests (default 1).
+	Seed int64
+	// Logger receives one line per shard attempt outcome, carrying the
+	// request id and shard id so a scatter-gathered query is traceable end
+	// to end. Nil discards.
+	Logger *slog.Logger
+	// Metrics receives shard-layer telemetry. Nil records nothing.
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Router hash-partitions nodes across its shards, routes ingest by endpoint
+// ownership (dual-writing cross-shard edges) and scatter-gathers reads with
+// explicit partial-result semantics: Top and Batch answer with whatever the
+// live shards produced plus the list of missing shards, while Score against
+// an unreachable owning shard fails fast with ErrUnavailable so the serving
+// layer can translate it into 503 + Retry-After.
+type Router struct {
+	cfg     Config
+	logger  *slog.Logger
+	metrics *Metrics
+	shards  []*managedShard
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// managedShard is one shard plus its robustness state.
+type managedShard struct {
+	id      int
+	label   string
+	client  Client
+	breaker *Breaker
+	lat     *latencyWindow
+}
+
+// NewRouter builds a router over the given shard clients (index = shard id).
+// At least one client is required.
+func NewRouter(clients []Client, cfg Config) *Router {
+	if len(clients) == 0 {
+		panic("shard: NewRouter needs at least one client")
+	}
+	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	r := &Router{
+		cfg:     cfg,
+		logger:  logger,
+		metrics: cfg.Metrics,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i, c := range clients {
+		label := shardLabel(i)
+		bc := cfg.Breaker
+		bc.OnTransition = func(_, to BreakerState) {
+			r.metrics.noteBreaker(label, to)
+			logger.Info("shard breaker transition",
+				slog.String("shard", label), slog.String("to", to.String()))
+		}
+		r.shards = append(r.shards, &managedShard{
+			id:      i,
+			label:   label,
+			client:  c,
+			breaker: NewBreaker(bc),
+			lat:     newLatencyWindow(128),
+		})
+		// Publish the initial closed state so dashboards see every shard.
+		r.metrics.noteBreaker(label, StateClosed)
+	}
+	return r
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Owner returns the shard owning the node with the given label.
+func (r *Router) Owner(label string) int { return Owner(label, len(r.shards)) }
+
+// BreakerState returns shard id's breaker position (telemetry, tests).
+func (r *Router) BreakerState(id int) BreakerState {
+	return r.shards[id].breaker.State()
+}
+
+// ShardHealth is one shard's aggregated health as seen by the router.
+type ShardHealth struct {
+	ID      int    `json:"id"`
+	Ready   bool   `json:"ready"`
+	Breaker string `json:"breaker"`
+	Epoch   uint64 `json:"epoch"`
+	Nodes   int    `json:"nodes"`
+	Links   int    `json:"links"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Health polls every shard directly (bounded by Timeout, no retries — a
+// health check wants the truth, not resilience) and annotates each answer
+// with the breaker position.
+func (r *Router) Health(ctx context.Context) []ShardHealth {
+	out := make([]ShardHealth, len(r.shards))
+	var wg sync.WaitGroup
+	for _, m := range r.shards {
+		wg.Add(1)
+		go func(m *managedShard) {
+			defer wg.Done()
+			hctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+			defer cancel()
+			h := ShardHealth{ID: m.id, Breaker: m.breaker.State().String()}
+			info, err := m.client.Health(hctx)
+			if err != nil {
+				h.Error = err.Error()
+			} else {
+				h.Ready, h.Epoch, h.Nodes, h.Links = info.Ready, info.Epoch, info.Nodes, info.Links
+			}
+			out[m.id] = h
+		}(m)
+	}
+	wg.Wait()
+	return out
+}
+
+// Score routes the pair to its owning shard. Retries and hedges apply; if
+// the owner is unreachable (or its breaker is open) the error wraps
+// ErrUnavailable and IsUnavailable reports true — the pair has exactly one
+// home, so there is no partial result to degrade to.
+func (r *Router) Score(ctx context.Context, u, v string) (ScoreResult, error) {
+	start := time.Now()
+	m := r.shards[PairOwner(u, v, len(r.shards))]
+	res, err := call(ctx, r, m, "score", true, func(ctx context.Context) (ScoreResult, error) {
+		return m.client.Score(ctx, u, v)
+	})
+	r.observeFanout("score", start)
+	if err != nil {
+		return ScoreResult{}, fmt.Errorf("shard %d: %w", m.id, err)
+	}
+	return res, nil
+}
+
+// TopGather is the scatter-gathered answer to a top-N query. Missing lists
+// the shards that could not contribute; a non-empty Missing is the signal
+// for a 206-style degraded response.
+type TopGather struct {
+	Candidates []Candidate
+	Sampled    bool
+	Missing    []int
+}
+
+// Top scatter-gathers the local top-N of every shard and merges them:
+// duplicates (the same pair surfaced by two shards) collapse keeping the
+// higher score, the merge is ordered score-descending with a deterministic
+// label tie-break, and at most n candidates return. Shards that fail after
+// retries are reported in Missing rather than failing the query; only when
+// every shard is unreachable does Top return an error.
+func (r *Router) Top(ctx context.Context, n int) (TopGather, error) {
+	start := time.Now()
+	type answer struct {
+		res TopResult
+		err error
+	}
+	answers := make([]answer, len(r.shards))
+	var wg sync.WaitGroup
+	for _, m := range r.shards {
+		wg.Add(1)
+		go func(m *managedShard) {
+			defer wg.Done()
+			res, err := call(ctx, r, m, "top", true, func(ctx context.Context) (TopResult, error) {
+				return m.client.Top(ctx, n)
+			})
+			answers[m.id] = answer{res: res, err: err}
+		}(m)
+	}
+	wg.Wait()
+	r.observeFanout("top", start)
+
+	var g TopGather
+	best := make(map[[2]string]float64)
+	var firstErr error
+	for id, a := range answers {
+		if a.err != nil {
+			g.Missing = append(g.Missing, id)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", id, a.err)
+			}
+			continue
+		}
+		g.Sampled = g.Sampled || a.res.Sampled
+		for _, c := range a.res.Candidates {
+			k := canonicalPair(c.U, c.V)
+			if s, ok := best[k]; !ok || c.Score > s {
+				best[k] = c.Score
+			}
+		}
+	}
+	if len(g.Missing) == len(r.shards) {
+		return g, firstErr
+	}
+	g.Candidates = make([]Candidate, 0, len(best))
+	for k, s := range best {
+		g.Candidates = append(g.Candidates, Candidate{U: k[0], V: k[1], Score: s})
+	}
+	sort.Slice(g.Candidates, func(i, j int) bool {
+		a, b := g.Candidates[i], g.Candidates[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	if len(g.Candidates) > n {
+		g.Candidates = g.Candidates[:n]
+	}
+	if len(g.Missing) > 0 {
+		r.metrics.noteDegraded("top")
+	}
+	return g, nil
+}
+
+// canonicalPair orders a pair's labels so (u, v) and (v, u) merge.
+func canonicalPair(u, v string) [2]string {
+	if v < u {
+		u, v = v, u
+	}
+	return [2]string{u, v}
+}
+
+// BatchItem is one pair's outcome in a scatter-gathered batch.
+type BatchItem struct {
+	U, V  string
+	Score float64
+	OK    bool
+	Err   string // set when the owning shard was unavailable
+}
+
+// BatchGather is the scatter-gathered answer to a batch query; Missing lists
+// shards whose sub-batches were lost. Results align with the input pairs.
+type BatchGather struct {
+	Results []BatchItem
+	Missing []int
+}
+
+// Batch groups pairs by owning shard, scatter-gathers the sub-batches, and
+// degrades per shard: pairs owned by an unreachable shard come back with
+// OK=false instead of failing the whole request. Domain errors (an unknown
+// node in any sub-batch) fail the request, matching unsharded semantics;
+// only when every involved shard is unreachable does Batch return an
+// infrastructure error.
+func (r *Router) Batch(ctx context.Context, pairs [][2]string) (BatchGather, error) {
+	start := time.Now()
+	n := len(r.shards)
+	groups := make([][]int, n) // pair indices per owning shard
+	for i, p := range pairs {
+		o := PairOwner(p[0], p[1], n)
+		groups[o] = append(groups[o], i)
+	}
+	g := BatchGather{Results: make([]BatchItem, len(pairs))}
+	for i, p := range pairs {
+		g.Results[i] = BatchItem{U: p[0], V: p[1]}
+	}
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		domainErr error
+		infraErr  error
+		involved  int
+	)
+	for id, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		involved++
+		m := r.shards[id]
+		sub := make([][2]string, len(idxs))
+		for j, i := range idxs {
+			sub[j] = pairs[i]
+		}
+		wg.Add(1)
+		go func(m *managedShard, idxs []int, sub [][2]string) {
+			defer wg.Done()
+			res, err := call(ctx, r, m, "batch", true, func(ctx context.Context) ([]ScoreResult, error) {
+				return m.client.Batch(ctx, sub)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && len(res) == len(idxs):
+				for j, i := range idxs {
+					g.Results[i].Score = res[j].Score
+					g.Results[i].OK = true
+				}
+			case err != nil && !IsUnavailable(err):
+				if domainErr == nil {
+					domainErr = err
+				}
+			default:
+				if err == nil {
+					err = fmt.Errorf("%w: short batch answer", ErrUnavailable)
+				}
+				g.Missing = append(g.Missing, m.id)
+				if infraErr == nil {
+					infraErr = fmt.Errorf("shard %d: %w", m.id, err)
+				}
+				for _, i := range idxs {
+					g.Results[i].Err = fmt.Sprintf("shard %d unavailable", m.id)
+				}
+			}
+		}(m, idxs, sub)
+	}
+	wg.Wait()
+	r.observeFanout("batch", start)
+	if domainErr != nil {
+		return g, domainErr
+	}
+	sort.Ints(g.Missing)
+	if involved > 0 && len(g.Missing) == involved {
+		return g, infraErr
+	}
+	if len(g.Missing) > 0 {
+		r.metrics.noteDegraded("batch")
+	}
+	return g, nil
+}
+
+// IngestGather reports a routed ingest. Every edge goes to the shard owning
+// each endpoint — one write when both endpoints hash to the same shard, a
+// dual-write otherwise — so each shard holds all edges incident to its
+// owned nodes.
+type IngestGather struct {
+	Applied    int            // edges in the request (acknowledged only when Failed is empty)
+	DualWrites int            // edges written to two shards
+	Durable    bool           // every involved shard confirmed durability
+	Results    []IngestResult // per shard; zero value for untouched shards
+	Failed     []int          // shards whose write failed
+}
+
+// Ingest routes edges by endpoint ownership and applies each shard's
+// sub-batch in parallel. Writes are not idempotent, so there are no retries
+// and no hedging — a failed shard is reported in Failed and the returned
+// error wraps ErrUnavailable so the serving layer answers 503 + Retry-After
+// and the client retries the whole request. Acknowledge an ingest only when
+// the error is nil: with a non-nil error some owners may have applied their
+// sub-batch and some not.
+func (r *Router) Ingest(ctx context.Context, edges []Edge) (IngestGather, error) {
+	start := time.Now()
+	n := len(r.shards)
+	groups := make([][]Edge, n)
+	g := IngestGather{Applied: len(edges), Results: make([]IngestResult, n)}
+	for _, e := range edges {
+		ou, ov := Owner(e.U, n), Owner(e.V, n)
+		groups[ou] = append(groups[ou], e)
+		if ov != ou {
+			groups[ov] = append(groups[ov], e)
+			g.DualWrites++
+		}
+	}
+	if r.metrics != nil {
+		r.metrics.dualWrites.Add(uint64(g.DualWrites))
+	}
+	g.Durable = true
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for id, sub := range groups {
+		if len(sub) == 0 {
+			continue
+		}
+		m := r.shards[id]
+		wg.Add(1)
+		go func(m *managedShard, sub []Edge) {
+			defer wg.Done()
+			res, err := call(ctx, r, m, "ingest", false, func(ctx context.Context) (IngestResult, error) {
+				return m.client.Ingest(ctx, sub)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				g.Failed = append(g.Failed, m.id)
+				return
+			}
+			g.Results[m.id] = res
+			g.Durable = g.Durable && res.Durable
+		}(m, sub)
+	}
+	wg.Wait()
+	r.observeFanout("ingest", start)
+	sort.Ints(g.Failed)
+	if len(g.Failed) > 0 {
+		return g, fmt.Errorf("ingest on shards %v failed: %w", g.Failed, ErrUnavailable)
+	}
+	return g, nil
+}
+
+// call is the per-shard robustness ladder shared by every operation: breaker
+// admission (open = fast-fail, no timeout-length stall), a per-attempt
+// deadline, hedged execution for idempotent reads, and retry with
+// exponential backoff and full jitter on retryable failures. Writes get one
+// unhedged attempt. Generic so each operation keeps its result type.
+func call[T any](ctx context.Context, r *Router, m *managedShard, op string, idempotent bool, fn func(context.Context) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !m.breaker.Allow() {
+			r.metrics.noteError(m.label, op)
+			err := fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
+			if lastErr != nil {
+				err = lastErr
+			}
+			return zero, err
+		}
+		res, err := attemptCall(ctx, r, m, op, idempotent, attempt, fn)
+		if err == nil {
+			return res, nil
+		}
+		if !IsUnavailable(err) {
+			return zero, err // domain error: the shard answered
+		}
+		r.metrics.noteError(m.label, op)
+		lastErr = err
+		if !idempotent || attempt >= r.cfg.Retries || ctx.Err() != nil {
+			return zero, lastErr
+		}
+		r.metrics.noteRetry(m.label, op)
+		select {
+		case <-time.After(r.backoff(attempt)):
+		case <-ctx.Done():
+			return zero, lastErr
+		}
+	}
+}
+
+// attemptCall runs one logical attempt against one shard, hedging idempotent
+// reads with a second physical attempt once the hedge delay elapses. The
+// first success (or first domain answer) wins; an unavailable primary waits
+// for an in-flight hedge before giving up. Breaker outcomes are recorded
+// only for physical attempts whose result was observed — a hedge loser
+// cancelled after the winner returned counts for nothing.
+func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, op string, idempotent bool, attempt int, fn func(context.Context) (T, error)) (T, error) {
+	var zero T
+	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	type outcome struct {
+		res     T
+		err     error
+		hedge   bool
+		elapsed time.Duration
+	}
+	ch := make(chan outcome, 2)
+	reqID := resilience.RequestID(ctx)
+	launch := func(hedge bool) {
+		r.metrics.noteRequest(m.label, op)
+		go func() {
+			start := time.Now()
+			res, err := fn(actx)
+			elapsed := time.Since(start)
+			if err != nil && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+				// The per-attempt deadline fired (not the caller's): an
+				// infrastructure timeout, retryable and breaker-relevant.
+				err = fmt.Errorf("%w: attempt timed out after %v", ErrUnavailable, r.cfg.Timeout)
+			}
+			ch <- outcome{res: res, err: err, hedge: hedge, elapsed: elapsed}
+		}()
+	}
+	launch(false)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if delay, ok := r.hedgeDelay(m, idempotent); ok {
+		hedgeTimer = time.NewTimer(delay)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	outstanding, hedged := 1, false
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case o := <-ch:
+			outstanding--
+			logAttempt(r, m, op, reqID, attempt, o.hedge, o.elapsed, o.err)
+			switch {
+			case o.err == nil:
+				m.breaker.Record(true)
+				m.lat.add(o.elapsed)
+				if o.hedge {
+					r.metrics.noteHedgeWin(m.label, op)
+				}
+				return o.res, nil
+			case IsUnavailable(o.err):
+				m.breaker.Record(false)
+				if firstErr == nil {
+					firstErr = o.err
+				}
+				// Keep waiting: an in-flight hedge may still succeed.
+			case errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded):
+				// The caller's context ended; not the shard's fault.
+				if firstErr == nil {
+					firstErr = o.err
+				}
+			default:
+				m.breaker.Record(true) // domain answer from a healthy shard
+				return zero, o.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if outstanding == 1 && !hedged && ctx.Err() == nil {
+				hedged = true
+				outstanding++
+				r.metrics.noteHedge(m.label, op)
+				launch(true)
+			}
+		}
+	}
+	return zero, firstErr
+}
+
+// logAttempt emits the per-attempt trace line: request id + shard id make a
+// scatter-gathered query reconstructable from the logs alone.
+func logAttempt(r *Router, m *managedShard, op, reqID string, attempt int, hedge bool, elapsed time.Duration, err error) {
+	level := slog.LevelDebug
+	attrs := []slog.Attr{
+		slog.String("request_id", reqID),
+		slog.Int("shard", m.id),
+		slog.String("op", op),
+		slog.Int("attempt", attempt),
+		slog.Bool("hedge", hedge),
+		slog.Duration("elapsed", elapsed),
+	}
+	if err != nil && IsUnavailable(err) {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.Any("error", err))
+	}
+	r.logger.LogAttrs(context.Background(), level, "shard call", attrs...)
+}
+
+// hedgeDelay resolves the hedged-read delay for one shard, or ok=false when
+// hedging is off (writes, negative HedgeAfter).
+func (r *Router) hedgeDelay(m *managedShard, idempotent bool) (time.Duration, bool) {
+	if !idempotent || r.cfg.HedgeAfter < 0 {
+		return 0, false
+	}
+	if r.cfg.HedgeAfter > 0 {
+		return r.cfg.HedgeAfter, true
+	}
+	d, ok := m.lat.p95()
+	if !ok {
+		// Too few samples to know the shard's latency shape yet; hedge
+		// late enough to be harmless.
+		return r.cfg.Timeout / 2, true
+	}
+	if d < r.cfg.HedgeMin {
+		d = r.cfg.HedgeMin
+	}
+	if ceil := r.cfg.Timeout / 2; d > ceil {
+		d = ceil
+	}
+	return d, true
+}
+
+// backoff draws the full-jitter sleep before retry attempt+1: uniform in
+// [0, RetryBase<<attempt), capped at RetryMax.
+func (r *Router) backoff(attempt int) time.Duration {
+	d := r.cfg.RetryBase << uint(attempt)
+	if d > r.cfg.RetryMax {
+		d = r.cfg.RetryMax
+	}
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(d) + 1))
+}
+
+func (r *Router) observeFanout(op string, start time.Time) {
+	if r.metrics != nil {
+		r.metrics.fanout.With(op).ObserveSince(start)
+	}
+}
+
+// latencyWindow keeps the most recent successful attempt latencies of one
+// shard so the adaptive hedge delay can track its p95.
+type latencyWindow struct {
+	mu     sync.Mutex
+	ring   []time.Duration
+	idx    int
+	filled int
+}
+
+// minHedgeSamples gates the adaptive hedge: below this many observations the
+// p95 estimate is too noisy to aim a hedge at.
+const minHedgeSamples = 16
+
+func newLatencyWindow(size int) *latencyWindow {
+	return &latencyWindow{ring: make([]time.Duration, size)}
+}
+
+func (w *latencyWindow) add(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ring[w.idx] = d
+	w.idx = (w.idx + 1) % len(w.ring)
+	if w.filled < len(w.ring) {
+		w.filled++
+	}
+}
+
+func (w *latencyWindow) p95() (time.Duration, bool) {
+	w.mu.Lock()
+	if w.filled < minHedgeSamples {
+		w.mu.Unlock()
+		return 0, false
+	}
+	tmp := make([]time.Duration, w.filled)
+	copy(tmp, w.ring[:w.filled])
+	w.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[(len(tmp)*95)/100], true
+}

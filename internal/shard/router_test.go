@@ -1,0 +1,470 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ssflp/internal/telemetry"
+)
+
+// stubShard is a scriptable in-memory Client. Function fields receive the
+// 1-based per-method call number so scripts can fail-then-recover.
+type stubShard struct {
+	mu     sync.Mutex
+	calls  map[string]int
+	edges  [][]Edge
+	score  func(call int, u, v string) (ScoreResult, error)
+	top    func(call int, n int) (TopResult, error)
+	batch  func(call int, pairs [][2]string) ([]ScoreResult, error)
+	ingest func(call int, edges []Edge) (IngestResult, error)
+}
+
+func newStub() *stubShard { return &stubShard{calls: map[string]int{}} }
+
+func (s *stubShard) count(op string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls[op]++
+	return s.calls[op]
+}
+
+func (s *stubShard) callCount(op string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[op]
+}
+
+func (s *stubShard) Score(_ context.Context, u, v string) (ScoreResult, error) {
+	n := s.count("score")
+	if s.score != nil {
+		return s.score(n, u, v)
+	}
+	return ScoreResult{U: u, V: v, Score: 0.5}, nil
+}
+
+func (s *stubShard) Top(_ context.Context, n int) (TopResult, error) {
+	c := s.count("top")
+	if s.top != nil {
+		return s.top(c, n)
+	}
+	return TopResult{}, nil
+}
+
+func (s *stubShard) Batch(_ context.Context, pairs [][2]string) ([]ScoreResult, error) {
+	c := s.count("batch")
+	if s.batch != nil {
+		return s.batch(c, pairs)
+	}
+	out := make([]ScoreResult, len(pairs))
+	for i, p := range pairs {
+		out[i] = ScoreResult{U: p[0], V: p[1], Score: 0.1}
+	}
+	return out, nil
+}
+
+func (s *stubShard) Ingest(_ context.Context, edges []Edge) (IngestResult, error) {
+	c := s.count("ingest")
+	s.mu.Lock()
+	s.edges = append(s.edges, edges)
+	s.mu.Unlock()
+	if s.ingest != nil {
+		return s.ingest(c, edges)
+	}
+	return IngestResult{Applied: len(edges), Durable: true, Epoch: 2}, nil
+}
+
+func (s *stubShard) Health(context.Context) (HealthInfo, error) {
+	s.count("health")
+	return HealthInfo{Ready: true, Epoch: 1, Nodes: 4, Links: 3}, nil
+}
+
+// failTop scripts a permanently unavailable Top.
+func failTop(int, int) (TopResult, error) {
+	return TopResult{}, Unavailable(errors.New("injected"))
+}
+
+// testConfig keeps tests deterministic: no hedging, no retries unless the
+// test opts in, tiny backoff.
+func testConfig() Config {
+	return Config{
+		Timeout:    time.Second,
+		Retries:    -1,
+		RetryBase:  time.Millisecond,
+		RetryMax:   2 * time.Millisecond,
+		HedgeAfter: -1,
+		Breaker:    BreakerConfig{Window: 100, MinRequests: 99, FailureRate: 1},
+	}
+}
+
+func stubs(n int) ([]*stubShard, []Client) {
+	ss := make([]*stubShard, n)
+	cs := make([]Client, n)
+	for i := range ss {
+		ss[i] = newStub()
+		cs[i] = ss[i]
+	}
+	return ss, cs
+}
+
+func TestRouterScoreRoutesToPairOwner(t *testing.T) {
+	ss, cs := stubs(3)
+	r := NewRouter(cs, testConfig())
+	res, err := r.Score(context.Background(), "alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != "alpha" || res.Score != 0.5 {
+		t.Fatalf("res = %+v", res)
+	}
+	owner := PairOwner("alpha", "beta", 3)
+	for i, s := range ss {
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if got := s.callCount("score"); got != want {
+			t.Errorf("shard %d score calls = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRouterScoreUnavailableOwner(t *testing.T) {
+	ss, cs := stubs(2)
+	owner := PairOwner("a", "b", 2)
+	ss[owner].score = func(int, string, string) (ScoreResult, error) {
+		return ScoreResult{}, Unavailable(errors.New("down"))
+	}
+	cfg := testConfig()
+	cfg.Retries = 2
+	r := NewRouter(cs, cfg)
+	_, err := r.Score(context.Background(), "a", "b")
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+	if got := ss[owner].callCount("score"); got != 3 {
+		t.Fatalf("owner attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+	if got := ss[1-owner].callCount("score"); got != 0 {
+		t.Fatalf("non-owner called %d times", got)
+	}
+}
+
+func TestRouterScoreRetryRecovers(t *testing.T) {
+	ss, cs := stubs(2)
+	owner := PairOwner("a", "b", 2)
+	ss[owner].score = func(call int, u, v string) (ScoreResult, error) {
+		if call == 1 {
+			return ScoreResult{}, Unavailable(errors.New("blip"))
+		}
+		return ScoreResult{U: u, V: v, Score: 0.9}, nil
+	}
+	cfg := testConfig()
+	cfg.Retries = 1
+	r := NewRouter(cs, cfg)
+	res, err := r.Score(context.Background(), "a", "b")
+	if err != nil || res.Score != 0.9 {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+}
+
+func TestRouterScoreDomainErrorNotRetried(t *testing.T) {
+	ss, cs := stubs(2)
+	owner := PairOwner("a", "b", 2)
+	ss[owner].score = func(int, string, string) (ScoreResult, error) {
+		return ScoreResult{}, fmt.Errorf("%w: zzz", ErrNotFound)
+	}
+	cfg := testConfig()
+	cfg.Retries = 3
+	r := NewRouter(cs, cfg)
+	_, err := r.Score(context.Background(), "a", "b")
+	if !errors.Is(err, ErrNotFound) || IsUnavailable(err) {
+		t.Fatalf("err = %v, want ErrNotFound and not unavailable", err)
+	}
+	if got := ss[owner].callCount("score"); got != 1 {
+		t.Fatalf("domain error retried: %d attempts", got)
+	}
+}
+
+func TestRouterTopMergesAndDedupes(t *testing.T) {
+	ss, cs := stubs(3)
+	ss[0].top = func(int, int) (TopResult, error) {
+		return TopResult{Candidates: []Candidate{{U: "a", V: "b", Score: 0.9}, {U: "c", V: "d", Score: 0.5}}}, nil
+	}
+	ss[1].top = func(int, int) (TopResult, error) {
+		// Same pair reversed, lower score: must collapse keeping 0.9.
+		return TopResult{Candidates: []Candidate{{U: "b", V: "a", Score: 0.7}, {U: "e", V: "f", Score: 0.8}}}, nil
+	}
+	ss[2].top = func(int, int) (TopResult, error) {
+		return TopResult{Sampled: true}, nil
+	}
+	r := NewRouter(cs, testConfig())
+	g, err := r.Top(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Missing) != 0 {
+		t.Fatalf("missing = %v", g.Missing)
+	}
+	if !g.Sampled {
+		t.Error("sampled flag lost in merge")
+	}
+	if len(g.Candidates) != 2 ||
+		g.Candidates[0] != (Candidate{U: "a", V: "b", Score: 0.9}) ||
+		g.Candidates[1] != (Candidate{U: "e", V: "f", Score: 0.8}) {
+		t.Fatalf("candidates = %+v", g.Candidates)
+	}
+}
+
+func TestRouterTopDegradesOnDeadShard(t *testing.T) {
+	ss, cs := stubs(3)
+	ss[0].top = func(int, int) (TopResult, error) {
+		return TopResult{Candidates: []Candidate{{U: "a", V: "b", Score: 0.9}}}, nil
+	}
+	ss[1].top = failTop
+	ss[2].top = func(int, int) (TopResult, error) {
+		return TopResult{Candidates: []Candidate{{U: "c", V: "d", Score: 0.4}}}, nil
+	}
+	r := NewRouter(cs, testConfig())
+	g, err := r.Top(context.Background(), 10)
+	if err != nil {
+		t.Fatalf("degraded top must not error: %v", err)
+	}
+	if len(g.Missing) != 1 || g.Missing[0] != 1 {
+		t.Fatalf("missing = %v, want [1]", g.Missing)
+	}
+	if len(g.Candidates) != 2 {
+		t.Fatalf("candidates = %+v", g.Candidates)
+	}
+}
+
+func TestRouterTopAllShardsDead(t *testing.T) {
+	_, cs := stubs(2)
+	for _, c := range cs {
+		c.(*stubShard).top = failTop
+	}
+	r := NewRouter(cs, testConfig())
+	g, err := r.Top(context.Background(), 5)
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+	if len(g.Missing) != 2 {
+		t.Fatalf("missing = %v", g.Missing)
+	}
+}
+
+func TestRouterBatchDegradesPerShard(t *testing.T) {
+	ss, cs := stubs(2)
+	// Find one pair per owner so both shards are involved.
+	pairA, pairB := findPairForOwner(t, 0, 2), findPairForOwner(t, 1, 2)
+	ss[1].batch = func(int, [][2]string) ([]ScoreResult, error) {
+		return nil, Unavailable(errors.New("down"))
+	}
+	r := NewRouter(cs, testConfig())
+	g, err := r.Batch(context.Background(), [][2]string{pairA, pairB})
+	if err != nil {
+		t.Fatalf("partially degraded batch must not error: %v", err)
+	}
+	if len(g.Missing) != 1 || g.Missing[0] != 1 {
+		t.Fatalf("missing = %v, want [1]", g.Missing)
+	}
+	if !g.Results[0].OK || g.Results[0].Score != 0.1 {
+		t.Fatalf("live pair = %+v", g.Results[0])
+	}
+	if g.Results[1].OK || g.Results[1].Err == "" {
+		t.Fatalf("dead pair = %+v", g.Results[1])
+	}
+}
+
+func TestRouterBatchDomainErrorFailsRequest(t *testing.T) {
+	_, cs := stubs(1)
+	cs[0].(*stubShard).batch = func(int, [][2]string) ([]ScoreResult, error) {
+		return nil, fmt.Errorf("%w: nope", ErrNotFound)
+	}
+	r := NewRouter(cs, testConfig())
+	_, err := r.Batch(context.Background(), [][2]string{{"a", "b"}})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+// findPairForOwner returns a pair served by the wanted shard.
+func findPairForOwner(t *testing.T, owner, n int) [2]string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		u, v := fmt.Sprintf("u%d", i), fmt.Sprintf("v%d", i)
+		if PairOwner(u, v, n) == owner {
+			return [2]string{u, v}
+		}
+	}
+	t.Fatal("no pair found for owner")
+	return [2]string{}
+}
+
+// findLabelForOwner returns a label owned by the wanted shard.
+func findLabelForOwner(t *testing.T, owner, n int) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		l := fmt.Sprintf("n%d", i)
+		if Owner(l, n) == owner {
+			return l
+		}
+	}
+	t.Fatal("no label found for owner")
+	return ""
+}
+
+func TestRouterIngestDualWritesCrossShardEdges(t *testing.T) {
+	ss, cs := stubs(2)
+	r := NewRouter(cs, testConfig())
+	same := Edge{U: findLabelForOwner(t, 0, 2), V: findLabelForOwner(t, 0, 2) + "x"}
+	// Force the second endpoint onto shard 0 too.
+	for Owner(same.V, 2) != 0 {
+		same.V += "x"
+	}
+	cross := Edge{U: findLabelForOwner(t, 0, 2), V: findLabelForOwner(t, 1, 2)}
+	g, err := r.Ingest(context.Background(), []Edge{same, cross})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Applied != 2 || g.DualWrites != 1 || !g.Durable {
+		t.Fatalf("gather = %+v", g)
+	}
+	if got := len(ss[0].edges); got != 1 || len(ss[0].edges[0]) != 2 {
+		t.Fatalf("shard 0 writes = %+v", ss[0].edges)
+	}
+	if got := len(ss[1].edges); got != 1 || len(ss[1].edges[0]) != 1 || ss[1].edges[0][0] != cross {
+		t.Fatalf("shard 1 writes = %+v", ss[1].edges)
+	}
+}
+
+func TestRouterIngestFailureNotRetriedAndReported(t *testing.T) {
+	ss, cs := stubs(2)
+	ss[1].ingest = func(int, []Edge) (IngestResult, error) {
+		return IngestResult{}, Unavailable(errors.New("wal full"))
+	}
+	cfg := testConfig()
+	cfg.Retries = 5 // must not apply to writes
+	r := NewRouter(cs, cfg)
+	cross := Edge{U: findLabelForOwner(t, 0, 2), V: findLabelForOwner(t, 1, 2)}
+	g, err := r.Ingest(context.Background(), []Edge{cross})
+	if !IsUnavailable(err) {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+	if len(g.Failed) != 1 || g.Failed[0] != 1 {
+		t.Fatalf("failed = %v, want [1]", g.Failed)
+	}
+	if got := ss[1].callCount("ingest"); got != 1 {
+		t.Fatalf("failed write attempted %d times, want 1 (no retries)", got)
+	}
+}
+
+func TestRouterHedgeWinsOverSlowPrimary(t *testing.T) {
+	ss, cs := stubs(1)
+	block := make(chan struct{})
+	ss[0].score = func(call int, u, v string) (ScoreResult, error) {
+		if call == 1 {
+			<-block // primary stalls until the test ends
+			return ScoreResult{}, Unavailable(errors.New("slow"))
+		}
+		return ScoreResult{U: u, V: v, Score: 0.7}, nil
+	}
+	defer close(block)
+	cfg := testConfig()
+	cfg.HedgeAfter = 5 * time.Millisecond
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = NewMetrics(reg)
+	r := NewRouter(cs, cfg)
+	start := time.Now()
+	res, err := r.Score(context.Background(), "a", "b")
+	if err != nil || res.Score != 0.7 {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("hedged read took %v, primary stall leaked through", elapsed)
+	}
+	if got := cfg.Metrics.hedges.With("0", "score").Value(); got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+	if got := cfg.Metrics.hedgeWins.With("0", "score").Value(); got != 1 {
+		t.Fatalf("hedge wins = %d, want 1", got)
+	}
+}
+
+func TestRouterBreakerOpensThenRecovers(t *testing.T) {
+	ss, cs := stubs(1)
+	clk := newFakeClock()
+	healthy := false
+	var mu sync.Mutex
+	ss[0].score = func(int, string, string) (ScoreResult, error) {
+		mu.Lock()
+		ok := healthy
+		mu.Unlock()
+		if !ok {
+			return ScoreResult{}, Unavailable(errors.New("down"))
+		}
+		return ScoreResult{Score: 1}, nil
+	}
+	cfg := testConfig()
+	cfg.Breaker = BreakerConfig{
+		Window: 4, MinRequests: 2, FailureRate: 0.5,
+		Cooldown: time.Second, Now: clk.Now,
+	}
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = NewMetrics(reg)
+	r := NewRouter(cs, cfg)
+	ctx := context.Background()
+
+	// Failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Score(ctx, "a", "b"); !IsUnavailable(err) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if st := r.BreakerState(0); st != StateOpen {
+		t.Fatalf("breaker = %v, want open", st)
+	}
+	// Open = fast-fail: the client is not called again.
+	before := ss[0].callCount("score")
+	if _, err := r.Score(ctx, "a", "b"); !IsUnavailable(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ss[0].callCount("score"); got != before {
+		t.Fatalf("open breaker still called the shard (%d -> %d)", before, got)
+	}
+	// Recovery: cooldown elapses, shard healthy, probe closes the breaker.
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	clk.Advance(time.Second)
+	if st := r.BreakerState(0); st != StateHalfOpen {
+		t.Fatalf("breaker = %v, want half-open after cooldown", st)
+	}
+	if res, err := r.Score(ctx, "a", "b"); err != nil || res.Score != 1 {
+		t.Fatalf("probe score = %+v, err = %v", res, err)
+	}
+	if st := r.BreakerState(0); st != StateClosed {
+		t.Fatalf("breaker = %v, want closed after probe success", st)
+	}
+	if got := cfg.Metrics.breakerGauge.With("0").Value(); got != float64(StateClosed) {
+		t.Fatalf("breaker gauge = %v", got)
+	}
+}
+
+func TestRouterHealthAnnotatesBreaker(t *testing.T) {
+	ss, cs := stubs(2)
+	_ = ss
+	r := NewRouter(cs, testConfig())
+	hs := r.Health(context.Background())
+	if len(hs) != 2 {
+		t.Fatalf("health = %+v", hs)
+	}
+	for i, h := range hs {
+		if h.ID != i || !h.Ready || h.Breaker != "closed" {
+			t.Fatalf("health[%d] = %+v", i, h)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package shard partitions the served graph across N shards and routes
+// queries to them with explicit partial-failure semantics. The moment there
+// is more than one shard, the dominant engineering problem is no longer
+// throughput but partial failure: a shard can be slow, flapping, or dead,
+// and the router must degrade gracefully instead of letting one bad shard
+// take the whole query path down.
+//
+// The package is transport-agnostic: Client is the per-shard contract
+// (in-process wrappers around the epoch server core and HTTPClient both
+// implement it), Router owns placement and fan-out, and the robustness layer
+// — per-shard attempt deadlines, retries with exponential backoff and full
+// jitter (idempotent reads only), hedged reads at the p95 latency mark, and
+// a per-shard circuit breaker — lives between them. FaultClient decorates
+// any Client with deterministic, seeded fault injection for tests and soaks.
+//
+// Ownership is by node-label hash: Owner(label, n) names the shard that owns
+// a node, PairOwner the shard that serves a pair. Ingest dual-writes edges
+// whose endpoints hash to different shards, so every shard holds all edges
+// incident to its owned nodes and the SSF extractor's h-hop neighborhoods
+// stay shard-local.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Edge is one edge arrival routed through the shard layer. A nil Ts means
+// "now" — note that in a sharded topology each owner resolves "now" against
+// its own graph, so cross-shard determinism needs explicit timestamps.
+type Edge struct {
+	U  string `json:"u"`
+	V  string `json:"v"`
+	Ts *int64 `json:"ts,omitempty"`
+}
+
+// ScoreResult is one scored pair as answered by a shard.
+type ScoreResult struct {
+	U         string  `json:"u"`
+	V         string  `json:"v"`
+	Score     float64 `json:"score"`
+	Predicted bool    `json:"predicted"`
+}
+
+// Candidate is one absent-link candidate from a shard's local top-N.
+type Candidate struct {
+	U     string  `json:"u"`
+	V     string  `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// TopResult is one shard's local answer to a top-N query.
+type TopResult struct {
+	Candidates []Candidate `json:"candidates"`
+	Sampled    bool        `json:"sampled"`
+}
+
+// IngestResult reports one shard's application of an ingest sub-batch.
+type IngestResult struct {
+	Applied int    `json:"applied"`
+	Durable bool   `json:"durable"`
+	Epoch   uint64 `json:"epoch"`
+	LSN     uint64 `json:"lsn,omitempty"`
+}
+
+// HealthInfo is one shard's health snapshot.
+type HealthInfo struct {
+	Ready bool   `json:"ready"`
+	Epoch uint64 `json:"epoch"`
+	Nodes int    `json:"nodes"`
+	Links int    `json:"links"`
+}
+
+// Client is the transport-agnostic contract one shard exposes to the router.
+// Implementations must honor context cancellation and deadlines on every
+// method and classify failures: transport faults, timeouts and shard-side
+// storage errors are reported via errors wrapping ErrUnavailable (the router
+// retries and breaks on those), while domain errors (unknown node, invalid
+// pair) are returned as-is and treated as healthy answers.
+type Client interface {
+	// Score answers one pair. The shard must own the pair per PairOwner.
+	Score(ctx context.Context, u, v string) (ScoreResult, error)
+	// Top returns the shard's local n best absent-link candidates.
+	Top(ctx context.Context, n int) (TopResult, error)
+	// Batch scores many pairs, preserving input order.
+	Batch(ctx context.Context, pairs [][2]string) ([]ScoreResult, error)
+	// Ingest applies edge arrivals. Not idempotent: the router never
+	// retries it, so implementations need no dedup.
+	Ingest(ctx context.Context, edges []Edge) (IngestResult, error)
+	// Health reports readiness and graph size.
+	Health(ctx context.Context) (HealthInfo, error)
+}
+
+// ErrUnavailable classifies a shard failure as infrastructure, not domain:
+// transport errors, timeouts, 5xx answers, open circuit breakers. Callers
+// test with IsUnavailable; the router retries idempotent reads on it and
+// feeds it to the breaker as a failure.
+var ErrUnavailable = errors.New("shard unavailable")
+
+// ErrNotFound classifies "unknown node" answers — a healthy shard answered,
+// the node just does not exist there.
+var ErrNotFound = errors.New("unknown node")
+
+// Unavailable wraps err so IsUnavailable reports true, preserving the cause
+// for errors.Is/As and logs.
+func Unavailable(err error) error {
+	if err == nil {
+		return ErrUnavailable
+	}
+	return fmt.Errorf("%w: %w", ErrUnavailable, err)
+}
+
+// IsUnavailable reports whether err is an infrastructure failure that the
+// router may retry (reads) and must count against the shard's breaker.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrUnavailable)
+}
+
+// Owner returns the shard (0..n-1) owning the node with the given label.
+// FNV-1a keeps placement stable across processes and languages; n must be
+// positive.
+func Owner(label string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return int(h.Sum64() % uint64(n))
+}
+
+// PairOwner returns the shard that serves queries for the pair (u, v). The
+// pair is anchored at its lexicographically smaller label so (u, v) and
+// (v, u) route identically; the owning shard holds every edge incident to
+// that anchor node thanks to ingest dual-writes.
+func PairOwner(u, v string, n int) int {
+	if v < u {
+		u = v
+	}
+	return Owner(u, n)
+}

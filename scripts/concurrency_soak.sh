@@ -5,22 +5,38 @@
 # reports, and a monotonically increasing epoch on /healthz. Reader latency
 # quantiles are printed so before/after runs can be compared by hand.
 #
+# A second, fault-injection leg then boots a 3-shard in-process topology
+# behind the scatter-gather router, flaps one shard via -shard-fault while
+# mixed load runs, and asserts the degradation contract: reads never see a
+# non-degraded 5xx (503 on the downed owner and 206 partial /top are the
+# contract; 500/502/504 fail the soak), every acknowledged ingest survives,
+# and the shard-1 circuit breaker is observed open during the flap and
+# closed again after recovery.
+#
 # Tunables (environment): ADDR, DURATION (seconds, default 30), READERS
-# (default 8). Run from the repository root; needs the Go toolchain and curl.
+# (default 8), REF_ADDR, FAULT_ADDR, FAULT_DURATION (seconds, default 25).
+# Run from the repository root; needs the Go toolchain and curl.
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:18090}"
 DURATION="${DURATION:-30}"
 READERS="${READERS:-8}"
+REF_ADDR="${REF_ADDR:-127.0.0.1:18091}"
+FAULT_ADDR="${FAULT_ADDR:-127.0.0.1:18092}"
+FAULT_DURATION="${FAULT_DURATION:-25}"
 WORKDIR="$(mktemp -d)"
 SERVER_PID=""
+REF_PID=""
+FSHARD_PID=""
 
 cleanup() {
-    touch "$WORKDIR/stop" 2>/dev/null || true
-    if [[ -n "$SERVER_PID" ]]; then
-        kill "$SERVER_PID" 2>/dev/null || true
-        wait "$SERVER_PID" 2>/dev/null || true
-    fi
+    touch "$WORKDIR/stop" "$WORKDIR/fstop" 2>/dev/null || true
+    for pid in "$SERVER_PID" "$REF_PID" "$FSHARD_PID"; do
+        if [[ -n "$pid" ]]; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$WORKDIR"
 }
 trap cleanup EXIT
@@ -171,3 +187,248 @@ if [[ "$fail" -ne 0 ]]; then
     exit 1
 fi
 echo "PASS: concurrency soak"
+
+# ---------------------------------------------------------------------------
+# Fault-injection leg: 3 in-process shards, shard 1 flapped on a schedule.
+# ---------------------------------------------------------------------------
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# CN needs no training, so both servers are ready within a second or two of
+# boot and the byte-identity pre-check comfortably finishes before the flap
+# schedule (down at t+10s for 6s, measured from router construction) begins.
+echo "==> [fault] booting unsharded reference on $REF_ADDR"
+"$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" -method CN -k 6 -maxpos 20 \
+    -addr "$REF_ADDR" -log-format json >"$WORKDIR/ref.log" 2>&1 &
+REF_PID=$!
+
+echo "==> [fault] booting 3-shard topology on $FAULT_ADDR (shard 1 down at t+10s for 6s)"
+GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" -method CN -k 6 -maxpos 20 \
+    -shards 3 -shard-fault "1:down_after=10s,down_for=6s" \
+    -shard-timeout 1s -shard-breaker-window 8 -shard-breaker-cooldown 1s \
+    -wal-dir "$WORKDIR/wal-sharded" \
+    -addr "$FAULT_ADDR" -log-format json >"$WORKDIR/sharded.log" 2>&1 &
+FSHARD_PID=$!
+
+wait_ready() {
+    local addr="$1" pid="$2" log="$3"
+    for _ in $(seq 1 120); do
+        if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "server on $addr died during startup:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 1
+    done
+    curl -fsS "http://$addr/readyz" >/dev/null
+}
+wait_ready "$REF_ADDR" "$REF_PID" "$WORKDIR/ref.log"
+wait_ready "$FAULT_ADDR" "$FSHARD_PID" "$WORKDIR/sharded.log"
+
+# With every shard holding the same base network and all three live, a
+# sharded /score must be byte-identical to the unsharded answer: the router
+# adds routing, not approximation.
+echo "==> [fault] pre-check: sharded /score byte-identical to unsharded reference"
+for u in 0 1 2 3 4 5 6 7; do
+    for v in 8 9 10 11 12 13 14 15; do
+        ref_body="$(curl -fsS "http://$REF_ADDR/score?u=$u&v=$v")"
+        sh_body="$(curl -fsS "http://$FAULT_ADDR/score?u=$u&v=$v")"
+        if [[ "$ref_body" != "$sh_body" ]]; then
+            echo "FAIL: sharded score differs for ($u,$v):" >&2
+            echo "  reference: $ref_body" >&2
+            echo "  sharded:   $sh_body" >&2
+            exit 1
+        fi
+    done
+done
+kill "$REF_PID" 2>/dev/null || true
+wait "$REF_PID" 2>/dev/null || true
+REF_PID=""
+
+breaker_state() {
+    curl -fsS "http://$FAULT_ADDR/metrics" 2>/dev/null |
+        sed -n 's/^ssf_shard_breaker_state{shard="1"} //p'
+}
+
+echo "==> [fault] soaking for ${FAULT_DURATION}s through the flap window"
+
+# Score reader: the downed owner answering a fast 503 + Retry-After is the
+# degradation contract; what must never appear is a 500/502 or a
+# timeout-length 504 stall once the breaker is open.
+fscore_reader() {
+    local out="$WORKDIR/freader$1.log"
+    while [[ ! -e "$WORKDIR/fstop" ]]; do
+        local u=$((RANDOM % 40)) v=$((RANDOM % 40))
+        [[ "$u" == "$v" ]] && continue
+        curl -s -o /dev/null -w '%{http_code} %{time_total}\n' \
+            "http://$FAULT_ADDR/score?u=$u&v=$v" >>"$out" || true
+    done
+}
+
+# Top reader: scatter-gather must keep answering while a shard is down —
+# 206 + shards_missing during the flap, 200 otherwise. The first 206 body
+# is kept so the degraded envelope itself can be asserted.
+ftop_reader() {
+    local out="$WORKDIR/ftop.log"
+    while [[ ! -e "$WORKDIR/fstop" ]]; do
+        local code body
+        body="$(mktemp "$WORKDIR/topbody.XXXXXX")"
+        code="$(curl -s -o "$body" -w '%{http_code}' "http://$FAULT_ADDR/top?n=5" || true)"
+        echo "$code" >>"$out"
+        if [[ "$code" == "206" && ! -e "$WORKDIR/degraded.json" ]]; then
+            cp "$body" "$WORKDIR/degraded.json" 2>/dev/null || true
+        fi
+        rm -f "$body"
+        sleep 0.1
+    done
+}
+
+# Writer: explicit timestamps keep replicated ingest deterministic; the line
+# format records which batches were acknowledged so ack-loss can be checked.
+fwriter() {
+    local i=0 out="$WORKDIR/fwriter.log"
+    while [[ ! -e "$WORKDIR/fstop" ]]; do
+        i=$((i + 1))
+        local body="[{\"u\":\"fault${i}a\",\"v\":\"$((i % 40))\",\"ts\":${i}},{\"u\":\"fault${i}a\",\"v\":\"fault${i}b\",\"ts\":${i}}]"
+        curl -s -o /dev/null -w "%{http_code} ${i}\n" -X POST -d "$body" \
+            "http://$FAULT_ADDR/ingest" >>"$out" || true
+        sleep 0.1
+    done
+}
+
+# Breaker watcher: samples the shard-1 breaker gauge so the open (2) ->
+# closed (0) arc is observable as a chronological sequence.
+fbreaker_watcher() {
+    local out="$WORKDIR/fbreaker.log"
+    while [[ ! -e "$WORKDIR/fstop" ]]; do
+        breaker_state >>"$out" || true
+        sleep 0.2
+    done
+}
+
+fpids=()
+for r in 1 2 3 4; do
+    fscore_reader "$r" &
+    fpids+=($!)
+done
+ftop_reader &
+fpids+=($!)
+fwriter &
+fpids+=($!)
+fbreaker_watcher &
+fpids+=($!)
+
+sleep "$FAULT_DURATION"
+touch "$WORKDIR/fstop"
+wait "${fpids[@]}" 2>/dev/null || true
+
+fail=0
+
+echo "==> [fault] checking: reads degraded, never broken"
+for f in "$WORKDIR"/freader*.log; do
+    if awk '$1 != 200 && $1 != 503 { exit 1 }' "$f"; then :; else
+        echo "FAIL: non-contract /score status in $f (only 200 and 503 allowed):" >&2
+        awk '$1 != 200 && $1 != 503' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+if awk '$1 != 200 && $1 != 206 { exit 1 }' "$WORKDIR/ftop.log"; then :; else
+    echo "FAIL: non-contract /top status (only 200 and 206 allowed):" >&2
+    sort "$WORKDIR/ftop.log" | uniq -c >&2
+    fail=1
+fi
+if ! grep -q '^206$' "$WORKDIR/ftop.log"; then
+    echo "FAIL: no degraded (206) /top observed during the flap window" >&2
+    fail=1
+fi
+if [[ -e "$WORKDIR/degraded.json" ]]; then
+    if ! grep -q '"shards_missing"' "$WORKDIR/degraded.json" ||
+        ! grep -q '"degraded":true' "$WORKDIR/degraded.json"; then
+        echo "FAIL: degraded /top body lacks shards_missing/degraded:" >&2
+        cat "$WORKDIR/degraded.json" >&2
+        fail=1
+    fi
+fi
+
+echo "==> [fault] checking: writes acknowledged or refused, nothing else"
+if awk '$1 != 200 && $1 != 503 { exit 1 }' "$WORKDIR/fwriter.log"; then :; else
+    echo "FAIL: non-contract /ingest status (only 200 and 503 allowed):" >&2
+    awk '$1 != 200 && $1 != 503' "$WORKDIR/fwriter.log" | sort | uniq -c >&2
+    fail=1
+fi
+
+echo "==> [fault] checking: breaker reopened and traffic recovered"
+recovered=0
+for _ in $(seq 1 40); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "http://$FAULT_ADDR/top?n=5" || true)"
+    state="$(breaker_state)"
+    if [[ "$code" == "200" && "$state" == "0" ]]; then
+        recovered=1
+        break
+    fi
+    sleep 0.5
+done
+if [[ "$recovered" -ne 1 ]]; then
+    echo "FAIL: /top still degraded or breaker not closed after the flap ended" >&2
+    echo "  last /top status: $code, breaker state: $(breaker_state)" >&2
+    fail=1
+fi
+if ! awk '$1 == 2 { seen = 1 } seen && $1 == 0 { ok = 1 } END { exit !ok }' "$WORKDIR/fbreaker.log"; then
+    echo "FAIL: breaker gauge never showed open (2) followed by closed (0):" >&2
+    sort "$WORKDIR/fbreaker.log" | uniq -c >&2
+    fail=1
+fi
+metrics="$(curl -fsS "http://$FAULT_ADDR/metrics" || true)"
+for to in open half-open; do
+    n="$(printf '%s\n' "$metrics" |
+        sed -n "s/^ssf_shard_breaker_transitions_total{shard=\"1\",to=\"$to\"} //p")"
+    if [[ -z "$n" || "$n" == "0" ]]; then
+        echo "FAIL: no breaker transition to $to recorded for shard 1" >&2
+        fail=1
+    fi
+done
+
+echo "==> [fault] checking: zero acknowledged-ingest loss"
+acked="$(awk '$1 == 200 { print $2 }' "$WORKDIR/fwriter.log")"
+acked_n="$(printf '%s\n' "$acked" | grep -c . || true)"
+if [[ "$acked_n" -lt 10 ]]; then
+    echo "FAIL: only $acked_n acknowledged ingests in ${FAULT_DURATION}s" >&2
+    fail=1
+fi
+for i in $acked; do
+    code="$(curl -s -o /dev/null -w '%{http_code}' \
+        "http://$FAULT_ADDR/score?u=fault${i}a&v=fault${i}b" || true)"
+    if [[ "$code" != "200" ]]; then
+        echo "FAIL: acknowledged ingest $i lost (score fault${i}a/fault${i}b = $code)" >&2
+        fail=1
+    fi
+done
+
+echo "==> [fault] checking: no race reports, server alive"
+if grep -q "DATA RACE" "$WORKDIR/sharded.log"; then
+    echo "FAIL: race detector fired in the sharded topology:" >&2
+    grep -A 20 "DATA RACE" "$WORKDIR/sharded.log" >&2
+    fail=1
+fi
+if ! kill -0 "$FSHARD_PID" 2>/dev/null; then
+    echo "FAIL: sharded server exited during the fault soak:" >&2
+    tail -50 "$WORKDIR/sharded.log" >&2
+    fail=1
+fi
+
+reads="$(cat "$WORKDIR"/freader*.log | wc -l)"
+degraded_tops="$(grep -c '^206$' "$WORKDIR/ftop.log" || true)"
+echo "    reads=$reads degraded_tops=$degraded_tops acked_writes=$acked_n"
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "FAIL: fault-injection soak" >&2
+    exit 1
+fi
+echo "PASS: fault-injection soak"
