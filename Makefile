@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check soak bench bench-all bench-check vet fmt experiments clean
+.PHONY: all build test race cover cover-check soak soak-repl bench bench-all bench-check vet fmt experiments clean
 
 # The hot-path microbenches tracked in BENCH_ssf.json: the four extraction
 # kernels plus the telemetry primitives they observe through.
@@ -33,6 +33,13 @@ cover-check:
 # Tune with DURATION=<seconds> READERS=<n>.
 soak:
 	./scripts/concurrency_soak.sh
+
+# Replication soak only: 1 leader + 2 WAL-shipped replicas, replica killed
+# and restarted mid-load, leader SIGKILLed at the end. Gates on zero failed
+# reads against the surviving replica, catch-up to the leader's durable LSN,
+# and byte-identical scores across the fleet. Tune with REPL_DURATION=<s>.
+soak-repl:
+	SOAK_ONLY=repl ./scripts/concurrency_soak.sh
 
 # Run the hot-path microbenches and refresh the committed regression record
 # (current section only; pass -rebase via BENCHDIFF_FLAGS to move the

@@ -32,6 +32,20 @@
 // valid snapshot plus the log tail. Without it, /ingest still works but the
 // edges die with the process.
 //
+// Replication roles (-role leader | replica) turn one durable instance into
+// a read-scaled group:
+//
+//	ssf-serve -file network.txt -method CN -wal-dir /var/lib/ssf/wal -role leader
+//	ssf-serve -file network.txt -method CN -role replica -leader-addr http://leader:8080
+//
+// A leader additionally serves GET /repl/stream (long-poll WAL shipping from
+// a given LSN) and GET /repl/snapshot (bootstrap image). A replica is
+// stateless: it bootstraps from the leader's newest snapshot (or the shared
+// -file base), tails the WAL, answers all read endpoints, and rejects
+// /ingest with 403. Its /readyz flips to 503 when it falls more than
+// -repl-lag-lsn records behind or has not heard from the leader within
+// -repl-lag-age; /healthz reports applied_lsn/durable_lsn for both roles.
+//
 // With -model the predictor is loaded from a snapshot produced by
 // Predictor.Save; otherwise it is trained at startup.
 //
@@ -55,6 +69,7 @@ import (
 
 	"ssflp"
 	"ssflp/internal/graph"
+	"ssflp/internal/replica"
 	"ssflp/internal/resilience"
 	"ssflp/internal/telemetry"
 	"ssflp/internal/wal"
@@ -67,7 +82,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ssf-serve", flag.ContinueOnError)
 	var (
 		file    = fs.String("file", "", "edge-list file (required)")
@@ -97,8 +112,13 @@ func run(args []string) error {
 		walSegBytes  = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 		snapEvery    = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (0 disables; needs -wal-dir)")
 
+		role       = fs.String("role", "", "replication role: leader | replica (empty = standalone)")
+		leaderAddr = fs.String("leader-addr", "", "leader base URL for -role replica, e.g. http://10.0.0.1:8080")
+		replLagLSN = fs.Uint64("repl-lag-lsn", replLagLSNDefault, "replica readiness budget: max LSN lag behind the leader before /readyz answers 503")
+		replLagAge = fs.Duration("repl-lag-age", replLagAgeDefault, "replica readiness budget: max silence since the last leader contact before /readyz answers 503 (0 disables)")
+
 		shards       = fs.Int("shards", 0, "run N in-process shards behind the scatter-gather router (0 = unsharded)")
-		shardPeers   = fs.String("shard-peers", "", "comma-separated base URLs of remote shard instances; enables the HTTP router front")
+		shardPeers   = fs.String("shard-peers", "", "comma-separated base URLs of remote shard instances; append |url replicas per shard (leader|replica1|replica2) to enable read failover; enables the HTTP router front")
 		shardTimeout = fs.Duration("shard-timeout", 2*time.Second, "per-shard attempt deadline inside the router")
 		shardRetries = fs.Int("shard-retries", 1, "retries for idempotent reads after a retryable shard failure (-1 disables)")
 		shardHedge   = fs.Duration("shard-hedge-after", 0, "hedged-read delay (0 = adaptive p95, negative disables)")
@@ -118,14 +138,38 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	switch *role {
+	case "":
+	case "leader":
+		if *walDir == "" {
+			return errors.New("-role leader requires -wal-dir (the WAL is what gets replicated)")
+		}
+	case "replica":
+		if *leaderAddr == "" {
+			return errors.New("-role replica requires -leader-addr")
+		}
+		if *walDir != "" {
+			return errors.New("-role replica is stateless: drop -wal-dir (it re-bootstraps from the leader)")
+		}
+		if *shards > 1 || *shardPeers != "" {
+			return errors.New("-role replica cannot be combined with -shards or -shard-peers")
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (want leader or replica)", *role)
+	}
+	if *leaderAddr != "" && *role != "replica" {
+		return errors.New("-leader-addr requires -role replica")
+	}
 	cfg := serverConfig{
 		File: *file, Method: *method, Model: *model,
 		K: *k, Epochs: *epochs, Seed: *seed, MaxPositives: *maxPos,
 		LenientLoad: *lenient,
 		WALDir:      *walDir, WALSync: *walSync, WALSyncEvery: *walSyncEvery,
 		WALSegmentBytes: *walSegBytes,
-		CacheSize:       *cacheSize,
-		Logger:          logger,
+		Role:            *role, LeaderAddr: *leaderAddr,
+		ReplLagLSN: *replLagLSN, ReplLagAge: *replLagAge,
+		CacheSize: *cacheSize,
+		Logger:    logger,
 		Limits: limitsConfig{
 			ScoreTimeout: *scoreTimeout, TopTimeout: *topTimeout,
 			BatchTimeout: *batchTimeout, IngestTimeout: *ingestTimeout,
@@ -165,7 +209,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer srv.close()
+	// A failed final snapshot or WAL close must surface as a non-zero exit:
+	// operators treat exit 0 as "durable state is consistent on disk".
+	defer func() {
+		if cerr := srv.close(); cerr != nil && err == nil {
+			err = fmt.Errorf("shutdown: %w", cerr)
+		}
+	}()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -187,6 +237,7 @@ func run(args []string) error {
 	if srv.wlog != nil && *snapEvery > 0 {
 		go snapshotLoop(ctx, srv, *snapEvery)
 	}
+	srv.startReplication(ctx)
 	stats := srv.cur.Load().snap.Stats
 	logger.Info("serving",
 		slog.String("method", srv.predictor.Method().String()),
@@ -276,6 +327,10 @@ type serverConfig struct {
 	WALSync             string // "always" | "interval" | "off" ("" = always)
 	WALSyncEvery        time.Duration
 	WALSegmentBytes     int64
+	Role                string // "" | "leader" | "replica"
+	LeaderAddr          string // leader base URL (Role == "replica")
+	ReplLagLSN          uint64 // replica readiness LSN budget (0 = default)
+	ReplLagAge          time.Duration
 	CacheSize           int          // 0 = DefaultCacheSize, negative disables
 	Logger              *slog.Logger // nil = discard (tests)
 	Limits              limitsConfig
@@ -409,6 +464,32 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, fmt.Errorf("bind predictor: %w", err)
 	}
 	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: applied})
+	switch cfg.Role {
+	case "leader":
+		s.replLeader = replica.NewLeader(wlog, cfg.WALDir, replica.LeaderConfig{
+			Metrics: replica.NewMetrics(reg),
+			Logger:  logger,
+		})
+	case "replica":
+		s.baseLoad = base
+		s.replLagLSN = cfg.ReplLagLSN
+		if s.replLagLSN == 0 {
+			s.replLagLSN = replLagLSNDefault
+		}
+		s.replLagAge = cfg.ReplLagAge
+		s.follower, err = replica.NewFollower(replica.FollowerConfig{
+			Leader:    cfg.LeaderAddr,
+			PollWait:  replPollWait(s.replLagAge),
+			Seed:      cfg.Seed,
+			Logger:    logger,
+			Metrics:   replica.NewMetrics(reg),
+			Bootstrap: s.replicaBootstrap,
+			Apply:     s.replicaApply,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replication follower: %w", err)
+		}
+	}
 	s.setReady(true)
 	return s, nil
 }

@@ -43,7 +43,7 @@ func metricsTestServer(t *testing.T, buf *bytes.Buffer) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(srv.close)
+	t.Cleanup(func() { srv.close() })
 	return srv
 }
 

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"ssflp"
+	"ssflp/internal/graph"
+	"ssflp/internal/wal"
+)
+
+// Replication readiness defaults: a replica stops answering ready when it is
+// more than replLagLSNDefault records behind the leader, or when the leader
+// has been silent longer than replLagAgeDefault (covering a dead leader or a
+// partitioned link, where the LSN lag alone would freeze at its last value).
+const (
+	replLagLSNDefault = 4096
+	replLagAgeDefault = 15 * time.Second
+)
+
+// replPollWait bounds the follower's long-poll budget by the leader-silence
+// readiness budget. Leader contact refreshes only when a poll completes, so
+// on an idle fleet a poll budget at or above the silence budget would flap
+// /readyz every quiet cycle; a third of the budget keeps the worst-case
+// contact age well inside it.
+func replPollWait(lagAge time.Duration) time.Duration {
+	const ceiling = 20 * time.Second
+	if lagAge <= 0 {
+		return ceiling // silence budget disabled
+	}
+	return min(max(lagAge/3, 100*time.Millisecond), ceiling)
+}
+
+// replicaBootstrap is the follower's Bootstrap callback: install a starting
+// state and report the log position it reflects. With a leader snapshot the
+// served network resumes from it; without one (the leader has not snapshotted
+// yet) the shared base edge-list file is reloaded and the whole log streams
+// from LSN 1. Runs on the follower goroutine, which is the builder's only
+// writer on a replica — readers always go through the published epoch.
+func (s *server) replicaBootstrap(snap *wal.Snapshot) (wal.LSN, error) {
+	prev := s.cur.Load()
+	var (
+		b   *graph.Builder
+		lsn wal.LSN
+		err error
+	)
+	if snap == nil {
+		b, err = s.baseLoad()
+	} else {
+		b, err = graph.ResumeBuilder(snap.Graph, snap.Labels)
+		lsn = snap.LSN
+	}
+	if err != nil {
+		return 0, err
+	}
+	gsnap := b.Snapshot(prev.snap.Epoch + 1)
+	binding, err := s.predictor.Bind(gsnap)
+	if err != nil {
+		return 0, fmt.Errorf("bind bootstrapped epoch: %w", err)
+	}
+	s.b = b
+	s.publish(&epochState{snap: gsnap, binding: binding, appliedLSN: lsn})
+	return lsn, nil
+}
+
+// replicaApply is the follower's Apply callback: fold one validated,
+// contiguous batch into the builder and publish the next epoch, exactly the
+// shape of the leader's ingest group commit — readers on the previous epoch
+// are never disturbed, and the swap is atomic.
+func (s *server) replicaApply(from wal.LSN, events []wal.Event) error {
+	prev := s.cur.Load()
+	for _, ev := range events {
+		if err := s.b.AddEdge(ev.U, ev.V, ssflp.Timestamp(ev.Ts)); err != nil {
+			// The leader validated these before appending; mirror recovery's
+			// skip-and-continue so one odd record cannot wedge replication.
+			s.slogger().Warn("replica apply skipped edge",
+				slog.String("u", ev.U), slog.String("v", ev.V), slog.Any("error", err))
+		}
+	}
+	snap := s.b.Snapshot(prev.snap.Epoch + 1)
+	binding, err := s.predictor.Bind(snap)
+	if err != nil {
+		s.slogger().Error("bind replicated epoch failed; keeping previous binding",
+			slog.Uint64("epoch", snap.Epoch), slog.Any("error", err))
+		binding = prev.binding
+	}
+	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: from + wal.LSN(len(events)) - 1})
+	return nil
+}
+
+// startReplication launches the follower pull loop; a no-op for non-replica
+// roles. The loop stops when ctx is cancelled (process shutdown).
+func (s *server) startReplication(ctx context.Context) {
+	if s.follower != nil {
+		go s.follower.Run(ctx)
+	}
+}
+
+// handleReplicaIngest answers POST /ingest on a replica: writes have exactly
+// one home, the leader.
+func (s *server) handleReplicaIngest(w http.ResponseWriter, _ *http.Request) {
+	errorJSON(w, http.StatusForbidden, "replica is read-only; send writes to the leader")
+}
+
+// replicationStatus summarizes the replica's pull loop for /healthz and
+// /readyz. The second return is a human-readable readiness violation, empty
+// while the replica is within its lag budgets.
+func (s *server) replicationStatus() (map[string]any, string) {
+	f := s.follower
+	lag := f.Lag()
+	last := f.LastContact()
+	out := map[string]any{
+		"role":        "replica",
+		"applied_lsn": f.AppliedLSN(),
+		"durable_lsn": f.DurableLSN(),
+		"lag_lsn":     lag,
+	}
+	var reason string
+	switch {
+	case last.IsZero():
+		reason = "replication not established: no leader contact yet"
+	case lag > s.replLagLSN:
+		reason = fmt.Sprintf("replication lag %d exceeds budget %d", lag, s.replLagLSN)
+	case s.replLagAge > 0 && time.Since(last) > s.replLagAge:
+		reason = fmt.Sprintf("leader silent for %s (budget %s)",
+			time.Since(last).Round(time.Second), s.replLagAge)
+	}
+	if !last.IsZero() {
+		out["last_contact_age_seconds"] = time.Since(last).Seconds()
+	}
+	return out, reason
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond for up to 10s; the replication loop has jittered
+// backoff so fixed sleeps would be flaky.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// newLeaderServer boots a -role leader server on a fresh WAL directory and
+// returns it with an httptest front.
+func newLeaderServer(t *testing.T, file string) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := walConfig(file, t.TempDir())
+	cfg.Role = "leader"
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.routes())
+	t.Cleanup(func() {
+		front.Close()
+		srv.close()
+	})
+	return srv, front
+}
+
+// newReplicaServer boots a -role replica server following leaderURL and
+// starts its pull loop.
+func newReplicaServer(t *testing.T, file, leaderURL string, lagLSN uint64, lagAge time.Duration) *server {
+	t.Helper()
+	srv, err := newServer(serverConfig{
+		File: file, Method: "CN", MaxPositives: 20, Seed: 1,
+		Role: "replica", LeaderAddr: leaderURL,
+		ReplLagLSN: lagLSN, ReplLagAge: lagAge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.startReplication(ctx)
+	t.Cleanup(func() {
+		cancel()
+		srv.close()
+	})
+	return srv
+}
+
+// TestReplicaFollowsLeaderEndToEnd is the whole tentpole in one loop: a
+// leader ingests durable edges, a stateless replica bootstraps and tails the
+// WAL, serves the same scores read-only, and reports its position on
+// /healthz.
+func TestReplicaFollowsLeaderEndToEnd(t *testing.T) {
+	file := writeTestNet(t)
+	leader, front := newLeaderServer(t, file)
+	lh := leader.routes()
+	replica := newReplicaServer(t, file, front.URL, 4096, time.Minute)
+	rh := replica.routes()
+
+	code, body := postJSON(t, lh, "/ingest", `[{"u":"r1","v":"r2","ts":9},{"u":"r2","v":"0"},{"u":"r1","v":"0"}]`)
+	if code != http.StatusOK || body["durable"] != true {
+		t.Fatalf("leader ingest = %d %v", code, body)
+	}
+	waitUntil(t, "replica catch-up", func() bool {
+		return replica.follower.AppliedLSN() == 3 && replica.follower.Lag() == 0
+	})
+
+	// Same graph ⇒ identical scores (CN is deterministic in the snapshot).
+	for _, pair := range [][2]string{{"r1", "r2"}, {"r2", "0"}, {"0", "1"}} {
+		path := fmt.Sprintf("/score?u=%s&v=%s", pair[0], pair[1])
+		lc, lb := getJSON(t, lh, path)
+		rc, rb := getJSON(t, rh, path)
+		if lc != http.StatusOK || rc != lc {
+			t.Fatalf("score %s: leader %d, replica %d (%v)", path, lc, rc, rb)
+		}
+		if lb["score"] != rb["score"] || lb["predicted"] != rb["predicted"] {
+			t.Errorf("score %s diverged: leader %v, replica %v", path, lb, rb)
+		}
+	}
+
+	// Writes have one home: the replica refuses them.
+	if code, body := postJSON(t, rh, "/ingest", `{"u":"x","v":"y"}`); code != http.StatusForbidden {
+		t.Fatalf("replica ingest = %d %v, want 403", code, body)
+	}
+
+	// Both roles expose their log positions.
+	if code, h := getJSON(t, lh, "/healthz"); code != http.StatusOK ||
+		h["role"] != "leader" || h["durable_lsn"].(float64) != 3 || h["applied_lsn"].(float64) != 3 {
+		t.Errorf("leader healthz = %d %v", code, h)
+	}
+	code, h := getJSON(t, rh, "/healthz")
+	if code != http.StatusOK || h["role"] != "replica" ||
+		h["applied_lsn"].(float64) != 3 || h["durable_lsn"].(float64) != 3 {
+		t.Errorf("replica healthz = %d %v", code, h)
+	}
+	repl, ok := h["replication"].(map[string]any)
+	if !ok || repl["lag_lsn"].(float64) != 0 {
+		t.Errorf("replica healthz replication = %v", h["replication"])
+	}
+	if code, _ := getJSON(t, rh, "/readyz"); code != http.StatusOK {
+		t.Errorf("caught-up replica readyz = %d, want 200", code)
+	}
+}
+
+// TestReplicaReadyzFlipsOnLeaderSilence drives the readiness state machine
+// without restarts: not ready before first contact, ready once tailing, not
+// ready again when the leader goes silent past the age budget, and ready
+// again as soon as contact resumes.
+func TestReplicaReadyzFlipsOnLeaderSilence(t *testing.T) {
+	file := writeTestNet(t)
+	leader, _ := newLeaderServer(t, file)
+	lh := leader.routes()
+
+	var silent atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if silent.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		lh.ServeHTTP(w, r)
+	}))
+	// Registered before the replica's cleanup so it runs after it: the
+	// follower's cancelled long-poll must release its connection first or
+	// Close stalls on the active stream.
+	t.Cleanup(proxy.Close)
+
+	silent.Store(true)
+	replica := newReplicaServer(t, file, proxy.URL, 4096, 300*time.Millisecond)
+	rh := replica.routes()
+	if code, body := getJSON(t, rh, "/readyz"); code != http.StatusServiceUnavailable ||
+		body["status"] != "not ready" {
+		t.Fatalf("pre-contact readyz = %d %v, want 503 not ready", code, body)
+	}
+
+	silent.Store(false)
+	waitUntil(t, "readyz after first contact", func() bool {
+		code, _ := getJSON(t, rh, "/readyz")
+		return code == http.StatusOK
+	})
+
+	silent.Store(true)
+	waitUntil(t, "readyz 503 on leader silence", func() bool {
+		code, _ := getJSON(t, rh, "/readyz")
+		return code == http.StatusServiceUnavailable
+	})
+
+	silent.Store(false)
+	// The follower may be parked in a long-poll it opened before the outage;
+	// an append wakes it immediately instead of waiting out the poll window.
+	if code, body := postJSON(t, lh, "/ingest", `{"u":"wake1","v":"wake2"}`); code != http.StatusOK {
+		t.Fatalf("wake ingest = %d %v", code, body)
+	}
+	waitUntil(t, "readyz recovery after contact resumes", func() bool {
+		code, _ := getJSON(t, rh, "/readyz")
+		return code == http.StatusOK
+	})
+}
+
+// TestReplicaBootstrapsFromLeaderSnapshot covers the other bootstrap arm: a
+// leader with a persisted snapshot hands the replica its image, so the
+// replica starts at the snapshot LSN instead of replaying from 1.
+func TestReplicaBootstrapsFromLeaderSnapshot(t *testing.T) {
+	file := writeTestNet(t)
+	leader, front := newLeaderServer(t, file)
+	lh := leader.routes()
+	if code, body := postJSON(t, lh, "/ingest", `[{"u":"s1","v":"s2"},{"u":"s2","v":"0"}]`); code != http.StatusOK {
+		t.Fatalf("ingest = %d %v", code, body)
+	}
+	if err := leader.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postJSON(t, lh, "/ingest", `{"u":"s1","v":"0"}`); code != http.StatusOK {
+		t.Fatalf("post-snapshot ingest = %d %v", code, body)
+	}
+
+	replica := newReplicaServer(t, file, front.URL, 4096, time.Minute)
+	waitUntil(t, "replica catch-up", func() bool {
+		return replica.follower.AppliedLSN() == 3
+	})
+	code, body := getJSON(t, replica.routes(), "/score?u=s1&v=s2")
+	if code != http.StatusOK {
+		t.Fatalf("replica score = %d %v (snapshot labels missing?)", code, body)
+	}
+}
+
+func TestRunRoleFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown role", []string{"-role", "bogus"}},
+		{"leader without wal", []string{"-role", "leader", "-file", "x"}},
+		{"replica without leader-addr", []string{"-role", "replica", "-file", "x"}},
+		{"replica with wal", []string{"-role", "replica", "-leader-addr", "http://l", "-wal-dir", "/tmp/w", "-file", "x"}},
+		{"replica with shards", []string{"-role", "replica", "-leader-addr", "http://l", "-shards", "2", "-file", "x"}},
+		{"leader-addr without replica role", []string{"-leader-addr", "http://l", "-file", "x"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Error("want a flag validation error")
+			}
+		})
+	}
+}

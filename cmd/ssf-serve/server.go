@@ -18,6 +18,7 @@ import (
 
 	"ssflp"
 	"ssflp/internal/graph"
+	"ssflp/internal/replica"
 	"ssflp/internal/resilience"
 	"ssflp/internal/shard"
 	"ssflp/internal/telemetry"
@@ -32,6 +33,12 @@ type epochState struct {
 	snap       *graph.Snapshot
 	binding    *ssflp.Binding
 	appliedLSN wal.LSN // last WAL position reflected in snap (0 without WAL)
+
+	// numericOnce/hasNumericLabel lazily answer "does any label in this
+	// epoch look like a numeric id?" — see lookup for why that disables
+	// raw-id addressing.
+	numericOnce     sync.Once
+	hasNumericLabel bool
 }
 
 // server holds the serving state. Since live ingestion landed, the network
@@ -67,6 +74,16 @@ type server struct {
 	wlog      *wal.Log // nil = no -wal-dir: ingest is memory-only
 	walDir    string
 	recovered *wal.RecoveredState // boot recovery report; nil when WAL disabled
+
+	// Replication role state. A leader additionally serves /repl/stream and
+	// /repl/snapshot off its WAL; a replica runs a follower pull loop instead
+	// of accepting writes, gates /readyz on its lag budgets, and keeps the
+	// base loader around for bootstraps when the leader has no snapshot yet.
+	replLeader *replica.Leader
+	follower   *replica.Follower
+	replLagLSN uint64        // readiness budget: max LSN lag
+	replLagAge time.Duration // readiness budget: max silence since leader contact
+	baseLoad   func() (*graph.Builder, error)
 
 	// scoreBatch is the scoring entry point for /score, /top and /batch: it
 	// receives the epoch the handler grabbed at request start and defaults
@@ -152,15 +169,36 @@ func (s *server) publish(st *epochState) {
 	}
 }
 
-// lookup resolves a node label (or numeric id) to its NodeID in this epoch.
+// lookup resolves a node label to its NodeID in this epoch. Bare numeric
+// ids are accepted as a fallback, but only on graphs whose labels are all
+// non-numeric: when numeric labels exist, interning order decouples a
+// label's value from its id, so raw-id addressing would silently alias a
+// token like "37" onto whichever node happens to hold id 37 (observed as
+// self-pair errors and wrong-node scores under live ingest).
 func (st *epochState) lookup(tok string) (ssflp.NodeID, bool) {
 	if id, ok := st.snap.Lookup(tok); ok {
 		return id, true
 	}
-	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < st.snap.Stats.NumNodes {
+	if id, err := strconv.Atoi(tok); err == nil && id >= 0 && id < st.snap.Stats.NumNodes &&
+		!st.numericLabels() {
 		return ssflp.NodeID(id), true
 	}
 	return 0, false
+}
+
+// numericLabels reports whether any label in this epoch parses as a
+// non-negative integer. Computed at most once per epoch, and only on the
+// first lookup that misses the label index.
+func (st *epochState) numericLabels() bool {
+	st.numericOnce.Do(func() {
+		for _, l := range st.snap.Labels {
+			if id, err := strconv.Atoi(l); err == nil && id >= 0 {
+				st.hasNumericLabel = true
+				return
+			}
+		}
+	})
+	return st.hasNumericLabel
 }
 
 // labelOf resolves a node id to its label in this epoch.
@@ -247,7 +285,20 @@ func (s *server) routes() http.Handler {
 	mux.Handle("GET /score", guarded("/score", s.handleScore, s.limits.ScoreTimeout))
 	mux.Handle("GET /top", guarded("/top", s.handleTop, s.limits.TopTimeout))
 	mux.Handle("POST /batch", guarded("/batch", s.handleBatch, s.limits.BatchTimeout))
-	mux.Handle("POST /ingest", guarded("/ingest", s.handleIngest, s.limits.IngestTimeout))
+	ingestH := s.handleIngest
+	if s.follower != nil {
+		// A replica has exactly one writer: its follower loop. Client writes
+		// belong on the leader.
+		ingestH = s.handleReplicaIngest
+	}
+	mux.Handle("POST /ingest", guarded("/ingest", ingestH, s.limits.IngestTimeout))
+	if s.replLeader != nil {
+		// Replication endpoints bypass admission control: followers long-poll
+		// here and must keep pulling even while scoring traffic saturates the
+		// limiter — replication lag must never be a function of read load.
+		mux.Handle("GET /repl/stream", unguarded("/repl/stream", s.replLeader.HandleStream))
+		mux.Handle("GET /repl/snapshot", unguarded("/repl/snapshot", s.replLeader.HandleSnapshot))
+	}
 	return mux
 }
 
@@ -295,6 +346,18 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.wlog != nil {
 		out["appliedLSN"] = st.appliedLSN
+		out["applied_lsn"] = st.appliedLSN
+		out["durable_lsn"] = s.wlog.LastLSN()
+		if s.replLeader != nil {
+			out["role"] = "leader"
+		}
+	}
+	if s.follower != nil {
+		repl, _ := s.replicationStatus()
+		out["role"] = "replica"
+		out["applied_lsn"] = repl["applied_lsn"]
+		out["durable_lsn"] = repl["durable_lsn"]
+		out["replication"] = repl
 	}
 	if cs, ok := s.predictor.CacheStats(); ok {
 		out["extractionCache"] = cs
@@ -319,6 +382,26 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	st := s.state()
 	out := map[string]any{"status": "ready", "epoch": st.snap.Epoch}
+	if s.follower != nil {
+		// A replica is ready only while inside its lag budgets: a stale copy
+		// must drop out of the load balancer instead of serving old scores —
+		// and come back by itself once it catches up, no restart needed.
+		repl, violation := s.replicationStatus()
+		out["replication"] = repl
+		if violation != "" {
+			out["status"] = "not ready"
+			out["error"] = violation
+			writeJSON(w, http.StatusServiceUnavailable, out)
+			return
+		}
+	}
+	if s.replLeader != nil {
+		out["replication"] = map[string]any{
+			"role":        "leader",
+			"applied_lsn": st.appliedLSN,
+			"durable_lsn": s.wlog.LastLSN(),
+		}
+	}
 	if s.wlog == nil {
 		out["wal"] = map[string]any{"enabled": false}
 	} else {
@@ -839,15 +922,23 @@ func (s *server) writeSnapshotLocked(snap *wal.Snapshot) error {
 }
 
 // close flushes a final snapshot and closes the WAL; called once serving has
-// stopped.
-func (s *server) close() {
+// stopped. A failure here means durability could not be sealed — the caller
+// must surface it as a non-zero exit so supervisors notice, not bury it in a
+// log line.
+func (s *server) close() error {
 	if s.wlog == nil {
-		return
+		return nil
 	}
+	var firstErr error
 	if err := s.writeSnapshot(); err != nil {
 		s.slogger().Error("final snapshot failed", slog.Any("error", err))
+		firstErr = fmt.Errorf("final snapshot: %w", err)
 	}
 	if err := s.wlog.Close(); err != nil {
 		s.slogger().Error("wal close failed", slog.Any("error", err))
+		if firstErr == nil {
+			firstErr = fmt.Errorf("wal close: %w", err)
+		}
 	}
+	return firstErr
 }

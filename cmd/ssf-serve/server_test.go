@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ssflp"
+	"ssflp/internal/graph"
 )
 
 // testServer trains a CN predictor on a small synthetic network.
@@ -56,6 +58,39 @@ func getJSON(t *testing.T, h http.Handler, url string) (int, map[string]any) {
 		t.Fatalf("non-JSON response %q: %v", rec.Body.String(), err)
 	}
 	return rec.Code, body
+}
+
+// TestLookupNumericAliasGuard pins the raw-id fallback rule: on a graph
+// with numeric labels, a numeric token that is not a label must NOT resolve
+// to the node that happens to hold that id (interning order decouples label
+// values from ids), while graphs with purely non-numeric labels keep raw-id
+// addressing.
+func TestLookupNumericAliasGuard(t *testing.T) {
+	b := graph.NewBuilder()
+	// Interning order: "19" -> id 0, "3" -> id 1, "7" -> id 2.
+	b.AddEdge("19", "3", 1)
+	b.AddEdge("7", "3", 2)
+	st := &epochState{snap: b.Snapshot(1)}
+	if id, ok := st.lookup("19"); !ok || id != 0 {
+		t.Fatalf(`lookup("19") = %d, %v; want label hit on id 0`, id, ok)
+	}
+	// "0", "1", "2" are valid ids but not labels; resolving them would alias
+	// onto nodes labeled "19"/"3"/"7".
+	for _, tok := range []string{"0", "1", "2"} {
+		if id, ok := st.lookup(tok); ok {
+			t.Errorf("lookup(%q) = %d, want miss (numeric labels disable raw ids)", tok, id)
+		}
+	}
+
+	nb := graph.NewBuilder()
+	nb.AddEdge("alpha", "beta", 1)
+	nst := &epochState{snap: nb.Snapshot(1)}
+	if id, ok := nst.lookup("1"); !ok || id != 1 {
+		t.Fatalf(`lookup("1") on non-numeric labels = %d, %v; want raw id 1`, id, ok)
+	}
+	if _, ok := nst.lookup("5"); ok {
+		t.Error(`lookup("5") resolved past the node count`)
+	}
 }
 
 func TestHealthEndpoint(t *testing.T) {
@@ -231,5 +266,30 @@ func TestBatchEndpointErrors(t *testing.T) {
 	}
 	if code, _ := postJSON(t, h, "/batch", `[{"u":"0","v":"zzz"}]`); code != http.StatusNotFound {
 		t.Errorf("unknown node status = %d", code)
+	}
+}
+
+// TestReplPollWait pins the poll budget below the leader-silence readiness
+// budget: an idle replica's contact age peaks at roughly one poll cycle, so
+// a poll at or above the budget would flap /readyz on every quiet cycle.
+func TestReplPollWait(t *testing.T) {
+	cases := []struct {
+		lagAge, want time.Duration
+	}{
+		{0, 20 * time.Second},               // budget disabled: default polling
+		{15 * time.Second, 5 * time.Second}, // default budget: a third
+		{300 * time.Millisecond, 100 * time.Millisecond},
+		{90 * time.Millisecond, 100 * time.Millisecond}, // floor
+		{10 * time.Minute, 20 * time.Second},            // ceiling
+	}
+	for _, c := range cases {
+		if got := replPollWait(c.lagAge); got != c.want {
+			t.Errorf("replPollWait(%v) = %v, want %v", c.lagAge, got, c.want)
+		}
+		if c.lagAge > 0 {
+			if got := replPollWait(c.lagAge); got >= c.lagAge && c.lagAge >= 300*time.Millisecond {
+				t.Errorf("replPollWait(%v) = %v, not inside the silence budget", c.lagAge, got)
+			}
+		}
 	}
 }

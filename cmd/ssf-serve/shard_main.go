@@ -129,7 +129,9 @@ func buildLocalSharded(n int, cfg serverConfig, opts shardedOptions, logger *slo
 	servers := make([]*server, 0, n)
 	closeAll := func() {
 		for _, s := range servers {
-			s.close()
+			if err := s.close(); err != nil {
+				logger.Error("shard close failed", slog.Any("error", err))
+			}
 		}
 	}
 	clients := make([]shard.Client, n)
@@ -160,23 +162,74 @@ func buildLocalSharded(n int, cfg serverConfig, opts shardedOptions, logger *slo
 	return newRouterServer(router, cfg.Limits, reg, logger), servers, nil
 }
 
-// buildHTTPSharded fronts remote ssf-serve instances (one per peer URL) with
-// the scatter-gather router. Peer order defines shard identity: every router
-// must list the same peers in the same order or placement disagrees.
-func buildHTTPSharded(peers []string, limits limitsConfig, opts shardedOptions, logger *slog.Logger) (*routerServer, error) {
-	clients := make([]shard.Client, len(peers))
-	for i, p := range peers {
-		hc, err := shard.NewHTTPClient(p, nil)
+// buildHTTPSharded fronts remote ssf-serve instances with the scatter-gather
+// router. Each peer set is "leader|replica|replica..." — the first URL is the
+// shard's write endpoint, any others are read replicas the router fails over
+// to when the leader's breaker opens. Peer-set order defines shard identity:
+// every router must list the same sets in the same order or placement
+// disagrees.
+func buildHTTPSharded(peerSets [][]string, limits limitsConfig, opts shardedOptions, logger *slog.Logger) (*routerServer, error) {
+	n := len(peerSets)
+	newClient := func(url string, i int) (*shard.HTTPClient, error) {
+		hc, err := shard.NewHTTPClient(url, nil)
 		if err != nil {
 			return nil, err
 		}
-		hc.TopIndex, hc.TopCount = i, len(peers)
+		hc.TopIndex, hc.TopCount = i, n
+		return hc, nil
+	}
+	clients := make([]shard.Client, n)
+	replicas := make([][]shard.Client, n)
+	for i, set := range peerSets {
+		hc, err := newClient(set[0], i)
+		if err != nil {
+			return nil, err
+		}
 		clients[i] = hc
+		for _, rurl := range set[1:] {
+			// Replicas serve the same shard, so they use the same top
+			// partition as their leader.
+			rc, err := newClient(rurl, i)
+			if err != nil {
+				return nil, err
+			}
+			replicas[i] = append(replicas[i], rc)
+		}
 	}
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntime(reg)
 	router := shard.NewRouter(clients, opts.routerConfig(reg, logger))
+	for i, rs := range replicas {
+		if len(rs) > 0 {
+			router.SetReplicas(i, rs)
+		}
+	}
 	return newRouterServer(router, limits, reg, logger), nil
+}
+
+// parsePeerSets splits the -shard-peers flag: comma-separated shards, each a
+// pipe-separated "leader|replica|..." URL set.
+func parsePeerSets(spec string) ([][]string, error) {
+	var sets [][]string
+	for _, one := range strings.Split(spec, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		var set []string
+		for _, u := range strings.Split(one, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				return nil, fmt.Errorf("-shard-peers %q: empty URL in peer set", one)
+			}
+			set = append(set, u)
+		}
+		sets = append(sets, set)
+	}
+	if len(sets) == 0 {
+		return nil, errors.New("-shard-peers: no peer URLs")
+	}
+	return sets, nil
 }
 
 // shardedBoot is everything runSharded needs from the flags.
@@ -194,18 +247,17 @@ type shardedBoot struct {
 // runSharded serves a sharded topology: in-process shards with -shards N, or
 // remote peers with -shard-peers. It owns the whole serve loop because the
 // front door is a routerServer, not the single-node server.
-func runSharded(b shardedBoot) error {
+func runSharded(b shardedBoot) (err error) {
 	var (
 		rs      *routerServer
 		servers []*server
-		err     error
 	)
 	if b.Peers != "" {
-		peers := strings.Split(b.Peers, ",")
-		for i := range peers {
-			peers[i] = strings.TrimSpace(peers[i])
+		peerSets, perr := parsePeerSets(b.Peers)
+		if perr != nil {
+			return perr
 		}
-		rs, err = buildHTTPSharded(peers, b.ServerCfg.Limits, b.Opts, b.Logger)
+		rs, err = buildHTTPSharded(peerSets, b.ServerCfg.Limits, b.Opts, b.Logger)
 	} else {
 		if b.ServerCfg.File == "" {
 			return errors.New("-file is required with -shards")
@@ -217,7 +269,9 @@ func runSharded(b shardedBoot) error {
 	}
 	defer func() {
 		for _, s := range servers {
-			s.close()
+			if cerr := s.close(); cerr != nil && err == nil {
+				err = fmt.Errorf("shutdown: %w", cerr)
+			}
 		}
 	}()
 	ln, err := net.Listen("tcp", b.Addr)

@@ -293,7 +293,7 @@ func TestShardedRequestIDPropagatesToPeers(t *testing.T) {
 		writeJSON(w, http.StatusOK, map[string]any{"candidates": []any{}, "sampled": false})
 	}))
 	defer peer.Close()
-	rs, err := buildHTTPSharded([]string{peer.URL, peer.URL}, limitsConfig{}, shardedOptions{
+	rs, err := buildHTTPSharded([][]string{{peer.URL}, {peer.URL}}, limitsConfig{}, shardedOptions{
 		Timeout: time.Second, Retries: -1, HedgeAfter: -time.Second,
 	}, nil)
 	if err != nil {
@@ -335,4 +335,40 @@ func TestParseFaultSpecs(t *testing.T) {
 	if specs, err := parseFaultSpecs("", 3); err != nil || len(specs) != 0 {
 		t.Errorf("empty spec: %v, %v", specs, err)
 	}
+}
+
+func TestParsePeerSets(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		got, err := parsePeerSets(" http://a:1 | http://b:2 |http://c:3, http://d:4 ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := [][]string{
+			{"http://a:1", "http://b:2", "http://c:3"},
+			{"http://d:4"},
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d sets, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("set %d = %v, want %v", i, got[i], want[i])
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("set %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		}
+	})
+	t.Run("empty spec", func(t *testing.T) {
+		if _, err := parsePeerSets("  "); err == nil {
+			t.Fatal("want error for empty spec")
+		}
+	})
+	t.Run("empty URL in set", func(t *testing.T) {
+		if _, err := parsePeerSets("http://a:1|,http://b:2"); err == nil {
+			t.Fatal("want error for empty URL in set")
+		}
+	})
 }

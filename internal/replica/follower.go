@@ -1,0 +1,351 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ssflp/internal/wal"
+)
+
+// Body size ceilings. A stream response is bounded by MaxBatch records of at
+// most wal.MaxPayload each, but a defensive cap keeps a confused or malicious
+// leader from ballooning follower memory; snapshots are whole-network copies
+// and get a larger allowance.
+const (
+	maxStreamBody   = 64 << 20
+	maxSnapshotBody = 1 << 30
+)
+
+// FollowerConfig wires a Follower to its leader and to the local serving
+// layer. Leader, Bootstrap and Apply are required.
+type FollowerConfig struct {
+	// Leader is the leader's base URL, e.g. "http://10.0.0.1:8080".
+	Leader string
+	// HTTPClient issues the requests. nil uses a client without a global
+	// timeout — long-polls are bounded by PollWait plus the leader's grace,
+	// and cancellation flows through Run's context.
+	HTTPClient *http.Client
+	// BatchMax caps records requested per poll. Default 4096.
+	BatchMax int
+	// PollWait is the long-poll budget sent to the leader. Default 20s.
+	PollWait time.Duration
+	// RetryBase/RetryMax bound the exponential full-jitter backoff between
+	// failed round-trips. Defaults 100ms and 5s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed makes the retry jitter deterministic in tests; 0 derives one from
+	// the clock.
+	Seed int64
+	// Logger receives bootstrap/backoff lines; nil is silent.
+	Logger *slog.Logger
+	// Metrics receives follower-side observations; nil records nothing.
+	Metrics *Metrics
+
+	// Bootstrap installs a starting state and returns the log position it
+	// reflects. snap is the leader's decoded snapshot, or nil when the leader
+	// has none yet — then the callee installs the shared base network and
+	// returns 0 so streaming starts at LSN 1.
+	Bootstrap func(snap *wal.Snapshot) (wal.LSN, error)
+	// Apply folds a validated, contiguous batch starting at LSN from into the
+	// served state. It must be atomic: either the whole batch is visible to
+	// readers afterwards or none of it.
+	Apply func(from wal.LSN, events []wal.Event) error
+}
+
+// Follower tails a leader's log and keeps the local serving state caught up.
+// Run drives it; the LSN accessors are safe to call from any goroutine
+// (readiness and health endpoints read them concurrently).
+type Follower struct {
+	cfg    FollowerConfig
+	client *http.Client
+	rng    *rand.Rand
+
+	applied     atomic.Uint64 // last LSN folded into local state
+	durable     atomic.Uint64 // leader's durable LSN at last contact
+	lastContact atomic.Int64  // unix nanos of last successful round-trip
+
+	needBootstrap  bool
+	bootstrapStart time.Time
+	caughtUpOnce   bool
+}
+
+// NewFollower validates cfg and returns a Follower ready for Run.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Leader == "" {
+		return nil, errors.New("replica: follower needs a leader URL")
+	}
+	if _, err := url.Parse(cfg.Leader); err != nil {
+		return nil, fmt.Errorf("replica: leader URL: %w", err)
+	}
+	if cfg.Bootstrap == nil || cfg.Apply == nil {
+		return nil, errors.New("replica: follower needs Bootstrap and Apply callbacks")
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 4096
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 20 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = max(5*time.Second, cfg.RetryBase)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Follower{
+		cfg:           cfg,
+		client:        client,
+		rng:           rand.New(rand.NewSource(seed)),
+		needBootstrap: true,
+	}, nil
+}
+
+// AppliedLSN is the last log position folded into local serving state.
+func (f *Follower) AppliedLSN() wal.LSN { return wal.LSN(f.applied.Load()) }
+
+// DurableLSN is the leader's durable position as of the last contact.
+func (f *Follower) DurableLSN() wal.LSN { return wal.LSN(f.durable.Load()) }
+
+// Lag is DurableLSN minus AppliedLSN, floored at zero.
+func (f *Follower) Lag() uint64 {
+	d, a := f.durable.Load(), f.applied.Load()
+	if d <= a {
+		return 0
+	}
+	return d - a
+}
+
+// LastContact is when the last round-trip with the leader succeeded; the zero
+// time before any contact.
+func (f *Follower) LastContact() time.Time {
+	ns := f.lastContact.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Run pulls from the leader until ctx is cancelled, bootstrapping whenever
+// needed (first start, or a 410 after falling behind retention) and backing
+// off with full jitter on failures. It returns ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := f.step(ctx)
+		if err == nil {
+			failures = 0
+			continue
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f.cfg.Metrics.notePullError()
+		failures++
+		delay := f.backoff(failures)
+		if f.cfg.Logger != nil {
+			f.cfg.Logger.Warn("replication pull failed",
+				slog.String("leader", f.cfg.Leader),
+				slog.Any("error", err),
+				slog.Duration("retry_in", delay))
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// step performs one round-trip: a bootstrap when one is pending, a stream
+// poll otherwise.
+func (f *Follower) step(ctx context.Context) error {
+	if f.needBootstrap {
+		if err := f.bootstrap(ctx); err != nil {
+			return err
+		}
+		f.needBootstrap = false
+	}
+	return f.streamOnce(ctx)
+}
+
+func (f *Follower) bootstrap(ctx context.Context) error {
+	f.bootstrapStart = time.Now()
+	f.caughtUpOnce = false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Leader+"/repl/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	defer drain(resp.Body)
+
+	var snap *wal.Snapshot
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := readCapped(resp.Body, maxSnapshotBody)
+		if err != nil {
+			return fmt.Errorf("bootstrap: read snapshot: %w", err)
+		}
+		snap, err = wal.ParseSnapshot(body)
+		if err != nil {
+			return fmt.Errorf("bootstrap: %w", err)
+		}
+		if hdr := resp.Header.Get(HeaderSnapshotLSN); hdr != "" {
+			if lsn, perr := strconv.ParseUint(hdr, 10, 64); perr == nil && wal.LSN(lsn) != snap.LSN {
+				return fmt.Errorf("bootstrap: snapshot header LSN %d != body LSN %d", lsn, snap.LSN)
+			}
+		}
+	case http.StatusNotFound:
+		// Leader has no snapshot yet: start from the shared base and stream
+		// the whole log.
+	default:
+		return fmt.Errorf("bootstrap: leader returned %s", resp.Status)
+	}
+	from, err := f.cfg.Bootstrap(snap)
+	if err != nil {
+		return fmt.Errorf("bootstrap: install: %w", err)
+	}
+	f.applied.Store(uint64(from))
+	f.cfg.Metrics.noteBootstrap()
+	f.cfg.Metrics.setApplied(uint64(from))
+	f.touch()
+	if f.cfg.Logger != nil {
+		f.cfg.Logger.Info("replication bootstrap complete",
+			slog.Uint64("applied_lsn", uint64(from)),
+			slog.Bool("from_snapshot", snap != nil))
+	}
+	return nil
+}
+
+func (f *Follower) streamOnce(ctx context.Context) error {
+	from := wal.LSN(f.applied.Load()) + 1
+	u := fmt.Sprintf("%s/repl/stream?from=%d&max=%d&wait=%s",
+		f.cfg.Leader, from, f.cfg.BatchMax, f.cfg.PollWait)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	defer drain(resp.Body)
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := readCapped(resp.Body, maxStreamBody)
+		if err != nil {
+			return fmt.Errorf("stream: read: %w", err)
+		}
+		events, err := DecodeStream(body, from)
+		if err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		if len(events) == 0 {
+			return fmt.Errorf("stream: 200 with empty body")
+		}
+		if err := f.cfg.Apply(from, events); err != nil {
+			return fmt.Errorf("stream: apply: %w", err)
+		}
+		applied := uint64(from) + uint64(len(events)) - 1
+		f.applied.Store(applied)
+		f.updateDurable(resp.Header, applied)
+		f.cfg.Metrics.noteApplied(len(events))
+		f.cfg.Metrics.setApplied(applied)
+		f.touch()
+		f.observeLag()
+		return nil
+	case http.StatusNoContent:
+		f.updateDurable(resp.Header, f.applied.Load())
+		f.touch()
+		f.observeLag()
+		return nil
+	case http.StatusGone:
+		// The leader compacted the records we need: re-bootstrap.
+		f.needBootstrap = true
+		if f.cfg.Logger != nil {
+			f.cfg.Logger.Warn("replication stream compacted; re-bootstrapping",
+				slog.Uint64("from", uint64(from)))
+		}
+		return nil
+	default:
+		return fmt.Errorf("stream: leader returned %s", resp.Status)
+	}
+}
+
+// updateDurable folds the leader-reported durable LSN into local state,
+// never letting it regress below our own applied position (a snapshot can
+// reflect records the header race hasn't reported yet).
+func (f *Follower) updateDurable(h http.Header, floor uint64) {
+	d := floor
+	if hdr := h.Get(HeaderDurableLSN); hdr != "" {
+		if v, err := strconv.ParseUint(hdr, 10, 64); err == nil && v > d {
+			d = v
+		}
+	}
+	f.durable.Store(d)
+	f.cfg.Metrics.setLag(f.Lag())
+}
+
+// observeLag records the catch-up duration the first time lag reaches zero
+// after a bootstrap.
+func (f *Follower) observeLag() {
+	if !f.caughtUpOnce && f.Lag() == 0 {
+		f.caughtUpOnce = true
+		f.cfg.Metrics.noteCatchup(time.Since(f.bootstrapStart).Seconds())
+	}
+}
+
+func (f *Follower) touch() {
+	f.lastContact.Store(time.Now().UnixNano())
+}
+
+// backoff is exponential with full jitter: uniform in (0, base*2^(n-1)],
+// capped at RetryMax.
+func (f *Follower) backoff(failures int) time.Duration {
+	ceil := f.cfg.RetryBase << min(failures-1, 16)
+	if ceil > f.cfg.RetryMax || ceil <= 0 {
+		ceil = f.cfg.RetryMax
+	}
+	return time.Duration(f.rng.Int63n(int64(ceil))) + 1
+}
+
+// readCapped reads r fully, failing when the body exceeds limit.
+func readCapped(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("body exceeds %d byte cap", limit)
+	}
+	return data, nil
+}
+
+// drain discards any unread remainder so the connection can be reused.
+func drain(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}

@@ -1,0 +1,110 @@
+// Package replica ships the write-ahead log from a leader to read replicas.
+//
+// The leader side serves two HTTP endpoints over its durable log: a
+// long-polling record stream (GET /repl/stream, framed WAL records from a
+// requested LSN) and a snapshot bootstrap (GET /repl/snapshot, the newest
+// checksummed snapshot file verbatim). The follower side pulls the stream
+// with jittered retry/backoff, validates every frame's CRC and the LSN
+// contiguity of the whole stream, and hands validated event batches to the
+// serving layer, which applies them through the same epoch-snapshot publish
+// path local ingest uses. A follower that falls behind the leader's retention
+// (the leader compacted the records it needs) re-bootstraps from the snapshot
+// endpoint and tails from there.
+//
+// Replication is asynchronous: the leader acknowledges writes from its own
+// fsync, never waiting on followers, so a replica serves a slightly stale but
+// internally consistent epoch. Lag — durable LSN at the leader minus applied
+// LSN at the follower — is continuously measured and exported; the serving
+// layer gates readiness on it.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ssflp/internal/wal"
+)
+
+// frameMagic opens every stream frame. A fixed first byte makes framing
+// damage (an offset slip, a foreign payload) fail fast instead of being
+// misread as a length.
+const frameMagic = 0x52 // 'R'
+
+// maxFrameHeader bounds the bytes before the embedded WAL record: the magic
+// byte plus a maximal uvarint LSN.
+const maxFrameHeader = 1 + binary.MaxVarintLen64
+
+// ErrFrame marks a stream frame that is structurally invalid: bad magic, a
+// zero LSN, or an embedded record that fails its own framing or checksum.
+var ErrFrame = errors.New("replica: invalid stream frame")
+
+// ErrFrameShort marks a buffer that ends mid-frame — for a streaming reader
+// this just means "read more bytes", not damage.
+var ErrFrameShort = errors.New("replica: short stream frame")
+
+// AppendStreamFrame appends the framed encoding of (lsn, ev) to dst. Layout:
+//
+//	byte    0x52 magic
+//	uvarint LSN
+//	bytes   one WAL record (uint32 length, uint32 CRC32C, payload)
+//
+// The embedded record carries its own checksum, so a frame is verifiable
+// end-to-end without re-hashing on the leader.
+func AppendStreamFrame(dst []byte, lsn wal.LSN, ev wal.Event) []byte {
+	dst = append(dst, frameMagic)
+	dst = binary.AppendUvarint(dst, uint64(lsn))
+	return wal.AppendRecord(dst, ev)
+}
+
+// DecodeStreamFrame decodes the first frame in b, returning its LSN, event
+// and total encoded size. A buffer ending mid-frame returns ErrFrameShort;
+// any structural damage returns an error wrapping ErrFrame. DecodeStreamFrame
+// never panics, whatever the input.
+func DecodeStreamFrame(b []byte) (wal.LSN, wal.Event, int, error) {
+	if len(b) == 0 {
+		return 0, wal.Event{}, 0, fmt.Errorf("%w: empty buffer", ErrFrameShort)
+	}
+	if b[0] != frameMagic {
+		return 0, wal.Event{}, 0, fmt.Errorf("%w: bad magic 0x%02x", ErrFrame, b[0])
+	}
+	lsn, n := binary.Uvarint(b[1:])
+	if n == 0 {
+		return 0, wal.Event{}, 0, fmt.Errorf("%w: truncated LSN varint", ErrFrameShort)
+	}
+	if n < 0 || lsn == 0 {
+		return 0, wal.Event{}, 0, fmt.Errorf("%w: bad LSN varint", ErrFrame)
+	}
+	off := 1 + n
+	ev, rn, err := wal.DecodeRecord(b[off:])
+	switch {
+	case errors.Is(err, wal.ErrShort):
+		return 0, wal.Event{}, 0, fmt.Errorf("%w: %v", ErrFrameShort, err)
+	case err != nil:
+		return 0, wal.Event{}, 0, fmt.Errorf("%w: %v", ErrFrame, err)
+	}
+	return wal.LSN(lsn), ev, off + rn, nil
+}
+
+// DecodeStream decodes a complete stream body: consecutive frames starting at
+// LSN from, each exactly one greater than its predecessor. It returns the
+// decoded events (the i-th has LSN from+i). Contiguity violations, framing
+// damage and trailing garbage all fail — a replication stream is applied
+// all-or-nothing.
+func DecodeStream(b []byte, from wal.LSN) ([]wal.Event, error) {
+	var events []wal.Event
+	want := from
+	for len(b) > 0 {
+		lsn, ev, n, err := DecodeStreamFrame(b)
+		if err != nil {
+			return nil, err
+		}
+		if lsn != want {
+			return nil, fmt.Errorf("%w: LSN %d, want %d (stream not contiguous)", ErrFrame, lsn, want)
+		}
+		events = append(events, ev)
+		want++
+		b = b[n:]
+	}
+	return events, nil
+}

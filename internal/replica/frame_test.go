@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ssflp/internal/wal"
+)
+
+func testEvents(n int) []wal.Event {
+	evs := make([]wal.Event, n)
+	for i := range evs {
+		evs[i] = wal.Event{U: fmt.Sprintf("u%d", i), V: fmt.Sprintf("v%d", i), Ts: int64(i * 7)}
+	}
+	return evs
+}
+
+func encodeStream(from wal.LSN, evs []wal.Event) []byte {
+	var b []byte
+	for i, ev := range evs {
+		b = AppendStreamFrame(b, from+wal.LSN(i), ev)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	ev := wal.Event{U: "alpha", V: "beta", Ts: -42}
+	b := AppendStreamFrame(nil, 17, ev)
+	lsn, got, n, err := DecodeStreamFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 17 || got != ev || n != len(b) {
+		t.Fatalf("decoded (lsn=%d ev=%+v n=%d), want (17, %+v, %d)", lsn, got, n, ev, len(b))
+	}
+}
+
+func TestDecodeStreamContiguous(t *testing.T) {
+	evs := testEvents(5)
+	b := encodeStream(10, evs)
+	got, err := DecodeStream(b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+	// Empty body decodes to no events — a valid (if odd) stream.
+	if evs, err := DecodeStream(nil, 1); err != nil || len(evs) != 0 {
+		t.Fatalf("empty stream: %d events, err %v", len(evs), err)
+	}
+}
+
+func TestDecodeStreamRejectsGapsAndOffsets(t *testing.T) {
+	evs := testEvents(3)
+	b := encodeStream(10, evs)
+	// Wrong starting expectation.
+	if _, err := DecodeStream(b, 11); !errors.Is(err, ErrFrame) {
+		t.Fatalf("offset start: err = %v, want ErrFrame", err)
+	}
+	// A gap mid-stream: frames at 1 then 3.
+	gap := AppendStreamFrame(nil, 1, evs[0])
+	gap = AppendStreamFrame(gap, 3, evs[1])
+	if _, err := DecodeStream(gap, 1); !errors.Is(err, ErrFrame) {
+		t.Fatalf("gapped stream: err = %v, want ErrFrame", err)
+	}
+	// Trailing garbage after the last full frame.
+	if _, err := DecodeStream(append(b, 0xAA), 10); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestDecodeFrameTruncation(t *testing.T) {
+	full := AppendStreamFrame(nil, 300, wal.Event{U: "x", V: "y", Ts: 9})
+	for cut := 0; cut < len(full); cut++ {
+		_, _, _, err := DecodeStreamFrame(full[:cut])
+		if !errors.Is(err, ErrFrameShort) {
+			t.Fatalf("prefix len %d: err = %v, want ErrFrameShort", cut, err)
+		}
+	}
+}
+
+func TestDecodeFrameDamage(t *testing.T) {
+	// Bad magic.
+	full := AppendStreamFrame(nil, 5, wal.Event{U: "x", V: "y"})
+	bad := append([]byte{}, full...)
+	bad[0] = 0x00
+	if _, _, _, err := DecodeStreamFrame(bad); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad magic: err = %v, want ErrFrame", err)
+	}
+	// Zero LSN.
+	zero := []byte{frameMagic}
+	zero = binary.AppendUvarint(zero, 0)
+	zero = wal.AppendRecord(zero, wal.Event{U: "x", V: "y"})
+	if _, _, _, err := DecodeStreamFrame(zero); !errors.Is(err, ErrFrame) {
+		t.Fatalf("zero LSN: err = %v, want ErrFrame", err)
+	}
+	// Flipped payload byte: the embedded record's checksum must catch it.
+	flip := append([]byte{}, full...)
+	flip[len(flip)-2] ^= 0xFF
+	if _, _, _, err := DecodeStreamFrame(flip); !errors.Is(err, ErrFrame) {
+		t.Fatalf("payload damage: err = %v, want ErrFrame", err)
+	}
+}

@@ -1,0 +1,200 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"ssflp/internal/wal"
+)
+
+// Header names of the replication protocol. Followers read them
+// case-insensitively, so Go's canonicalization is harmless.
+const (
+	// HeaderDurableLSN carries the leader's durable log position on every
+	// stream response, including empty ones — it is how a fully caught-up
+	// follower keeps measuring lag.
+	HeaderDurableLSN = "X-Repl-Durable-Lsn"
+	// HeaderCount carries the number of frames in a stream response body.
+	HeaderCount = "X-Repl-Count"
+	// HeaderSnapshotLSN carries the log position a served snapshot reflects;
+	// the follower resumes streaming at that position plus one.
+	HeaderSnapshotLSN = "X-Repl-Snapshot-Lsn"
+)
+
+// LeaderConfig tunes the leader-side replication endpoints.
+type LeaderConfig struct {
+	// MaxBatch caps the records returned per stream request, whatever the
+	// follower asks for. Default 4096.
+	MaxBatch int
+	// MaxWait caps how long an empty stream request may long-poll before
+	// returning 204. Default 25s — under common proxy/client timeouts.
+	MaxWait time.Duration
+	// Metrics receives leader-side observations; nil records nothing.
+	Metrics *Metrics
+	// Logger receives one line per snapshot bootstrap served; nil is silent.
+	Logger *slog.Logger
+}
+
+// Leader serves a log's records and snapshots to followers over HTTP. It is
+// read-only with respect to the log and safe for concurrent use; mount
+// HandleStream and HandleSnapshot on any mux.
+type Leader struct {
+	log     *wal.Log
+	snapDir string
+	cfg     LeaderConfig
+}
+
+// NewLeader wraps an open log whose snapshots live in snapDir (normally the
+// log's own directory).
+func NewLeader(log *wal.Log, snapDir string, cfg LeaderConfig) *Leader {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 25 * time.Second
+	}
+	return &Leader{log: log, snapDir: snapDir, cfg: cfg}
+}
+
+// HandleStream answers GET /repl/stream?from=L&max=N&wait=D.
+//
+//	200  body of stream frames starting at LSN from; X-Repl-Count,
+//	     X-Repl-Durable-Lsn set
+//	204  no records at or above from within the wait budget;
+//	     X-Repl-Durable-Lsn still set
+//	410  from precedes the leader's retention — the follower must
+//	     re-bootstrap; the JSON body carries the oldest available LSN
+//	503  the log is closed (leader shutting down)
+func (l *Leader) HandleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "stream is GET-only")
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		httpError(w, http.StatusBadRequest, "from must be a positive LSN")
+		return
+	}
+	max := l.cfg.MaxBatch
+	if s := r.URL.Query().Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "max must be a positive integer")
+			return
+		}
+		max = min(n, l.cfg.MaxBatch)
+	}
+	wait := time.Duration(0)
+	if s := r.URL.Query().Get("wait"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, "wait must be a non-negative duration")
+			return
+		}
+		wait = min(d, l.cfg.MaxWait)
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		// Grab the update channel before reading so an append between the
+		// read and the select is never missed.
+		updates := l.log.Updates()
+		events, err := l.log.ReadFrom(wal.LSN(from), max)
+		switch {
+		case errors.Is(err, wal.ErrCompacted):
+			oldest, oerr := l.log.OldestLSN()
+			if oerr != nil {
+				oldest = 0
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGone)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":      "requested LSN compacted; re-bootstrap from snapshot",
+				"oldest_lsn": oldest,
+			})
+			return
+		case errors.Is(err, wal.ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, "log closed")
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if len(events) > 0 {
+			body := make([]byte, 0, 64*len(events))
+			for i, ev := range events {
+				body = AppendStreamFrame(body, wal.LSN(from)+wal.LSN(i), ev)
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set(HeaderDurableLSN, strconv.FormatUint(uint64(l.log.LastLSN()), 10))
+			w.Header().Set(HeaderCount, strconv.Itoa(len(events)))
+			w.Write(body)
+			l.cfg.Metrics.noteStream(len(events))
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.Header().Set(HeaderDurableLSN, strconv.FormatUint(uint64(l.log.LastLSN()), 10))
+			w.WriteHeader(http.StatusNoContent)
+			l.cfg.Metrics.noteStream(0)
+			return
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-updates:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// HandleSnapshot answers GET /repl/snapshot with the newest snapshot that
+// verifies, verbatim bytes of the on-disk format, X-Repl-Snapshot-Lsn set to
+// the position it reflects. 404 when no usable snapshot exists yet — the
+// follower then builds from the shared base network and streams from LSN 1,
+// which is always complete because the leader only compacts records a
+// snapshot already covers.
+func (l *Leader) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "snapshot is GET-only")
+		return
+	}
+	path, lsn, ok := wal.LatestSnapshot(l.snapDir)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no snapshot available; stream from LSN 1")
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("read snapshot: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderSnapshotLSN, strconv.FormatUint(uint64(lsn), 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+	l.cfg.Metrics.noteSnapshotServed()
+	if l.cfg.Logger != nil {
+		l.cfg.Logger.Info("replication snapshot served",
+			slog.Uint64("lsn", uint64(lsn)), slog.Int("bytes", len(data)))
+	}
+}
+
+// httpError writes a small JSON error body, matching the serving layer's
+// error shape.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,103 @@
+package replica
+
+import "ssflp/internal/telemetry"
+
+// Metrics bundles replication telemetry for both roles. Leader-side families
+// observe the stream/snapshot endpoints; follower-side families observe the
+// pull loop. All handles are nil-safe so a Leader or Follower built without
+// metrics records nothing.
+type Metrics struct {
+	// Leader side.
+	streamRequests   *telemetry.Counter // /repl/stream requests answered
+	streamRecords    *telemetry.Counter // records shipped to followers
+	snapshotRequests *telemetry.Counter // /repl/snapshot bootstraps served
+
+	// Follower side.
+	lag            *telemetry.Gauge     // leader durable LSN - applied LSN
+	appliedLSN     *telemetry.Gauge     // last LSN applied locally
+	pullRecords    *telemetry.Counter   // records received and applied
+	applyBatches   *telemetry.Counter   // non-empty stream batches applied
+	pullErrors     *telemetry.Counter   // failed stream/bootstrap round-trips
+	bootstraps     *telemetry.Counter   // snapshot (or base) bootstraps performed
+	catchupSeconds *telemetry.Histogram // bootstrap start -> first lag==0
+}
+
+// NewMetrics registers the replication metric families on reg. A nil
+// registry returns a Metrics whose observations all no-op.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{}
+	if reg == nil {
+		return m
+	}
+	m.streamRequests = reg.Counter("ssf_repl_stream_requests_total",
+		"Replication stream requests answered by the leader.")
+	m.streamRecords = reg.Counter("ssf_repl_stream_records_total",
+		"WAL records shipped to followers over the replication stream.")
+	m.snapshotRequests = reg.Counter("ssf_repl_snapshot_requests_total",
+		"Snapshot bootstrap downloads served by the leader.")
+	m.lag = reg.Gauge("ssf_replica_lag_lsn",
+		"Replication lag: the leader's durable LSN minus this replica's applied LSN.")
+	m.appliedLSN = reg.Gauge("ssf_replica_applied_lsn",
+		"Last write-ahead-log position this replica has applied.")
+	m.pullRecords = reg.Counter("ssf_replica_stream_records_total",
+		"WAL records received from the leader and applied.")
+	m.applyBatches = reg.Counter("ssf_replica_apply_batches_total",
+		"Non-empty replication batches applied to the local epoch state.")
+	m.pullErrors = reg.Counter("ssf_replica_stream_errors_total",
+		"Failed replication round-trips (stream or bootstrap), before retry.")
+	m.bootstraps = reg.Counter("ssf_replica_bootstraps_total",
+		"Snapshot (or base) bootstraps this replica performed.")
+	m.catchupSeconds = reg.Histogram("ssf_replica_catchup_duration_seconds",
+		"Time from bootstrap start until the replica first reached lag zero.", nil)
+	return m
+}
+
+func (m *Metrics) noteStream(records int) {
+	if m != nil {
+		m.streamRequests.Inc()
+		m.streamRecords.Add(uint64(records))
+	}
+}
+
+func (m *Metrics) noteSnapshotServed() {
+	if m != nil {
+		m.snapshotRequests.Inc()
+	}
+}
+
+func (m *Metrics) setLag(lag uint64) {
+	if m != nil {
+		m.lag.Set(float64(lag))
+	}
+}
+
+func (m *Metrics) setApplied(lsn uint64) {
+	if m != nil {
+		m.appliedLSN.Set(float64(lsn))
+	}
+}
+
+func (m *Metrics) noteApplied(records int) {
+	if m != nil {
+		m.pullRecords.Add(uint64(records))
+		m.applyBatches.Inc()
+	}
+}
+
+func (m *Metrics) notePullError() {
+	if m != nil {
+		m.pullErrors.Inc()
+	}
+}
+
+func (m *Metrics) noteBootstrap() {
+	if m != nil {
+		m.bootstraps.Inc()
+	}
+}
+
+func (m *Metrics) noteCatchup(seconds float64) {
+	if m != nil {
+		m.catchupSeconds.Observe(seconds)
+	}
+}

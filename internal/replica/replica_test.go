@@ -1,0 +1,420 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssflp/internal/graph"
+	"ssflp/internal/telemetry"
+	"ssflp/internal/wal"
+)
+
+// applyLog is a test sink for the follower callbacks: it records every
+// bootstrap and checks batches arrive contiguously.
+type applyLog struct {
+	mu    sync.Mutex
+	next  wal.LSN
+	evs   []wal.Event
+	boots int
+	err   error
+}
+
+func (a *applyLog) bootstrap(snap *wal.Snapshot) (wal.LSN, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.boots++
+	var from wal.LSN
+	if snap != nil {
+		from = snap.LSN
+	}
+	a.next = from + 1
+	a.evs = nil
+	return from, nil
+}
+
+func (a *applyLog) apply(from wal.LSN, evs []wal.Event) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if from != a.next {
+		a.err = fmt.Errorf("apply at %d, want %d", from, a.next)
+		return a.err
+	}
+	a.evs = append(a.evs, evs...)
+	a.next += wal.LSN(len(evs))
+	return nil
+}
+
+func (a *applyLog) snapshot() (evs []wal.Event, boots int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]wal.Event(nil), a.evs...), a.boots, a.err
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// newTestLeader opens a small-segment log in a temp dir and serves it.
+func newTestLeader(t *testing.T) (*wal.Log, string, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	leader := NewLeader(l, dir, LeaderConfig{
+		MaxWait: 2 * time.Second,
+		Metrics: NewMetrics(telemetry.NewRegistry()),
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/stream", leader.HandleStream)
+	mux.HandleFunc("/repl/snapshot", leader.HandleSnapshot)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return l, dir, srv
+}
+
+func newTestFollower(t *testing.T, leaderURL string, sink *applyLog) *Follower {
+	t.Helper()
+	f, err := NewFollower(FollowerConfig{
+		Leader:    leaderURL,
+		BatchMax:  4,
+		PollWait:  500 * time.Millisecond,
+		RetryBase: 10 * time.Millisecond,
+		RetryMax:  100 * time.Millisecond,
+		Seed:      1,
+		Metrics:   NewMetrics(telemetry.NewRegistry()),
+		Bootstrap: sink.bootstrap,
+		Apply:     sink.apply,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFollowerCatchesUpAndTails(t *testing.T) {
+	l, _, srv := newTestLeader(t)
+	for i := range 10 {
+		if _, err := l.Append(wal.Event{U: fmt.Sprintf("u%d", i), V: fmt.Sprintf("v%d", i), Ts: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := &applyLog{}
+	f := newTestFollower(t, srv.URL, sink)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+
+	waitFor(t, "initial catch-up", func() bool { return f.AppliedLSN() == 10 && f.Lag() == 0 })
+
+	// Live tail: new appends arrive via the long-poll without a restart.
+	for i := 10; i < 15; i++ {
+		if _, err := l.Append(wal.Event{U: fmt.Sprintf("u%d", i), V: fmt.Sprintf("v%d", i), Ts: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "tail catch-up", func() bool { return f.AppliedLSN() == 15 && f.Lag() == 0 })
+	cancel()
+	<-done
+
+	evs, boots, err := sink.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boots != 1 {
+		t.Fatalf("boots = %d, want 1", boots)
+	}
+	if len(evs) != 15 {
+		t.Fatalf("applied %d events, want 15", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("u%d", i); ev.U != want || ev.Ts != int64(i) {
+			t.Fatalf("event %d = %+v, want U=%s Ts=%d", i, ev, want, i)
+		}
+	}
+	if f.LastContact().IsZero() {
+		t.Fatal("LastContact never set")
+	}
+	if f.DurableLSN() != 15 {
+		t.Fatalf("DurableLSN = %d, want 15", f.DurableLSN())
+	}
+}
+
+func TestFollowerBootstrapsFromSnapshot(t *testing.T) {
+	l, dir, srv := newTestLeader(t)
+	for i := range 12 {
+		if _, err := l.Append(wal.Event{U: fmt.Sprintf("u%d", i), V: fmt.Sprintf("v%d", i), Ts: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := wal.WriteSnapshot(dir, &wal.Snapshot{LSN: 8, Graph: graph.New(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TruncateBefore(9); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &applyLog{}
+	f := newTestFollower(t, srv.URL, sink)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+
+	waitFor(t, "snapshot catch-up", func() bool { return f.AppliedLSN() == 12 && f.Lag() == 0 })
+	evs, boots, err := sink.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boots != 1 {
+		t.Fatalf("boots = %d, want 1", boots)
+	}
+	// Only the tail past the snapshot streams: LSNs 9..12.
+	if len(evs) != 4 {
+		t.Fatalf("applied %d events, want 4", len(evs))
+	}
+	if evs[0].U != "u8" || evs[3].U != "u11" {
+		t.Fatalf("tail events = %+v", evs)
+	}
+}
+
+func TestFollowerReBootstrapsOnGone(t *testing.T) {
+	l, dir, srv := newTestLeader(t)
+	for i := range 12 {
+		if _, err := l.Append(wal.Event{U: fmt.Sprintf("u%d", i), V: fmt.Sprintf("v%d", i), Ts: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := wal.WriteSnapshot(dir, &wal.Snapshot{LSN: 8, Graph: graph.New(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TruncateBefore(9); err != nil {
+		t.Fatal(err)
+	}
+
+	// A front that hides the snapshot from the first bootstrap: the follower
+	// starts from the base at LSN 0, hits 410 on its first poll, and must
+	// re-bootstrap — this time getting the real snapshot.
+	var snapCalls atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/repl/snapshot" && snapCalls.Add(1) == 1 {
+			httpError(w, http.StatusNotFound, "pretend there is no snapshot yet")
+			return
+		}
+		resp, err := http.Get(srv.URL + r.URL.RequestURI())
+		if err != nil {
+			httpError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		if resp.StatusCode == http.StatusOK {
+			var buf [1 << 16]byte
+			for {
+				n, err := resp.Body.Read(buf[:])
+				if n > 0 {
+					w.Write(buf[:n])
+				}
+				if err != nil {
+					break
+				}
+			}
+		}
+	}))
+	defer front.Close()
+
+	sink := &applyLog{}
+	f := newTestFollower(t, front.URL, sink)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+
+	waitFor(t, "re-bootstrap catch-up", func() bool { return f.AppliedLSN() == 12 && f.Lag() == 0 })
+	_, boots, err := sink.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boots != 2 {
+		t.Fatalf("boots = %d, want 2 (base, then snapshot after 410)", boots)
+	}
+}
+
+func TestLeaderStreamLongPollWakesOnAppend(t *testing.T) {
+	l, _, srv := newTestLeader(t)
+	if _, err := l.Append(wal.Event{U: "a", V: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		l.Append(wal.Event{U: "late", V: "arrival", Ts: 99})
+	}()
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/repl/stream?from=2&wait=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll status = %d, want 200", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Fatalf("long-poll did not wake early (took %v)", elapsed)
+	}
+	if got := resp.Header.Get(HeaderCount); got != "1" {
+		t.Fatalf("count header = %q, want 1", got)
+	}
+	if got := resp.Header.Get(HeaderDurableLSN); got != "2" {
+		t.Fatalf("durable header = %q, want 2", got)
+	}
+}
+
+func TestLeaderStreamStatuses(t *testing.T) {
+	l, dir, srv := newTestLeader(t)
+	for i := range 12 {
+		if _, err := l.Append(wal.Event{U: fmt.Sprintf("u%d", i), V: "v", Ts: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Past the durable end with no wait: 204 plus the durable position.
+	resp := get("/repl/stream?from=13")
+	if resp.StatusCode != http.StatusNoContent || resp.Header.Get(HeaderDurableLSN) != "12" {
+		t.Fatalf("past-end poll: status %d durable %q", resp.StatusCode, resp.Header.Get(HeaderDurableLSN))
+	}
+
+	// Parameter validation.
+	for _, path := range []string{
+		"/repl/stream",               // missing from
+		"/repl/stream?from=0",        // zero LSN
+		"/repl/stream?from=x",        // non-numeric
+		"/repl/stream?from=1&max=0",  // non-positive max
+		"/repl/stream?from=1&wait=x", // unparseable wait
+	} {
+		if resp := get(path); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	postResp, err := http.Post(srv.URL+"/repl/stream?from=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stream = %d, want 405", postResp.StatusCode)
+	}
+
+	// No snapshot yet: bootstrap is a 404.
+	if resp := get("/repl/snapshot"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("snapshot without any = %d, want 404", resp.StatusCode)
+	}
+
+	// After compaction, a pre-retention LSN is 410 Gone with the oldest LSN.
+	if _, err := wal.WriteSnapshot(dir, &wal.Snapshot{LSN: 8, Graph: graph.New(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TruncateBefore(9); err != nil {
+		t.Fatal(err)
+	}
+	resp = get("/repl/stream?from=1")
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("compacted poll = %d, want 410", resp.StatusCode)
+	}
+	var gone struct {
+		OldestLSN uint64 `json:"oldest_lsn"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&gone); err != nil {
+		t.Fatal(err)
+	}
+	if gone.OldestLSN == 0 || gone.OldestLSN > 9 {
+		t.Fatalf("oldest_lsn = %d, want in (0, 9]", gone.OldestLSN)
+	}
+
+	// And the snapshot endpoint now serves a parseable snapshot at LSN 8.
+	resp = get("/repl/snapshot")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(HeaderSnapshotLSN) != "8" {
+		t.Fatalf("snapshot: status %d lsn %q", resp.StatusCode, resp.Header.Get(HeaderSnapshotLSN))
+	}
+}
+
+func TestNewFollowerValidation(t *testing.T) {
+	base := FollowerConfig{
+		Leader:    "http://127.0.0.1:1",
+		Bootstrap: func(*wal.Snapshot) (wal.LSN, error) { return 0, nil },
+		Apply:     func(wal.LSN, []wal.Event) error { return nil },
+	}
+	if _, err := NewFollower(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	noLeader := base
+	noLeader.Leader = ""
+	if _, err := NewFollower(noLeader); err == nil {
+		t.Fatal("missing leader accepted")
+	}
+	noApply := base
+	noApply.Apply = nil
+	if _, err := NewFollower(noApply); err == nil {
+		t.Fatal("missing Apply accepted")
+	}
+}
+
+// TestBackoffGrowsAndCaps pins the retry schedule: full jitter within an
+// exponentially growing ceiling that never exceeds RetryMax and never
+// returns a non-positive wait.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	sink := &applyLog{}
+	f := newTestFollower(t, "http://127.0.0.1:1", sink)
+	base, max := f.cfg.RetryBase, f.cfg.RetryMax
+	for failures := 1; failures <= 70; failures++ {
+		for range 20 {
+			d := f.backoff(failures)
+			if d <= 0 {
+				t.Fatalf("backoff(%d) = %v, want positive", failures, d)
+			}
+			ceil := base << min(failures-1, 16)
+			if ceil <= 0 || ceil > max {
+				ceil = max
+			}
+			if d > ceil {
+				t.Fatalf("backoff(%d) = %v exceeds ceiling %v", failures, d, ceil)
+			}
+		}
+	}
+	// The first failure must stay within the base window.
+	for range 50 {
+		if d := f.backoff(1); d > base {
+			t.Fatalf("backoff(1) = %v, want <= base %v", d, base)
+		}
+	}
+}

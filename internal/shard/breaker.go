@@ -61,6 +61,11 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	if c.MinRequests <= 0 {
 		c.MinRequests = 5
 	}
+	if c.MinRequests > c.Window {
+		// The window can never hold MinRequests outcomes, which would make
+		// the breaker permanently inert (and with it, replica failover).
+		c.MinRequests = c.Window
+	}
 	if c.FailureRate <= 0 {
 		c.FailureRate = 0.5
 	}

@@ -197,3 +197,17 @@ func TestOwnerStableAndInRange(t *testing.T) {
 		t.Fatal("PairOwner must anchor at the smaller label")
 	}
 }
+
+// TestBreakerSmallWindowStillTrips pins the MinRequests clamp: a window
+// smaller than the default MinRequests must still be able to trip — without
+// the clamp the window could never hold enough outcomes and the breaker
+// (and replica failover behind it) was permanently inert.
+func TestBreakerSmallWindowStillTrips(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{Window: 2, Cooldown: time.Second, Now: clk.Now})
+	record(t, b, false)
+	record(t, b, false)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after filling a 2-outcome window with failures = %v, want open", got)
+	}
+}

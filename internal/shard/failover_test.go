@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// failoverConfig opens a breaker after a single observed failure and keeps
+// it open for the whole test, so the primary→replica ladder is deterministic.
+func failoverConfig() Config {
+	cfg := testConfig()
+	cfg.Breaker = BreakerConfig{Window: 4, MinRequests: 1, FailureRate: 0.01, Cooldown: time.Minute}
+	return cfg
+}
+
+func alwaysDown(int, string, string) (ScoreResult, error) {
+	return ScoreResult{}, Unavailable(errors.New("primary down"))
+}
+
+func TestScoreFailsOverToReplicaWhenPrimaryBreakerOpens(t *testing.T) {
+	primary := newStub()
+	primary.score = alwaysDown
+	replica := newStub()
+	replica.score = func(_ int, u, v string) (ScoreResult, error) {
+		return ScoreResult{U: u, V: v, Score: 0.9}, nil
+	}
+	r := NewRouter([]Client{primary}, failoverConfig())
+	r.SetReplicas(0, []Client{replica})
+	if got := r.NumReplicas(0); got != 1 {
+		t.Fatalf("NumReplicas = %d, want 1", got)
+	}
+
+	ctx := context.Background()
+	// First call observes the primary failure and opens its breaker.
+	if _, err := r.Score(ctx, "a", "b"); !IsUnavailable(err) {
+		t.Fatalf("first score err = %v, want unavailable", err)
+	}
+	if got := r.BreakerState(0); got != StateOpen {
+		t.Fatalf("primary breaker = %v, want open", got)
+	}
+	// With the primary refused, reads land on the replica and succeed.
+	res, err := r.Score(ctx, "a", "b")
+	if err != nil {
+		t.Fatalf("failover score: %v", err)
+	}
+	if res.Score != 0.9 {
+		t.Fatalf("failover score = %v, want 0.9 (replica's answer)", res.Score)
+	}
+	if primary.callCount("score") != 1 {
+		t.Fatalf("primary called %d times, want 1 (breaker must fast-fail)", primary.callCount("score"))
+	}
+	if replica.callCount("score") != 1 {
+		t.Fatalf("replica called %d times, want 1", replica.callCount("score"))
+	}
+	if states := r.ReplicaBreakerStates(0); len(states) != 1 || states[0] != StateClosed {
+		t.Fatalf("replica breaker states = %v, want [closed]", states)
+	}
+}
+
+func TestWritesNeverFailOverToReplicas(t *testing.T) {
+	primary := newStub()
+	primary.score = alwaysDown
+	replica := newStub()
+	r := NewRouter([]Client{primary}, failoverConfig())
+	r.SetReplicas(0, []Client{replica})
+
+	ctx := context.Background()
+	r.Score(ctx, "a", "b") // opens the primary's breaker
+	if got := r.BreakerState(0); got != StateOpen {
+		t.Fatalf("primary breaker = %v, want open", got)
+	}
+	_, err := r.Ingest(ctx, []Edge{{U: "a", V: "b"}})
+	if !IsUnavailable(err) {
+		t.Fatalf("ingest with open primary: err = %v, want unavailable", err)
+	}
+	if got := replica.callCount("ingest"); got != 0 {
+		t.Fatalf("replica received %d ingest calls, want 0 — writes are leader-only", got)
+	}
+}
+
+func TestFailoverLadderWalksReplicasInOrder(t *testing.T) {
+	primary := newStub()
+	primary.score = alwaysDown
+	r1 := newStub()
+	r1.score = alwaysDown
+	r2 := newStub()
+	r2.score = func(_ int, u, v string) (ScoreResult, error) {
+		return ScoreResult{U: u, V: v, Score: 0.7}, nil
+	}
+	r := NewRouter([]Client{primary}, failoverConfig())
+	r.SetReplicas(0, []Client{r1, r2})
+
+	ctx := context.Background()
+	// Call 1 downs the primary; call 2 downs replica 1; call 3 reaches
+	// replica 2.
+	for range 2 {
+		if _, err := r.Score(ctx, "a", "b"); !IsUnavailable(err) {
+			t.Fatalf("warm-up score err = %v, want unavailable", err)
+		}
+	}
+	res, err := r.Score(ctx, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0.7 {
+		t.Fatalf("score = %v, want 0.7 (second replica)", res.Score)
+	}
+	if states := r.ReplicaBreakerStates(0); states[0] != StateOpen || states[1] != StateClosed {
+		t.Fatalf("replica breaker states = %v, want [open closed]", states)
+	}
+	// With every endpoint refusing, the read fast-fails.
+	r2.score = alwaysDown
+	r.Score(ctx, "a", "b") // downs replica 2
+	start := time.Now()
+	if _, err := r.Score(ctx, "a", "b"); !IsUnavailable(err) {
+		t.Fatalf("all-open score err = %v, want unavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("all-open score stalled %v; open breakers must fast-fail", elapsed)
+	}
+}
+
+func TestHedgedReadRacesReplica(t *testing.T) {
+	primary := newStub()
+	primary.score = func(int, string, string) (ScoreResult, error) {
+		time.Sleep(300 * time.Millisecond)
+		return ScoreResult{Score: 0.5}, nil
+	}
+	replica := newStub()
+	replica.score = func(_ int, u, v string) (ScoreResult, error) {
+		return ScoreResult{U: u, V: v, Score: 0.9}, nil
+	}
+	cfg := testConfig()
+	cfg.HedgeAfter = 5 * time.Millisecond
+	r := NewRouter([]Client{primary}, cfg)
+	r.SetReplicas(0, []Client{replica})
+
+	start := time.Now()
+	res, err := r.Score(context.Background(), "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0.9 {
+		t.Fatalf("score = %v, want 0.9 (replica hedge win over the slow primary)", res.Score)
+	}
+	if elapsed := time.Since(start); elapsed >= 300*time.Millisecond {
+		t.Fatalf("hedged read took %v; replica should have answered first", elapsed)
+	}
+	if got := replica.callCount("score"); got != 1 {
+		t.Fatalf("replica called %d times, want 1 (the hedge)", got)
+	}
+}
+
+func TestHealthReportsReplicaBreakers(t *testing.T) {
+	ss, cs := stubs(2)
+	_ = ss
+	r := NewRouter(cs, failoverConfig())
+	r.SetReplicas(1, []Client{newStub(), newStub()})
+	hs := r.Health(context.Background())
+	if len(hs[0].Replicas) != 0 {
+		t.Fatalf("shard 0 replicas = %v, want none", hs[0].Replicas)
+	}
+	if len(hs[1].Replicas) != 2 || hs[1].Replicas[0] != "closed" {
+		t.Fatalf("shard 1 replicas = %v, want two closed", hs[1].Replicas)
+	}
+}

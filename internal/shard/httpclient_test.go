@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"ssflp/internal/resilience"
@@ -158,6 +159,116 @@ func TestHTTPClientIngestAndBatch(t *testing.T) {
 	res, err := c.Batch(context.Background(), [][2]string{{"x", "y"}})
 	if err != nil || len(res) != 1 || res[0].U != "x" || res[0].Score != 0.3 {
 		t.Fatalf("batch = %+v, err = %v", res, err)
+	}
+}
+
+// TestHTTPClientBodyTaxonomy pins the error classification for damaged or
+// hostile response bodies: truncated streams and oversized answers are
+// infrastructure failures (retryable, breaker-relevant), while non-JSON
+// error pages keep their status-based class and fall back to the status
+// text instead of leaking raw HTML into the error chain.
+func TestHTTPClientBodyTaxonomy(t *testing.T) {
+	cases := []struct {
+		name        string
+		handler     http.HandlerFunc
+		notFound    bool
+		unavailable bool
+		contains    string
+	}{
+		{
+			name: "truncated 200 body is unavailable",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusOK)
+				w.(http.Flusher).Flush()
+				w.Write([]byte(`{"u":"a","v":"b","sc`))
+				panic(http.ErrAbortHandler) // cut the connection mid-body
+			},
+			unavailable: true,
+		},
+		{
+			name: "oversized 200 body is unavailable",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				// Valid JSON, but past the client's 4MiB read cap — the
+				// truncated prefix no longer parses.
+				w.Write([]byte(`{"u":"`))
+				filler := strings.Repeat("a", 1<<20)
+				for range 5 {
+					w.Write([]byte(filler))
+				}
+				w.Write([]byte(`"}`))
+			},
+			unavailable: true,
+			contains:    "malformed shard answer",
+		},
+		{
+			name: "malformed JSON on 200 is unavailable",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				w.Write([]byte(`{"u":`))
+			},
+			unavailable: true,
+			contains:    "malformed shard answer",
+		},
+		{
+			name: "non-JSON 502 error page stays unavailable with status text",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "text/html")
+				w.WriteHeader(http.StatusBadGateway)
+				w.Write([]byte("<html><body>upstream exploded</body></html>"))
+			},
+			unavailable: true,
+			contains:    "Bad Gateway",
+		},
+		{
+			name: "empty 500 body stays unavailable with status text",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusInternalServerError)
+			},
+			unavailable: true,
+			contains:    "Internal Server Error",
+		},
+		{
+			name: "non-JSON 404 body stays not-found with status text",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusNotFound)
+				w.Write([]byte("no such page"))
+			},
+			notFound: true,
+			contains: "Not Found",
+		},
+		{
+			name: "non-JSON 400 body stays a domain error with status text",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusBadRequest)
+				w.Write([]byte("plain text complaint"))
+			},
+			contains: "Bad Request",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(tc.handler)
+			defer srv.Close()
+			c, err := NewHTTPClient(srv.URL, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = c.Score(context.Background(), "a", "b")
+			if err == nil {
+				t.Fatal("err = nil, want classified failure")
+			}
+			if got := errors.Is(err, ErrNotFound); got != tc.notFound {
+				t.Errorf("ErrNotFound = %v, want %v (err: %v)", got, tc.notFound, err)
+			}
+			if got := IsUnavailable(err); got != tc.unavailable {
+				t.Errorf("IsUnavailable = %v, want %v (err: %v)", got, tc.unavailable, err)
+			}
+			if tc.contains != "" && !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("err %q does not contain %q", err, tc.contains)
+			}
+			if strings.Contains(err.Error(), "<html>") {
+				t.Errorf("err %q leaks raw HTML", err)
+			}
+		})
 	}
 }
 

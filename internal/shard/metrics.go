@@ -18,6 +18,7 @@ type Metrics struct {
 	hedgeWins    *telemetry.CounterVec   // shard, op
 	breakerOpen  *telemetry.CounterVec   // shard, to (transition counter)
 	breakerGauge *telemetry.GaugeVec     // shard (0 closed, 1 half-open, 2 open)
+	failovers    *telemetry.CounterVec   // shard, op: reads sent to a replica
 	fanout       *telemetry.HistogramVec // op: end-to-end scatter-gather latency
 	degraded     *telemetry.CounterVec   // op: partial-result responses served
 	dualWrites   *telemetry.Counter      // cross-shard edges written twice
@@ -44,6 +45,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		"Circuit breaker state transitions, by shard and destination state.", "shard", "to")
 	m.breakerGauge = reg.GaugeVec("ssf_shard_breaker_state",
 		"Circuit breaker position per shard: 0 closed, 1 half-open, 2 open.", "shard")
+	m.failovers = reg.CounterVec("ssf_shard_failovers_total",
+		"Idempotent reads routed to a replica because the primary's breaker refused them, by shard and operation.", "shard", "op")
 	m.fanout = reg.HistogramVec("ssf_router_fanout_duration_seconds",
 		"End-to-end scatter-gather latency by operation, including retries and hedges.", nil, "op")
 	m.degraded = reg.CounterVec("ssf_router_degraded_total",
@@ -90,6 +93,12 @@ func (m *Metrics) noteBreaker(shard string, to BreakerState) {
 	if m != nil {
 		m.breakerOpen.With(shard, to.String()).Inc()
 		m.breakerGauge.With(shard).Set(float64(to))
+	}
+}
+
+func (m *Metrics) noteFailover(shard, op string) {
+	if m != nil {
+		m.failovers.With(shard, op).Inc()
 	}
 }
 

@@ -86,17 +86,30 @@ type Router struct {
 	rng   *rand.Rand
 }
 
-// managedShard is one shard plus its robustness state.
-type managedShard struct {
-	id      int
-	label   string
+// endpoint is one addressable copy of a shard — the primary or a read
+// replica — with its own breaker and latency window, so a dying replica
+// opens its own circuit without poisoning the primary's.
+type endpoint struct {
+	label   string // primary: "0"; replicas: "0r1", "0r2", ...
+	replica bool
 	client  Client
 	breaker *Breaker
 	lat     *latencyWindow
 }
 
+// managedShard is one shard plus its robustness state. endpoints[0] is the
+// primary (the only writable copy); the rest are read replicas in failover
+// preference order.
+type managedShard struct {
+	id        int
+	endpoints []*endpoint
+}
+
+func (m *managedShard) primary() *endpoint { return m.endpoints[0] }
+
 // NewRouter builds a router over the given shard clients (index = shard id).
-// At least one client is required.
+// At least one client is required. Attach read replicas with SetReplicas
+// before serving traffic.
 func NewRouter(clients []Client, cfg Config) *Router {
 	if len(clients) == 0 {
 		panic("shard: NewRouter needs at least one client")
@@ -113,25 +126,48 @@ func NewRouter(clients []Client, cfg Config) *Router {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for i, c := range clients {
-		label := shardLabel(i)
-		bc := cfg.Breaker
-		bc.OnTransition = func(_, to BreakerState) {
-			r.metrics.noteBreaker(label, to)
-			logger.Info("shard breaker transition",
-				slog.String("shard", label), slog.String("to", to.String()))
-		}
-		r.shards = append(r.shards, &managedShard{
-			id:      i,
-			label:   label,
-			client:  c,
-			breaker: NewBreaker(bc),
-			lat:     newLatencyWindow(128),
-		})
-		// Publish the initial closed state so dashboards see every shard.
-		r.metrics.noteBreaker(label, StateClosed)
+		m := &managedShard{id: i}
+		m.endpoints = append(m.endpoints, r.newEndpoint(shardLabel(i), c, false))
+		r.shards = append(r.shards, m)
 	}
 	return r
 }
+
+// newEndpoint wires one endpoint's breaker and telemetry.
+func (r *Router) newEndpoint(label string, c Client, replica bool) *endpoint {
+	bc := r.cfg.Breaker
+	bc.OnTransition = func(_, to BreakerState) {
+		r.metrics.noteBreaker(label, to)
+		r.logger.Info("shard breaker transition",
+			slog.String("shard", label), slog.String("to", to.String()))
+	}
+	// Publish the initial closed state so dashboards see every endpoint.
+	r.metrics.noteBreaker(label, StateClosed)
+	return &endpoint{
+		label:   label,
+		replica: replica,
+		client:  c,
+		breaker: NewBreaker(bc),
+		lat:     newLatencyWindow(128),
+	}
+}
+
+// SetReplicas attaches read replicas to shard id in failover preference
+// order, replacing any previously attached set. Replicas serve idempotent
+// reads when the primary's breaker refuses them and absorb hedged reads;
+// writes always go to the primary. Call during wiring, before the router
+// serves traffic — the shard table is not locked.
+func (r *Router) SetReplicas(id int, clients []Client) {
+	m := r.shards[id]
+	m.endpoints = m.endpoints[:1]
+	for j, c := range clients {
+		label := fmt.Sprintf("%sr%d", shardLabel(id), j+1)
+		m.endpoints = append(m.endpoints, r.newEndpoint(label, c, true))
+	}
+}
+
+// NumReplicas returns how many read replicas shard id has attached.
+func (r *Router) NumReplicas(id int) int { return len(r.shards[id].endpoints) - 1 }
 
 // NumShards returns the shard count.
 func (r *Router) NumShards() int { return len(r.shards) }
@@ -139,9 +175,20 @@ func (r *Router) NumShards() int { return len(r.shards) }
 // Owner returns the shard owning the node with the given label.
 func (r *Router) Owner(label string) int { return Owner(label, len(r.shards)) }
 
-// BreakerState returns shard id's breaker position (telemetry, tests).
+// BreakerState returns the breaker position of shard id's primary
+// (telemetry, tests).
 func (r *Router) BreakerState(id int) BreakerState {
-	return r.shards[id].breaker.State()
+	return r.shards[id].primary().breaker.State()
+}
+
+// ReplicaBreakerStates returns the breaker positions of shard id's replicas
+// in failover order (telemetry, tests).
+func (r *Router) ReplicaBreakerStates(id int) []BreakerState {
+	var out []BreakerState
+	for _, ep := range r.shards[id].endpoints[1:] {
+		out = append(out, ep.breaker.State())
+	}
+	return out
 }
 
 // ShardHealth is one shard's aggregated health as seen by the router.
@@ -153,6 +200,9 @@ type ShardHealth struct {
 	Nodes   int    `json:"nodes"`
 	Links   int    `json:"links"`
 	Error   string `json:"error,omitempty"`
+	// Replicas lists the breaker position of each attached read replica in
+	// failover order; absent for shards without replicas.
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // Health polls every shard directly (bounded by Timeout, no retries — a
@@ -167,8 +217,11 @@ func (r *Router) Health(ctx context.Context) []ShardHealth {
 			defer wg.Done()
 			hctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 			defer cancel()
-			h := ShardHealth{ID: m.id, Breaker: m.breaker.State().String()}
-			info, err := m.client.Health(hctx)
+			h := ShardHealth{ID: m.id, Breaker: m.primary().breaker.State().String()}
+			for _, ep := range m.endpoints[1:] {
+				h.Replicas = append(h.Replicas, ep.breaker.State().String())
+			}
+			info, err := m.primary().client.Health(hctx)
 			if err != nil {
 				h.Error = err.Error()
 			} else {
@@ -188,8 +241,8 @@ func (r *Router) Health(ctx context.Context) []ShardHealth {
 func (r *Router) Score(ctx context.Context, u, v string) (ScoreResult, error) {
 	start := time.Now()
 	m := r.shards[PairOwner(u, v, len(r.shards))]
-	res, err := call(ctx, r, m, "score", true, func(ctx context.Context) (ScoreResult, error) {
-		return m.client.Score(ctx, u, v)
+	res, err := call(ctx, r, m, "score", true, func(ctx context.Context, c Client) (ScoreResult, error) {
+		return c.Score(ctx, u, v)
 	})
 	r.observeFanout("score", start)
 	if err != nil {
@@ -225,8 +278,8 @@ func (r *Router) Top(ctx context.Context, n int) (TopGather, error) {
 		wg.Add(1)
 		go func(m *managedShard) {
 			defer wg.Done()
-			res, err := call(ctx, r, m, "top", true, func(ctx context.Context) (TopResult, error) {
-				return m.client.Top(ctx, n)
+			res, err := call(ctx, r, m, "top", true, func(ctx context.Context, c Client) (TopResult, error) {
+				return c.Top(ctx, n)
 			})
 			answers[m.id] = answer{res: res, err: err}
 		}(m)
@@ -340,8 +393,8 @@ func (r *Router) Batch(ctx context.Context, pairs [][2]string) (BatchGather, err
 		wg.Add(1)
 		go func(m *managedShard, idxs []int, sub [][2]string) {
 			defer wg.Done()
-			res, err := call(ctx, r, m, "batch", true, func(ctx context.Context) ([]ScoreResult, error) {
-				return m.client.Batch(ctx, sub)
+			res, err := call(ctx, r, m, "batch", true, func(ctx context.Context, c Client) ([]ScoreResult, error) {
+				return c.Batch(ctx, sub)
 			})
 			mu.Lock()
 			defer mu.Unlock()
@@ -432,8 +485,8 @@ func (r *Router) Ingest(ctx context.Context, edges []Edge) (IngestGather, error)
 		wg.Add(1)
 		go func(m *managedShard, sub []Edge) {
 			defer wg.Done()
-			res, err := call(ctx, r, m, "ingest", false, func(ctx context.Context) (IngestResult, error) {
-				return m.client.Ingest(ctx, sub)
+			res, err := call(ctx, r, m, "ingest", false, func(ctx context.Context, c Client) (IngestResult, error) {
+				return c.Ingest(ctx, sub)
 			})
 			mu.Lock()
 			defer mu.Unlock()
@@ -455,35 +508,44 @@ func (r *Router) Ingest(ctx context.Context, edges []Edge) (IngestGather, error)
 }
 
 // call is the per-shard robustness ladder shared by every operation: breaker
-// admission (open = fast-fail, no timeout-length stall), a per-attempt
-// deadline, hedged execution for idempotent reads, and retry with
-// exponential backoff and full jitter on retryable failures. Writes get one
-// unhedged attempt. Generic so each operation keeps its result type.
-func call[T any](ctx context.Context, r *Router, m *managedShard, op string, idempotent bool, fn func(context.Context) (T, error)) (T, error) {
+// admission (open = fast-fail, no timeout-length stall), failover of
+// idempotent reads to replica endpoints when the primary's breaker refuses
+// them, a per-attempt deadline, hedged execution for idempotent reads, and
+// retry with exponential backoff and full jitter on retryable failures.
+// Writes get one unhedged attempt against the primary only. Generic so each
+// operation keeps its result type.
+func call[T any](ctx context.Context, r *Router, m *managedShard, op string, idempotent bool, fn func(context.Context, Client) (T, error)) (T, error) {
 	var zero T
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if !m.breaker.Allow() {
-			r.metrics.noteError(m.label, op)
+		next := admitted(m, idempotent)
+		ep := next()
+		if ep == nil {
+			// No endpoint's breaker admits the call: fast-fail, preserving
+			// the breaker's no-stall guarantee — no backoff, no waiting.
+			r.metrics.noteError(shardLabel(m.id), op)
 			err := fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
 			if lastErr != nil {
 				err = lastErr
 			}
 			return zero, err
 		}
-		res, err := attemptCall(ctx, r, m, op, idempotent, attempt, fn)
+		if ep.replica {
+			r.metrics.noteFailover(shardLabel(m.id), op)
+		}
+		res, err := attemptCall(ctx, r, m, ep, next, op, idempotent, attempt, fn)
 		if err == nil {
 			return res, nil
 		}
 		if !IsUnavailable(err) {
 			return zero, err // domain error: the shard answered
 		}
-		r.metrics.noteError(m.label, op)
+		r.metrics.noteError(ep.label, op)
 		lastErr = err
 		if !idempotent || attempt >= r.cfg.Retries || ctx.Err() != nil {
 			return zero, lastErr
 		}
-		r.metrics.noteRetry(m.label, op)
+		r.metrics.noteRetry(ep.label, op)
 		select {
 		case <-time.After(r.backoff(attempt)):
 		case <-ctx.Done():
@@ -492,43 +554,70 @@ func call[T any](ctx context.Context, r *Router, m *managedShard, op string, ide
 	}
 }
 
+// admitted returns an iterator over m's endpoints in preference order —
+// primary first, then replicas — yielding only endpoints whose breaker
+// admits a call right now. Admission is consumed lazily so half-open probe
+// tokens are only spent on endpoints actually tried. Writes see the primary
+// alone.
+func admitted(m *managedShard, idempotent bool) func() *endpoint {
+	eps := m.endpoints
+	if !idempotent {
+		eps = eps[:1]
+	}
+	i := 0
+	return func() *endpoint {
+		for i < len(eps) {
+			ep := eps[i]
+			i++
+			if ep.breaker.Allow() {
+				return ep
+			}
+		}
+		return nil
+	}
+}
+
 // attemptCall runs one logical attempt against one shard, hedging idempotent
 // reads with a second physical attempt once the hedge delay elapses. The
-// first success (or first domain answer) wins; an unavailable primary waits
-// for an in-flight hedge before giving up. Breaker outcomes are recorded
-// only for physical attempts whose result was observed — a hedge loser
-// cancelled after the winner returned counts for nothing.
-func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, op string, idempotent bool, attempt int, fn func(context.Context) (T, error)) (T, error) {
+// hedge prefers the next admitted endpoint (a replica, when one is attached
+// and willing) so a slow primary races a different copy of the data; with no
+// other endpoint available it re-dispatches to the same one. The first
+// success (or first domain answer) wins; an unavailable first attempt waits
+// for an in-flight hedge before giving up. Breaker outcomes are recorded on
+// the endpoint that served each observed result — a hedge loser cancelled
+// after the winner returned counts for nothing.
+func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, first *endpoint, next func() *endpoint, op string, idempotent bool, attempt int, fn func(context.Context, Client) (T, error)) (T, error) {
 	var zero T
 	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 	defer cancel()
 	type outcome struct {
 		res     T
 		err     error
+		ep      *endpoint
 		hedge   bool
 		elapsed time.Duration
 	}
 	ch := make(chan outcome, 2)
 	reqID := resilience.RequestID(ctx)
-	launch := func(hedge bool) {
-		r.metrics.noteRequest(m.label, op)
+	launch := func(ep *endpoint, hedge bool) {
+		r.metrics.noteRequest(ep.label, op)
 		go func() {
 			start := time.Now()
-			res, err := fn(actx)
+			res, err := fn(actx, ep.client)
 			elapsed := time.Since(start)
 			if err != nil && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
 				// The per-attempt deadline fired (not the caller's): an
 				// infrastructure timeout, retryable and breaker-relevant.
 				err = fmt.Errorf("%w: attempt timed out after %v", ErrUnavailable, r.cfg.Timeout)
 			}
-			ch <- outcome{res: res, err: err, hedge: hedge, elapsed: elapsed}
+			ch <- outcome{res: res, err: err, ep: ep, hedge: hedge, elapsed: elapsed}
 		}()
 	}
-	launch(false)
+	launch(first, false)
 
 	var hedgeTimer *time.Timer
 	var hedgeC <-chan time.Time
-	if delay, ok := r.hedgeDelay(m, idempotent); ok {
+	if delay, ok := r.hedgeDelay(first, idempotent); ok {
 		hedgeTimer = time.NewTimer(delay)
 		defer hedgeTimer.Stop()
 		hedgeC = hedgeTimer.C
@@ -539,17 +628,17 @@ func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, op stri
 		select {
 		case o := <-ch:
 			outstanding--
-			logAttempt(r, m, op, reqID, attempt, o.hedge, o.elapsed, o.err)
+			logAttempt(r, m, o.ep, op, reqID, attempt, o.hedge, o.elapsed, o.err)
 			switch {
 			case o.err == nil:
-				m.breaker.Record(true)
-				m.lat.add(o.elapsed)
+				o.ep.breaker.Record(true)
+				o.ep.lat.add(o.elapsed)
 				if o.hedge {
-					r.metrics.noteHedgeWin(m.label, op)
+					r.metrics.noteHedgeWin(o.ep.label, op)
 				}
 				return o.res, nil
 			case IsUnavailable(o.err):
-				m.breaker.Record(false)
+				o.ep.breaker.Record(false)
 				if firstErr == nil {
 					firstErr = o.err
 				}
@@ -560,7 +649,7 @@ func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, op stri
 					firstErr = o.err
 				}
 			default:
-				m.breaker.Record(true) // domain answer from a healthy shard
+				o.ep.breaker.Record(true) // domain answer from a healthy shard
 				return zero, o.err
 			}
 		case <-hedgeC:
@@ -568,21 +657,26 @@ func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, op stri
 			if outstanding == 1 && !hedged && ctx.Err() == nil {
 				hedged = true
 				outstanding++
-				r.metrics.noteHedge(m.label, op)
-				launch(true)
+				target := next()
+				if target == nil {
+					target = first
+				}
+				r.metrics.noteHedge(target.label, op)
+				launch(target, true)
 			}
 		}
 	}
 	return zero, firstErr
 }
 
-// logAttempt emits the per-attempt trace line: request id + shard id make a
-// scatter-gathered query reconstructable from the logs alone.
-func logAttempt(r *Router, m *managedShard, op, reqID string, attempt int, hedge bool, elapsed time.Duration, err error) {
+// logAttempt emits the per-attempt trace line: request id + endpoint label
+// make a scatter-gathered query reconstructable from the logs alone.
+func logAttempt(r *Router, m *managedShard, ep *endpoint, op, reqID string, attempt int, hedge bool, elapsed time.Duration, err error) {
 	level := slog.LevelDebug
 	attrs := []slog.Attr{
 		slog.String("request_id", reqID),
 		slog.Int("shard", m.id),
+		slog.String("endpoint", ep.label),
 		slog.String("op", op),
 		slog.Int("attempt", attempt),
 		slog.Bool("hedge", hedge),
@@ -595,18 +689,18 @@ func logAttempt(r *Router, m *managedShard, op, reqID string, attempt int, hedge
 	r.logger.LogAttrs(context.Background(), level, "shard call", attrs...)
 }
 
-// hedgeDelay resolves the hedged-read delay for one shard, or ok=false when
-// hedging is off (writes, negative HedgeAfter).
-func (r *Router) hedgeDelay(m *managedShard, idempotent bool) (time.Duration, bool) {
+// hedgeDelay resolves the hedged-read delay for one endpoint, or ok=false
+// when hedging is off (writes, negative HedgeAfter).
+func (r *Router) hedgeDelay(ep *endpoint, idempotent bool) (time.Duration, bool) {
 	if !idempotent || r.cfg.HedgeAfter < 0 {
 		return 0, false
 	}
 	if r.cfg.HedgeAfter > 0 {
 		return r.cfg.HedgeAfter, true
 	}
-	d, ok := m.lat.p95()
+	d, ok := ep.lat.p95()
 	if !ok {
-		// Too few samples to know the shard's latency shape yet; hedge
+		// Too few samples to know the endpoint's latency shape yet; hedge
 		// late enough to be harmless.
 		return r.cfg.Timeout / 2, true
 	}

@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrCompacted reports a read positioned before the oldest retained record:
+// the segments holding it were reclaimed after a snapshot. A follower that
+// sees it must re-bootstrap from the latest snapshot instead of tailing.
+var ErrCompacted = errors.New("wal: records compacted away")
+
+// SegmentInfo describes one live segment for inspection tooling and the
+// replication stream server.
+type SegmentInfo struct {
+	First LSN    // LSN of the segment's first record
+	Size  int64  // bytes on disk
+	Path  string // absolute segment path
+}
+
+// Segments lists the live segment chain in first-LSN order. Buffered writes
+// are flushed first so the reported sizes match what a reader would see.
+func (l *Log) Segments() ([]SegmentInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentInfo, 0, len(segs))
+	for _, seg := range segs {
+		info, err := os.Stat(seg.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: stat segment: %w", err)
+		}
+		out = append(out, SegmentInfo{First: seg.first, Size: info.Size(), Path: seg.path})
+	}
+	return out, nil
+}
+
+// LastLSN returns the LSN of the last appended record, or 0 when the log is
+// empty. It is NextLSN()-1 under one lock acquisition.
+func (l *Log) LastLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// OldestLSN returns the first LSN still addressable in the live segment
+// chain, or 0 when the log holds no records. Reads below it fail with
+// ErrCompacted.
+func (l *Log) OldestLSN() (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 || segs[0].first >= l.nextLSN {
+		return 0, nil
+	}
+	return segs[0].first, nil
+}
+
+// ReadFrom returns up to max events starting at LSN from, in order; the i-th
+// event has LSN from+i. An empty answer with a nil error means from is past
+// the end of the log (the caller should wait on Updates and retry). A
+// position older than the oldest retained segment fails with ErrCompacted —
+// the signal that a tailing follower must re-bootstrap from a snapshot.
+//
+// ReadFrom holds the log's lock while scanning, so it coexists safely with
+// concurrent appends, rotation and truncation; callers should bound max to
+// keep the scan (and the pause it imposes on writers) short.
+func (l *Log) ReadFrom(from LSN, max int) ([]Event, error) {
+	if from == 0 {
+		return nil, fmt.Errorf("wal: read from LSN 0 (LSNs are 1-based)")
+	}
+	if max <= 0 {
+		return nil, fmt.Errorf("wal: non-positive read batch %d", max)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if from >= l.nextLSN {
+		return nil, nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 || from < segs[0].first {
+		oldest := LSN(0)
+		if len(segs) > 0 {
+			oldest = segs[0].first
+		}
+		return nil, fmt.Errorf("%w: want %d, oldest retained is %d", ErrCompacted, from, oldest)
+	}
+	var out []Event
+	stop := errors.New("done")
+	next := segs[0].first
+	for _, seg := range segs {
+		if seg.first != next {
+			break // chain gap: nothing past it is addressable
+		}
+		res, err := scanSegment(seg.path, seg.first, func(lsn LSN, ev Event) error {
+			if lsn < from {
+				return nil
+			}
+			out = append(out, ev)
+			if len(out) >= max {
+				return stop
+			}
+			return nil
+		})
+		if errors.Is(err, stop) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		next += LSN(res.records)
+		if !res.clean {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Updates returns a channel that is closed after the next successful append
+// (or when the log closes), so a tailing reader can long-poll for new
+// records: grab the channel, check ReadFrom, and wait on the channel when the
+// read came back empty.
+func (l *Log) Updates() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.updates == nil {
+		l.updates = make(chan struct{})
+		if l.closed {
+			close(l.updates)
+		}
+	}
+	return l.updates
+}
+
+// notifyUpdateLocked wakes every Updates waiter; callers hold l.mu.
+func (l *Log) notifyUpdateLocked() {
+	if l.updates != nil {
+		close(l.updates)
+		l.updates = nil
+	}
+}
+
+// flushLocked pushes buffered records to the OS so on-disk readers see them;
+// callers hold l.mu. A failure is sticky, like every other write failure.
+func (l *Log) flushLocked() error {
+	if l.stickyErr != nil {
+		return l.stickyErr
+	}
+	if err := l.w.Flush(); err != nil {
+		l.stickyErr = fmt.Errorf("wal: flush: %w", err)
+		return l.stickyErr
+	}
+	return nil
+}
+
+// LatestSnapshot returns the path and LSN of the newest snapshot in dir that
+// verifies, or ok=false when no usable snapshot exists. It reads each
+// candidate fully (newest first) so a damaged newest generation falls back to
+// the previous one, exactly like recovery does.
+func LatestSnapshot(dir string) (path string, lsn LSN, ok bool) {
+	for _, p := range listSnapshots(dir) {
+		s, err := ReadSnapshot(p)
+		if err != nil {
+			continue
+		}
+		return p, s.LSN, true
+	}
+	return "", 0, false
+}

@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"ssflp/internal/graph"
+)
+
+// appendN appends n events with distinct labels and returns the last LSN.
+func appendN(t *testing.T, l *Log, start, n int) LSN {
+	t.Helper()
+	var last LSN
+	for i := start; i < start+n; i++ {
+		lsn, err := l.Append(Event{U: fmt.Sprintf("u%d", i), V: fmt.Sprintf("v%d", i), Ts: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = lsn
+	}
+	return last
+}
+
+func TestLastLSNAndSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64}) // tiny segments force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.LastLSN(); got != 0 {
+		t.Fatalf("empty log LastLSN = %d, want 0", got)
+	}
+	last := appendN(t, l, 0, 10)
+	if got := l.LastLSN(); got != last || got != 10 {
+		t.Fatalf("LastLSN = %d, want %d", got, last)
+	}
+	segs, err := l.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation with 64-byte segments, got %d segment(s)", len(segs))
+	}
+	// The chain must be contiguous: each segment starts where the previous
+	// one's records end, and sizes must be non-zero for sealed segments.
+	if segs[0].First != 1 {
+		t.Fatalf("first segment starts at %d, want 1", segs[0].First)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].First <= segs[i-1].First {
+			t.Fatalf("segment order broken: %d then %d", segs[i-1].First, segs[i].First)
+		}
+		if segs[i-1].Size == 0 {
+			t.Fatalf("sealed segment %d has zero size", i-1)
+		}
+	}
+	oldest, err := l.OldestLSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest != 1 {
+		t.Fatalf("OldestLSN = %d, want 1", oldest)
+	}
+}
+
+func TestReadFromTailAndOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 12)
+
+	// Full read from 1 in two batches, spanning segment boundaries.
+	first, err := l.ReadFrom(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 7 {
+		t.Fatalf("ReadFrom(1, 7) = %d events", len(first))
+	}
+	rest, err := l.ReadFrom(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 5 {
+		t.Fatalf("ReadFrom(8, 100) = %d events, want 5", len(rest))
+	}
+	for i, ev := range append(first, rest...) {
+		if want := fmt.Sprintf("u%d", i); ev.U != want || ev.Ts != int64(i) {
+			t.Fatalf("event %d = %+v, want U=%s Ts=%d", i, ev, want, i)
+		}
+	}
+
+	// Past the end: empty, no error — the long-poll contract.
+	none, err := l.ReadFrom(13, 10)
+	if err != nil || len(none) != 0 {
+		t.Fatalf("ReadFrom past end = %d events, err %v", len(none), err)
+	}
+
+	// LSN 0 and non-positive max are caller bugs.
+	if _, err := l.ReadFrom(0, 1); err == nil {
+		t.Fatal("ReadFrom(0) did not fail")
+	}
+	if _, err := l.ReadFrom(1, 0); err == nil {
+		t.Fatal("ReadFrom(_, 0) did not fail")
+	}
+}
+
+func TestReadFromCompacted(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 12)
+
+	// Snapshot at LSN 8 and reclaim the segments it covers.
+	g := graph.New(0)
+	if _, err := WriteSnapshot(dir, &Snapshot{LSN: 8, Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.TruncateBefore(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("TruncateBefore removed nothing; segment sizing off")
+	}
+
+	if _, err := l.ReadFrom(1, 10); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(1) after truncation: err = %v, want ErrCompacted", err)
+	}
+	oldest, err := l.OldestLSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest <= 1 {
+		t.Fatalf("OldestLSN = %d after truncation, want > 1", oldest)
+	}
+	// The retained suffix still reads cleanly.
+	evs, err := l.ReadFrom(oldest, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 - int(oldest) + 1; len(evs) != want {
+		t.Fatalf("ReadFrom(%d) = %d events, want %d", oldest, len(evs), want)
+	}
+}
+
+func TestUpdatesWakesOnAppendAndClose(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := l.Updates()
+	select {
+	case <-ch:
+		t.Fatal("Updates channel closed before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Error("Updates not woken by append")
+		}
+	}()
+	if _, err := l.Append(Event{U: "a", V: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// A fresh channel must be woken by Close so tailing readers terminate.
+	ch = l.Updates()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Updates not woken by Close")
+	}
+}
+
+func TestReadFromClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadFrom(1, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadFrom on closed log: err = %v, want ErrClosed", err)
+	}
+	if _, err := l.Segments(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Segments on closed log: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestLatestSnapshotFallsBackPastDamage(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New(0)
+	if _, err := WriteSnapshot(dir, &Snapshot{LSN: 5, Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	goodPath, goodLSN, ok := LatestSnapshot(dir)
+	if !ok || goodLSN != 5 {
+		t.Fatalf("LatestSnapshot = %q lsn %d ok %v", goodPath, goodLSN, ok)
+	}
+	// Write a newer snapshot, then corrupt it: LatestSnapshot must fall back.
+	newer, err := WriteSnapshot(dir, &Snapshot{LSN: 9, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newer, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, lsn, ok := LatestSnapshot(dir)
+	if !ok || lsn != 5 {
+		t.Fatalf("LatestSnapshot after damage = %q lsn %d ok %v, want fallback to 5", path, lsn, ok)
+	}
+}

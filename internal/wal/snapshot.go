@@ -152,6 +152,13 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
+	return ParseSnapshot(data)
+}
+
+// ParseSnapshot verifies and decodes an in-memory snapshot encoding — the
+// same bytes WriteSnapshot persists. Replication followers use it to decode
+// a snapshot fetched from the leader without touching disk.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
 	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}

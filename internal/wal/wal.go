@@ -99,7 +99,8 @@ type Log struct {
 	nextLSN   LSN           // LSN the next appended record will get
 	buf       []byte        // scratch encoding buffer
 	status    RecoveryStatus
-	stickyErr error // first write/sync failure; log refuses appends after
+	stickyErr error         // first write/sync failure; log refuses appends after
+	updates   chan struct{} // closed on append/close to wake tailing readers
 	closed    bool
 	stopSync  chan struct{} // closes the SyncInterval goroutine
 	syncDone  chan struct{}
@@ -375,6 +376,7 @@ func (l *Log) AppendBatch(evs []Event) (LSN, error) {
 		m.noteFsync(start)
 	}
 	m.noteAppend(len(evs), batchBytes)
+	l.notifyUpdateLocked()
 	return l.nextLSN - 1, nil
 }
 
@@ -561,6 +563,7 @@ func (l *Log) Close() error {
 		err = fmt.Errorf("wal: close: %w", cerr)
 	}
 	l.closed = true
+	l.notifyUpdateLocked()
 	done := l.syncDone
 	l.mu.Unlock()
 	if done != nil {

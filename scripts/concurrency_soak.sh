@@ -13,8 +13,17 @@
 # and the shard-1 circuit breaker is observed open during the flap and
 # closed again after recovery.
 #
+# A third, replication leg boots one leader and two WAL-shipped read
+# replicas, kills and restarts a replica mid-load, then SIGKILLs the leader,
+# and asserts the replication contract: reads against the surviving replica
+# never fail, the restarted replica re-bootstraps and catches up to the
+# leader's durable LSN, every replica serves byte-identical scores, and the
+# replica fleet keeps answering reads after the leader is gone.
+#
 # Tunables (environment): ADDR, DURATION (seconds, default 30), READERS
-# (default 8), REF_ADDR, FAULT_ADDR, FAULT_DURATION (seconds, default 25).
+# (default 8), REF_ADDR, FAULT_ADDR, FAULT_DURATION (seconds, default 25),
+# REPL_LEADER_ADDR, REPL_R1_ADDR, REPL_R2_ADDR, REPL_DURATION (seconds,
+# default 25). SOAK_ONLY selects a single leg: epoch | fault | repl.
 # Run from the repository root; needs the Go toolchain and curl.
 set -euo pipefail
 
@@ -24,14 +33,21 @@ READERS="${READERS:-8}"
 REF_ADDR="${REF_ADDR:-127.0.0.1:18091}"
 FAULT_ADDR="${FAULT_ADDR:-127.0.0.1:18092}"
 FAULT_DURATION="${FAULT_DURATION:-25}"
+REPL_LEADER_ADDR="${REPL_LEADER_ADDR:-127.0.0.1:18093}"
+REPL_R1_ADDR="${REPL_R1_ADDR:-127.0.0.1:18094}"
+REPL_R2_ADDR="${REPL_R2_ADDR:-127.0.0.1:18095}"
+REPL_DURATION="${REPL_DURATION:-25}"
 WORKDIR="$(mktemp -d)"
 SERVER_PID=""
 REF_PID=""
 FSHARD_PID=""
+LEADER_PID=""
+R1_PID=""
+R2_PID=""
 
 cleanup() {
-    touch "$WORKDIR/stop" "$WORKDIR/fstop" 2>/dev/null || true
-    for pid in "$SERVER_PID" "$REF_PID" "$FSHARD_PID"; do
+    touch "$WORKDIR/stop" "$WORKDIR/fstop" "$WORKDIR/rstop" 2>/dev/null || true
+    for pid in "$SERVER_PID" "$REF_PID" "$FSHARD_PID" "$LEADER_PID" "$R1_PID" "$R2_PID"; do
         if [[ -n "$pid" ]]; then
             kill "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -41,11 +57,34 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# run_leg answers whether the named leg should run under SOAK_ONLY.
+run_leg() {
+    [[ -z "${SOAK_ONLY:-}" || "${SOAK_ONLY}" == "$1" ]]
+}
+
+wait_ready() {
+    local addr="$1" pid="$2" log="$3"
+    for _ in $(seq 1 120); do
+        if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "server on $addr died during startup:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 1
+    done
+    curl -fsS "http://$addr/readyz" >/dev/null
+}
+
 echo "==> building ssf-serve with the race detector"
 go build -race -o "$WORKDIR/ssf-serve" ./cmd/ssf-serve
 
 echo "==> generating dataset"
 go run ./cmd/ssf-datasets -out "$WORKDIR" -datasets Slashdot -scale 40 -seed 3
+
+if run_leg epoch; then
 
 echo "==> booting server on $ADDR"
 GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
@@ -137,14 +176,23 @@ for f in "$WORKDIR"/reader*.log "$WORKDIR/writer.log"; do
     fi
 done
 
-echo "==> checking: all reads and writes succeeded (2xx)"
-for f in "$WORKDIR"/reader*.log "$WORKDIR/writer.log"; do
-    if awk '{ if ($1 < 200 || $1 >= 300) exit 1 }' "$f"; then :; else
-        echo "FAIL: non-2xx responses in $f:" >&2
-        awk '$1 < 200 || $1 >= 300' "$f" | sort | uniq -c >&2
+# Readers probe numeric tokens 0..39, a few of which are not node labels
+# until the writer happens to intern them — a 404 for those is the correct
+# answer (raw-id aliasing onto the wrong node is the bug), so the read
+# contract is 200 or 404 and nothing else.
+echo "==> checking: all reads answered (200/404), all writes succeeded (2xx)"
+for f in "$WORKDIR"/reader*.log; do
+    if awk '{ if ($1 != 200 && $1 != 404) exit 1 }' "$f"; then :; else
+        echo "FAIL: non-contract read responses in $f (only 200 and 404 allowed):" >&2
+        awk '$1 != 200 && $1 != 404' "$f" | sort | uniq -c >&2
         fail=1
     fi
 done
+if awk '{ if ($1 < 200 || $1 >= 300) exit 1 }' "$WORKDIR/writer.log"; then :; else
+    echo "FAIL: non-2xx responses in $WORKDIR/writer.log:" >&2
+    awk '$1 < 200 || $1 >= 300' "$WORKDIR/writer.log" | sort | uniq -c >&2
+    fail=1
+fi
 
 echo "==> checking: no race reports"
 if grep -q "DATA RACE" "$WORKDIR/server.log"; then
@@ -188,13 +236,17 @@ if [[ "$fail" -ne 0 ]]; then
 fi
 echo "PASS: concurrency soak"
 
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+fi # run_leg epoch
+
 # ---------------------------------------------------------------------------
 # Fault-injection leg: 3 in-process shards, shard 1 flapped on a schedule.
 # ---------------------------------------------------------------------------
 
-kill "$SERVER_PID" 2>/dev/null || true
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
+if run_leg fault; then
 
 # CN needs no training, so both servers are ready within a second or two of
 # boot and the byte-identity pre-check comfortably finishes before the flap
@@ -214,21 +266,6 @@ GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
     -addr "$FAULT_ADDR" -log-format json >"$WORKDIR/sharded.log" 2>&1 &
 FSHARD_PID=$!
 
-wait_ready() {
-    local addr="$1" pid="$2" log="$3"
-    for _ in $(seq 1 120); do
-        if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
-            return 0
-        fi
-        if ! kill -0 "$pid" 2>/dev/null; then
-            echo "server on $addr died during startup:" >&2
-            cat "$log" >&2
-            exit 1
-        fi
-        sleep 1
-    done
-    curl -fsS "http://$addr/readyz" >/dev/null
-}
 wait_ready "$REF_ADDR" "$REF_PID" "$WORKDIR/ref.log"
 wait_ready "$FAULT_ADDR" "$FSHARD_PID" "$WORKDIR/sharded.log"
 
@@ -333,9 +370,9 @@ fail=0
 
 echo "==> [fault] checking: reads degraded, never broken"
 for f in "$WORKDIR"/freader*.log; do
-    if awk '$1 != 200 && $1 != 503 { exit 1 }' "$f"; then :; else
-        echo "FAIL: non-contract /score status in $f (only 200 and 503 allowed):" >&2
-        awk '$1 != 200 && $1 != 503' "$f" | sort | uniq -c >&2
+    if awk '$1 != 200 && $1 != 404 && $1 != 503 { exit 1 }' "$f"; then :; else
+        echo "FAIL: non-contract /score status in $f (only 200, 404 and 503 allowed):" >&2
+        awk '$1 != 200 && $1 != 404 && $1 != 503' "$f" | sort | uniq -c >&2
         fail=1
     fi
 done
@@ -432,3 +469,225 @@ if [[ "$fail" -ne 0 ]]; then
     exit 1
 fi
 echo "PASS: fault-injection soak"
+
+kill "$FSHARD_PID" 2>/dev/null || true
+wait "$FSHARD_PID" 2>/dev/null || true
+FSHARD_PID=""
+
+fi # run_leg fault
+
+# ---------------------------------------------------------------------------
+# Replication leg: 1 leader + 2 WAL-shipped replicas under failover.
+# ---------------------------------------------------------------------------
+
+if run_leg repl; then
+
+echo "==> [repl] booting leader on $REPL_LEADER_ADDR"
+GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" -method CN -k 6 -maxpos 20 \
+    -wal-dir "$WORKDIR/wal-repl" -role leader \
+    -addr "$REPL_LEADER_ADDR" -log-format json >"$WORKDIR/leader.log" 2>&1 &
+LEADER_PID=$!
+
+# Replicas are stateless: same base file, everything else streamed from the
+# leader. The lag-age budget is raised far past the soak length so the
+# deliberate leader SIGKILL at the end does not flip replica readiness while
+# the post-mortem read window is still being asserted.
+boot_replica() {
+    local addr="$1" log="$2"
+    GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
+        -file "$WORKDIR/slashdot.txt" -method CN -k 6 -maxpos 20 \
+        -role replica -leader-addr "http://$REPL_LEADER_ADDR" \
+        -repl-lag-age 10m \
+        -addr "$addr" -log-format json >>"$log" 2>&1 &
+}
+
+boot_replica "$REPL_R1_ADDR" "$WORKDIR/r1.log"
+R1_PID=$!
+boot_replica "$REPL_R2_ADDR" "$WORKDIR/r2.log"
+R2_PID=$!
+
+wait_ready "$REPL_LEADER_ADDR" "$LEADER_PID" "$WORKDIR/leader.log"
+wait_ready "$REPL_R1_ADDR" "$R1_PID" "$WORKDIR/r1.log"
+wait_ready "$REPL_R2_ADDR" "$R2_PID" "$WORKDIR/r2.log"
+
+# lsn_of ADDR FIELD reads an LSN field off /healthz.
+lsn_of() {
+    curl -fsS "http://$1/healthz" 2>/dev/null |
+        sed -n 's/.*"'"$2"'":\([0-9][0-9]*\).*/\1/p'
+}
+
+echo "==> [repl] soaking for ${REPL_DURATION}s: readers on the surviving replica, writer on the leader"
+
+# Reader against replica 1 — the replica that stays up the whole leg, so
+# every single read must succeed: the leader dying and the sibling replica
+# being restarted are both invisible to it.
+rreader() {
+    local out="$WORKDIR/rreader$1.log"
+    while [[ ! -e "$WORKDIR/rstop" ]]; do
+        local u=$((RANDOM % 40)) v=$((RANDOM % 40))
+        [[ "$u" == "$v" ]] && continue
+        curl -s -o /dev/null -w '%{http_code} %{time_total}\n' \
+            "http://$REPL_R1_ADDR/score?u=$u&v=$v" >>"$out" || true
+    done
+}
+
+# Writer: durable ingest against the leader with explicit timestamps, so the
+# replicated stream is deterministic and acked batches can be re-read later.
+rwriter() {
+    local i=0 out="$WORKDIR/rwriter.log"
+    while [[ ! -e "$WORKDIR/rstop" ]]; do
+        i=$((i + 1))
+        local body="[{\"u\":\"repl${i}a\",\"v\":\"$((i % 40))\",\"ts\":${i}},{\"u\":\"repl${i}a\",\"v\":\"repl${i}b\",\"ts\":${i}}]"
+        curl -s -o /dev/null -w "%{http_code} ${i}\n" -X POST -d "$body" \
+            "http://$REPL_LEADER_ADDR/ingest" >>"$out" || true
+        sleep 0.05
+    done
+}
+
+rpids=()
+for r in 1 2 3 4; do
+    rreader "$r" &
+    rpids+=($!)
+done
+rwriter &
+rpids+=($!)
+
+third=$((REPL_DURATION / 3))
+sleep "$third"
+
+echo "==> [repl] SIGKILLing replica 2 mid-load"
+kill -9 "$R2_PID" 2>/dev/null || true
+wait "$R2_PID" 2>/dev/null || true
+R2_PID=""
+sleep 2
+
+echo "==> [repl] restarting replica 2 (stateless re-bootstrap)"
+boot_replica "$REPL_R2_ADDR" "$WORKDIR/r2.log"
+R2_PID=$!
+
+sleep $((REPL_DURATION - third - 2))
+touch "$WORKDIR/rstop"
+wait "${rpids[@]}" 2>/dev/null || true
+
+fail=0
+
+# 404 is allowed for tokens the writer has not interned yet (see the epoch
+# leg); anything else — a 5xx, a 429, a timeout-length 504 — fails the leg.
+echo "==> [repl] checking: every read against the surviving replica answered (200/404)"
+for f in "$WORKDIR"/rreader*.log; do
+    if awk '$1 != 200 && $1 != 404 { exit 1 }' "$f"; then :; else
+        echo "FAIL: non-contract /score against the surviving replica in $f:" >&2
+        awk '$1 != 200 && $1 != 404' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+
+echo "==> [repl] checking: all leader writes acknowledged"
+if awk '$1 != 200 { exit 1 }' "$WORKDIR/rwriter.log"; then :; else
+    echo "FAIL: non-200 /ingest against the leader:" >&2
+    awk '$1 != 200' "$WORKDIR/rwriter.log" | sort | uniq -c >&2
+    fail=1
+fi
+
+durable="$(lsn_of "$REPL_LEADER_ADDR" durable_lsn)"
+echo "==> [repl] waiting for both replicas to reach the leader's durable LSN ($durable)"
+caught_up=0
+for _ in $(seq 1 120); do
+    a1="$(lsn_of "$REPL_R1_ADDR" applied_lsn)"
+    a2="$(lsn_of "$REPL_R2_ADDR" applied_lsn)"
+    if [[ "$a1" == "$durable" && "$a2" == "$durable" ]]; then
+        caught_up=1
+        break
+    fi
+    sleep 0.5
+done
+if [[ "$caught_up" -ne 1 ]]; then
+    echo "FAIL: replicas never caught up (leader=$durable r1=${a1:-?} r2=${a2:-?})" >&2
+    tail -20 "$WORKDIR/r2.log" >&2
+    fail=1
+fi
+
+echo "==> [repl] checking: restarted replica re-bootstrapped and reports zero lag"
+r2_metrics="$(curl -fsS "http://$REPL_R2_ADDR/metrics" || true)"
+boots="$(printf '%s\n' "$r2_metrics" | sed -n 's/^ssf_replica_bootstraps_total //p')"
+if [[ -z "$boots" || "$boots" == "0" ]]; then
+    echo "FAIL: restarted replica recorded no bootstrap (ssf_replica_bootstraps_total=$boots)" >&2
+    fail=1
+fi
+lag="$(printf '%s\n' "$r2_metrics" | sed -n 's/^ssf_replica_lag_lsn //p')"
+if [[ "$lag" != "0" ]]; then
+    echo "FAIL: restarted replica lag gauge = ${lag:-missing}, want 0" >&2
+    fail=1
+fi
+if ! printf '%s\n' "$r2_metrics" | grep -q '^ssf_replica_catchup_duration_seconds_count [1-9]'; then
+    echo "FAIL: restarted replica recorded no catch-up duration observation" >&2
+    fail=1
+fi
+
+echo "==> [repl] checking: replicas serve byte-identical scores"
+last_acked="$(awk '$1 == 200 { last = $2 } END { print last }' "$WORKDIR/rwriter.log")"
+check_pair() {
+    local u="$1" v="$2"
+    local lb rb1 rb2
+    lb="$(curl -fsS "http://$REPL_LEADER_ADDR/score?u=$u&v=$v" || true)"
+    rb1="$(curl -fsS "http://$REPL_R1_ADDR/score?u=$u&v=$v" || true)"
+    rb2="$(curl -fsS "http://$REPL_R2_ADDR/score?u=$u&v=$v" || true)"
+    if [[ -z "$lb" || "$lb" != "$rb1" || "$lb" != "$rb2" ]]; then
+        echo "FAIL: score ($u,$v) diverged:" >&2
+        echo "  leader:    $lb" >&2
+        echo "  replica 1: $rb1" >&2
+        echo "  replica 2: $rb2" >&2
+        fail=1
+    fi
+}
+for u in 0 1 2 3; do
+    for v in 8 9 10 11; do
+        check_pair "$u" "$v"
+    done
+done
+check_pair "repl${last_acked}a" "repl${last_acked}b"
+
+echo "==> [repl] SIGKILLing the leader; the replica fleet must keep serving reads"
+kill -9 "$LEADER_PID" 2>/dev/null || true
+wait "$LEADER_PID" 2>/dev/null || true
+LEADER_PID=""
+sleep 1
+for addr in "$REPL_R1_ADDR" "$REPL_R2_ADDR"; do
+    for _ in $(seq 1 20); do
+        code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/score?u=0&v=1" || true)"
+        if [[ "$code" != "200" ]]; then
+            echo "FAIL: /score on $addr = $code after leader death, want 200" >&2
+            fail=1
+            break
+        fi
+    done
+done
+
+echo "==> [repl] checking: no race reports, replicas alive"
+for log in "$WORKDIR/leader.log" "$WORKDIR/r1.log" "$WORKDIR/r2.log"; do
+    if grep -q "DATA RACE" "$log"; then
+        echo "FAIL: race detector fired in $log:" >&2
+        grep -A 20 "DATA RACE" "$log" >&2
+        fail=1
+    fi
+done
+for pid in "$R1_PID" "$R2_PID"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: a replica exited during the soak" >&2
+        tail -30 "$WORKDIR/r1.log" "$WORKDIR/r2.log" >&2
+        fail=1
+    fi
+done
+
+reads="$(cat "$WORKDIR"/rreader*.log | wc -l)"
+writes="$(grep -c '^200' "$WORKDIR/rwriter.log" || true)"
+echo "    reads=$reads acked_writes=$writes durable_lsn=$durable"
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "FAIL: replication soak" >&2
+    exit 1
+fi
+echo "PASS: replication soak"
+
+fi # run_leg repl
