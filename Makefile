@@ -2,12 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check soak soak-repl bench bench-all bench-check vet fmt experiments clean
+.PHONY: all build test race cover cover-check soak soak-repl soak-top bench bench-all bench-check vet fmt experiments clean
 
 # The hot-path microbenches tracked in BENCH_ssf.json: the four extraction
-# kernels plus the telemetry primitives they observe through.
-HOT_BENCHES = ^(BenchmarkSSFExtract|BenchmarkWLFExtract|BenchmarkStructureCombine|BenchmarkPaletteWL|BenchmarkTelemetryCounter|BenchmarkTelemetryHistogram)$$
-HOT_BENCH_PKGS = . ./internal/telemetry
+# kernels, the telemetry primitives they observe through, the shared-frontier
+# batch kernel against its per-pair baseline, and the /top serving path
+# (precompute fast path, batch scan, per-pair scan).
+HOT_BENCHES = ^(BenchmarkSSFExtract|BenchmarkWLFExtract|BenchmarkStructureCombine|BenchmarkPaletteWL|BenchmarkTelemetryCounter|BenchmarkTelemetryHistogram|BenchmarkExtractBatch|BenchmarkExtractBatchPerPair|BenchmarkTopN|BenchmarkTopNScanBatch|BenchmarkTopNPerPair)$$
+HOT_BENCH_PKGS = . ./internal/telemetry ./cmd/ssf-serve
 
 all: build test
 
@@ -40,6 +42,12 @@ soak:
 # and byte-identical scores across the fleet. Tune with REPL_DURATION=<s>.
 soak-repl:
 	SOAK_ONLY=repl ./scripts/concurrency_soak.sh
+
+# /top soak only: candidate precompute under epoch churn, plus the
+# precompute-equals-scan and shard-partition-union gates after quiesce.
+# Tune with TOP_DURATION=<seconds>.
+soak-top:
+	SOAK_ONLY=top ./scripts/concurrency_soak.sh
 
 # Run the hot-path microbenches and refresh the committed regression record
 # (current section only; pass -rebase via BENCHDIFF_FLAGS to move the

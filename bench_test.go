@@ -17,6 +17,7 @@ package ssflp
 // doubles as a results record.
 
 import (
+	"context"
 	"testing"
 
 	"ssflp/internal/core"
@@ -299,6 +300,66 @@ func BenchmarkSSFExtract(b *testing.B) {
 		u, v := benchPair(i, g.NumNodes())
 		if _, err := ex.Extract(u, v); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchCandidates returns nCands distinct candidate nodes for src
+// (deterministic, wraps around the node range, never equals src).
+func benchCandidates(src NodeID, nCands, nodes int) []NodeID {
+	cands := make([]NodeID, 0, nCands)
+	for j := 1; len(cands) < nCands && j < nodes; j++ {
+		cands = append(cands, NodeID((int(src)+j)%nodes))
+	}
+	return cands
+}
+
+// BenchmarkExtractBatch measures scoring one source against a 64-candidate
+// set through the shared-frontier batch kernel: the source-side h-hop BFS is
+// computed once per batch and shared across all candidates. One op is the
+// whole batch; compare against BenchmarkExtractBatchPerPair, which runs the
+// identical pairs through the per-pair Extract path (one joint BFS each).
+// Both run single-threaded so the delta is the algorithmic saving, not
+// parallelism.
+func BenchmarkExtractBatch(b *testing.B) {
+	g := ablationGraph(b)
+	ex, err := core.NewExtractor(g, g.MaxTimestamp()+1, core.Options{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.SetMetrics(core.NewMetrics(telemetry.NewRegistry()))
+	const nCands = 64
+	nodes := g.NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := NodeID(i % nodes)
+		if _, err := ex.ExtractBatch(context.Background(), src, benchCandidates(src, nCands, nodes), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractBatchPerPair is the per-pair baseline for
+// BenchmarkExtractBatch: the same 64 (src, candidate) pairs per op through
+// Extractor.Extract.
+func BenchmarkExtractBatchPerPair(b *testing.B) {
+	g := ablationGraph(b)
+	ex, err := core.NewExtractor(g, g.MaxTimestamp()+1, core.Options{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.SetMetrics(core.NewMetrics(telemetry.NewRegistry()))
+	const nCands = 64
+	nodes := g.NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := NodeID(i % nodes)
+		for _, v := range benchCandidates(src, nCands, nodes) {
+			if _, err := ex.Extract(src, v); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

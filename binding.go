@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ssflp/internal/core"
 	"ssflp/internal/graph"
 	"ssflp/internal/linreg"
 	"ssflp/internal/nmf"
@@ -23,6 +24,10 @@ type Binding struct {
 	pred  *Predictor
 	snap  *GraphSnapshot
 	score func(u, v NodeID) (float64, error)
+	// raw is the epoch's SSF extractor when the method supports the
+	// shared-frontier batch kernel (nil for WLF, heuristics, NMF).
+	// ScoreCandidatesCtx pairs it with the predictor's featScore.
+	raw *core.Extractor
 }
 
 // Bind builds a Binding of p against the immutable epoch snap. For feature
@@ -45,6 +50,7 @@ func (p *Predictor) Bind(snap *GraphSnapshot) (*Binding, error) {
 		return nil, errors.New("ssflp: bind: predictor does not support rebinding")
 	}
 	var extract func(u, v NodeID) ([]float64, error)
+	var raw *core.Extractor
 	switch p.method {
 	case SSFNM, SSFLR, SSFNMW, SSFLRW, WLNM, WLLR:
 		var k int
@@ -53,11 +59,11 @@ func (p *Predictor) Bind(snap *GraphSnapshot) (*Binding, error) {
 			k, theta = p.state.K, p.state.Theta
 		}
 		opts := TrainOptions{K: k, Theta: theta}.withDefaults()
-		ex, raw, err := featureExtractor(p.method, snap.Graph, snap.Graph.MaxTimestamp()+1, opts)
+		ex, r, err := featureExtractor(p.method, snap.Graph, snap.Graph.MaxTimestamp()+1, opts)
 		if err != nil {
 			return nil, fmt.Errorf("ssflp: bind %v extractor: %w", p.method, err)
 		}
-		extract = ex
+		extract, raw = ex, r
 		if raw != nil {
 			if p.metrics != nil {
 				raw.SetMetrics(p.metrics.core)
@@ -74,7 +80,7 @@ func (p *Predictor) Bind(snap *GraphSnapshot) (*Binding, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ssflp: bind %v: %w", p.method, err)
 	}
-	return &Binding{pred: p, snap: snap, score: score}, nil
+	return &Binding{pred: p, snap: snap, score: score, raw: raw}, nil
 }
 
 // Epoch returns the epoch number of the bound snapshot.
@@ -103,6 +109,64 @@ func (b *Binding) Predict(u, v NodeID) (bool, error) {
 // Predictor.ScoreBatchCtx.
 func (b *Binding) ScoreBatchCtx(ctx context.Context, pairs [][2]NodeID, workers int) ([]ScoredPair, error) {
 	return scoreBatchCtx(ctx, b.pred.metrics, b.score, pairs, workers)
+}
+
+// SupportsBatch reports whether this binding can run the shared-frontier
+// batch kernel: the method extracts SSF features (raw extractor present) and
+// the fitted model exposes its feature-scoring half.
+func (b *Binding) SupportsBatch() bool {
+	return b.raw != nil && b.pred.featScore != nil
+}
+
+// ScoreCandidatesCtx scores (src, cands[i]) for every candidate against the
+// bound epoch. When the binding supports the batch kernel the source-side
+// h-hop frontier is computed once and shared across all candidates
+// (core.Extractor.NewBatch), with vectors still flowing through the
+// epoch-keyed extraction cache when one is attached; otherwise it falls back
+// to the per-pair ScoreBatchCtx path. Results preserve candidate order and
+// scores are byte-identical across the two paths.
+func (b *Binding) ScoreCandidatesCtx(ctx context.Context, src NodeID, cands []NodeID, workers int) ([]ScoredPair, error) {
+	pairs := make([][2]NodeID, len(cands))
+	for i, v := range cands {
+		pairs[i] = [2]NodeID{src, v}
+	}
+	if !b.SupportsBatch() {
+		return b.ScoreBatchCtx(ctx, pairs, workers)
+	}
+	bt, err := b.raw.NewBatch(src)
+	if err != nil {
+		return nil, fmt.Errorf("ssflp: batch bind %v: %w", b.pred.method, err)
+	}
+	defer bt.Close()
+	extract := bt.Extract
+	if cache := b.pred.cache; cache != nil {
+		epoch := b.snap.Epoch
+		extract = func(u, v NodeID) ([]float64, error) {
+			return cache.ExtractAt(epoch, bt, u, v)
+		}
+	}
+	featScore := b.pred.featScore
+	scoreOne := func(u, v NodeID) (float64, error) {
+		feat, err := extract(u, v)
+		if err != nil {
+			return 0, err
+		}
+		return featScore(feat)
+	}
+	return scoreBatchCtx(ctx, b.pred.metrics, scoreOne, pairs, workers)
+}
+
+// scaledNetScore is the neural methods' featScore: standardize, then run the
+// trained network. Shared by Train and LoadPredictor so both construction
+// paths batch-score identically.
+func scaledNetScore(net *nn.Network, scaler *nn.Standardizer) func(feat []float64) (float64, error) {
+	return func(feat []float64) (float64, error) {
+		feat, err := scaler.Transform(feat)
+		if err != nil {
+			return 0, err
+		}
+		return net.Score(feat)
+	}
 }
 
 // The bind helpers close over the graph-independent fitted parameters and

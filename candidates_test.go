@@ -1,0 +1,87 @@
+package ssflp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScoreCandidatesMatchesPerPair pins the shared-frontier batch scoring
+// path to the per-pair path: for a binding that supports batching, every
+// candidate's score must be byte-identical to Binding.Score, with and
+// without the extraction cache.
+func TestScoreCandidatesMatchesPerPair(t *testing.T) {
+	g := testNetwork(t)
+	for _, withCache := range []bool{false, true} {
+		pred, err := Train(g, SSFLR, fastTrainOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withCache && !pred.EnableCache(256) {
+			t.Fatal("EnableCache refused for a feature method")
+		}
+		snap := &GraphSnapshot{Epoch: 1, Graph: g}
+		b, err := pred.Bind(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.SupportsBatch() {
+			t.Fatal("SSFLR binding must support batch scoring")
+		}
+		src := NodeID(3)
+		var cands []NodeID
+		for v := NodeID(0); v < 25; v++ {
+			if v != src {
+				cands = append(cands, v)
+			}
+		}
+		got, err := b.ScoreCandidatesCtx(context.Background(), src, cands, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(cands) {
+			t.Fatalf("results = %d, want %d", len(got), len(cands))
+		}
+		for i, v := range cands {
+			want, err := b.Score(src, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i].Score != want || got[i].U != src || got[i].V != v {
+				t.Fatalf("cache=%v cand %d: got (%d,%d)=%v, want (%d,%d)=%v",
+					withCache, i, got[i].U, got[i].V, got[i].Score, src, v, want)
+			}
+		}
+	}
+}
+
+// TestScoreCandidatesFallback covers the non-batch path: a heuristic binding
+// (no raw extractor) must transparently fall back to per-pair scoring.
+func TestScoreCandidatesFallback(t *testing.T) {
+	g := testNetwork(t)
+	pred, err := Train(g, CN, fastTrainOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &GraphSnapshot{Epoch: 1, Graph: g}
+	b, err := pred.Bind(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SupportsBatch() {
+		t.Fatal("CN binding must not claim batch support")
+	}
+	cands := []NodeID{1, 2, 4}
+	got, err := b.ScoreCandidatesCtx(context.Background(), 0, cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cands {
+		want, err := b.Score(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Score != want {
+			t.Fatalf("cand %d: got %v, want %v", i, got[i].Score, want)
+		}
+	}
+}

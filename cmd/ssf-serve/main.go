@@ -128,6 +128,12 @@ func run(args []string) (err error) {
 
 		cacheSize = fs.Int("cache-size", 0, fmt.Sprintf(
 			"SSF extraction cache capacity (0 = default %d, negative disables)", ssflp.DefaultCacheSize))
+
+		topPre         = fs.Bool("top-precompute", true, "background /top candidate precompute (unsharded serving only)")
+		topPreK        = fs.Int("top-precompute-k", 64, "per-node top-K kept by the /top precompute index (also the max fast-path n)")
+		topPreStale    = fs.Uint64("top-precompute-stale", 2, "max epochs the precompute index may trail the served graph before /top reverts to a full scan")
+		topPreBudget   = fs.Int("top-precompute-budget", 200000, "max candidates scored per precompute build (0 = unbounded)")
+		topPreInterval = fs.Duration("top-precompute-interval", 2*time.Second, "precompute build loop's epoch poll cadence")
 		logLevel  = fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
 		logFormat = fs.String("log-format", "text", "log output format: text | json")
 	)
@@ -169,7 +175,14 @@ func run(args []string) (err error) {
 		Role:            *role, LeaderAddr: *leaderAddr,
 		ReplLagLSN: *replLagLSN, ReplLagAge: *replLagAge,
 		CacheSize: *cacheSize,
-		Logger:    logger,
+		TopPrecompute: topPrecomputeConfig{
+			enabled:  *topPre,
+			perNodeK: *topPreK,
+			stale:    *topPreStale,
+			budget:   *topPreBudget,
+			interval: *topPreInterval,
+		},
+		Logger: logger,
 		Limits: limitsConfig{
 			ScoreTimeout: *scoreTimeout, TopTimeout: *topTimeout,
 			BatchTimeout: *batchTimeout, IngestTimeout: *ingestTimeout,
@@ -238,6 +251,7 @@ func run(args []string) (err error) {
 		go snapshotLoop(ctx, srv, *snapEvery)
 	}
 	srv.startReplication(ctx)
+	srv.startTopPrecompute(ctx)
 	stats := srv.cur.Load().snap.Stats
 	logger.Info("serving",
 		slog.String("method", srv.predictor.Method().String()),
@@ -331,8 +345,9 @@ type serverConfig struct {
 	LeaderAddr          string // leader base URL (Role == "replica")
 	ReplLagLSN          uint64 // replica readiness LSN budget (0 = default)
 	ReplLagAge          time.Duration
-	CacheSize           int          // 0 = DefaultCacheSize, negative disables
-	Logger              *slog.Logger // nil = discard (tests)
+	CacheSize           int                 // 0 = DefaultCacheSize, negative disables
+	TopPrecompute       topPrecomputeConfig // zero value disables the precomputer
+	Logger              *slog.Logger        // nil = discard (tests)
 	Limits              limitsConfig
 }
 
@@ -447,6 +462,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		scoreBatch: func(ctx context.Context, st *epochState, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
 			return st.binding.ScoreBatchCtx(ctx, pairs, workers)
 		},
+		scoreCands: func(ctx context.Context, st *epochState, src ssflp.NodeID, cands []ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error) {
+			return st.binding.ScoreCandidatesCtx(ctx, src, cands, workers)
+		},
+		topPre: cfg.TopPrecompute,
 	}
 	s.ingest = resilience.NewCoalescer(s.commitIngest)
 	s.initTelemetry(reg, logger)

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -91,6 +92,20 @@ type server struct {
 	// inject latency and panics (see resilience_test.go).
 	scoreBatch func(ctx context.Context, st *epochState, pairs [][2]ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error)
 
+	// scoreCands is the shared-frontier scoring seam: /top's scan and the
+	// candidate precomputer hand it one source node plus its candidate list
+	// so the source-side BFS runs once per source instead of once per pair.
+	// newServer routes it to the epoch binding's ScoreCandidatesCtx; when nil
+	// (bare test structs) or when the binding's method cannot batch (its
+	// SupportsBatch is false), /top stays on the scoreBatch path.
+	scoreCands func(ctx context.Context, st *epochState, src ssflp.NodeID, cands []ssflp.NodeID, workers int) ([]ssflp.ScoredPair, error)
+
+	// topIdx is the candidate precomputer's latest published index; nil until
+	// the first build completes. topPre carries its configuration (zero value
+	// = precompute disabled, which is what bare test structs get).
+	topIdx atomic.Pointer[topIndex]
+	topPre topPrecomputeConfig
+
 	// Telemetry. All fields are optional: a server built as a bare struct in
 	// tests works without any of them (nil metric handles no-op, routes falls
 	// back to a discard logger). newServer wires the full stack.
@@ -108,6 +123,11 @@ type server struct {
 	epochReads     *telemetry.Counter   // requests that grabbed an epoch
 	swapSeconds    *telemetry.Histogram // group commit + swap latency
 	groupSize      *telemetry.Histogram // ingest requests per group commit
+
+	topScored       *telemetry.Counter // candidates scored for /top answers
+	topPreBuilds    *telemetry.Counter // precompute index builds completed
+	topPreHits      *telemetry.Counter // /top requests served from the index
+	topPreStaleness *telemetry.Gauge   // epoch lag of the index at last hit
 }
 
 // initTelemetry attaches the logger and registry and registers the serving
@@ -140,6 +160,14 @@ func (s *server) initTelemetry(reg *telemetry.Registry, logger *slog.Logger) {
 		"Wall-clock time of one ingest group commit: WAL append, builder apply, snapshot freeze, rebind, swap.", nil)
 	s.groupSize = reg.Histogram("ssf_ingest_group_size",
 		"Concurrent /ingest requests coalesced into one group commit.", telemetry.SizeBuckets)
+	s.topScored = reg.Counter("ssf_top_candidates_scored_total",
+		"Absent-pair candidates scored on behalf of GET /top (scans and precompute builds).")
+	s.topPreBuilds = reg.Counter("ssf_top_precompute_builds_total",
+		"Candidate precompute index builds completed.")
+	s.topPreHits = reg.Counter("ssf_top_precompute_hits_total",
+		"GET /top requests answered from the precomputed candidate index.")
+	s.topPreStaleness = reg.Gauge("ssf_top_precompute_staleness_epochs",
+		"Epochs between the served snapshot and the precompute index at the last fast-path hit.")
 }
 
 // slogger returns the structured logger, falling back to a discard logger so
@@ -499,25 +527,35 @@ func worseCand(a, b ssflp.ScoredPair) bool {
 	return a.V > b.V
 }
 
-// topN keeps the n best of scored using a bounded heap and returns them in
-// descending order.
-func topN(scored []ssflp.ScoredPair, n int) []ssflp.ScoredPair {
-	h := make(candHeap, 0, n+1)
-	for _, sp := range scored {
-		if len(h) < n {
-			heap.Push(&h, sp)
-			continue
-		}
-		if worseCand(h[0], sp) {
-			h[0] = sp
-			heap.Fix(&h, 0)
-		}
+// pushTop offers one candidate to a bounded best-n heap.
+func pushTop(h *candHeap, sp ssflp.ScoredPair, n int) {
+	if len(*h) < n {
+		heap.Push(h, sp)
+		return
 	}
+	if worseCand((*h)[0], sp) {
+		(*h)[0] = sp
+		heap.Fix(h, 0)
+	}
+}
+
+// drainTop empties a best-n heap into a descending-order slice.
+func drainTop(h candHeap) []ssflp.ScoredPair {
 	out := make([]ssflp.ScoredPair, len(h))
 	for i := len(h) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(ssflp.ScoredPair)
 	}
 	return out
+}
+
+// topN keeps the n best of scored using a bounded heap and returns them in
+// descending order.
+func topN(scored []ssflp.ScoredPair, n int) []ssflp.ScoredPair {
+	h := make(candHeap, 0, n+1)
+	for _, sp := range scored {
+		pushTop(&h, sp, n)
+	}
+	return drainTop(h)
 }
 
 // topCand is one absent-link candidate in a /top answer.
@@ -527,13 +565,119 @@ type topCand struct {
 	Score float64 `json:"score"`
 }
 
-// computeTop scores this epoch's absent-pair candidates and returns the n
-// best with labels resolved. When shardCount > 1 only pairs owned by
-// shardIndex (per shard.PairOwner over labels) are scored: the stride
-// sampling still walks the full pair enumeration, so the union of every
-// shard's candidate set equals the unsharded scan and a scatter over all
-// shards partitions the work instead of repeating it.
+// topCtxCheckInterval bounds how many enumerated pairs the /top scan walks
+// between context checks, so cancellation latency is independent of node
+// degree distribution (the old once-per-outer-node check could go a whole
+// row between looks).
+const topCtxCheckInterval = 4096
+
+// computeTop returns the n best absent-pair candidates with labels resolved.
+// Unsharded requests are answered from the background precompute index when
+// one is fresh enough — exact epoch: direct lookup; within the staleness
+// budget: cheap rerank of the precomputed candidates against the current
+// epoch — and fall back to the full scan otherwise. When shardCount > 1 only
+// pairs owned by shardIndex (per shard.PairOwner over labels) are scored:
+// the stride sampling still walks the full pair enumeration, so the union of
+// every shard's candidate set equals the unsharded scan and a scatter over
+// all shards partitions the work instead of repeating it. The precompute
+// fast path never serves sharded requests — its index is built over the
+// whole enumeration and cannot honor a partition.
 func (s *server) computeTop(ctx context.Context, st *epochState, n, shardIndex, shardCount int) ([]topCand, bool, error) {
+	if shardCount == 1 {
+		best, sampled, ok, err := s.topFromIndex(ctx, st, n)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return s.resolveTop(st, best), sampled, nil
+		}
+	}
+	best, sampled, err := s.computeTopScan(ctx, st, n, shardIndex, shardCount)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.resolveTop(st, best), sampled, nil
+}
+
+// resolveTop maps scored node-id pairs to labeled /top candidates.
+func (s *server) resolveTop(st *epochState, best []ssflp.ScoredPair) []topCand {
+	cands := make([]topCand, len(best))
+	for i, sp := range best {
+		cands[i] = topCand{U: st.labelOf(int(sp.U)), V: st.labelOf(int(sp.V)), Score: sp.Score}
+	}
+	return cands
+}
+
+// srcGroup is one source node's candidate set in a /top scan or index build.
+type srcGroup struct {
+	u     ssflp.NodeID
+	cands []ssflp.NodeID
+}
+
+// scoreGroups scores per-source candidate groups through the batch kernel,
+// fanning sources across workers while keeping each source's batch serial on
+// its worker: one shared frontier per source, full CPU utilization across
+// sources, and no per-source pool spin-up or barrier (stride-sampled groups
+// are small, so parallelism inside one group wastes more than it wins).
+// Results are indexed like groups; the first scoring error aborts the rest.
+func (s *server) scoreGroups(ctx context.Context, st *epochState, groups []srcGroup) ([][]ssflp.ScoredPair, error) {
+	results := make([][]ssflp.ScoredPair, len(groups))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(groups) || cctx.Err() != nil {
+					return
+				}
+				sc, err := s.scoreCands(cctx, st, groups[i].u, groups[i].cands, 1)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					cancel()
+					return
+				}
+				results[i] = sc
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// computeTopScan is the full candidate scan behind /top: stride-sampled pair
+// enumeration, shard filtering, then scoring. With a batch-capable binding
+// each source node's candidates are scored through the shared-frontier
+// kernel (one source-side BFS per node, sources fanned across workers);
+// otherwise all pairs flow through the scoreBatch seam exactly as before,
+// which is also where tests inject faults.
+func (s *server) computeTopScan(ctx context.Context, st *epochState, n, shardIndex, shardCount int) ([]ssflp.ScoredPair, bool, error) {
 	// The epoch's static view is built lazily once and shared across /top
 	// requests of the same epoch.
 	view := st.snap.Static()
@@ -543,15 +687,30 @@ func (s *server) computeTop(ctx context.Context, st *epochState, n, shardIndex, 
 	if total > topCandidateLimit {
 		stride = total/topCandidateLimit + 1
 	}
-	var pairs [][2]ssflp.NodeID
-	idx := 0
+	batchable := s.scoreCands != nil && st.binding != nil && st.binding.SupportsBatch()
+	var (
+		pairs  [][2]ssflp.NodeID // per-pair path: the whole candidate set
+		groups []srcGroup        // batch path: candidates grouped by source
+		cands  []ssflp.NodeID    // batch path: current source's candidates
+	)
+	if !batchable {
+		pairs = make([][2]ssflp.NodeID, 0, total/stride+1)
+	}
+	h := make(candHeap, 0, n+1)
+	idx, scored := 0, 0
 	for u := 0; u < nodes; u++ {
-		if err := ctx.Err(); err != nil {
-			return nil, false, err
+		var uLab string
+		if shardCount > 1 {
+			uLab = st.labelOf(u)
 		}
-		uLab := st.labelOf(u)
+		cands = nil
 		for v := u + 1; v < nodes; v++ {
 			idx++
+			if idx%topCtxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, false, err
+				}
+			}
 			if idx%stride != 0 {
 				continue
 			}
@@ -561,19 +720,39 @@ func (s *server) computeTop(ctx context.Context, st *epochState, n, shardIndex, 
 			if view.HasEdge(ssflp.NodeID(u), ssflp.NodeID(v)) {
 				continue
 			}
-			pairs = append(pairs, [2]ssflp.NodeID{ssflp.NodeID(u), ssflp.NodeID(v)})
+			if batchable {
+				cands = append(cands, ssflp.NodeID(v))
+			} else {
+				pairs = append(pairs, [2]ssflp.NodeID{ssflp.NodeID(u), ssflp.NodeID(v)})
+			}
+		}
+		if len(cands) > 0 {
+			groups = append(groups, srcGroup{u: ssflp.NodeID(u), cands: cands})
 		}
 	}
-	scored, err := s.scoreBatch(ctx, st, pairs, 0)
-	if err != nil {
-		return nil, false, err
+	if batchable {
+		rs, err := s.scoreGroups(ctx, st, groups)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, sc := range rs {
+			scored += len(sc)
+			for _, sp := range sc {
+				pushTop(&h, sp, n)
+			}
+		}
+	} else {
+		sc, err := s.scoreBatch(ctx, st, pairs, 0)
+		if err != nil {
+			return nil, false, err
+		}
+		scored = len(sc)
+		for _, sp := range sc {
+			pushTop(&h, sp, n)
+		}
 	}
-	best := topN(scored, n)
-	cands := make([]topCand, len(best))
-	for i, sp := range best {
-		cands[i] = topCand{U: st.labelOf(int(sp.U)), V: st.labelOf(int(sp.V)), Score: sp.Score}
-	}
-	return cands, stride > 1, nil
+	s.topScored.Add(uint64(scored))
+	return drainTop(h), stride > 1, nil
 }
 
 func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {

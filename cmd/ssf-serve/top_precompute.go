@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"time"
+
+	"ssflp"
+)
+
+// The candidate precomputer turns the hot unsharded GET /top from an
+// O(candidates) scoring scan per request into a lookup: a background
+// goroutine rebuilds a per-node top-K index after every epoch swap (through
+// the shared-frontier batch kernel, one source-side BFS per node) and
+// publishes it atomically. Read-side contract, enforced by topFromIndex:
+//
+//   - exact epoch: the request's pinned epoch equals the index epoch — serve
+//     the global top-n directly (identical to the scan: both rank by the
+//     same deterministic order, and the global top-n of the per-node top-K
+//     union is exact for n <= K, since a pair outside its source's top-K is
+//     outranked by at least K same-source pairs).
+//   - stale within budget: the index trails the pinned epoch by at most the
+//     configured number of epochs — rerank the precomputed candidates
+//     against the pinned epoch: drop pairs that have since become edges,
+//     rescore the rest through the scoring seam. Candidates that only enter
+//     the top set in the newer epochs can be missed until the next build;
+//     that approximation window is the documented staleness contract
+//     (DESIGN.md §12).
+//   - otherwise (no index, index too stale, n > K, or sharded request):
+//     full scan. The index covers the whole enumeration, so it can never
+//     honor a shard partition.
+//
+// A candidate from a superseded epoch is thus never served as-is: it either
+// survives the rerank's edge filter + rescore against the request's own
+// epoch, or the request falls through to the scan.
+
+// topPrecomputeConfig carries the precomputer's knobs; the zero value
+// disables it (bare test structs, -top-precompute=false).
+type topPrecomputeConfig struct {
+	enabled  bool
+	perNodeK int           // per-node/global top-K kept; also the max fast-path n
+	stale    uint64        // rerank budget: max epochs the index may trail
+	budget   int           // max candidates scored per build (stride widens past it)
+	interval time.Duration // epoch poll cadence of the build loop
+}
+
+// topIndex is one immutable precomputed candidate index, published through
+// server.topIdx.
+type topIndex struct {
+	epoch    uint64
+	perNodeK int
+	sampled  bool                 // the build strided the pair enumeration
+	global   []ssflp.ScoredPair   // best perNodeK pairs overall, descending
+	perNode  [][]ssflp.ScoredPair // per source node: its best perNodeK pairs, descending
+}
+
+// topFromIndex tries to answer an unsharded /top request from the published
+// index. ok reports whether the request was served; when false the caller
+// runs the full scan.
+func (s *server) topFromIndex(ctx context.Context, st *epochState, n int) (best []ssflp.ScoredPair, sampled, ok bool, err error) {
+	idx := s.topIdx.Load()
+	if idx == nil || n > idx.perNodeK || idx.epoch > st.snap.Epoch {
+		// No index yet, the request wants more rows than the index keeps, or
+		// the request pinned an epoch older than the index was built from.
+		return nil, false, false, nil
+	}
+	lag := st.snap.Epoch - idx.epoch
+	if lag == 0 {
+		s.topPreHits.Inc()
+		s.topPreStaleness.Set(0)
+		best = idx.global
+		if len(best) > n {
+			best = best[:n]
+		}
+		out := make([]ssflp.ScoredPair, len(best))
+		copy(out, best)
+		return out, idx.sampled, true, nil
+	}
+	if lag > s.topPre.stale {
+		return nil, false, false, nil
+	}
+	// Stale within budget: rerank the precomputed global candidates against
+	// the request's epoch. Pairs that became edges since the build are
+	// filtered against the current view; survivors are rescored through the
+	// scoring seam so the answer reflects the pinned epoch's model inputs.
+	view := st.snap.Static()
+	pairs := make([][2]ssflp.NodeID, 0, len(idx.global))
+	for _, sp := range idx.global {
+		if view.HasEdge(sp.U, sp.V) {
+			continue
+		}
+		pairs = append(pairs, [2]ssflp.NodeID{sp.U, sp.V})
+	}
+	if len(pairs) < n {
+		// Too many precomputed candidates got ingested away; a rerank could
+		// return fewer rows than a scan would.
+		return nil, false, false, nil
+	}
+	scored, err := s.scoreBatch(ctx, st, pairs, 0)
+	if err != nil {
+		return nil, false, false, err
+	}
+	s.topPreHits.Inc()
+	s.topPreStaleness.Set(float64(lag))
+	s.topScored.Add(uint64(len(scored)))
+	return topN(scored, n), idx.sampled, true, nil
+}
+
+// buildTopIndex scores the epoch's stride-sampled absent pairs and returns
+// the per-node/global top-K index. The same enumeration, stride base and
+// filters as computeTopScan keep exact-epoch fast-path answers identical to
+// scan answers; the work budget can only widen the stride further (then the
+// index is marked sampled).
+func (s *server) buildTopIndex(ctx context.Context, st *epochState) (*topIndex, error) {
+	view := st.snap.Static()
+	nodes := st.snap.Stats.NumNodes
+	total := nodes * (nodes - 1) / 2
+	stride := 1
+	if total > topCandidateLimit {
+		stride = total/topCandidateLimit + 1
+	}
+	if budget := s.topPre.budget; budget > 0 && total/stride > budget {
+		stride = total/budget + 1
+	}
+	k := s.topPre.perNodeK
+	idx := &topIndex{
+		epoch:    st.snap.Epoch,
+		perNodeK: k,
+		sampled:  stride > 1,
+		perNode:  make([][]ssflp.ScoredPair, nodes),
+	}
+	batchable := s.scoreCands != nil && st.binding != nil && st.binding.SupportsBatch()
+	var groups []srcGroup
+	pairIdx := 0
+	for u := 0; u < nodes; u++ {
+		var cands []ssflp.NodeID
+		for v := u + 1; v < nodes; v++ {
+			pairIdx++
+			if pairIdx%topCtxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if pairIdx%stride != 0 {
+				continue
+			}
+			if view.HasEdge(ssflp.NodeID(u), ssflp.NodeID(v)) {
+				continue
+			}
+			cands = append(cands, ssflp.NodeID(v))
+		}
+		if len(cands) > 0 {
+			groups = append(groups, srcGroup{u: ssflp.NodeID(u), cands: cands})
+		}
+	}
+	// Score all groups up front — sources fanned across workers on the batch
+	// path, one flat scoreBatch call otherwise — then fold the per-group
+	// results into the heaps in source order, so the global ranking is built
+	// in the same deterministic order as the scan's.
+	var results [][]ssflp.ScoredPair
+	if batchable {
+		rs, err := s.scoreGroups(ctx, st, groups)
+		if err != nil {
+			return nil, err
+		}
+		results = rs
+	} else {
+		var pairs [][2]ssflp.NodeID
+		for _, g := range groups {
+			for _, v := range g.cands {
+				pairs = append(pairs, [2]ssflp.NodeID{g.u, v})
+			}
+		}
+		sc, err := s.scoreBatch(ctx, st, pairs, 0)
+		if err != nil {
+			return nil, err
+		}
+		results = make([][]ssflp.ScoredPair, len(groups))
+		off := 0
+		for gi, g := range groups {
+			results[gi] = sc[off : off+len(g.cands)]
+			off += len(g.cands)
+		}
+	}
+	global := make(candHeap, 0, k+1)
+	scored := 0
+	for gi, g := range groups {
+		sc := results[gi]
+		scored += len(sc)
+		nodeHeap := make(candHeap, 0, k+1)
+		for _, sp := range sc {
+			pushTop(&nodeHeap, sp, k)
+			pushTop(&global, sp, k)
+		}
+		idx.perNode[g.u] = drainTop(nodeHeap)
+	}
+	idx.global = drainTop(global)
+	s.topScored.Add(uint64(scored))
+	return idx, nil
+}
+
+// buildTopOnce rebuilds and publishes the index when the served epoch has
+// moved past it. Synchronous, so tests and benchmarks can drive the
+// precomputer without the background loop.
+func (s *server) buildTopOnce(ctx context.Context) error {
+	st := s.cur.Load()
+	if st == nil {
+		return nil
+	}
+	if idx := s.topIdx.Load(); idx != nil && idx.epoch == st.snap.Epoch {
+		return nil
+	}
+	idx, err := s.buildTopIndex(ctx, st)
+	if err != nil {
+		return err
+	}
+	s.topIdx.Store(idx)
+	s.topPreBuilds.Inc()
+	return nil
+}
+
+// startTopPrecompute launches the background build loop: rebuild whenever a
+// poll finds the served epoch past the published index, exit with ctx. Run
+// only on unsharded serving paths — sharded /top never consults the index.
+func (s *server) startTopPrecompute(ctx context.Context) {
+	if !s.topPre.enabled || s.topPre.interval <= 0 || s.topPre.perNodeK <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(s.topPre.interval)
+		defer t.Stop()
+		for {
+			if err := s.buildTopOnce(ctx); err != nil && ctx.Err() == nil {
+				s.slogger().Warn("top precompute build failed", "err", err)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ssflp"
+)
+
+// precomputeTestServer trains an SSFLR predictor (so the batch kernel is
+// live) with the candidate precomputer configured but its background loop
+// not started — tests and benchmarks drive builds synchronously through
+// buildTopOnce. Mutators adjust the config before the server is built.
+func precomputeTestServer(tb testing.TB, mut ...func(*serverConfig)) *server {
+	tb.Helper()
+	g, err := ssflp.GenerateDataset("Slashdot", 40, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	path := filepath.Join(tb.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := ssflp.WriteEdgeList(f, g); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	cfg := serverConfig{
+		File: path, Method: "SSFLR", K: 6, MaxPositives: 20, Seed: 1,
+		TopPrecompute: topPrecomputeConfig{enabled: true, perNodeK: 8, stale: 2},
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	srv, err := newServer(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { srv.close() })
+	return srv
+}
+
+// TestTopFastPathMatchesScan pins the precompute fast path to the scan: on
+// the same epoch, serving from the index must return exactly the scan's
+// answer, and must count as a hit.
+func TestTopFastPathMatchesScan(t *testing.T) {
+	srv := precomputeTestServer(t)
+	st := srv.state()
+	ctx := context.Background()
+
+	scan, scanSampled, err := srv.computeTopScan(ctx, st, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.buildTopOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.topPreBuilds.Value(); got != 1 {
+		t.Fatalf("builds counter = %d, want 1", got)
+	}
+	fast, fastSampled, ok, err := srv.topFromIndex(ctx, st, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("exact-epoch request must be served from the index")
+	}
+	if fastSampled != scanSampled {
+		t.Fatalf("sampled: fast %v, scan %v", fastSampled, scanSampled)
+	}
+	if len(fast) != len(scan) {
+		t.Fatalf("rows: fast %d, scan %d", len(fast), len(scan))
+	}
+	for i := range scan {
+		if fast[i] != scan[i] {
+			t.Fatalf("row %d: fast %+v, scan %+v", i, fast[i], scan[i])
+		}
+	}
+	if hits := srv.topPreHits.Value(); hits != 1 {
+		t.Fatalf("hits counter = %d, want 1", hits)
+	}
+	// n above the per-node K must bypass the index.
+	if _, _, ok, err := srv.topFromIndex(ctx, st, srv.topPre.perNodeK+1); err != nil || ok {
+		t.Fatalf("n > K served from index (ok=%v, err=%v)", ok, err)
+	}
+}
+
+// TestTopPrecomputeNeverServesStaleCandidate is the staleness contract: after
+// an ingest swap turns the current best candidate into an edge, a /top served
+// from the now-stale index must not return it — the rerank filters against
+// the request's own epoch.
+func TestTopPrecomputeNeverServesStaleCandidate(t *testing.T) {
+	srv := precomputeTestServer(t)
+	h := srv.routes()
+	ctx := context.Background()
+	if err := srv.buildTopOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := getJSON(t, h, "/top?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/top status = %d body %v", code, body)
+	}
+	first := body["candidates"].([]any)[0].(map[string]any)
+	u, v := first["u"].(string), first["v"].(string)
+
+	if code, body := postJSON(t, h, "/ingest", fmt.Sprintf(`{"u":%q,"v":%q}`, u, v)); code != http.StatusOK {
+		t.Fatalf("/ingest status = %d body %v", code, body)
+	}
+	idx := srv.topIdx.Load()
+	if idx == nil || idx.epoch >= srv.state().snap.Epoch {
+		t.Fatal("index should now trail the published epoch")
+	}
+
+	code, body = getJSON(t, h, "/top?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("stale /top status = %d body %v", code, body)
+	}
+	for _, c := range body["candidates"].([]any) {
+		cand := c.(map[string]any)
+		cu, cv := cand["u"].(string), cand["v"].(string)
+		if (cu == u && cv == v) || (cu == v && cv == u) {
+			t.Fatalf("stale index served ingested edge (%s, %s): %v", u, v, body)
+		}
+	}
+	if hits := srv.topPreHits.Value(); hits < 2 {
+		t.Fatalf("hits = %d, want the stale request reranked from the index", hits)
+	}
+	if lag := srv.topPreStaleness.Value(); lag != 1 {
+		t.Fatalf("staleness gauge = %v, want 1", lag)
+	}
+}
+
+// TestTopPrecomputeConcurrentIngest hammers /top readers against concurrent
+// ingest swaps and index rebuilds (run under -race in CI). Gate: every
+// response is 200 and never contains a pair whose ingest committed before
+// the request was issued.
+func TestTopPrecomputeConcurrentIngest(t *testing.T) {
+	srv := precomputeTestServer(t)
+	h := srv.routes()
+	ctx := context.Background()
+	if err := srv.buildTopOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	committed := make(map[string]bool) // "u|v" pairs whose ingest 200'd
+	snapshotCommitted := func() map[string]bool {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[string]bool, len(committed))
+		for k := range committed {
+			out[k] = true
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan string, 32)
+	report := func(msg string) {
+		select {
+		case errCh <- msg:
+		default:
+		}
+	}
+
+	// Writer: repeatedly ingest the current top candidate (the worst case
+	// for staleness) and rebuild the index afterwards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			code, body := getJSON(t, h, "/top?n=1")
+			if code != http.StatusOK {
+				report(fmt.Sprintf("writer /top status %d", code))
+				return
+			}
+			cands := body["candidates"].([]any)
+			if len(cands) == 0 {
+				return
+			}
+			first := cands[0].(map[string]any)
+			u, v := first["u"].(string), first["v"].(string)
+			if code, _ := postJSON(t, h, "/ingest", fmt.Sprintf(`{"u":%q,"v":%q}`, u, v)); code != http.StatusOK {
+				report(fmt.Sprintf("ingest status %d", code))
+				return
+			}
+			mu.Lock()
+			committed[u+"|"+v], committed[v+"|"+u] = true, true
+			mu.Unlock()
+			if i%2 == 1 { // leave the index stale half the time
+				if err := srv.buildTopOnce(ctx); err != nil {
+					report(fmt.Sprintf("rebuild: %v", err))
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				before := snapshotCommitted()
+				code, body := getJSON(t, h, "/top?n=5")
+				if code != http.StatusOK {
+					report(fmt.Sprintf("reader /top status %d body %v", code, body))
+					return
+				}
+				for _, c := range body["candidates"].([]any) {
+					cand := c.(map[string]any)
+					key := cand["u"].(string) + "|" + cand["v"].(string)
+					if before[key] {
+						report(fmt.Sprintf("served already-ingested pair %s", key))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ssflp/internal/graph"
+	"ssflp/internal/subgraph"
+)
+
+// Batch is one shared-frontier extraction batch: every candidate scored
+// against the same source node reuses the source-side h-hop BFS (computed
+// lazily, once per radius) instead of re-walking it per pair. Safe for
+// concurrent Extract calls — each call draws a pooled scratch and the
+// frontier extends under its own lock — so callers can fan candidates out
+// over a worker pool. Results are byte-identical to the per-pair Extract path
+// (pinned by TestExtractBatchIdentity).
+type Batch struct {
+	e     *Extractor
+	f     *subgraph.SourceFrontier
+	src   graph.NodeID
+	calls int64 // candidates extracted; observed as batch size on Close
+	mu    sync.Mutex
+}
+
+// NewBatch starts a batch anchored at src. Call Close when the batch is
+// done so the frontier returns to the extractor's pool (and the batch size
+// lands in telemetry).
+func (e *Extractor) NewBatch(src graph.NodeID) (*Batch, error) {
+	n := e.g.NumNodes()
+	if src < 0 || int(src) >= n {
+		return nil, fmt.Errorf("core: batch source %d outside %d-node graph", src, n)
+	}
+	var f *subgraph.SourceFrontier
+	if v := e.fpool.Get(); v != nil {
+		f = v.(*subgraph.SourceFrontier)
+		if err := f.Reset(e.g, src); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if f, err = subgraph.NewSourceFrontier(e.g, src); err != nil {
+			return nil, err
+		}
+	}
+	return &Batch{e: e, f: f, src: src}, nil
+}
+
+// Extract returns the SSF vector of (a, b), where one endpoint must be the
+// batch source. The signature mirrors Extractor.Extract so a Batch satisfies
+// the same pair-extraction seam (e.g. the cache's PairExtractor).
+func (bt *Batch) Extract(a, b graph.NodeID) ([]float64, error) {
+	v := b
+	if a != bt.src {
+		if b != bt.src {
+			return nil, fmt.Errorf("core: batch pair (%d, %d) does not touch source %d", a, b, bt.src)
+		}
+		v = a
+	}
+	e := bt.e
+	sc := e.pool.Get().(*scratch)
+	adj, _, err := e.matrixSharedInto(sc, bt.f, v)
+	if err != nil {
+		e.pool.Put(sc)
+		return nil, err
+	}
+	vec := Unfold(adj, e.opts.K)
+	e.pool.Put(sc)
+	bt.mu.Lock()
+	bt.calls++
+	bt.mu.Unlock()
+	return vec, nil
+}
+
+// Src returns the batch's source node.
+func (bt *Batch) Src() graph.NodeID { return bt.src }
+
+// Close returns the shared frontier to the extractor's pool and records the
+// batch size. The Batch must not be used afterwards.
+func (bt *Batch) Close() {
+	if bt.f == nil {
+		return
+	}
+	bt.e.metrics.observeBatchSize(int(bt.calls))
+	bt.e.fpool.Put(bt.f)
+	bt.f = nil
+}
+
+// matrixSharedInto is matrixInto with the K-structure built through the
+// shared frontier; the adjacency assembly is byte-identical.
+func (e *Extractor) matrixSharedInto(sc *scratch, f *subgraph.SourceFrontier, v graph.NodeID) ([][]float64, *subgraph.KStructure, error) {
+	var tm *subgraph.StageTimes
+	if e.metrics != nil {
+		tm = &sc.stages
+		tm.Reset()
+	}
+	ks, err := sc.sub.BuildKTieSharedTimedInto(f, subgraph.TargetLink{A: f.Src(), B: v}, e.opts.K, e.opts.Tie, tm)
+	if err != nil {
+		e.metrics.countError()
+		return nil, nil, err
+	}
+	adj, err := e.assembleAdj(sc, ks, tm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adj, ks, nil
+}
+
+// ExtractBatch computes the SSF vectors of (src, candidates[i]) for every
+// candidate, sharing the source-side h-hop frontier across the whole batch
+// and fanning the per-candidate work over a bounded worker pool (workers <= 0
+// selects NumCPU). Results preserve candidate order; the first error aborts
+// the batch. The output is byte-identical to calling Extract per pair.
+func (e *Extractor) ExtractBatch(ctx context.Context, src graph.NodeID, candidates []graph.NodeID, workers int) ([][]float64, error) {
+	bt, err := e.NewBatch(src)
+	if err != nil {
+		return nil, err
+	}
+	defer bt.Close()
+	out := make([][]float64, len(candidates))
+	err = forEachIndexed(ctx, len(candidates), workers, func(i int) error {
+		vec, err := bt.Extract(src, candidates[i])
+		if err != nil {
+			return fmt.Errorf("core: batch extract (%d, %d): %w", src, candidates[i], err)
+		}
+		out[i] = vec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEachIndexed runs fn(i) for i in [0, n) on a fixed worker pool, stopping
+// dispatch after the first error or context cancellation. When several
+// indices fail the smallest index's error wins, so reporting is
+// deterministic (the same contract as the root package's batch engine).
+func forEachIndexed(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: batch: %w", err)
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					fail(i, fmt.Errorf("core: batch: %w", err))
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			fail(i, fmt.Errorf("core: batch: %w", ctx.Err()))
+			break dispatch
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ssflp/internal/datagen"
+	"ssflp/internal/graph"
+	"ssflp/internal/telemetry"
+)
+
+// TestExtractBatchIdentity is the batch kernel's byte-identity property test:
+// across generated datasets, entry modes and K values, ExtractBatch over a
+// random candidate set returns exactly the vectors a per-pair Extract loop
+// returns — same lengths, same bits, same order.
+func TestExtractBatchIdentity(t *testing.T) {
+	datasets := []struct {
+		name    string
+		divisor int
+	}{
+		{datagen.EuEmail, 32},
+		{datagen.Contact, 32},
+	}
+	modes := []EntryMode{EntryInverseDistance, EntryInfluence, EntryCount}
+	for _, ds := range datasets {
+		t.Run(ds.name, func(t *testing.T) {
+			g := legacyRefGraph(t, ds.name, ds.divisor, 5)
+			present := g.MaxTimestamp() + 1
+			n := g.NumNodes()
+			for _, mode := range modes {
+				for _, k := range []int{6, 10} {
+					ex, err := NewExtractor(g, present, Options{K: k, Mode: mode})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rng := rand.New(rand.NewSource(int64(mode)*100 + int64(k)))
+					for round := 0; round < 3; round++ {
+						src := graph.NodeID(rng.Intn(n))
+						cands := make([]graph.NodeID, 0, 25)
+						for len(cands) < 25 {
+							v := graph.NodeID(rng.Intn(n))
+							if v != src {
+								cands = append(cands, v)
+							}
+						}
+						got, err := ex.ExtractBatch(context.Background(), src, cands, 4)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i, v := range cands {
+							want, err := ex.Extract(src, v)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if len(got[i]) != len(want) {
+								t.Fatalf("mode %s K %d src %d cand %d: len %d vs %d",
+									mode, k, src, v, len(got[i]), len(want))
+							}
+							for j := range want {
+								if got[i][j] != want[j] {
+									t.Fatalf("mode %s K %d pair (%d,%d) entry %d: batch %v, per-pair %v",
+										mode, k, src, v, j, got[i][j], want[j])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchExtractValidation covers the batch-specific error paths: sources
+// and pairs outside the batch's anchor, and out-of-range nodes.
+func TestBatchExtractValidation(t *testing.T) {
+	g := legacyRefGraph(t, datagen.EuEmail, 64, 9)
+	ex, err := NewExtractor(g, g.MaxTimestamp()+1, Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.NewBatch(graph.NodeID(g.NumNodes())); err == nil {
+		t.Fatal("out-of-range source must fail")
+	}
+	bt, err := ex.NewBatch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	if bt.Src() != 2 {
+		t.Fatalf("Src() = %d, want 2", bt.Src())
+	}
+	if _, err := bt.Extract(4, 5); err == nil {
+		t.Fatal("pair not touching the source must fail")
+	}
+	// Reversed argument order still resolves: the source may be either side.
+	v1, err := bt.Extract(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := bt.Extract(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("entry %d differs across argument orders", i)
+		}
+	}
+	if _, err := bt.Extract(2, 2); err == nil {
+		t.Fatal("same endpoints must fail")
+	}
+}
+
+// TestExtractBatchErrorAborts verifies the first failing candidate aborts the
+// batch with the smallest-index error.
+func TestExtractBatchErrorAborts(t *testing.T) {
+	g := legacyRefGraph(t, datagen.EuEmail, 64, 9)
+	ex, err := NewExtractor(g, g.MaxTimestamp()+1, Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []graph.NodeID{3, 1 /* == src: same endpoints */, 5}
+	if _, err := ex.ExtractBatch(context.Background(), 1, cands, 2); err == nil {
+		t.Fatal("batch with an invalid candidate must fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.ExtractBatch(ctx, 1, []graph.NodeID{3, 5}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch error = %v, want context.Canceled", err)
+	}
+}
+
+// TestExtractBatchConcurrentMatchesSequential hammers one batch from a wide
+// worker pool (run under -race in CI): concurrent candidate extraction over
+// the shared frontier must match sequential per-pair results.
+func TestExtractBatchConcurrentMatchesSequential(t *testing.T) {
+	g := legacyRefGraph(t, datagen.EuEmail, 32, 3)
+	ex, err := NewExtractor(g, g.MaxTimestamp()+1, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	src := graph.NodeID(1)
+	cands := make([]graph.NodeID, 0, 64)
+	rng := rand.New(rand.NewSource(21))
+	for len(cands) < 64 {
+		v := graph.NodeID(rng.Intn(n))
+		if v != src {
+			cands = append(cands, v)
+		}
+	}
+	want := make([][]float64, len(cands))
+	for i, v := range cands {
+		if want[i], err = ex.Extract(src, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ex.ExtractBatch(context.Background(), src, cands, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("cand %d entry %d: got %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestBatchObservesSizeHistogram checks the ssf_extract_batch_size histogram
+// records one sample per closed batch with the candidate count.
+func TestBatchObservesSizeHistogram(t *testing.T) {
+	g := legacyRefGraph(t, datagen.EuEmail, 64, 9)
+	ex, err := NewExtractor(g, g.MaxTimestamp()+1, Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(telemetry.NewRegistry())
+	ex.SetMetrics(m)
+	if _, err := ex.ExtractBatch(context.Background(), 1, []graph.NodeID{2, 3, 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c, s := m.batchSize.Count(), m.batchSize.Sum(); c != 1 || s != 3 {
+		t.Fatalf("batch size histogram count/sum = %d/%v, want 1/3", c, s)
+	}
+}
+
+// TestExtractAtWithBatch routes batch extraction through the epoch-keyed
+// cache: a batch warming the cache must let later per-pair lookups hit.
+func TestExtractAtWithBatch(t *testing.T) {
+	g := legacyRefGraph(t, datagen.EuEmail, 64, 9)
+	ex, err := NewExtractor(g, g.MaxTimestamp()+1, Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCachingExtractor(ex, 64)
+	bt, err := ex.NewBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	want, err := cache.ExtractAt(7, bt, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cache.ExtractAt(7, ex, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ := cache.Stats()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (batch-warmed entry must serve per-pair lookups)", hits)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: cached %v vs recomputed %v", i, got[i], want[i])
+		}
+	}
+}

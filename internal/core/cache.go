@@ -48,6 +48,14 @@ type CachingExtractor struct {
 	shared   int64
 }
 
+// PairExtractor is anything that turns an unordered node pair into an SSF
+// vector: the plain *Extractor, a shared-frontier *Batch, or a test stub.
+// ExtractAt accepts one so batch scoring shares the same epoch-keyed cache
+// as per-pair scoring.
+type PairExtractor interface {
+	Extract(a, b graph.NodeID) ([]float64, error)
+}
+
 // pairKey identifies one cached vector: the generation (or epoch) it was
 // extracted under plus the unordered node pair.
 type pairKey struct {
@@ -98,11 +106,11 @@ func (c *CachingExtractor) Extract(a, b graph.NodeID) ([]float64, error) {
 // Purge: superseded epochs simply stop being requested and their entries
 // age out of the LRU, while readers still finishing a request on an old
 // epoch keep getting that epoch's (still valid) vectors.
-func (c *CachingExtractor) ExtractAt(epoch uint64, inner *Extractor, a, b graph.NodeID) ([]float64, error) {
+func (c *CachingExtractor) ExtractAt(epoch uint64, inner PairExtractor, a, b graph.NodeID) ([]float64, error) {
 	return c.extract(epoch, inner, a, b)
 }
 
-func (c *CachingExtractor) extract(gen uint64, inner *Extractor, a, b graph.NodeID) ([]float64, error) {
+func (c *CachingExtractor) extract(gen uint64, inner PairExtractor, a, b graph.NodeID) ([]float64, error) {
 	key := pairKey{gen: gen, u: min(a, b), v: max(a, b)}
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {

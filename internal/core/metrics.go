@@ -14,12 +14,13 @@ import (
 // extractor skips stage timing entirely, keeping the uninstrumented hot
 // path byte-identical to PR 3's.
 type Metrics struct {
-	hhop     *telemetry.Histogram
-	combine  *telemetry.Histogram
-	selectK  *telemetry.Histogram
-	assemble *telemetry.Histogram
-	extracts *telemetry.Counter
-	errors   *telemetry.Counter
+	hhop      *telemetry.Histogram
+	combine   *telemetry.Histogram
+	selectK   *telemetry.Histogram
+	assemble  *telemetry.Histogram
+	extracts  *telemetry.Counter
+	errors    *telemetry.Counter
+	batchSize *telemetry.Histogram
 }
 
 // NewMetrics registers the extraction metric families on reg. Stage
@@ -38,6 +39,9 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		assemble: stages.With("assemble"),
 		extracts: reg.Counter("ssf_extracts_total", "SSF vector extractions completed."),
 		errors:   reg.Counter("ssf_extract_errors_total", "SSF extractions that returned an error."),
+		batchSize: reg.Histogram("ssf_extract_batch_size",
+			"Candidates extracted per shared-frontier batch (observed on batch close).",
+			telemetry.SizeBuckets),
 	}
 }
 
@@ -58,5 +62,12 @@ func (m *Metrics) observe(st *subgraph.StageTimes, assemble time.Duration) {
 func (m *Metrics) countError() {
 	if m != nil {
 		m.errors.Inc()
+	}
+}
+
+// observeBatchSize records the number of candidates one batch extracted.
+func (m *Metrics) observeBatchSize(n int) {
+	if m != nil {
+		m.batchSize.Observe(float64(n))
 	}
 }

@@ -133,6 +133,7 @@ type Extractor struct {
 	present graph.Timestamp
 	opts    Options
 	pool    sync.Pool // *scratch
+	fpool   sync.Pool // *subgraph.SourceFrontier, reused across batches
 	metrics *Metrics  // nil disables stage timing; set before first Extract
 }
 
@@ -239,6 +240,17 @@ func (e *Extractor) matrixInto(sc *scratch, a, b graph.NodeID) ([][]float64, *su
 		e.metrics.countError()
 		return nil, nil, err
 	}
+	adj, err := e.assembleAdj(sc, ks, tm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adj, ks, nil
+}
+
+// assembleAdj fills the scratch's K×K adjacency from a built K-structure —
+// the mode switch of Eq. 4 / Section V-B / SSF-W. Shared by the per-pair and
+// shared-frontier paths so both assemble byte-identical matrices.
+func (e *Extractor) assembleAdj(sc *scratch, ks *subgraph.KStructure, tm *subgraph.StageTimes) ([][]float64, error) {
 	var assembleStart time.Time
 	if e.metrics != nil {
 		assembleStart = time.Now()
@@ -267,7 +279,7 @@ func (e *Extractor) matrixInto(sc *scratch, a, b graph.NodeID) ([][]float64, *su
 	if e.metrics != nil {
 		e.metrics.observe(tm, time.Since(assembleStart))
 	}
-	return adj, ks, nil
+	return adj, nil
 }
 
 // fillInverseDistance implements the Section V-B relaxation: structure-link

@@ -1,0 +1,290 @@
+package subgraph
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"ssflp/internal/graph"
+)
+
+// SourceFrontier is the shared half of a batch extraction: the h-hop ball of
+// one source node, computed once and intersected with every candidate's ball
+// (see Scratch.ExtractSharedInto). The BFS is lazy per depth — a batch whose
+// K-structure requirement is satisfied at h = 1 never pays for h = 2 — and
+// every completed radius keeps a sorted node list so the per-candidate merge
+// is a linear two-pointer walk instead of a re-sort.
+//
+// A frontier is safe for concurrent Ball calls from many candidate workers:
+// extension happens under an internal lock, and the slices a caller receives
+// describe a radius that was complete before they were returned (deeper
+// extension only writes entries for newly discovered nodes). The returned
+// slices are read-only for callers and are invalidated by Reset.
+type SourceFrontier struct {
+	g   *graph.Graph
+	src graph.NodeID
+
+	mu sync.RWMutex
+
+	// Epoch-stamped graph-sized tables, reused across Resets exactly like
+	// Scratch's: stamp[u] == epoch marks u discovered, and dist[u] is then
+	// its BFS distance from src.
+	epoch uint32
+	stamp []uint32
+	dist  []int32
+
+	queue     []graph.NodeID // BFS order; nodes at distance depth start at head
+	head      int
+	depth     int  // completed radius: every node within depth hops is discovered
+	exhausted bool // the component ran out before the last requested radius
+
+	balls [][]graph.NodeID // balls[d] = nodes within d hops, ascending by id
+	layer []graph.NodeID   // sort scratch for the newest BFS layer
+}
+
+// NewSourceFrontier returns a frontier for src over g, with radius 0 (just
+// the source) materialized.
+func NewSourceFrontier(g *graph.Graph, src graph.NodeID) (*SourceFrontier, error) {
+	f := &SourceFrontier{}
+	if err := f.Reset(g, src); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reset re-targets the frontier at a new source (and possibly a new graph),
+// keeping every buffer. Callers must guarantee no concurrent Ball calls.
+func (f *SourceFrontier) Reset(g *graph.Graph, src graph.NodeID) error {
+	if g == nil {
+		return fmt.Errorf("subgraph: frontier: nil graph")
+	}
+	n := g.NumNodes()
+	if src < 0 || int(src) >= n {
+		return fmt.Errorf("%w: %d with %d nodes", ErrEndpointMissing, src, n)
+	}
+	f.g, f.src = g, src
+	if len(f.stamp) < n {
+		f.stamp = make([]uint32, n)
+		f.dist = make([]int32, n)
+		f.epoch = 0
+	}
+	f.epoch++
+	if f.epoch == 0 { // wrapped: invalidate all stamps once
+		for i := range f.stamp {
+			f.stamp[i] = 0
+		}
+		f.epoch = 1
+	}
+	f.stamp[src] = f.epoch
+	f.dist[src] = 0
+	f.queue = append(f.queue[:0], src)
+	f.head = 0
+	f.depth = 0
+	f.exhausted = false
+	if len(f.balls) == 0 {
+		f.balls = append(f.balls, nil)
+	}
+	f.balls[0] = append(f.balls[0][:0], src)
+	return nil
+}
+
+// Src returns the source node this frontier is anchored at.
+func (f *SourceFrontier) Src() graph.NodeID { return f.src }
+
+// Ball returns the nodes within h hops of the source, ascending by id, plus
+// the distance table to index them with (dist[u] is only meaningful for
+// members of the returned ball). The BFS extends lazily to h on first demand;
+// concurrent callers for already-computed radii proceed under a read lock.
+func (f *SourceFrontier) Ball(h int) ([]graph.NodeID, []int32) {
+	if h < 0 {
+		h = 0
+	}
+	f.mu.RLock()
+	if f.depth >= h || f.exhausted {
+		b := f.balls[min(h, f.depth)]
+		f.mu.RUnlock()
+		return b, f.dist
+	}
+	f.mu.RUnlock()
+	f.mu.Lock()
+	f.extendTo(h)
+	b := f.balls[min(h, f.depth)]
+	f.mu.Unlock()
+	return b, f.dist
+}
+
+// extendTo grows the BFS one full level at a time until radius h is complete
+// or the component is exhausted. Callers hold f.mu.
+func (f *SourceFrontier) extendTo(h int) {
+	for f.depth < h && !f.exhausted {
+		start, end := f.head, len(f.queue)
+		d1 := int32(f.depth + 1)
+		for i := start; i < end; i++ {
+			for _, arc := range f.g.ArcSlice(f.queue[i]) {
+				if f.stamp[arc.To] != f.epoch {
+					f.stamp[arc.To] = f.epoch
+					f.dist[arc.To] = d1
+					f.queue = append(f.queue, arc.To)
+				}
+			}
+		}
+		f.head = end
+		if len(f.queue) == end {
+			f.exhausted = true
+			return
+		}
+		// balls[depth+1] = merge(balls[depth], sorted new layer).
+		f.layer = append(f.layer[:0], f.queue[end:]...)
+		slices.Sort(f.layer)
+		if len(f.balls) <= f.depth+1 {
+			f.balls = append(f.balls, nil)
+		}
+		merged := f.balls[f.depth+1][:0]
+		prev := f.balls[f.depth]
+		i, j := 0, 0
+		for i < len(prev) && j < len(f.layer) {
+			if prev[i] < f.layer[j] {
+				merged = append(merged, prev[i])
+				i++
+			} else {
+				merged = append(merged, f.layer[j])
+				j++
+			}
+		}
+		merged = append(merged, prev[i:]...)
+		merged = append(merged, f.layer[j:]...)
+		f.balls[f.depth+1] = merged
+		f.depth++
+	}
+}
+
+// ExtractSharedInto is ExtractInto with the source half of the BFS supplied
+// by a shared frontier: only the candidate endpoint t.B is BFSed here, then
+// the two sorted balls are merged with dist = min of the two sides — exactly
+// the joint-BFS distance, since absence from one side's ball means that side
+// is beyond h. The result is byte-identical to ExtractInto on the same target
+// (pinned by TestExtractSharedIdentity) and, like it, aliases the scratch.
+// t.A must be the frontier's source.
+func (sc *Scratch) ExtractSharedInto(f *SourceFrontier, t TargetLink, h int) (*Subgraph, error) {
+	if t.A != f.src {
+		return nil, fmt.Errorf("subgraph: shared extract: target A=%d is not the frontier source %d", t.A, f.src)
+	}
+	if t.A == t.B {
+		return nil, fmt.Errorf("%w: %d", ErrSameEndpoints, t.A)
+	}
+	g := f.g
+	n := g.NumNodes()
+	if t.B < 0 || int(t.B) >= n {
+		return nil, fmt.Errorf("%w: (%d, %d) with %d nodes", ErrEndpointMissing, t.A, t.B, n)
+	}
+	if h < 0 {
+		h = 0
+	}
+	sc.ensureGraphTables(n)
+
+	// Candidate-side ball; the source side comes from the frontier.
+	sc.bfsSingle(g, t.B, h)
+	slices.Sort(sc.visited)
+	srcNodes, srcDist := f.Ball(h)
+
+	sub := &sc.sub
+	sub.H = h
+	sub.Orig = sub.Orig[:0]
+	sub.Dist = sub.Dist[:0]
+	// Endpoints take slots 0 and 1 with distance 0, as in ExtractInto. A may
+	// be outside the candidate ball, so stamp it for the induction walk.
+	sc.stamp[t.A] = sc.epoch
+	sc.dist[t.A] = 0
+	sc.local[t.A] = 0
+	sub.Orig = append(sub.Orig, t.A)
+	sub.Dist = append(sub.Dist, 0)
+	sc.dist[t.B] = 0 // already stamped by bfsSingle
+	sc.local[t.B] = 1
+	sub.Orig = append(sub.Orig, t.B)
+	sub.Dist = append(sub.Dist, 0)
+
+	// Two-pointer merge of the sorted balls: ascending union, dist = min of
+	// whichever sides contain the node. Source-only nodes are stamped into
+	// the scratch tables here so induceInto sees one uniform membership test.
+	cand := sc.visited
+	i, j := 0, 0
+	for i < len(srcNodes) || j < len(cand) {
+		var u graph.NodeID
+		var d int32
+		switch {
+		case j >= len(cand) || (i < len(srcNodes) && srcNodes[i] < cand[j]):
+			u = srcNodes[i]
+			d = srcDist[u]
+			i++
+		case i >= len(srcNodes) || cand[j] < srcNodes[i]:
+			u = cand[j]
+			d = sc.dist[u]
+			j++
+		default: // in both balls
+			u = srcNodes[i]
+			d = min(srcDist[u], sc.dist[u])
+			i++
+			j++
+		}
+		if u == t.A || u == t.B {
+			continue
+		}
+		sc.stamp[u] = sc.epoch
+		sc.dist[u] = d
+		sc.local[u] = int32(len(sub.Orig))
+		sub.Orig = append(sub.Orig, u)
+		sub.Dist = append(sub.Dist, d)
+	}
+	if err := sc.induceInto(g, sub); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// BuildKTieSharedInto is BuildKTieInto with the source-side BFS shared
+// through f: the growing-radius loop, structure combination and K-selection
+// are the same, only the h-hop extraction runs through ExtractSharedInto.
+// t.A must be the frontier's source.
+func (sc *Scratch) BuildKTieSharedInto(f *SourceFrontier, t TargetLink, k int, tie TiePreference) (*KStructure, error) {
+	return sc.buildKTieShared(f, t, k, tie, nil)
+}
+
+// BuildKTieSharedTimedInto is BuildKTieSharedInto with per-stage wall-clock
+// accounting accumulated into tm (nil disables timing).
+func (sc *Scratch) BuildKTieSharedTimedInto(f *SourceFrontier, t TargetLink, k int, tie TiePreference, tm *StageTimes) (*KStructure, error) {
+	return sc.buildKTieShared(f, t, k, tie, tm)
+}
+
+func (sc *Scratch) buildKTieShared(f *SourceFrontier, t TargetLink, k int, tie TiePreference, tm *StageTimes) (*KStructure, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	var (
+		st        *StructureGraph
+		prevNodes = -1
+	)
+	h := 1
+	for {
+		start := stageStart(tm)
+		sg, err := sc.ExtractSharedInto(f, t, h)
+		tm.addHHop(start)
+		if err != nil {
+			return nil, err
+		}
+		start = stageStart(tm)
+		st = sc.CombineInto(sg)
+		tm.addCombine(start)
+		if st.NumNodes() >= k {
+			break
+		}
+		if sg.NumNodes() == prevNodes {
+			break // component exhausted; proceed with what we have
+		}
+		prevNodes = sg.NumNodes()
+		h++
+	}
+	start := stageStart(tm)
+	ks, err := sc.SelectKInto(st, k, h, tie)
+	tm.addSelect(start)
+	return ks, err
+}

@@ -1,0 +1,209 @@
+package subgraph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+// subgraphEqual compares two extracted subgraphs field by field, including
+// the induced multigraph's full arc lists (order matters: the batch path must
+// be byte-identical to the per-pair path, not merely isomorphic).
+func subgraphEqual(t *testing.T, got, want *Subgraph) {
+	t.Helper()
+	if got.H != want.H {
+		t.Fatalf("H = %d, want %d", got.H, want.H)
+	}
+	if len(got.Orig) != len(want.Orig) {
+		t.Fatalf("len(Orig) = %d, want %d", len(got.Orig), len(want.Orig))
+	}
+	for i := range want.Orig {
+		if got.Orig[i] != want.Orig[i] {
+			t.Fatalf("Orig[%d] = %d, want %d", i, got.Orig[i], want.Orig[i])
+		}
+		if got.Dist[i] != want.Dist[i] {
+			t.Fatalf("Dist[%d] (node %d) = %d, want %d", i, want.Orig[i], got.Dist[i], want.Dist[i])
+		}
+	}
+	if got.G.NumNodes() != want.G.NumNodes() {
+		t.Fatalf("induced nodes = %d, want %d", got.G.NumNodes(), want.G.NumNodes())
+	}
+	for u := 0; u < want.G.NumNodes(); u++ {
+		ga, wa := got.G.ArcSlice(graph.NodeID(u)), want.G.ArcSlice(graph.NodeID(u))
+		if len(ga) != len(wa) {
+			t.Fatalf("node %d arc count = %d, want %d", u, len(ga), len(wa))
+		}
+		for i := range wa {
+			if ga[i] != wa[i] {
+				t.Fatalf("node %d arc %d = %+v, want %+v", u, i, ga[i], wa[i])
+			}
+		}
+	}
+}
+
+// TestExtractSharedIdentity pins the shared-frontier extraction to the plain
+// per-pair path: same Orig order, same distances, same induced arc lists,
+// across random graphs, radii and candidate sets.
+func TestExtractSharedIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := randomTestGraph(seed, 60, 150)
+		rng := rand.New(rand.NewSource(seed * 100))
+		src := graph.NodeID(rng.Intn(g.NumNodes()))
+		f, err := NewSourceFrontier(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plain, shared Scratch
+		for h := 0; h <= 3; h++ {
+			for trial := 0; trial < 20; trial++ {
+				v := graph.NodeID(rng.Intn(g.NumNodes()))
+				if v == src {
+					continue
+				}
+				tl := TargetLink{A: src, B: v}
+				want, err := plain.ExtractInto(g, tl, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := shared.ExtractSharedInto(f, tl, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subgraphEqual(t, got, want)
+			}
+		}
+	}
+}
+
+// TestBuildKSharedIdentity pins the growing-radius K-structure build through
+// the shared frontier to the per-pair build: identical slot assignment and
+// structure links for every candidate.
+func TestBuildKSharedIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := randomTestGraph(seed+10, 80, 200)
+		rng := rand.New(rand.NewSource(seed))
+		src := graph.NodeID(rng.Intn(g.NumNodes()))
+		f, err := NewSourceFrontier(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plain, shared Scratch
+		for _, k := range []int{4, 8, 12} {
+			for trial := 0; trial < 15; trial++ {
+				v := graph.NodeID(rng.Intn(g.NumNodes()))
+				if v == src {
+					continue
+				}
+				tl := TargetLink{A: src, B: v}
+				want, err := plain.BuildKTieInto(g, tl, k, PreferConnected)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := shared.BuildKTieSharedInto(f, tl, k, PreferConnected)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.K != want.K || got.N != want.N || got.H != want.H {
+					t.Fatalf("K/N/H = %d/%d/%d, want %d/%d/%d", got.K, got.N, got.H, want.K, want.N, want.H)
+				}
+				for i := range want.Nodes {
+					if got.Nodes[i].Dist != want.Nodes[i].Dist {
+						t.Fatalf("slot %d dist = %d, want %d", i, got.Nodes[i].Dist, want.Nodes[i].Dist)
+					}
+				}
+				if len(got.Links) != len(want.Links) {
+					t.Fatalf("links = %d, want %d", len(got.Links), len(want.Links))
+				}
+				for i := range want.Links {
+					if got.Links[i].X != want.Links[i].X || got.Links[i].Y != want.Links[i].Y {
+						t.Fatalf("link %d = (%d,%d), want (%d,%d)", i,
+							got.Links[i].X, got.Links[i].Y, want.Links[i].X, want.Links[i].Y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSourceFrontierConcurrentBall hammers one frontier from many goroutines
+// with mixed radii (run under -race in CI): lazy extension must be safe
+// against concurrent readers, and every ball must stay sorted and
+// distance-consistent.
+func TestSourceFrontierConcurrentBall(t *testing.T) {
+	g := randomTestGraph(7, 200, 600)
+	f, err := NewSourceFrontier(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				h := (w + it) % 4
+				nodes, dist := f.Ball(h)
+				for i, u := range nodes {
+					if i > 0 && nodes[i-1] >= u {
+						select {
+						case errCh <- "ball not strictly sorted":
+						default:
+						}
+						return
+					}
+					if d := dist[u]; d < 0 || int(d) > h {
+						select {
+						case errCh <- "distance outside radius":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestSourceFrontierReset verifies buffer reuse across Resets: re-targeting
+// the same frontier must behave like a fresh one.
+func TestSourceFrontierReset(t *testing.T) {
+	g := randomTestGraph(9, 50, 120)
+	f, err := NewSourceFrontier(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Ball(3)
+	for src := graph.NodeID(1); src < 10; src++ {
+		if err := f.Reset(g, src); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewSourceFrontier(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := 0; h <= 3; h++ {
+			got, gd := f.Ball(h)
+			want, wd := fresh.Ball(h)
+			if len(got) != len(want) {
+				t.Fatalf("src %d h %d: ball size %d, want %d", src, h, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] || gd[got[i]] != wd[want[i]] {
+					t.Fatalf("src %d h %d: member %d mismatch", src, h, i)
+				}
+			}
+		}
+	}
+	if _, err := NewSourceFrontier(g, graph.NodeID(g.NumNodes())); err == nil {
+		t.Fatal("out-of-range source must fail")
+	}
+}

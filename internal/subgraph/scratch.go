@@ -113,6 +113,41 @@ func (sc *Scratch) bfsLink(g *graph.Graph, a, b graph.NodeID, h int) {
 	sc.queue = q
 }
 
+// bfsSingle is bfsLink from a single seed: it stamps every node within h
+// hops of s with its distance from s. Used by the shared-frontier batch path,
+// where the other endpoint's ball is supplied by a SourceFrontier.
+func (sc *Scratch) bfsSingle(g *graph.Graph, s graph.NodeID, h int) {
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: invalidate all stamps once
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	q := sc.queue[:0]
+	sc.visited = sc.visited[:0]
+	sc.stamp[s] = sc.epoch
+	sc.dist[s] = 0
+	q = append(q, s)
+	sc.visited = append(sc.visited, s)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := sc.dist[u]
+		if int(du) >= h {
+			continue
+		}
+		for _, arc := range g.ArcSlice(u) {
+			if sc.stamp[arc.To] != sc.epoch {
+				sc.stamp[arc.To] = sc.epoch
+				sc.dist[arc.To] = du + 1
+				q = append(q, arc.To)
+				sc.visited = append(sc.visited, arc.To)
+			}
+		}
+	}
+	sc.queue = q
+}
+
 // ExtractInto is the allocation-free Extract: it builds the h-hop subgraph
 // of the target link into the scratch's reusable buffers. The result aliases
 // the scratch and is overwritten by the next ExtractInto call.
@@ -151,6 +186,17 @@ func (sc *Scratch) ExtractInto(g *graph.Graph, t TargetLink, h int) (*Subgraph, 
 		sub.Orig = append(sub.Orig, u)
 		sub.Dist = append(sub.Dist, sc.dist[u])
 	}
+	if err := sc.induceInto(g, sub); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// induceInto fills sub.G with the edges of g induced on the currently
+// stamped ball, using the local-id table written by the caller. Shared by the
+// per-pair ExtractInto and the shared-frontier ExtractSharedInto so both
+// paths produce byte-identical subgraphs.
+func (sc *Scratch) induceInto(g *graph.Graph, sub *Subgraph) error {
 	if sub.G == nil {
 		sub.G = graph.New(16)
 	}
@@ -167,11 +213,11 @@ func (sc *Scratch) ExtractInto(g *graph.Graph, t TargetLink, h int) (*Subgraph, 
 				continue
 			}
 			if err := sub.G.AddEdge(graph.NodeID(li), graph.NodeID(lj), a.Ts); err != nil {
-				return nil, fmt.Errorf("subgraph: induce edge: %w", err)
+				return fmt.Errorf("subgraph: induce edge: %w", err)
 			}
 		}
 	}
-	return sub, nil
+	return nil
 }
 
 // NeighborListsInto fills the scratch's neighbor-set buffers with the sorted

@@ -127,6 +127,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
 			pred.bindScore = linregBind(model)
+			pred.featScore = model.Score
 			pred.score = func(u, v NodeID) (float64, error) {
 				feat, err := pred.extract(u, v)
 				if err != nil {
@@ -144,6 +145,7 @@ func LoadPredictor(r io.Reader, g *Graph) (*Predictor, error) {
 				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
 			pred.bindScore = networkBind(net, scaler)
+			pred.featScore = scaledNetScore(net, scaler)
 			pred.score = func(u, v NodeID) (float64, error) {
 				feat, err := pred.extract(u, v)
 				if err != nil {

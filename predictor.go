@@ -129,6 +129,11 @@ type Predictor struct {
 	// heuristic methods ignore it and rebuild from the snapshot's static
 	// view; NMF ignores both (the factor matrices are fixed at training).
 	bindScore func(snap *graph.Snapshot, extract func(u, v NodeID) ([]float64, error)) (func(u, v NodeID) (float64, error), error)
+	// featScore maps an already-extracted feature vector to a score — the
+	// model half of the feature-method pipeline, with extraction factored
+	// out. Batch scoring (Binding.ScoreCandidatesCtx) composes it with the
+	// shared-frontier kernel's extractor. Nil for heuristic and NMF methods.
+	featScore func(feat []float64) (float64, error)
 	// ssfExtractor is the raw core extractor behind extract when the method
 	// uses SSF features (nil for WLF, heuristics, NMF); it is what the
 	// cache wraps and what stage metrics attach to.
@@ -285,6 +290,7 @@ func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts 
 			ssfExtractor: inferRaw,
 		}
 		p.bindScore = linregBind(model)
+		p.featScore = model.Score
 		// Score goes through p.extract — the seam EnableCache swaps — not
 		// the captured inferExtract.
 		p.score = func(u, v NodeID) (float64, error) {
@@ -326,6 +332,7 @@ func trainFeatureModel(g, history *Graph, ds *eval.Dataset, method Method, opts 
 			ssfExtractor: inferRaw,
 		}
 		p.bindScore = networkBind(net, scaler)
+		p.featScore = scaledNetScore(net, scaler)
 		p.score = func(u, v NodeID) (float64, error) {
 			feat, err := p.extract(u, v)
 			if err != nil {

@@ -20,10 +20,26 @@
 # leader's durable LSN, every replica serves byte-identical scores, and the
 # replica fleet keeps answering reads after the leader is gone.
 #
+# A fourth, /top-heavy leg boots an unsharded SSFLR server with the
+# candidate precomputer on and a 3-shard scatter-gather topology on the same
+# dataset, mirrors every ingest to both, and hammers /top on both while
+# epochs churn. Gates: zero 5xx (every /top answers 200 mid-churn on both
+# topologies), and — after ingest quiesces and the precomputer catches up to
+# the exact epoch — (a) the precomputed /top answer equals the full scan's
+# (forced via n > the per-node K), and (b) the union of the three shard
+# partitions of the scan (shard_index/shard_count, exactly what the router
+# sends each shard) covers the unsharded scan: the partition splits the
+# candidate enumeration, it never loses a candidate. Shard-local graphs
+# legitimately diverge from the unsharded one under churn (ingest dual-writes
+# an edge to its owning shards only), so the partition-union gate runs
+# against the unsharded server's own shard parameters, where graph state is
+# identical by construction.
+#
 # Tunables (environment): ADDR, DURATION (seconds, default 30), READERS
 # (default 8), REF_ADDR, FAULT_ADDR, FAULT_DURATION (seconds, default 25),
 # REPL_LEADER_ADDR, REPL_R1_ADDR, REPL_R2_ADDR, REPL_DURATION (seconds,
-# default 25). SOAK_ONLY selects a single leg: epoch | fault | repl.
+# default 25), TOP_ADDR, TOP_SHARD_ADDR, TOP_DURATION (seconds, default 25).
+# SOAK_ONLY selects a single leg: epoch | fault | repl | top.
 # Run from the repository root; needs the Go toolchain and curl.
 set -euo pipefail
 
@@ -37,6 +53,9 @@ REPL_LEADER_ADDR="${REPL_LEADER_ADDR:-127.0.0.1:18093}"
 REPL_R1_ADDR="${REPL_R1_ADDR:-127.0.0.1:18094}"
 REPL_R2_ADDR="${REPL_R2_ADDR:-127.0.0.1:18095}"
 REPL_DURATION="${REPL_DURATION:-25}"
+TOP_ADDR="${TOP_ADDR:-127.0.0.1:18096}"
+TOP_SHARD_ADDR="${TOP_SHARD_ADDR:-127.0.0.1:18097}"
+TOP_DURATION="${TOP_DURATION:-25}"
 WORKDIR="$(mktemp -d)"
 SERVER_PID=""
 REF_PID=""
@@ -44,10 +63,12 @@ FSHARD_PID=""
 LEADER_PID=""
 R1_PID=""
 R2_PID=""
+TOP_PID=""
+TSHARD_PID=""
 
 cleanup() {
-    touch "$WORKDIR/stop" "$WORKDIR/fstop" "$WORKDIR/rstop" 2>/dev/null || true
-    for pid in "$SERVER_PID" "$REF_PID" "$FSHARD_PID" "$LEADER_PID" "$R1_PID" "$R2_PID"; do
+    touch "$WORKDIR/stop" "$WORKDIR/fstop" "$WORKDIR/rstop" "$WORKDIR/tstop" 2>/dev/null || true
+    for pid in "$SERVER_PID" "$REF_PID" "$FSHARD_PID" "$LEADER_PID" "$R1_PID" "$R2_PID" "$TOP_PID" "$TSHARD_PID"; do
         if [[ -n "$pid" ]]; then
             kill "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -690,4 +711,248 @@ if [[ "$fail" -ne 0 ]]; then
 fi
 echo "PASS: replication soak"
 
+kill "$R1_PID" 2>/dev/null || true
+wait "$R1_PID" 2>/dev/null || true
+R1_PID=""
+kill "$R2_PID" 2>/dev/null || true
+wait "$R2_PID" 2>/dev/null || true
+R2_PID=""
+
 fi # run_leg repl
+
+# ---------------------------------------------------------------------------
+# /top-heavy leg: precompute under epoch churn + sharded-union equality.
+# ---------------------------------------------------------------------------
+
+if run_leg top; then
+
+echo "==> [top] booting unsharded SSFLR server (precompute on) on $TOP_ADDR"
+GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" -method SSFLR -k 6 -maxpos 20 \
+    -wal-dir "$WORKDIR/wal-top" \
+    -addr "$TOP_ADDR" -log-format json >"$WORKDIR/top.log" 2>&1 &
+TOP_PID=$!
+
+echo "==> [top] booting 3-shard SSFLR topology on $TOP_SHARD_ADDR"
+GORACE="halt_on_error=1" "$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" -method SSFLR -k 6 -maxpos 20 \
+    -shards 3 -wal-dir "$WORKDIR/wal-top-sharded" \
+    -addr "$TOP_SHARD_ADDR" -log-format json >"$WORKDIR/tsharded.log" 2>&1 &
+TSHARD_PID=$!
+
+wait_ready "$TOP_ADDR" "$TOP_PID" "$WORKDIR/top.log"
+wait_ready "$TOP_SHARD_ADDR" "$TSHARD_PID" "$WORKDIR/tsharded.log"
+
+scrape_top() {
+    curl -fsS "http://$TOP_ADDR/metrics" 2>/dev/null |
+        sed -n "s/^$1 //p"
+}
+
+echo "==> [top] soaking for ${TOP_DURATION}s: 4 /top readers + 2 /score readers vs mirrored ingest"
+
+# /top reader: mixed n, against the unsharded server whose index is being
+# rebuilt underneath it. Every response must be a 200 — the precompute
+# fast path, the stale rerank and the scan fallback are all invisible to
+# the client except in latency.
+ttop_reader() {
+    local out="$WORKDIR/ttop$1.log"
+    while [[ ! -e "$WORKDIR/tstop" ]]; do
+        local n=$((1 + RANDOM % 10))
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            "http://$TOP_ADDR/top?n=$n" >>"$out" || true
+    done
+}
+
+# Sharded /top reader: the scatter-gather path under the same churn. All
+# shards are healthy, so 200 is the only contract answer.
+tshard_reader() {
+    local out="$WORKDIR/ttopsh$1.log"
+    while [[ ! -e "$WORKDIR/tstop" ]]; do
+        local n=$((1 + RANDOM % 10))
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            "http://$TOP_SHARD_ADDR/top?n=$n" >>"$out" || true
+        sleep 0.1
+    done
+}
+
+tscore_reader() {
+    local out="$WORKDIR/tscore$1.log"
+    while [[ ! -e "$WORKDIR/tstop" ]]; do
+        local u=$((RANDOM % 40)) v=$((RANDOM % 40))
+        [[ "$u" == "$v" ]] && continue
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            "http://$TOP_ADDR/score?u=$u&v=$v" >>"$out" || true
+    done
+}
+
+# Writer: every batch goes to BOTH servers with explicit timestamps, so the
+# unsharded and sharded graphs stay identical for the post-quiesce equality
+# check.
+twriter() {
+    local i=0
+    while [[ ! -e "$WORKDIR/tstop" ]]; do
+        i=$((i + 1))
+        local body="[{\"u\":\"churn${i}a\",\"v\":\"$((i % 40))\",\"ts\":${i}},{\"u\":\"churn${i}a\",\"v\":\"churn${i}b\",\"ts\":${i}}]"
+        curl -s -o /dev/null -w '%{http_code}\n' -X POST -d "$body" \
+            "http://$TOP_ADDR/ingest" >>"$WORKDIR/twriter.log" || true
+        curl -s -o /dev/null -w '%{http_code}\n' -X POST -d "$body" \
+            "http://$TOP_SHARD_ADDR/ingest" >>"$WORKDIR/twriter_sharded.log" || true
+        sleep 0.1
+    done
+}
+
+tpids=()
+for r in 1 2 3 4; do
+    ttop_reader "$r" &
+    tpids+=($!)
+done
+for r in 1 2; do
+    tscore_reader "$r" &
+    tpids+=($!)
+done
+tshard_reader 1 &
+tpids+=($!)
+twriter &
+tpids+=($!)
+
+sleep "$TOP_DURATION"
+touch "$WORKDIR/tstop"
+wait "${tpids[@]}" 2>/dev/null || true
+
+fail=0
+
+echo "==> [top] checking: every unsharded /top under churn answered 200"
+for f in "$WORKDIR"/ttop[0-9]*.log; do
+    if awk '$1 != 200 { exit 1 }' "$f"; then :; else
+        echo "FAIL: non-200 /top during churn in $f:" >&2
+        sort "$f" | uniq -c >&2
+        fail=1
+    fi
+done
+
+# The scatter path under the same churn may degrade (fast 503 + Retry-After
+# or 206 partial when a starved shard misses its deadline) but must never
+# break: a 500/502/504 fails the leg.
+echo "==> [top] checking: sharded /top degraded at worst, never broken"
+for f in "$WORKDIR"/ttopsh*.log; do
+    if awk '$1 != 200 && $1 != 206 && $1 != 503 { exit 1 }' "$f"; then :; else
+        echo "FAIL: non-contract sharded /top during churn in $f:" >&2
+        awk '$1 != 200 && $1 != 206 && $1 != 503' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+for f in "$WORKDIR"/tscore*.log; do
+    if awk '$1 != 200 && $1 != 404 { exit 1 }' "$f"; then :; else
+        echo "FAIL: non-contract /score during churn in $f:" >&2
+        awk '$1 != 200 && $1 != 404' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+for f in "$WORKDIR/twriter.log" "$WORKDIR/twriter_sharded.log"; do
+    if awk '{ if ($1 < 200 || $1 >= 300) exit 1 }' "$f"; then :; else
+        echo "FAIL: non-2xx ingest in $f:" >&2
+        awk '$1 < 200 || $1 >= 300' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+
+echo "==> [top] checking: the precomputer built and served under churn"
+builds="$(scrape_top ssf_top_precompute_builds_total)"
+hits="$(scrape_top ssf_top_precompute_hits_total)"
+if [[ -z "$builds" || "$builds" == "0" ]]; then
+    echo "FAIL: no precompute builds during the soak" >&2
+    fail=1
+fi
+if [[ -z "$hits" || "$hits" == "0" ]]; then
+    echo "FAIL: no /top served from the precompute index during the soak" >&2
+    fail=1
+fi
+
+# Post-quiesce: ingest has stopped, so the next builds reach the final epoch.
+# The stale-rerank path is approximate by contract, so the equality gate only
+# fires once a probe /top is an exact-epoch index hit (hits advanced,
+# staleness gauge 0).
+echo "==> [top] waiting for the precomputer to catch up to the final epoch"
+caught_up=0
+for _ in $(seq 1 60); do
+    pre_hits="$(scrape_top ssf_top_precompute_hits_total)"
+    curl -fsS "http://$TOP_ADDR/top?n=10" >/dev/null 2>&1 || true
+    post_hits="$(scrape_top ssf_top_precompute_hits_total)"
+    staleness="$(scrape_top ssf_top_precompute_staleness_epochs)"
+    if [[ -n "$pre_hits" && -n "$post_hits" && "$post_hits" -gt "$pre_hits" && "$staleness" == "0" ]]; then
+        caught_up=1
+        break
+    fi
+    sleep 1
+done
+if [[ "$caught_up" -ne 1 ]]; then
+    echo "FAIL: precompute index never caught up to the quiesced epoch" >&2
+    fail=1
+fi
+
+# candidates_of URL: one candidate object per line, in rank order.
+candidates_of() {
+    curl -fsS "$1" 2>/dev/null |
+        grep -o '{"u":"[^"]*","v":"[^"]*","score":[^},]*}' || true
+}
+
+# The default per-node K is 64, so n=65 can never be served from the index:
+# it is the HTTP-visible way to force the full scan on the final epoch.
+SCAN_N=65
+
+echo "==> [top] checking: precomputed /top equals the full scan"
+fast10="$(candidates_of "http://$TOP_ADDR/top?n=10")"
+scan10="$(candidates_of "http://$TOP_ADDR/top?n=$SCAN_N" | head -10)"
+if [[ -z "$fast10" || "$fast10" != "$scan10" ]]; then
+    echo "FAIL: precompute fast path diverged from the scan:" >&2
+    echo "--- fast (n=10):" >&2
+    printf '%s\n' "$fast10" >&2
+    echo "--- scan (first 10 of n=$SCAN_N):" >&2
+    printf '%s\n' "$scan10" >&2
+    fail=1
+fi
+
+echo "==> [top] checking: the 3-way shard partition union covers the unsharded scan"
+union="$WORKDIR/tunion.txt"
+: >"$union"
+for i in 0 1 2; do
+    candidates_of "http://$TOP_ADDR/top?n=$SCAN_N&shard_count=3&shard_index=$i" >>"$union"
+done
+missing=0
+while IFS= read -r cand; do
+    if ! grep -qF "$cand" "$union"; then
+        echo "FAIL: scan candidate missing from the shard-partition union: $cand" >&2
+        missing=1
+    fi
+done < <(candidates_of "http://$TOP_ADDR/top?n=$SCAN_N")
+if [[ "$missing" -ne 0 ]]; then
+    fail=1
+fi
+
+echo "==> [top] checking: no race reports, servers alive"
+for log in "$WORKDIR/top.log" "$WORKDIR/tsharded.log"; do
+    if grep -q "DATA RACE" "$log"; then
+        echo "FAIL: race detector fired in $log:" >&2
+        grep -A 20 "DATA RACE" "$log" >&2
+        fail=1
+    fi
+done
+for pid in "$TOP_PID" "$TSHARD_PID"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: a /top-leg server exited during the soak:" >&2
+        tail -30 "$WORKDIR/top.log" "$WORKDIR/tsharded.log" >&2
+        fail=1
+    fi
+done
+
+tops="$(cat "$WORKDIR"/ttop*.log | wc -l)"
+writes="$(grep -c '^200' "$WORKDIR/twriter.log" || true)"
+echo "    tops=$tops acked_writes=$writes builds=$builds hits=$hits"
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "FAIL: /top soak" >&2
+    exit 1
+fi
+echo "PASS: /top soak"
+
+fi # run_leg top

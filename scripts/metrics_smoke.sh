@@ -51,6 +51,25 @@ echo "==> driving traffic"
 curl -fsS "http://$ADDR/score?u=0&v=1" >/dev/null
 curl -fsS -X POST -d '[{"u":"0","v":"1"},{"u":"2","v":"3"}]' "http://$ADDR/batch" >/dev/null
 curl -fsS -X POST -d '{"u":"smoke-a","v":"smoke-b"}' "http://$ADDR/ingest" >/dev/null
+curl -fsS "http://$ADDR/top?n=5" >/dev/null
+
+echo "==> waiting for a candidate precompute build"
+for i in $(seq 1 60); do
+    if curl -fsS "http://$ADDR/metrics" | awk '
+        index($1, "ssf_top_precompute_builds_total") == 1 { if ($NF + 0 > 0) found = 1 }
+        END { exit !found }
+    '; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server died while waiting for precompute:" >&2
+        cat "$WORKDIR/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+# A /top against the built index must count as a precompute hit.
+curl -fsS "http://$ADDR/top?n=5" >/dev/null
 
 echo "==> checking /healthz cache stats"
 healthz="$(curl -fsS "http://$ADDR/healthz")"
@@ -80,6 +99,19 @@ assert_nonzero() {
     echo "    ok: $family"
 }
 
+# assert_present FAMILY: FAMILY is exported at all (gauges may correctly be 0).
+assert_present() {
+    local family="$1"
+    if ! awk -v fam="$family" '
+        $1 == fam || index($1, fam "{") == 1 { found = 1 }
+        END { exit !found }
+    ' "$metrics"; then
+        echo "FAIL: family $family absent from /metrics" >&2
+        exit 1
+    fi
+    echo "    ok: $family (present)"
+}
+
 assert_nonzero ssf_http_requests_total
 assert_nonzero ssf_http_request_duration_seconds_count
 assert_nonzero ssf_score_batches_total
@@ -89,6 +121,11 @@ assert_nonzero ssf_extracts_total
 assert_nonzero ssf_wal_records_total
 assert_nonzero ssf_wal_applied_lsn
 assert_nonzero ssf_ingest_edges_total
+assert_nonzero ssf_top_candidates_scored_total
+assert_nonzero ssf_top_precompute_builds_total
+assert_nonzero ssf_top_precompute_hits_total
+assert_present ssf_top_precompute_staleness_epochs
+assert_nonzero ssf_extract_batch_size_count
 assert_nonzero go_goroutines
 assert_nonzero go_memstats_heap_alloc_bytes
 
