@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check soak soak-repl soak-top bench bench-all bench-check vet fmt experiments clean
+.PHONY: all build test race cover cover-check soak soak-repl soak-top trace-smoke bench bench-all bench-check vet fmt experiments clean
 
 # The hot-path microbenches tracked in BENCH_ssf.json: the four extraction
 # kernels, the telemetry primitives they observe through, the shared-frontier
@@ -48,6 +48,13 @@ soak-repl:
 # Tune with TOP_DURATION=<seconds>.
 soak-top:
 	SOAK_ONLY=top ./scripts/concurrency_soak.sh
+
+# Tracing smoke: 3-shard topology with one dead shard and full sampling;
+# gates on an error-tagged /top trace crossing router -> shard with breaker
+# attrs and per-stage extraction timings, ssf_trace_* metrics, and
+# exemplar -> trace links that resolve via /debug/traces.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Run the hot-path microbenches and refresh the committed regression record
 # (current section only; pass -rebase via BENCHDIFF_FLAGS to move the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 )
@@ -128,6 +129,10 @@ func runIndexed(ctx context.Context, n, workers int, fn func(i int) error) error
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Adopt the request's pprof labels (endpoint/stage/shard) so CPU
+			// profiles attribute scoring to its request class; labels travel
+			// in ctx but never cross goroutine starts on their own.
+			pprof.SetGoroutineLabels(ctx)
 			for i := range indices {
 				if err := ctx.Err(); err != nil {
 					fail(i, fmt.Errorf("ssflp: batch: %w", err))

@@ -153,7 +153,12 @@ func (b *Binding) ScoreCandidatesCtx(ctx context.Context, src NodeID, cands []No
 		}
 		return featScore(feat)
 	}
-	return scoreBatchCtx(ctx, b.pred.metrics, scoreOne, pairs, workers)
+	out, err := scoreBatchCtx(ctx, b.pred.metrics, scoreOne, pairs, workers)
+	// Aggregate per-stage extraction spans for traced requests: one span per
+	// stage for the whole candidate batch (cache hits bypass extraction, so
+	// the spans cover the misses — the part that cost anything).
+	bt.EmitStageSpans(ctx)
+	return out, err
 }
 
 // scaledNetScore is the neural methods' featScore: standardize, then run the

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"log/slog"
+	"runtime/debug"
+	"sync"
+
+	"ssflp/internal/telemetry"
+)
+
+// buildInfo is the process's build identity, resolved once from the metadata
+// the Go toolchain embeds in the binary: module version, VCS revision and
+// commit time. Surfaced on /healthz, as the ssf_build_info gauge, and in one
+// startup log line, so "which build is this" is answerable from any of the
+// three places an operator might already be looking.
+type buildInfo struct {
+	Version   string `json:"version"`
+	Revision  string `json:"revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go"`
+}
+
+var (
+	buildOnce sync.Once
+	buildVal  buildInfo
+)
+
+// processBuildInfo reads the embedded build metadata, caching the result.
+// Binaries built without VCS stamping (go test, vendored builds) degrade to
+// "unknown" fields rather than omitting the identity entirely.
+func processBuildInfo() buildInfo {
+	buildOnce.Do(func() {
+		buildVal = buildInfo{Version: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildVal.GoVersion = bi.GoVersion
+		if v := bi.Main.Version; v != "" {
+			buildVal.Version = v
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildVal.Revision = s.Value
+			case "vcs.time":
+				buildVal.VCSTime = s.Value
+			case "vcs.modified":
+				buildVal.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildVal
+}
+
+var buildLogOnce sync.Once
+
+// registerBuildInfo exports the build identity into reg as ssf_build_info —
+// the conventional constant-1 gauge whose labels carry the values — and logs
+// it once per process (not once per shard: -shards N boots N servers).
+func registerBuildInfo(reg *telemetry.Registry, logger *slog.Logger) {
+	bi := processBuildInfo()
+	if reg != nil {
+		reg.GaugeVec("ssf_build_info",
+			"Build identity of the serving binary; the value is always 1.",
+			"version", "revision", "go").
+			With(bi.Version, bi.Revision, bi.GoVersion).Set(1)
+	}
+	if logger != nil {
+		buildLogOnce.Do(func() {
+			logger.Info("build info",
+				slog.String("version", bi.Version),
+				slog.String("revision", bi.Revision),
+				slog.String("vcs_time", bi.VCSTime),
+				slog.Bool("modified", bi.Modified),
+				slog.String("go", bi.GoVersion))
+		})
+	}
+}

@@ -72,6 +72,7 @@ import (
 	"ssflp/internal/replica"
 	"ssflp/internal/resilience"
 	"ssflp/internal/telemetry"
+	"ssflp/internal/trace"
 	"ssflp/internal/wal"
 )
 
@@ -129,13 +130,17 @@ func run(args []string) (err error) {
 		cacheSize = fs.Int("cache-size", 0, fmt.Sprintf(
 			"SSF extraction cache capacity (0 = default %d, negative disables)", ssflp.DefaultCacheSize))
 
+		traceSample = fs.Float64("trace-sample", 0.01, "tail-sampling keep probability for unremarkable traces (errors and slow traces are always kept; 0 disables tracing)")
+		traceRing   = fs.Int("trace-ring", 0, "captured traces retained for GET /debug/traces (0 = default)")
+		traceSlow   = fs.Duration("trace-slow", 0, "traces at least this slow are always captured (0 = default)")
+
 		topPre         = fs.Bool("top-precompute", true, "background /top candidate precompute (unsharded serving only)")
 		topPreK        = fs.Int("top-precompute-k", 64, "per-node top-K kept by the /top precompute index (also the max fast-path n)")
 		topPreStale    = fs.Uint64("top-precompute-stale", 2, "max epochs the precompute index may trail the served graph before /top reverts to a full scan")
 		topPreBudget   = fs.Int("top-precompute-budget", 200000, "max candidates scored per precompute build (0 = unbounded)")
 		topPreInterval = fs.Duration("top-precompute-interval", 2*time.Second, "precompute build loop's epoch poll cadence")
-		logLevel  = fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
-		logFormat = fs.String("log-format", "text", "log output format: text | json")
+		logLevel       = fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat      = fs.String("log-format", "text", "log output format: text | json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -175,6 +180,11 @@ func run(args []string) (err error) {
 		Role:            *role, LeaderAddr: *leaderAddr,
 		ReplLagLSN: *replLagLSN, ReplLagAge: *replLagAge,
 		CacheSize: *cacheSize,
+		Trace: trace.Config{
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+			RingSize:      *traceRing,
+		},
 		TopPrecompute: topPrecomputeConfig{
 			enabled:  *topPre,
 			perNodeK: *topPreK,
@@ -346,6 +356,7 @@ type serverConfig struct {
 	ReplLagLSN          uint64 // replica readiness LSN budget (0 = default)
 	ReplLagAge          time.Duration
 	CacheSize           int                 // 0 = DefaultCacheSize, negative disables
+	Trace               trace.Config        // zero value disables tracing (tests, benchmarks)
 	TopPrecompute       topPrecomputeConfig // zero value disables the precomputer
 	Logger              *slog.Logger        // nil = discard (tests)
 	Limits              limitsConfig
@@ -468,7 +479,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		topPre: cfg.TopPrecompute,
 	}
 	s.ingest = resilience.NewCoalescer(s.commitIngest)
+	s.tracer = trace.New(cfg.Trace)
+	s.tracer.RegisterMetrics(reg)
 	s.initTelemetry(reg, logger)
+	s.instr.SetTracer(s.tracer)
+	registerBuildInfo(reg, logger)
 	applied := wal.LSN(0)
 	if recovered != nil {
 		applied = recovered.AppliedLSN
@@ -502,6 +517,7 @@ func newServer(cfg serverConfig) (*server, error) {
 			Seed:      cfg.Seed,
 			Logger:    logger,
 			Metrics:   replica.NewMetrics(reg),
+			Tracer:    s.tracer,
 			Bootstrap: s.replicaBootstrap,
 			Apply:     s.replicaApply,
 		})

@@ -14,6 +14,7 @@ import (
 	"ssflp/internal/resilience"
 	"ssflp/internal/shard"
 	"ssflp/internal/telemetry"
+	"ssflp/internal/trace"
 )
 
 // routerServer is the HTTP front door of a sharded topology: it exposes the
@@ -38,6 +39,16 @@ type routerServer struct {
 	logger  *slog.Logger
 	reg     *telemetry.Registry
 	instr   *resilience.Instrumentation
+	tracer  *trace.Tracer // nil = tracing disabled
+}
+
+// setTracer arms request tracing on the front door. The router's per-attempt
+// spans flow through request contexts, so the root span opened here is what
+// stitches the fan-out together; for in-process shards the shard-side spans
+// land in the same ring.
+func (rs *routerServer) setTracer(t *trace.Tracer) {
+	rs.tracer = t
+	rs.instr.SetTracer(t)
 }
 
 // newRouterServer wires the front door over a built router. reg carries the
@@ -81,6 +92,9 @@ func (rs *routerServer) routes() http.Handler {
 	if rs.reg != nil {
 		mux.Handle("GET /metrics", unguarded("/metrics", rs.reg.Handler().ServeHTTP))
 	}
+	// Served raw for the same reason as the single-node server: tracing the
+	// trace viewer would pollute the ring it is reading.
+	mux.Handle("GET /debug/traces", rs.tracer.Handler())
 	mux.Handle("GET /score", guarded("/score", rs.handleScore, rs.limits.ScoreTimeout))
 	mux.Handle("GET /top", guarded("/top", rs.handleTop, rs.limits.TopTimeout))
 	mux.Handle("POST /batch", guarded("/batch", rs.handleBatch, rs.limits.BatchTimeout))
@@ -128,6 +142,7 @@ func (rs *routerServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"shardsHealthy": healthy,
 		"shardsTotal":   len(shards),
 		"uptimeSeconds": int(time.Since(rs.started).Seconds()),
+		"build":         processBuildInfo(),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"ssflp/internal/resilience"
 	"ssflp/internal/shard"
 	"ssflp/internal/telemetry"
+	"ssflp/internal/trace"
 	"ssflp/internal/wal"
 )
 
@@ -112,6 +114,7 @@ type server struct {
 	logger *slog.Logger        // structured request + lifecycle logging
 	reg    *telemetry.Registry // exposed on GET /metrics when non-nil
 	instr  *resilience.Instrumentation
+	tracer *trace.Tracer // nil = tracing disabled (bare test structs)
 
 	ingestedEdges  *telemetry.Counter   // edges applied by POST /ingest
 	ingestBatches  *telemetry.Counter   // successful /ingest requests
@@ -310,6 +313,10 @@ func (s *server) routes() http.Handler {
 	if s.reg != nil {
 		mux.Handle("GET /metrics", unguarded("/metrics", s.reg.Handler().ServeHTTP))
 	}
+	// The trace ring is served raw — running it through the instrumentation
+	// middleware would trace the trace viewer. A nil tracer serves an empty
+	// ring, so the route exists whether or not -trace-sample enabled capture.
+	mux.Handle("GET /debug/traces", s.tracer.Handler())
 	mux.Handle("GET /score", guarded("/score", s.handleScore, s.limits.ScoreTimeout))
 	mux.Handle("GET /top", guarded("/top", s.handleTop, s.limits.TopTimeout))
 	mux.Handle("POST /batch", guarded("/batch", s.handleBatch, s.limits.BatchTimeout))
@@ -371,6 +378,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"nodes":         st.snap.Stats.NumNodes,
 		"links":         st.snap.Stats.NumEdges,
 		"uptimeSeconds": int(time.Since(s.started).Seconds()),
+		"build":         processBuildInfo(),
 	}
 	if s.wlog != nil {
 		out["appliedLSN"] = st.appliedLSN
@@ -642,6 +650,9 @@ func (s *server) scoreGroups(ctx context.Context, st *epochState, groups []srcGr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Adopt the request's pprof labels so profiles attribute the
+			// per-source scoring fan-out to its endpoint/shard.
+			pprof.SetGoroutineLabels(cctx)
 			for {
 				i := int(next.Add(1))
 				if i >= len(groups) || cctx.Err() != nil {
@@ -872,6 +883,12 @@ type ingestEdge struct {
 type ingestOp struct {
 	edges []ingestEdge
 
+	// ctx is the submitting request's context, carried so the group-commit
+	// leader can attach the WAL append / epoch swap spans to whichever
+	// coalesced request is traced. Never used for cancellation: a group
+	// commit runs to completion once started.
+	ctx context.Context
+
 	err   error   // WAL append failure: nothing of the group was applied
 	lsn   wal.LSN // last WAL position of this op's events (durable mode)
 	epoch uint64  // first epoch containing this op's edges
@@ -955,7 +972,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.ingest == nil {
 		s.ingest = resilience.NewCoalescer(s.commitIngest)
 	}
-	op := &ingestOp{edges: edges}
+	op := &ingestOp{edges: edges, ctx: r.Context()}
 	s.ingest.Do(op)
 	if op.err != nil {
 		// Durability cannot be guaranteed, so nothing was applied: the
@@ -994,6 +1011,20 @@ func (s *server) commitIngest(ops []*ingestOp) {
 	for _, op := range ops {
 		total += len(op.edges)
 	}
+	// Attach the commit's spans to the first traced request in the group.
+	// A coalesced commit serves many requests but runs once; tracing it on
+	// one of them is exactly the group-commit story an operator wants to see.
+	ctx := context.Background()
+	for _, op := range ops {
+		if op.ctx != nil && trace.SpanFromContext(op.ctx) != nil {
+			ctx = op.ctx
+			break
+		}
+	}
+	ctx, commitSp := trace.StartSpan(ctx, "ingest.commit")
+	commitSp.SetAttr("group_size", len(ops))
+	commitSp.SetAttr("edges", total)
+	defer commitSp.Finish()
 	// An omitted timestamp means "now": the latest time the network knows.
 	nowTs := int64(s.b.Graph().MaxTimestamp())
 	events := make([]wal.Event, 0, total)
@@ -1009,9 +1040,10 @@ func (s *server) commitIngest(ops []*ingestOp) {
 	prev := s.cur.Load()
 	applied := prev.appliedLSN
 	if s.wlog != nil {
-		last, err := s.wlog.AppendBatch(events)
+		last, err := s.wlog.AppendBatchCtx(ctx, events)
 		if err != nil {
 			s.noteWALError(err)
+			commitSp.SetError()
 			for _, op := range ops {
 				op.err = err
 			}
@@ -1024,6 +1056,7 @@ func (s *server) commitIngest(ops []*ingestOp) {
 		}
 		applied = last
 	}
+	_, swapSp := trace.StartSpan(ctx, "epoch.swap")
 	for _, ev := range events {
 		if err := s.b.AddEdge(ev.U, ev.V, ssflp.Timestamp(ev.Ts)); err != nil {
 			// Unreachable after validation; if it ever fires the durable
@@ -1044,6 +1077,8 @@ func (s *server) commitIngest(ops []*ingestOp) {
 		binding = prev.binding
 	}
 	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: applied})
+	swapSp.SetAttr("epoch", snap.Epoch)
+	swapSp.Finish()
 	for _, op := range ops {
 		op.epoch = snap.Epoch
 		op.nodes = snap.Stats.NumNodes

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 
 	"ssflp"
 	"ssflp/internal/resilience"
@@ -19,6 +21,14 @@ type localShard struct {
 	s     *server
 	index int
 	count int
+}
+
+// withShardLabel tags ctx with this shard's pprof label so CPU profiles
+// attribute scoring work to the shard that ran it; worker pools adopt the
+// context's labels via pprof.SetGoroutineLabels. (Remote shards get the same
+// attribution for free — each is its own process.)
+func (l *localShard) withShardLabel(ctx context.Context) context.Context {
+	return pprof.WithLabels(ctx, pprof.Labels("shard", strconv.Itoa(l.index)))
 }
 
 // classifyScore maps a scoring failure onto the shard error taxonomy: the
@@ -46,7 +56,7 @@ func (l *localShard) Score(ctx context.Context, u, v string) (shard.ScoreResult,
 	if !ok {
 		return shard.ScoreResult{}, fmt.Errorf("%w %q", shard.ErrNotFound, v)
 	}
-	scored, err := l.s.scoreBatch(ctx, st, [][2]ssflp.NodeID{{uid, vid}}, 1)
+	scored, err := l.s.scoreBatch(l.withShardLabel(ctx), st, [][2]ssflp.NodeID{{uid, vid}}, 1)
 	if err != nil {
 		return shard.ScoreResult{}, classifyScore(err)
 	}
@@ -59,7 +69,7 @@ func (l *localShard) Score(ctx context.Context, u, v string) (shard.ScoreResult,
 
 func (l *localShard) Top(ctx context.Context, n int) (shard.TopResult, error) {
 	st := l.s.state()
-	cands, sampled, err := l.s.computeTop(ctx, st, n, l.index, l.count)
+	cands, sampled, err := l.s.computeTop(l.withShardLabel(ctx), st, n, l.index, l.count)
 	if err != nil {
 		return shard.TopResult{}, classifyScore(err)
 	}
@@ -84,7 +94,7 @@ func (l *localShard) Batch(ctx context.Context, pairs [][2]string) ([]shard.Scor
 		}
 		ids[i] = [2]ssflp.NodeID{uid, vid}
 	}
-	scored, err := l.s.scoreBatch(ctx, st, ids, 0)
+	scored, err := l.s.scoreBatch(l.withShardLabel(ctx), st, ids, 0)
 	if err != nil {
 		return nil, classifyScore(err)
 	}
@@ -99,7 +109,7 @@ func (l *localShard) Batch(ctx context.Context, pairs [][2]string) ([]shard.Scor
 	return out, nil
 }
 
-func (l *localShard) Ingest(_ context.Context, edges []shard.Edge) (shard.IngestResult, error) {
+func (l *localShard) Ingest(ctx context.Context, edges []shard.Edge) (shard.IngestResult, error) {
 	in := make([]ingestEdge, len(edges))
 	for i, e := range edges {
 		if err := validateIngestEdge(ingestEdge{U: e.U, V: e.V}); err != nil {
@@ -110,7 +120,7 @@ func (l *localShard) Ingest(_ context.Context, edges []shard.Edge) (shard.Ingest
 	if l.s.ingest == nil {
 		l.s.ingest = resilience.NewCoalescer(l.s.commitIngest)
 	}
-	op := &ingestOp{edges: in}
+	op := &ingestOp{edges: in, ctx: ctx}
 	l.s.ingest.Do(op)
 	if op.err != nil {
 		return shard.IngestResult{}, shard.Unavailable(op.err)

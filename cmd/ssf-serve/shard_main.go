@@ -17,6 +17,7 @@ import (
 
 	"ssflp/internal/shard"
 	"ssflp/internal/telemetry"
+	"ssflp/internal/trace"
 )
 
 // shardedOptions carries the router robustness knobs from the flags.
@@ -159,7 +160,17 @@ func buildLocalSharded(n int, cfg serverConfig, opts shardedOptions, logger *slo
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntime(reg)
 	router := shard.NewRouter(clients, opts.routerConfig(reg, logger))
-	return newRouterServer(router, cfg.Limits, reg, logger), servers, nil
+	rs := newRouterServer(router, cfg.Limits, reg, logger)
+	// The front door owns the trace ring: its root span travels by context
+	// into the router and — shards being in-process — straight into the shard
+	// servers' scoring and commit paths, so one captured trace shows the whole
+	// fan-out. (Each shard server also builds a tracer, but only requests that
+	// bypass the router would ever start a trace there.)
+	tracer := trace.New(cfg.Trace)
+	tracer.RegisterMetrics(reg)
+	rs.setTracer(tracer)
+	registerBuildInfo(reg, logger)
+	return rs, servers, nil
 }
 
 // buildHTTPSharded fronts remote ssf-serve instances with the scatter-gather
@@ -168,7 +179,7 @@ func buildLocalSharded(n int, cfg serverConfig, opts shardedOptions, logger *slo
 // to when the leader's breaker opens. Peer-set order defines shard identity:
 // every router must list the same sets in the same order or placement
 // disagrees.
-func buildHTTPSharded(peerSets [][]string, limits limitsConfig, opts shardedOptions, logger *slog.Logger) (*routerServer, error) {
+func buildHTTPSharded(peerSets [][]string, limits limitsConfig, tcfg trace.Config, opts shardedOptions, logger *slog.Logger) (*routerServer, error) {
 	n := len(peerSets)
 	newClient := func(url string, i int) (*shard.HTTPClient, error) {
 		hc, err := shard.NewHTTPClient(url, nil)
@@ -204,7 +215,15 @@ func buildHTTPSharded(peerSets [][]string, limits limitsConfig, opts shardedOpti
 			router.SetReplicas(i, rs)
 		}
 	}
-	return newRouterServer(router, limits, reg, logger), nil
+	front := newRouterServer(router, limits, reg, logger)
+	// Remote shards continue the trace across the wire: the HTTP client
+	// injects traceparent and each shard captures its half in its own ring,
+	// joined on the shared trace ID.
+	tracer := trace.New(tcfg)
+	tracer.RegisterMetrics(reg)
+	front.setTracer(tracer)
+	registerBuildInfo(reg, logger)
+	return front, nil
 }
 
 // parsePeerSets splits the -shard-peers flag: comma-separated shards, each a
@@ -257,7 +276,7 @@ func runSharded(b shardedBoot) (err error) {
 		if perr != nil {
 			return perr
 		}
-		rs, err = buildHTTPSharded(peerSets, b.ServerCfg.Limits, b.Opts, b.Logger)
+		rs, err = buildHTTPSharded(peerSets, b.ServerCfg.Limits, b.ServerCfg.Trace, b.Opts, b.Logger)
 	} else {
 		if b.ServerCfg.File == "" {
 			return errors.New("-file is required with -shards")

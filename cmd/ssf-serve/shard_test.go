@@ -11,6 +11,7 @@ import (
 
 	"ssflp/internal/shard"
 	"ssflp/internal/telemetry"
+	"ssflp/internal/trace"
 )
 
 // testSharded boots an n-shard in-process topology over the generated test
@@ -293,7 +294,7 @@ func TestShardedRequestIDPropagatesToPeers(t *testing.T) {
 		writeJSON(w, http.StatusOK, map[string]any{"candidates": []any{}, "sampled": false})
 	}))
 	defer peer.Close()
-	rs, err := buildHTTPSharded([][]string{{peer.URL}, {peer.URL}}, limitsConfig{}, shardedOptions{
+	rs, err := buildHTTPSharded([][]string{{peer.URL}, {peer.URL}}, limitsConfig{}, trace.Config{}, shardedOptions{
 		Timeout: time.Second, Retries: -1, HedgeAfter: -time.Second,
 	}, nil)
 	if err != nil {

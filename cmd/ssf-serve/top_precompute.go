@@ -2,9 +2,12 @@ package main
 
 import (
 	"context"
+	"log/slog"
+	"runtime/pprof"
 	"time"
 
 	"ssflp"
+	"ssflp/internal/trace"
 )
 
 // The candidate precomputer turns the hot unsharded GET /top from an
@@ -200,7 +203,9 @@ func (s *server) buildTopIndex(ctx context.Context, st *epochState) (*topIndex, 
 
 // buildTopOnce rebuilds and publishes the index when the served epoch has
 // moved past it. Synchronous, so tests and benchmarks can drive the
-// precomputer without the background loop.
+// precomputer without the background loop. Each real build runs under its
+// own root trace (background work has no request to join), with per-stage
+// extraction spans attached like any /top scan.
 func (s *server) buildTopOnce(ctx context.Context) error {
 	st := s.cur.Load()
 	if st == nil {
@@ -209,10 +214,26 @@ func (s *server) buildTopOnce(ctx context.Context) error {
 	if idx := s.topIdx.Load(); idx != nil && idx.epoch == st.snap.Epoch {
 		return nil
 	}
-	idx, err := s.buildTopIndex(ctx, st)
+	bctx, sp := s.tracer.StartRoot(ctx, "top_precompute.build")
+	sp.SetAttr("epoch", st.snap.Epoch)
+	idx, err := s.buildTopIndex(bctx, st)
 	if err != nil {
+		sp.FinishError(err)
+		if ctx.Err() == nil {
+			// Logged here, not in the loop: this scope still holds the build
+			// context, so the line carries the trace ID the capture landed
+			// under and logs join /debug/traces on one ID.
+			attrs := []any{slog.Any("err", err)}
+			if id := trace.TraceIDFromContext(bctx); id != "" {
+				attrs = append(attrs, slog.String("trace_id", id))
+			}
+			s.slogger().With(slog.String("component", "top_precompute")).
+				Warn("top precompute build failed", attrs...)
+		}
 		return err
 	}
+	sp.SetAttr("sampled", idx.sampled)
+	sp.Finish()
 	s.topIdx.Store(idx)
 	s.topPreBuilds.Inc()
 	return nil
@@ -221,17 +242,22 @@ func (s *server) buildTopOnce(ctx context.Context) error {
 // startTopPrecompute launches the background build loop: rebuild whenever a
 // poll finds the served epoch past the published index, exit with ctx. Run
 // only on unsharded serving paths — sharded /top never consults the index.
+// Build failures log inside buildTopOnce with a stable component attr and
+// the build's trace ID, so /debug/traces and logs join on one ID.
 func (s *server) startTopPrecompute(ctx context.Context) {
 	if !s.topPre.enabled || s.topPre.interval <= 0 || s.topPre.perNodeK <= 0 {
 		return
 	}
 	go func() {
+		// Label the loop's goroutine so CPU profiles separate background
+		// index builds from request-driven scoring; the scoring worker pools
+		// inherit the label through the build context.
+		ctx := pprof.WithLabels(ctx, pprof.Labels("stage", "top_precompute"))
+		pprof.SetGoroutineLabels(ctx)
 		t := time.NewTicker(s.topPre.interval)
 		defer t.Stop()
 		for {
-			if err := s.buildTopOnce(ctx); err != nil && ctx.Err() == nil {
-				s.slogger().Warn("top precompute build failed", "err", err)
-			}
+			_ = s.buildTopOnce(ctx)
 			select {
 			case <-ctx.Done():
 				return

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ssflp/internal/trace"
+)
+
+// traceDump mirrors the /debug/traces envelope for test decoding.
+type traceDump struct {
+	Count  int `json:"count"`
+	Traces []struct {
+		TraceID string `json:"trace_id"`
+		Root    string `json:"root"`
+		Error   bool   `json:"error"`
+		Spans   []struct {
+			Name     string         `json:"name"`
+			ParentID string         `json:"parent_id"`
+			Error    bool           `json:"error"`
+			Attrs    map[string]any `json:"attrs"`
+		} `json:"spans"`
+	} `json:"traces"`
+}
+
+func getTraces(t *testing.T, h http.Handler, url string) traceDump {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, rec.Code, rec.Body.String())
+	}
+	var out traceDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return out
+}
+
+// TestTraceCaptureIngestCommit drives a traced, WAL-backed /ingest and
+// asserts the captured trace carries the whole commit pipeline: root span,
+// group commit, WAL append + fsync, epoch swap.
+func TestTraceCaptureIngestCommit(t *testing.T) {
+	srv, err := newServer(serverConfig{
+		File: writeTestNet(t), Method: "CN", MaxPositives: 20, Seed: 1,
+		WALDir: t.TempDir(),
+		Trace:  trace.Config{SampleRate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.close() })
+	h := srv.routes()
+
+	req := httptest.NewRequest(http.MethodPost, "/ingest",
+		strings.NewReader(`{"u":"tr-a","v":"tr-b","ts":99}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("traced request without X-Trace-Id response header")
+	}
+
+	dump := getTraces(t, h, "/debug/traces?trace_id="+traceID)
+	if dump.Count != 1 {
+		t.Fatalf("trace %s not captured (count=%d)", traceID, dump.Count)
+	}
+	tr := dump.Traces[0]
+	if tr.Root != "/ingest" || tr.Error {
+		t.Fatalf("trace = %+v", tr)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"/ingest", "ingest.commit", "wal.append", "wal.fsync", "epoch.swap"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	// The exposition with the ssf_trace_* families and exemplar comment lines
+	// must still pass the telemetry linter (scrapeMetrics lints), count the
+	// capture, and stamp the latency bucket with this trace's ID.
+	out := scrapeMetrics(t, h)
+	for _, want := range []string{
+		`ssf_trace_captured_total{reason="sampled"} 1`,
+		// The scrape itself is a traced request, so assert the family rather
+		// than an exact count.
+		"ssf_trace_traces_total ",
+		"# exemplar ssf_http_request_duration_seconds_bucket",
+		"trace_id=" + traceID,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTraceCaptureShardedFault is the acceptance gate in-process: a /top
+// against a topology with one always-erroring shard must capture an
+// error-tagged trace whose span tree crosses router → shard, with the failed
+// attempt's shard and breaker attrs on the shard span.
+func TestTraceCaptureShardedFault(t *testing.T) {
+	cfg := serverConfig{
+		File: writeTestNet(t), Method: "CN", MaxPositives: 20, Seed: 1,
+		Trace: trace.Config{SampleRate: 1},
+	}
+	rs, servers, err := buildLocalSharded(2, cfg, shardedOptions{
+		Timeout: 2 * time.Second, Retries: -1, HedgeAfter: -1,
+		BreakerWindow: 20, BreakerCooldown: 5 * time.Second,
+		FaultSpec: "1:err=1.0", Seed: 1,
+	}, slog.New(slog.DiscardHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.close()
+		}
+	})
+	h := rs.routes()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/top?n=5", nil))
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("faulted /top = %d, want 206: %s", rec.Code, rec.Body.String())
+	}
+
+	dump := getTraces(t, h, "/debug/traces?error=true&endpoint=/top")
+	if dump.Count < 1 {
+		t.Fatal("no error-tagged /top trace captured")
+	}
+	tr := dump.Traces[0]
+	sawRoot, sawFailed, sawOK := false, false, false
+	for _, sp := range tr.Spans {
+		if sp.Name == "/top" && sp.ParentID == "" {
+			sawRoot = true
+		}
+	}
+	if !sawRoot {
+		t.Error("trace has no /top root span")
+	}
+	for _, sp := range tr.Spans {
+		if sp.Name != "shard.top" {
+			continue
+		}
+		if sp.ParentID == "" {
+			t.Error("shard span not parented into the router trace")
+		}
+		if _, ok := sp.Attrs["breaker"]; !ok {
+			t.Errorf("shard span missing breaker attr: %v", sp.Attrs)
+		}
+		if sp.Error && sp.Attrs["shard"] == float64(1) {
+			sawFailed = true
+		}
+		if !sp.Error && sp.Attrs["shard"] == float64(0) {
+			sawOK = true
+		}
+	}
+	if !sawFailed || !sawOK {
+		t.Errorf("span tree does not show the fan-out (failed=%v ok=%v): %+v",
+			sawFailed, sawOK, tr.Spans)
+	}
+}
+
+// TestUntracedServerStaysDark pins the zero-cost default: without a Trace
+// config the route exists but serves an empty ring and no X-Trace-Id is set.
+func TestUntracedServerStaysDark(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/score?u=0&v=1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("score = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != "" {
+		t.Errorf("untraced server set X-Trace-Id %q", got)
+	}
+	if dump := getTraces(t, h, "/debug/traces"); dump.Count != 0 {
+		t.Errorf("untraced server captured %d traces", dump.Count)
+	}
+}

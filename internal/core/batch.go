@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
+	"time"
 
 	"ssflp/internal/graph"
 	"ssflp/internal/subgraph"
+	"ssflp/internal/trace"
 )
 
 // Batch is one shared-frontier extraction batch: every candidate scored
@@ -23,6 +26,11 @@ type Batch struct {
 	src   graph.NodeID
 	calls int64 // candidates extracted; observed as batch size on Close
 	mu    sync.Mutex
+	// Per-stage wall time accumulated across the batch's Extracts (only with
+	// extractor metrics attached). Feeds EmitStageSpans: one aggregate span
+	// per stage rather than four spans per pair, so a 20k-candidate /top
+	// does not explode its trace.
+	stHHop, stCombine, stSelect, stAssemble time.Duration
 }
 
 // NewBatch starts a batch anchored at src. Call Close when the batch is
@@ -67,11 +75,56 @@ func (bt *Batch) Extract(a, b graph.NodeID) ([]float64, error) {
 		return nil, err
 	}
 	vec := Unfold(adj, e.opts.K)
-	e.pool.Put(sc)
 	bt.mu.Lock()
 	bt.calls++
+	if e.metrics != nil {
+		bt.stHHop += sc.stages.HHop
+		bt.stCombine += sc.stages.Combine
+		bt.stSelect += sc.stages.Select
+		bt.stAssemble += sc.assemble
+	}
 	bt.mu.Unlock()
+	e.pool.Put(sc)
 	return vec, nil
+}
+
+// EmitStageSpans records the batch's accumulated per-stage extraction time
+// as aggregate child spans of the span carried by ctx (no-op for untraced
+// requests or metric-less extractors). Span names follow the
+// ssf_extract_stage_duration_seconds stage labels; each span carries the
+// candidate count so per-pair cost is recoverable.
+func (bt *Batch) EmitStageSpans(ctx context.Context) {
+	if trace.SpanFromContext(ctx) == nil {
+		return
+	}
+	bt.mu.Lock()
+	pairs := bt.calls
+	stages := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"extract.hhop", bt.stHHop},
+		{"extract.combine", bt.stCombine},
+		{"extract.palette_wl", bt.stSelect},
+		{"extract.assemble", bt.stAssemble},
+	}
+	bt.mu.Unlock()
+	if pairs == 0 {
+		return
+	}
+	now := time.Now()
+	for _, s := range stages {
+		if s.d <= 0 {
+			continue
+		}
+		// Synthetic timing: the stage's total is laid out ending now. The
+		// spans of one batch overlap rather than sequence — they answer
+		// "where did the time go", not "in what order".
+		trace.AddSpan(ctx, s.name, now.Add(-s.d), s.d,
+			trace.Attr{Key: "pairs", Value: pairs},
+			trace.Attr{Key: "aggregate", Value: true},
+			trace.Attr{Key: "src", Value: int64(bt.src)})
+	}
 }
 
 // Src returns the batch's source node.
@@ -131,6 +184,7 @@ func (e *Extractor) ExtractBatch(ctx context.Context, src graph.NodeID, candidat
 	if err != nil {
 		return nil, err
 	}
+	bt.EmitStageSpans(ctx)
 	return out, nil
 }
 
@@ -172,6 +226,10 @@ func forEachIndexed(ctx context.Context, n, workers int, fn func(i int) error) e
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Adopt the request's pprof labels (endpoint/stage/shard) so CPU
+			// profiles attribute extraction work to its request class; labels
+			// travel in ctx but never cross goroutine starts on their own.
+			pprof.SetGoroutineLabels(ctx)
 			for i := range indices {
 				if err := ctx.Err(); err != nil {
 					fail(i, fmt.Errorf("core: batch: %w", err))

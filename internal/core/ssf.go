@@ -148,6 +148,7 @@ type scratch struct {
 	dist       []float64
 	done       []bool
 	stages     subgraph.StageTimes
+	assemble   time.Duration // last assembleAdj wall time (with metrics on)
 }
 
 // newScratch builds a scratch for a fixed K.
@@ -277,7 +278,8 @@ func (e *Extractor) assembleAdj(sc *scratch, ks *subgraph.KStructure, tm *subgra
 	}
 	adj[0][1], adj[1][0] = 0, 0
 	if e.metrics != nil {
-		e.metrics.observe(tm, time.Since(assembleStart))
+		sc.assemble = time.Since(assembleStart)
+		e.metrics.observe(tm, sc.assemble)
 	}
 	return adj, nil
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssflp/internal/trace"
 	"ssflp/internal/wal"
 )
 
@@ -45,10 +46,17 @@ type FollowerConfig struct {
 	// Seed makes the retry jitter deterministic in tests; 0 derives one from
 	// the clock.
 	Seed int64
-	// Logger receives bootstrap/backoff lines; nil is silent.
+	// Logger receives bootstrap/backoff lines; nil is silent. NewFollower
+	// stamps it with component=replication so follower lines are filterable
+	// next to request logs.
 	Logger *slog.Logger
 	// Metrics receives follower-side observations; nil records nothing.
 	Metrics *Metrics
+	// Tracer, when non-nil, traces bootstraps and applying stream polls; the
+	// trace ID rides the traceparent header so the leader's /repl handlers
+	// record their side of the same trace, and the follower's log lines
+	// carry the ID for log↔trace joins.
+	Tracer *trace.Tracer
 
 	// Bootstrap installs a starting state and returns the log position it
 	// reflects. snap is the leader's decoded snapshot, or nil when the leader
@@ -108,6 +116,9 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	client := cfg.HTTPClient
 	if client == nil {
 		client = &http.Client{}
+	}
+	if cfg.Logger != nil {
+		cfg.Logger = cfg.Logger.With(slog.String("component", "replication"))
 	}
 	return &Follower{
 		cfg:           cfg,
@@ -188,13 +199,17 @@ func (f *Follower) step(ctx context.Context) error {
 	return f.streamOnce(ctx)
 }
 
-func (f *Follower) bootstrap(ctx context.Context) error {
+func (f *Follower) bootstrap(ctx context.Context) (retErr error) {
 	f.bootstrapStart = time.Now()
 	f.caughtUpOnce = false
+	ctx, sp := f.cfg.Tracer.StartRoot(ctx, "repl.bootstrap")
+	sp.SetAttr("leader", f.cfg.Leader)
+	defer func() { sp.FinishError(retErr) }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Leader+"/repl/snapshot", nil)
 	if err != nil {
 		return err
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("bootstrap: %w", err)
@@ -231,52 +246,74 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	f.cfg.Metrics.noteBootstrap()
 	f.cfg.Metrics.setApplied(uint64(from))
 	f.touch()
+	sp.SetAttr("applied_lsn", uint64(from))
+	sp.SetAttr("from_snapshot", snap != nil)
 	if f.cfg.Logger != nil {
 		f.cfg.Logger.Info("replication bootstrap complete",
 			slog.Uint64("applied_lsn", uint64(from)),
-			slog.Bool("from_snapshot", snap != nil))
+			slog.Bool("from_snapshot", snap != nil),
+			slog.String("trace_id", trace.TraceIDFromContext(ctx)))
 	}
 	return nil
 }
 
 func (f *Follower) streamOnce(ctx context.Context) error {
 	from := wal.LSN(f.applied.Load()) + 1
+	// The span is opened before the request so the traceparent header lets
+	// the leader's /repl/stream handler record its side of the trace. An
+	// empty long poll (204) abandons the span unfinished — capturing every
+	// idle 20s poll would drown the ring in "slow" traces that did nothing.
+	ctx, sp := f.cfg.Tracer.StartRoot(ctx, "repl.stream")
+	sp.SetAttr("leader", f.cfg.Leader)
+	sp.SetAttr("from", uint64(from))
 	u := fmt.Sprintf("%s/repl/stream?from=%d&max=%d&wait=%s",
 		f.cfg.Leader, from, f.cfg.BatchMax, f.cfg.PollWait)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
+		sp.FinishError(err)
 		return err
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("stream: %w", err)
+		err = fmt.Errorf("stream: %w", err)
+		sp.FinishError(err)
+		return err
 	}
 	defer drain(resp.Body)
 
 	switch resp.StatusCode {
 	case http.StatusOK:
-		body, err := readCapped(resp.Body, maxStreamBody)
-		if err != nil {
-			return fmt.Errorf("stream: read: %w", err)
-		}
-		events, err := DecodeStream(body, from)
-		if err != nil {
-			return fmt.Errorf("stream: %w", err)
-		}
-		if len(events) == 0 {
-			return fmt.Errorf("stream: 200 with empty body")
-		}
-		if err := f.cfg.Apply(from, events); err != nil {
-			return fmt.Errorf("stream: apply: %w", err)
-		}
-		applied := uint64(from) + uint64(len(events)) - 1
-		f.applied.Store(applied)
-		f.updateDurable(resp.Header, applied)
-		f.cfg.Metrics.noteApplied(len(events))
-		f.cfg.Metrics.setApplied(applied)
-		f.touch()
-		f.observeLag()
-		return nil
+		applyErr := func() error {
+			body, err := readCapped(resp.Body, maxStreamBody)
+			if err != nil {
+				return fmt.Errorf("stream: read: %w", err)
+			}
+			events, err := DecodeStream(body, from)
+			if err != nil {
+				return fmt.Errorf("stream: %w", err)
+			}
+			if len(events) == 0 {
+				return fmt.Errorf("stream: 200 with empty body")
+			}
+			sp.SetAttr("events", len(events))
+			_, asp := trace.StartSpan(ctx, "repl.apply")
+			err = f.cfg.Apply(from, events)
+			asp.FinishError(err)
+			if err != nil {
+				return fmt.Errorf("stream: apply: %w", err)
+			}
+			applied := uint64(from) + uint64(len(events)) - 1
+			f.applied.Store(applied)
+			f.updateDurable(resp.Header, applied)
+			f.cfg.Metrics.noteApplied(len(events))
+			f.cfg.Metrics.setApplied(applied)
+			f.touch()
+			f.observeLag()
+			return nil
+		}()
+		sp.FinishError(applyErr)
+		return applyErr
 	case http.StatusNoContent:
 		f.updateDurable(resp.Header, f.applied.Load())
 		f.touch()
@@ -285,13 +322,18 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 	case http.StatusGone:
 		// The leader compacted the records we need: re-bootstrap.
 		f.needBootstrap = true
+		sp.SetAttr("compacted", true)
+		sp.Finish()
 		if f.cfg.Logger != nil {
 			f.cfg.Logger.Warn("replication stream compacted; re-bootstrapping",
-				slog.Uint64("from", uint64(from)))
+				slog.Uint64("from", uint64(from)),
+				slog.String("trace_id", trace.TraceIDFromContext(ctx)))
 		}
 		return nil
 	default:
-		return fmt.Errorf("stream: leader returned %s", resp.Status)
+		err := fmt.Errorf("stream: leader returned %s", resp.Status)
+		sp.FinishError(err)
+		return err
 	}
 }
 

@@ -7,10 +7,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
 	"ssflp/internal/telemetry"
+	"ssflp/internal/trace"
 )
 
 // requestIDKey is the context key for the per-request ID set by
@@ -65,12 +67,23 @@ func sanitizeRequestID(id string) string {
 // the final status code after Recover, Limiter, and Deadline have run.
 type Instrumentation struct {
 	logger    *slog.Logger
+	tracer    *trace.Tracer
 	requests  *telemetry.CounterVec
 	durations *telemetry.HistogramVec
 	inflight  *telemetry.Gauge
 	sheds     *telemetry.CounterVec
 	timeouts  *telemetry.CounterVec
 	panics    *telemetry.CounterVec
+}
+
+// SetTracer attaches a tracer: Middleware then opens one root span per
+// request (continuing a propagated traceparent when present), stamps the
+// latency histogram with a trace-ID exemplar, and echoes the trace ID in an
+// X-Trace-Id response header. A nil tracer keeps tracing off.
+func (in *Instrumentation) SetTracer(t *trace.Tracer) {
+	if in != nil {
+		in.tracer = t
+	}
 }
 
 // NewInstrumentation registers the HTTP metric families on reg and returns
@@ -141,12 +154,34 @@ func (in *Instrumentation) Middleware(endpoint string) Middleware {
 				id = newRequestID()
 			}
 			w.Header().Set(requestIDHeader, id)
-			r = r.WithContext(WithRequestID(r.Context(), id))
+			ctx := WithRequestID(r.Context(), id)
+
+			// One root span per request. A valid incoming traceparent (from
+			// the router's shard fan-out or a replica's stream client) is
+			// adopted so the cross-process trace shares one ID.
+			var span *trace.Span
+			if in.tracer.Enabled() {
+				if remote, ok := trace.Extract(r.Header); ok {
+					ctx, span = in.tracer.StartRemote(ctx, endpoint, remote)
+				} else {
+					ctx, span = in.tracer.StartRoot(ctx, endpoint)
+				}
+				span.SetAttr("request_id", id)
+				span.SetAttr("method", r.Method)
+				span.SetAttr("path", r.URL.Path)
+				w.Header().Set("X-Trace-Id", span.TraceID().String())
+			}
+			r = r.WithContext(ctx)
 
 			start := time.Now()
 			in.inflight.Inc()
 			rec := &statusRecorder{ResponseWriter: w}
-			next.ServeHTTP(rec, r)
+			// pprof label so CPU profiles segment by request class; applies to
+			// this goroutine and flows through ctx to scoring workers that
+			// re-apply it (satellite: profile correlation).
+			pprof.Do(ctx, pprof.Labels("endpoint", endpoint), func(ctx context.Context) {
+				next.ServeHTTP(rec, r.WithContext(ctx))
+			})
 			in.inflight.Dec()
 
 			status := rec.status
@@ -155,12 +190,23 @@ func (in *Instrumentation) Middleware(endpoint string) Middleware {
 			}
 			elapsed := time.Since(start)
 			in.requests.With(endpoint, strconv.Itoa(status)).Inc()
-			in.durations.With(endpoint).Observe(elapsed.Seconds())
+			if span != nil {
+				in.durations.With(endpoint).ObserveExemplar(elapsed.Seconds(), span.TraceID().String())
+			} else {
+				in.durations.With(endpoint).Observe(elapsed.Seconds())
+			}
 			switch status {
 			case http.StatusTooManyRequests:
 				in.sheds.With(endpoint).Inc()
 			case http.StatusGatewayTimeout:
 				in.timeouts.With(endpoint).Inc()
+			}
+			if span != nil {
+				span.SetAttr("status", status)
+				if status >= 500 {
+					span.SetError()
+				}
+				span.Finish()
 			}
 			level := slog.LevelInfo
 			if status >= 500 {
@@ -168,7 +214,7 @@ func (in *Instrumentation) Middleware(endpoint string) Middleware {
 			} else if status >= 400 {
 				level = slog.LevelWarn
 			}
-			in.logger.LogAttrs(r.Context(), level, "request",
+			attrs := []slog.Attr{
 				slog.String("request_id", id),
 				slog.String("endpoint", endpoint),
 				slog.String("method", r.Method),
@@ -176,7 +222,11 @@ func (in *Instrumentation) Middleware(endpoint string) Middleware {
 				slog.Int("status", status),
 				slog.Duration("elapsed", elapsed),
 				slog.String("remote", r.RemoteAddr),
-			)
+			}
+			if span != nil {
+				attrs = append(attrs, slog.String("trace_id", span.TraceID().String()))
+			}
+			in.logger.LogAttrs(ctx, level, "request", attrs...)
 		})
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"ssflp/internal/resilience"
+	"ssflp/internal/trace"
 )
 
 // HTTPClient speaks the ssf-serve HTTP API to one remote shard. Every
@@ -87,6 +88,9 @@ func (c *HTTPClient) do(ctx context.Context, method, path string, query url.Valu
 	if id := resilience.RequestID(ctx); id != "" {
 		req.Header.Set("X-Request-Id", id)
 	}
+	// Continue the trace across the process boundary; the remote shard's
+	// middleware adopts the trace ID into its own ring.
+	trace.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ssflp/internal/resilience"
+	"ssflp/internal/trace"
 )
 
 // Config tunes the Router's robustness layer. The zero value takes the
@@ -528,6 +529,12 @@ func call[T any](ctx context.Context, r *Router, m *managedShard, op string, ide
 			if lastErr != nil {
 				err = lastErr
 			}
+			_, sp := trace.StartSpan(ctx, "shard."+op)
+			sp.SetAttr("shard", m.id)
+			sp.SetAttr("attempt", attempt)
+			sp.SetAttr("breaker", "open")
+			sp.SetAttr("error_detail", err.Error())
+			sp.FinishError(err)
 			return zero, err
 		}
 		if ep.replica {
@@ -594,6 +601,7 @@ func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, first *
 		res     T
 		err     error
 		ep      *endpoint
+		span    *trace.Span
 		hedge   bool
 		elapsed time.Duration
 	}
@@ -601,16 +609,36 @@ func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, first *
 	reqID := resilience.RequestID(ctx)
 	launch := func(ep *endpoint, hedge bool) {
 		r.metrics.noteRequest(ep.label, op)
+		// One span per physical attempt. It stays open in the collector
+		// until the root finalizes, so a losing hedge shows up as an
+		// unfinished span and the winner can be tagged after the fact.
+		sctx, sp := trace.StartSpan(actx, "shard."+op)
+		sp.SetAttr("shard", m.id)
+		sp.SetAttr("endpoint", ep.label)
+		sp.SetAttr("attempt", attempt)
+		sp.SetAttr("hedge", hedge)
+		sp.SetAttr("replica", ep.replica)
+		sp.SetAttr("breaker", ep.breaker.State().String())
 		go func() {
 			start := time.Now()
-			res, err := fn(actx, ep.client)
+			res, err := fn(sctx, ep.client)
 			elapsed := time.Since(start)
 			if err != nil && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
 				// The per-attempt deadline fired (not the caller's): an
 				// infrastructure timeout, retryable and breaker-relevant.
 				err = fmt.Errorf("%w: attempt timed out after %v", ErrUnavailable, r.cfg.Timeout)
 			}
-			ch <- outcome{res: res, err: err, ep: ep, hedge: hedge, elapsed: elapsed}
+			if err != nil {
+				sp.SetAttr("error_detail", err.Error())
+				if IsUnavailable(err) {
+					// Infrastructure failure: tag the span so tail sampling
+					// always keeps the trace. Caller cancellations and domain
+					// answers are not the shard's fault.
+					sp.SetError()
+				}
+			}
+			sp.Finish()
+			ch <- outcome{res: res, err: err, ep: ep, span: sp, hedge: hedge, elapsed: elapsed}
 		}()
 	}
 	launch(first, false)
@@ -635,6 +663,11 @@ func attemptCall[T any](ctx context.Context, r *Router, m *managedShard, first *
 				o.ep.lat.add(o.elapsed)
 				if o.hedge {
 					r.metrics.noteHedgeWin(o.ep.label, op)
+				}
+				if hedged {
+					// Attribute the race outcome; the loser's span stays
+					// unfinished (or errored) in the same trace.
+					o.span.SetAttr("hedge_winner", true)
 				}
 				return o.res, nil
 			case IsUnavailable(o.err):

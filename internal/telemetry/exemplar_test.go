@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestObserveExemplarStampsBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "aaaa")
+	h.ObserveExemplar(0.5, "bbbb")
+	h.ObserveExemplar(0.06, "cccc") // later observation replaces the bucket's exemplar
+	h.Observe(0.07)                 // plain Observe never touches exemplars
+	h.ObserveExemplar(0.08, "")     // empty trace ID counts but does not stamp
+
+	ex := h.BucketExemplar(0)
+	if ex == nil || ex.TraceID != "cccc" || ex.Value != 0.06 {
+		t.Fatalf("bucket 0 exemplar = %+v, want cccc/0.06", ex)
+	}
+	if ex := h.BucketExemplar(1); ex == nil || ex.TraceID != "bbbb" {
+		t.Fatalf("bucket 1 exemplar = %+v, want bbbb", ex)
+	}
+	if ex := h.BucketExemplar(2); ex != nil {
+		t.Errorf("+Inf bucket exemplar = %+v, want none", ex)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	// Exemplars ride as comment lines, so the exposition must still lint and
+	// the histogram series must count every observation (exemplar or not).
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition with exemplars failed lint:\n%s\nerror: %v", out, err)
+	}
+	for _, want := range []string{
+		`# exemplar test_latency_seconds_bucket{le="0.1"} 0.06 trace_id=cccc`,
+		`# exemplar test_latency_seconds_bucket{le="1"} 0.5 trace_id=bbbb`,
+		"test_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "trace_id=aaaa") {
+		t.Error("replaced exemplar still exposed")
+	}
+}
+
+func TestHistogramVecExemplar(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_req_seconds", "By endpoint.", []float64{0.5}, "endpoint")
+	hv.With("/top").ObserveExemplar(0.2, "dead")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# exemplar test_req_seconds_bucket{endpoint="/top",le="0.5"} 0.2 trace_id=dead`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q\n%s", want, sb.String())
+	}
+}
+
+// TestConcurrentScrapeAndObserve hammers /metrics while counters, gauges and
+// histograms (with exemplars) are being written. Run under -race this pins
+// the registry's concurrency contract; without it, it still asserts every
+// scrape stays well-formed mid-flight.
+func TestConcurrentScrapeAndObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events.")
+	g := r.Gauge("test_level", "Level.")
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	hv := r.HistogramVec("test_stage_seconds", "Stage.", nil, "stage")
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	const writers, scrapes = 4, 25
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.ObserveExemplar(float64(i%100)/50, "abcd")
+				hv.With("hhop").Observe(0.001)
+			}
+		}(w)
+	}
+	for i := 0; i < scrapes; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %d: status %d err %v", i, resp.StatusCode, err)
+		}
+		if err := Lint(strings.NewReader(string(body))); err != nil {
+			t.Fatalf("scrape %d failed lint mid-observe: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

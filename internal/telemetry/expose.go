@@ -111,8 +111,31 @@ func (f *family) writeChild(w *bufio.Writer, c *child) error {
 			labelString(f.labels, c.labelValues, "", ""), formatFloat(h.sum.load()))
 		fmt.Fprintf(w, "%s_count%s %d\n", f.name,
 			labelString(f.labels, c.labelValues, "", ""), cum)
+		f.writeExemplars(w, c, h)
 	}
 	return nil
+}
+
+// writeExemplars emits each bucket's last trace-linked observation as a
+// comment line after the histogram series. The text v0.0.4 format has no
+// exemplar syntax, and plain comments are ignored by every scraper (and by
+// Lint), so this degrades to nothing for consumers that don't care:
+//
+//	# exemplar <name>_bucket{...,le="0.25"} 0.1234 trace_id=4bf9...
+func (f *family) writeExemplars(w *bufio.Writer, c *child, h *Histogram) {
+	for i := 0; i <= len(h.upper); i++ {
+		ex := h.BucketExemplar(i)
+		if ex == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.upper) {
+			le = formatFloat(h.upper[i])
+		}
+		fmt.Fprintf(w, "# exemplar %s_bucket%s %s trace_id=%s\n", f.name,
+			labelString(f.labels, c.labelValues, "le", le),
+			formatFloat(ex.Value), ex.TraceID)
+	}
 }
 
 // labelString renders {k="v",...}, appending the optional extra pair (the

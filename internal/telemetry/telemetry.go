@@ -108,6 +108,16 @@ type Histogram struct {
 	upper  []float64 // sorted upper bounds; +Inf is implicit as the last bucket
 	counts []atomic.Uint64
 	sum    atomicFloat
+	// exemplars holds the last trace-linked observation per bucket (set only
+	// through ObserveExemplar; the plain Observe path never touches it).
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, so a
+// latency spike in a bucket points at a captured trace in /debug/traces.
+type Exemplar struct {
+	Value   float64
+	TraceID string
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -125,7 +135,11 @@ func newHistogram(buckets []float64) *Histogram {
 	if math.IsInf(upper[len(upper)-1], +1) {
 		upper = upper[:len(upper)-1] // +Inf is always implicit
 	}
-	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		counts:    make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one value.
@@ -137,6 +151,30 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.upper, v)
 	h.counts[i].Add(1)
 	h.sum.add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty, stamps
+// it as the bucket's latest exemplar. Costs one extra pointer store over
+// Observe; call it only from request-boundary code, never hot loops.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// BucketExemplar returns the latest exemplar of bucket i (by upper-bound
+// index; len(upper) is +Inf), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // ObserveSince records the seconds elapsed since start.

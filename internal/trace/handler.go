@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// debugResponse is the JSON envelope served by /debug/traces.
+type debugResponse struct {
+	Count  int      `json:"count"`
+	Traces []*Trace `json:"traces"`
+}
+
+// Handler serves the captured-trace ring as JSON, newest first. Supported
+// query parameters:
+//
+//	min_ms=<float>   only traces at least this long
+//	error=true       only traces that contain an error span
+//	endpoint=<name>  only traces whose root span name matches
+//	trace_id=<hex>   only the trace with this ID (exemplar lookup)
+//	limit=<n>        at most n traces (default: whole ring)
+//
+// A nil tracer serves an empty ring rather than a 404, so probes do not
+// have to care whether tracing is enabled.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		minMS := 0.0
+		if v := q.Get("min_ms"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				http.Error(w, "bad min_ms", http.StatusBadRequest)
+				return
+			}
+			minMS = f
+		}
+		limit := -1
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		errOnly := false
+		if v := q.Get("error"); v != "" {
+			errOnly = v == "1" || strings.EqualFold(v, "true")
+		}
+		endpoint := q.Get("endpoint")
+		traceID := q.Get("trace_id")
+
+		out := debugResponse{Traces: []*Trace{}}
+		for _, tr := range t.Snapshot() {
+			if tr.DurationMS < minMS {
+				continue
+			}
+			if errOnly && !tr.Error {
+				continue
+			}
+			if endpoint != "" && tr.Root != endpoint {
+				continue
+			}
+			if traceID != "" && tr.TraceID != traceID {
+				continue
+			}
+			out.Traces = append(out.Traces, tr)
+			if limit >= 0 && len(out.Traces) >= limit {
+				break
+			}
+		}
+		out.Count = len(out.Traces)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}

@@ -1,0 +1,41 @@
+package trace
+
+import "ssflp/internal/telemetry"
+
+// traceMetrics mirrors the tracer's capture accounting into a telemetry
+// registry as ssf_trace_* families, resolved once at registration.
+type traceMetrics struct {
+	started      *telemetry.Counter
+	kept         *telemetry.CounterVec
+	discarded    *telemetry.Counter
+	spansDropped *telemetry.Counter
+}
+
+// RegisterMetrics exports the tracer's counters and configuration gauges
+// into reg. Call at most once per registry; no-op on a nil tracer.
+func (t *Tracer) RegisterMetrics(reg *telemetry.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	m := &traceMetrics{
+		started: reg.Counter("ssf_trace_traces_total",
+			"Traces started (root spans opened)."),
+		kept: reg.CounterVec("ssf_trace_captured_total",
+			"Traces captured into the debug ring, by tail-sampling keep reason.",
+			"reason"),
+		discarded: reg.Counter("ssf_trace_discarded_total",
+			"Finished traces discarded by tail sampling."),
+		spansDropped: reg.Counter("ssf_trace_spans_dropped_total",
+			"Spans dropped because a trace hit its per-trace span cap."),
+	}
+	// Pre-create the keep-reason children so the family is visible (at zero)
+	// before the first capture.
+	for _, reason := range []string{"error", "slow", "sampled"} {
+		m.kept.With(reason)
+	}
+	reg.Gauge("ssf_trace_ring_capacity",
+		"Capacity of the captured-trace ring.").Set(float64(t.cfg.RingSize))
+	reg.Gauge("ssf_trace_sample_rate",
+		"Configured probabilistic keep rate for unremarkable traces.").Set(t.cfg.SampleRate)
+	t.metrics = m
+}

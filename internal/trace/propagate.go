@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"net/http"
+)
+
+// Header is the W3C Trace Context propagation header carried across HTTP
+// hops: router → shard peers, replica follower → leader.
+const Header = "traceparent"
+
+// headerValue renders the version-00 traceparent form:
+// 00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>.
+func (sc SpanContext) headerValue() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// Inject writes the traceparent header for the span carried by ctx into h.
+// No-op when the request is untraced.
+func Inject(ctx context.Context, h http.Header) {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(Header, s.Context().headerValue())
+}
+
+// Extract parses the traceparent header from h. ok is false when the
+// header is absent or malformed; callers then start a fresh trace.
+func Extract(h http.Header) (SpanContext, bool) {
+	return Parse(h.Get(Header))
+}
+
+// Parse strictly validates a version-00 traceparent value: exact length,
+// dashes in place, lowercase hex only, version not ff, and non-zero trace
+// and parent IDs. Anything else is rejected rather than half-adopted.
+func Parse(v string) (SpanContext, bool) {
+	var sc SpanContext
+	// 2 (version) + 1 + 32 (trace-id) + 1 + 16 (parent-id) + 1 + 2 (flags)
+	if len(v) != 55 {
+		return sc, false
+	}
+	if v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return sc, false
+	}
+	version, traceID, parentID, flags := v[0:2], v[3:35], v[36:52], v[53:55]
+	for _, part := range []string{version, traceID, parentID, flags} {
+		if !isLowerHex(part) {
+			return sc, false
+		}
+	}
+	if version == "ff" {
+		return sc, false
+	}
+	tb, err := hex.DecodeString(traceID)
+	if err != nil {
+		return sc, false
+	}
+	pb, err := hex.DecodeString(parentID)
+	if err != nil {
+		return sc, false
+	}
+	copy(sc.TraceID[:], tb)
+	copy(sc.SpanID[:], pb)
+	if !sc.Valid() {
+		return sc, false
+	}
+	fb, err := hex.DecodeString(flags)
+	if err != nil {
+		return sc, false
+	}
+	sc.Sampled = fb[0]&0x01 != 0
+	return sc, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,556 @@
+// Package trace is a stdlib-only, in-process distributed tracing kernel
+// for the serving stack. One Tracer per process owns a fixed-size
+// lock-free ring of captured traces; spans flow through context.Context so
+// a request's root span (opened by the resilience middleware) collects the
+// shard-router attempts, extraction stages and WAL commit work that run on
+// its behalf, including work done by in-process shard servers called
+// directly through the router.
+//
+// Capture is tail-sampled: the keep/drop decision is made when the root
+// span finishes, so error traces and slow traces are always kept while
+// unremarkable ones are kept with a configurable probability. Cross-process
+// hops continue the same trace ID via the W3C traceparent header
+// (propagate.go); each process captures its own spans in its own ring and
+// the rings join on the shared trace ID.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace identifier shared by every span in a
+// trace, across processes.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identifier of a single span.
+type SpanID [8]byte
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+func (t TraceID) isZero() bool { return t == TraceID{} }
+func (s SpanID) isZero() bool  { return s == SpanID{} }
+
+// SpanContext is the propagated part of a span: what crosses process
+// boundaries in a traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether both IDs are non-zero, as required by the W3C spec.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.isZero() && !sc.SpanID.isZero() }
+
+// Attr is one key/value annotation on a span. Values are kept as any but
+// should be JSON-encodable scalars (string, int, float64, bool).
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Config tunes a Tracer. The zero value disables tracing entirely.
+type Config struct {
+	// SampleRate is the probability an unremarkable trace (no error span,
+	// faster than SlowThreshold) is kept at capture time. <= 0 disables the
+	// tracer: no spans are created and every call is a no-op.
+	SampleRate float64
+	// SlowThreshold: traces whose root lasts at least this long are always
+	// kept. <= 0 uses DefaultSlowThreshold.
+	SlowThreshold time.Duration
+	// RingSize is how many captured traces are retained. <= 0 uses
+	// DefaultRingSize.
+	RingSize int
+	// MaxSpans caps the spans recorded per trace; further spans are counted
+	// as dropped. <= 0 uses DefaultMaxSpans.
+	MaxSpans int
+}
+
+const (
+	DefaultSlowThreshold = 250 * time.Millisecond
+	DefaultRingSize      = 256
+	DefaultMaxSpans      = 512
+)
+
+// Tracer creates root spans, applies the tail-sampling decision when they
+// finish, and retains kept traces in a lock-free ring. A nil Tracer is a
+// valid no-op.
+type Tracer struct {
+	cfg  Config
+	ring *ring
+	rng  atomic.Uint64
+
+	// Capture accounting, optionally mirrored into telemetry (metrics.go).
+	started      atomic.Uint64
+	keptError    atomic.Uint64
+	keptSlow     atomic.Uint64
+	keptSampled  atomic.Uint64
+	discarded    atomic.Uint64
+	spansDropped atomic.Uint64
+
+	metrics *traceMetrics
+}
+
+// New builds a Tracer from cfg, applying defaults. Returns nil when
+// cfg.SampleRate <= 0 so the disabled case costs nothing on the hot path —
+// every method on a nil *Tracer (and nil *Span) is a safe no-op.
+func New(cfg Config) *Tracer {
+	if cfg.SampleRate <= 0 {
+		return nil
+	}
+	if cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = DefaultSlowThreshold
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = DefaultMaxSpans
+	}
+	t := &Tracer{cfg: cfg, ring: newRing(cfg.RingSize)}
+	t.rng.Store(uint64(time.Now().UnixNano()) | 1)
+	return t
+}
+
+// Enabled reports whether the tracer creates spans at all.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// nextRand returns a uniform-ish uint64 from a lock-free splitmix64 walk.
+// Good enough for sampling and ID generation; never used for security.
+func (t *Tracer) nextRand() uint64 {
+	x := t.rng.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.isZero() {
+		a, b := t.nextRand(), t.nextRand()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.isZero() {
+		a := t.nextRand()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+		}
+	}
+	return id
+}
+
+// Span is one timed operation inside a trace. All methods are safe on a
+// nil receiver, so call sites never need to branch on whether tracing is
+// enabled. Attributes may still be set after Finish — the span's data is
+// snapshotted only when its trace finalizes — which lets the shard router
+// tag a hedge attempt as winner/loser after its goroutine completed.
+type Span struct {
+	tb *traceBuf // shared per-trace collector; nil on an unregistered span
+
+	traceID TraceID
+	spanID  SpanID
+	parent  SpanID
+	root    bool
+
+	mu         sync.Mutex
+	name       string
+	start      time.Time
+	end        time.Time
+	attrs      []Attr
+	err        bool
+	finished   bool
+	registered bool
+}
+
+// traceBuf collects the spans of one in-flight trace. It is shared through
+// context.Context by every span of the trace and finalized exactly once,
+// when the root span finishes.
+type traceBuf struct {
+	tracer *Tracer
+
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int
+	closed  bool
+}
+
+// add registers a span with the trace, honoring the per-trace span cap.
+func (tb *traceBuf) add(s *Span) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.closed || len(tb.spans) >= tb.tracer.cfg.MaxSpans {
+		tb.dropped++
+		tb.tracer.spansDropped.Add(1)
+		if m := tb.tracer.metrics; m != nil {
+			m.spansDropped.Inc()
+		}
+		return
+	}
+	s.registered = true
+	tb.spans = append(tb.spans, s)
+}
+
+func (t *Tracer) newRoot(ctx context.Context, name string, traceID TraceID, parent SpanID) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	tb := &traceBuf{tracer: t}
+	s := &Span{
+		tb:      tb,
+		traceID: traceID,
+		spanID:  t.newSpanID(),
+		parent:  parent,
+		root:    true,
+		name:    name,
+		start:   time.Now(),
+	}
+	tb.add(s)
+	t.started.Add(1)
+	if m := t.metrics; m != nil {
+		m.started.Inc()
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartRoot opens a new trace with a fresh trace ID. The returned context
+// carries the span; child spans started from it join the same trace.
+// Returns (ctx, nil) on a nil tracer.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.newRoot(ctx, name, t.newTraceID(), SpanID{})
+}
+
+// StartRemote opens a root span that continues a trace begun in another
+// process: it adopts the remote trace ID and records the remote span as its
+// parent. Invalid remote contexts fall back to StartRoot.
+func (t *Tracer) StartRemote(ctx context.Context, name string, remote SpanContext) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if !remote.Valid() {
+		return t.StartRoot(ctx, name)
+	}
+	return t.newRoot(ctx, name, remote.TraceID, remote.SpanID)
+}
+
+// StartSpan opens a child of the span carried by ctx. When ctx carries no
+// span (tracing disabled, or an untraced request) it returns (ctx, nil);
+// all Span methods tolerate the nil.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil || parent.tb == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tb:      parent.tb,
+		traceID: parent.traceID,
+		spanID:  parent.tb.tracer.newSpanID(),
+		parent:  parent.spanID,
+		name:    name,
+		start:   time.Now(),
+	}
+	parent.tb.add(s)
+	return ContextWithSpan(ctx, s), s
+}
+
+// AddSpan records an already-completed child span with explicit timing
+// under the span in ctx. Used for aggregate stage spans whose durations
+// were accumulated elsewhere (e.g. extraction StageTimes).
+func AddSpan(ctx context.Context, name string, start time.Time, d time.Duration, attrs ...Attr) {
+	parent := SpanFromContext(ctx)
+	if parent == nil || parent.tb == nil {
+		return
+	}
+	s := &Span{
+		tb:       parent.tb,
+		traceID:  parent.traceID,
+		spanID:   parent.tb.tracer.newSpanID(),
+		parent:   parent.spanID,
+		name:     name,
+		start:    start,
+		end:      start.Add(d),
+		attrs:    attrs,
+		finished: true,
+	}
+	parent.tb.add(s)
+}
+
+// Context returns the propagated identity of the span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID, Sampled: true}
+}
+
+// TraceID returns the span's trace ID, or the zero ID on nil.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// SetAttr annotates the span. Valid until the trace finalizes, even after
+// Finish.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetError flags the span (and therefore its trace) as failed.
+func (s *Span) SetError() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = true
+	s.mu.Unlock()
+}
+
+// Finish closes the span. Finishing a root span finalizes its trace:
+// every registered span is snapshotted and the tail-sampling decision is
+// applied. Repeated calls are no-ops.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.end = time.Now()
+	root := s.root
+	s.mu.Unlock()
+	if root && s.tb != nil {
+		s.tb.finalize(s)
+	}
+}
+
+// FinishError closes the span, flagging it failed when err is non-nil.
+func (s *Span) FinishError(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetError()
+	}
+	s.Finish()
+}
+
+// SpanData is the immutable snapshot of one span in a captured trace.
+type SpanData struct {
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"` // offset from trace start, microseconds
+	DurationUS int64          `json:"duration_us"`
+	Error      bool           `json:"error,omitempty"`
+	Unfinished bool           `json:"unfinished,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Trace is one captured, finalized trace as retained in the ring and
+// served by /debug/traces.
+type Trace struct {
+	TraceID      string     `json:"trace_id"`
+	Root         string     `json:"root"`
+	Start        time.Time  `json:"start"`
+	DurationMS   float64    `json:"duration_ms"`
+	Error        bool       `json:"error"`
+	Reason       string     `json:"reason"` // why it was kept: error | slow | sampled
+	SpansDropped int        `json:"spans_dropped,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// finalize snapshots the trace's spans, applies tail sampling and, when
+// kept, publishes the capture to the ring. Runs at most once per trace.
+func (tb *traceBuf) finalize(root *Span) {
+	tb.mu.Lock()
+	if tb.closed {
+		tb.mu.Unlock()
+		return
+	}
+	tb.closed = true
+	spans := tb.spans
+	dropped := tb.dropped
+	tb.mu.Unlock()
+
+	t := tb.tracer
+	now := time.Now()
+	var (
+		rootStart time.Time
+		rootEnd   time.Time
+		rootName  string
+		anyErr    bool
+	)
+	data := make([]SpanData, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		d := SpanData{
+			SpanID: s.spanID.String(),
+			Name:   s.name,
+			Error:  s.err,
+		}
+		if !s.parent.isZero() {
+			d.ParentID = s.parent.String()
+		}
+		end := s.end
+		if !s.finished {
+			// Still running at finalize (e.g. a losing hedge attempt whose
+			// goroutine outlived the request): clamp to now and mark it.
+			d.Unfinished = true
+			end = now
+		}
+		d.DurationUS = end.Sub(s.start).Microseconds()
+		if len(s.attrs) > 0 {
+			d.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				d.Attrs[a.Key] = a.Value
+			}
+		}
+		if s.err {
+			anyErr = true
+		}
+		if s.root {
+			rootStart, rootEnd, rootName = s.start, end, s.name
+		}
+		s.mu.Unlock()
+		data = append(data, d)
+	}
+	if rootStart.IsZero() {
+		// Root never registered (span cap hit by children first) — nothing
+		// coherent to capture.
+		t.discarded.Add(1)
+		if m := t.metrics; m != nil {
+			m.discarded.Inc()
+		}
+		return
+	}
+	for i, s := range spans {
+		data[i].StartUS = s.start.Sub(rootStart).Microseconds()
+	}
+
+	dur := rootEnd.Sub(rootStart)
+	reason := ""
+	switch {
+	case anyErr:
+		reason = "error"
+		t.keptError.Add(1)
+	case dur >= t.cfg.SlowThreshold:
+		reason = "slow"
+		t.keptSlow.Add(1)
+	case float64(t.nextRand()>>11)/(1<<53) < t.cfg.SampleRate:
+		reason = "sampled"
+		t.keptSampled.Add(1)
+	default:
+		t.discarded.Add(1)
+		if m := t.metrics; m != nil {
+			m.discarded.Inc()
+		}
+		return
+	}
+	if m := t.metrics; m != nil {
+		m.kept.With(reason).Inc()
+	}
+	t.ring.put(&Trace{
+		TraceID:      root.traceID.String(),
+		Root:         rootName,
+		Start:        rootStart,
+		DurationMS:   float64(dur.Microseconds()) / 1e3,
+		Error:        anyErr,
+		Reason:       reason,
+		SpansDropped: dropped,
+		Spans:        data,
+	})
+}
+
+// Snapshot returns the captured traces, newest first. Safe concurrently
+// with capture; nil tracer returns nil.
+func (t *Tracer) Snapshot() []*Trace {
+	if t == nil {
+		return nil
+	}
+	return t.ring.snapshot()
+}
+
+// ring is a fixed-size lock-free overwrite buffer of captured traces.
+// Writers claim slots with an atomic counter; readers load each slot's
+// pointer. A reader may observe a slot mid-overwrite as either the old or
+// new trace — both are valid captures, which is all /debug/traces needs.
+type ring struct {
+	slots []atomic.Pointer[Trace]
+	pos   atomic.Uint64
+}
+
+func newRing(n int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+func (r *ring) put(t *Trace) {
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+func (r *ring) snapshot() []*Trace {
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	// Newest first by root start time.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start.After(out[j-1].Start); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// TraceIDFromContext returns the hex trace ID of the span in ctx, or ""
+// when the request is untraced. Handy for log correlation attrs.
+func TraceIDFromContext(ctx context.Context) string {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.traceID.String()
+	}
+	return ""
+}

@@ -1,0 +1,315 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// alwaysKeep returns a tracer that captures every finished trace, so tests
+// can assert on ring contents without racing the sampler.
+func alwaysKeep(t *testing.T) *Tracer {
+	t.Helper()
+	tr := New(Config{SampleRate: 1})
+	if tr == nil {
+		t.Fatal("New(SampleRate: 1) = nil")
+	}
+	return tr
+}
+
+func TestDisabledTracerIsNil(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		if tr := New(Config{SampleRate: rate}); tr != nil {
+			t.Errorf("New(SampleRate: %v) = %v, want nil", rate, tr)
+		}
+	}
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	// Every call on the nil tracer and nil span must be a safe no-op.
+	ctx, sp := tr.StartRoot(context.Background(), "root")
+	sp.SetAttr("k", "v")
+	sp.SetError()
+	sp.FinishError(errors.New("x"))
+	if sp.TraceID() != (TraceID{}) {
+		t.Error("nil span has a trace ID")
+	}
+	if _, child := StartSpan(ctx, "child"); child != nil {
+		t.Error("child of untraced ctx is non-nil")
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil tracer snapshot = %v", got)
+	}
+	if TraceIDFromContext(ctx) != "" {
+		t.Error("untraced ctx has a trace ID")
+	}
+}
+
+func TestSpanTreeCapture(t *testing.T) {
+	tr := alwaysKeep(t)
+	ctx, root := tr.StartRoot(context.Background(), "/top")
+	root.SetAttr("request_id", "r1")
+	cctx, child := StartSpan(ctx, "shard.top")
+	child.SetAttr("shard", 2)
+	_, grand := StartSpan(cctx, "extract.hhop")
+	grand.Finish()
+	child.Finish()
+	// Post-Finish attrs stick until the trace finalizes (hedge winner tag).
+	child.SetAttr("hedge_winner", true)
+	AddSpan(ctx, "extract.combine", time.Now().Add(-time.Millisecond), time.Millisecond,
+		Attr{Key: "pairs", Value: 7})
+	root.Finish()
+
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Root != "/top" || got.Error || got.Reason != "sampled" {
+		t.Fatalf("trace = %+v", got)
+	}
+	if len(got.Spans) != 4 {
+		t.Fatalf("captured %d spans, want 4", len(got.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range got.Spans {
+		byName[s.Name] = s
+	}
+	rootData := byName["/top"]
+	if rootData.ParentID != "" {
+		t.Errorf("root has parent %q", rootData.ParentID)
+	}
+	if byName["shard.top"].ParentID != rootData.SpanID {
+		t.Error("shard span not parented to root")
+	}
+	if byName["extract.hhop"].ParentID != byName["shard.top"].SpanID {
+		t.Error("grandchild not parented to shard span")
+	}
+	if byName["shard.top"].Attrs["hedge_winner"] != true {
+		t.Error("post-Finish attr lost")
+	}
+	if byName["extract.combine"].Attrs["pairs"] != 7 {
+		t.Errorf("AddSpan attrs = %v", byName["extract.combine"].Attrs)
+	}
+}
+
+func TestTailSamplingKeepsErrorsAndSlow(t *testing.T) {
+	// Sample rate just above zero: unremarkable traces are (almost surely)
+	// discarded, error and slow ones always kept.
+	tr := New(Config{SampleRate: 1e-12, SlowThreshold: 50 * time.Millisecond})
+	_, errRoot := tr.StartRoot(context.Background(), "/score")
+	errRoot.FinishError(errors.New("boom"))
+
+	_, slowRoot := tr.StartRoot(context.Background(), "/top")
+	slowRoot.start = time.Now().Add(-time.Second) // backdate instead of sleeping
+	slowRoot.Finish()
+
+	for i := 0; i < 50; i++ {
+		_, fastRoot := tr.StartRoot(context.Background(), "/livez")
+		fastRoot.Finish()
+	}
+
+	reasons := map[string]int{}
+	for _, tc := range tr.Snapshot() {
+		reasons[tc.Reason]++
+	}
+	if reasons["error"] != 1 || reasons["slow"] != 1 {
+		t.Errorf("kept reasons = %v, want one error and one slow", reasons)
+	}
+	if reasons["sampled"] > 0 {
+		t.Errorf("kept %d unremarkable traces at rate 1e-12", reasons["sampled"])
+	}
+}
+
+func TestChildErrorMarksTrace(t *testing.T) {
+	tr := alwaysKeep(t)
+	ctx, root := tr.StartRoot(context.Background(), "/score")
+	_, child := StartSpan(ctx, "shard.score")
+	child.SetError()
+	child.Finish()
+	root.Finish()
+	traces := tr.Snapshot()
+	if len(traces) != 1 || !traces[0].Error || traces[0].Reason != "error" {
+		t.Fatalf("traces = %+v", traces)
+	}
+}
+
+func TestUnfinishedSpansClamped(t *testing.T) {
+	tr := alwaysKeep(t)
+	ctx, root := tr.StartRoot(context.Background(), "/top")
+	_, loser := StartSpan(ctx, "shard.top") // hedge loser: never finished
+	_ = loser
+	root.Finish()
+	for _, s := range tr.Snapshot()[0].Spans {
+		if s.Name == "shard.top" && !s.Unfinished {
+			t.Error("running span not flagged unfinished at finalize")
+		}
+	}
+}
+
+func TestSpanCapCountsDropped(t *testing.T) {
+	tr := New(Config{SampleRate: 1, MaxSpans: 3})
+	ctx, root := tr.StartRoot(context.Background(), "/batch")
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "extra")
+		sp.Finish()
+	}
+	root.Finish()
+	got := tr.Snapshot()[0]
+	if len(got.Spans) != 3 || got.SpansDropped != 3 {
+		t.Errorf("spans = %d dropped = %d, want 3 and 3", len(got.Spans), got.SpansDropped)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Config{SampleRate: 1, RingSize: 2})
+	for i := 0; i < 5; i++ {
+		_, root := tr.StartRoot(context.Background(), "/score")
+		root.Finish()
+	}
+	if got := len(tr.Snapshot()); got != 2 {
+		t.Errorf("ring holds %d traces, want 2", got)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := alwaysKeep(t)
+	ctx, root := tr.StartRoot(context.Background(), "client")
+	h := http.Header{}
+	Inject(ctx, h)
+	v := h.Get(Header)
+	if v == "" {
+		t.Fatal("Inject wrote nothing")
+	}
+	sc, ok := Parse(v)
+	if !ok {
+		t.Fatalf("Parse(%q) rejected own header", v)
+	}
+	if sc.TraceID != root.TraceID() || sc.SpanID != root.Context().SpanID {
+		t.Errorf("round-trip mismatch: %v vs %v", sc, root.Context())
+	}
+	if !sc.Sampled {
+		t.Error("sampled flag lost")
+	}
+	// The remote side adopts the trace ID and parents onto the caller.
+	_, remote := tr.StartRemote(context.Background(), "server", sc)
+	if remote.TraceID() != root.TraceID() {
+		t.Error("StartRemote did not adopt the remote trace ID")
+	}
+	remote.Finish()
+	root.Finish()
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if _, ok := Parse(valid); !ok {
+		t.Fatalf("Parse rejected the W3C example %q", valid)
+	}
+	bad := map[string]string{
+		"empty":          "",
+		"truncated":      valid[:54],
+		"too long":       valid + "0",
+		"uppercase hex":  "00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+		"version ff":     "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"zero trace id":  "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"zero parent id": "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"wrong dashes":   "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",
+		"non-hex trace":  "00-0af7651916cd43dd8448eb211c8031zz-b7ad6b7169203331-01",
+		"garbage":        strings.Repeat("x", 55),
+		"dash positions": "000-af7651916cd43dd8448eb211c80319c-b7ad6b716920333-101",
+	}
+	for name, v := range bad {
+		if _, ok := Parse(v); ok {
+			t.Errorf("Parse accepted %s: %q", name, v)
+		}
+	}
+	// Extract falls back cleanly when the header is absent.
+	if _, ok := Extract(http.Header{}); ok {
+		t.Error("Extract accepted an absent header")
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	tr := alwaysKeep(t)
+	_, a := tr.StartRoot(context.Background(), "/score")
+	a.FinishError(errors.New("x"))
+	_, b := tr.StartRoot(context.Background(), "/top")
+	b.start = time.Now().Add(-300 * time.Millisecond)
+	b.Finish()
+
+	h := tr.Handler()
+	get := func(url string) debugResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", url, rec.Code, rec.Body.String())
+		}
+		var out debugResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+		return out
+	}
+	if out := get("/debug/traces"); out.Count != 2 {
+		t.Errorf("unfiltered count = %d, want 2", out.Count)
+	}
+	if out := get("/debug/traces?error=true"); out.Count != 1 || out.Traces[0].Root != "/score" {
+		t.Errorf("error filter = %+v", out)
+	}
+	if out := get("/debug/traces?endpoint=/top"); out.Count != 1 || out.Traces[0].Root != "/top" {
+		t.Errorf("endpoint filter = %+v", out)
+	}
+	if out := get("/debug/traces?min_ms=200"); out.Count != 1 || out.Traces[0].Root != "/top" {
+		t.Errorf("min_ms filter = %+v", out)
+	}
+	if out := get("/debug/traces?limit=1"); out.Count != 1 {
+		t.Errorf("limit filter count = %d", out.Count)
+	}
+	id := get("/debug/traces?error=true").Traces[0].TraceID
+	if out := get("/debug/traces?trace_id=" + id); out.Count != 1 || out.Traces[0].TraceID != id {
+		t.Errorf("trace_id filter = %+v", out)
+	}
+
+	// A nil tracer serves an empty ring, not an error.
+	var none *Tracer
+	rec := httptest.NewRecorder()
+	none.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"count": 0`) {
+		t.Errorf("nil tracer handler = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Non-GET is rejected.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/traces", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", rec.Code)
+	}
+}
+
+func TestConcurrentSpansOneTrace(t *testing.T) {
+	tr := alwaysKeep(t)
+	ctx, root := tr.StartRoot(context.Background(), "/batch")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			_, sp := StartSpan(ctx, "worker")
+			sp.SetAttr("i", i)
+			sp.Finish()
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	root.Finish()
+	if got := len(tr.Snapshot()[0].Spans); got != 9 {
+		t.Errorf("captured %d spans, want 9", got)
+	}
+}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ssflp/internal/trace"
 )
 
 // LSN is the 1-based sequence number of a record in the log. LSNs are dense:
@@ -321,9 +324,26 @@ func (l *Log) Append(ev Event) (LSN, error) {
 // returning the LSN of the last record. LSNs are consecutive, so the first
 // is lsn-len(evs)+1. An empty batch is an error.
 func (l *Log) AppendBatch(evs []Event) (LSN, error) {
+	return l.AppendBatchCtx(context.Background(), evs)
+}
+
+// AppendBatchCtx is AppendBatch with trace context: when ctx carries a span
+// (the group-commit leader's request), the append and its fsync wait are
+// recorded as child spans so a slow durable ingest decomposes into queueing
+// vs. disk time. The context does not bound the write — a WAL append is
+// never abandoned halfway.
+func (l *Log) AppendBatchCtx(ctx context.Context, evs []Event) (LSN, error) {
 	if len(evs) == 0 {
 		return 0, errors.New("wal: empty batch")
 	}
+	ctx, sp := trace.StartSpan(ctx, "wal.append")
+	sp.SetAttr("events", len(evs))
+	lsn, err := l.appendBatch(ctx, evs)
+	sp.FinishError(err)
+	return lsn, err
+}
+
+func (l *Log) appendBatch(ctx context.Context, evs []Event) (LSN, error) {
 	for _, ev := range evs {
 		if recordSize(ev) > recordHeaderSize+MaxPayload {
 			return 0, fmt.Errorf("wal: event labels too large (%d + %d bytes)", len(ev.U), len(ev.V))
@@ -368,7 +388,9 @@ func (l *Log) AppendBatch(evs []Event) (LSN, error) {
 	}
 	if l.opts.Sync == SyncAlways {
 		start := time.Now()
-		if err := l.f.Sync(); err != nil {
+		err := l.f.Sync()
+		trace.AddSpan(ctx, "wal.fsync", start, time.Since(start))
+		if err != nil {
 			l.stickyErr = fmt.Errorf("wal: fsync: %w", err)
 			m.noteAppendError()
 			return 0, l.stickyErr

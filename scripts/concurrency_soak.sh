@@ -238,6 +238,19 @@ if ! awk 'NR > 1 && $1 < prev { exit 1 } { prev = $1 }' "$WORKDIR/epochs.log"; t
     fail=1
 fi
 
+# Tracing rides along at the default 1% sample under full load: the ring
+# endpoint must stay serviceable and well-formed mid-soak (capture counts are
+# probabilistic here; scripts/trace_smoke.sh gates capture at full sampling).
+echo "==> checking: /debug/traces serviceable under load"
+trace_ring="$(curl -fsS "http://$ADDR/debug/traces?limit=5" || true)"
+case "$trace_ring" in
+*'"count"'*) ;;
+*)
+    echo "FAIL: /debug/traces not serving a well-formed ring under load: $trace_ring" >&2
+    fail=1
+    ;;
+esac
+
 echo "==> /score latency under continuous ingest (informational)"
 cat "$WORKDIR"/reader*.log | awk '$1 == 200 { print $2 }' | sort -n >"$WORKDIR/lat.txt"
 n="$(wc -l <"$WORKDIR/lat.txt")"

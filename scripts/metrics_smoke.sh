@@ -80,6 +80,13 @@ case "$healthz" in
     exit 1
     ;;
 esac
+case "$healthz" in
+*'"build"'*'"go":'*) ;;
+*)
+    echo "FAIL: /healthz missing build info: $healthz" >&2
+    exit 1
+    ;;
+esac
 
 echo "==> scraping /metrics"
 metrics="$WORKDIR/metrics.txt"
@@ -126,6 +133,14 @@ assert_nonzero ssf_top_precompute_builds_total
 assert_nonzero ssf_top_precompute_hits_total
 assert_present ssf_top_precompute_staleness_epochs
 assert_nonzero ssf_extract_batch_size_count
+# Default -trace-sample 0.01 means tracing is live on every production boot:
+# the ssf_trace_* families must be exported (captures may legitimately be 0
+# at 1% sampling — trace_smoke.sh gates capture itself at full sampling).
+assert_nonzero ssf_trace_traces_total
+assert_nonzero ssf_trace_ring_capacity
+assert_nonzero ssf_trace_sample_rate
+assert_present ssf_trace_captured_total
+assert_nonzero ssf_build_info
 assert_nonzero go_goroutines
 assert_nonzero go_memstats_heap_alloc_bytes
 

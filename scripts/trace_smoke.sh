@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# End-to-end tracing smoke test: boot a 3-shard in-process topology with one
+# shard permanently failing and full trace sampling, drive degraded traffic,
+# and assert the capture contract: GET /debug/traces returns at least one
+# error-tagged trace whose span tree crosses router -> shard (failed attempt
+# with breaker attrs, healthy fan-out, per-stage extraction timings), the
+# ssf_trace_* metric families report the capture, histogram exemplars link
+# back to trace IDs, and structured request logs carry the same IDs. Run from
+# the repository root; needs only the Go toolchain and curl.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18099}"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "==> building ssf-serve"
+go build -o "$WORKDIR/ssf-serve" ./cmd/ssf-serve
+
+echo "==> generating dataset"
+go run ./cmd/ssf-datasets -out "$WORKDIR" -datasets Slashdot -scale 40 -seed 3
+
+# SSFLR so /top runs the shared-frontier extraction kernel (stage spans);
+# shard 1 errors on every call, so every /top is a 206 partial with a failed
+# shard attempt in its trace. Sampling 1.0: this run keeps every trace.
+echo "==> booting 3-shard topology on $ADDR (shard 1 always failing)"
+"$WORKDIR/ssf-serve" \
+    -file "$WORKDIR/slashdot.txt" \
+    -method SSFLR -k 6 -maxpos 20 \
+    -shards 3 -shard-fault "1:err=1.0" \
+    -shard-timeout 2s -shard-breaker-window 8 -shard-breaker-cooldown 30s \
+    -trace-sample 1 -trace-ring 128 \
+    -addr "$ADDR" -log-format json >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "==> waiting for readiness"
+for i in $(seq 1 120); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server died during startup:" >&2
+        cat "$WORKDIR/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+curl -fsS "http://$ADDR/readyz" >/dev/null
+
+echo "==> driving degraded traffic"
+# Scores owned by shard 1 answer a fast 503 — that is the degradation
+# contract, not a failure of this smoke.
+for v in 1 2 3 4; do
+    curl -s -o /dev/null "http://$ADDR/score?u=0&v=$v" || true
+done
+top_status="$(curl -s -o "$WORKDIR/top.json" -w '%{http_code}' "http://$ADDR/top?n=5")"
+if [[ "$top_status" != "206" ]]; then
+    echo "FAIL: /top against a dead shard = $top_status, want 206 partial" >&2
+    cat "$WORKDIR/top.json" >&2
+    exit 1
+fi
+echo "    ok: /top degraded to 206 partial"
+curl -s -o /dev/null -X POST -d '{"u":"smoke-a","v":"smoke-b"}' "http://$ADDR/ingest" || true
+
+echo "==> checking /debug/traces capture"
+traces="$WORKDIR/traces.json"
+curl -fsS "http://$ADDR/debug/traces?error=true&endpoint=/top" >"$traces"
+
+# assert_trace NEEDLE LABEL: the captured error trace dump contains NEEDLE.
+assert_trace() {
+    if ! grep -qF "$1" "$traces"; then
+        echo "FAIL: error-trace dump missing $2" >&2
+        cat "$traces" >&2
+        exit 1
+    fi
+    echo "    ok: $2"
+}
+
+if grep -qF '"count": 0' "$traces"; then
+    echo "FAIL: no error-tagged /top trace captured" >&2
+    cat "$traces" >&2
+    exit 1
+fi
+assert_trace '"root": "/top"'          "router root span (/top)"
+assert_trace '"name": "shard.top"'     "shard attempt span (router -> shard)"
+assert_trace '"breaker"'               "breaker state attr on shard attempt"
+assert_trace '"error": true'           "error tag on the failed attempt"
+assert_trace '"name": "extract.hhop"'  "per-stage extraction timing (hhop)"
+assert_trace '"name": "extract.combine"' "per-stage extraction timing (combine)"
+
+echo "==> checking ssf_trace_* metric families"
+metrics="$WORKDIR/metrics.txt"
+curl -fsS "http://$ADDR/metrics" >"$metrics"
+
+assert_nonzero() {
+    local family="$1"
+    if ! awk -v fam="$family" '
+        $1 == fam || index($1, fam "{") == 1 { if ($NF + 0 > 0) found = 1 }
+        END { exit !found }
+    ' "$metrics"; then
+        echo "FAIL: no nonzero sample for $family in /metrics" >&2
+        grep -m5 "$family" "$metrics" >&2 || echo "(family absent)" >&2
+        exit 1
+    fi
+    echo "    ok: $family"
+}
+
+assert_nonzero ssf_trace_traces_total
+assert_nonzero ssf_trace_captured_total
+assert_nonzero ssf_trace_ring_capacity
+assert_nonzero ssf_trace_sample_rate
+assert_nonzero ssf_build_info
+
+echo "==> checking exemplar -> trace links"
+# Exemplars ride as comment lines so every Prometheus parser skips them; a
+# trace_id on a non-comment line would corrupt the exposition.
+if ! grep -q '^# exemplar ssf_http_request_duration_seconds_bucket.* trace_id=' "$metrics"; then
+    echo "FAIL: latency histogram carries no exemplar trace link" >&2
+    grep -m5 'exemplar' "$metrics" >&2 || echo "(no exemplar lines)" >&2
+    exit 1
+fi
+if grep -v '^#' "$metrics" | grep -q 'trace_id='; then
+    echo "FAIL: trace_id leaked into a non-comment exposition line" >&2
+    exit 1
+fi
+echo "    ok: exemplar comment lines link buckets to trace IDs"
+
+# The exemplar recipe must round-trip: the trace ID stamped on a bucket is
+# fetchable from the ring.
+exemplar_id="$(grep -m1 -o 'trace_id=[0-9a-f]*' "$metrics" | cut -d= -f2)"
+if ! curl -fsS "http://$ADDR/debug/traces?trace_id=$exemplar_id" | grep -qF "\"trace_id\": \"$exemplar_id\""; then
+    echo "FAIL: exemplar trace_id $exemplar_id not resolvable via /debug/traces" >&2
+    exit 1
+fi
+echo "    ok: exemplar trace_id resolves in /debug/traces"
+
+echo "==> checking trace-correlated request logs"
+if ! grep -q '"trace_id":' "$WORKDIR/server.log"; then
+    echo "FAIL: structured request logs carry no trace_id" >&2
+    cat "$WORKDIR/server.log" >&2
+    exit 1
+fi
+echo "    ok: request logs join traces on trace_id"
+
+echo "PASS: trace smoke"
