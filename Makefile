@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race cover cover-check soak soak-repl soak-top trace-smoke bench bench-all bench-check vet fmt experiments clean
+.PHONY: all build test race cover cover-check soak soak-repl soak-top soak-window trace-smoke bench bench-all bench-check vet fmt experiments clean
 
 # The hot-path microbenches tracked in BENCH_ssf.json: the four extraction
 # kernels, the telemetry primitives they observe through, the shared-frontier
 # batch kernel against its per-pair baseline, and the /top serving path
 # (precompute fast path, batch scan, per-pair scan).
-HOT_BENCHES = ^(BenchmarkSSFExtract|BenchmarkWLFExtract|BenchmarkStructureCombine|BenchmarkPaletteWL|BenchmarkTelemetryCounter|BenchmarkTelemetryHistogram|BenchmarkExtractBatch|BenchmarkExtractBatchPerPair|BenchmarkTopN|BenchmarkTopNScanBatch|BenchmarkTopNPerPair)$$
+HOT_BENCHES = ^(BenchmarkSSFExtract|BenchmarkWLFExtract|BenchmarkStructureCombine|BenchmarkPaletteWL|BenchmarkTelemetryCounter|BenchmarkTelemetryHistogram|BenchmarkExtractBatch|BenchmarkExtractBatchPerPair|BenchmarkTopN|BenchmarkTopNScanBatch|BenchmarkTopNPerPair|BenchmarkAsOfRingHit|BenchmarkWindowSnapshotRebuild)$$
 HOT_BENCH_PKGS = . ./internal/telemetry ./cmd/ssf-serve
 
 all: build test
@@ -48,6 +48,13 @@ soak-repl:
 # Tune with TOP_DURATION=<seconds>.
 soak-top:
 	SOAK_ONLY=top ./scripts/concurrency_soak.sh
+
+# Window-retention soak only: sliding-window server with an epoch ring under
+# a ts-advancing writer. Gates on expired edges never answering /score, as_of
+# reproducing the retained epoch's live answers, ring misses being 410-only,
+# WAL compaction on expiry, and zero 5xx. Tune with WINDOW_DURATION=<s>.
+soak-window:
+	SOAK_ONLY=window ./scripts/concurrency_soak.sh
 
 # Tracing smoke: 3-shard topology with one dead shard and full sampling;
 # gates on an error-tagged /top trace crossing router -> shard with breaker

@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"testing"
+
+	"ssflp/internal/graph"
 )
 
 // The /top benchmarks quantify the PR gate "precomputed /top is at least 5x
@@ -52,6 +55,85 @@ func BenchmarkTopNScanBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := srv.computeTop(ctx, st, 8, 0, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// The temporal-serving benchmarks quantify why the epoch ring exists: an
+// as_of request resolved from the ring is a pointer walk over retained
+// immutable epochs, while the alternative — rebuilding the windowed state at
+// that timestamp from the event history — replays every edge. BENCH_ssf.json
+// records the pair (BenchmarkAsOfRingHit vs BenchmarkWindowSnapshotRebuild)
+// over the same 64-epoch history.
+
+type benchEvent struct {
+	u, v string
+	ts   graph.Timestamp
+}
+
+// benchWindowHistory is the shared history behind both benches: 64 epochs of
+// 16 edges each, timestamps rising 10 per epoch, endpoints drawn from two
+// disjoint pools. The window spans 320 timestamp units (4 buckets of 80), so
+// roughly half the history has expired by the final epoch — the steady state
+// a sliding-window server actually runs in.
+func benchWindowHistory() ([]benchEvent, graph.WindowConfig) {
+	const epochs, perEpoch = 64, 16
+	events := make([]benchEvent, 0, epochs*perEpoch)
+	for e := 1; e <= epochs; e++ {
+		for j := 0; j < perEpoch; j++ {
+			events = append(events, benchEvent{
+				u:  fmt.Sprintf("n%d", (e*7+j*13)%97),
+				v:  fmt.Sprintf("m%d", (e*11+j*17)%89),
+				ts: graph.Timestamp(e * 10),
+			})
+		}
+	}
+	return events, graph.WindowConfig{Span: 320, Buckets: 4}
+}
+
+// BenchmarkAsOfRingHit measures resolving an as_of timestamp against a full
+// 64-epoch ring — the hot path of every time-travel /score and /top.
+func BenchmarkAsOfRingHit(b *testing.B) {
+	events, cfg := benchWindowHistory()
+	wb := graph.NewWindowedBuilder(cfg)
+	srv := &server{ring: newEpochRing(64)}
+	epoch := uint64(0)
+	for i, ev := range events {
+		if err := wb.AddEdge(ev.u, ev.v, ev.ts); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%16 == 0 {
+			epoch++
+			srv.ring.add(&epochState{snap: wb.Snapshot(epoch)})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := int64(((i % 64) + 1) * 10)
+		st, ok := srv.stateAt(ts)
+		if !ok || st == nil {
+			b.Fatalf("ring miss at ts %d", ts)
+		}
+	}
+}
+
+// BenchmarkWindowSnapshotRebuild measures what an as_of answer would cost
+// without the ring: a from-scratch windowed rebuild of the event history,
+// including bucket expiry and the canonical-order arc rebuild.
+func BenchmarkWindowSnapshotRebuild(b *testing.B) {
+	events, cfg := benchWindowHistory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wb := graph.NewWindowedBuilder(cfg)
+		for _, ev := range events {
+			if err := wb.AddEdge(ev.u, ev.v, ev.ts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if snap := wb.Snapshot(1); snap.Graph.NumNodes() == 0 {
+			b.Fatal("empty rebuild")
 		}
 	}
 }

@@ -107,6 +107,10 @@ func run(args []string) (err error) {
 
 		pprofAddr = fs.String("pprof-addr", "", "net/http/pprof listen address (e.g. localhost:6060); empty disables profiling")
 
+		window        = fs.Int64("window", 0, "sliding retention window in timestamp units; edges older than the window expire from the served graph (0 = retain everything)")
+		windowBuckets = fs.Int("window-buckets", graph.DefaultWindowBuckets, "time buckets subdividing -window (expiry granularity is one bucket)")
+		epochRingCap  = fs.Int("epoch-ring", 8, "published epochs retained for /score?as_of= and /top?as_of= time travel (0 disables)")
+
 		walDir       = fs.String("wal-dir", "", "write-ahead log directory; enables durable /ingest (empty = memory-only)")
 		walSync      = fs.String("wal-fsync", "always", "WAL fsync policy: always | interval | off")
 		walSyncEvery = fs.Duration("wal-fsync-interval", 200*time.Millisecond, "background fsync period for -wal-fsync=interval")
@@ -175,7 +179,8 @@ func run(args []string) (err error) {
 		File: *file, Method: *method, Model: *model,
 		K: *k, Epochs: *epochs, Seed: *seed, MaxPositives: *maxPos,
 		LenientLoad: *lenient,
-		WALDir:      *walDir, WALSync: *walSync, WALSyncEvery: *walSyncEvery,
+		Window:      *window, WindowBuckets: *windowBuckets, EpochRing: *epochRingCap,
+		WALDir: *walDir, WALSync: *walSync, WALSyncEvery: *walSyncEvery,
 		WALSegmentBytes: *walSegBytes,
 		Role:            *role, LeaderAddr: *leaderAddr,
 		ReplLagLSN: *replLagLSN, ReplLagAge: *replLagAge,
@@ -347,6 +352,9 @@ type serverConfig struct {
 	Seed                int64
 	MaxPositives        int
 	LenientLoad         bool
+	Window              int64 // sliding retention window span (0 = retain everything)
+	WindowBuckets       int   // buckets subdividing Window (0 = DefaultWindowBuckets)
+	EpochRing           int   // published epochs retained for as_of reads (0 disables)
 	WALDir              string
 	WALSync             string // "always" | "interval" | "off" ("" = always)
 	WALSyncEvery        time.Duration
@@ -431,7 +439,13 @@ func newServer(cfg serverConfig) (*server, error) {
 			wlog.Close()
 		}
 	}
-	g := b.Graph()
+	// The window wraps whatever the recovery path produced: recovered or
+	// freshly loaded edges outside the window are dropped before the
+	// predictor ever sees them, so training, the boot epoch and every
+	// /repl/snapshot bootstrap all reflect the same windowed view.
+	windowCfg := graph.WindowConfig{Span: graph.Timestamp(cfg.Window), Buckets: cfg.WindowBuckets}
+	wb := graph.WrapWindowed(b, windowCfg)
+	g := wb.Graph()
 	var pred *ssflp.Predictor
 	var err error
 	if cfg.Model != "" {
@@ -462,7 +476,9 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	limits := cfg.Limits.withDefaults()
 	s := &server{
-		b:         b,
+		b:         wb,
+		windowCfg: wb.Config(),
+		ring:      newEpochRing(cfg.EpochRing),
 		predictor: pred,
 		started:   time.Now(),
 		limits:    limits,
@@ -484,6 +500,12 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.initTelemetry(reg, logger)
 	s.instr.SetTracer(s.tracer)
 	registerBuildInfo(reg, logger)
+	if n := wb.ExpiredEdges(); n > 0 {
+		// Edges the recovered/loaded state carried from before the window.
+		s.windowExpired.Add(n)
+		s.lastExpired = n
+		logger.Info("window dropped out-of-window edges at boot", slog.Uint64("edges", n))
+	}
 	applied := wal.LSN(0)
 	if recovered != nil {
 		applied = recovered.AppliedLSN
@@ -491,13 +513,13 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	// Publish epoch 1: the recovered (or freshly loaded) network frozen as an
 	// immutable snapshot, with the predictor bound against it.
-	snap := b.Snapshot(1)
+	snap := wb.Snapshot(1)
 	binding, err := pred.Bind(snap)
 	if err != nil {
 		closeOnErr()
 		return nil, fmt.Errorf("bind predictor: %w", err)
 	}
-	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: applied})
+	s.publish(s.captureWindow(&epochState{snap: snap, binding: binding, appliedLSN: applied}))
 	switch cfg.Role {
 	case "leader":
 		s.replLeader = replica.NewLeader(wlog, cfg.WALDir, replica.LeaderConfig{

@@ -56,13 +56,21 @@ func (s *server) replicaBootstrap(snap *wal.Snapshot) (wal.LSN, error) {
 	if err != nil {
 		return 0, err
 	}
-	gsnap := b.Snapshot(prev.snap.Epoch + 1)
+	// Re-impose the window on the bootstrap image: a leader that compacted
+	// below the window ships a windowed snapshot already, but a fresh base
+	// load (or an older leader snapshot) may carry expired history.
+	wb := graph.WrapWindowed(b, s.windowCfg)
+	gsnap := wb.Snapshot(prev.snap.Epoch + 1)
 	binding, err := s.predictor.Bind(gsnap)
 	if err != nil {
 		return 0, fmt.Errorf("bind bootstrapped epoch: %w", err)
 	}
-	s.b = b
-	s.publish(&epochState{snap: gsnap, binding: binding, appliedLSN: lsn})
+	s.b = wb
+	s.lastExpired = 0
+	if n := s.noteWindowExpiry(); n > 0 {
+		s.slogger().Info("replica bootstrap dropped out-of-window edges", slog.Uint64("edges", n))
+	}
+	s.publish(s.captureWindow(&epochState{snap: gsnap, binding: binding, appliedLSN: lsn}))
 	return lsn, nil
 }
 
@@ -87,7 +95,8 @@ func (s *server) replicaApply(from wal.LSN, events []wal.Event) error {
 			slog.Uint64("epoch", snap.Epoch), slog.Any("error", err))
 		binding = prev.binding
 	}
-	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: from + wal.LSN(len(events)) - 1})
+	s.noteWindowExpiry()
+	s.publish(s.captureWindow(&epochState{snap: snap, binding: binding, appliedLSN: from + wal.LSN(len(events)) - 1}))
 	return nil
 }
 

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// epochRing retains the last R published epochs so `as_of` requests can be
+// answered from history. Each retained epochState is immutable (a frozen
+// graph snapshot plus its predictor binding), so serving an old epoch is the
+// same lock-free read path as serving the current one — the windowed
+// builder's copy-on-expiry rebuild guarantees later expiry never mutates a
+// retained snapshot's arc rows. Readers load one immutable slice pointer;
+// writers (epoch publication, already single-writer per role) append under
+// a mutex and publish a fresh slice.
+type epochRing struct {
+	capacity int
+	mu       sync.Mutex
+	states   atomic.Pointer[[]*epochState]
+}
+
+// newEpochRing returns a ring retaining up to capacity epochs, or nil when
+// capacity <= 0 (time travel disabled; only the current epoch answers).
+func newEpochRing(capacity int) *epochRing {
+	if capacity <= 0 {
+		return nil
+	}
+	r := &epochRing{capacity: capacity}
+	empty := make([]*epochState, 0, capacity)
+	r.states.Store(&empty)
+	return r
+}
+
+// add retains st as the newest epoch, evicting the oldest beyond capacity.
+// Always copy-on-write: readers may hold the previous slice.
+func (r *epochRing) add(st *epochState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.states.Load()
+	start := 0
+	if len(old)+1 > r.capacity {
+		start = len(old) + 1 - r.capacity
+	}
+	next := make([]*epochState, 0, r.capacity)
+	next = append(next, old[start:]...)
+	next = append(next, st)
+	r.states.Store(&next)
+}
+
+// list returns the retained epochs, oldest first. The slice is immutable.
+func (r *epochRing) list() []*epochState {
+	return *r.states.Load()
+}
+
+// stateAt resolves an as_of timestamp to the newest retained epoch whose
+// graph does not extend past it (max edge timestamp <= asOf). The second
+// return is false when asOf predates everything retained — the 410 Gone
+// case. Without a ring only the current epoch is available.
+func (s *server) stateAt(asOf int64) (*epochState, bool) {
+	if s.ring == nil {
+		st := s.state()
+		if int64(st.snap.Graph.MaxTimestamp()) <= asOf {
+			return st, true
+		}
+		return nil, false
+	}
+	list := s.ring.list()
+	for i := len(list) - 1; i >= 0; i-- {
+		if int64(list[i].snap.Graph.MaxTimestamp()) <= asOf {
+			return list[i], true
+		}
+	}
+	return nil, false
+}
+
+// asOfState parses an optional as_of query parameter and resolves the epoch
+// to serve. Returns (state, asOfEcho, ok); on a parse error or a ring miss
+// the response has already been written (400, or 410 Gone with the miss
+// counted). asOfEcho is nil when the request carried no as_of.
+func (s *server) asOfState(w http.ResponseWriter, r *http.Request) (*epochState, *int64, bool) {
+	raw := r.URL.Query().Get("as_of")
+	if raw == "" {
+		return s.state(), nil, true
+	}
+	asOf, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "as_of must be an integer timestamp")
+		return nil, nil, false
+	}
+	st, ok := s.stateAt(asOf)
+	if !ok {
+		s.ringMisses.Inc()
+		errorJSON(w, http.StatusGone, "as_of predates the retained epoch ring")
+		return nil, nil, false
+	}
+	s.ringHits.Inc()
+	s.epochReads.Inc()
+	return st, &asOf, true
+}
+
+// captureWindow stamps an about-to-publish epoch with the builder's window
+// observability fields. Call only on the goroutine that owns s.b.
+func (s *server) captureWindow(st *epochState) *epochState {
+	if s.b != nil {
+		st.expiredEdges = s.b.ExpiredEdges()
+		st.windowStart, st.windowActive = s.b.WindowStart()
+	}
+	return st
+}
+
+// noteWindowExpiry folds the windowed builder's cumulative expiry counter
+// into telemetry and reports how many edges expired since the last call.
+// Runs on the single writer goroutine that owns the builder (ingest commit
+// leader or replica follower loop).
+func (s *server) noteWindowExpiry() uint64 {
+	if s.b == nil {
+		return 0
+	}
+	cur := s.b.ExpiredEdges()
+	delta := cur - s.lastExpired
+	if delta > 0 {
+		s.lastExpired = cur
+		s.windowExpired.Add(delta)
+	}
+	return delta
+}
+
+// maybeCompactWindow kicks off an asynchronous window compaction after a
+// commit expired buckets: the durable state shrinks to match the served
+// window. At most one compaction runs at a time; a publish that fires while
+// one is in flight is simply picked up by the next expiry.
+func (s *server) maybeCompactWindow() {
+	if s.wlog == nil || !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		if err := s.compactWindow(); err != nil {
+			s.slogger().Error("window compaction failed", slog.Any("error", err))
+		}
+	}()
+}
+
+// compactWindow persists the current (windowed) epoch as a snapshot and
+// truncates every WAL segment it covers. Since the snapshot holds only
+// in-window edges plus the full label dictionary, the records dropped from
+// the log are exactly the history below the window — a replica bootstrapping
+// from /repl/snapshot afterwards inherits the windowed view, and a follower
+// stranded below the truncated tail gets the 410 that triggers its clean
+// re-bootstrap.
+func (s *server) compactWindow() error {
+	before := s.currentSnapLSN()
+	if err := s.writeSnapshot(); err != nil {
+		return err
+	}
+	if s.currentSnapLSN() != before {
+		s.walCompactions.Inc()
+	}
+	return nil
+}
+
+// currentSnapLSN reads the newest persisted snapshot position.
+func (s *server) currentSnapLSN() uint64 {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return uint64(s.lastSnapLSN)
+}

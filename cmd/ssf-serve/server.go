@@ -37,6 +37,12 @@ type epochState struct {
 	binding    *ssflp.Binding
 	appliedLSN wal.LSN // last WAL position reflected in snap (0 without WAL)
 
+	// Window observability captured at publish time (the builder is writer-
+	// owned, so probes read these immutable copies instead of the builder).
+	windowStart  graph.Timestamp // inclusive lower bound of the live window
+	windowActive bool            // windowing enabled and at least one edge seen
+	expiredEdges uint64          // cumulative edges expired when this epoch published
+
 	// numericOnce/hasNumericLabel lazily answer "does any label in this
 	// epoch look like a numeric id?" — see lookup for why that disables
 	// raw-id addressing.
@@ -56,9 +62,21 @@ type server struct {
 	cur atomic.Pointer[epochState]
 
 	// Writer side. The builder and epoch counter are owned by the ingest
-	// group-commit leader — the coalescer guarantees a single writer.
-	b      *graph.Builder // private builder the next epoch grows in
+	// group-commit leader — the coalescer guarantees a single writer. The
+	// builder is window-aware: with -window it retains only the live
+	// time-bucketed suffix of the stream (a zero config is a passthrough).
+	b      *graph.WindowedBuilder // private builder the next epoch grows in
 	ingest *resilience.Coalescer[*ingestOp]
+
+	// Sliding-window serving state. ring retains the last R published epochs
+	// for as_of time travel (nil disables); windowCfg echoes the builder's
+	// retention config; lastExpired tracks the builder's cumulative expiry
+	// counter (owned by the writer goroutine); compacting serializes the
+	// asynchronous WAL window compactions.
+	ring        *epochRing
+	windowCfg   graph.WindowConfig
+	lastExpired uint64
+	compacting  atomic.Bool
 
 	snapMu      sync.Mutex // serializes snapshot writers
 	lastSnapLSN wal.LSN    // newest snapshot position (guarded by snapMu)
@@ -131,6 +149,12 @@ type server struct {
 	topPreBuilds    *telemetry.Counter // precompute index builds completed
 	topPreHits      *telemetry.Counter // /top requests served from the index
 	topPreStaleness *telemetry.Gauge   // epoch lag of the index at last hit
+
+	windowExpired  *telemetry.Counter // edges dropped by sliding-window expiry
+	ringSizeG      *telemetry.Gauge   // epochs currently retained in the ring
+	ringHits       *telemetry.Counter // as_of requests resolved from the ring
+	ringMisses     *telemetry.Counter // as_of requests older than the ring (410)
+	walCompactions *telemetry.Counter // WAL window compactions completed
 }
 
 // initTelemetry attaches the logger and registry and registers the serving
@@ -171,6 +195,16 @@ func (s *server) initTelemetry(reg *telemetry.Registry, logger *slog.Logger) {
 		"GET /top requests answered from the precomputed candidate index.")
 	s.topPreStaleness = reg.Gauge("ssf_top_precompute_staleness_epochs",
 		"Epochs between the served snapshot and the precompute index at the last fast-path hit.")
+	s.windowExpired = reg.Counter("ssf_window_expired_edges_total",
+		"Edges dropped from the live network by sliding-window retention.")
+	s.ringSizeG = reg.Gauge("ssf_epoch_ring_size",
+		"Published epochs currently retained for as_of time travel.")
+	s.ringHits = reg.Counter("ssf_epoch_ring_hits_total",
+		"as_of requests resolved from a retained epoch.")
+	s.ringMisses = reg.Counter("ssf_epoch_ring_misses_total",
+		"as_of requests older than the retained epoch ring (answered 410).")
+	s.walCompactions = reg.Counter("ssf_wal_compactions_total",
+		"Write-ahead-log window compactions: snapshot written and segments below the window truncated.")
 }
 
 // slogger returns the structured logger, falling back to a discard logger so
@@ -197,6 +231,10 @@ func (s *server) publish(st *epochState) {
 	s.epochG.Set(float64(st.snap.Epoch))
 	if s.wlog != nil {
 		s.appliedLSNG.Set(float64(st.appliedLSN))
+	}
+	if s.ring != nil {
+		s.ring.add(st)
+		s.ringSizeG.Set(float64(len(s.ring.list())))
 	}
 }
 
@@ -398,6 +436,23 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if cs, ok := s.predictor.CacheStats(); ok {
 		out["extractionCache"] = cs
 	}
+	if s.windowCfg.Enabled() {
+		win := map[string]any{
+			"span":          int64(s.windowCfg.Span),
+			"buckets":       s.windowCfg.Buckets,
+			"expired_edges": st.expiredEdges,
+		}
+		if st.windowActive {
+			win["window_start"] = int64(st.windowStart)
+		}
+		out["window"] = win
+	}
+	if s.ring != nil {
+		out["epoch_ring"] = map[string]any{
+			"capacity": s.ring.capacity,
+			"size":     len(s.ring.list()),
+		}
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -485,7 +540,10 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "u and v query parameters are required")
 		return
 	}
-	st := s.state()
+	st, asOf, ok := s.asOfState(w, r)
+	if !ok {
+		return
+	}
 	u, ok := st.lookup(uTok)
 	if !ok {
 		errorJSON(w, http.StatusNotFound, "unknown node "+uTok)
@@ -502,10 +560,15 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	score := scored[0].Score
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"u": uTok, "v": vTok, "score": score,
 		"predicted": score > s.predictor.Threshold(),
-	})
+	}
+	if asOf != nil {
+		out["as_of"] = *asOf
+		out["as_of_epoch"] = st.snap.Epoch
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // topLimit bounds the candidate scan for /top so a request cannot pin the
@@ -796,16 +859,39 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		shardIndex = idx
 	}
-	st := s.state()
-	cands, sampled, err := s.computeTop(r.Context(), st, n, shardIndex, shardCount)
+	st, asOf, ok := s.asOfState(w, r)
+	if !ok {
+		return
+	}
+	var (
+		cands   []topCand
+		sampled bool
+		err     error
+	)
+	if asOf != nil {
+		// Time-travel requests bypass the precompute index: it is built
+		// against the current epoch's enumeration, not the retained one.
+		var best []ssflp.ScoredPair
+		best, sampled, err = s.computeTopScan(r.Context(), st, n, shardIndex, shardCount)
+		if err == nil {
+			cands = s.resolveTop(st, best)
+		}
+	} else {
+		cands, sampled, err = s.computeTop(r.Context(), st, n, shardIndex, shardCount)
+	}
 	if err != nil {
 		scoreError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"candidates": cands,
 		"sampled":    sampled,
-	})
+	}
+	if asOf != nil {
+		out["as_of"] = *asOf
+		out["as_of_epoch"] = st.snap.Epoch
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // batchRequestLimit bounds one POST /batch payload.
@@ -1076,7 +1162,7 @@ func (s *server) commitIngest(ops []*ingestOp) {
 			slog.Uint64("epoch", snap.Epoch), slog.Any("error", err))
 		binding = prev.binding
 	}
-	s.publish(&epochState{snap: snap, binding: binding, appliedLSN: applied})
+	s.publish(s.captureWindow(&epochState{snap: snap, binding: binding, appliedLSN: applied}))
 	swapSp.SetAttr("epoch", snap.Epoch)
 	swapSp.Finish()
 	for _, op := range ops {
@@ -1089,6 +1175,12 @@ func (s *server) commitIngest(ops []*ingestOp) {
 	s.groupSize.Observe(float64(len(ops)))
 	s.swapSeconds.ObserveSince(start)
 	s.epochSwaps.Inc()
+	// A commit that expired buckets leaves durable history below the served
+	// window; compact it away so recovery and replica bootstraps inherit the
+	// windowed view instead of resurrecting expired edges.
+	if s.noteWindowExpiry() > 0 {
+		s.maybeCompactWindow()
+	}
 }
 
 // writeSnapshot persists a consistent, checksummed snapshot of the served

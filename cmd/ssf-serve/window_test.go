@@ -1,0 +1,405 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssflp/internal/graph"
+)
+
+// windowTestConfig is walConfig plus a 100-unit, 2-bucket sliding window and
+// an epoch ring. Bucket width is 50, so the Slashdot base (ts 0..6) and any
+// edge below ts 50 share bucket 0 and all expire together the moment an edge
+// reaches ts 100.
+func windowTestConfig(file, walDir string) serverConfig {
+	cfg := walConfig(file, walDir)
+	cfg.Window = 100
+	cfg.WindowBuckets = 2
+	cfg.EpochRing = 4
+	return cfg
+}
+
+// TestAsOfTimeTravelAcrossEpochSwaps drives the ring end to end: scores
+// recorded while an epoch was current must be reproduced exactly by as_of
+// requests after later epochs — including one that expired the very edges the
+// old score depended on — and requests older than the ring must get 410, not
+// wrong answers.
+func TestAsOfTimeTravelAcrossEpochSwaps(t *testing.T) {
+	cfg := windowTestConfig(writeTestNet(t), "")
+	cfg.WALDir = ""
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.routes()
+
+	// Epoch 2: give the pair (0, 1) an extra common neighbor at ts 10.
+	if code, body := postJSON(t, h, "/ingest",
+		`[{"u":"cn1","v":"0","ts":10},{"u":"cn1","v":"1","ts":10}]`); code != http.StatusOK {
+		t.Fatalf("ingest epoch 2 = %d %v", code, body)
+	}
+	_, score2 := getJSON(t, h, "/score?u=0&v=1")
+
+	// Epoch 3: advance into bucket 1; nothing expires yet.
+	if code, body := postJSON(t, h, "/ingest", `{"u":"b1a","v":"b1b","ts":60}`); code != http.StatusOK {
+		t.Fatalf("ingest epoch 3 = %d %v", code, body)
+	}
+	_, score3 := getJSON(t, h, "/score?u=0&v=1")
+
+	// Epoch 4: ts 120 opens bucket 2 and expires bucket 0 — the base graph
+	// and the cn1 edges are gone from the live view.
+	if code, body := postJSON(t, h, "/ingest", `{"u":"b2a","v":"b2b","ts":120}`); code != http.StatusOK {
+		t.Fatalf("ingest epoch 4 = %d %v", code, body)
+	}
+	code, now := getJSON(t, h, "/score?u=0&v=1")
+	if code != http.StatusOK {
+		t.Fatalf("live score after expiry = %d %v", code, now)
+	}
+	if now["score"].(float64) != 0 {
+		t.Fatalf("live CN score after common neighbors expired = %v, want 0", now["score"])
+	}
+	if score2["score"].(float64) == 0 {
+		t.Fatalf("pre-expiry score was already 0; test needs a live common neighbor")
+	}
+
+	// Time travel: each as_of resolves to the epoch whose graph it saw live.
+	for _, tc := range []struct {
+		asOf  int64
+		epoch float64
+		want  map[string]any
+	}{
+		{10, 2, score2},
+		{60, 3, score3},
+		{99, 3, score3},
+		{1 << 40, 4, now},
+	} {
+		code, got := getJSON(t, h, fmt.Sprintf("/score?u=0&v=1&as_of=%d", tc.asOf))
+		if code != http.StatusOK {
+			t.Fatalf("as_of=%d: status %d %v", tc.asOf, code, got)
+		}
+		if got["as_of"].(float64) != float64(tc.asOf) || got["as_of_epoch"].(float64) != tc.epoch {
+			t.Errorf("as_of=%d resolved to epoch %v (as_of echo %v), want epoch %v",
+				tc.asOf, got["as_of_epoch"], got["as_of"], tc.epoch)
+		}
+		if got["score"] != tc.want["score"] || got["predicted"] != tc.want["predicted"] {
+			t.Errorf("as_of=%d: score %v/%v, want %v/%v",
+				tc.asOf, got["score"], got["predicted"], tc.want["score"], tc.want["predicted"])
+		}
+	}
+
+	// Epoch 1 (the base boot) is still in the 4-slot ring: as_of at the base
+	// max timestamp reaches it.
+	if code, got := getJSON(t, h, "/score?u=0&v=1&as_of=6"); code != http.StatusOK ||
+		got["as_of_epoch"].(float64) != 1 {
+		t.Fatalf("as_of=6 = %d %v, want epoch 1", code, got)
+	}
+	// Below every retained epoch's max timestamp: 410, never a wrong answer.
+	if code, got := getJSON(t, h, "/score?u=0&v=1&as_of=3"); code != http.StatusGone {
+		t.Fatalf("as_of=3 = %d %v, want 410", code, got)
+	}
+	if code, got := getJSON(t, h, "/score?u=0&v=1&as_of=notatime"); code != http.StatusBadRequest {
+		t.Fatalf("as_of=notatime = %d %v, want 400", code, got)
+	}
+
+	// /top honors as_of the same way, bypassing the precompute index.
+	if code, got := getJSON(t, h, "/top?n=3&as_of=10"); code != http.StatusOK ||
+		got["as_of_epoch"].(float64) != 2 {
+		t.Fatalf("/top as_of=10 = %d %v, want epoch 2", code, got)
+	}
+	if code, _ := getJSON(t, h, "/top?n=3&as_of=3"); code != http.StatusGone {
+		t.Fatalf("/top as_of=3 = %d, want 410", code)
+	}
+
+	// One more swap evicts epoch 1; its timestamps now 410.
+	if code, body := postJSON(t, h, "/ingest", `{"u":"b2c","v":"b2d","ts":130}`); code != http.StatusOK {
+		t.Fatalf("ingest epoch 5 = %d %v", code, body)
+	}
+	if code, got := getJSON(t, h, "/score?u=0&v=1&as_of=6"); code != http.StatusGone {
+		t.Fatalf("as_of=6 after eviction = %d %v, want 410", code, got)
+	}
+
+	// Window observability: the expiry is visible on /healthz.
+	if code, health := getJSON(t, h, "/healthz"); code == http.StatusOK {
+		win, ok := health["window"].(map[string]any)
+		if !ok {
+			t.Fatalf("healthz has no window block: %v", health)
+		}
+		if win["expired_edges"].(float64) == 0 {
+			t.Errorf("healthz window reports no expired edges after expiry: %v", win)
+		}
+		if win["window_start"].(float64) != 50 {
+			t.Errorf("window_start = %v, want 50 (bucket 1 lower bound)", win["window_start"])
+		}
+		ring, ok := health["epoch_ring"].(map[string]any)
+		if !ok || ring["capacity"].(float64) != 4 || ring["size"].(float64) != 4 {
+			t.Errorf("healthz epoch_ring = %v, want capacity 4 size 4", health["epoch_ring"])
+		}
+	} else {
+		t.Fatalf("healthz = %d", code)
+	}
+}
+
+// TestWindowedRecoveryByteIdentity is the acceptance property at the serving
+// layer: after ingest drove expiry and WAL window compaction, a fresh boot on
+// the same directory serves a graph byte-identical — arc for arc and SSF
+// feature vector for feature vector — to a from-scratch windowed rebuild of
+// the full event stream (base file plus every ingested edge, in order).
+func TestWindowedRecoveryByteIdentity(t *testing.T) {
+	file := writeTestNet(t)
+	walDir := t.TempDir()
+	cfg := windowTestConfig(file, walDir)
+	cfg.WALSegmentBytes = 256 // several sealed segments, so compaction really deletes history
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.routes()
+
+	type edge struct {
+		u, v string
+		ts   int64
+	}
+	var ingested []edge
+	batch := func(edges []edge) {
+		t.Helper()
+		parts := make([]string, len(edges))
+		for i, e := range edges {
+			parts[i] = fmt.Sprintf(`{"u":%q,"v":%q,"ts":%d}`, e.u, e.v, e.ts)
+		}
+		if code, body := postJSON(t, h, "/ingest", "["+strings.Join(parts, ",")+"]"); code != http.StatusOK {
+			t.Fatalf("ingest = %d %v", code, body)
+		}
+		ingested = append(ingested, edges...)
+	}
+	var head []edge
+	for i := 0; i < 12; i++ {
+		head = append(head, edge{fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", i+1), 10 + int64(i)})
+	}
+	batch(head)
+	batch([]edge{{"m1", "m2", 60}, {"m2", "m3", 61}})
+	// The jump to ts 120 expires bucket 0 (base + head edges) and triggers an
+	// asynchronous window compaction of the WAL.
+	var tail []edge
+	for i := 0; i < 6; i++ {
+		tail = append(tail, edge{fmt.Sprintf("t%d", i), fmt.Sprintf("t%d", i+1), 120 + int64(i)})
+	}
+	batch(tail)
+
+	st := srv.cur.Load()
+	finalLSN := st.appliedLSN
+	if st.expiredEdges == 0 {
+		t.Fatalf("no edges expired; the test stream must cross a window boundary")
+	}
+	waitUntil(t, "window compaction", func() bool {
+		return srv.currentSnapLSN() == uint64(finalLSN)
+	})
+	present := st.snap.Graph.MaxTimestamp() + 1
+	liveEdges := epochEdgeSet(st.snap.Graph)
+	liveVecs := sampleVectors(t, st.snap.Graph, present)
+	if err := srv.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// From-scratch reference: the whole event stream (base file, then every
+	// ingested edge in commit order) pushed through the same window — the
+	// canonical layout is a pure function of the in-window edge multiset.
+	res, err := graph.LoadEdgeListFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseB, err := res.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := graph.WrapWindowed(baseB, graph.WindowConfig{Span: 100, Buckets: 2})
+	for _, e := range ingested {
+		if err := ref.AddEdge(e.u, e.v, graph.Timestamp(e.ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refSnap := ref.Snapshot(1)
+	refEdges := epochEdgeSet(refSnap.Graph)
+	if len(refEdges) != len(liveEdges) {
+		t.Fatalf("live epoch has %d distinct edges, reference %d", len(liveEdges), len(refEdges))
+	}
+	for k, n := range refEdges {
+		if liveEdges[k] != n {
+			t.Fatalf("edge %s: live count %d, reference %d", k, liveEdges[k], n)
+		}
+	}
+	assertVectorsIdentical(t, sampleVectors(t, refSnap.Graph, present), liveVecs)
+
+	// Recovery: a fresh boot must rebuild exactly that windowed state from
+	// the compacted snapshot + tail, even though the pre-window history is
+	// gone from the log.
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.close()
+	st2 := srv2.cur.Load()
+	if st2.appliedLSN != finalLSN {
+		t.Fatalf("recovered appliedLSN = %d, want %d", st2.appliedLSN, finalLSN)
+	}
+	recEdges := epochEdgeSet(st2.snap.Graph)
+	for k, n := range liveEdges {
+		if recEdges[k] != n {
+			t.Fatalf("recovered edge %s: count %d, want %d", k, recEdges[k], n)
+		}
+	}
+	if len(recEdges) != len(liveEdges) {
+		t.Fatalf("recovered %d distinct edges, want %d", len(recEdges), len(liveEdges))
+	}
+	assertVectorsIdentical(t, sampleVectors(t, st2.snap.Graph, present), liveVecs)
+}
+
+// TestFollowerRebootstrapsAfterWindowCompaction pins the failover contract
+// between compaction and replication: a follower whose resume position falls
+// inside a window-compacted (deleted) segment must get the leader's 410 and
+// re-bootstrap from the windowed snapshot — converging on the leader's state
+// instead of looping on the stream.
+func TestFollowerRebootstrapsAfterWindowCompaction(t *testing.T) {
+	file := writeTestNet(t)
+	cfg := windowTestConfig(file, t.TempDir())
+	cfg.WALSegmentBytes = 256
+	cfg.Role = "leader"
+	leader, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh := leader.routes()
+	front := httptest.NewServer(lh)
+	t.Cleanup(func() {
+		front.Close()
+		leader.close()
+	})
+
+	// The proxy can cut the replica off, and counts bootstrap fetches so the
+	// test can prove a re-bootstrap actually happened.
+	var silent atomic.Bool
+	var silentRejects atomic.Int64
+	var snapFetches atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if silent.Load() {
+			silentRejects.Add(1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Path == "/repl/snapshot" {
+			snapFetches.Add(1)
+		}
+		lh.ServeHTTP(w, r)
+	}))
+	t.Cleanup(proxy.Close)
+
+	if code, body := postJSON(t, lh, "/ingest",
+		`[{"u":"p1","v":"p2","ts":10},{"u":"p2","v":"p3","ts":11},{"u":"p3","v":"p4","ts":12}]`); code != http.StatusOK {
+		t.Fatalf("seed ingest = %d %v", code, body)
+	}
+	rcfg := serverConfig{
+		File: file, Method: "CN", MaxPositives: 20, Seed: 1,
+		Role: "replica", LeaderAddr: proxy.URL,
+		Window: cfg.Window, WindowBuckets: cfg.WindowBuckets, EpochRing: cfg.EpochRing,
+		// A short lag-age budget keeps the follower's long-poll wait down to
+		// ~1s, so cutting it off below drains any parked poll quickly.
+		ReplLagLSN: 4096, ReplLagAge: 3 * time.Second,
+	}
+	replica, err := newServer(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.startReplication(t.Context())
+	t.Cleanup(func() { replica.close() })
+	waitUntil(t, "initial catch-up", func() bool { return replica.follower.AppliedLSN() == 3 })
+	if got := snapFetches.Load(); got < 1 {
+		t.Fatalf("no initial bootstrap fetch recorded (%d)", got)
+	}
+	fetchesBefore := snapFetches.Load()
+
+	// Cut the replica off, then drive the leader across a window boundary:
+	// enough records to seal several 256-byte segments, then a ts jump that
+	// expires the old bucket and compacts the log past the replica's position.
+	silent.Store(true)
+	// A poll that entered the proxy before the cutoff may be parked at the
+	// leader; it would deliver the fill batches below and let the follower
+	// skip past the compacted range. Polls are sequential, so the first
+	// rejected request proves no poll is parked inside the leader anymore.
+	waitUntil(t, "follower cut off", func() bool { return silentRejects.Load() > 0 })
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf(`[{"u":"f%da","v":"f%db","ts":60},{"u":"f%db","v":"f%dc","ts":61}]`, i, i, i, i)
+		if code, resp := postJSON(t, lh, "/ingest", body); code != http.StatusOK {
+			t.Fatalf("fill ingest %d = %d %v", i, code, resp)
+		}
+	}
+	if code, resp := postJSON(t, lh, "/ingest", `{"u":"jump1","v":"jump2","ts":130}`); code != http.StatusOK {
+		t.Fatalf("jump ingest = %d %v", code, resp)
+	}
+	finalLSN := leader.cur.Load().appliedLSN
+	waitUntil(t, "leader window compaction", func() bool {
+		return leader.currentSnapLSN() == uint64(finalLSN)
+	})
+
+	// Reconnect: the stream resume from LSN 4 lands in a deleted segment, the
+	// leader answers 410, and the follower must re-bootstrap and converge.
+	silent.Store(false)
+	waitUntil(t, "re-bootstrap catch-up", func() bool {
+		return replica.follower.AppliedLSN() == finalLSN
+	})
+	if got := snapFetches.Load(); got <= fetchesBefore {
+		t.Fatalf("follower converged without re-bootstrapping (snapshot fetches %d)", got)
+	}
+
+	// Converged means identical windowed reads, and the replica's view is
+	// windowed too: the expired seed edge scores zero on both sides.
+	rh := replica.routes()
+	for _, path := range []string{"/score?u=jump1&v=jump2", "/score?u=p1&v=p3", "/score?u=f0a&v=f0c"} {
+		lc, lb := getJSON(t, lh, path)
+		rc, rb := getJSON(t, rh, path)
+		if lc != http.StatusOK || rc != http.StatusOK {
+			t.Fatalf("score %s: leader %d %v, replica %d %v", path, lc, lb, rc, rb)
+		}
+		if lb["score"] != rb["score"] || lb["predicted"] != rb["predicted"] {
+			t.Errorf("score %s diverged: leader %v, replica %v", path, lb, rb)
+		}
+	}
+	if _, lb := getJSON(t, rh, "/score?u=p1&v=p3"); lb["score"].(float64) != 0 {
+		t.Errorf("expired-window pair still scores %v on the replica, want 0", lb["score"])
+	}
+
+	// The compactions are visible to operators.
+	if out := scrapeMetrics(t, lh); !strings.Contains(out, "ssf_wal_compactions_total") {
+		t.Errorf("ssf_wal_compactions_total missing from leader /metrics")
+	} else {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "ssf_wal_compactions_total") && strings.HasSuffix(line, " 0") {
+				t.Errorf("ssf_wal_compactions_total is 0 after compaction: %s", line)
+			}
+		}
+	}
+}
+
+// TestWindowDisabledIsPassthrough guards the default path: with no -window
+// the server behaves exactly as before (no window/healthz block), while as_of
+// against the current graph still answers from the ring.
+func TestWindowDisabledIsPassthrough(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+	code, health := getJSON(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if _, ok := health["window"]; ok {
+		t.Errorf("window block present with windowing disabled: %v", health["window"])
+	}
+	if code, got := getJSON(t, h, "/score?u=0&v=1&as_of=999"); code != http.StatusOK || got["as_of"] == nil {
+		t.Errorf("as_of on current graph = %d %v, want 200 with echo", code, got)
+	}
+	if code, _ := getJSON(t, h, "/score?u=0&v=1&as_of=-1"); code != http.StatusGone {
+		t.Errorf("as_of below graph floor should 410 even without a window")
+	}
+}

@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WindowConfig bounds how much history a WindowedBuilder retains. The span
+// is divided into Buckets equal-width time buckets keyed by each edge's own
+// timestamp (never wall clock), so retention is a pure function of the event
+// stream: two processes fed the same timestamped edges — in any order —
+// agree exactly on which edges are live. A zero Span disables windowing and
+// the builder behaves like a plain append-only Builder.
+type WindowConfig struct {
+	// Span is the retention window length in timestamp units. Edges whose
+	// bucket falls entirely more than Span behind the newest bucket are
+	// dropped. 0 retains everything.
+	Span Timestamp
+
+	// Buckets is how many equal-width buckets subdivide the span; expiry
+	// granularity is one bucket. Defaults to DefaultWindowBuckets.
+	Buckets int
+}
+
+// DefaultWindowBuckets is the bucket count used when WindowConfig.Buckets
+// is unset.
+const DefaultWindowBuckets = 8
+
+// Enabled reports whether the configuration actually windows history.
+func (c WindowConfig) Enabled() bool { return c.Span > 0 }
+
+// withDefaults fills unset knobs.
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultWindowBuckets
+	}
+	return c
+}
+
+// bucketWidth is the timestamp width of one bucket: ceil(Span/Buckets),
+// never below 1 so the bucket index is always well defined.
+func (c WindowConfig) bucketWidth() Timestamp {
+	w := (c.Span + Timestamp(c.Buckets) - 1) / Timestamp(c.Buckets)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// windowEdge is one retained edge in normalized (U < V) form. Direction is
+// irrelevant to the final adjacency — AddEdge(u, v) and AddEdge(v, u) leave
+// identical state — so normalizing here makes the canonical rebuild order a
+// pure function of the edge multiset.
+type windowEdge struct {
+	u, v NodeID
+	ts   Timestamp
+}
+
+// windowBucket is the retained edge list of one time bucket.
+type windowBucket struct {
+	index int64
+	edges []windowEdge
+}
+
+// WindowedBuilder wraps a Builder with sliding-window retention: every edge
+// is filed under bucket floor(ts / bucketWidth), and whenever a new edge
+// advances the newest bucket, whole buckets older than Buckets behind it
+// drop out in O(1) (the bucket's slice is released; no per-edge work at
+// expiry time). Labels and node ids are deliberately never expired — the
+// interning order stays a pure function of the event stream, so snapshots,
+// WAL recovery and replicas keep assigning identical ids.
+//
+// Expiry relaxes the append-only contract behind Graph.Freeze: instead of
+// rewinding shared arc rows in place (which would corrupt every frozen
+// snapshot), the expiry is copy-on-write — a dirty flag is set and the next
+// Snapshot rebuilds a fresh *Graph holding only live edges, laid out in
+// canonical (ts, u, v) order. Earlier frozen snapshots keep their own
+// headers over the old graph's rows and are never touched, which is what
+// lets an epoch ring serve as_of reads long after the edges expired from
+// the live view.
+//
+// Like Builder, a WindowedBuilder is single-writer; callers serialize
+// AddEdge/Snapshot, and returned Snapshots may be read concurrently.
+type WindowedBuilder struct {
+	b     *Builder
+	cfg   WindowConfig
+	width Timestamp
+
+	buckets    []windowBucket // live buckets, ascending index; len <= cfg.Buckets
+	maxBucket  int64          // newest bucket index seen
+	haveBucket bool           // maxBucket is valid (at least one windowed edge seen)
+	dirty      bool           // buckets expired since the live graph was last rebuilt
+	expired    uint64         // cumulative edges dropped by expiry (incl. late arrivals)
+}
+
+// NewWindowedBuilder returns a windowed builder over a fresh empty graph.
+func NewWindowedBuilder(cfg WindowConfig) *WindowedBuilder {
+	return WrapWindowed(NewBuilder(), cfg)
+}
+
+// WrapWindowed imposes the window on an existing builder (a recovered WAL
+// state, a replica bootstrap image, or a freshly loaded base file). All
+// edges are re-bucketed by their stored timestamps; anything already outside
+// the window is dropped and, whenever windowing is enabled, the live graph
+// is rebuilt into canonical (ts, u, v) order — so the wrapped state is a
+// pure function of the retained edge multiset, independent of the order the
+// source replayed them in. With windowing disabled the builder is returned
+// untouched behind a passthrough wrapper.
+func WrapWindowed(b *Builder, cfg WindowConfig) *WindowedBuilder {
+	cfg = cfg.withDefaults()
+	w := &WindowedBuilder{b: b, cfg: cfg, width: cfg.bucketWidth()}
+	if !cfg.Enabled() {
+		return w
+	}
+	g := b.Graph()
+	if g.NumEdges() == 0 {
+		return w
+	}
+	w.maxBucket = w.bucketOf(g.MaxTimestamp())
+	w.haveBucket = true
+	minLive := w.minLiveBucket()
+	for e := range g.Edges() {
+		idx := w.bucketOf(e.Ts)
+		if idx < minLive {
+			w.expired++
+			continue
+		}
+		w.bucket(idx).edges = append(w.bucket(idx).edges, windowEdge{u: e.U, v: e.V, ts: e.Ts})
+	}
+	// Rebuild unconditionally: replay sources disagree on arc order
+	// (snapshot files serialize by node, WAL tails by arrival), and the
+	// canonical layout makes recovered state byte-identical to a
+	// from-scratch rebuild of the same in-window edges.
+	w.rebuild()
+	return w
+}
+
+// bucketOf maps a timestamp to its bucket index (floor division, exact for
+// negative timestamps too).
+func (w *WindowedBuilder) bucketOf(ts Timestamp) int64 {
+	q := int64(ts) / int64(w.width)
+	if ts < 0 && int64(ts)%int64(w.width) != 0 {
+		q--
+	}
+	return q
+}
+
+// minLiveBucket is the oldest bucket index still inside the window.
+func (w *WindowedBuilder) minLiveBucket() int64 {
+	return w.maxBucket - int64(w.cfg.Buckets) + 1
+}
+
+// bucket returns the live bucket with the given index, creating it in sorted
+// position when absent. The slice holds at most cfg.Buckets entries, so the
+// search is effectively constant.
+func (w *WindowedBuilder) bucket(idx int64) *windowBucket {
+	i := sort.Search(len(w.buckets), func(i int) bool { return w.buckets[i].index >= idx })
+	if i < len(w.buckets) && w.buckets[i].index == idx {
+		return &w.buckets[i]
+	}
+	w.buckets = append(w.buckets, windowBucket{})
+	copy(w.buckets[i+1:], w.buckets[i:])
+	w.buckets[i] = windowBucket{index: idx}
+	return &w.buckets[i]
+}
+
+// advance moves the newest bucket forward and expires every bucket that
+// fell out of the window: each one is dropped whole — O(1) per bucket, no
+// per-edge work — and only the dirty flag records that the live graph now
+// overstates the window until the next Snapshot rebuilds it.
+func (w *WindowedBuilder) advance(idx int64) {
+	w.maxBucket = idx
+	w.haveBucket = true
+	minLive := w.minLiveBucket()
+	drop := 0
+	for drop < len(w.buckets) && w.buckets[drop].index < minLive {
+		w.expired += uint64(len(w.buckets[drop].edges))
+		drop++
+	}
+	if drop > 0 {
+		w.buckets = append(w.buckets[:0], w.buckets[drop:]...)
+		w.dirty = true
+	}
+}
+
+// AddEdge interns both endpoint labels and inserts the timestamped link,
+// subject to the window: an edge whose bucket has already expired is
+// accepted but immediately dropped (counted as expired), which is what makes
+// the retained edge set independent of arrival order. Labels are interned
+// even for dropped edges, mirroring Builder.AddEdge's treatment of rejected
+// self loops.
+func (w *WindowedBuilder) AddEdge(uLabel, vLabel string, ts Timestamp) error {
+	if !w.cfg.Enabled() {
+		return w.b.AddEdge(uLabel, vLabel, ts)
+	}
+	u := w.b.Intern(uLabel)
+	v := w.b.Intern(vLabel)
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	idx := w.bucketOf(ts)
+	if !w.haveBucket || idx > w.maxBucket {
+		w.advance(idx)
+	}
+	if idx < w.minLiveBucket() {
+		w.expired++
+		return nil
+	}
+	if u > v {
+		u, v = v, u
+	}
+	w.bucket(idx).edges = append(w.bucket(idx).edges, windowEdge{u: u, v: v, ts: ts})
+	if !w.dirty {
+		// Mirror into the live graph so epoch publication stays O(V); once
+		// dirty, mirrored adds are pointless — the next Snapshot rebuilds
+		// from the buckets anyway.
+		return w.b.g.AddEdge(u, v, ts)
+	}
+	return nil
+}
+
+// rebuild replaces the wrapped builder's live graph with a fresh one holding
+// exactly the live buckets' edges in canonical (ts, u, v) order. The old
+// graph object — and every Snapshot frozen from it — is left untouched.
+func (w *WindowedBuilder) rebuild() {
+	edges := make([]windowEdge, 0, w.liveEdges())
+	for i := range w.buckets {
+		edges = append(edges, w.buckets[i].edges...)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		return a.v < b.v
+	})
+	g := New(len(w.b.labels))
+	g.EnsureNodes(len(w.b.labels))
+	for _, e := range edges {
+		// Endpoints were interned before bucketing, so AddEdge cannot fail.
+		_ = g.AddEdge(e.u, e.v, e.ts)
+	}
+	w.b.g = g
+	w.dirty = false
+}
+
+// liveEdges counts the edges currently retained in the buckets.
+func (w *WindowedBuilder) liveEdges() int {
+	n := 0
+	for i := range w.buckets {
+		n += len(w.buckets[i].edges)
+	}
+	return n
+}
+
+// Snapshot freezes the current windowed state into an immutable epoch. When
+// buckets expired since the last snapshot the live graph is first rebuilt
+// copy-on-write (see WindowedBuilder doc); otherwise this is the plain O(V)
+// freeze of Builder.Snapshot.
+func (w *WindowedBuilder) Snapshot(epoch uint64) *Snapshot {
+	if w.dirty {
+		w.rebuild()
+	}
+	return w.b.Snapshot(epoch)
+}
+
+// Builder returns the wrapped builder. Callers must not mutate it directly
+// while windowing is enabled — edges added behind the wrapper's back would
+// bypass bucketing and reappear after the next rebuild drop.
+func (w *WindowedBuilder) Builder() *Builder { return w.b }
+
+// Graph returns the live graph. While the window is dirty (buckets expired
+// but no Snapshot taken yet) it may still include expired edges and lack the
+// newest arrivals; Snapshot always reconciles first.
+func (w *WindowedBuilder) Graph() *Graph { return w.b.Graph() }
+
+// Labels returns the id -> label dictionary (never windowed).
+func (w *WindowedBuilder) Labels() []string { return w.b.Labels() }
+
+// Lookup resolves a label to its node id.
+func (w *WindowedBuilder) Lookup(label string) (NodeID, bool) { return w.b.Lookup(label) }
+
+// Config returns the effective window configuration.
+func (w *WindowedBuilder) Config() WindowConfig { return w.cfg }
+
+// ExpiredEdges returns the cumulative number of edges this builder has
+// dropped: whole expired buckets plus late arrivals into already-expired
+// buckets (and, for WrapWindowed, edges outside the window at wrap time).
+func (w *WindowedBuilder) ExpiredEdges() uint64 { return w.expired }
+
+// WindowStart returns the inclusive lower timestamp bound of the live
+// window, and whether a window is active (enabled and at least one edge
+// seen). Edges with ts >= start are retained; the bound moves only when a
+// newer edge advances the newest bucket.
+func (w *WindowedBuilder) WindowStart() (Timestamp, bool) {
+	if !w.cfg.Enabled() || !w.haveBucket {
+		return 0, false
+	}
+	return Timestamp(w.minLiveBucket()) * w.width, true
+}

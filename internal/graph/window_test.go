@@ -1,0 +1,353 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// windowEvent is one timestamped labeled edge in a test stream.
+type windowEvent struct {
+	u, v string
+	ts   Timestamp
+}
+
+// windowReference independently computes the expected retained state of a
+// stream under cfg: the full label dictionary in first-seen order, and the
+// in-window edges laid out in canonical (ts, u, v) order — exactly what a
+// from-scratch rebuild of only the live edges must produce.
+func windowReference(t *testing.T, events []windowEvent, cfg WindowConfig) *Builder {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	ref := NewBuilder()
+	for _, e := range events {
+		ref.Intern(e.u)
+		ref.Intern(e.v)
+	}
+	width := cfg.bucketWidth()
+	bucketOf := func(ts Timestamp) int64 {
+		q := int64(ts) / int64(width)
+		if ts < 0 && int64(ts)%int64(width) != 0 {
+			q--
+		}
+		return q
+	}
+	maxBucket := int64(0)
+	have := false
+	for _, e := range events {
+		if b := bucketOf(e.ts); !have || b > maxBucket {
+			maxBucket, have = b, true
+		}
+	}
+	minLive := maxBucket - int64(cfg.Buckets) + 1
+	var live []windowEdge
+	for _, e := range events {
+		if bucketOf(e.ts) < minLive {
+			continue
+		}
+		u, _ := ref.Lookup(e.u)
+		v, _ := ref.Lookup(e.v)
+		if u > v {
+			u, v = v, u
+		}
+		live = append(live, windowEdge{u: u, v: v, ts: e.ts})
+	}
+	sort.Slice(live, func(i, j int) bool {
+		a, b := live[i], live[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		return a.v < b.v
+	})
+	g := ref.Graph()
+	g.EnsureNodes(len(ref.Labels()))
+	for _, e := range live {
+		if err := g.AddEdge(e.u, e.v, e.ts); err != nil {
+			t.Fatalf("reference add edge: %v", err)
+		}
+	}
+	return ref
+}
+
+// assertSameAdjacency compares two graphs exactly: node count, edge count,
+// and every adjacency list arc for arc, in order. Identical adjacency makes
+// every downstream computation (extraction, scoring) byte-identical.
+func assertSameAdjacency(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("nodes: got %d, want %d", got.NumNodes(), want.NumNodes())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges: got %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	for u := 0; u < want.NumNodes(); u++ {
+		ga, wa := got.ArcSlice(NodeID(u)), want.ArcSlice(NodeID(u))
+		if len(ga) != len(wa) {
+			t.Fatalf("node %d: %d arcs, want %d", u, len(ga), len(wa))
+		}
+		for i := range wa {
+			if ga[i] != wa[i] {
+				t.Fatalf("node %d arc %d: %+v, want %+v", u, i, ga[i], wa[i])
+			}
+		}
+	}
+	if got.MinTimestamp() != want.MinTimestamp() || got.MaxTimestamp() != want.MaxTimestamp() {
+		t.Fatalf("ts bounds: [%d,%d], want [%d,%d]",
+			got.MinTimestamp(), got.MaxTimestamp(), want.MinTimestamp(), want.MaxTimestamp())
+	}
+}
+
+// edgeMultiset collects id-level "u-v-ts" edge counts.
+func edgeMultiset(g *Graph) map[string]int {
+	out := map[string]int{}
+	for e := range g.Edges() {
+		out[fmt.Sprintf("%d-%d-%d", e.U, e.V, e.Ts)]++
+	}
+	return out
+}
+
+// labelMultiset collects label-level canonical edge counts, the comparison
+// that survives interning-order changes (e.g. a shuffled stream).
+func labelMultiset(g *Graph, labels []string) map[string]int {
+	out := map[string]int{}
+	for e := range g.Edges() {
+		a, b := labels[e.U], labels[e.V]
+		if a > b {
+			a, b = b, a
+		}
+		out[fmt.Sprintf("%s|%s|%d", a, b, e.Ts)]++
+	}
+	return out
+}
+
+// randomWindowStream generates a deterministic stream with forward drift
+// plus out-of-order and stale timestamps — the shapes that make windowed
+// retention interesting.
+func randomWindowStream(rng *rand.Rand, n int) []windowEvent {
+	events := make([]windowEvent, 0, n)
+	base := Timestamp(0)
+	for len(events) < n {
+		u := fmt.Sprintf("n%d", rng.Intn(20))
+		v := fmt.Sprintf("n%d", rng.Intn(20))
+		if u == v {
+			continue
+		}
+		ts := base
+		switch rng.Intn(4) {
+		case 0: // late arrival, possibly below the window
+			ts = base - Timestamp(rng.Intn(60))
+		case 1: // in-bucket jitter
+			ts = base - Timestamp(rng.Intn(5))
+		default: // forward drift
+			base += Timestamp(rng.Intn(7))
+			ts = base
+		}
+		events = append(events, windowEvent{u: u, v: v, ts: ts})
+	}
+	return events
+}
+
+// TestWindowedByteIdentityProperty is the tentpole's anchor: after any
+// stream (including expiry churn and late arrivals), the windowed snapshot
+// holds exactly the in-window edge multiset, and the rebuilt live graph is
+// adjacency-identical — arc for arc — to a from-scratch rebuild of only the
+// in-window edges. It also pins the relaxed Freeze contract: a snapshot
+// frozen before further expiry must stay untouched by later rebuilds.
+func TestWindowedByteIdentityProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := WindowConfig{
+			Span:    Timestamp(5 + rng.Intn(40)),
+			Buckets: 1 + rng.Intn(6),
+		}
+		events := randomWindowStream(rng, 60+rng.Intn(200))
+		cut := len(events) * 2 / 3
+
+		w := NewWindowedBuilder(cfg)
+		for _, e := range events[:cut] {
+			if err := w.AddEdge(e.u, e.v, e.ts); err != nil {
+				t.Fatalf("seed %d: add edge: %v", seed, err)
+			}
+		}
+		early := w.Snapshot(1)
+		earlyCopy := early.Graph.Clone()
+
+		for _, e := range events[cut:] {
+			if err := w.AddEdge(e.u, e.v, e.ts); err != nil {
+				t.Fatalf("seed %d: add edge: %v", seed, err)
+			}
+		}
+		snap := w.Snapshot(2)
+		ref := windowReference(t, events, cfg)
+
+		// The served snapshot is exactly the in-window edge multiset.
+		got, want := edgeMultiset(snap.Graph), edgeMultiset(ref.Graph())
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d distinct edges, want %d", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: edge %s count %d, want %d", seed, k, got[k], n)
+			}
+		}
+		if gotExp := int(w.ExpiredEdges()); gotExp != len(events)-snap.Graph.NumEdges() {
+			t.Fatalf("seed %d: expired %d, want %d", seed, gotExp, len(events)-snap.Graph.NumEdges())
+		}
+
+		// Force a rebuild and require the canonical layout byte for byte.
+		w.dirty = true
+		rebuilt := w.Snapshot(3)
+		assertSameAdjacency(t, rebuilt.Graph, ref.Graph())
+
+		// The early snapshot's shared arc rows must have survived every
+		// later expiry rebuild untouched.
+		assertSameAdjacency(t, early.Graph, earlyCopy)
+	}
+}
+
+// TestWindowExpiryCommutesWithIngestOrder: feeding the same timestamped
+// edge stream in any order yields an identical windowed snapshot (compared
+// at label level, since interning order follows arrival) and an identical
+// expired count.
+func TestWindowExpiryCommutesWithIngestOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		cfg := WindowConfig{Span: Timestamp(8 + rng.Intn(30)), Buckets: 1 + rng.Intn(5)}
+		events := randomWindowStream(rng, 80+rng.Intn(120))
+		shuffled := append([]windowEvent(nil), events...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		build := func(evs []windowEvent) (*WindowedBuilder, *Snapshot) {
+			w := NewWindowedBuilder(cfg)
+			for _, e := range evs {
+				if err := w.AddEdge(e.u, e.v, e.ts); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			return w, w.Snapshot(1)
+		}
+		w1, s1 := build(events)
+		w2, s2 := build(shuffled)
+
+		m1 := labelMultiset(s1.Graph, s1.Labels)
+		m2 := labelMultiset(s2.Graph, s2.Labels)
+		if len(m1) != len(m2) {
+			t.Fatalf("seed %d: %d vs %d distinct edges", seed, len(m1), len(m2))
+		}
+		for k, n := range m1 {
+			if m2[k] != n {
+				t.Fatalf("seed %d: edge %s: %d vs %d", seed, k, n, m2[k])
+			}
+		}
+		if w1.ExpiredEdges() != w2.ExpiredEdges() {
+			t.Fatalf("seed %d: expired %d vs %d", seed, w1.ExpiredEdges(), w2.ExpiredEdges())
+		}
+		lo1, ok1 := w1.WindowStart()
+		lo2, ok2 := w2.WindowStart()
+		if lo1 != lo2 || ok1 != ok2 {
+			t.Fatalf("seed %d: window start %d/%v vs %d/%v", seed, lo1, ok1, lo2, ok2)
+		}
+	}
+}
+
+// TestWindowLateEdgeDropped pins the arrival-order independence mechanism:
+// an edge whose bucket already expired is accepted but never retained, while
+// its labels still intern.
+func TestWindowLateEdgeDropped(t *testing.T) {
+	w := NewWindowedBuilder(WindowConfig{Span: 10, Buckets: 2}) // width 5
+	if err := w.AddEdge("a", "b", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddEdge("c", "d", 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.ExpiredEdges(); n != 1 {
+		t.Fatalf("expired = %d, want 1", n)
+	}
+	if _, ok := w.Lookup("c"); !ok {
+		t.Fatal("late edge's label was not interned")
+	}
+	snap := w.Snapshot(1)
+	if snap.Graph.NumEdges() != 1 || snap.Stats.NumNodes != 4 {
+		t.Fatalf("snapshot has %d edges / %d nodes, want 1 / 4",
+			snap.Graph.NumEdges(), snap.Stats.NumNodes)
+	}
+	if lo, ok := w.WindowStart(); !ok || lo != 95 {
+		t.Fatalf("window start = %d/%v, want 95/true", lo, ok)
+	}
+}
+
+// TestWindowPassthroughDisabled: Span 0 must behave exactly like the plain
+// builder — same adjacency, no window bookkeeping.
+func TestWindowPassthroughDisabled(t *testing.T) {
+	w := NewWindowedBuilder(WindowConfig{})
+	plain := NewBuilder()
+	for i := 0; i < 50; i++ {
+		u, v := fmt.Sprintf("p%d", i%7), fmt.Sprintf("p%d", (i+3)%7)
+		ts := Timestamp(i * 13 % 29)
+		if err := w.AddEdge(u, v, ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.AddEdge(u, v, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameAdjacency(t, w.Snapshot(1).Graph, plain.Snapshot(1).Graph)
+	if w.ExpiredEdges() != 0 {
+		t.Fatalf("expired = %d on a passthrough builder", w.ExpiredEdges())
+	}
+	if _, ok := w.WindowStart(); ok {
+		t.Fatal("passthrough builder reports an active window")
+	}
+}
+
+// TestWindowSelfLoopRejected mirrors Builder.AddEdge: the loop errors, the
+// label still interns.
+func TestWindowSelfLoopRejected(t *testing.T) {
+	w := NewWindowedBuilder(WindowConfig{Span: 10})
+	if err := w.AddEdge("x", "x", 5); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+	if _, ok := w.Lookup("x"); !ok {
+		t.Fatal("self-loop label was not interned")
+	}
+}
+
+// TestWrapWindowed: imposing a window on an existing builder (the recovery
+// and replica-bootstrap path) drops stale edges, keeps every label, and lays
+// the survivors out canonically — identical to a from-scratch windowed
+// build of the same stream after a rebuild.
+func TestWrapWindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := randomWindowStream(rng, 150)
+	cfg := WindowConfig{Span: 20, Buckets: 4}
+
+	plain := NewBuilder()
+	for _, e := range events {
+		if err := plain.AddEdge(e.u, e.v, e.ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := plain.Graph().NumEdges()
+	w := WrapWindowed(plain, cfg)
+	ref := windowReference(t, events, cfg)
+	assertSameAdjacency(t, w.Snapshot(1).Graph, ref.Graph())
+	if len(w.Labels()) != len(ref.Labels()) {
+		t.Fatalf("labels: %d, want %d", len(w.Labels()), len(ref.Labels()))
+	}
+	if int(w.ExpiredEdges()) != total-ref.Graph().NumEdges() {
+		t.Fatalf("expired = %d, want %d", w.ExpiredEdges(), total-ref.Graph().NumEdges())
+	}
+
+	// Disabled wrap is a true passthrough: same graph object, no copies.
+	p2 := NewBuilder()
+	_ = p2.AddEdge("a", "b", 1)
+	if got := WrapWindowed(p2, WindowConfig{}).Graph(); got != p2.Graph() {
+		t.Fatal("disabled WrapWindowed replaced the graph")
+	}
+}

@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ssflp/internal/graph"
+)
+
+// compactFuzzEvents derives a deterministic event stream from raw fuzz bytes:
+// endpoints come from two disjoint 8-label pools (so a self loop is
+// impossible), timestamps drift forward with occasional stale arrivals — the
+// shape a sliding window actually has to cope with.
+func compactFuzzEvents(data []byte) []Event {
+	events := make([]Event, 0, len(data))
+	var cur int64
+	for _, b := range data {
+		cur += int64(b >> 6)
+		ts := cur
+		if b&0x20 != 0 {
+			ts -= int64(b & 0x1f) // stale arrival, possibly into an expired bucket
+		}
+		events = append(events, Event{
+			U:  fmt.Sprintf("n%d", b&7),
+			V:  fmt.Sprintf("m%d", (b>>3)&3),
+			Ts: ts,
+		})
+	}
+	return events
+}
+
+// windowedOver builds the canonical windowed state over a prefix of events.
+func windowedOver(cfg graph.WindowConfig, events []Event) *graph.WindowedBuilder {
+	w := graph.NewWindowedBuilder(cfg)
+	for _, ev := range events {
+		_ = w.AddEdge(ev.U, ev.V, graph.Timestamp(ev.Ts))
+	}
+	return w
+}
+
+// FuzzCompactWindow drives the window-compaction cycle — append, windowed
+// snapshot, TruncateBefore, more appends, a torn tail — under random bucket
+// boundaries and tear points, and checks the invariant the sliding-window
+// design rests on: recovery plus re-windowing never loses an in-window
+// record. The recovered state must equal, node id for node id and arc for
+// arc, a from-scratch windowed build over exactly the events recovery
+// reports applied.
+func FuzzCompactWindow(f *testing.F) {
+	f.Add([]byte{}, uint8(7), uint8(2), uint8(0), uint16(0))
+	f.Add([]byte{0x41, 0x82, 0x23, 0xe4, 0x05, 0xa6, 0x67, 0xc8}, uint8(7), uint8(2), uint8(4), uint16(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x00, 0x00, 0x20, 0x3f, 0x9c, 0x5b, 0x71}, uint8(3), uint8(1), uint8(5), uint16(7))
+	f.Add([]byte{0x10, 0x51, 0x92, 0xd3, 0x14, 0x55, 0x96, 0xd7, 0x18, 0x59, 0x9a, 0xdb}, uint8(63), uint8(8), uint8(9), uint16(1))
+	f.Add([]byte{0xe0, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5}, uint8(1), uint8(1), uint8(3), uint16(500))
+	f.Add([]byte{0x07, 0x47, 0x87, 0xc7, 0x27, 0x67, 0xa7, 0xe7, 0x17}, uint8(15), uint8(4), uint8(0), uint16(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, span, buckets, split uint8, tear uint16) {
+		events := compactFuzzEvents(data)
+		if len(events) == 0 {
+			return
+		}
+		cfg := graph.WindowConfig{
+			Span:    1 + graph.Timestamp(span),
+			Buckets: 1 + int(buckets%8),
+		}
+		snapAt := int(split) % (len(events) + 1)
+
+		dir := t.TempDir()
+		// Tiny segments so TruncateBefore really deletes sealed files.
+		opts := Options{SegmentBytes: 128, Sync: SyncOff}
+		l, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if snapAt > 0 {
+			if _, err := l.AppendBatch(events[:snapAt]); err != nil {
+				t.Fatalf("append head: %v", err)
+			}
+			// Window compaction: persist the windowed view, then drop every
+			// sealed segment the snapshot covers.
+			wb := windowedOver(cfg, events[:snapAt])
+			snap := wb.Snapshot(1)
+			if _, err := WriteSnapshot(dir, &Snapshot{LSN: LSN(snapAt), Labels: snap.Labels, Graph: snap.Graph}); err != nil {
+				t.Fatalf("write snapshot: %v", err)
+			}
+			if _, err := l.TruncateBefore(LSN(snapAt) + 1); err != nil {
+				t.Fatalf("truncate: %v", err)
+			}
+		}
+		if snapAt < len(events) {
+			if _, err := l.AppendBatch(events[snapAt:]); err != nil {
+				t.Fatalf("append tail: %v", err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		// Tear the end of the active segment — the crash shape recovery
+		// repairs by dropping the torn suffix.
+		if tear > 0 {
+			segs, err := listSegments(dir)
+			if err != nil {
+				t.Fatalf("list segments: %v", err)
+			}
+			if len(segs) > 0 {
+				last := segs[len(segs)-1].path
+				info, err := os.Stat(last)
+				if err != nil {
+					t.Fatalf("stat segment: %v", err)
+				}
+				cut := min(int64(tear), info.Size())
+				if err := os.Truncate(last, info.Size()-cut); err != nil {
+					t.Fatalf("tear segment: %v", err)
+				}
+			}
+		}
+
+		l2, st, err := Recover(dir, opts, nil)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		defer l2.Close()
+		applied := int(st.AppliedLSN)
+		if applied < snapAt || applied > len(events) {
+			t.Fatalf("applied LSN %d outside [%d, %d]", applied, snapAt, len(events))
+		}
+
+		got := graph.WrapWindowed(st.Builder, cfg)
+		// Reconcile the streaming reference, then re-wrap so both sides carry
+		// the canonical (ts, u, v) layout — the streaming builder leaves
+		// arrival order in place while no bucket has expired.
+		ref := windowedOver(cfg, events[:applied])
+		ref.Snapshot(1)
+		want := graph.WrapWindowed(ref.Builder(), cfg)
+		gotSnap, wantSnap := got.Snapshot(1), want.Snapshot(1)
+
+		// The snapshot carries the full label dictionary and the tail interns
+		// in arrival order, so node ids must line up exactly with the
+		// from-scratch build — which makes arc-level comparison valid.
+		if len(gotSnap.Labels) != len(wantSnap.Labels) {
+			t.Fatalf("labels: got %d, want %d", len(gotSnap.Labels), len(wantSnap.Labels))
+		}
+		for i := range gotSnap.Labels {
+			if gotSnap.Labels[i] != wantSnap.Labels[i] {
+				t.Fatalf("label %d: got %q, want %q", i, gotSnap.Labels[i], wantSnap.Labels[i])
+			}
+		}
+		gg, wg := gotSnap.Graph, wantSnap.Graph
+		if gg.NumNodes() != wg.NumNodes() || gg.NumEdges() != wg.NumEdges() {
+			t.Fatalf("graph shape: got %d nodes / %d edges, want %d / %d (applied %d, snapAt %d)",
+				gg.NumNodes(), gg.NumEdges(), wg.NumNodes(), wg.NumEdges(), applied, snapAt)
+		}
+		for u := range graph.NodeID(gg.NumNodes()) {
+			ga, wa := gg.ArcSlice(u), wg.ArcSlice(u)
+			if len(ga) != len(wa) {
+				t.Fatalf("node %d: got %d arcs, want %d", u, len(ga), len(wa))
+			}
+			for i := range ga {
+				if ga[i] != wa[i] {
+					t.Fatalf("node %d arc %d: got %+v, want %+v", u, i, ga[i], wa[i])
+				}
+			}
+		}
+	})
+}

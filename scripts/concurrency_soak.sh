@@ -35,11 +35,18 @@
 # against the unsharded server's own shard parameters, where graph state is
 # identical by construction.
 #
+# A fifth, window-retention leg (scripts/window_soak.sh) boots a windowed
+# server with an epoch ring and gates the temporal-serving contract: expired
+# edges never answer /score, as_of reproduces the retained epoch's live
+# answers byte-for-byte, ring misses are 410-only, and expiry compacts the
+# WAL.
+#
 # Tunables (environment): ADDR, DURATION (seconds, default 30), READERS
 # (default 8), REF_ADDR, FAULT_ADDR, FAULT_DURATION (seconds, default 25),
 # REPL_LEADER_ADDR, REPL_R1_ADDR, REPL_R2_ADDR, REPL_DURATION (seconds,
-# default 25), TOP_ADDR, TOP_SHARD_ADDR, TOP_DURATION (seconds, default 25).
-# SOAK_ONLY selects a single leg: epoch | fault | repl | top.
+# default 25), TOP_ADDR, TOP_SHARD_ADDR, TOP_DURATION (seconds, default 25),
+# WINDOW_ADDR, WINDOW_DURATION (seconds, default 25).
+# SOAK_ONLY selects a single leg: epoch | fault | repl | top | window.
 # Run from the repository root; needs the Go toolchain and curl.
 set -euo pipefail
 
@@ -969,3 +976,17 @@ fi
 echo "PASS: /top soak"
 
 fi # run_leg top
+
+# ---------------------------------------------------------------------------
+# Leg 5: sliding-window retention + as_of time travel (scripts/window_soak.sh)
+# ---------------------------------------------------------------------------
+if run_leg window; then
+
+echo
+echo "==> [window] delegating to scripts/window_soak.sh"
+SSF_SERVE_BIN="$WORKDIR/ssf-serve" \
+    DATASET="$WORKDIR/slashdot.txt" \
+    WINDOW_DURATION="${WINDOW_DURATION:-25}" \
+    bash "$(dirname "$0")/window_soak.sh"
+
+fi # run_leg window

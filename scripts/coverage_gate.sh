@@ -8,7 +8,7 @@
 # Usage: scripts/coverage_gate.sh [floor]   (floor in percent, default below)
 set -euo pipefail
 
-FLOOR="${1:-${COVERAGE_FLOOR:-83.0}}"
+FLOOR="${1:-${COVERAGE_FLOOR:-84.0}}"
 PROFILE="${PROFILE:-cover.out}"
 
 go test -coverprofile="$PROFILE" ./... >/dev/null

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end telemetry smoke test: boot ssf-serve on a generated dataset,
-# drive scoring and durable ingest, scrape /metrics, and assert that every
-# instrumented layer (HTTP, scoring, extraction, WAL, runtime) reports
-# nonzero activity. Run from the repository root; needs only the Go
-# toolchain and curl.
+# drive scoring, durable ingest, sliding-window expiry and as_of time travel,
+# scrape /metrics, and assert that every instrumented layer (HTTP, scoring,
+# extraction, WAL, window/ring retention, runtime) reports nonzero activity.
+# Run from the repository root; needs only the Go toolchain and curl.
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:18080}"
@@ -30,6 +30,7 @@ echo "==> booting server on $ADDR"
     -file "$WORKDIR/slashdot.txt" \
     -method SSFLR -k 6 -maxpos 20 \
     -wal-dir "$WORKDIR/wal" \
+    -window 1000 -window-buckets 4 -epoch-ring 8 \
     -addr "$ADDR" -log-format json >"$WORKDIR/server.log" 2>&1 &
 SERVER_PID=$!
 
@@ -70,6 +71,34 @@ for i in $(seq 1 60); do
 done
 # A /top against the built index must count as a precompute hit.
 curl -fsS "http://$ADDR/top?n=5" >/dev/null
+
+echo "==> driving windowed retention and as_of time travel"
+# Ring hit: as_of past every published epoch resolves to the current one.
+curl -fsS "http://$ADDR/score?u=0&v=1&as_of=999999" >/dev/null
+# Ring miss: as_of before the oldest retained epoch is a 410, nothing else.
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/score?u=0&v=1&as_of=-1")"
+if [[ "$code" != "410" ]]; then
+    echo "FAIL: prehistoric as_of answered $code, want 410" >&2
+    exit 1
+fi
+# An ingest far past the window expires the boot-time buckets, which must
+# trigger a window compaction of the WAL.
+curl -fsS -X POST -d '[{"u":"smoke-new","v":"smoke-a","ts":5000}]' "http://$ADDR/ingest" >/dev/null
+echo "==> waiting for a window compaction"
+for i in $(seq 1 60); do
+    if curl -fsS "http://$ADDR/metrics" | awk '
+        index($1, "ssf_wal_compactions_total") == 1 { if ($NF + 0 > 0) found = 1 }
+        END { exit !found }
+    '; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server died while waiting for window compaction:" >&2
+        cat "$WORKDIR/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
 
 echo "==> checking /healthz cache stats"
 healthz="$(curl -fsS "http://$ADDR/healthz")"
@@ -128,6 +157,11 @@ assert_nonzero ssf_extracts_total
 assert_nonzero ssf_wal_records_total
 assert_nonzero ssf_wal_applied_lsn
 assert_nonzero ssf_ingest_edges_total
+assert_nonzero ssf_wal_compactions_total
+assert_nonzero ssf_window_expired_edges_total
+assert_nonzero ssf_epoch_ring_size
+assert_nonzero ssf_epoch_ring_hits_total
+assert_nonzero ssf_epoch_ring_misses_total
 assert_nonzero ssf_top_candidates_scored_total
 assert_nonzero ssf_top_precompute_builds_total
 assert_nonzero ssf_top_precompute_hits_total

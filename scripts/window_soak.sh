@@ -1,0 +1,332 @@
+#!/usr/bin/env bash
+# Window-retention soak: boot a race-built ssf-serve with a sliding window,
+# an epoch ring and durable ingest, drive timestamps across many bucket
+# boundaries under concurrent readers, and gate the temporal-serving
+# contract:
+#
+#   1. Expired edges are never served: a sentinel pair whose only common
+#      neighbor fell out of the window must score 0 on /score, while an
+#      in-window sentinel must keep its score.
+#   2. as_of answers are the retained epoch's live answers: scores recorded
+#      the moment an epoch was current are reproduced exactly by
+#      /score?as_of=<that epoch's max ts>, with the epoch echoed.
+#   3. A miss on the ring is a 410 and nothing else: random as_of probes may
+#      answer 200 or 410, never a 5xx and never a silently wrong epoch.
+#   4. Zero 5xx anywhere, zero race reports, and the WAL actually compacted
+#      (ssf_wal_compactions_total advanced) as buckets expired.
+#
+# Tunables (environment): WINDOW_ADDR, WINDOW_DURATION (seconds, default 25),
+# SSF_SERVE_BIN (prebuilt race binary; built here when empty), DATASET
+# (edge-list file; generated here when empty).
+# Run from the repository root; needs the Go toolchain and curl.
+set -euo pipefail
+
+ADDR="${WINDOW_ADDR:-127.0.0.1:18098}"
+DURATION="${WINDOW_DURATION:-25}"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+# The window: 4 buckets of width 50. The writer advances ~5 ts per batch, so
+# a bucket boundary crosses every ~10 batches and the window holds the last
+# ~40 batches' edges.
+SPAN=200
+BUCKETS=4
+
+cleanup() {
+    touch "$WORKDIR/stop" 2>/dev/null || true
+    if [[ -n "$SERVER_PID" ]]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+BIN="${SSF_SERVE_BIN:-}"
+if [[ -z "$BIN" ]]; then
+    echo "==> building ssf-serve with the race detector"
+    go build -race -o "$WORKDIR/ssf-serve" ./cmd/ssf-serve
+    BIN="$WORKDIR/ssf-serve"
+fi
+NET="${DATASET:-}"
+if [[ -z "$NET" ]]; then
+    echo "==> generating dataset"
+    go run ./cmd/ssf-datasets -out "$WORKDIR" -datasets Slashdot -scale 40 -seed 3
+    NET="$WORKDIR/slashdot.txt"
+fi
+
+echo "==> booting windowed server on $ADDR (window $SPAN, $BUCKETS buckets, ring 64)"
+GORACE="halt_on_error=1" "$BIN" \
+    -file "$NET" -method CN -k 6 -maxpos 20 \
+    -wal-dir "$WORKDIR/wal" -wal-segment-bytes 4096 \
+    -window "$SPAN" -window-buckets "$BUCKETS" -epoch-ring 64 \
+    -addr "$ADDR" -log-format json >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 120); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server died during startup:" >&2
+        cat "$WORKDIR/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+curl -fsS "http://$ADDR/readyz" >/dev/null
+
+# health_field FIELD reads a numeric field off /healthz.
+health_field() {
+    curl -fsS "http://$ADDR/healthz" 2>/dev/null |
+        sed -n 's/.*"'"$1"'":\([0-9][0-9]*\).*/\1/p'
+}
+
+# metric NAME reads one counter/gauge off /metrics.
+metric() {
+    curl -fsS "http://$ADDR/metrics" 2>/dev/null | sed -n "s/^$1 //p"
+}
+
+# score_field BODY FIELD extracts "field":value from a /score JSON body.
+score_field() {
+    printf '%s' "$1" | sed -n 's/.*"'"$2"'":\([^,}]*\).*/\1/p'
+}
+
+echo "==> soaking for ${DURATION}s: readers + as_of probes vs a ts-advancing writer"
+
+# Reader: random known pairs; contract is 200/404, never a 5xx.
+reader() {
+    local out="$WORKDIR/reader$1.log"
+    while [[ ! -e "$WORKDIR/stop" ]]; do
+        local u=$((RANDOM % 40)) v=$((RANDOM % 40))
+        [[ "$u" == "$v" ]] && continue
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            "http://$ADDR/score?u=$u&v=$v" >>"$out" || true
+    done
+}
+
+# as_of prober: random timestamps from prehistory to the live edge. A probe
+# may hit a retained epoch (200) or fall off the ring (410); anything else
+# breaks the time-travel contract.
+asof_prober() {
+    local out="$WORKDIR/asof.log"
+    while [[ ! -e "$WORKDIR/stop" ]]; do
+        local hi
+        hi="$(cat "$WORKDIR/ts" 2>/dev/null || echo 100)"
+        local t=$((RANDOM % (hi + 100)))
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            "http://$ADDR/score?u=0&v=1&as_of=$t" >>"$out" || true
+        sleep 0.05
+    done
+}
+
+# Writer: every batch advances ts by 5. Every 10th batch plants a sentinel
+# triangle — sentNa/sentNb sharing the single common neighbor sentNc at the
+# current ts — recorded as "i ts" so the expiry gate can split sentinels into
+# expired and live by the final window start.
+writer() {
+    local i=0 out="$WORKDIR/writer.log"
+    while [[ ! -e "$WORKDIR/stop" ]]; do
+        i=$((i + 1))
+        local ts=$((i * 5))
+        echo "$ts" >"$WORKDIR/ts.tmp" && mv "$WORKDIR/ts.tmp" "$WORKDIR/ts"
+        local body="[{\"u\":\"w${i}a\",\"v\":\"$((i % 40))\",\"ts\":${ts}},{\"u\":\"w${i}a\",\"v\":\"w${i}b\",\"ts\":${ts}}]"
+        if ((i % 10 == 0)); then
+            body="[{\"u\":\"sent${i}a\",\"v\":\"sent${i}c\",\"ts\":${ts}},{\"u\":\"sent${i}b\",\"v\":\"sent${i}c\",\"ts\":${ts}}]"
+            echo "$i $ts" >>"$WORKDIR/sentinels.log"
+        fi
+        curl -s -o /dev/null -w '%{http_code}\n' -X POST -d "$body" \
+            "http://$ADDR/ingest" >>"$out" || true
+        sleep 0.05
+    done
+}
+
+# Watcher: the window start must only ever move forward.
+watcher() {
+    local out="$WORKDIR/wstart.log"
+    while [[ ! -e "$WORKDIR/stop" ]]; do
+        health_field window_start >>"$out" || true
+        sleep 0.2
+    done
+}
+
+pids=()
+for r in 1 2 3 4; do
+    reader "$r" &
+    pids+=($!)
+done
+asof_prober &
+pids+=($!)
+writer &
+pids+=($!)
+watcher &
+pids+=($!)
+
+sleep "$DURATION"
+touch "$WORKDIR/stop"
+wait "${pids[@]}" 2>/dev/null || true
+
+fail=0
+
+echo "==> checking: zero 5xx, reads 200/404, writes 2xx, as_of probes 200/410 only"
+for f in "$WORKDIR"/reader*.log; do
+    if awk '$1 != 200 && $1 != 404 { exit 1 }' "$f"; then :; else
+        echo "FAIL: non-contract read responses in $f:" >&2
+        awk '$1 != 200 && $1 != 404' "$f" | sort | uniq -c >&2
+        fail=1
+    fi
+done
+if awk '{ if ($1 < 200 || $1 >= 300) exit 1 }' "$WORKDIR/writer.log"; then :; else
+    echo "FAIL: non-2xx ingest responses:" >&2
+    awk '$1 < 200 || $1 >= 300' "$WORKDIR/writer.log" | sort | uniq -c >&2
+    fail=1
+fi
+if awk '$1 != 200 && $1 != 410 { exit 1 }' "$WORKDIR/asof.log"; then :; else
+    echo "FAIL: as_of probe answered outside the 200/410 contract:" >&2
+    awk '$1 != 200 && $1 != 410' "$WORKDIR/asof.log" | sort | uniq -c >&2
+    fail=1
+fi
+if ! grep -q '^200$' "$WORKDIR/asof.log" || ! grep -q '^410$' "$WORKDIR/asof.log"; then
+    echo "FAIL: as_of probes never exercised both ring hits and misses" >&2
+    sort "$WORKDIR/asof.log" | uniq -c >&2
+    fail=1
+fi
+
+echo "==> checking: the window actually slid (start advanced, edges expired)"
+wstart="$(health_field window_start)"
+expired="$(health_field expired_edges)"
+if [[ -z "$wstart" || "$wstart" -le 0 ]]; then
+    echo "FAIL: window_start = ${wstart:-missing}, never advanced past 0" >&2
+    fail=1
+fi
+if [[ -z "$expired" || "$expired" == "0" ]]; then
+    echo "FAIL: expired_edges = ${expired:-missing}, nothing expired in ${DURATION}s" >&2
+    fail=1
+fi
+if ! awk 'NR > 1 && $1 < prev { exit 1 } { prev = $1 }' "$WORKDIR/wstart.log"; then
+    echo "FAIL: observed window_start went backwards:" >&2
+    cat "$WORKDIR/wstart.log" >&2
+    fail=1
+fi
+
+# Gate 1 — expired edges are never served. Sentinel pairs whose triangle ts
+# precedes the final window start must score exactly 0 (the labels survive,
+# their links do not); sentinels inside the window must still score. The
+# newest sentinel is always in-window; with ts advancing 5/batch and a
+# 200-unit window, any soak long enough to slide the window has expired ones.
+echo "==> checking: expired sentinel edges gone from /score, live ones intact"
+checked_expired=0
+checked_live=0
+while read -r i ts; do
+    body="$(curl -fsS "http://$ADDR/score?u=sent${i}a&v=sent${i}b" || true)"
+    score="$(score_field "$body" score)"
+    if [[ -z "$score" ]]; then
+        echo "FAIL: sentinel $i (ts $ts) did not answer: $body" >&2
+        fail=1
+    elif [[ "$ts" -lt "$wstart" ]]; then
+        checked_expired=$((checked_expired + 1))
+        if [[ "$score" != "0" ]]; then
+            echo "FAIL: sentinel $i at ts $ts is below window start $wstart but still scores $score" >&2
+            fail=1
+        fi
+    else
+        checked_live=$((checked_live + 1))
+        if [[ "$score" == "0" ]]; then
+            echo "FAIL: in-window sentinel $i at ts $ts lost its common neighbor (score 0)" >&2
+            fail=1
+        fi
+    fi
+done <"$WORKDIR/sentinels.log"
+if [[ "$checked_expired" -eq 0 || "$checked_live" -eq 0 ]]; then
+    echo "FAIL: sentinel split degenerate (expired=$checked_expired live=$checked_live); soak too short?" >&2
+    fail=1
+fi
+
+# Gate 2 — as_of reproduces the retained epoch's live answers. Quiesced
+# ingests with strictly increasing ts: each commit's max ts resolves as_of
+# uniquely to that epoch, so the recorded live score must come back verbatim
+# with the epoch echoed.
+echo "==> checking: as_of answers are byte-equal to the recorded live answers"
+last_ts="$(cat "$WORKDIR/ts")"
+declare -a rec_ts rec_epoch rec_score rec_pred
+for j in $(seq 1 8); do
+    ts=$((last_ts + j * 5))
+    ack="$(curl -fsS -X POST -d "[{\"u\":\"q${j}a\",\"v\":\"q${j}b\",\"ts\":${ts}},{\"u\":\"q${j}a\",\"v\":\"0\",\"ts\":${ts}}]" \
+        "http://$ADDR/ingest" || true)"
+    epoch="$(score_field "$ack" epoch)"
+    live="$(curl -fsS "http://$ADDR/score?u=q${j}a&v=0" || true)"
+    rec_ts[j]="$ts"
+    rec_epoch[j]="$epoch"
+    rec_score[j]="$(score_field "$live" score)"
+    rec_pred[j]="$(score_field "$live" predicted)"
+done
+for j in $(seq 1 8); do
+    got="$(curl -fsS "http://$ADDR/score?u=q${j}a&v=0&as_of=${rec_ts[j]}" || true)"
+    g_score="$(score_field "$got" score)"
+    g_pred="$(score_field "$got" predicted)"
+    g_epoch="$(score_field "$got" as_of_epoch)"
+    if [[ -z "$g_score" || "$g_score" != "${rec_score[j]}" || "$g_pred" != "${rec_pred[j]}" ]]; then
+        echo "FAIL: as_of=${rec_ts[j]} score ${g_score:-missing}/${g_pred:-missing} != live ${rec_score[j]}/${rec_pred[j]}" >&2
+        fail=1
+    fi
+    if [[ -z "$g_epoch" || "$g_epoch" != "${rec_epoch[j]}" ]]; then
+        echo "FAIL: as_of=${rec_ts[j]} resolved to epoch ${g_epoch:-missing}, ingest ack said ${rec_epoch[j]}" >&2
+        fail=1
+    fi
+done
+
+# Gate 3 — a prehistoric as_of is a 410 and only a 410.
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/score?u=0&v=1&as_of=0" || true)"
+if [[ "$code" != "410" ]]; then
+    echo "FAIL: as_of=0 answered $code, want 410" >&2
+    fail=1
+fi
+
+echo "==> checking: window/ring/compaction telemetry advanced"
+compactions=""
+for _ in $(seq 1 30); do
+    compactions="$(metric ssf_wal_compactions_total)"
+    if [[ -n "$compactions" && "$compactions" != "0" ]]; then
+        break
+    fi
+    sleep 0.5
+done
+if [[ -z "$compactions" || "$compactions" == "0" ]]; then
+    echo "FAIL: ssf_wal_compactions_total = ${compactions:-missing}; expiry never compacted the WAL" >&2
+    fail=1
+fi
+for m in ssf_window_expired_edges_total ssf_epoch_ring_hits_total ssf_epoch_ring_misses_total; do
+    v="$(metric $m)"
+    if [[ -z "$v" || "$v" == "0" ]]; then
+        echo "FAIL: $m = ${v:-missing}, want > 0" >&2
+        fail=1
+    fi
+done
+ring_size="$(metric ssf_epoch_ring_size)"
+if [[ -z "$ring_size" || "$ring_size" != "64" ]]; then
+    echo "FAIL: ssf_epoch_ring_size = ${ring_size:-missing}, want 64 (full ring)" >&2
+    fail=1
+fi
+
+echo "==> checking: no race reports, server alive"
+if grep -q "DATA RACE" "$WORKDIR/server.log"; then
+    echo "FAIL: race detector fired:" >&2
+    grep -A 20 "DATA RACE" "$WORKDIR/server.log" >&2
+    fail=1
+fi
+if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server exited during soak:" >&2
+    tail -50 "$WORKDIR/server.log" >&2
+    fail=1
+fi
+
+reads="$(cat "$WORKDIR"/reader*.log | wc -l)"
+writes="$(grep -c '^200' "$WORKDIR/writer.log" || true)"
+probes="$(wc -l <"$WORKDIR/asof.log")"
+echo "    reads=$reads writes=$writes asof_probes=$probes window_start=$wstart expired=$expired compactions=$compactions"
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "FAIL: window soak" >&2
+    exit 1
+fi
+echo "PASS: window soak"
